@@ -1,0 +1,124 @@
+// Reproduces Figure 8 (§6.3.2): per-provider bandwidth (8a) and computation
+// (8b) of the P-SOP protocol vs. the Kissner–Song (KS) baseline, for
+// k = 2,3,4 providers and dataset sizes swept over a range.
+//
+// Defaults are laptop-sized (n up to 4,000; 512/768-bit keys); the paper's
+// full scale (n to 100,000; 1024-bit keys) is reachable via flags:
+//   bench_fig8_pia_overheads --n-min=1000 --n-max=100000 --group-bits=1024
+//                            --paillier-bits=1024
+
+#include <cstdio>
+#include <vector>
+
+#include "src/pia/ks.h"
+#include "src/pia/psop.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+namespace {
+
+std::vector<std::vector<std::string>> MakeDatasets(size_t k, size_t n) {
+  // Half the elements are common across providers; the rest are unique —
+  // a realistic overlap profile that exercises both count paths.
+  std::vector<std::vector<std::string>> datasets(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t e = 0; e < n; ++e) {
+      if (e < n / 2) {
+        datasets[i].push_back("shared-" + std::to_string(e));
+      } else {
+        datasets[i].push_back(StrFormat("p%zu-", i) + std::to_string(e));
+      }
+    }
+  }
+  return datasets;
+}
+
+struct Measurement {
+  double mb_sent_per_party = 0;
+  double compute_seconds_per_party = 0;
+};
+
+Measurement Summarize(const std::vector<PartyStats>& stats) {
+  Measurement m;
+  for (const PartyStats& party : stats) {
+    m.mb_sent_per_party += static_cast<double>(party.bytes_sent) / (1024.0 * 1024.0);
+    m.compute_seconds_per_party += party.compute_seconds;
+  }
+  m.mb_sent_per_party /= static_cast<double>(stats.size());
+  m.compute_seconds_per_party /= static_cast<double>(stats.size());
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n_min = 250;
+  int64_t n_max = 2000;
+  int64_t group_bits = 768;
+  int64_t paillier_bits = 512;
+  int64_t k_max = 4;
+  int64_t ks_n_cap = 1000;
+  FlagSet flags;
+  flags.AddInt("n-min", &n_min, "smallest dataset size");
+  flags.AddInt("n-max", &n_max, "largest dataset size (paper: 100000)");
+  flags.AddInt("group-bits", &group_bits, "P-SOP commutative group bits (paper: 1024)");
+  flags.AddInt("paillier-bits", &paillier_bits, "KS Paillier modulus bits (paper: 1024)");
+  flags.AddInt("k-max", &k_max, "largest provider count (paper: 4)");
+  flags.AddInt("ks-n-cap", &ks_n_cap, "skip KS above this n (it is the slow baseline)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 8: PIA system overheads — P-SOP(k) vs KS(k), per provider.\n");
+  std::printf("P-SOP: %lld-bit commutative encryption; KS: %lld-bit Paillier "
+              "(%lld-bit ciphertexts).\n\n",
+              (long long)group_bits, (long long)paillier_bits, (long long)(2 * paillier_bits));
+
+  TextTable table({"Protocol", "k", "n", "Bandwidth sent (8a)", "Compute time (8b)"});
+  for (int64_t k = 2; k <= k_max; ++k) {
+    for (int64_t n = n_min; n <= n_max; n *= 2) {
+      auto datasets = MakeDatasets(static_cast<size_t>(k), static_cast<size_t>(n));
+      PsopOptions psop;
+      psop.group_bits = static_cast<size_t>(group_bits);
+      auto psop_result = RunPsop(datasets, psop);
+      if (!psop_result.ok()) {
+        std::fprintf(stderr, "%s\n", psop_result.status().ToString().c_str());
+        return 1;
+      }
+      Measurement m = Summarize(psop_result->party_stats);
+      table.AddRow({StrFormat("P-SOP(%lld)", (long long)k), std::to_string(k), std::to_string(n),
+                    StrFormat("%.2f MB", m.mb_sent_per_party),
+                    HumanSeconds(m.compute_seconds_per_party)});
+    }
+  }
+  for (int64_t k = 2; k <= k_max; ++k) {
+    for (int64_t n = n_min; n <= n_max; n *= 2) {
+      if (n > ks_n_cap) {
+        table.AddRow({StrFormat("KS(%lld)", (long long)k), std::to_string(k), std::to_string(n),
+                      "(skipped)", "(skipped)"});
+        continue;
+      }
+      auto datasets = MakeDatasets(static_cast<size_t>(k), static_cast<size_t>(n));
+      KsOptions ks;
+      ks.paillier_bits = static_cast<size_t>(paillier_bits);
+      auto ks_result = RunKsIntersectionCardinality(datasets, ks);
+      if (!ks_result.ok()) {
+        std::fprintf(stderr, "%s\n", ks_result.status().ToString().c_str());
+        return 1;
+      }
+      Measurement m = Summarize(ks_result->party_stats);
+      table.AddRow({StrFormat("KS(%lld)", (long long)k), std::to_string(k), std::to_string(n),
+                    StrFormat("%.2f MB", m.mb_sent_per_party),
+                    HumanSeconds(m.compute_seconds_per_party)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper's shape: (8a) KS bandwidth grows faster with k than P-SOP's; (8b) P-SOP\n"
+      "outperforms KS by orders of magnitude in computation, both roughly linear in n.\n");
+  return 0;
+}

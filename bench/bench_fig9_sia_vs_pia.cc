@@ -1,0 +1,189 @@
+// Reproduces Figure 9 (§6.3.3): the cost of privacy. For all two-way (9a)
+// and three-way (9b) redundancy deployments across 5..k_max cloud providers,
+// compare the computational time of:
+//   * SIA with the minimal-RG algorithm    (trusted auditor, exact)
+//   * SIA with failure sampling            (trusted auditor, approximate)
+//   * PIA with P-SOP                       (no trusted auditor)
+//   * PIA with KS                          (no trusted auditor, baseline)
+// All four operate at the component-set level of detail, as in the paper.
+//
+//   bench_fig9_sia_vs_pia [--n=500] [--k-max=10] [--rounds=10000]
+//                         [--three-way] [--group-bits=768] [--paillier-bits=512]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/graph/levels.h"
+#include "src/pia/ks.h"
+#include "src/pia/psop.h"
+#include "src/sia/risk_groups.h"
+#include "src/sia/sampling.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+using namespace indaas;
+
+namespace {
+
+// k provider component-sets of n elements each, drawn from a shared pool so
+// overlaps exist (~30% shared prefix).
+std::vector<std::vector<std::string>> MakeProviders(size_t k, size_t n, Rng& rng) {
+  std::vector<std::vector<std::string>> providers(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t e = 0; e < n; ++e) {
+      if (rng.NextBool(0.3)) {
+        providers[i].push_back("shared-" + std::to_string(rng.NextBelow(n)));
+      } else {
+        providers[i].push_back(StrFormat("p%zu-c%zu", i, e));
+      }
+    }
+    std::sort(providers[i].begin(), providers[i].end());
+    providers[i].erase(std::unique(providers[i].begin(), providers[i].end()),
+                       providers[i].end());
+  }
+  return providers;
+}
+
+std::vector<std::vector<size_t>> Combos(size_t k, size_t r) {
+  std::vector<std::vector<size_t>> out;
+  std::vector<size_t> pick(r);
+  for (size_t i = 0; i < r; ++i) {
+    pick[i] = i;
+  }
+  for (;;) {
+    out.push_back(pick);
+    int pos = static_cast<int>(r) - 1;
+    while (pos >= 0 && pick[pos] == k - r + static_cast<size_t>(pos)) {
+      --pos;
+    }
+    if (pos < 0) {
+      break;
+    }
+    ++pick[pos];
+    for (size_t i = static_cast<size_t>(pos) + 1; i < r; ++i) {
+      pick[i] = pick[i - 1] + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 500;
+  int64_t k_max = 10;
+  int64_t rounds = 10000;
+  bool three_way = false;
+  int64_t group_bits = 768;
+  int64_t paillier_bits = 512;
+  int64_t ks_k_cap = 6;
+  FlagSet flags;
+  flags.AddInt("n", &n, "elements per provider component-set (paper: 10000)");
+  flags.AddInt("k-max", &k_max, "largest provider count (paper: 20)");
+  flags.AddInt("rounds", &rounds, "sampling rounds (paper: 10^6)");
+  flags.AddBool("three-way", &three_way, "audit 3-way deployments (Fig. 9b) instead of 2-way");
+  flags.AddInt("group-bits", &group_bits, "P-SOP group bits");
+  flags.AddInt("paillier-bits", &paillier_bits, "KS Paillier bits");
+  flags.AddInt("ks-k-cap", &ks_k_cap, "skip KS above this provider count (slow baseline)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const size_t r = three_way ? 3 : 2;
+  std::printf("Figure 9%s: all %zu-way deployments, %lld-element component-sets per provider.\n\n",
+              three_way ? "b" : "a", r, (long long)n);
+
+  TextTable table({"# providers", "PIA/KS", "SIA/minimal-RG", "PIA/P-SOP", "SIA/sampling"});
+  for (int64_t k = 5; k <= k_max; k += 5) {
+    Rng rng(static_cast<uint64_t>(k));
+    auto providers = MakeProviders(static_cast<size_t>(k), static_cast<size_t>(n), rng);
+    auto combos = Combos(static_cast<size_t>(k), r);
+
+    // SIA exact & sampling: component-set fault graphs per deployment.
+    double sia_exact_seconds = 0;
+    double sia_sampling_seconds = 0;
+    for (const auto& combo : combos) {
+      std::vector<ComponentSet> sets;
+      for (size_t idx : combo) {
+        sets.push_back(ComponentSet{"P" + std::to_string(idx), providers[idx]});
+      }
+      auto graph = BuildFromComponentSets(sets);
+      if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+      }
+      {
+        WallTimer timer;
+        MinimalRgOptions options;
+        options.max_rg_size = r;  // every minimal RG has size <= r here
+        auto groups = ComputeMinimalRiskGroups(*graph, options);
+        if (!groups.ok()) {
+          std::fprintf(stderr, "%s\n", groups.status().ToString().c_str());
+          return 1;
+        }
+        sia_exact_seconds += timer.ElapsedSeconds();
+      }
+      {
+        WallTimer timer;
+        SamplingOptions options;
+        options.rounds = static_cast<size_t>(rounds);
+        options.failure_bias = 0.02;
+        options.shrink = ShrinkMode::kNone;
+        auto sampled = SampleRiskGroups(*graph, options);
+        if (!sampled.ok()) {
+          std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+          return 1;
+        }
+        sia_sampling_seconds += timer.ElapsedSeconds();
+      }
+    }
+
+    // PIA P-SOP and KS over the same deployments (compute time, all parties).
+    double psop_seconds = 0;
+    double ks_seconds = 0;
+    bool ks_skipped = k > ks_k_cap;
+    for (const auto& combo : combos) {
+      std::vector<std::vector<std::string>> datasets;
+      for (size_t idx : combo) {
+        datasets.push_back(providers[idx]);
+      }
+      PsopOptions psop;
+      psop.group_bits = static_cast<size_t>(group_bits);
+      auto psop_result = RunPsop(datasets, psop);
+      if (!psop_result.ok()) {
+        std::fprintf(stderr, "%s\n", psop_result.status().ToString().c_str());
+        return 1;
+      }
+      for (const PartyStats& stats : psop_result->party_stats) {
+        psop_seconds += stats.compute_seconds;
+      }
+      if (!ks_skipped) {
+        KsOptions ks;
+        ks.paillier_bits = static_cast<size_t>(paillier_bits);
+        auto ks_result = RunKsIntersectionCardinality(datasets, ks);
+        if (!ks_result.ok()) {
+          std::fprintf(stderr, "%s\n", ks_result.status().ToString().c_str());
+          return 1;
+        }
+        for (const PartyStats& stats : ks_result->party_stats) {
+          ks_seconds += stats.compute_seconds;
+        }
+      }
+    }
+    table.AddRow({std::to_string(k), ks_skipped ? "(skipped)" : HumanSeconds(ks_seconds),
+                  HumanSeconds(sia_exact_seconds), HumanSeconds(psop_seconds),
+                  HumanSeconds(sia_sampling_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper's shape (at its n=10000, 10^6 rounds): KS and minimal-RG do not scale;\n"
+      "P-SOP costs less than 2x the sampling-based SIA. At the small default n the\n"
+      "quadratic minimal-RG algorithm has not hit its wall yet — its cost grows as\n"
+      "n^2 per deployment (vs linear for sampling and P-SOP), so the paper's ordering\n"
+      "emerges as n grows: rerun with --n=2000 or the full --n=10000 to see it.\n");
+  return 0;
+}

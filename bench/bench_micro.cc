@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) for the building blocks underlying the
+// paper's experiments: bignum arithmetic, digests, commutative encryption,
+// Paillier, fault graph evaluation, and the two RG algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include "src/bignum/modular.h"
+#include "src/bignum/montgomery.h"
+#include "src/bignum/prime.h"
+#include "src/crypto/commutative.h"
+#include "src/crypto/digest.h"
+#include "src/crypto/paillier.h"
+#include "src/graph/bdd.h"
+#include "src/graph/levels.h"
+#include "src/sia/risk_groups.h"
+#include "src/sia/sampling.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+void BM_BigUintMul(benchmark::State& state) {
+  Rng rng(1);
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigUint a = RandomWithBits(bits, rng);
+  BigUint b = RandomWithBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Mul(b));
+  }
+}
+BENCHMARK(BM_BigUintMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BigUintDivMod(benchmark::State& state) {
+  Rng rng(2);
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigUint a = RandomWithBits(2 * bits, rng);
+  BigUint b = RandomWithBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DivMod(b));
+  }
+}
+BENCHMARK(BM_BigUintDivMod)->Arg(256)->Arg(1024);
+
+void BM_ModExp(benchmark::State& state) {
+  Rng rng(3);
+  size_t bits = static_cast<size_t>(state.range(0));
+  auto p = WellKnownSafePrime(bits);
+  auto ctx = MontgomeryContext::Create(*p);
+  BigUint base = RandomBelow(*p, rng);
+  BigUint exp = RandomBelow(*p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->ModExp(base, exp));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(768)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_Digest(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Digest)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Md5(benchmark::State& state) {
+  std::string data(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Md5);
+
+void BM_CommutativeEncrypt(benchmark::State& state) {
+  Rng rng(4);
+  auto group = CommutativeGroup::CreateWellKnown(static_cast<size_t>(state.range(0)));
+  auto key = CommutativeKey::Generate(*group, rng);
+  BigUint element = group->HashToElement("pkg:openssl=1.0.1e", HashAlgorithm::kSha256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key->Encrypt(*group, element));
+  }
+}
+BENCHMARK(BM_CommutativeEncrypt)->Arg(768)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(5);
+  auto keypair = GeneratePaillierKeyPair(static_cast<size_t>(state.range(0)), rng);
+  BigUint m(123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keypair->pub.Encrypt(m, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  Rng rng(6);
+  auto keypair = GeneratePaillierKeyPair(512, rng);
+  auto c1 = keypair->pub.Encrypt(BigUint(1), rng);
+  auto c2 = keypair->pub.Encrypt(BigUint(2), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keypair->pub.AddCiphertexts(*c1, *c2));
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd);
+
+// A two-level component-set graph with `sources` sources of `width`
+// components each, 30% drawn from a shared pool.
+FaultGraph MakeGraph(size_t sources, size_t width) {
+  Rng rng(7);
+  std::vector<ComponentSet> sets;
+  for (size_t s = 0; s < sources; ++s) {
+    ComponentSet set;
+    set.source = "E" + std::to_string(s);
+    for (size_t c = 0; c < width; ++c) {
+      set.components.push_back(rng.NextBool(0.3)
+                                   ? "shared" + std::to_string(rng.NextBelow(width))
+                                   : "u" + std::to_string(s) + "_" + std::to_string(c));
+    }
+    NormalizeComponentSet(set);
+    sets.push_back(std::move(set));
+  }
+  auto graph = BuildFromComponentSets(sets);
+  return std::move(graph).value();
+}
+
+void BM_FaultGraphEvaluate(benchmark::State& state) {
+  FaultGraph graph = MakeGraph(4, static_cast<size_t>(state.range(0)));
+  std::vector<uint8_t> graph_state(graph.NodeCount(), 0);
+  Rng rng(8);
+  for (auto _ : state) {
+    for (NodeId id : graph.BasicEvents()) {
+      graph_state[id] = rng.NextBool(0.05) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(graph.Evaluate(graph_state));
+  }
+}
+BENCHMARK(BM_FaultGraphEvaluate)->Arg(50)->Arg(500);
+
+void BM_MinimalRiskGroups(benchmark::State& state) {
+  FaultGraph graph = MakeGraph(2, static_cast<size_t>(state.range(0)));
+  MinimalRgOptions options;
+  options.max_rg_size = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMinimalRiskGroups(graph, options));
+  }
+}
+BENCHMARK(BM_MinimalRiskGroups)->Arg(20)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_BddCompileAndProbability(benchmark::State& state) {
+  FaultGraph graph = MakeGraph(4, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopEventProbabilityBdd(graph, 0.05));
+  }
+}
+BENCHMARK(BM_BddCompileAndProbability)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void BM_SamplingRounds(benchmark::State& state) {
+  FaultGraph graph = MakeGraph(3, 100);
+  for (auto _ : state) {
+    SamplingOptions options;
+    options.rounds = static_cast<size_t>(state.range(0));
+    options.failure_bias = 0.05;
+    benchmark::DoNotOptimize(SampleRiskGroups(graph, options));
+  }
+}
+BENCHMARK(BM_SamplingRounds)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace indaas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Reproduces the paper's §4.2 finding that motivates P-SOP: generic secure
+// multi-party computation (the Xiao et al. approach) "performs adequately
+// only on small dependency datasets" — circuit-based PSI cardinality costs
+// Θ(n^2) AND gates, each one Beaver triple plus communication, while P-SOP
+// is Θ(k·n) public-key operations.
+//
+//   bench_smpc_baseline [--n-max=400] [--hash-bits=24] [--group-bits=768]
+
+#include <cstdio>
+
+#include "src/pia/network_model.h"
+#include "src/pia/psop.h"
+#include "src/smpc/psi_circuit.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+using namespace indaas;
+
+namespace {
+
+std::vector<std::string> MakeSet(size_t party, size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t e = 0; e < n; ++e) {
+    // Half shared, half unique.
+    out.push_back(e < n / 2 ? "shared-" + std::to_string(e)
+                            : StrFormat("p%zu-%zu", party, e));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n_max = 400;
+  int64_t hash_bits = 24;
+  int64_t group_bits = 768;
+  FlagSet flags;
+  flags.AddInt("n-max", &n_max, "largest per-party set size");
+  flags.AddInt("hash-bits", &hash_bits, "SMPC element hash width");
+  flags.AddInt("group-bits", &group_bits, "P-SOP group size");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Circuit-SMPC (GMW, %lld-bit hashes) vs P-SOP (%lld-bit commutative\n"
+              "encryption), two parties, intersection cardinality:\n\n",
+              (long long)hash_bits, (long long)group_bits);
+  const NetworkModel wan = WideAreaNetwork();
+  TextTable table({"n", "SMPC AND gates", "SMPC bytes/party", "SMPC time", "SMPC est. WAN",
+                   "P-SOP bytes/party", "P-SOP time", "P-SOP est. WAN"});
+  for (int64_t n = 50; n <= n_max; n *= 2) {
+    auto set0 = MakeSet(0, static_cast<size_t>(n));
+    auto set1 = MakeSet(1, static_cast<size_t>(n));
+
+    SmpcPsiOptions smpc;
+    smpc.hash_bits = static_cast<size_t>(hash_bits);
+    WallTimer smpc_timer;
+    auto smpc_result = RunSmpcIntersectionCardinality(set0, set1, smpc);
+    if (!smpc_result.ok()) {
+      std::fprintf(stderr, "%s\n", smpc_result.status().ToString().c_str());
+      return 1;
+    }
+    double smpc_seconds = smpc_timer.ElapsedSeconds();
+
+    PsopOptions psop;
+    psop.group_bits = static_cast<size_t>(group_bits);
+    WallTimer psop_timer;
+    auto psop_result = RunPsop({set0, set1}, psop);
+    if (!psop_result.ok()) {
+      std::fprintf(stderr, "%s\n", psop_result.status().ToString().c_str());
+      return 1;
+    }
+    double psop_seconds = psop_timer.ElapsedSeconds();
+    if (smpc_result->intersection != psop_result->intersection) {
+      std::fprintf(stderr, "protocol disagreement at n=%lld: %zu vs %zu\n", (long long)n,
+                   smpc_result->intersection, psop_result->intersection);
+      return 1;
+    }
+    // Cross-provider wall clock on a 100 Mbps / 50 ms WAN: SMPC pays a
+    // round-trip per AND layer; P-SOP pays 2k-1 = 3 dataset hops.
+    PartyStats smpc_stats = smpc_result->party_stats[0];
+    smpc_stats.compute_seconds = smpc_seconds;
+    PartyStats psop_stats = psop_result->party_stats[0];
+    psop_stats.compute_seconds = psop_seconds;
+    table.AddRow({std::to_string(n), std::to_string(smpc_result->and_gates),
+                  HumanBytes(static_cast<double>(smpc_result->party_stats[0].bytes_sent +
+                                                 smpc_result->party_stats[0].bytes_received)),
+                  HumanSeconds(smpc_seconds),
+                  HumanSeconds(wan.EstimateWallSeconds(smpc_stats, smpc_result->rounds)),
+                  HumanBytes(static_cast<double>(psop_result->party_stats[0].bytes_sent)),
+                  HumanSeconds(psop_seconds),
+                  HumanSeconds(wan.EstimateWallSeconds(psop_stats, 3))});
+  }
+  table.Print();
+  std::printf(
+      "\nSMPC's AND-gate count (and hence its triple preprocessing and traffic) grows\n"
+      "quadratically in n; doubling n quadruples the work. The WAN estimate adds the\n"
+      "cost in-process evaluation hides: one round-trip per AND layer for SMPC vs\n"
+      "three dataset hops for two-party P-SOP. This is the scaling wall (§4.2) that\n"
+      "led the paper to P-SOP.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Table 3: the three fat-tree topologies used by the SIA
+// performance evaluation (§6.3.1), generated and verified device-by-device.
+//
+//   bench_table3_topologies [--skip-largest]
+
+#include <cstdio>
+
+#include "src/topology/fat_tree.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+using namespace indaas;
+
+int main(int argc, char** argv) {
+  bool skip_largest = false;
+  FlagSet flags;
+  flags.AddBool("skip-largest", &skip_largest, "skip building topology C (48-port, 30k devices)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Table 3: Configurations of the generated topologies\n\n");
+  TextTable table({"", "Topology A", "Topology B", "Topology C"});
+  struct Row {
+    const char* label;
+    size_t values[3];
+  };
+  const uint32_t kPorts[3] = {16, 24, 48};
+  FatTreeStats stats[3];
+  double build_seconds[3] = {0, 0, 0};
+  size_t measured_total[3] = {0, 0, 0};
+  for (int t = 0; t < 3; ++t) {
+    stats[t] = FatTreeStatsFor(kPorts[t]);
+    if (t == 2 && skip_largest) {
+      continue;
+    }
+    WallTimer timer;
+    auto topo = BuildFatTree(kPorts[t]);
+    if (!topo.ok()) {
+      std::fprintf(stderr, "%s\n", topo.status().ToString().c_str());
+      return 1;
+    }
+    build_seconds[t] = timer.ElapsedSeconds();
+    measured_total[t] = topo->DeviceCount() - 1;  // minus the Internet sink
+  }
+  auto row = [&](const char* label, auto accessor) {
+    std::vector<std::string> cells{label};
+    for (int t = 0; t < 3; ++t) {
+      cells.push_back(std::to_string(accessor(stats[t])));
+    }
+    table.AddRow(cells);
+  };
+  row("# switch ports", [](const FatTreeStats& s) { return s.ports; });
+  row("# core routers", [](const FatTreeStats& s) { return s.core_routers; });
+  row("# agg switches", [](const FatTreeStats& s) { return s.agg_switches; });
+  row("# ToR switches", [](const FatTreeStats& s) { return s.tor_switches; });
+  row("# servers", [](const FatTreeStats& s) { return s.servers; });
+  row("Total # devices", [](const FatTreeStats& s) { return s.TotalDevices(); });
+  table.Print();
+
+  std::printf("\nVerification against generated topologies:\n");
+  for (int t = 0; t < 3; ++t) {
+    if (measured_total[t] == 0) {
+      std::printf("  Topology %c: skipped\n", 'A' + t);
+      continue;
+    }
+    bool match = measured_total[t] == stats[t].TotalDevices();
+    std::printf("  Topology %c: built %zu devices in %s — %s\n", 'A' + t, measured_total[t],
+                HumanSeconds(build_seconds[t]).c_str(), match ? "MATCHES Table 3" : "MISMATCH");
+    if (!match) {
+      return 1;
+    }
+  }
+  return 0;
+}

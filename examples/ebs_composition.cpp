@@ -1,0 +1,100 @@
+// Cross-service fault graph composition: the Amazon EBS outage scenario from
+// the paper's introduction (§1) and §4.1.1's aggregate dependency graphs.
+//
+// An application is replicated across three EC2 instances in separate racks —
+// all risk groups *look* like they have size three. But each instance mounts
+// volumes from the same EBS service, and inside EBS every replica chain
+// passes through one EBS control server. Composing the EBS fault graph into
+// the application's reveals the size-1 unexpected risk group that took down
+// US-East in the documented 2012 event.
+
+#include <cstdio>
+
+#include "src/graph/compose.h"
+#include "src/graph/fault_graph.h"
+#include "src/sia/ranking.h"
+#include "src/sia/risk_groups.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+namespace {
+
+std::string GroupNames(const FaultGraph& graph, const RiskGroup& group) {
+  std::vector<std::string> names;
+  for (NodeId id : group) {
+    names.push_back(graph.node(id).name);
+  }
+  return "{" + Join(names, ", ") + "}";
+}
+
+void PrintGroups(const char* title, const FaultGraph& graph,
+                 const std::vector<RiskGroup>& groups) {
+  std::printf("%s\n", title);
+  for (const auto& ranked : RankBySize(groups)) {
+    std::printf("  %s  (size %zu)\n", GroupNames(graph, ranked.group).c_str(),
+                ranked.group.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // The application's own view: three redundant EC2 instances; each fails if
+  // its host rack fails or its storage service ("EBS") fails. EBS appears as
+  // an opaque basic event — the application provider cannot see inside it.
+  FaultGraph app;
+  NodeId ebs = app.AddBasicEvent("EBS");
+  std::vector<NodeId> instances;
+  for (int i = 1; i <= 3; ++i) {
+    NodeId rack = app.AddBasicEvent(StrFormat("rack%d", i));
+    instances.push_back(
+        app.AddGate(StrFormat("ec2-instance%d fails", i), GateType::kOr, {rack, ebs}));
+  }
+  NodeId top = app.AddGate("application fails", GateType::kAnd, instances);
+  app.SetTopEvent(top);
+  if (!app.Validate().ok()) {
+    return 1;
+  }
+
+  auto naive = ComputeMinimalRiskGroups(app);
+  if (!naive.ok()) {
+    return 1;
+  }
+  PrintGroups("Application-level view (EBS opaque):", app, naive->groups);
+
+  // The EBS provider's own fault graph: two replicated storage backends, but
+  // both backends are managed through one control server.
+  FaultGraph ebs_graph;
+  NodeId control = ebs_graph.AddBasicEvent("ebs-control-server");
+  NodeId backend_a = ebs_graph.AddBasicEvent("ebs-backend-a");
+  NodeId backend_b = ebs_graph.AddBasicEvent("ebs-backend-b");
+  NodeId chain_a = ebs_graph.AddGate("chain a", GateType::kOr, {backend_a, control});
+  NodeId chain_b = ebs_graph.AddGate("chain b", GateType::kOr, {backend_b, control});
+  NodeId ebs_top = ebs_graph.AddGate("ebs fails", GateType::kAnd, {chain_a, chain_b});
+  ebs_graph.SetTopEvent(ebs_top);
+  if (!ebs_graph.Validate().ok()) {
+    return 1;
+  }
+
+  // Composition (§4.1.1): splice the EBS graph in place of the placeholder.
+  auto composed = ComposeFaultGraphs(app, {{"EBS", &ebs_graph}});
+  if (!composed.ok()) {
+    std::fprintf(stderr, "%s\n", composed.status().ToString().c_str());
+    return 1;
+  }
+  auto full = ComputeMinimalRiskGroups(*composed);
+  if (!full.ok()) {
+    return 1;
+  }
+  PrintGroups("Composed view (EBS internals spliced in):", *composed, full->groups);
+
+  std::printf(
+      "The opaque view shows only the intended 3-way risk groups (plus \"EBS\"\n"
+      "itself, whose internal redundancy the application provider trusted).\n"
+      "Composition exposes {ebs-control-server}: one machine, shared by every\n"
+      "storage chain, able to fail all three \"independent\" instances at once —\n"
+      "precisely the unexpected common dependency behind the 2012 US-East outage.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Network-dependency audit of a data center (the paper's first case study,
+// §6.2.1 / Fig. 6a): before deploying a replicated service, find the pair of
+// racks whose servers share the fewest network dependencies.
+//
+//   network_audit [--racks=20] [--rounds=100000] [--flows=60] [--sampling]
+
+#include <cstdio>
+
+#include "src/acquire/nsdminer_sim.h"
+#include "src/agent/agent.h"
+#include "src/topology/case_study.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+int main(int argc, char** argv) {
+  int64_t racks = 20;
+  int64_t rounds = 100000;
+  int64_t flows = 60;
+  bool sampling = false;
+  FlagSet flags;
+  flags.AddInt("racks", &racks, "candidate racks to compare");
+  flags.AddInt("rounds", &rounds, "failure sampling rounds");
+  flags.AddInt("flows", &flows, "traffic flows per server for NSDMiner");
+  flags.AddBool("sampling", &sampling, "use the sampling algorithm instead of minimal-RG");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Alice's data center: 33 ToRs, four core routers (b1,b2,c1,c2).
+  auto topo = BuildCaseStudyDatacenter(33, 1);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "%s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Data center: %zu devices, %zu links\n", topo->DeviceCount(), topo->LinkCount());
+
+  // Dependency acquisition: NSDMiner infers each server's routes from
+  // observed traffic.
+  NsdMinerSim miner(3);
+  Rng rng(1);
+  for (int64_t r = 1; r <= racks; ++r) {
+    auto generated = GenerateTraffic(*topo, StrFormat("rack%lld-srv1", (long long)r), "Internet",
+                                     static_cast<size_t>(flows), rng);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    miner.IngestFlows(*generated);
+  }
+
+  AuditingAgent agent;
+  agent.AddModule(&miner);
+
+  AuditSpecification spec;
+  for (int64_t a = 1; a <= racks; ++a) {
+    for (int64_t b = a + 1; b <= racks; ++b) {
+      spec.candidate_deployments.push_back({StrFormat("rack%lld-srv1", (long long)a),
+                                            StrFormat("rack%lld-srv1", (long long)b)});
+    }
+  }
+  spec.algorithm = sampling ? RgAlgorithm::kSampling : RgAlgorithm::kMinimal;
+  spec.sampling_rounds = static_cast<size_t>(rounds);
+  spec.sampling_bias = 0.1;
+  if (Status s = agent.AcquireDependencies(spec); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("DepDB: %zu network dependency records collected\n\n",
+              agent.depdb().NetworkCount());
+
+  auto report = agent.AuditStructural(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  size_t clean = 0;
+  for (const DeploymentAudit& audit : report->deployments) {
+    if (audit.unexpected_rgs == 0) {
+      ++clean;
+    }
+  }
+  std::printf("%zu two-way redundancy deployments audited.\n", report->deployments.size());
+  std::printf("%zu (%.0f%%) have no unexpected risk group.\n", clean,
+              100.0 * static_cast<double>(clean) / static_cast<double>(report->deployments.size()));
+  std::printf("A random rack choice avoids correlated failures with probability %.0f%%;\n"
+              "the INDaaS report makes it a certainty.\n\n",
+              100.0 * static_cast<double>(clean) / static_cast<double>(report->deployments.size()));
+  if (report->deployments.size() > 5) {
+    report->deployments.resize(5);  // Show the head of the ranking only.
+  }
+  std::printf("Top-ranked deployments:\n%s",
+              RenderSiaReport(*report, /*top_rgs_per_deployment=*/2).c_str());
+  return 0;
+}

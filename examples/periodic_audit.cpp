@@ -1,0 +1,79 @@
+// Periodic auditing (paper §2: "Alice might also request periodic audits on
+// a deployed configuration to identify correlated failure risks that
+// configuration changes or evolution might introduce").
+//
+// Week 1: a healthy two-server deployment, each server dual-homed through
+// its own switch. Week 2: an operator "simplifies" the cabling and both
+// servers now uplink through the same switch. The periodic audit diffs the
+// two reports and flags the regression — a brand-new single-component risk
+// group — before the switch ever fails.
+
+#include <cstdio>
+
+#include "src/agent/report_diff.h"
+#include "src/agent/sia_audit.h"
+#include "src/deps/depdb.h"
+
+using namespace indaas;
+
+namespace {
+
+DepDb Week1Configuration() {
+  DepDb db;
+  // Independent uplinks: S1 via SwitchA, S2 via SwitchB, both dual-cored.
+  db.Add(NetworkDependency{"S1", "Internet", {"SwitchA", "Core1"}});
+  db.Add(NetworkDependency{"S1", "Internet", {"SwitchA", "Core2"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"SwitchB", "Core1"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"SwitchB", "Core2"}});
+  db.Add(SoftwareDependency{"riak1", "S1", {"libc6=2.13", "erlang=15b"}});
+  db.Add(SoftwareDependency{"riak2", "S2", {"libc6=2.13", "erlang=15b"}});
+  return db;
+}
+
+DepDb Week2Configuration() {
+  DepDb db;
+  // The re-cabling: S2 now shares SwitchA with S1.
+  db.Add(NetworkDependency{"S1", "Internet", {"SwitchA", "Core1"}});
+  db.Add(NetworkDependency{"S1", "Internet", {"SwitchA", "Core2"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"SwitchA", "Core1"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"SwitchA", "Core2"}});
+  db.Add(SoftwareDependency{"riak1", "S1", {"libc6=2.13", "erlang=15b"}});
+  db.Add(SoftwareDependency{"riak2", "S2", {"libc6=2.13", "erlang=15b"}});
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  AuditSpecification spec;
+  spec.candidate_deployments = {{"S1", "S2"}};
+
+  DepDb week1 = Week1Configuration();
+  auto report1 = RunSiaAudit(week1, spec);
+  if (!report1.ok()) {
+    std::fprintf(stderr, "%s\n", report1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Week 1 audit ===\n%s\n", RenderSiaReport(*report1).c_str());
+
+  DepDb week2 = Week2Configuration();
+  auto report2 = RunSiaAudit(week2, spec);
+  if (!report2.ok()) {
+    std::fprintf(stderr, "%s\n", report2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Week 2 audit (after the re-cabling) ===\n%s\n",
+              RenderSiaReport(*report2).c_str());
+
+  AuditDiff diff = DiffSiaReports(*report1, *report2);
+  std::printf("=== Periodic audit diff ===\n%s", RenderAuditDiff(diff).c_str());
+  if (diff.HasRegressions()) {
+    std::printf(
+        "\nThe re-cabling silently created a single-switch risk group. A periodic\n"
+        "audit catches it as a regression the week it appears — not in the\n"
+        "postmortem after SwitchA takes both replicas down.\n");
+    return 0;
+  }
+  std::printf("no regressions (unexpected for this scenario)\n");
+  return 1;
+}

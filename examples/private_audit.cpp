@@ -1,0 +1,77 @@
+// Private independence audit across distrustful cloud providers (the paper's
+// third case study, §6.2.3 / Fig. 6c / Table 2): four clouds run Riak,
+// MongoDB, Redis and CouchDB; the P-SOP protocol ranks every 2-way and 3-way
+// redundancy deployment by Jaccard similarity without any provider revealing
+// its dependency data.
+//
+//   private_audit [--minhash] [--m=256] [--group-bits=768]
+
+#include <cstdio>
+
+#include "src/acquire/apt_sim.h"
+#include "src/agent/agent.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+int main(int argc, char** argv) {
+  bool minhash = false;
+  int64_t m = 256;
+  int64_t group_bits = 768;
+  FlagSet flags;
+  flags.AddBool("minhash", &minhash, "use MinHash compression before P-SOP");
+  flags.AddInt("m", &m, "MinHash sample size");
+  flags.AddInt("group-bits", &group_bits, "commutative-encryption group size (768/1024/1536/2048)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Each provider collects its software dependency closure with the
+  // apt-rdepends module and normalizes package identifiers (§4.2.3).
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  const std::pair<const char*, const char*> clouds[] = {
+      {"Cloud1", "riak"},
+      {"Cloud2", "mongodb-server"},
+      {"Cloud3", "redis-server"},
+      {"Cloud4", "couchdb"},
+  };
+  std::vector<CloudProvider> providers;
+  for (const auto& [cloud, program] : clouds) {
+    auto closure = universe.Closure(program);
+    if (!closure.ok()) {
+      std::fprintf(stderr, "%s\n", closure.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s runs %-15s (%3zu packages in its dependency closure)\n", cloud, program,
+                closure->size());
+    providers.push_back({cloud, std::move(closure).value()});
+  }
+
+  PiaAuditOptions options;
+  options.method = minhash ? PiaMethod::kPsopMinHash : PiaMethod::kPsopExact;
+  options.minhash_m = static_cast<size_t>(m);
+  options.psop.group_bits = static_cast<size_t>(group_bits);
+
+  AuditingAgent agent;
+  auto report = agent.AuditPrivate(providers, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", RenderPiaReport(*report).c_str());
+
+  std::printf("Protocol cost per provider (all deployments):\n");
+  for (size_t i = 0; i < providers.size(); ++i) {
+    const PartyStats& stats = report->provider_stats[i];
+    std::printf("  %s: sent %s, %zu encryptions, %s CPU\n", providers[i].name.c_str(),
+                HumanBytes(static_cast<double>(stats.bytes_sent)).c_str(), stats.encrypt_ops,
+                HumanSeconds(stats.compute_seconds).c_str());
+  }
+  std::printf(
+      "\nThe most independent 2-way deployment is %s — no provider revealed\n"
+      "a single component name to anyone.\n",
+      Join(report->rankings[0][0].providers, " & ").c_str());
+  return 0;
+}

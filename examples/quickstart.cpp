@@ -1,0 +1,99 @@
+// Quickstart: audit the independence of a small redundant deployment.
+//
+// Builds the paper's Figure 4(a) example — two systems E1 {A1,A2} and
+// E2 {A2,A3} — plus the weighted Figure 4(b) variant, determines the risk
+// groups with both algorithms, ranks them, and prints the report.
+
+#include <cstdio>
+
+#include "src/graph/levels.h"
+#include "src/sia/ranking.h"
+#include "src/sia/risk_groups.h"
+#include "src/sia/sampling.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+namespace {
+
+std::string GroupNames(const FaultGraph& graph, const RiskGroup& group) {
+  std::vector<std::string> names;
+  for (NodeId id : group) {
+    names.push_back(graph.node(id).name);
+  }
+  return "{" + Join(names, ", ") + "}";
+}
+
+}  // namespace
+
+int main() {
+  // 1. Describe each redundant system's dependencies as a component set.
+  std::vector<ComponentSet> systems = {
+      {"E1", {"A1", "A2"}},
+      {"E2", {"A2", "A3"}},
+  };
+  std::printf("Auditing a 2-way redundant deployment:\n");
+  std::printf("  E1 depends on {A1, A2};  E2 depends on {A2, A3}\n\n");
+
+  // 2. Shared components are the red flags.
+  for (const std::string& shared : SharedComponents(systems)) {
+    std::printf("Shared component: %s (potential correlated failure!)\n", shared.c_str());
+  }
+
+  // 3. Build the AND-of-ORs fault graph and compute the minimal risk groups.
+  auto graph = BuildFromComponentSets(systems);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto exact = ComputeMinimalRiskGroups(*graph);
+  if (!exact.ok()) {
+    std::fprintf(stderr, "minimal RG failed: %s\n", exact.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nMinimal risk groups (exact algorithm):\n");
+  for (const auto& ranked : RankBySize(exact->groups)) {
+    std::printf("  %s  (size %zu)\n", GroupNames(*graph, ranked.group).c_str(),
+                ranked.group.size());
+  }
+
+  // 4. The linear-time sampling algorithm finds the same groups here.
+  SamplingOptions sampling;
+  sampling.rounds = 50000;
+  sampling.failure_bias = 0.2;
+  sampling.shrink = ShrinkMode::kGreedy;
+  auto sampled = SampleRiskGroups(*graph, sampling);
+  if (!sampled.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n", sampled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nSampling algorithm (%zu rounds, %zu failing) found %zu groups.\n",
+              sampled->rounds_executed, sampled->failing_rounds, sampled->groups.size());
+
+  // 5. With failure probabilities (Fig. 4b: A1=0.1, A2=0.2, A3=0.3) the
+  //    groups can be ranked by relative importance (paper §4.1.3).
+  std::vector<FaultSet> weighted = {
+      {"E1", {{"A1", 0.1}, {"A2", 0.2}}},
+      {"E2", {{"A2", 0.2}, {"A3", 0.3}}},
+  };
+  auto wgraph = BuildFromFaultSets(weighted);
+  if (!wgraph.ok()) {
+    return 1;
+  }
+  auto wgroups = ComputeMinimalRiskGroups(*wgraph);
+  if (!wgroups.ok()) {
+    return 1;
+  }
+  auto ranking = RankByImportance(*wgraph, wgroups->groups);
+  if (!ranking.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n", ranking.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nWeighted ranking (Pr(outage) = %.4f):\n", ranking->top_event_prob);
+  for (const auto& entry : ranking->ranked) {
+    std::printf("  %s  importance %.4f\n", GroupNames(*wgraph, entry.group).c_str(), entry.score);
+  }
+  std::printf("\nA2 dominates the outage risk: replacing it with independent\n"
+              "per-system components is the fix INDaaS would suggest.\n");
+  return 0;
+}

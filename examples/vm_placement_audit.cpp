@@ -1,0 +1,117 @@
+// Hardware-dependency audit of an IaaS cloud (the paper's second case study,
+// §6.2.2 / Fig. 6b): OpenStack-style placement silently co-locates two
+// redundant Riak VMs; the audit exposes the shared server as a size-1 risk
+// group, and an anti-affinity re-deployment fixes it.
+//
+//   vm_placement_audit [--seed=1]
+
+#include <cstdio>
+
+#include "src/acquire/lshw_sim.h"
+#include "src/acquire/nsdminer_sim.h"
+#include "src/sia/builder.h"
+#include "src/sia/ranking.h"
+#include "src/sia/risk_groups.h"
+#include "src/topology/case_study.h"
+#include "src/topology/placement.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+using namespace indaas;
+
+namespace {
+
+// Runs placement + acquisition + audit for one policy; returns the minimal
+// RGs of the resulting {VM7, VM8} Riak deployment.
+Result<std::vector<std::string>> AuditPlacement(const DataCenterTopology& topo,
+                                                PlacementPolicy policy, uint64_t seed,
+                                                std::string* where) {
+  std::vector<PlacementHost> hosts = {{"Server1", 2}, {"Server2", 10}, {"Server3", 2},
+                                      {"Server4", 2}};
+  std::vector<VmRequest> vms;
+  for (int i = 1; i <= 6; ++i) {
+    vms.push_back({StrFormat("VM%d", i), ""});
+  }
+  vms.push_back({"VM7", "riak"});
+  vms.push_back({"VM8", "riak"});
+  Rng rng(seed);
+  INDAAS_ASSIGN_OR_RETURN(PlacementResult placement, PlaceVms(vms, hosts, policy, rng));
+  *where = StrFormat("VM7 -> %s, VM8 -> %s", hosts[placement.assignment[6]].name.c_str(),
+                     hosts[placement.assignment[7]].name.c_str());
+
+  LshwSim lshw;
+  NsdMinerSim miner(2);
+  Rng traffic_rng(seed + 1);
+  DepDb db;
+  for (size_t v = 6; v < 8; ++v) {
+    const std::string& vm = vms[v].name;
+    const std::string& host = hosts[placement.assignment[v]].name;
+    lshw.RegisterMachine(vm, LshwSim::RandomSpec(traffic_rng));
+    lshw.RegisterSharedComponent(vm, "Host", host);
+    INDAAS_ASSIGN_OR_RETURN(std::vector<FlowRecord> flows,
+                            GenerateTraffic(topo, host, "Internet", 50, traffic_rng));
+    for (FlowRecord flow : flows) {
+      flow.src = vm;
+      miner.IngestFlow(flow);
+    }
+  }
+  INDAAS_RETURN_IF_ERROR(RunAcquisition({&lshw, &miner}, {"VM7", "VM8"}, db));
+
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph graph, BuildDeploymentFaultGraph(db, {"VM7", "VM8"}));
+  INDAAS_ASSIGN_OR_RETURN(MinimalRgResult groups, ComputeMinimalRiskGroups(graph));
+  std::vector<std::string> lines;
+  for (const auto& ranked : RankBySize(groups.groups)) {
+    std::vector<std::string> names;
+    for (NodeId id : ranked.group) {
+      names.push_back(graph.node(id).name);
+    }
+    lines.push_back("{" + Join(names, " & ") + "}");
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seed = 1;
+  FlagSet flags;
+  flags.AddInt("seed", &seed, "placement RNG seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto topo = BuildLabCloud();
+  if (!topo.ok()) {
+    std::fprintf(stderr, "%s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Lab IaaS cloud: 4 servers, 2 ToR switches, 2 core routers.\n");
+  std::printf("Deploying Riak redundantly on VM7 and VM8...\n\n");
+
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kLeastLoadedRandom, PlacementPolicy::kAntiAffinity}) {
+    std::string where;
+    auto groups = AuditPlacement(*topo, policy, static_cast<uint64_t>(seed), &where);
+    if (!groups.ok()) {
+      std::fprintf(stderr, "%s\n", groups.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Placement policy: %s\n", PlacementPolicyName(policy));
+    std::printf("  %s\n", where.c_str());
+    std::printf("  Top risk groups:\n");
+    size_t shown = 0;
+    for (const std::string& group : *groups) {
+      std::printf("    %s\n", group.c_str());
+      if (++shown == 4) {
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Under the OpenStack-like policy both replicas land on Server2, whose\n"
+      "failure alone would take Riak down — exactly the unexpected risk group\n"
+      "the paper's case study caught. The anti-affinity re-deployment removes\n"
+      "the single-server RG.\n");
+  return 0;
+}

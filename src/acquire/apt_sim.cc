@@ -1,0 +1,192 @@
+#include "src/acquire/apt_sim.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+Status PackageUniverse::AddPackage(const std::string& name, const std::string& version,
+                                   std::vector<std::string> depends) {
+  if (name.empty()) {
+    return InvalidArgumentError("AddPackage: empty package name");
+  }
+  auto [it, inserted] = packages_.emplace(name, Package{version, std::move(depends)});
+  if (!inserted) {
+    return AlreadyExistsError("AddPackage: duplicate package '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+bool PackageUniverse::Contains(const std::string& name) const {
+  return packages_.count(name) != 0;
+}
+
+Result<std::string> PackageUniverse::VersionOf(const std::string& name) const {
+  auto it = packages_.find(name);
+  if (it == packages_.end()) {
+    return NotFoundError("no package '" + name + "'");
+  }
+  return it->second.version;
+}
+
+Result<std::vector<std::string>> PackageUniverse::DirectDeps(const std::string& name) const {
+  auto it = packages_.find(name);
+  if (it == packages_.end()) {
+    return NotFoundError("no package '" + name + "'");
+  }
+  return it->second.depends;
+}
+
+Result<std::vector<std::string>> PackageUniverse::Closure(const std::string& name) const {
+  auto root = packages_.find(name);
+  if (root == packages_.end()) {
+    return NotFoundError("no package '" + name + "'");
+  }
+  std::set<std::string> visited{name};
+  std::vector<std::string> stack(root->second.depends);
+  std::set<std::string> closure;
+  while (!stack.empty()) {
+    std::string pkg = std::move(stack.back());
+    stack.pop_back();
+    if (!visited.insert(pkg).second) {
+      continue;
+    }
+    auto it = packages_.find(pkg);
+    if (it == packages_.end()) {
+      return NotFoundError("package '" + name + "' depends on unknown package '" + pkg + "'");
+    }
+    closure.insert(pkg + "=" + it->second.version);
+    stack.insert(stack.end(), it->second.depends.begin(), it->second.depends.end());
+  }
+  return std::vector<std::string>(closure.begin(), closure.end());
+}
+
+namespace {
+
+// Adds a chain of `names` to `universe`: names[i] depends on names[i+1].
+// Returns the chain head. Versions are derived deterministically.
+std::string AddChain(PackageUniverse& universe, const std::vector<std::string>& names) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> deps;
+    if (i + 1 < names.size()) {
+      deps.push_back(names[i + 1]);
+    }
+    std::string version = StrFormat("%zu.%zu-%zu", 1 + names[i].size() % 3, i % 10, 1 + i % 5);
+    (void)universe.AddPackage(names[i], version, std::move(deps));
+  }
+  return names.front();
+}
+
+// Generates `count` names with the given stem: stem0, stem1, ...
+std::vector<std::string> Fill(const std::string& stem, size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    names.push_back(StrFormat("%s%zu", stem.c_str(), i));
+  }
+  return names;
+}
+
+}  // namespace
+
+PackageUniverse PackageUniverse::KeyValueStoreUniverse() {
+  // Block structure calibrated against Table 2 (see DESIGN.md): block sizes
+  // chosen so all ten pairwise/triple Jaccard similarities land within ~0.01
+  // of the paper's measured values and every ranking matches.
+  PackageUniverse universe;
+
+  // CORE (12): shared by all four stores — the Debian base set.
+  std::string core = AddChain(
+      universe, {"libc6", "libgcc1", "libstdc++6", "zlib1g", "libssl1.0.0", "libtinfo5",
+                 "multiarch-support", "gcc-4.7-base", "libbz2-1.0", "libselinux1", "debconf",
+                 "dpkg"});
+
+  // P12 (25): Riak & MongoDB — storage-engine and tooling stack
+  // (snappy/leveldb, python utils, curl chain).
+  std::vector<std::string> p12_names = {"libsnappy1", "libleveldb1", "libcurl3",
+                                        "libgssapi-krb5-2", "libkrb5-3", "python2.7",
+                                        "libpython2.7", "python-pymongo-ish"};
+  for (const auto& n : Fill("libdbtool", 17)) {
+    p12_names.push_back(n);
+  }
+  std::string p12 = AddChain(universe, p12_names);
+
+  // P13 (7): Riak & Redis — shared admin/runtime utilities.
+  std::string p13 = AddChain(universe, {"libjemalloc1", "liblua5.1-0", "libatomic-ops",
+                                        "daemontools-ish", "libev4", "libuuid1-kv", "logrotate-kv"});
+
+  // P14 (2): Riak & CouchDB — Erlang runtime core.
+  std::string p14 = AddChain(universe, {"erlang-base", "erlang-crypto"});
+
+  // P34 (17): Redis & CouchDB — event/web support stack.
+  std::vector<std::string> p34_names = {"libicu48", "libmozjs-ish", "libnspr4"};
+  for (const auto& n : Fill("libwebstack", 14)) {
+    p34_names.push_back(n);
+  }
+  std::string p34 = AddChain(universe, p34_names);
+
+  // Triple blocks.
+  std::string t123 = AddChain(universe, Fill("libcommonkv", 6));   // Riak+Mongo+Redis
+  std::string t124 = AddChain(universe, Fill("libstorcom", 7));    // Riak+Mongo+Couch
+  std::string t134 = AddChain(universe, Fill("libclustr", 6));     // Riak+Redis+Couch
+
+  // Unique blocks.
+  std::vector<std::string> u1_names = {"erlang-riak-core", "libriak-pb", "riak-bitcask"};
+  for (const auto& n : Fill("libriakx", 11)) {
+    u1_names.push_back(n);
+  }
+  std::string u1 = AddChain(universe, u1_names);  // 14
+
+  std::vector<std::string> u2_names = {"libboost-filesystem", "libboost-program-options",
+                                       "libboost-system", "libboost-thread", "libv8-mongo",
+                                       "libpcap0.8-mongo"};
+  for (const auto& n : Fill("libmongox", 14)) {
+    u2_names.push_back(n);
+  }
+  std::string u2 = AddChain(universe, u2_names);  // 20
+
+  std::vector<std::string> u3_names = {"redis-tools"};
+  for (const auto& n : Fill("libredisx", 8)) {
+    u3_names.push_back(n);
+  }
+  std::string u3 = AddChain(universe, u3_names);  // 9
+
+  std::vector<std::string> u4_names = {"couchdb-bin", "erlang-couch-index", "libmozjs185-couch"};
+  for (const auto& n : Fill("libcouchx", 31)) {
+    u4_names.push_back(n);
+  }
+  std::string u4 = AddChain(universe, u4_names);  // 34
+
+  // Top-level programs, each pulling in its blocks via the chain heads.
+  (void)universe.AddPackage("riak", "1.4.8-1", {core, p12, p13, p14, t123, t124, t134, u1});
+  (void)universe.AddPackage("mongodb-server", "2.4.9-1", {core, p12, t123, t124, u2});
+  (void)universe.AddPackage("redis-server", "2.8.6-1", {core, p13, p34, t123, t134, u3});
+  (void)universe.AddPackage("couchdb", "1.5.0-1", {core, p14, p34, t124, t134, u4});
+  return universe;
+}
+
+Status AptRdependsSim::InstallProgram(const std::string& host, const std::string& pgm) {
+  if (universe_ == nullptr || !universe_->Contains(pgm)) {
+    return NotFoundError("apt-rdepends-sim: unknown program '" + pgm + "'");
+  }
+  installed_.emplace(host, pgm);
+  return Status::Ok();
+}
+
+Result<std::vector<DependencyRecord>> AptRdependsSim::Collect(const std::string& host) const {
+  std::vector<DependencyRecord> out;
+  auto [begin, end] = installed_.equal_range(host);
+  for (auto it = begin; it != end; ++it) {
+    INDAAS_ASSIGN_OR_RETURN(std::vector<std::string> closure, universe_->Closure(it->second));
+    SoftwareDependency dep;
+    dep.pgm = it->second;
+    dep.hw = host;
+    dep.deps = std::move(closure);
+    out.push_back(std::move(dep));
+  }
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,19 @@
+#include "src/acquire/dam.h"
+
+namespace indaas {
+
+Status RunAcquisition(const std::vector<const DependencyAcquisitionModule*>& modules,
+                      const std::vector<std::string>& hosts, DepDb& db) {
+  for (const std::string& host : hosts) {
+    for (const DependencyAcquisitionModule* module : modules) {
+      if (module == nullptr) {
+        return InvalidArgumentError("RunAcquisition: null module");
+      }
+      INDAAS_ASSIGN_OR_RETURN(std::vector<DependencyRecord> records, module->Collect(host));
+      db.AddAll(records);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace indaas

@@ -1,0 +1,39 @@
+// Pluggable dependency acquisition module (DAM) interface (paper §3).
+//
+// Each data source runs DAMs that collect raw dependency data and adapt it to
+// the uniform Table 1 record format, to be stored in DepDB. The prototype
+// modules mirror the paper's choices: NSDMiner (network), lshw (hardware) and
+// apt-rdepends (software) — here as simulators driven by synthetic
+// infrastructure, exercising the same record-production code paths.
+
+#ifndef SRC_ACQUIRE_DAM_H_
+#define SRC_ACQUIRE_DAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deps/depdb.h"
+#include "src/deps/record.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+class DependencyAcquisitionModule {
+ public:
+  virtual ~DependencyAcquisitionModule() = default;
+
+  // Human-readable module name ("nsdminer-sim", ...).
+  virtual std::string Name() const = 0;
+
+  // Collects all dependency records for one host.
+  virtual Result<std::vector<DependencyRecord>> Collect(const std::string& host) const = 0;
+};
+
+// Runs every module against every host and stores the results in `db`.
+// Mirrors §3's flow: collect -> adapt -> store in DepDB.
+Status RunAcquisition(const std::vector<const DependencyAcquisitionModule*>& modules,
+                      const std::vector<std::string>& hosts, DepDb& db);
+
+}  // namespace indaas
+
+#endif  // SRC_ACQUIRE_DAM_H_

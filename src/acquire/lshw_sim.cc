@@ -1,0 +1,59 @@
+#include "src/acquire/lshw_sim.h"
+
+namespace indaas {
+namespace {
+
+constexpr const char* kCpuModels[] = {
+    "Intel(R)X5550@2.6GHz", "Intel(R)E5-2670@2.6GHz", "Intel(R)E5645@2.4GHz",
+    "AMD-Opteron-6274@2.2GHz"};
+constexpr const char* kDiskModels[] = {"SED900", "WD2003FYYS", "ST31000524NS", "Intel-SSD-320"};
+constexpr const char* kRamModels[] = {"DDR3-1333-ECC-8GB", "DDR3-1600-ECC-16GB"};
+constexpr const char* kNicModels[] = {"Intel-82599ES-10GbE", "Broadcom-BCM5709-1GbE"};
+
+template <size_t N>
+const char* Pick(const char* const (&models)[N], Rng& rng) {
+  return models[rng.NextBelow(N)];
+}
+
+}  // namespace
+
+void LshwSim::RegisterMachine(const std::string& host, const MachineSpec& spec) {
+  machines_[host] = spec;
+}
+
+void LshwSim::RegisterSharedComponent(const std::string& host, const std::string& type,
+                                      const std::string& component_id) {
+  shared_.emplace(host, std::make_pair(type, component_id));
+}
+
+MachineSpec LshwSim::RandomSpec(Rng& rng) {
+  MachineSpec spec;
+  spec.cpu_model = Pick(kCpuModels, rng);
+  spec.disk_model = Pick(kDiskModels, rng);
+  spec.ram_model = Pick(kRamModels, rng);
+  spec.nic_model = Pick(kNicModels, rng);
+  return spec;
+}
+
+Result<std::vector<DependencyRecord>> LshwSim::Collect(const std::string& host) const {
+  std::vector<DependencyRecord> out;
+  auto it = machines_.find(host);
+  if (it != machines_.end()) {
+    const MachineSpec& spec = it->second;
+    // Host-prefixed identities, matching Figure 3's "S1-Intel(R)X5550@2.6GHz".
+    out.push_back(HardwareDependency{host, "CPU", host + "-" + spec.cpu_model});
+    out.push_back(HardwareDependency{host, "Disk", host + "-" + spec.disk_model});
+    out.push_back(HardwareDependency{host, "RAM", host + "-" + spec.ram_model});
+    out.push_back(HardwareDependency{host, "NIC", host + "-" + spec.nic_model});
+  }
+  auto [begin, end] = shared_.equal_range(host);
+  for (auto shared_it = begin; shared_it != end; ++shared_it) {
+    out.push_back(HardwareDependency{host, shared_it->second.first, shared_it->second.second});
+  }
+  if (out.empty()) {
+    return NotFoundError("lshw-sim: unknown machine '" + host + "'");
+  }
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,55 @@
+// HardwareLister (lshw) simulator: hardware inventory per machine.
+//
+// Emits Table 1 hardware records like the paper's Figure 3, e.g.
+//   <hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>
+// Physical components owned by one machine are prefixed with the host name
+// (they can only be shared through colocation, e.g. two VMs on one server);
+// explicitly registered *shared* components (SAN volumes, PDUs, power
+// sources) keep a global identity and create cross-host hardware RGs.
+
+#ifndef SRC_ACQUIRE_LSHW_SIM_H_
+#define SRC_ACQUIRE_LSHW_SIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/acquire/dam.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+
+struct MachineSpec {
+  std::string cpu_model;
+  std::string disk_model;
+  std::string ram_model;
+  std::string nic_model;
+};
+
+class LshwSim : public DependencyAcquisitionModule {
+ public:
+  std::string Name() const override { return "lshw-sim"; }
+
+  // Registers a machine; Collect() will emit one record per component.
+  void RegisterMachine(const std::string& host, const MachineSpec& spec);
+
+  // Registers a component shared across machines (identity is `component_id`
+  // itself, not host-prefixed), e.g. a SAN disk or a power distribution unit.
+  void RegisterSharedComponent(const std::string& host, const std::string& type,
+                               const std::string& component_id);
+
+  // Draws a plausible spec from small catalogs of real-world models.
+  static MachineSpec RandomSpec(Rng& rng);
+
+  Result<std::vector<DependencyRecord>> Collect(const std::string& host) const override;
+
+  size_t MachineCount() const { return machines_.size(); }
+
+ private:
+  std::map<std::string, MachineSpec> machines_;
+  std::multimap<std::string, std::pair<std::string, std::string>> shared_;  // host -> (type, id)
+};
+
+}  // namespace indaas
+
+#endif  // SRC_ACQUIRE_LSHW_SIM_H_

@@ -1,0 +1,49 @@
+#include "src/acquire/nsdminer_sim.h"
+
+namespace indaas {
+
+Result<std::vector<FlowRecord>> GenerateTraffic(const DataCenterTopology& topo,
+                                                const std::string& src_name,
+                                                const std::string& dst_name, size_t num_flows,
+                                                Rng& rng, size_t max_paths) {
+  INDAAS_ASSIGN_OR_RETURN(DeviceId src, topo.FindDevice(src_name));
+  INDAAS_ASSIGN_OR_RETURN(DeviceId dst, topo.FindDevice(dst_name));
+  std::vector<NetworkDependency> routes = topo.NetworkDependencies(src, dst, max_paths);
+  if (routes.empty()) {
+    return NotFoundError("GenerateTraffic: no route from " + src_name + " to " + dst_name);
+  }
+  std::vector<FlowRecord> flows;
+  flows.reserve(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) {
+    const NetworkDependency& route = routes[rng.NextBelow(routes.size())];
+    flows.push_back(FlowRecord{route.src, route.dst, route.route});
+  }
+  return flows;
+}
+
+void NsdMinerSim::IngestFlow(const FlowRecord& flow) {
+  ++total_flows_;
+  ++route_counts_[RouteKey{flow.src, flow.dst, flow.route}];
+}
+
+void NsdMinerSim::IngestFlows(const std::vector<FlowRecord>& flows) {
+  for (const FlowRecord& flow : flows) {
+    IngestFlow(flow);
+  }
+}
+
+Result<std::vector<DependencyRecord>> NsdMinerSim::Collect(const std::string& host) const {
+  std::vector<DependencyRecord> out;
+  for (const auto& [key, count] : route_counts_) {
+    if (key.src == host && count >= min_flow_count_) {
+      NetworkDependency dep;
+      dep.src = key.src;
+      dep.dst = key.dst;
+      dep.route = key.route;
+      out.push_back(std::move(dep));
+    }
+  }
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,70 @@
+// NSDMiner simulator: traffic-flow-based network dependency discovery.
+//
+// Real NSDMiner observes traffic flows and infers which network paths a
+// service depends on. The simulator ingests synthetic flow records (generated
+// by routing traffic through a DataCenterTopology) and, like the real tool,
+// reports a (src, dst, route) dependency only once the route has been
+// observed at least `min_flow_count` times — rare misrouted flows are treated
+// as noise, so discovery is deliberately imperfect (the paper reports ~90%
+// dependency coverage).
+
+#ifndef SRC_ACQUIRE_NSDMINER_SIM_H_
+#define SRC_ACQUIRE_NSDMINER_SIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/acquire/dam.h"
+#include "src/topology/datacenter.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+
+// One observed traffic flow and the path it took.
+struct FlowRecord {
+  std::string src;
+  std::string dst;
+  std::vector<std::string> route;  // intermediate devices
+};
+
+// Samples `num_flows` flows from `src_name` to `dst_name`, choosing uniformly
+// among the first `max_paths` ECMP routes for each flow.
+Result<std::vector<FlowRecord>> GenerateTraffic(const DataCenterTopology& topo,
+                                                const std::string& src_name,
+                                                const std::string& dst_name, size_t num_flows,
+                                                Rng& rng, size_t max_paths = 16);
+
+class NsdMinerSim : public DependencyAcquisitionModule {
+ public:
+  // Routes seen fewer than `min_flow_count` times are dropped as noise.
+  explicit NsdMinerSim(size_t min_flow_count = 3) : min_flow_count_(min_flow_count) {}
+
+  std::string Name() const override { return "nsdminer-sim"; }
+
+  void IngestFlow(const FlowRecord& flow);
+  void IngestFlows(const std::vector<FlowRecord>& flows);
+
+  // Network dependencies of `host`: every sufficiently-observed route
+  // originating there.
+  Result<std::vector<DependencyRecord>> Collect(const std::string& host) const override;
+
+  size_t FlowCount() const { return total_flows_; }
+
+ private:
+  struct RouteKey {
+    std::string src;
+    std::string dst;
+    std::vector<std::string> route;
+    bool operator<(const RouteKey& other) const {
+      return std::tie(src, dst, route) < std::tie(other.src, other.dst, other.route);
+    }
+  };
+  size_t min_flow_count_;
+  size_t total_flows_ = 0;
+  std::map<RouteKey, size_t> route_counts_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_ACQUIRE_NSDMINER_SIM_H_

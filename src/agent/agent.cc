@@ -1,0 +1,56 @@
+#include "src/agent/agent.h"
+
+#include <set>
+
+#include "src/graph/compose.h"
+#include "src/sia/builder.h"
+#include "src/sia/ranking.h"
+
+namespace indaas {
+
+void AuditingAgent::AddModule(const DependencyAcquisitionModule* module) {
+  modules_.push_back(module);
+}
+
+Status AuditingAgent::AcquireDependencies(const AuditSpecification& spec) {
+  std::set<std::string> hosts;
+  for (const auto& deployment : spec.candidate_deployments) {
+    hosts.insert(deployment.begin(), deployment.end());
+  }
+  if (hosts.empty()) {
+    return InvalidArgumentError("AcquireDependencies: specification names no hosts");
+  }
+  return RunAcquisition(modules_, std::vector<std::string>(hosts.begin(), hosts.end()), db_);
+}
+
+Result<SiaAuditReport> AuditingAgent::AuditStructural(const AuditSpecification& spec) const {
+  return RunSiaAudit(db_, spec, prob_model_);
+}
+
+Result<PiaAuditReport> AuditingAgent::AuditPrivate(const std::vector<CloudProvider>& providers,
+                                                   const PiaAuditOptions& options) const {
+  return RunPiaAudit(providers, options);
+}
+
+Result<std::vector<std::vector<std::string>>> AuditingAgent::AuditComposedDeployment(
+    const std::vector<std::string>& servers,
+    const std::map<std::string, const FaultGraph*>& services) const {
+  BuildOptions build;
+  build.prob_model = prob_model_;
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph deployment, BuildDeploymentFaultGraph(db_, servers, build));
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph composed, ComposeFaultGraphs(deployment, services));
+  INDAAS_ASSIGN_OR_RETURN(MinimalRgResult groups, ComputeMinimalRiskGroups(composed));
+  std::vector<std::vector<std::string>> named;
+  named.reserve(groups.groups.size());
+  for (const auto& ranked : RankBySize(groups.groups)) {
+    std::vector<std::string> names;
+    names.reserve(ranked.group.size());
+    for (NodeId id : ranked.group) {
+      names.push_back(composed.node(id).name);
+    }
+    named.push_back(std::move(names));
+  }
+  return named;
+}
+
+}  // namespace indaas

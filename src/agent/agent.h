@@ -1,0 +1,70 @@
+// The auditing agent facade (paper §2, Figure 1).
+//
+// Mediates between the auditing client and the data sources: issues
+// acquisition requests (Step 2-3), runs SIA over the collected DepDB
+// (Steps 5-6) or supervises PIA across provider component-sets (Step 4),
+// and returns the auditing report.
+
+#ifndef SRC_AGENT_AGENT_H_
+#define SRC_AGENT_AGENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/acquire/dam.h"
+#include "src/agent/sia_audit.h"
+#include "src/graph/fault_graph.h"
+#include "src/agent/spec.h"
+#include "src/deps/depdb.h"
+#include "src/deps/prob_model.h"
+#include "src/pia/audit.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+class AuditingAgent {
+ public:
+  AuditingAgent() = default;
+
+  // Registers an acquisition module (owned by the caller; must outlive the
+  // agent).
+  void AddModule(const DependencyAcquisitionModule* module);
+
+  // Optional failure-probability model for weighted auditing.
+  void SetProbabilityModel(const FailureProbabilityModel* model) { prob_model_ = model; }
+
+  // Steps 2-3: invoke every registered module for every host appearing in
+  // the specification's candidate deployments, filling the agent's DepDB.
+  Status AcquireDependencies(const AuditSpecification& spec);
+
+  // Direct DepDB access (e.g. to import previously exported records).
+  DepDb& depdb() { return db_; }
+  const DepDb& depdb() const { return db_; }
+
+  // Steps 5-6 (SIA): audit every candidate deployment and return the report.
+  Result<SiaAuditReport> AuditStructural(const AuditSpecification& spec) const;
+
+  // Determines the minimal risk groups of one deployment after splicing in
+  // the fault graphs of external services it depends on (the technical
+  // report's aggregate dependency graphs, e.g. EC2 instances on EBS + ELB).
+  // `services` maps placeholder basic-event names — which must appear in the
+  // deployment graph, e.g. as hardware dependencies — to the corresponding
+  // service's validated fault graph.
+  Result<std::vector<std::vector<std::string>>> AuditComposedDeployment(
+      const std::vector<std::string>& servers,
+      const std::map<std::string, const FaultGraph*>& services) const;
+
+  // Step 4 (PIA): supervise a private audit across cloud providers.
+  Result<PiaAuditReport> AuditPrivate(const std::vector<CloudProvider>& providers,
+                                      const PiaAuditOptions& options = {}) const;
+
+ private:
+  std::vector<const DependencyAcquisitionModule*> modules_;
+  const FailureProbabilityModel* prob_model_ = nullptr;
+  DepDb db_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_AGENT_AGENT_H_

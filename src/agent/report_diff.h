@@ -1,0 +1,54 @@
+// Auditing report comparison for periodic audits (paper §2: "Alice might
+// also request periodic audits on a deployed configuration to identify
+// correlated failure risks that configuration changes or evolution might
+// introduce").
+//
+// Diffing two SIA reports for the same candidate deployments yields, per
+// deployment, the risk groups that appeared and disappeared — appearing RGs
+// (especially small ones) are the regressions a periodic audit exists to
+// catch.
+
+#ifndef SRC_AGENT_REPORT_DIFF_H_
+#define SRC_AGENT_REPORT_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/agent/sia_audit.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct DeploymentDiff {
+  std::vector<std::string> servers;
+  // Risk groups (by component names, sorted) present only in the new report.
+  std::vector<std::vector<std::string>> appeared;
+  // Risk groups present only in the old report.
+  std::vector<std::vector<std::string>> disappeared;
+  size_t unexpected_before = 0;
+  size_t unexpected_after = 0;
+
+  bool Regressed() const {
+    return !appeared.empty() || unexpected_after > unexpected_before;
+  }
+};
+
+struct AuditDiff {
+  std::vector<DeploymentDiff> deployments;  // only those present in both reports
+  // Deployments present in one report only (configuration drift).
+  std::vector<std::vector<std::string>> only_in_before;
+  std::vector<std::vector<std::string>> only_in_after;
+
+  bool HasRegressions() const;
+};
+
+// Compares two reports; deployments are matched by their server list
+// (order-insensitive).
+AuditDiff DiffSiaReports(const SiaAuditReport& before, const SiaAuditReport& after);
+
+// Human-readable rendering, quiet when nothing changed.
+std::string RenderAuditDiff(const AuditDiff& diff);
+
+}  // namespace indaas
+
+#endif  // SRC_AGENT_REPORT_DIFF_H_

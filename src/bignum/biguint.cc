@@ -1,0 +1,420 @@
+#include "src/bignum/biguint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <ostream>
+
+namespace indaas {
+namespace {
+
+constexpr uint64_t kLimbBase = 1ULL << 32;
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value));
+    uint32_t hi = static_cast<uint32_t>(value >> 32);
+    if (hi != 0) {
+      limbs_.push_back(hi);
+    }
+  }
+}
+
+BigUint BigUint::FromLimbs(std::vector<uint32_t> limbs) {
+  BigUint out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+Result<BigUint> BigUint::FromDecimal(std::string_view text) {
+  if (text.empty()) {
+    return ParseError("empty decimal string");
+  }
+  BigUint out;
+  const BigUint ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return ParseError(std::string("invalid decimal digit '") + c + "'");
+    }
+    out = out.Mul(ten).Add(BigUint(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+Result<BigUint> BigUint::FromHex(std::string_view text) {
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+  }
+  if (text.empty()) {
+    return ParseError("empty hex string");
+  }
+  BigUint out;
+  std::vector<uint32_t> limbs;
+  // Parse from the least-significant end, 8 hex digits per limb.
+  size_t pos = text.size();
+  while (pos > 0) {
+    size_t take = std::min<size_t>(8, pos);
+    uint32_t limb = 0;
+    for (size_t i = pos - take; i < pos; ++i) {
+      int d = HexDigit(text[i]);
+      if (d < 0) {
+        return ParseError(std::string("invalid hex digit '") + text[i] + "'");
+      }
+      limb = (limb << 4) | static_cast<uint32_t>(d);
+    }
+    limbs.push_back(limb);
+    pos -= take;
+  }
+  return FromLimbs(std::move(limbs));
+}
+
+BigUint BigUint::FromBytesBE(const std::vector<uint8_t>& bytes) {
+  std::vector<uint32_t> limbs;
+  limbs.reserve(bytes.size() / 4 + 1);
+  uint32_t limb = 0;
+  int shift = 0;
+  for (size_t i = bytes.size(); i-- > 0;) {
+    limb |= static_cast<uint32_t>(bytes[i]) << shift;
+    shift += 8;
+    if (shift == 32) {
+      limbs.push_back(limb);
+      limb = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) {
+    limbs.push_back(limb);
+  }
+  return FromLimbs(std::move(limbs));
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    top >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool BigUint::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return ((limbs_[limb] >> (i % 32)) & 1u) != 0;
+}
+
+uint64_t BigUint::ToUint64() const {
+  uint64_t out = 0;
+  if (!limbs_.empty()) {
+    out = limbs_[0];
+  }
+  if (limbs_.size() > 1) {
+    out |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  return out;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  const auto& a = limbs_;
+  const auto& b = other.limbs_;
+  std::vector<uint32_t> out(std::max(a.size(), b.size()) + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) {
+      sum += a[i];
+    }
+    if (i < b.size()) {
+      sum += b[i];
+    }
+    out[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  assert(Compare(other) >= 0 && "BigUint::Sub underflow");
+  const auto& a = limbs_;
+  const auto& b = other.limbs_;
+  std::vector<uint32_t> out(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow - (i < b.size() ? b[i] : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint32_t>(diff);
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigUint BigUint::Mul(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) {
+    return BigUint();
+  }
+  const auto& a = limbs_;
+  const auto& b = other.limbs_;
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(out[i + j]) + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = static_cast<uint64_t>(out[k]) + carry;
+      out[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return FromLimbs(std::move(out));
+}
+
+Result<BigUintDivMod> BigUint::DivMod(const BigUint& divisor) const {
+  if (divisor.IsZero()) {
+    return InvalidArgumentError("division by zero");
+  }
+  if (Compare(divisor) < 0) {
+    return BigUintDivMod{BigUint(), *this};
+  }
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t d = divisor.limbs_[0];
+    std::vector<uint32_t> q(limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | limbs_[i];
+      q[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    return BigUintDivMod{FromLimbs(std::move(q)), BigUint(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set; this bounds the quotient-digit estimate error to at most 2.
+  size_t shift = 0;
+  uint32_t top = divisor.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigUint u = ShiftLeft(shift);
+  BigUint v = divisor.ShiftLeft(shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.push_back(0);  // Extra limb for the algorithm's u[m+n] slot.
+  const std::vector<uint32_t>& vn = v.limbs_;
+  std::vector<uint32_t> q(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
+    uint64_t numerator = (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t q_hat = numerator / vn[n - 1];
+    uint64_t r_hat = numerator % vn[n - 1];
+    while (q_hat >= kLimbBase ||
+           q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kLimbBase) {
+        break;
+      }
+    }
+    // Multiply-and-subtract: un[j..j+n] -= q_hat * vn.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = q_hat * vn[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(un[i + j]) - static_cast<int64_t>(product & 0xFFFFFFFFu) -
+                     borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(un[j + n]) - static_cast<int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // q_hat was one too large: add back.
+      diff += static_cast<int64_t>(kLimbBase);
+      --q_hat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      diff += static_cast<int64_t>(carry2);
+    }
+    un[j + n] = static_cast<uint32_t>(diff);
+    q[j] = static_cast<uint32_t>(q_hat);
+  }
+
+  un.resize(n);
+  BigUint remainder = FromLimbs(std::move(un)).ShiftRight(shift);
+  return BigUintDivMod{FromLimbs(std::move(q)), std::move(remainder)};
+}
+
+BigUint BigUint::Div(const BigUint& divisor) const {
+  auto res = DivMod(divisor);
+  assert(res.ok());
+  return std::move(res).value().quotient;
+}
+
+BigUint BigUint::Mod(const BigUint& divisor) const {
+  auto res = DivMod(divisor);
+  assert(res.ok());
+  return std::move(res).value().remainder;
+}
+
+BigUint BigUint::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    return *this;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  std::vector<uint32_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t shifted = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<uint32_t>(shifted);
+    out[i + limb_shift + 1] |= static_cast<uint32_t>(shifted >> 32);
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigUint BigUint::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) {
+    return BigUint();
+  }
+  size_t bit_shift = bits % 32;
+  std::vector<uint32_t> out(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t cur = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out[i] = static_cast<uint32_t>(cur);
+  }
+  return FromLimbs(std::move(out));
+}
+
+std::string BigUint::ToDecimal() const {
+  if (IsZero()) {
+    return "0";
+  }
+  // Repeated division by 10^9 to batch digits.
+  std::vector<uint32_t> scratch(limbs_);
+  std::string out;
+  const uint64_t kChunk = 1000000000ULL;
+  while (!scratch.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = scratch.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | scratch[i];
+      scratch[i] = static_cast<uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!scratch.empty() && scratch.back() == 0) {
+      scratch.pop_back();
+    }
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') {
+    out.pop_back();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string BigUint::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nibble = 7; nibble >= 0; --nibble) {
+      out.push_back(kDigits[(limbs_[i] >> (nibble * 4)) & 0xF]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::vector<uint8_t> BigUint::ToBytesBE(size_t pad_to) const {
+  std::vector<uint8_t> out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out.push_back(static_cast<uint8_t>(limbs_[i] >> 24));
+    out.push_back(static_cast<uint8_t>(limbs_[i] >> 16));
+    out.push_back(static_cast<uint8_t>(limbs_[i] >> 8));
+    out.push_back(static_cast<uint8_t>(limbs_[i]));
+  }
+  size_t first = 0;
+  while (first < out.size() && out[first] == 0) {
+    ++first;
+  }
+  out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(first));
+  if (out.size() < pad_to) {
+    out.insert(out.begin(), pad_to - out.size(), 0);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUint& v) { return os << v.ToDecimal(); }
+
+}  // namespace indaas

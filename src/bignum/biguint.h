@@ -1,0 +1,125 @@
+// Arbitrary-precision unsigned integer arithmetic.
+//
+// BigUint is the numeric foundation for INDaaS's private-auditing crypto
+// (commutative SRA encryption and Paillier homomorphic encryption). It is a
+// little-endian vector of 32-bit limbs with value semantics. Division uses
+// Knuth's Algorithm D; modular exponentiation lives in modular.h / montgomery.h.
+
+#ifndef SRC_BIGNUM_BIGUINT_H_
+#define SRC_BIGNUM_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct BigUintDivMod;
+
+class BigUint {
+ public:
+  // Zero.
+  BigUint() = default;
+
+  // From a machine word.
+  explicit BigUint(uint64_t value);
+
+  // Parses a decimal string ("12345"). Rejects empty strings and non-digits.
+  static Result<BigUint> FromDecimal(std::string_view text);
+
+  // Parses a hexadecimal string, with or without 0x prefix, case-insensitive.
+  static Result<BigUint> FromHex(std::string_view text);
+
+  // Interprets `bytes` as a big-endian unsigned integer.
+  static BigUint FromBytesBE(const std::vector<uint8_t>& bytes);
+
+  // --- Introspection ---
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u) != 0; }
+
+  // Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  // Value of bit i (LSB is bit 0).
+  bool Bit(size_t i) const;
+
+  // Number of 32-bit limbs.
+  size_t LimbCount() const { return limbs_.size(); }
+
+  // Low 64 bits of the value.
+  uint64_t ToUint64() const;
+
+  // Comparison: negative / zero / positive like memcmp.
+  int Compare(const BigUint& other) const;
+
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  // --- Arithmetic (value-returning; operands unchanged) ---
+
+  BigUint Add(const BigUint& other) const;
+
+  // Requires *this >= other (asserts in debug builds).
+  BigUint Sub(const BigUint& other) const;
+
+  BigUint Mul(const BigUint& other) const;
+
+  // Quotient and remainder; divisor must be nonzero.
+  Result<BigUintDivMod> DivMod(const BigUint& divisor) const;
+
+  // Convenience wrappers over DivMod (divisor must be nonzero; asserts).
+  BigUint Div(const BigUint& divisor) const;
+  BigUint Mod(const BigUint& divisor) const;
+
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  BigUint operator+(const BigUint& o) const { return Add(o); }
+  BigUint operator-(const BigUint& o) const { return Sub(o); }
+  BigUint operator*(const BigUint& o) const { return Mul(o); }
+  BigUint operator%(const BigUint& o) const { return Mod(o); }
+  BigUint operator/(const BigUint& o) const { return Div(o); }
+
+  // --- Serialization ---
+
+  std::string ToDecimal() const;
+  std::string ToHex() const;  // lowercase, no 0x prefix, "0" for zero
+
+  // Big-endian bytes, minimal length (empty for zero unless pad_to > 0, in
+  // which case the output is left-padded with zeros to exactly pad_to bytes;
+  // values longer than pad_to keep their natural length).
+  std::vector<uint8_t> ToBytesBE(size_t pad_to = 0) const;
+
+  // Direct limb access for inner-loop code (montgomery.cc). Little-endian,
+  // no trailing zero limbs.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+  // Constructs from raw limbs (normalizes trailing zeros).
+  static BigUint FromLimbs(std::vector<uint32_t> limbs);
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;
+};
+
+// Quotient/remainder pair returned by BigUint::DivMod.
+struct BigUintDivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigUint& v);
+
+}  // namespace indaas
+
+#endif  // SRC_BIGNUM_BIGUINT_H_

@@ -1,0 +1,122 @@
+#include "src/bignum/modular.h"
+
+#include <utility>
+
+#include "src/bignum/montgomery.h"
+
+namespace indaas {
+
+BigUint Gcd(const BigUint& a, const BigUint& b) {
+  // Euclid's algorithm; BigUint division is fast enough for our key sizes.
+  BigUint x = a;
+  BigUint y = b;
+  while (!y.IsZero()) {
+    BigUint r = x.Mod(y);
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigUint Lcm(const BigUint& a, const BigUint& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigUint();
+  }
+  return a.Div(Gcd(a, b)).Mul(b);
+}
+
+Result<BigUint> ModInverse(const BigUint& a, const BigUint& m) {
+  if (m.Compare(BigUint(2)) < 0) {
+    return InvalidArgumentError("ModInverse: modulus must be >= 2");
+  }
+  // Iterative extended Euclid. Coefficients of 'a' alternate in sign along the
+  // remainder sequence, so we track magnitude plus a sign flag.
+  BigUint r0 = m;
+  BigUint r1 = a.Mod(m);
+  BigUint t0;           // coefficient magnitude for r0
+  BigUint t1(1);        // coefficient magnitude for r1
+  bool t0_neg = false;  // sign of t0
+  bool t1_neg = false;  // sign of t1
+  while (!r1.IsZero()) {
+    auto divmod = r0.DivMod(r1);
+    const BigUint& q = divmod->quotient;
+    BigUint r2 = std::move(divmod->remainder);
+    // t2 = t0 - q*t1 with explicit sign handling.
+    BigUint qt1 = q.Mul(t1);
+    BigUint t2;
+    bool t2_neg = false;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0.Compare(qt1) >= 0) {
+        t2 = t0.Sub(qt1);
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1.Sub(t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add; sign follows t0.
+      t2 = t0.Add(qt1);
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!r0.IsOne()) {
+    return InvalidArgumentError("ModInverse: inputs are not coprime (gcd = " + r0.ToDecimal() +
+                                ")");
+  }
+  BigUint inv = t0.Mod(m);
+  if (t0_neg && !inv.IsZero()) {
+    inv = m.Sub(inv);
+  }
+  return inv;
+}
+
+Result<BigUint> ModExp(const BigUint& base, const BigUint& exponent, const BigUint& modulus) {
+  if (modulus.IsZero()) {
+    return InvalidArgumentError("ModExp: modulus must be >= 1");
+  }
+  if (modulus.IsOne()) {
+    return BigUint();
+  }
+  if (modulus.IsOdd()) {
+    INDAAS_ASSIGN_OR_RETURN(MontgomeryContext ctx, MontgomeryContext::Create(modulus));
+    return ctx.ModExp(base, exponent);
+  }
+  // Plain square-and-multiply for even moduli (Paillier's n^2 is odd, so this
+  // path is rare; it exists for completeness).
+  BigUint result(1);
+  BigUint b = base.Mod(modulus);
+  size_t bits = exponent.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) {
+      result = result.Mul(b).Mod(modulus);
+    }
+    b = b.Mul(b).Mod(modulus);
+  }
+  return result;
+}
+
+BigUint ModMul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return a.Mod(m).Mul(b.Mod(m)).Mod(m);
+}
+
+BigUint ModAdd(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return a.Mod(m).Add(b.Mod(m)).Mod(m);
+}
+
+BigUint ModSub(const BigUint& a, const BigUint& b, const BigUint& m) {
+  BigUint am = a.Mod(m);
+  BigUint bm = b.Mod(m);
+  if (am.Compare(bm) >= 0) {
+    return am.Sub(bm);
+  }
+  return am.Add(m).Sub(bm);
+}
+
+}  // namespace indaas

@@ -1,0 +1,38 @@
+// Modular arithmetic helpers: gcd, modular inverse, lcm, and a general
+// modular exponentiation that works for any modulus (delegating to Montgomery
+// for odd moduli).
+
+#ifndef SRC_BIGNUM_MODULAR_H_
+#define SRC_BIGNUM_MODULAR_H_
+
+#include "src/bignum/biguint.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Greatest common divisor (binary GCD).
+BigUint Gcd(const BigUint& a, const BigUint& b);
+
+// Least common multiple: a*b / gcd(a,b). Returns 0 if either input is 0.
+BigUint Lcm(const BigUint& a, const BigUint& b);
+
+// Multiplicative inverse of a modulo m. Errors when gcd(a, m) != 1 or m < 2.
+Result<BigUint> ModInverse(const BigUint& a, const BigUint& m);
+
+// (base ^ exponent) mod modulus for any modulus >= 1. For odd moduli this is
+// Montgomery-accelerated; for even moduli it falls back to square-and-multiply
+// with division-based reduction.
+Result<BigUint> ModExp(const BigUint& base, const BigUint& exponent, const BigUint& modulus);
+
+// (a * b) mod m.
+BigUint ModMul(const BigUint& a, const BigUint& b, const BigUint& m);
+
+// (a + b) mod m.
+BigUint ModAdd(const BigUint& a, const BigUint& b, const BigUint& m);
+
+// (a - b) mod m (wraps around).
+BigUint ModSub(const BigUint& a, const BigUint& b, const BigUint& m);
+
+}  // namespace indaas
+
+#endif  // SRC_BIGNUM_MODULAR_H_

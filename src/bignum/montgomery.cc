@@ -1,0 +1,166 @@
+#include "src/bignum/montgomery.h"
+
+#include <cassert>
+
+namespace indaas {
+namespace {
+
+// Inverse of an odd 64-bit value modulo 2^64 via Newton iteration.
+uint64_t InverseMod64(uint64_t n) {
+  uint64_t x = n;  // 3 correct bits
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - n * x;  // Doubles correct bits each step.
+  }
+  return x;
+}
+
+// Packs 32-bit limbs into 64-bit lanes (little-endian), padded to `lanes`.
+std::vector<uint64_t> Pack64(const std::vector<uint32_t>& limbs, size_t lanes) {
+  std::vector<uint64_t> out(lanes, 0);
+  for (size_t i = 0; i < limbs.size(); ++i) {
+    out[i / 2] |= static_cast<uint64_t>(limbs[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+// Unpacks 64-bit lanes back into a BigUint.
+BigUint Unpack64(const std::vector<uint64_t>& lanes) {
+  std::vector<uint32_t> limbs;
+  limbs.reserve(lanes.size() * 2);
+  for (uint64_t lane : lanes) {
+    limbs.push_back(static_cast<uint32_t>(lane));
+    limbs.push_back(static_cast<uint32_t>(lane >> 32));
+  }
+  return BigUint::FromLimbs(std::move(limbs));
+}
+
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigUint& modulus) {
+  if (!modulus.IsOdd() || modulus.IsOne() || modulus.IsZero()) {
+    return InvalidArgumentError("Montgomery modulus must be odd and > 1");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  // Internal representation uses 64-bit lanes; num_limbs_ counts lanes.
+  ctx.num_limbs_ = (modulus.LimbCount() + 1) / 2;
+  ctx.mod_lanes_ = Pack64(modulus.limbs(), ctx.num_limbs_);
+  ctx.n_prime_ = 0 - InverseMod64(ctx.mod_lanes_[0]);
+  // R = 2^(64*num_limbs)
+  BigUint r = BigUint(1).ShiftLeft(64 * ctx.num_limbs_);
+  ctx.r_mod_n_ = r.Mod(modulus);
+  ctx.r2_mod_n_ = r.Mul(r).Mod(modulus);
+  return ctx;
+}
+
+void MontgomeryContext::MulMontRaw(const uint64_t* a, const uint64_t* b, uint64_t* out) const {
+  // CIOS (coarsely integrated operand scanning) over 64-bit lanes with
+  // 128-bit intermediates.
+  const size_t s = num_limbs_;
+  const uint64_t* n = mod_lanes_.data();
+  // t has s+2 lanes; t_hi tracks the carry lane above t[s].
+  std::vector<uint64_t> t(s + 1, 0);
+  uint64_t t_hi = 0;
+  for (size_t i = 0; i < s; ++i) {
+    // t += a[i] * b
+    __uint128_t carry = 0;
+    for (size_t j = 0; j < s; ++j) {
+      __uint128_t cur = static_cast<__uint128_t>(a[i]) * b[j] + t[j] + static_cast<uint64_t>(carry);
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    __uint128_t cur = static_cast<__uint128_t>(t[s]) + static_cast<uint64_t>(carry);
+    t[s] = static_cast<uint64_t>(cur);
+    t_hi = static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+    uint64_t m = t[0] * n_prime_;
+    carry = (static_cast<__uint128_t>(m) * n[0] + t[0]) >> 64;
+    for (size_t j = 1; j < s; ++j) {
+      __uint128_t cur2 = static_cast<__uint128_t>(m) * n[j] + t[j] + static_cast<uint64_t>(carry);
+      t[j - 1] = static_cast<uint64_t>(cur2);
+      carry = cur2 >> 64;
+    }
+    cur = static_cast<__uint128_t>(t[s]) + static_cast<uint64_t>(carry);
+    t[s - 1] = static_cast<uint64_t>(cur);
+    t[s] = t_hi + static_cast<uint64_t>(cur >> 64);
+    t_hi = 0;
+  }
+  // Conditional subtraction of the modulus.
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = s; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < s; ++i) {
+      __uint128_t subtrahend = static_cast<__uint128_t>(n[i]) + borrow;
+      borrow = t[i] < subtrahend ? 1 : 0;
+      out[i] = t[i] - static_cast<uint64_t>(subtrahend);
+    }
+  } else {
+    for (size_t i = 0; i < s; ++i) {
+      out[i] = t[i];
+    }
+  }
+}
+
+BigUint MontgomeryContext::ToMontgomery(const BigUint& a) const {
+  return MulMont(a.Mod(modulus_), r2_mod_n_);
+}
+
+BigUint MontgomeryContext::FromMontgomery(const BigUint& a_mont) const {
+  return MulMont(a_mont, BigUint(1));
+}
+
+BigUint MontgomeryContext::MulMont(const BigUint& a_mont, const BigUint& b_mont) const {
+  std::vector<uint64_t> a = Pack64(a_mont.limbs(), num_limbs_);
+  std::vector<uint64_t> b = Pack64(b_mont.limbs(), num_limbs_);
+  std::vector<uint64_t> out(num_limbs_, 0);
+  MulMontRaw(a.data(), b.data(), out.data());
+  return Unpack64(out);
+}
+
+BigUint MontgomeryContext::ModExp(const BigUint& base, const BigUint& exponent) const {
+  if (exponent.IsZero()) {
+    return BigUint(1).Mod(modulus_);
+  }
+  // 4-bit fixed window over raw 64-bit lanes (avoids per-step repacking).
+  constexpr size_t kWindow = 4;
+  constexpr size_t kTableSize = 1u << kWindow;
+  const size_t s = num_limbs_;
+  std::vector<std::vector<uint64_t>> table(kTableSize, std::vector<uint64_t>(s, 0));
+  table[0] = Pack64(r_mod_n_.limbs(), s);
+  table[1] = Pack64(ToMontgomery(base).limbs(), s);
+  for (size_t i = 2; i < kTableSize; ++i) {
+    MulMontRaw(table[i - 1].data(), table[1].data(), table[i].data());
+  }
+  size_t bits = exponent.BitLength();
+  size_t windows = (bits + kWindow - 1) / kWindow;
+  std::vector<uint64_t> acc = table[0];
+  std::vector<uint64_t> tmp(s, 0);
+  for (size_t w = windows; w-- > 0;) {
+    for (size_t i = 0; i < kWindow; ++i) {
+      MulMontRaw(acc.data(), acc.data(), tmp.data());
+      acc.swap(tmp);
+    }
+    uint32_t digit = 0;
+    for (size_t b = 0; b < kWindow; ++b) {
+      size_t bit = w * kWindow + (kWindow - 1 - b);
+      digit = (digit << 1) | (exponent.Bit(bit) ? 1u : 0u);
+    }
+    if (digit != 0) {
+      MulMontRaw(acc.data(), table[digit].data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+  return FromMontgomery(Unpack64(acc));
+}
+
+}  // namespace indaas

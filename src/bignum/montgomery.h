@@ -1,0 +1,55 @@
+// Montgomery-form modular multiplication for odd moduli.
+//
+// Modular exponentiation dominates the cost of the P-SOP commutative cipher
+// and the Paillier cryptosystem; Montgomery (CIOS) multiplication avoids a
+// full division per step.
+
+#ifndef SRC_BIGNUM_MONTGOMERY_H_
+#define SRC_BIGNUM_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bignum/biguint.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Precomputed context for arithmetic modulo a fixed odd modulus n.
+class MontgomeryContext {
+ public:
+  // n must be odd and > 1.
+  static Result<MontgomeryContext> Create(const BigUint& modulus);
+
+  const BigUint& modulus() const { return modulus_; }
+
+  // Converts into Montgomery form (a * R mod n).
+  BigUint ToMontgomery(const BigUint& a) const;
+
+  // Converts out of Montgomery form.
+  BigUint FromMontgomery(const BigUint& a_mont) const;
+
+  // Montgomery product: (a * b * R^-1) mod n, both inputs in Montgomery form.
+  BigUint MulMont(const BigUint& a_mont, const BigUint& b_mont) const;
+
+  // (base ^ exponent) mod n, plain (non-Montgomery) in/out. Uses a 4-bit
+  // fixed-window square-and-multiply ladder.
+  BigUint ModExp(const BigUint& base, const BigUint& exponent) const;
+
+ private:
+  MontgomeryContext() = default;
+
+  // CIOS multiply on raw 64-bit lane spans; result has num_limbs_ lanes.
+  void MulMontRaw(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+
+  BigUint modulus_;
+  std::vector<uint64_t> mod_lanes_;  // modulus packed into 64-bit lanes
+  size_t num_limbs_ = 0;             // number of 64-bit lanes
+  uint64_t n_prime_ = 0;             // -n^{-1} mod 2^64
+  BigUint r_mod_n_;                  // R mod n (Montgomery form of 1)
+  BigUint r2_mod_n_;                 // R^2 mod n (conversion factor)
+};
+
+}  // namespace indaas
+
+#endif  // SRC_BIGNUM_MONTGOMERY_H_

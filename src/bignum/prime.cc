@@ -1,0 +1,206 @@
+#include "src/bignum/prime.h"
+
+#include <array>
+
+#include "src/bignum/modular.h"
+#include "src/bignum/montgomery.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+constexpr std::array<uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,  59,  61,
+    67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151,
+    157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// RFC 2409 Oakley Group 1 (768-bit MODP safe prime).
+constexpr const char* kModp768 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+
+// RFC 2409 Oakley Group 2 (1024-bit MODP safe prime).
+constexpr const char* kModp1024 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+
+// RFC 3526 Group 5 (1536-bit MODP safe prime).
+constexpr const char* kModp1536 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+// RFC 3526 Group 14 (2048-bit MODP safe prime).
+constexpr const char* kModp2048 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+}  // namespace
+
+BigUint RandomBelow(const BigUint& bound, Rng& rng) {
+  size_t bits = bound.BitLength();
+  size_t limbs = (bits + 31) / 32;
+  for (;;) {
+    std::vector<uint32_t> raw(limbs);
+    for (auto& limb : raw) {
+      limb = static_cast<uint32_t>(rng.Next());
+    }
+    // Mask the top limb down to the bound's bit length to make rejection rare.
+    size_t top_bits = bits % 32;
+    if (top_bits != 0) {
+      raw.back() &= (1u << top_bits) - 1;
+    }
+    BigUint candidate = BigUint::FromLimbs(std::move(raw));
+    if (candidate.Compare(bound) < 0) {
+      return candidate;
+    }
+  }
+}
+
+BigUint RandomWithBits(size_t bits, Rng& rng) {
+  if (bits == 0) {
+    return BigUint();
+  }
+  size_t limbs = (bits + 31) / 32;
+  std::vector<uint32_t> raw(limbs);
+  for (auto& limb : raw) {
+    limb = static_cast<uint32_t>(rng.Next());
+  }
+  size_t top_bits = bits % 32;
+  if (top_bits == 0) {
+    top_bits = 32;
+  }
+  raw.back() &= top_bits == 32 ? 0xFFFFFFFFu : ((1u << top_bits) - 1);
+  raw.back() |= 1u << (top_bits - 1);  // Force MSB so BitLength() == bits.
+  return BigUint::FromLimbs(std::move(raw));
+}
+
+bool IsProbablePrime(const BigUint& candidate, Rng& rng, int rounds) {
+  if (candidate.Compare(BigUint(2)) < 0) {
+    return false;
+  }
+  for (uint32_t p : kSmallPrimes) {
+    BigUint bp(p);
+    if (candidate == bp) {
+      return true;
+    }
+    if (candidate.Mod(bp).IsZero()) {
+      return false;
+    }
+  }
+  // Write candidate-1 = d * 2^r with d odd.
+  BigUint n_minus_1 = candidate.Sub(BigUint(1));
+  size_t r = 0;
+  BigUint d = n_minus_1;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+  auto ctx_result = MontgomeryContext::Create(candidate);
+  if (!ctx_result.ok()) {
+    return false;  // Even and > 2 — composite.
+  }
+  const MontgomeryContext& ctx = ctx_result.value();
+  BigUint n_minus_3 = candidate.Sub(BigUint(3));
+  for (int round = 0; round < rounds; ++round) {
+    // Base a uniform in [2, candidate-2].
+    BigUint a = RandomBelow(n_minus_3, rng).Add(BigUint(2));
+    BigUint x = ctx.ModExp(a, d);
+    if (x.IsOne() || x == n_minus_1) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 0; i + 1 < r; ++i) {
+      x = x.Mul(x).Mod(candidate);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<BigUint> GeneratePrime(size_t bits, Rng& rng) {
+  if (bits < 8) {
+    return InvalidArgumentError("GeneratePrime: need at least 8 bits");
+  }
+  for (int attempts = 0; attempts < 100000; ++attempts) {
+    BigUint candidate = RandomWithBits(bits, rng);
+    if (!candidate.IsOdd()) {
+      candidate = candidate.Add(BigUint(1));
+    }
+    if (IsProbablePrime(candidate, rng)) {
+      return candidate;
+    }
+  }
+  return InternalError("GeneratePrime: exceeded attempt budget");
+}
+
+Result<BigUint> GenerateSafePrime(size_t bits, Rng& rng) {
+  if (bits < 9) {
+    return InvalidArgumentError("GenerateSafePrime: need at least 9 bits");
+  }
+  for (int attempts = 0; attempts < 1000000; ++attempts) {
+    BigUint q = RandomWithBits(bits - 1, rng);
+    if (!q.IsOdd()) {
+      q = q.Add(BigUint(1));
+    }
+    // Cheap pre-filter: p = 2q+1 must not be divisible by small primes.
+    BigUint p = q.ShiftLeft(1).Add(BigUint(1));
+    bool skip = false;
+    for (uint32_t sp : kSmallPrimes) {
+      BigUint bsp(sp);
+      if (p.Compare(bsp) > 0 && p.Mod(bsp).IsZero()) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      continue;
+    }
+    if (IsProbablePrime(q, rng, 16) && IsProbablePrime(p, rng, 16) && p.BitLength() == bits) {
+      return p;
+    }
+  }
+  return InternalError("GenerateSafePrime: exceeded attempt budget");
+}
+
+Result<BigUint> WellKnownSafePrime(size_t bits) {
+  const char* hex = nullptr;
+  switch (bits) {
+    case 768:
+      hex = kModp768;
+      break;
+    case 1024:
+      hex = kModp1024;
+      break;
+    case 1536:
+      hex = kModp1536;
+      break;
+    case 2048:
+      hex = kModp2048;
+      break;
+    default:
+      return InvalidArgumentError(
+          StrFormat("no well-known safe prime of %zu bits (supported: 768/1024/1536/2048)", bits));
+  }
+  return BigUint::FromHex(hex);
+}
+
+}  // namespace indaas

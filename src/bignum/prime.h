@@ -1,0 +1,45 @@
+// Primality testing and prime generation.
+//
+// The P-SOP commutative cipher needs a shared safe prime p (so that exponent
+// arithmetic happens modulo p-1 = 2q with q prime, making almost all odd
+// exponents invertible). We ship the well-known MODP safe primes from
+// RFC 2409 / RFC 3526 for instant setup at standard key sizes, and can also
+// generate fresh safe primes for arbitrary sizes.
+
+#ifndef SRC_BIGNUM_PRIME_H_
+#define SRC_BIGNUM_PRIME_H_
+
+#include <cstdint>
+
+#include "src/bignum/biguint.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Miller–Rabin probabilistic primality test with `rounds` random bases.
+// Deterministic small-prime trial division runs first. A composite is
+// misclassified with probability <= 4^-rounds.
+bool IsProbablePrime(const BigUint& candidate, Rng& rng, int rounds = 32);
+
+// Uniformly random BigUint in [0, bound). bound must be nonzero.
+BigUint RandomBelow(const BigUint& bound, Rng& rng);
+
+// Uniformly random BigUint with exactly `bits` bits (MSB set).
+BigUint RandomWithBits(size_t bits, Rng& rng);
+
+// Generates a random prime with exactly `bits` bits (bits >= 8).
+Result<BigUint> GeneratePrime(size_t bits, Rng& rng);
+
+// Generates a safe prime p (p = 2q + 1 with q prime) with exactly `bits`
+// bits. Expensive for large sizes; prefer WellKnownSafePrime for >= 768 bits.
+Result<BigUint> GenerateSafePrime(size_t bits, Rng& rng);
+
+// Returns the standard MODP safe prime of the given size. Supported sizes:
+// 768 (RFC 2409 Oakley 1), 1024 (RFC 2409 Oakley 2), 1536 (RFC 3526 group 5),
+// 2048 (RFC 3526 group 14). Errors on other sizes.
+Result<BigUint> WellKnownSafePrime(size_t bits);
+
+}  // namespace indaas
+
+#endif  // SRC_BIGNUM_PRIME_H_

@@ -1,0 +1,381 @@
+#include "src/cli/commands.h"
+
+#include <cstdio>
+
+#include "src/acquire/apt_sim.h"
+#include "src/acquire/lshw_sim.h"
+#include "src/acquire/nsdminer_sim.h"
+#include "src/agent/agent.h"
+#include "src/agent/report_diff.h"
+#include "src/deps/cvss.h"
+#include "src/graph/fault_graph.h"
+#include "src/graph/serialize.h"
+#include "src/sia/builder.h"
+#include "src/sia/importance.h"
+#include "src/sia/whatif.h"
+#include "src/topology/case_study.h"
+#include "src/topology/fat_tree.h"
+#include "src/util/file.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+// "S1,S2;S3,S4" -> {{S1,S2},{S3,S4}}.
+Result<std::vector<std::vector<std::string>>> ParseDeployments(const std::string& spec) {
+  std::vector<std::vector<std::string>> out;
+  for (const std::string& group : SplitAndTrim(spec, ';')) {
+    std::vector<std::string> servers = SplitAndTrim(group, ',');
+    if (servers.empty()) {
+      return InvalidArgumentError("empty deployment in '" + spec + "'");
+    }
+    out.push_back(std::move(servers));
+  }
+  if (out.empty()) {
+    return InvalidArgumentError("no deployments given (use --deployments=\"S1,S2;S1,S3\")");
+  }
+  return out;
+}
+
+// Builds the selected infrastructure and returns its topology plus the list
+// of auditable server names.
+Result<DataCenterTopology> BuildInfra(const std::string& infra,
+                                      std::vector<std::string>* servers) {
+  if (infra == "case6a") {
+    INDAAS_ASSIGN_OR_RETURN(DataCenterTopology topo, BuildCaseStudyDatacenter(33, 1));
+    for (uint32_t r = 1; r <= 33; ++r) {
+      servers->push_back(StrFormat("rack%u-srv1", r));
+    }
+    return topo;
+  }
+  if (infra == "lab") {
+    INDAAS_ASSIGN_OR_RETURN(DataCenterTopology topo, BuildLabCloud());
+    for (int i = 1; i <= 4; ++i) {
+      servers->push_back(StrFormat("Server%d", i));
+    }
+    return topo;
+  }
+  if (StartsWith(infra, "fat")) {
+    char* end = nullptr;
+    long ports = std::strtol(infra.c_str() + 3, &end, 10);
+    if (*end != '\0' || ports < 4) {
+      return InvalidArgumentError("bad fat-tree spec '" + infra + "' (use e.g. fat16)");
+    }
+    INDAAS_ASSIGN_OR_RETURN(DataCenterTopology topo,
+                            BuildFatTree(static_cast<uint32_t>(ports)));
+    // One server per pod keeps the default collection small.
+    for (long p = 0; p < ports; ++p) {
+      servers->push_back(StrFormat("pod%ld-srv0-0", p));
+    }
+    return topo;
+  }
+  return InvalidArgumentError("unknown --infra '" + infra + "' (case6a | lab | fat<k>)");
+}
+
+}  // namespace
+
+Status RunCollectCommand(int argc, char** argv) {
+  std::string infra = "case6a";
+  std::string out_path = "depdb.txt";
+  int64_t flows = 60;
+  int64_t seed = 1;
+  bool with_software = false;
+  FlagSet flags;
+  flags.AddString("infra", &infra, "infrastructure: case6a | lab | fat<k>");
+  flags.AddString("out", &out_path, "output DepDB file (Table 1 format)");
+  flags.AddInt("flows", &flows, "traffic flows per server for NSDMiner");
+  flags.AddInt("seed", &seed, "RNG seed");
+  flags.AddBool("with-software", &with_software, "install the Riak stack on every server");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+
+  std::vector<std::string> servers;
+  INDAAS_ASSIGN_OR_RETURN(DataCenterTopology topo, BuildInfra(infra, &servers));
+
+  NsdMinerSim miner(3);
+  LshwSim lshw;
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  AptRdependsSim apt(&universe);
+  Rng rng(static_cast<uint64_t>(seed));
+  for (const std::string& server : servers) {
+    INDAAS_ASSIGN_OR_RETURN(
+        std::vector<FlowRecord> generated,
+        GenerateTraffic(topo, server, "Internet", static_cast<size_t>(flows), rng));
+    miner.IngestFlows(generated);
+    lshw.RegisterMachine(server, LshwSim::RandomSpec(rng));
+    if (with_software) {
+      INDAAS_RETURN_IF_ERROR(apt.InstallProgram(server, "riak"));
+    }
+  }
+  DepDb db;
+  std::vector<const DependencyAcquisitionModule*> modules = {&miner, &lshw};
+  if (with_software) {
+    modules.push_back(&apt);
+  }
+  INDAAS_RETURN_IF_ERROR(RunAcquisition(modules, servers, db));
+  INDAAS_RETURN_IF_ERROR(WriteFile(out_path, db.ExportText()));
+  std::printf("collected %zu records (%zu network, %zu hardware, %zu software) -> %s\n",
+              db.TotalCount(), db.NetworkCount(), db.HardwareCount(), db.SoftwareCount(),
+              out_path.c_str());
+  return Status::Ok();
+}
+
+Status RunAuditCommand(int argc, char** argv) {
+  std::string depdb_path;
+  std::string baseline_path;
+  std::string deployments_spec;
+  std::string algorithm = "minimal";
+  std::string metric = "size";
+  std::string cvss_path;
+  int64_t rounds = 100000;
+  int64_t seed = 1;
+  FlagSet flags;
+  flags.AddString("depdb", &depdb_path, "DepDB file to audit");
+  flags.AddString("baseline", &baseline_path, "older DepDB file; prints a regression diff");
+  flags.AddString("deployments", &deployments_spec, "candidate deployments: \"S1,S2;S1,S3\"");
+  flags.AddString("algorithm", &algorithm, "minimal | sampling");
+  flags.AddString("metric", &metric, "size | prob");
+  flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
+  flags.AddInt("rounds", &rounds, "sampling rounds");
+  flags.AddInt("seed", &seed, "sampling seed");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (depdb_path.empty()) {
+    return InvalidArgumentError("--depdb is required");
+  }
+  INDAAS_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> deployments,
+                          ParseDeployments(deployments_spec));
+
+  AuditSpecification spec;
+  spec.candidate_deployments = std::move(deployments);
+  if (algorithm == "sampling") {
+    spec.algorithm = RgAlgorithm::kSampling;
+  } else if (algorithm != "minimal") {
+    return InvalidArgumentError("--algorithm must be minimal or sampling");
+  }
+  if (metric == "prob") {
+    spec.metric = RankingMetric::kFailureProbability;
+  } else if (metric != "size") {
+    return InvalidArgumentError("--metric must be size or prob");
+  }
+  spec.sampling_rounds = static_cast<size_t>(rounds);
+  spec.seed = static_cast<uint64_t>(seed);
+
+  FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
+  if (!cvss_path.empty()) {
+    INDAAS_ASSIGN_OR_RETURN(std::string feed, ReadFile(cvss_path));
+    INDAAS_RETURN_IF_ERROR(LoadCvssFeed(feed, model));
+  }
+
+  auto run_audit = [&](const std::string& path) -> Result<SiaAuditReport> {
+    AuditingAgent agent;
+    agent.SetProbabilityModel(&model);
+    INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    INDAAS_RETURN_IF_ERROR(agent.depdb().ImportText(text));
+    return agent.AuditStructural(spec);
+  };
+
+  INDAAS_ASSIGN_OR_RETURN(SiaAuditReport report, run_audit(depdb_path));
+  std::printf("%s", RenderSiaReport(report).c_str());
+  if (!baseline_path.empty()) {
+    INDAAS_ASSIGN_OR_RETURN(SiaAuditReport baseline, run_audit(baseline_path));
+    AuditDiff diff = DiffSiaReports(baseline, report);
+    std::printf("\n=== changes since baseline ===\n%s", RenderAuditDiff(diff).c_str());
+  }
+  return Status::Ok();
+}
+
+Status RunDotCommand(int argc, char** argv) {
+  std::string depdb_path;
+  std::string deployment_spec;
+  FlagSet flags;
+  flags.AddString("depdb", &depdb_path, "DepDB file");
+  flags.AddString("deployment", &deployment_spec, "servers, e.g. \"S1,S2\"");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (depdb_path.empty() || deployment_spec.empty()) {
+    return InvalidArgumentError("--depdb and --deployment are required");
+  }
+  DepDb db;
+  INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(depdb_path));
+  INDAAS_RETURN_IF_ERROR(db.ImportText(text));
+  std::vector<std::string> servers = SplitAndTrim(deployment_spec, ',');
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph graph, BuildDeploymentFaultGraph(db, servers));
+  std::printf("%s", graph.ToDot("deployment").c_str());
+  return Status::Ok();
+}
+
+Status RunGraphCommand(int argc, char** argv) {
+  std::string depdb_path;
+  std::string deployment_spec;
+  std::string out_path;
+  FlagSet flags;
+  flags.AddString("depdb", &depdb_path, "DepDB file");
+  flags.AddString("deployment", &deployment_spec, "servers, e.g. \"S1,S2\"");
+  flags.AddString("out", &out_path, "output fault-graph file (stdout if empty)");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (depdb_path.empty() || deployment_spec.empty()) {
+    return InvalidArgumentError("--depdb and --deployment are required");
+  }
+  DepDb db;
+  INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(depdb_path));
+  INDAAS_RETURN_IF_ERROR(db.ImportText(text));
+  std::vector<std::string> servers = SplitAndTrim(deployment_spec, ',');
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph graph, BuildDeploymentFaultGraph(db, servers));
+  INDAAS_ASSIGN_OR_RETURN(std::string serialized, SerializeFaultGraph(graph));
+  if (out_path.empty()) {
+    std::printf("%s", serialized.c_str());
+  } else {
+    INDAAS_RETURN_IF_ERROR(WriteFile(out_path, serialized));
+    std::printf("wrote %zu-node fault graph -> %s\n", graph.NodeCount(), out_path.c_str());
+  }
+  return Status::Ok();
+}
+
+Status RunWhatIfCommand(int argc, char** argv) {
+  std::string graph_path;
+  std::string fail_spec;
+  FlagSet flags;
+  flags.AddString("graph", &graph_path, "fault-graph file (from `indaas graph`)");
+  flags.AddString("fail", &fail_spec, "components to fail, comma separated");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (graph_path.empty()) {
+    return InvalidArgumentError("--graph is required");
+  }
+  INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(graph_path));
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph graph, ParseFaultGraph(text));
+  INDAAS_ASSIGN_OR_RETURN(WhatIfResult result,
+                          SimulateFailures(graph, SplitAndTrim(fail_spec, ',')));
+  std::printf("deployment %s\n", result.top_event_failed ? "FAILS" : "survives");
+  for (const std::string& event : result.failed_events) {
+    std::printf("  failed: %s\n", event.c_str());
+  }
+  return Status::Ok();
+}
+
+Status RunImportanceCommand(int argc, char** argv) {
+  std::string graph_path;
+  double default_prob = 0.01;
+  FlagSet flags;
+  flags.AddString("graph", &graph_path, "fault-graph file (from `indaas graph`)");
+  flags.AddDouble("default-prob", &default_prob, "probability for unweighted events");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (graph_path.empty()) {
+    return InvalidArgumentError("--graph is required");
+  }
+  INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(graph_path));
+  INDAAS_ASSIGN_OR_RETURN(FaultGraph graph, ParseFaultGraph(text));
+  INDAAS_ASSIGN_OR_RETURN(MinimalRgResult groups, ComputeMinimalRiskGroups(graph));
+  ImportanceOptions options;
+  options.default_prob = default_prob;
+  INDAAS_ASSIGN_OR_RETURN(std::vector<ComponentImportance> ranked,
+                          RankComponentImportance(graph, groups.groups, options));
+  std::printf("%-40s %6s %10s %12s\n", "component", "in-RGs", "Birnbaum", "criticality");
+  for (const ComponentImportance& entry : ranked) {
+    std::printf("%-40s %6zu %10.4f %12.4f\n", entry.name.c_str(), entry.rg_memberships,
+                entry.birnbaum, entry.criticality);
+  }
+  return Status::Ok();
+}
+
+Status RunPiaCommand(int argc, char** argv) {
+  std::string sets_path;
+  std::string depdbs_spec;
+  bool minhash = false;
+  int64_t m = 256;
+  int64_t group_bits = 768;
+  int64_t max_redundancy = 3;
+  FlagSet flags;
+  flags.AddString("sets", &sets_path, "provider file: '<name>: c1, c2, ...' per line");
+  flags.AddString("depdbs", &depdbs_spec,
+                  "providers from DepDB files: \"Cloud1=a.txt;Cloud2=b.txt\" "
+                  "(normalized per §4.2.3)");
+  flags.AddBool("minhash", &minhash, "MinHash-compress sets before P-SOP");
+  flags.AddInt("m", &m, "MinHash sample size");
+  flags.AddInt("group-bits", &group_bits, "commutative group bits");
+  flags.AddInt("max-redundancy", &max_redundancy, "largest deployment size to rank");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (sets_path.empty() == depdbs_spec.empty()) {
+    return InvalidArgumentError("exactly one of --sets or --depdbs is required");
+  }
+  std::vector<CloudProvider> providers;
+  if (!sets_path.empty()) {
+    INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(sets_path));
+    for (const std::string& raw_line : Split(text, '\n')) {
+      std::string_view line = Trim(raw_line);
+      if (line.empty() || line.front() == '#') {
+        continue;
+      }
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return ParseError("provider line missing ':' — " + std::string(line));
+      }
+      CloudProvider provider;
+      provider.name = std::string(Trim(line.substr(0, colon)));
+      provider.components = SplitAndTrim(line.substr(colon + 1), ',');
+      providers.push_back(std::move(provider));
+    }
+  } else {
+    for (const std::string& entry : SplitAndTrim(depdbs_spec, ';')) {
+      size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("--depdbs entries must be '<name>=<file>': " + entry);
+      }
+      DepDb db;
+      INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(entry.substr(eq + 1)));
+      INDAAS_RETURN_IF_ERROR(db.ImportText(text));
+      providers.push_back(MakeProviderFromDepDb(entry.substr(0, eq), db));
+    }
+  }
+  PiaAuditOptions options;
+  options.method = minhash ? PiaMethod::kPsopMinHash : PiaMethod::kPsopExact;
+  options.minhash_m = static_cast<size_t>(m);
+  options.psop.group_bits = static_cast<size_t>(group_bits);
+  options.max_redundancy =
+      static_cast<uint32_t>(std::min<int64_t>(max_redundancy, providers.size()));
+  AuditingAgent agent;
+  INDAAS_ASSIGN_OR_RETURN(PiaAuditReport report, agent.AuditPrivate(providers, options));
+  std::printf("%s", RenderPiaReport(report).c_str());
+  return Status::Ok();
+}
+
+int RunCli(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: indaas <command> [flags]\n"
+                 "commands:\n"
+                 "  collect  run simulated dependency acquisition into a DepDB file\n"
+                 "  audit    structural independence audit of candidate deployments\n"
+                 "  dot         emit a deployment's fault graph as Graphviz DOT\n"
+                 "  graph       save a deployment's fault graph (text format)\n"
+                 "  whatif      simulate component failures against a saved graph\n"
+                 "  importance  rank components by fault-tree importance measures\n"
+                 "  pia         private independence audit across provider component sets\n");
+    return 2;
+  }
+  std::string command = argv[1];
+  Status status;
+  if (command == "collect") {
+    status = RunCollectCommand(argc - 1, argv + 1);
+  } else if (command == "audit") {
+    status = RunAuditCommand(argc - 1, argv + 1);
+  } else if (command == "dot") {
+    status = RunDotCommand(argc - 1, argv + 1);
+  } else if (command == "graph") {
+    status = RunGraphCommand(argc - 1, argv + 1);
+  } else if (command == "whatif") {
+    status = RunWhatIfCommand(argc - 1, argv + 1);
+  } else if (command == "importance") {
+    status = RunImportanceCommand(argc - 1, argv + 1);
+  } else if (command == "pia") {
+    status = RunPiaCommand(argc - 1, argv + 1);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace indaas

@@ -1,0 +1,39 @@
+// Subcommand implementations for the `indaas` command-line tool. Separated
+// from main() so the test suite can drive them directly.
+//
+//   indaas collect    --infra=<case6a|lab|fat16> --out=deps.txt [...]
+//   indaas audit      --depdb=deps.txt --deployments="S1,S2;S1,S3" [...]
+//   indaas dot        --depdb=deps.txt --deployment="S1,S2"
+//   indaas graph      --depdb=deps.txt --deployment="S1,S2" --out=g.fg
+//   indaas whatif     --graph=g.fg --fail="net:tor1,hw:x"
+//   indaas importance --graph=g.fg
+//   indaas pia        --sets=providers.txt [...]
+//
+// `pia` reads providers from a simple format: one provider per line,
+//   <name>: <component>, <component>, ...
+
+#ifndef SRC_CLI_COMMANDS_H_
+#define SRC_CLI_COMMANDS_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Each command parses its own flags from argv (past the subcommand word) and
+// writes its report to stdout. Returns an error Status on bad usage.
+Status RunCollectCommand(int argc, char** argv);
+Status RunAuditCommand(int argc, char** argv);
+Status RunDotCommand(int argc, char** argv);
+Status RunGraphCommand(int argc, char** argv);
+Status RunWhatIfCommand(int argc, char** argv);
+Status RunImportanceCommand(int argc, char** argv);
+Status RunPiaCommand(int argc, char** argv);
+
+// Dispatches to a subcommand; prints usage on unknown commands.
+int RunCli(int argc, char** argv);
+
+}  // namespace indaas
+
+#endif  // SRC_CLI_COMMANDS_H_

@@ -1,0 +1,5 @@
+// Entry point for the `indaas` command-line tool.
+
+#include "src/cli/commands.h"
+
+int main(int argc, char** argv) { return indaas::RunCli(argc, argv); }

@@ -1,0 +1,253 @@
+#include "src/crypto/digest.h"
+
+#include <cstring>
+
+namespace indaas {
+namespace {
+
+uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+uint32_t Rotr32(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
+
+// Appends the standard Merkle–Damgård padding (0x80, zeros, 64-bit length).
+// `little_endian_length` selects MD5-style length encoding.
+std::vector<uint8_t> PadMessage(std::string_view data, bool little_endian_length) {
+  std::vector<uint8_t> msg(data.begin(), data.end());
+  uint64_t bit_len = static_cast<uint64_t>(msg.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) {
+    msg.push_back(0x00);
+  }
+  for (int i = 0; i < 8; ++i) {
+    int shift = little_endian_length ? i * 8 : (7 - i) * 8;
+    msg.push_back(static_cast<uint8_t>(bit_len >> shift));
+  }
+  return msg;
+}
+
+constexpr uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391};
+
+constexpr int kMd5Shift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                               5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+                               4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                               6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+}  // namespace
+
+Md5Digest Md5(std::string_view data) {
+  uint32_t h[4] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476};
+  std::vector<uint8_t> msg = PadMessage(data, /*little_endian_length=*/true);
+  for (size_t offset = 0; offset < msg.size(); offset += 64) {
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+      std::memcpy(&m[i], &msg[offset + static_cast<size_t>(i) * 4], 4);  // little-endian host
+    }
+    uint32_t a = h[0];
+    uint32_t b = h[1];
+    uint32_t c = h[2];
+    uint32_t d = h[3];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t f = 0;
+      int g = 0;
+      if (i < 16) {
+        f = (b & c) | (~b & d);
+        g = i;
+      } else if (i < 32) {
+        f = (d & b) | (~d & c);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = b ^ c ^ d;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = c ^ (b | ~d);
+        g = (7 * i) % 16;
+      }
+      uint32_t temp = d;
+      d = c;
+      c = b;
+      b = b + Rotl32(a + f + kMd5K[i] + m[g], kMd5Shift[i]);
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+  }
+  Md5Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<size_t>(i) * 4 + 0] = static_cast<uint8_t>(h[i]);
+    out[static_cast<size_t>(i) * 4 + 1] = static_cast<uint8_t>(h[i] >> 8);
+    out[static_cast<size_t>(i) * 4 + 2] = static_cast<uint8_t>(h[i] >> 16);
+    out[static_cast<size_t>(i) * 4 + 3] = static_cast<uint8_t>(h[i] >> 24);
+  }
+  return out;
+}
+
+Sha1Digest Sha1(std::string_view data) {
+  uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0};
+  std::vector<uint8_t> msg = PadMessage(data, /*little_endian_length=*/false);
+  for (size_t offset = 0; offset < msg.size(); offset += 64) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      const uint8_t* p = &msg[offset + static_cast<size_t>(i) * 4];
+      w[i] = (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+             (static_cast<uint32_t>(p[2]) << 8) | p[3];
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0];
+    uint32_t b = h[1];
+    uint32_t c = h[2];
+    uint32_t d = h[3];
+    uint32_t e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f = 0;
+      uint32_t k = 0;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<size_t>(i) * 4 + 0] = static_cast<uint8_t>(h[i] >> 24);
+    out[static_cast<size_t>(i) * 4 + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out[static_cast<size_t>(i) * 4 + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out[static_cast<size_t>(i) * 4 + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+Sha256Digest Sha256(std::string_view data) {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  std::vector<uint8_t> msg = PadMessage(data, /*little_endian_length=*/false);
+  for (size_t offset = 0; offset < msg.size(); offset += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      const uint8_t* p = &msg[offset + static_cast<size_t>(i) * 4];
+      w[i] = (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+             (static_cast<uint32_t>(p[2]) << 8) | p[3];
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h[0];
+    uint32_t b = h[1];
+    uint32_t c = h[2];
+    uint32_t d = h[3];
+    uint32_t e = h[4];
+    uint32_t f = h[5];
+    uint32_t g = h[6];
+    uint32_t hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = hh + s1 + ch + kSha256K[i] + w[i];
+      uint32_t s0 = Rotr32(a, 2) ^ Rotr32(a, 13) ^ Rotr32(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t temp2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(i) * 4 + 0] = static_cast<uint8_t>(h[i] >> 24);
+    out[static_cast<size_t>(i) * 4 + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out[static_cast<size_t>(i) * 4 + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out[static_cast<size_t>(i) * 4 + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> HashBytes(HashAlgorithm algorithm, std::string_view data) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5: {
+      Md5Digest d = Md5(data);
+      return std::vector<uint8_t>(d.begin(), d.end());
+    }
+    case HashAlgorithm::kSha1: {
+      Sha1Digest d = Sha1(data);
+      return std::vector<uint8_t>(d.begin(), d.end());
+    }
+    case HashAlgorithm::kSha256: {
+      Sha256Digest d = Sha256(data);
+      return std::vector<uint8_t>(d.begin(), d.end());
+    }
+  }
+  return {};
+}
+
+const char* HashAlgorithmName(HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5:
+      return "MD5";
+    case HashAlgorithm::kSha1:
+      return "SHA-1";
+    case HashAlgorithm::kSha256:
+      return "SHA-256";
+  }
+  return "?";
+}
+
+}  // namespace indaas

@@ -1,0 +1,55 @@
+// Cryptographic digests implemented from scratch: MD5, SHA-1, SHA-256.
+//
+// P-SOP requires all ring parties to agree on one deterministic hash function
+// (the paper uses MD5 in its prototype; SHA-256 is the recommended default
+// here). Digests are one-shot over a byte span.
+
+#ifndef SRC_CRYPTO_DIGEST_H_
+#define SRC_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indaas {
+
+using Md5Digest = std::array<uint8_t, 16>;
+using Sha1Digest = std::array<uint8_t, 20>;
+using Sha256Digest = std::array<uint8_t, 32>;
+
+// MD5 (RFC 1321). Provided for parity with the paper's prototype; do not use
+// for new designs.
+Md5Digest Md5(std::string_view data);
+
+// SHA-1 (FIPS 180-4).
+Sha1Digest Sha1(std::string_view data);
+
+// SHA-256 (FIPS 180-4).
+Sha256Digest Sha256(std::string_view data);
+
+// Lowercase hex rendering of a digest.
+template <size_t N>
+std::string DigestToHex(const std::array<uint8_t, N>& digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(N * 2);
+  for (uint8_t byte : digest) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+// Named hash algorithm selector used by protocol configuration.
+enum class HashAlgorithm { kMd5, kSha1, kSha256 };
+
+// Digest of `data` under `algorithm`, returned as raw bytes.
+std::vector<uint8_t> HashBytes(HashAlgorithm algorithm, std::string_view data);
+
+const char* HashAlgorithmName(HashAlgorithm algorithm);
+
+}  // namespace indaas
+
+#endif  // SRC_CRYPTO_DIGEST_H_

@@ -1,0 +1,49 @@
+#include "src/crypto/hash_family.h"
+
+#include <cstring>
+
+namespace indaas {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+uint64_t KeyedHash64(uint64_t seed, std::string_view data) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(data.size()) * 0x9E3779B97F4A7C15ULL);
+  size_t i = 0;
+  while (i + 8 <= data.size()) {
+    uint64_t lane;
+    std::memcpy(&lane, data.data() + i, 8);
+    h = Mix64(h ^ Mix64(lane));
+    i += 8;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  while (i < data.size()) {
+    tail |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << shift;
+    shift += 8;
+    ++i;
+  }
+  return Mix64(h ^ Mix64(tail ^ 0xA0761D6478BD642FULL));
+}
+
+HashFamily::HashFamily(uint64_t family_seed, size_t size) {
+  seeds_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    seeds_.push_back(Mix64(family_seed + 0x9E3779B97F4A7C15ULL * (i + 1)));
+  }
+}
+
+uint64_t HashFamily::Hash(size_t index, std::string_view data) const {
+  return KeyedHash64(seeds_[index], data);
+}
+
+}  // namespace indaas

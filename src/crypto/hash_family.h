@@ -1,0 +1,36 @@
+// Deterministic family of 64-bit hash functions for MinHash signatures.
+//
+// MinHash needs m distinct hash functions agreed on by all parties. We derive
+// function i by seeding a strong 64-bit mixer with i; the family is pairwise
+// close to uniform, which is what the MinHash estimator requires in practice.
+
+#ifndef SRC_CRYPTO_HASH_FAMILY_H_
+#define SRC_CRYPTO_HASH_FAMILY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace indaas {
+
+// 64-bit keyed hash of `data` (xxHash-style avalanche over 8-byte lanes).
+uint64_t KeyedHash64(uint64_t seed, std::string_view data);
+
+// A family of `size` hash functions; function i is KeyedHash64 with a seed
+// derived from (family_seed, i).
+class HashFamily {
+ public:
+  HashFamily(uint64_t family_seed, size_t size);
+
+  size_t size() const { return seeds_.size(); }
+
+  // Applies function `index` to `data`.
+  uint64_t Hash(size_t index, std::string_view data) const;
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_CRYPTO_HASH_FAMILY_H_

@@ -1,0 +1,96 @@
+#include "src/crypto/paillier.h"
+
+#include "src/bignum/modular.h"
+#include "src/bignum/prime.h"
+
+namespace indaas {
+namespace {
+
+// L(u) = (u - 1) / n; u must be ≡ 1 mod n for well-formed inputs.
+BigUint LFunction(const BigUint& u, const BigUint& n) { return u.Sub(BigUint(1)).Div(n); }
+
+}  // namespace
+
+PaillierPublicKey::PaillierPublicKey(BigUint n) : n_(std::move(n)) {
+  n_squared_ = n_.Mul(n_);
+  auto ctx = MontgomeryContext::Create(n_squared_);
+  // n = p*q with odd primes, so n^2 is odd; Create cannot fail for real keys.
+  if (ctx.ok()) {
+    ctx_ = std::make_shared<const MontgomeryContext>(std::move(ctx).value());
+  }
+}
+
+Result<BigUint> PaillierPublicKey::Encrypt(const BigUint& plaintext, Rng& rng) const {
+  if (plaintext.Compare(n_) >= 0) {
+    return InvalidArgumentError("Paillier: plaintext must be < n");
+  }
+  if (ctx_ == nullptr) {
+    return FailedPreconditionError("Paillier: invalid public key");
+  }
+  // r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly likely).
+  BigUint r = RandomBelow(n_.Sub(BigUint(1)), rng).Add(BigUint(1));
+  // (1 + m*n) * r^n mod n^2 — avoids a full modexp for the g^m part.
+  BigUint g_m = BigUint(1).Add(plaintext.Mul(n_)).Mod(n_squared_);
+  BigUint r_n = ctx_->ModExp(r, n_);
+  return g_m.Mul(r_n).Mod(n_squared_);
+}
+
+BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1, const BigUint& c2) const {
+  return c1.Mul(c2).Mod(n_squared_);
+}
+
+BigUint PaillierPublicKey::MulPlaintext(const BigUint& ciphertext, const BigUint& scalar) const {
+  if (ctx_ == nullptr) {
+    return BigUint();
+  }
+  return ctx_->ModExp(ciphertext, scalar);
+}
+
+Result<BigUint> PaillierPublicKey::Rerandomize(const BigUint& ciphertext, Rng& rng) const {
+  INDAAS_ASSIGN_OR_RETURN(BigUint zero_ct, Encrypt(BigUint(), rng));
+  return AddCiphertexts(ciphertext, zero_ct);
+}
+
+Result<BigUint> PaillierPrivateKey::Decrypt(const PaillierPublicKey& pub,
+                                            const BigUint& ciphertext) const {
+  if (ciphertext.Compare(pub.n_squared()) >= 0) {
+    return InvalidArgumentError("Paillier: ciphertext out of range");
+  }
+  INDAAS_ASSIGN_OR_RETURN(BigUint u, ModExp(ciphertext, lambda_, pub.n_squared()));
+  BigUint l = LFunction(u, pub.n());
+  return l.Mul(mu_).Mod(pub.n());
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(size_t modulus_bits, Rng& rng) {
+  if (modulus_bits < 32) {
+    return InvalidArgumentError("Paillier: modulus must be at least 32 bits");
+  }
+  size_t prime_bits = modulus_bits / 2;
+  for (int attempts = 0; attempts < 100; ++attempts) {
+    INDAAS_ASSIGN_OR_RETURN(BigUint p, GeneratePrime(prime_bits, rng));
+    INDAAS_ASSIGN_OR_RETURN(BigUint q, GeneratePrime(prime_bits, rng));
+    if (p == q) {
+      continue;
+    }
+    BigUint n = p.Mul(q);
+    BigUint p1 = p.Sub(BigUint(1));
+    BigUint q1 = q.Sub(BigUint(1));
+    // Require gcd(n, (p-1)(q-1)) = 1, guaranteed for same-size primes.
+    if (!Gcd(n, p1.Mul(q1)).IsOne()) {
+      continue;
+    }
+    BigUint lambda = Lcm(p1, q1);
+    PaillierPublicKey pub(n);
+    // μ = L(g^λ mod n^2)^-1 mod n, with g = n+1: g^λ = 1 + λ·n mod n^2, so
+    // L(g^λ) = λ mod n.
+    BigUint l_g_lambda = lambda.Mod(n);
+    auto mu = ModInverse(l_g_lambda, n);
+    if (!mu.ok()) {
+      continue;
+    }
+    return PaillierKeyPair{std::move(pub), PaillierPrivateKey(std::move(lambda), std::move(mu).value())};
+  }
+  return InternalError("Paillier key generation exceeded attempt budget");
+}
+
+}  // namespace indaas

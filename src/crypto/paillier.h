@@ -1,0 +1,73 @@
+// Paillier additively homomorphic cryptosystem.
+//
+// Building block for the Kissner–Song (KS) private set operation baseline the
+// paper compares P-SOP against (Figure 8). Ciphertexts live in Z_{n^2}^*:
+//   Enc(m; r) = (1 + m·n) · r^n  mod n^2          (g = n + 1)
+//   Dec(c)    = L(c^λ mod n^2) · μ mod n,  L(u) = (u - 1) / n
+// Homomorphisms: Enc(a)·Enc(b) = Enc(a+b); Enc(a)^k = Enc(k·a).
+
+#ifndef SRC_CRYPTO_PAILLIER_H_
+#define SRC_CRYPTO_PAILLIER_H_
+
+#include <memory>
+
+#include "src/bignum/biguint.h"
+#include "src/bignum/montgomery.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Public key: modulus n (product of two same-size primes).
+class PaillierPublicKey {
+ public:
+  explicit PaillierPublicKey(BigUint n);
+
+  const BigUint& n() const { return n_; }
+  const BigUint& n_squared() const { return n_squared_; }
+
+  // Ciphertext wire size in bytes (|n^2|).
+  size_t CiphertextBytes() const { return (n_squared_.BitLength() + 7) / 8; }
+
+  // Encrypts plaintext m in [0, n) with fresh randomness from `rng`.
+  Result<BigUint> Encrypt(const BigUint& plaintext, Rng& rng) const;
+
+  // Homomorphic addition: Enc(a+b) from Enc(a), Enc(b).
+  BigUint AddCiphertexts(const BigUint& c1, const BigUint& c2) const;
+
+  // Homomorphic scalar multiply: Enc(k·a) from Enc(a).
+  BigUint MulPlaintext(const BigUint& ciphertext, const BigUint& scalar) const;
+
+  // Rerandomizes a ciphertext (multiplies by a fresh Enc(0)).
+  Result<BigUint> Rerandomize(const BigUint& ciphertext, Rng& rng) const;
+
+ private:
+  BigUint n_;
+  BigUint n_squared_;
+  std::shared_ptr<const MontgomeryContext> ctx_;  // mod n^2
+};
+
+// Private key: λ = lcm(p-1, q-1) and μ = L(g^λ mod n^2)^-1 mod n.
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey(BigUint lambda, BigUint mu) : lambda_(std::move(lambda)), mu_(std::move(mu)) {}
+
+  // Decrypts a ciphertext to its plaintext in [0, n).
+  Result<BigUint> Decrypt(const PaillierPublicKey& pub, const BigUint& ciphertext) const;
+
+ private:
+  BigUint lambda_;
+  BigUint mu_;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+// Generates a fresh keypair with an n of approximately `modulus_bits` bits.
+Result<PaillierKeyPair> GeneratePaillierKeyPair(size_t modulus_bits, Rng& rng);
+
+}  // namespace indaas
+
+#endif  // SRC_CRYPTO_PAILLIER_H_

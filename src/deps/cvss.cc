@@ -1,0 +1,61 @@
+#include "src/deps/cvss.h"
+
+#include <cstdlib>
+
+#include "src/deps/normalize.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+
+Result<std::vector<CvssEntry>> ParseCvssFeed(std::string_view text) {
+  std::vector<CvssEntry> entries;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::vector<std::string> fields = SplitAndTrim(line, ' ');
+    // Allow trailing inline comments: "openssl 1.0.1e 7.5  # heartbleed".
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].front() == '#') {
+        fields.resize(i);
+        break;
+      }
+    }
+    if (fields.size() != 3) {
+      return ParseError(StrFormat("CVSS feed line %zu: expected 'package version score', got '%s'",
+                                  line_number, std::string(line).c_str()));
+    }
+    char* end = nullptr;
+    double score = std::strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str() || *end != '\0' || score < 0.0 || score > 10.0) {
+      return ParseError(
+          StrFormat("CVSS feed line %zu: score '%s' not in [0,10]", line_number,
+                    fields[2].c_str()));
+    }
+    entries.push_back(CvssEntry{fields[0], fields[1], score});
+  }
+  return entries;
+}
+
+Status ApplyCvssFeed(const std::vector<CvssEntry>& entries, FailureProbabilityModel& model,
+                     double max_prob) {
+  if (max_prob < 0.0 || max_prob > 1.0) {
+    return InvalidArgumentError("ApplyCvssFeed: max_prob must be in [0,1]");
+  }
+  for (const CvssEntry& entry : entries) {
+    double prob = entry.base_score / 10.0 * max_prob;
+    INDAAS_RETURN_IF_ERROR(
+        model.SetComponentProb(NormalizePackage(entry.package, entry.version), prob));
+  }
+  return Status::Ok();
+}
+
+Status LoadCvssFeed(std::string_view text, FailureProbabilityModel& model, double max_prob) {
+  INDAAS_ASSIGN_OR_RETURN(std::vector<CvssEntry> entries, ParseCvssFeed(text));
+  return ApplyCvssFeed(entries, model, max_prob);
+}
+
+}  // namespace indaas

@@ -1,0 +1,50 @@
+// CVSS vulnerability feed ingestion (paper §5.1).
+//
+// "Regarding the failure probabilities of software dependencies, the Common
+// Vulnerability Scoring System (CVSS) can be used to provide vulnerability-
+// related failure probabilities for many software libraries and packages."
+// This module parses a simple CVSS feed and folds the scores into a
+// FailureProbabilityModel as per-package overrides.
+//
+// Feed format, one entry per line (blank lines and '#' comments skipped):
+//   <package> <version> <cvss-base-score 0..10>
+// e.g.
+//   openssl 1.0.1e 7.5      # Heartbleed-era OpenSSL
+//   libc6   2.13-38 5.0
+
+#ifndef SRC_DEPS_CVSS_H_
+#define SRC_DEPS_CVSS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/deps/prob_model.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct CvssEntry {
+  std::string package;
+  std::string version;
+  double base_score = 0.0;  // 0..10
+};
+
+// Parses a feed document. Malformed lines are errors (not skipped), so a
+// corrupted feed cannot silently weaken an audit.
+Result<std::vector<CvssEntry>> ParseCvssFeed(std::string_view text);
+
+// Applies entries to `model` as exact-component overrides on the normalized
+// id "pkg:<name>=<version>". The probability heuristic maps the 0..10 base
+// score linearly onto [0, max_prob] (default: a score of 10 means a 30%
+// annual failure/compromise probability).
+Status ApplyCvssFeed(const std::vector<CvssEntry>& entries, FailureProbabilityModel& model,
+                     double max_prob = 0.3);
+
+// Convenience: parse + apply.
+Status LoadCvssFeed(std::string_view text, FailureProbabilityModel& model,
+                    double max_prob = 0.3);
+
+}  // namespace indaas
+
+#endif  // SRC_DEPS_CVSS_H_

@@ -1,0 +1,142 @@
+#include "src/deps/depdb.h"
+
+#include <algorithm>
+#include <set>
+
+namespace indaas {
+
+void DepDb::Add(const DependencyRecord& record) {
+  if (const auto* net = std::get_if<NetworkDependency>(&record)) {
+    auto [begin, end] = network_by_src_.equal_range(net->src);
+    for (auto it = begin; it != end; ++it) {
+      if (network_[it->second] == *net) {
+        return;
+      }
+    }
+    network_by_src_.emplace(net->src, network_.size());
+    network_.push_back(*net);
+    return;
+  }
+  if (const auto* hw = std::get_if<HardwareDependency>(&record)) {
+    auto [begin, end] = hardware_by_host_.equal_range(hw->hw);
+    for (auto it = begin; it != end; ++it) {
+      if (hardware_[it->second] == *hw) {
+        return;
+      }
+    }
+    hardware_by_host_.emplace(hw->hw, hardware_.size());
+    hardware_.push_back(*hw);
+    return;
+  }
+  const auto& sw = std::get<SoftwareDependency>(record);
+  auto [begin, end] = software_by_host_.equal_range(sw.hw);
+  for (auto it = begin; it != end; ++it) {
+    if (software_[it->second] == sw) {
+      return;
+    }
+  }
+  software_by_host_.emplace(sw.hw, software_.size());
+  software_by_pgm_.emplace(sw.pgm, software_.size());
+  software_.push_back(sw);
+}
+
+void DepDb::AddAll(const std::vector<DependencyRecord>& records) {
+  for (const DependencyRecord& record : records) {
+    Add(record);
+  }
+}
+
+Status DepDb::ImportText(std::string_view text) {
+  INDAAS_ASSIGN_OR_RETURN(std::vector<DependencyRecord> records, ParseRecords(text));
+  AddAll(records);
+  return Status::Ok();
+}
+
+std::string DepDb::ExportText() const {
+  std::string out;
+  for (const NetworkDependency& net : network_) {
+    out += SerializeRecord(net);
+    out += '\n';
+  }
+  for (const HardwareDependency& hw : hardware_) {
+    out += SerializeRecord(hw);
+    out += '\n';
+  }
+  for (const SoftwareDependency& sw : software_) {
+    out += SerializeRecord(sw);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<NetworkDependency> DepDb::RoutesFrom(const std::string& src) const {
+  std::vector<NetworkDependency> out;
+  auto [begin, end] = network_by_src_.equal_range(src);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(network_[it->second]);
+  }
+  return out;
+}
+
+std::vector<NetworkDependency> DepDb::RoutesBetween(const std::string& src,
+                                                    const std::string& dst) const {
+  std::vector<NetworkDependency> out;
+  for (const NetworkDependency& net : RoutesFrom(src)) {
+    if (net.dst == dst) {
+      out.push_back(net);
+    }
+  }
+  return out;
+}
+
+std::vector<HardwareDependency> DepDb::HardwareOf(const std::string& hw) const {
+  std::vector<HardwareDependency> out;
+  auto [begin, end] = hardware_by_host_.equal_range(hw);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(hardware_[it->second]);
+  }
+  return out;
+}
+
+std::vector<SoftwareDependency> DepDb::SoftwareOn(const std::string& hw) const {
+  std::vector<SoftwareDependency> out;
+  auto [begin, end] = software_by_host_.equal_range(hw);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(software_[it->second]);
+  }
+  return out;
+}
+
+Result<SoftwareDependency> DepDb::SoftwareByName(const std::string& pgm) const {
+  auto it = software_by_pgm_.find(pgm);
+  if (it == software_by_pgm_.end()) {
+    return NotFoundError("no software component named '" + pgm + "'");
+  }
+  return software_[it->second];
+}
+
+std::vector<std::string> DepDb::KnownHosts() const {
+  std::set<std::string> hosts;
+  for (const auto& [src, _] : network_by_src_) {
+    hosts.insert(src);
+  }
+  for (const auto& [host, _] : hardware_by_host_) {
+    hosts.insert(host);
+  }
+  for (const auto& [host, _] : software_by_host_) {
+    hosts.insert(host);
+  }
+  return std::vector<std::string>(hosts.begin(), hosts.end());
+}
+
+void DepDb::Clear() {
+  network_.clear();
+  hardware_.clear();
+  software_.clear();
+  network_by_src_.clear();
+  hardware_by_host_.clear();
+  software_by_host_.clear();
+  software_by_pgm_.clear();
+}
+
+}  // namespace indaas

@@ -1,0 +1,73 @@
+// DepDB — the dependency information database (paper §3).
+//
+// Dependency acquisition modules store their adapted records here; the SIA
+// fault-graph builder queries it per server (§4.1.1 steps 2-6). In-memory
+// with host-keyed indexes, plus text import/export in the Table 1 format.
+
+#ifndef SRC_DEPS_DEPDB_H_
+#define SRC_DEPS_DEPDB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/deps/record.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+class DepDb {
+ public:
+  // Inserts a record; duplicates are stored once (exact-match dedup).
+  void Add(const DependencyRecord& record);
+
+  void AddAll(const std::vector<DependencyRecord>& records);
+
+  // Parses Table 1 formatted text and inserts every record.
+  Status ImportText(std::string_view text);
+
+  // Serializes the full database (grouped: network, hardware, software).
+  std::string ExportText() const;
+
+  // --- Queries used by the fault-graph builder ---
+
+  // All routes originating at `src` (e.g. server -> Internet paths).
+  std::vector<NetworkDependency> RoutesFrom(const std::string& src) const;
+
+  // Routes from `src` to a specific destination.
+  std::vector<NetworkDependency> RoutesBetween(const std::string& src,
+                                               const std::string& dst) const;
+
+  // Hardware components of host `hw`.
+  std::vector<HardwareDependency> HardwareOf(const std::string& hw) const;
+
+  // Software components running on host `hw`.
+  std::vector<SoftwareDependency> SoftwareOn(const std::string& hw) const;
+
+  // Software record for a specific program name, if present.
+  Result<SoftwareDependency> SoftwareByName(const std::string& pgm) const;
+
+  // Hosts that appear as a network source, hardware owner, or software host.
+  std::vector<std::string> KnownHosts() const;
+
+  size_t NetworkCount() const { return network_.size(); }
+  size_t HardwareCount() const { return hardware_.size(); }
+  size_t SoftwareCount() const { return software_.size(); }
+  size_t TotalCount() const { return network_.size() + hardware_.size() + software_.size(); }
+
+  void Clear();
+
+ private:
+  std::vector<NetworkDependency> network_;
+  std::vector<HardwareDependency> hardware_;
+  std::vector<SoftwareDependency> software_;
+  // Indexes: host/subject -> record positions.
+  std::multimap<std::string, size_t> network_by_src_;
+  std::multimap<std::string, size_t> hardware_by_host_;
+  std::multimap<std::string, size_t> software_by_host_;
+  std::map<std::string, size_t> software_by_pgm_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_DEPS_DEPDB_H_

@@ -1,0 +1,64 @@
+#include "src/deps/normalize.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+std::string LowerTrim(const std::string& text) {
+  std::string out(Trim(text));
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeNetworkComponent(const std::string& device) {
+  return "net:" + LowerTrim(device);
+}
+
+std::string NormalizePackage(const std::string& name, const std::string& version) {
+  std::string base = LowerTrim(name);
+  // Accept an inline "name=version" form.
+  if (version.empty()) {
+    return "pkg:" + base;
+  }
+  return "pkg:" + base + "=" + LowerTrim(version);
+}
+
+std::string NormalizeHardwareComponent(const std::string& model) {
+  return "hw:" + LowerTrim(model);
+}
+
+std::vector<std::string> NormalizedComponentsOf(const DependencyRecord& record) {
+  std::vector<std::string> out;
+  if (const auto* net = std::get_if<NetworkDependency>(&record)) {
+    out.reserve(net->route.size());
+    for (const std::string& device : net->route) {
+      out.push_back(NormalizeNetworkComponent(device));
+    }
+    return out;
+  }
+  if (const auto* hw = std::get_if<HardwareDependency>(&record)) {
+    out.push_back(NormalizeHardwareComponent(hw->dep));
+    return out;
+  }
+  const auto& sw = std::get<SoftwareDependency>(record);
+  out.reserve(sw.deps.size());
+  for (const std::string& pkg : sw.deps) {
+    // Packages may carry an inline "name=version".
+    size_t eq = pkg.find('=');
+    if (eq == std::string::npos) {
+      out.push_back(NormalizePackage(pkg));
+    } else {
+      out.push_back(NormalizePackage(pkg.substr(0, eq), pkg.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,40 @@
+// Component normalization (paper §4.2.3).
+//
+// For auditing — especially private auditing across providers — the same
+// physical or logical component must map to the same identifier everywhere:
+//   * third-party routing elements  -> "net:<ip-or-name>"
+//   * software packages             -> "pkg:<name>=<version>"
+//   * hardware components           -> "hw:<model>"
+// Normalized identifiers are what component-sets, fault-graph basic events,
+// and PIA set elements are made of.
+
+#ifndef SRC_DEPS_NORMALIZE_H_
+#define SRC_DEPS_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deps/record.h"
+
+namespace indaas {
+
+// "net:<device>"; lowercases and strips whitespace so "ToR1 " == "tor1".
+std::string NormalizeNetworkComponent(const std::string& device);
+
+// "pkg:<name>=<version>"; a bare name (no version) normalizes to
+// "pkg:<name>". Accepts "name=version", "name-version" is NOT split (dashes
+// are common inside package names); pass version separately when known.
+std::string NormalizePackage(const std::string& name, const std::string& version = "");
+
+// "hw:<model>"; lowercased.
+std::string NormalizeHardwareComponent(const std::string& model);
+
+// Expands one dependency record into the normalized component identifiers it
+// contributes: network records yield one id per routing element; hardware
+// records yield the component model; software records yield one id per
+// package dependency.
+std::vector<std::string> NormalizedComponentsOf(const DependencyRecord& record);
+
+}  // namespace indaas
+
+#endif  // SRC_DEPS_NORMALIZE_H_

@@ -1,0 +1,84 @@
+#include "src/deps/prob_model.h"
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+FailureProbabilityModel::FailureProbabilityModel(double default_prob)
+    : default_prob_(default_prob) {}
+
+Result<FailureProbabilityModel> FailureProbabilityModel::FromObservations(
+    const std::vector<FailureObservation>& observations, double default_prob) {
+  FailureProbabilityModel model(default_prob);
+  for (const FailureObservation& obs : observations) {
+    if (obs.population == 0) {
+      return InvalidArgumentError("FromObservations: zero population for class '" +
+                                  obs.class_prefix + "'");
+    }
+    if (obs.failed > obs.population) {
+      return InvalidArgumentError("FromObservations: failed > population for class '" +
+                                  obs.class_prefix + "'");
+    }
+    INDAAS_RETURN_IF_ERROR(model.SetClassProb(
+        obs.class_prefix,
+        static_cast<double>(obs.failed) / static_cast<double>(obs.population)));
+  }
+  return model;
+}
+
+FailureProbabilityModel FailureProbabilityModel::GillEtAlDefaults() {
+  FailureProbabilityModel model(0.01);
+  // Annual failure probabilities for data center network devices, after
+  // Gill, Jain & Nagappan, "Understanding network failures in data centers"
+  // (SIGCOMM 2011), Figure 4 — the source the paper cites in §5.1.
+  (void)model.SetClassProb("net:tor", 0.05);   // Top-of-Rack switches
+  (void)model.SetClassProb("net:agg", 0.10);   // aggregation switches
+  (void)model.SetClassProb("net:core", 0.12);  // core routers
+  (void)model.SetClassProb("net:lb", 0.20);    // load balancers
+  (void)model.SetClassProb("net:", 0.08);      // other network gear
+  // Hardware components: disks dominate (AFR ~2-4%), others lower.
+  (void)model.SetClassProb("hw:disk", 0.04);
+  (void)model.SetClassProb("hw:", 0.02);
+  // Software packages: a flat CVSS-flavored prior; callers refine with
+  // SetComponentProb from vulnerability feeds.
+  (void)model.SetClassProb("pkg:", 0.03);
+  // Servers as whole units (Gill et al. report ~5% yearly).
+  (void)model.SetClassProb("server", 0.05);
+  (void)model.SetClassProb("vm", 0.05);
+  return model;
+}
+
+Status FailureProbabilityModel::SetClassProb(const std::string& class_prefix, double prob) {
+  if (prob < 0.0 || prob > 1.0) {
+    return InvalidArgumentError(StrFormat("probability %f out of [0,1]", prob));
+  }
+  class_probs_[class_prefix] = prob;
+  return Status::Ok();
+}
+
+Status FailureProbabilityModel::SetComponentProb(const std::string& component_id, double prob) {
+  if (prob < 0.0 || prob > 1.0) {
+    return InvalidArgumentError(StrFormat("probability %f out of [0,1]", prob));
+  }
+  component_probs_[component_id] = prob;
+  return Status::Ok();
+}
+
+double FailureProbabilityModel::Lookup(const std::string& component_id) const {
+  auto exact = component_probs_.find(component_id);
+  if (exact != component_probs_.end()) {
+    return exact->second;
+  }
+  // Longest matching prefix wins.
+  size_t best_len = 0;
+  double best_prob = default_prob_;
+  for (const auto& [prefix, prob] : class_probs_) {
+    if (prefix.size() >= best_len && StartsWith(component_id, prefix)) {
+      best_len = prefix.size();
+      best_prob = prob;
+    }
+  }
+  return best_prob;
+}
+
+}  // namespace indaas

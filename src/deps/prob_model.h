@@ -1,0 +1,69 @@
+// Failure probability model (paper §5.1).
+//
+// Fault-set-level auditing needs per-component failure probabilities. The
+// paper points at two sources: Gill et al.'s measured annual device failure
+// rates for network gear, and CVSS-derived vulnerability scores for software
+// packages. This model maps component classes to probabilities, with
+// class-prefix matching over normalized identifiers ("net:", "pkg:", "hw:")
+// and per-component overrides.
+
+#ifndef SRC_DEPS_PROB_MODEL_H_
+#define SRC_DEPS_PROB_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+// One fleet observation: how many components of a device class exist and
+// how many of them failed during the observation period.
+struct FailureObservation {
+  std::string class_prefix;  // e.g. "net:tor", "hw:disk"
+  uint64_t failed = 0;
+  uint64_t population = 0;
+};
+
+class FailureProbabilityModel {
+ public:
+  // Empty model: Lookup returns the default probability for everything.
+  explicit FailureProbabilityModel(double default_prob = 0.01);
+
+  // Builds a model from fleet observations, using Gill et al.'s estimator
+  // (§5.1): probability of a class = components of that type that ever
+  // failed during the period / total population of that type. Errors on a
+  // zero population or failed > population.
+  static Result<FailureProbabilityModel> FromObservations(
+      const std::vector<FailureObservation>& observations, double default_prob = 0.01);
+
+  // A model preloaded with the measured annual failure rates reported by
+  // Gill et al. (SIGCOMM'11) for data center devices, the paper's reference:
+  // ToR switches ~5%, aggregation switches ~10%, core routers/load balancers
+  // higher; plus modest defaults for hardware and software components.
+  static FailureProbabilityModel GillEtAlDefaults();
+
+  // Sets the probability for a device class; `class_prefix` is matched
+  // against the start of the normalized id (longest prefix wins), e.g.
+  // "net:tor" covers "net:tor17".
+  Status SetClassProb(const std::string& class_prefix, double prob);
+
+  // Exact-id override (takes precedence over class prefixes).
+  Status SetComponentProb(const std::string& component_id, double prob);
+
+  // Probability for a normalized component id.
+  double Lookup(const std::string& component_id) const;
+
+  double default_prob() const { return default_prob_; }
+
+ private:
+  double default_prob_;
+  std::map<std::string, double> class_probs_;      // by prefix
+  std::map<std::string, double> component_probs_;  // exact
+};
+
+}  // namespace indaas
+
+#endif  // SRC_DEPS_PROB_MODEL_H_

@@ -1,0 +1,132 @@
+#include "src/deps/record.h"
+
+#include <map>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+// Parses the attribute list of a '<key="value" .../>' element, preserving
+// attribute order.
+Result<std::vector<std::pair<std::string, std::string>>> ParseAttributes(std::string_view line) {
+  std::string_view text = Trim(line);
+  if (text.size() < 2 || text.front() != '<') {
+    return ParseError("record must start with '<': " + std::string(line));
+  }
+  text.remove_prefix(1);
+  if (EndsWith(text, "/>")) {
+    text.remove_suffix(2);
+  } else if (EndsWith(text, ">")) {
+    text.remove_suffix(1);
+  } else {
+    return ParseError("record must end with '>' or '/>': " + std::string(line));
+  }
+  std::vector<std::pair<std::string, std::string>> attrs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+    if (pos >= text.size()) {
+      break;
+    }
+    size_t eq = text.find('=', pos);
+    if (eq == std::string_view::npos) {
+      return ParseError("expected key=\"value\" in: " + std::string(line));
+    }
+    std::string key(Trim(text.substr(pos, eq - pos)));
+    size_t quote_open = text.find('"', eq);
+    if (quote_open == std::string_view::npos) {
+      return ParseError("missing opening quote in: " + std::string(line));
+    }
+    size_t quote_close = text.find('"', quote_open + 1);
+    if (quote_close == std::string_view::npos) {
+      return ParseError("missing closing quote in: " + std::string(line));
+    }
+    std::string value(text.substr(quote_open + 1, quote_close - quote_open - 1));
+    attrs.emplace_back(std::move(key), std::move(value));
+    pos = quote_close + 1;
+  }
+  if (attrs.empty()) {
+    return ParseError("record has no attributes: " + std::string(line));
+  }
+  return attrs;
+}
+
+std::string FindAttr(const std::vector<std::pair<std::string, std::string>>& attrs,
+                     const std::string& key) {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string SerializeRecord(const DependencyRecord& record) {
+  if (const auto* net = std::get_if<NetworkDependency>(&record)) {
+    return StrFormat("<src=\"%s\" dst=\"%s\" route=\"%s\"/>", net->src.c_str(), net->dst.c_str(),
+                     Join(net->route, ",").c_str());
+  }
+  if (const auto* hw = std::get_if<HardwareDependency>(&record)) {
+    return StrFormat("<hw=\"%s\" type=\"%s\" dep=\"%s\"/>", hw->hw.c_str(), hw->type.c_str(),
+                     hw->dep.c_str());
+  }
+  const auto& sw = std::get<SoftwareDependency>(record);
+  return StrFormat("<pgm=\"%s\" hw=\"%s\" dep=\"%s\"/>", sw.pgm.c_str(), sw.hw.c_str(),
+                   Join(sw.deps, ",").c_str());
+}
+
+Result<DependencyRecord> ParseRecord(std::string_view line) {
+  INDAAS_ASSIGN_OR_RETURN(auto attrs, ParseAttributes(line));
+  const std::string& kind = attrs.front().first;
+  if (kind == "src") {
+    NetworkDependency net;
+    net.src = attrs.front().second;
+    net.dst = FindAttr(attrs, "dst");
+    net.route = SplitAndTrim(FindAttr(attrs, "route"), ',');
+    if (net.src.empty() || net.dst.empty()) {
+      return ParseError("network record needs src and dst: " + std::string(line));
+    }
+    return DependencyRecord(std::move(net));
+  }
+  if (kind == "hw") {
+    HardwareDependency hw;
+    hw.hw = attrs.front().second;
+    hw.type = FindAttr(attrs, "type");
+    hw.dep = FindAttr(attrs, "dep");
+    if (hw.hw.empty() || hw.dep.empty()) {
+      return ParseError("hardware record needs hw and dep: " + std::string(line));
+    }
+    return DependencyRecord(std::move(hw));
+  }
+  if (kind == "pgm") {
+    SoftwareDependency sw;
+    sw.pgm = attrs.front().second;
+    sw.hw = FindAttr(attrs, "hw");
+    sw.deps = SplitAndTrim(FindAttr(attrs, "dep"), ',');
+    if (sw.pgm.empty() || sw.hw.empty()) {
+      return ParseError("software record needs pgm and hw: " + std::string(line));
+    }
+    return DependencyRecord(std::move(sw));
+  }
+  return ParseError("unknown record kind '" + kind + "' in: " + std::string(line));
+}
+
+Result<std::vector<DependencyRecord>> ParseRecords(std::string_view text) {
+  std::vector<DependencyRecord> records;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#' || StartsWith(line, "---")) {
+      continue;
+    }
+    INDAAS_ASSIGN_OR_RETURN(DependencyRecord record, ParseRecord(line));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace indaas

@@ -1,0 +1,64 @@
+// Uniform dependency representation (paper §3, Table 1).
+//
+// All dependency acquisition modules emit records in one of three shapes:
+//   Network : <src="S" dst="D" route="x,y,z"/>
+//   Hardware: <hw="H" type="T" dep="x"/>
+//   Software: <pgm="S" hw="H" dep="x,y,z"/>
+// This module defines the in-memory record types and the textual wire format
+// (parser + serializer) used to load/store DepDB contents.
+
+#ifndef SRC_DEPS_RECORD_H_
+#define SRC_DEPS_RECORD_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+// A route from `src` to `dst` through the listed network devices.
+struct NetworkDependency {
+  std::string src;
+  std::string dst;
+  std::vector<std::string> route;
+
+  bool operator==(const NetworkDependency&) const = default;
+};
+
+// A physical component of host `hw`: its `type` (CPU/Disk/RAM/NIC/...) and
+// the component identity `dep` (model / serial).
+struct HardwareDependency {
+  std::string hw;
+  std::string type;
+  std::string dep;
+
+  bool operator==(const HardwareDependency&) const = default;
+};
+
+// Software component `pgm` running on host `hw`, depending on packages `deps`.
+struct SoftwareDependency {
+  std::string pgm;
+  std::string hw;
+  std::vector<std::string> deps;
+
+  bool operator==(const SoftwareDependency&) const = default;
+};
+
+using DependencyRecord = std::variant<NetworkDependency, HardwareDependency, SoftwareDependency>;
+
+// Serializes a record into its Table 1 line form.
+std::string SerializeRecord(const DependencyRecord& record);
+
+// Parses one Table 1 line. The record type is keyed on the leading attribute:
+// src= -> network, hw= -> hardware, pgm= -> software.
+Result<DependencyRecord> ParseRecord(std::string_view line);
+
+// Parses a multi-line document, skipping blank lines and '#' / '---' comment
+// or separator lines (as in the paper's Figure 3 listing).
+Result<std::vector<DependencyRecord>> ParseRecords(std::string_view text);
+
+}  // namespace indaas
+
+#endif  // SRC_DEPS_RECORD_H_

@@ -1,0 +1,206 @@
+#include "src/graph/bdd.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+constexpr uint32_t kTerminalVar = 0xFFFFFFFFu;
+
+uint64_t PairKey(BddRef a, BddRef b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+BddManager::BddManager(size_t max_nodes) : max_nodes_(max_nodes) {
+  nodes_.push_back(Node{kTerminalVar, kBddFalse, kBddFalse});  // false
+  nodes_.push_back(Node{kTerminalVar, kBddTrue, kBddTrue});    // true
+}
+
+uint32_t BddManager::VarOf(BddRef ref) const { return nodes_[ref].var; }
+
+Result<BddRef> BddManager::MakeNode(uint32_t var, BddRef lo, BddRef hi) {
+  if (lo == hi) {
+    return lo;  // Reduction rule.
+  }
+  if (var >= unique_.size()) {
+    unique_.resize(var + 1);
+  }
+  uint64_t key = PairKey(lo, hi);
+  auto it = unique_[var].find(key);
+  if (it != unique_[var].end()) {
+    return it->second;
+  }
+  if (nodes_.size() >= max_nodes_) {
+    return ResourceExhaustedError(
+        StrFormat("BDD exceeded node budget (%zu nodes)", max_nodes_));
+  }
+  BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_[var].emplace(key, ref);
+  return ref;
+}
+
+Result<BddRef> BddManager::Var(uint32_t var) {
+  return MakeNode(var, kBddFalse, kBddTrue);
+}
+
+Result<BddRef> BddManager::Apply(Op op, BddRef a, BddRef b) {
+  // Terminal cases.
+  if (op == Op::kAnd) {
+    if (a == kBddFalse || b == kBddFalse) {
+      return kBddFalse;
+    }
+    if (a == kBddTrue) {
+      return b;
+    }
+    if (b == kBddTrue || a == b) {
+      return a;
+    }
+  } else {
+    if (a == kBddTrue || b == kBddTrue) {
+      return kBddTrue;
+    }
+    if (a == kBddFalse) {
+      return b;
+    }
+    if (b == kBddFalse || a == b) {
+      return a;
+    }
+  }
+  if (a > b) {
+    std::swap(a, b);  // Commutative: canonicalize the cache key.
+  }
+  auto& cache = apply_cache_[static_cast<size_t>(op)];
+  uint64_t key = PairKey(a, b);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  uint32_t va = VarOf(a);
+  uint32_t vb = VarOf(b);
+  uint32_t top = std::min(va, vb);
+  BddRef a_lo = va == top ? nodes_[a].lo : a;
+  BddRef a_hi = va == top ? nodes_[a].hi : a;
+  BddRef b_lo = vb == top ? nodes_[b].lo : b;
+  BddRef b_hi = vb == top ? nodes_[b].hi : b;
+  INDAAS_ASSIGN_OR_RETURN(BddRef lo, Apply(op, a_lo, b_lo));
+  INDAAS_ASSIGN_OR_RETURN(BddRef hi, Apply(op, a_hi, b_hi));
+  INDAAS_ASSIGN_OR_RETURN(BddRef out, MakeNode(top, lo, hi));
+  cache.emplace(key, out);
+  return out;
+}
+
+Result<BddRef> BddManager::And(BddRef a, BddRef b) { return Apply(Op::kAnd, a, b); }
+Result<BddRef> BddManager::Or(BddRef a, BddRef b) { return Apply(Op::kOr, a, b); }
+
+double BddManager::Probability(BddRef f, const std::vector<double>& probs) const {
+  std::unordered_map<BddRef, double> memo;
+  memo.emplace(kBddFalse, 0.0);
+  memo.emplace(kBddTrue, 1.0);
+  // Iterative post-order to avoid recursion depth issues.
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef ref = stack.back();
+    if (memo.count(ref) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& node = nodes_[ref];
+    auto lo_it = memo.find(node.lo);
+    auto hi_it = memo.find(node.hi);
+    if (lo_it != memo.end() && hi_it != memo.end()) {
+      double p = node.var < probs.size() ? probs[node.var] : 0.0;
+      memo.emplace(ref, (1.0 - p) * lo_it->second + p * hi_it->second);
+      stack.pop_back();
+    } else {
+      if (lo_it == memo.end()) {
+        stack.push_back(node.lo);
+      }
+      if (hi_it == memo.end()) {
+        stack.push_back(node.hi);
+      }
+    }
+  }
+  return memo[f];
+}
+
+Result<CompiledFaultGraph> CompileFaultGraph(const FaultGraph& graph, double default_prob,
+                                             size_t max_nodes) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("CompileFaultGraph: graph not validated");
+  }
+  CompiledFaultGraph out;
+  out.manager = std::make_unique<BddManager>(max_nodes);
+  BddManager& manager = *out.manager;
+
+  // Basic event -> BDD variable, in BasicEvents() order (ascending node id).
+  std::map<NodeId, uint32_t> var_of;
+  for (NodeId id : graph.BasicEvents()) {
+    uint32_t var = static_cast<uint32_t>(out.variable_order.size());
+    var_of.emplace(id, var);
+    out.variable_order.push_back(id);
+    double p = graph.node(id).failure_prob;
+    out.probs.push_back(p == kUnknownProb ? default_prob : p);
+  }
+
+  std::vector<BddRef> compiled(graph.NodeCount(), kBddFalse);
+  for (NodeId id : graph.TopologicalOrder()) {
+    const FaultNode& node = graph.node(id);
+    switch (node.gate) {
+      case GateType::kBasic: {
+        INDAAS_ASSIGN_OR_RETURN(compiled[id], manager.Var(var_of.at(id)));
+        break;
+      }
+      case GateType::kOr: {
+        BddRef acc = kBddFalse;
+        for (NodeId child : node.children) {
+          INDAAS_ASSIGN_OR_RETURN(acc, manager.Or(acc, compiled[child]));
+        }
+        compiled[id] = acc;
+        break;
+      }
+      case GateType::kAnd: {
+        BddRef acc = kBddTrue;
+        for (NodeId child : node.children) {
+          INDAAS_ASSIGN_OR_RETURN(acc, manager.And(acc, compiled[child]));
+        }
+        compiled[id] = acc;
+        break;
+      }
+      case GateType::kKofN: {
+        // at_least[j] = BDD for "at least j of the children seen so far
+        // fail". Monotone recurrence, no negation needed:
+        //   at_least[j] <- (child AND at_least[j-1]) OR at_least[j].
+        const uint32_t k = node.k;
+        std::vector<BddRef> at_least(k + 1, kBddFalse);
+        at_least[0] = kBddTrue;
+        for (NodeId child : node.children) {
+          for (uint32_t j = k; j >= 1; --j) {
+            INDAAS_ASSIGN_OR_RETURN(BddRef with_child,
+                                    manager.And(compiled[child], at_least[j - 1]));
+            INDAAS_ASSIGN_OR_RETURN(at_least[j], manager.Or(at_least[j], with_child));
+          }
+        }
+        compiled[id] = at_least[k];
+        break;
+      }
+    }
+  }
+  out.root = compiled[graph.top_event()];
+  return out;
+}
+
+Result<double> TopEventProbabilityBdd(const FaultGraph& graph, double default_prob,
+                                      size_t max_nodes) {
+  INDAAS_ASSIGN_OR_RETURN(CompiledFaultGraph compiled,
+                          CompileFaultGraph(graph, default_prob, max_nodes));
+  return compiled.manager->Probability(compiled.root, compiled.probs);
+}
+
+}  // namespace indaas

@@ -1,0 +1,96 @@
+#include "src/graph/compose.h"
+
+#include <vector>
+
+namespace indaas {
+namespace {
+
+// Deep-copies `src` into `dst`, returning the node id in `dst` corresponding
+// to src's top event. Basic events unify by name; gates get unique prefixed
+// names.
+Result<NodeId> ImportGraph(FaultGraph& dst, const FaultGraph& src, const std::string& prefix) {
+  std::vector<NodeId> mapping(src.NodeCount(), kInvalidNode);
+  for (NodeId id : src.TopologicalOrder()) {
+    const FaultNode& node = src.node(id);
+    if (node.gate == GateType::kBasic) {
+      auto existing = dst.FindNode(node.name);
+      if (existing.ok()) {
+        if (dst.node(*existing).gate != GateType::kBasic) {
+          return InvalidArgumentError("ComposeFaultGraphs: '" + node.name +
+                                      "' is a basic event in one graph and a gate in another");
+        }
+        mapping[id] = *existing;
+        if (node.failure_prob > dst.node(*existing).failure_prob) {
+          INDAAS_RETURN_IF_ERROR(dst.SetFailureProb(*existing, node.failure_prob));
+        }
+      } else {
+        mapping[id] = dst.AddBasicEvent(node.name, node.failure_prob);
+      }
+      continue;
+    }
+    std::vector<NodeId> children;
+    children.reserve(node.children.size());
+    for (NodeId child : node.children) {
+      children.push_back(mapping[child]);
+    }
+    std::string name = prefix + "/" + node.name;
+    // Keep gate names unique even if the same service is imported twice.
+    int suffix = 1;
+    while (dst.FindNode(name).ok()) {
+      name = prefix + "/" + node.name + "#" + std::to_string(++suffix);
+    }
+    if (node.gate == GateType::kKofN) {
+      mapping[id] = dst.AddKofNGate(name, node.k, std::move(children));
+    } else {
+      mapping[id] = dst.AddGate(name, node.gate, std::move(children));
+    }
+  }
+  return mapping[src.top_event()];
+}
+
+}  // namespace
+
+Result<FaultGraph> ComposeFaultGraphs(const FaultGraph& primary,
+                                      const std::map<std::string, const FaultGraph*>& services) {
+  if (!primary.validated()) {
+    return FailedPreconditionError("ComposeFaultGraphs: primary graph not validated");
+  }
+  for (const auto& [name, graph] : services) {
+    if (graph == nullptr || !graph->validated()) {
+      return FailedPreconditionError("ComposeFaultGraphs: service '" + name + "' not validated");
+    }
+  }
+  // Copy the primary graph wholesale (ids preserved: FaultGraph ids are dense
+  // insertion indexes, so a structural copy keeps them).
+  FaultGraph out;
+  for (NodeId id = 0; id < primary.NodeCount(); ++id) {
+    const FaultNode& node = primary.node(id);
+    if (node.gate == GateType::kBasic) {
+      out.AddBasicEvent(node.name, node.failure_prob);
+    } else if (node.gate == GateType::kKofN) {
+      out.AddKofNGate(node.name, node.k, node.children);
+    } else {
+      out.AddGate(node.name, node.gate, node.children);
+    }
+  }
+  out.SetTopEvent(primary.top_event());
+
+  for (const auto& [placeholder, service_graph] : services) {
+    auto node_id = out.FindNode(placeholder);
+    if (!node_id.ok()) {
+      return NotFoundError("ComposeFaultGraphs: no placeholder event named '" + placeholder +
+                           "'");
+    }
+    if (out.node(*node_id).gate != GateType::kBasic) {
+      return InvalidArgumentError("ComposeFaultGraphs: placeholder '" + placeholder +
+                                  "' is not a basic event");
+    }
+    INDAAS_ASSIGN_OR_RETURN(NodeId service_top, ImportGraph(out, *service_graph, placeholder));
+    INDAAS_RETURN_IF_ERROR(
+        out.ConvertBasicToGate(*node_id, GateType::kOr, {service_top}));
+  }
+  INDAAS_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace indaas

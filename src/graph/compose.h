@@ -1,0 +1,36 @@
+// Fault graph composition (§4.1.1, "compose individual dependency graphs
+// collected from multiple services into more complex aggregate dependency
+// graphs (e.g., EC2 instances depending on services offered by EBS and ELB)").
+//
+// A primary graph may contain basic events that stand in for whole services
+// ("EBS fails"). Composition splices each such service's own fault graph in
+// place of the placeholder. Basic events are identified by normalized
+// component name, so components shared between the primary graph and a
+// service graph (or between two service graphs) unify into a single node —
+// exactly the mechanism that surfaces cross-service common dependencies.
+
+#ifndef SRC_GRAPH_COMPOSE_H_
+#define SRC_GRAPH_COMPOSE_H_
+
+#include <map>
+#include <string>
+
+#include "src/graph/fault_graph.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Returns a new graph: `primary` with each basic event named by a key of
+// `services` replaced by the corresponding service graph's structure.
+//
+// Rules:
+//  * service graphs must be validated;
+//  * service basic events merge with same-named basic events already present;
+//  * service gate names are prefixed with "<service>/" to stay unique;
+//  * a placeholder that does not exist in `primary` is an error.
+Result<FaultGraph> ComposeFaultGraphs(const FaultGraph& primary,
+                                      const std::map<std::string, const FaultGraph*>& services);
+
+}  // namespace indaas
+
+#endif  // SRC_GRAPH_COMPOSE_H_

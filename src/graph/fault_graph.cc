@@ -1,0 +1,244 @@
+#include "src/graph/fault_graph.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+const char* GateTypeName(GateType type) {
+  switch (type) {
+    case GateType::kBasic:
+      return "BASIC";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kKofN:
+      return "K-OF-N";
+  }
+  return "?";
+}
+
+NodeId FaultGraph::AddNode(FaultNode node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  name_index_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  validated_ = false;
+  return id;
+}
+
+NodeId FaultGraph::AddBasicEvent(const std::string& name, double failure_prob) {
+  FaultNode node;
+  node.name = name;
+  node.gate = GateType::kBasic;
+  node.failure_prob = failure_prob;
+  NodeId id = AddNode(std::move(node));
+  basic_events_.push_back(id);
+  return id;
+}
+
+NodeId FaultGraph::AddGate(const std::string& name, GateType gate, std::vector<NodeId> children) {
+  FaultNode node;
+  node.name = name;
+  node.gate = gate;
+  node.children = std::move(children);
+  return AddNode(std::move(node));
+}
+
+NodeId FaultGraph::AddKofNGate(const std::string& name, uint32_t k, std::vector<NodeId> children) {
+  FaultNode node;
+  node.name = name;
+  node.gate = GateType::kKofN;
+  node.k = k;
+  node.children = std::move(children);
+  return AddNode(std::move(node));
+}
+
+Status FaultGraph::AddChild(NodeId gate, NodeId child) {
+  if (gate >= nodes_.size() || child >= nodes_.size()) {
+    return OutOfRangeError("AddChild: node id out of range");
+  }
+  if (nodes_[gate].gate == GateType::kBasic) {
+    return InvalidArgumentError("AddChild: cannot add children to a basic event");
+  }
+  nodes_[gate].children.push_back(child);
+  validated_ = false;
+  return Status::Ok();
+}
+
+Status FaultGraph::ConvertBasicToGate(NodeId id, GateType gate, std::vector<NodeId> children) {
+  if (id >= nodes_.size()) {
+    return OutOfRangeError("ConvertBasicToGate: bad node id");
+  }
+  if (nodes_[id].gate != GateType::kBasic) {
+    return InvalidArgumentError("ConvertBasicToGate: node '" + nodes_[id].name +
+                                "' is not a basic event");
+  }
+  if (gate == GateType::kBasic || children.empty()) {
+    return InvalidArgumentError("ConvertBasicToGate: need a gate type and children");
+  }
+  nodes_[id].gate = gate;
+  nodes_[id].children = std::move(children);
+  nodes_[id].failure_prob = kUnknownProb;
+  basic_events_.erase(std::remove(basic_events_.begin(), basic_events_.end(), id),
+                      basic_events_.end());
+  validated_ = false;
+  return Status::Ok();
+}
+
+Result<NodeId> FaultGraph::FindNode(const std::string& name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return NotFoundError("no node named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status FaultGraph::Validate() {
+  if (nodes_.empty()) {
+    return FailedPreconditionError("Validate: empty graph");
+  }
+  if (top_event_ == kInvalidNode || top_event_ >= nodes_.size()) {
+    return FailedPreconditionError("Validate: top event not set");
+  }
+  if (name_index_.size() != nodes_.size()) {
+    return InvalidArgumentError("Validate: duplicate node names");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const FaultNode& node = nodes_[id];
+    if (node.gate == GateType::kBasic) {
+      if (!node.children.empty()) {
+        return InvalidArgumentError("Validate: basic event '" + node.name + "' has children");
+      }
+      continue;
+    }
+    if (node.children.empty()) {
+      return InvalidArgumentError("Validate: gate '" + node.name + "' has no children");
+    }
+    for (NodeId child : node.children) {
+      if (child >= nodes_.size()) {
+        return OutOfRangeError("Validate: gate '" + node.name + "' references bad child id");
+      }
+    }
+    if (node.gate == GateType::kKofN) {
+      if (node.k == 0 || node.k > node.children.size()) {
+        return InvalidArgumentError(
+            StrFormat("Validate: gate '%s' has k=%u outside [1, %zu]", node.name.c_str(), node.k,
+                      node.children.size()));
+      }
+    }
+  }
+  // Kahn's algorithm for cycle detection + topological order (children first).
+  std::vector<uint32_t> pending_children(nodes_.size(), 0);
+  std::vector<std::vector<NodeId>> parents(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    pending_children[id] = static_cast<uint32_t>(nodes_[id].children.size());
+    for (NodeId child : nodes_[id].children) {
+      parents[child].push_back(id);
+    }
+  }
+  topo_order_.clear();
+  topo_order_.reserve(nodes_.size());
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (pending_children[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  while (!ready.empty()) {
+    NodeId id = ready.back();
+    ready.pop_back();
+    topo_order_.push_back(id);
+    for (NodeId parent : parents[id]) {
+      if (--pending_children[parent] == 0) {
+        ready.push_back(parent);
+      }
+    }
+  }
+  if (topo_order_.size() != nodes_.size()) {
+    return InvalidArgumentError("Validate: fault graph contains a cycle");
+  }
+  validated_ = true;
+  return Status::Ok();
+}
+
+bool FaultGraph::Evaluate(std::vector<uint8_t>& state) const {
+  for (NodeId id : topo_order_) {
+    const FaultNode& node = nodes_[id];
+    switch (node.gate) {
+      case GateType::kBasic:
+        break;  // Caller-supplied.
+      case GateType::kOr: {
+        uint8_t failed = 0;
+        for (NodeId child : node.children) {
+          if (state[child] != 0) {
+            failed = 1;
+            break;
+          }
+        }
+        state[id] = failed;
+        break;
+      }
+      case GateType::kAnd: {
+        uint8_t failed = 1;
+        for (NodeId child : node.children) {
+          if (state[child] == 0) {
+            failed = 0;
+            break;
+          }
+        }
+        state[id] = failed;
+        break;
+      }
+      case GateType::kKofN: {
+        uint32_t failures = 0;
+        for (NodeId child : node.children) {
+          failures += state[child];
+        }
+        state[id] = failures >= node.k ? 1 : 0;
+        break;
+      }
+    }
+  }
+  return state[top_event_] != 0;
+}
+
+Status FaultGraph::SetFailureProb(NodeId id, double prob) {
+  if (id >= nodes_.size()) {
+    return OutOfRangeError("SetFailureProb: bad node id");
+  }
+  if (prob != kUnknownProb && (prob < 0.0 || prob > 1.0)) {
+    return InvalidArgumentError("SetFailureProb: probability must be in [0,1]");
+  }
+  nodes_[id].failure_prob = prob;
+  return Status::Ok();
+}
+
+std::string FaultGraph::ToDot(const std::string& graph_name) const {
+  std::string out = "digraph \"" + graph_name + "\" {\n  rankdir=BT;\n";
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const FaultNode& node = nodes_[id];
+    std::string label = node.name;
+    if (node.gate == GateType::kKofN) {
+      label += StrFormat("\\n[%u-of-%zu]", node.k, node.children.size());
+    } else if (node.gate != GateType::kBasic) {
+      label += std::string("\\n[") + GateTypeName(node.gate) + "]";
+    }
+    if (node.failure_prob != kUnknownProb) {
+      label += StrFormat("\\np=%.3g", node.failure_prob);
+    }
+    const char* shape = node.gate == GateType::kBasic ? "box" : "ellipse";
+    const char* style = id == top_event_ ? ", style=bold" : "";
+    out += StrFormat("  n%u [label=\"%s\", shape=%s%s];\n", id, label.c_str(), shape, style);
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId child : nodes_[id].children) {
+      out += StrFormat("  n%u -> n%u;\n", child, id);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,127 @@
+// Fault graph representation (paper §4.1.1, Figure 4).
+//
+// A fault graph is a rooted DAG of failure events. Leaf nodes are *basic
+// events* (component failures); internal nodes combine child failures through
+// an input gate: OR (any child failure propagates), AND (all children must
+// fail), or k-of-n (at least k children must fail — the paper's n-of-m
+// redundancy gate). The root is the *top event*: failure of the whole
+// redundancy deployment. Each event may carry a failure probability for
+// fault-set-level reasoning.
+
+#ifndef SRC_GRAPH_FAULT_GRAPH_H_
+#define SRC_GRAPH_FAULT_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Sentinel for "no failure probability known" (component-set level).
+inline constexpr double kUnknownProb = -1.0;
+
+enum class GateType : uint8_t {
+  kBasic,  // leaf component-failure event
+  kOr,     // any child failing fails this event
+  kAnd,    // all children failing fails this event
+  kKofN,   // at least k children failing fails this event
+};
+
+const char* GateTypeName(GateType type);
+
+// One event node in a fault graph.
+struct FaultNode {
+  std::string name;
+  GateType gate = GateType::kBasic;
+  uint32_t k = 0;                      // threshold, k-of-n gates only
+  double failure_prob = kUnknownProb;  // basic events only
+  std::vector<NodeId> children;
+};
+
+// Mutable fault graph builder + analyzer substrate.
+//
+// Typical lifecycle: add nodes, SetTopEvent(), Validate() once, then hand the
+// graph to the SIA algorithms. Validate() also caches the topological order
+// used by Evaluate().
+class FaultGraph {
+ public:
+  // Adds a basic (leaf) event. Names must be unique within a graph.
+  NodeId AddBasicEvent(const std::string& name, double failure_prob = kUnknownProb);
+
+  // Adds an OR/AND gate over `children`.
+  NodeId AddGate(const std::string& name, GateType gate, std::vector<NodeId> children);
+
+  // Adds a k-of-n gate: fails when >= k of `children` fail.
+  NodeId AddKofNGate(const std::string& name, uint32_t k, std::vector<NodeId> children);
+
+  // Appends another child to an existing gate.
+  Status AddChild(NodeId gate, NodeId child);
+
+  // Converts a basic event into a gate over `children`, keeping its id and
+  // name. Used by graph composition to splice one service's fault graph in
+  // place of a basic "service X fails" event.
+  Status ConvertBasicToGate(NodeId id, GateType gate, std::vector<NodeId> children);
+
+  void SetTopEvent(NodeId id) { top_event_ = id; }
+  NodeId top_event() const { return top_event_; }
+
+  // Structural checks: ids in range, unique names, basic events childless,
+  // gates non-empty, valid k, acyclic, top event set and non-basic (unless
+  // the graph is a single basic event). Caches the topological order.
+  Status Validate();
+
+  bool validated() const { return validated_; }
+
+  // --- Accessors ---
+
+  size_t NodeCount() const { return nodes_.size(); }
+  const FaultNode& node(NodeId id) const { return nodes_[id]; }
+
+  // Looks up a node id by name.
+  Result<NodeId> FindNode(const std::string& name) const;
+
+  // Ids of all basic events, in insertion order.
+  const std::vector<NodeId>& BasicEvents() const { return basic_events_; }
+
+  // Child-before-parent order over all nodes; valid after Validate().
+  const std::vector<NodeId>& TopologicalOrder() const { return topo_order_; }
+
+  // --- Evaluation ---
+
+  // Given a failure flag per node id for basic events (non-basic entries
+  // ignored), computes each event's failure state bottom-up and returns the
+  // top event's state. `state` must have NodeCount() entries; it is
+  // overwritten for non-basic nodes (scratch reuse across sampling rounds).
+  // Requires Validate() to have succeeded.
+  bool Evaluate(std::vector<uint8_t>& state) const;
+
+  // Mutable probability access (used when assigning measured probabilities
+  // after construction).
+  Status SetFailureProb(NodeId id, double prob);
+
+  // --- Export ---
+
+  // Graphviz DOT rendering (basic events as boxes, gates labeled).
+  std::string ToDot(const std::string& graph_name = "fault_graph") const;
+
+ private:
+  NodeId AddNode(FaultNode node);
+
+  std::vector<FaultNode> nodes_;
+  std::unordered_map<std::string, NodeId> name_index_;
+  std::vector<NodeId> basic_events_;
+  std::vector<NodeId> topo_order_;
+  NodeId top_event_ = kInvalidNode;
+  bool validated_ = false;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_GRAPH_FAULT_GRAPH_H_

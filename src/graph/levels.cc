@@ -1,0 +1,215 @@
+#include "src/graph/levels.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace indaas {
+
+void NormalizeComponentSet(ComponentSet& set) {
+  std::sort(set.components.begin(), set.components.end());
+  set.components.erase(std::unique(set.components.begin(), set.components.end()),
+                       set.components.end());
+}
+
+void NormalizeFaultSet(FaultSet& set) {
+  std::sort(set.events.begin(), set.events.end(),
+            [](const WeightedEvent& a, const WeightedEvent& b) {
+              return a.component < b.component;
+            });
+  // Dedupe by component, keeping the max probability (conservative).
+  std::vector<WeightedEvent> out;
+  for (const WeightedEvent& event : set.events) {
+    if (!out.empty() && out.back().component == event.component) {
+      out.back().failure_prob = std::max(out.back().failure_prob, event.failure_prob);
+    } else {
+      out.push_back(event);
+    }
+  }
+  set.events = std::move(out);
+}
+
+std::vector<std::string> SharedComponents(const std::vector<ComponentSet>& sets) {
+  std::map<std::string, int> counts;
+  for (const ComponentSet& set : sets) {
+    for (const std::string& component : set.components) {
+      ++counts[component];
+    }
+  }
+  std::vector<std::string> shared;
+  for (const auto& [component, count] : counts) {
+    if (count >= 2) {
+      shared.push_back(component);
+    }
+  }
+  return shared;
+}
+
+std::vector<std::string> CommonToAll(const std::vector<ComponentSet>& sets) {
+  if (sets.empty()) {
+    return {};
+  }
+  std::map<std::string, size_t> counts;
+  for (const ComponentSet& set : sets) {
+    for (const std::string& component : set.components) {
+      ++counts[component];
+    }
+  }
+  std::vector<std::string> common;
+  for (const auto& [component, count] : counts) {
+    if (count == sets.size()) {
+      common.push_back(component);
+    }
+  }
+  return common;
+}
+
+std::vector<std::string> UnionOfAll(const std::vector<ComponentSet>& sets) {
+  std::set<std::string> all;
+  for (const ComponentSet& set : sets) {
+    all.insert(set.components.begin(), set.components.end());
+  }
+  return std::vector<std::string>(all.begin(), all.end());
+}
+
+namespace {
+
+// Shared implementation for the two AND-of-ORs builders.
+Result<FaultGraph> BuildTwoLevel(const std::vector<FaultSet>& sets, uint32_t required) {
+  if (sets.empty()) {
+    return InvalidArgumentError("BuildFromComponentSets: need at least one data source");
+  }
+  if (required == 0) {
+    required = static_cast<uint32_t>(sets.size());
+  }
+  if (required > sets.size()) {
+    return InvalidArgumentError("BuildFromComponentSets: required > number of sources");
+  }
+  FaultGraph graph;
+  // Component name -> shared basic event (this sharing is what encodes the
+  // correlated-failure structure).
+  std::map<std::string, NodeId> component_nodes;
+  std::vector<NodeId> source_gates;
+  for (const FaultSet& set : sets) {
+    if (set.events.empty()) {
+      return InvalidArgumentError("data source '" + set.source + "' has an empty component set");
+    }
+    std::vector<NodeId> children;
+    children.reserve(set.events.size());
+    for (const WeightedEvent& event : set.events) {
+      auto it = component_nodes.find(event.component);
+      NodeId id;
+      if (it == component_nodes.end()) {
+        id = graph.AddBasicEvent(event.component, event.failure_prob);
+        component_nodes.emplace(event.component, id);
+      } else {
+        id = it->second;
+        // Conflicting probabilities: keep the maximum (conservative).
+        if (event.failure_prob > graph.node(id).failure_prob) {
+          INDAAS_RETURN_IF_ERROR(graph.SetFailureProb(id, event.failure_prob));
+        }
+      }
+      children.push_back(id);
+    }
+    source_gates.push_back(graph.AddGate(set.source + " fails", GateType::kOr, children));
+  }
+  NodeId top;
+  if (required == sets.size()) {
+    top = graph.AddGate("deployment fails", GateType::kAnd, source_gates);
+  } else {
+    // n-of-m redundancy: the deployment survives while at least `required`
+    // sources are up, i.e. fails when more than (m - required) sources fail.
+    uint32_t fail_threshold = static_cast<uint32_t>(sets.size()) - required + 1;
+    top = graph.AddKofNGate("deployment fails", fail_threshold, source_gates);
+  }
+  graph.SetTopEvent(top);
+  INDAAS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace
+
+Result<FaultGraph> BuildFromComponentSets(const std::vector<ComponentSet>& sets,
+                                          uint32_t required) {
+  std::vector<FaultSet> weighted;
+  weighted.reserve(sets.size());
+  for (const ComponentSet& set : sets) {
+    FaultSet fs;
+    fs.source = set.source;
+    for (const std::string& component : set.components) {
+      fs.events.push_back(WeightedEvent{component, kUnknownProb});
+    }
+    weighted.push_back(std::move(fs));
+  }
+  return BuildTwoLevel(weighted, required);
+}
+
+Result<FaultGraph> BuildFromFaultSets(const std::vector<FaultSet>& sets, uint32_t required) {
+  return BuildTwoLevel(sets, required);
+}
+
+namespace {
+
+// Collects basic events reachable from `root`.
+std::vector<NodeId> ReachableBasics(const FaultGraph& graph, NodeId root) {
+  std::vector<NodeId> stack{root};
+  std::set<NodeId> visited;
+  std::vector<NodeId> basics;
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) {
+      continue;
+    }
+    const FaultNode& node = graph.node(id);
+    if (node.gate == GateType::kBasic) {
+      basics.push_back(id);
+    } else {
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+  return basics;
+}
+
+}  // namespace
+
+Result<std::vector<FaultSet>> DowngradeToFaultSets(const FaultGraph& graph) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("DowngradeToFaultSets: graph not validated");
+  }
+  const FaultNode& top = graph.node(graph.top_event());
+  if (top.gate == GateType::kBasic) {
+    return InvalidArgumentError("DowngradeToFaultSets: top event is a basic event");
+  }
+  std::vector<FaultSet> sets;
+  sets.reserve(top.children.size());
+  for (NodeId source : top.children) {
+    FaultSet set;
+    set.source = graph.node(source).name;
+    for (NodeId basic : ReachableBasics(graph, source)) {
+      const FaultNode& node = graph.node(basic);
+      set.events.push_back(WeightedEvent{node.name, node.failure_prob});
+    }
+    NormalizeFaultSet(set);
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+Result<std::vector<ComponentSet>> DowngradeToComponentSets(const FaultGraph& graph) {
+  INDAAS_ASSIGN_OR_RETURN(std::vector<FaultSet> fault_sets, DowngradeToFaultSets(graph));
+  std::vector<ComponentSet> sets;
+  sets.reserve(fault_sets.size());
+  for (const FaultSet& fs : fault_sets) {
+    ComponentSet cs;
+    cs.source = fs.source;
+    for (const WeightedEvent& event : fs.events) {
+      cs.components.push_back(event.component);
+    }
+    NormalizeComponentSet(cs);
+    sets.push_back(std::move(cs));
+  }
+  return sets;
+}
+
+}  // namespace indaas

@@ -1,0 +1,74 @@
+// The three levels of dependency detail from paper §4.1.1 / Figure 4:
+// component-set, fault-set, and fault graph — plus the downgrade operators
+// between them and builders for the two-level "AND-of-ORs" graphs of
+// Figures 4(a) and 4(b).
+
+#ifndef SRC_GRAPH_LEVELS_H_
+#define SRC_GRAPH_LEVELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/fault_graph.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Component-set level (Fig. 4a): each data source depends on a flat set of
+// components; only shared membership matters. Components are normalized
+// string identifiers; the vector is kept sorted and deduplicated.
+struct ComponentSet {
+  std::string source;                   // data source name, e.g. "E1"
+  std::vector<std::string> components;  // sorted, unique
+};
+
+// Sorts + dedupes `components` in place.
+void NormalizeComponentSet(ComponentSet& set);
+
+// Fault-set level (Fig. 4b): components annotated with failure probabilities.
+struct WeightedEvent {
+  std::string component;
+  double failure_prob = kUnknownProb;
+};
+
+struct FaultSet {
+  std::string source;
+  std::vector<WeightedEvent> events;  // sorted by component, unique
+};
+
+void NormalizeFaultSet(FaultSet& set);
+
+// Components present in at least two of the given sets — the shared
+// dependencies that undermine redundancy (e.g. A2 in Fig. 4a).
+std::vector<std::string> SharedComponents(const std::vector<ComponentSet>& sets);
+
+// Components present in *all* sets (intersection).
+std::vector<std::string> CommonToAll(const std::vector<ComponentSet>& sets);
+
+// Union of all components across sets.
+std::vector<std::string> UnionOfAll(const std::vector<ComponentSet>& sets);
+
+// Builds the two-level AND-of-ORs fault graph of Fig. 4a: top event is an
+// n-of-m AND over the data sources (n = `required`, default all = plain AND);
+// each source is an OR over its components. Shared component names map to a
+// single shared basic event. Requires >= 1 set and 1 <= required <= #sets.
+Result<FaultGraph> BuildFromComponentSets(const std::vector<ComponentSet>& sets,
+                                          uint32_t required = 0);
+
+// Same, from fault-sets: basic events carry failure probabilities (Fig. 4b).
+// If the same component appears in several sets with conflicting
+// probabilities, the maximum is used.
+Result<FaultGraph> BuildFromFaultSets(const std::vector<FaultSet>& sets, uint32_t required = 0);
+
+// Downgrade operators ("an information-rich fault graph may be downgraded to
+// the lower fault-set or component-set levels of detail", §4.1.1).
+//
+// Each child of the top event is treated as one data source; its fault-set /
+// component-set is the set of basic events reachable from it. Requires a
+// validated graph whose top event is a gate.
+Result<std::vector<FaultSet>> DowngradeToFaultSets(const FaultGraph& graph);
+Result<std::vector<ComponentSet>> DowngradeToComponentSets(const FaultGraph& graph);
+
+}  // namespace indaas
+
+#endif  // SRC_GRAPH_LEVELS_H_

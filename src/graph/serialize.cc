@@ -1,0 +1,218 @@
+#include "src/graph/serialize.h"
+
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+constexpr const char* kHeader = "faultgraph v1";
+
+// Escapes '"' and '\' inside names.
+std::string EscapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Extracts a quoted name starting at text[pos] == '"'; advances pos past the
+// closing quote.
+Result<std::string> ParseQuoted(std::string_view text, size_t& pos) {
+  if (pos >= text.size() || text[pos] != '"') {
+    return ParseError("expected opening quote");
+  }
+  ++pos;
+  std::string out;
+  while (pos < text.size()) {
+    char c = text[pos++];
+    if (c == '\\' && pos < text.size()) {
+      out.push_back(text[pos++]);
+    } else if (c == '"') {
+      return out;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return ParseError("unterminated quoted name");
+}
+
+Result<std::vector<NodeId>> ParseChildList(std::string_view field) {
+  if (!StartsWith(field, "children=")) {
+    return ParseError("expected children=...: " + std::string(field));
+  }
+  std::vector<NodeId> children;
+  for (const std::string& token : SplitAndTrim(field.substr(9), ',')) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return ParseError("bad child id '" + token + "'");
+    }
+    children.push_back(static_cast<NodeId>(value));
+  }
+  if (children.empty()) {
+    return ParseError("empty child list");
+  }
+  return children;
+}
+
+}  // namespace
+
+Result<std::string> SerializeFaultGraph(const FaultGraph& graph) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("SerializeFaultGraph: graph not validated");
+  }
+  std::string out = kHeader;
+  out += '\n';
+  for (NodeId id = 0; id < graph.NodeCount(); ++id) {
+    const FaultNode& node = graph.node(id);
+    switch (node.gate) {
+      case GateType::kBasic:
+        out += StrFormat("node %u basic \"%s\"", id, EscapeName(node.name).c_str());
+        if (node.failure_prob != kUnknownProb) {
+          out += StrFormat(" prob=%.17g", node.failure_prob);
+        }
+        break;
+      case GateType::kOr:
+      case GateType::kAnd: {
+        out += StrFormat("node %u %s \"%s\" children=", id,
+                         node.gate == GateType::kOr ? "or" : "and",
+                         EscapeName(node.name).c_str());
+        std::vector<std::string> ids;
+        for (NodeId child : node.children) {
+          ids.push_back(std::to_string(child));
+        }
+        out += Join(ids, ",");
+        break;
+      }
+      case GateType::kKofN: {
+        out += StrFormat("node %u kofn k=%u \"%s\" children=", id, node.k,
+                         EscapeName(node.name).c_str());
+        std::vector<std::string> ids;
+        for (NodeId child : node.children) {
+          ids.push_back(std::to_string(child));
+        }
+        out += Join(ids, ",");
+        break;
+      }
+    }
+    out += '\n';
+  }
+  out += StrFormat("top %u\n", graph.top_event());
+  return out;
+}
+
+Result<FaultGraph> ParseFaultGraph(std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t index = 0;
+  // Skip leading blanks.
+  while (index < lines.size() && Trim(lines[index]).empty()) {
+    ++index;
+  }
+  if (index >= lines.size() || Trim(lines[index]) != kHeader) {
+    return ParseError("missing 'faultgraph v1' header");
+  }
+  ++index;
+  FaultGraph graph;
+  bool top_set = false;
+  for (; index < lines.size(); ++index) {
+    std::string_view line = Trim(lines[index]);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (StartsWith(line, "top ")) {
+      char* end = nullptr;
+      std::string id_text(line.substr(4));
+      unsigned long top = std::strtoul(id_text.c_str(), &end, 10);
+      if (end == id_text.c_str() || !Trim(std::string_view(end)).empty()) {
+        return ParseError("bad top line: " + std::string(line));
+      }
+      if (top >= graph.NodeCount()) {
+        return ParseError("top event id out of range");
+      }
+      graph.SetTopEvent(static_cast<NodeId>(top));
+      top_set = true;
+      continue;
+    }
+    if (!StartsWith(line, "node ")) {
+      return ParseError("unexpected line: " + std::string(line));
+    }
+    // node <id> <kind> [k=<k>] "<name>" [prob=<p>] [children=...]
+    size_t pos = 5;
+    char* end = nullptr;
+    std::string rest(line.substr(pos));
+    unsigned long id = std::strtoul(rest.c_str(), &end, 10);
+    if (end == rest.c_str()) {
+      return ParseError("bad node id: " + std::string(line));
+    }
+    if (id != graph.NodeCount()) {
+      return ParseError(StrFormat("node ids must be dense: expected %zu", graph.NodeCount()));
+    }
+    std::string_view tail = Trim(std::string_view(end));
+    // Kind token.
+    size_t space = tail.find(' ');
+    if (space == std::string_view::npos) {
+      return ParseError("truncated node line: " + std::string(line));
+    }
+    std::string kind(tail.substr(0, space));
+    tail = Trim(tail.substr(space));
+
+    uint32_t k = 0;
+    std::string k_text;  // outlives `tail`, which may view into it below
+    if (kind == "kofn") {
+      if (!StartsWith(tail, "k=")) {
+        return ParseError("kofn node missing k=: " + std::string(line));
+      }
+      k_text = std::string(tail.substr(2));
+      k = static_cast<uint32_t>(std::strtoul(k_text.c_str(), &end, 10));
+      tail = Trim(std::string_view(end));
+    }
+    size_t name_pos = 0;
+    std::string remainder(tail);
+    INDAAS_ASSIGN_OR_RETURN(std::string name, ParseQuoted(remainder, name_pos));
+    std::string_view after = Trim(std::string_view(remainder).substr(name_pos));
+
+    if (kind == "basic") {
+      double prob = kUnknownProb;
+      if (StartsWith(after, "prob=")) {
+        std::string prob_text(after.substr(5));
+        prob = std::strtod(prob_text.c_str(), &end);
+        if (end == prob_text.c_str()) {
+          return ParseError("bad prob: " + std::string(line));
+        }
+      } else if (!after.empty()) {
+        return ParseError("unexpected trailing content: " + std::string(line));
+      }
+      graph.AddBasicEvent(name, prob);
+      continue;
+    }
+    INDAAS_ASSIGN_OR_RETURN(std::vector<NodeId> children, ParseChildList(after));
+    for (NodeId child : children) {
+      if (child >= graph.NodeCount()) {
+        return ParseError("child id refers to a later node: " + std::string(line));
+      }
+    }
+    if (kind == "or") {
+      graph.AddGate(name, GateType::kOr, std::move(children));
+    } else if (kind == "and") {
+      graph.AddGate(name, GateType::kAnd, std::move(children));
+    } else if (kind == "kofn") {
+      graph.AddKofNGate(name, k, std::move(children));
+    } else {
+      return ParseError("unknown node kind '" + kind + "'");
+    }
+  }
+  if (!top_set) {
+    return ParseError("missing 'top' line");
+  }
+  INDAAS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace indaas

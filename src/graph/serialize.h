@@ -1,0 +1,36 @@
+// Fault graph text serialization.
+//
+// A line-oriented format for persisting and exchanging fault graphs (the
+// auditing agent can hand a client the graph behind a report, and the CLI
+// can round-trip graphs between runs):
+//
+//   faultgraph v1
+//   node 0 basic "net:tor1" prob=0.05
+//   node 3 or "S1 fails" children=0,1,2
+//   node 7 and "deployment fails" children=3,6
+//   node 9 kofn k=2 "quorum fails" children=3,6,8
+//   top 7
+//
+// Node ids must be dense and children must precede parents (the natural
+// order FaultGraph produces). `prob=` is omitted for unknown probabilities.
+
+#ifndef SRC_GRAPH_SERIALIZE_H_
+#define SRC_GRAPH_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/graph/fault_graph.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Emits the textual form. The graph must be validated.
+Result<std::string> SerializeFaultGraph(const FaultGraph& graph);
+
+// Parses and validates a graph from its textual form.
+Result<FaultGraph> ParseFaultGraph(std::string_view text);
+
+}  // namespace indaas
+
+#endif  // SRC_GRAPH_SERIALIZE_H_

@@ -1,0 +1,168 @@
+#include "src/pia/audit.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/deps/normalize.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+// Enumerates all r-subsets of [0, n) in lexicographic order.
+std::vector<std::vector<size_t>> Combinations(size_t n, size_t r) {
+  std::vector<std::vector<size_t>> out;
+  if (r == 0 || r > n) {
+    return out;
+  }
+  std::vector<size_t> pick(r);
+  for (size_t i = 0; i < r; ++i) {
+    pick[i] = i;
+  }
+  for (;;) {
+    out.push_back(pick);
+    int pos = static_cast<int>(r) - 1;
+    while (pos >= 0 && pick[pos] == n - r + static_cast<size_t>(pos)) {
+      --pos;
+    }
+    if (pos < 0) {
+      break;
+    }
+    ++pick[pos];
+    for (size_t i = static_cast<size_t>(pos) + 1; i < r; ++i) {
+      pick[i] = pick[i - 1] + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CloudProvider MakeProviderFromDepDb(const std::string& name, const DepDb& db) {
+  std::set<std::string> components;
+  for (const std::string& host : db.KnownHosts()) {
+    for (const NetworkDependency& dep : db.RoutesFrom(host)) {
+      for (const std::string& id : NormalizedComponentsOf(dep)) {
+        components.insert(id);
+      }
+    }
+    for (const HardwareDependency& dep : db.HardwareOf(host)) {
+      for (const std::string& id : NormalizedComponentsOf(dep)) {
+        components.insert(id);
+      }
+    }
+    for (const SoftwareDependency& dep : db.SoftwareOn(host)) {
+      for (const std::string& id : NormalizedComponentsOf(dep)) {
+        components.insert(id);
+      }
+    }
+  }
+  CloudProvider provider;
+  provider.name = name;
+  provider.components.assign(components.begin(), components.end());
+  return provider;
+}
+
+Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
+                                   const PiaAuditOptions& options) {
+  if (options.min_redundancy < 2 || options.min_redundancy > options.max_redundancy) {
+    return InvalidArgumentError("RunPiaAudit: need 2 <= min_redundancy <= max_redundancy");
+  }
+  if (providers.size() < options.min_redundancy) {
+    return InvalidArgumentError("RunPiaAudit: fewer providers than min_redundancy");
+  }
+  std::set<std::string> names;
+  for (const CloudProvider& provider : providers) {
+    if (!names.insert(provider.name).second) {
+      return InvalidArgumentError("RunPiaAudit: duplicate provider '" + provider.name + "'");
+    }
+    if (provider.components.empty()) {
+      return InvalidArgumentError("RunPiaAudit: provider '" + provider.name +
+                                  "' has no components");
+    }
+  }
+
+  PiaAuditReport report;
+  report.min_redundancy = options.min_redundancy;
+  report.provider_stats.assign(providers.size(), PartyStats{});
+
+  for (uint32_t r = options.min_redundancy; r <= options.max_redundancy; ++r) {
+    std::vector<std::vector<size_t>> combos = Combinations(providers.size(), r);
+    // One protocol run per candidate deployment; runs are independent, so
+    // they can execute concurrently. Results stay indexed by combo.
+    std::vector<Result<PsopResult>> runs(combos.size(), Status(StatusCode::kInternal, "not run"));
+    auto run_one = [&](size_t c) {
+      std::vector<std::vector<std::string>> datasets;
+      datasets.reserve(r);
+      for (size_t idx : combos[c]) {
+        datasets.push_back(providers[idx].components);
+      }
+      PsopOptions psop = options.psop;
+      // Distinct, deterministic seed per deployment.
+      psop.seed = options.psop.seed * 1000003 + static_cast<uint64_t>(c) * 7919 + r;
+      runs[c] = options.method == PiaMethod::kPsopMinHash
+                    ? RunPsopWithMinHash(datasets, options.minhash_m, psop)
+                    : RunPsop(datasets, psop);
+    };
+    if (options.parallel_deployments > 1 && combos.size() > 1) {
+      ThreadPool pool(std::min(options.parallel_deployments, combos.size()));
+      pool.ParallelFor(combos.size(), run_one);
+    } else {
+      for (size_t c = 0; c < combos.size(); ++c) {
+        run_one(c);
+      }
+    }
+    std::vector<DeploymentSimilarity> ranking;
+    for (size_t c = 0; c < combos.size(); ++c) {
+      if (!runs[c].ok()) {
+        return runs[c].status();
+      }
+      const PsopResult& run = *runs[c];
+      DeploymentSimilarity entry;
+      for (size_t idx : combos[c]) {
+        entry.providers.push_back(providers[idx].name);
+      }
+      entry.jaccard = run.jaccard;
+      for (size_t i = 0; i < combos[c].size(); ++i) {
+        PartyStats& agg = report.provider_stats[combos[c][i]];
+        const PartyStats& cur = run.party_stats[i];
+        agg.bytes_sent += cur.bytes_sent;
+        agg.bytes_received += cur.bytes_received;
+        agg.encrypt_ops += cur.encrypt_ops;
+        agg.homomorphic_ops += cur.homomorphic_ops;
+        agg.compute_seconds += cur.compute_seconds;
+      }
+      ranking.push_back(std::move(entry));
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const DeploymentSimilarity& a, const DeploymentSimilarity& b) {
+                if (a.jaccard != b.jaccard) {
+                  return a.jaccard < b.jaccard;
+                }
+                return a.providers < b.providers;
+              });
+    report.rankings.push_back(std::move(ranking));
+  }
+  return report;
+}
+
+std::string RenderPiaReport(const PiaAuditReport& report) {
+  std::string out;
+  for (size_t level = 0; level < report.rankings.size(); ++level) {
+    uint32_t r = report.min_redundancy + static_cast<uint32_t>(level);
+    out += StrFormat("%u-way redundancy deployments (most independent first):\n", r);
+    TextTable table({"Rank", StrFormat("%u-Way Redundancy Deployment", r), "Jaccard"});
+    size_t rank = 1;
+    for (const DeploymentSimilarity& entry : report.rankings[level]) {
+      table.AddRow({std::to_string(rank++), Join(entry.providers, " & "),
+                    StrFormat("%.4f", entry.jaccard)});
+    }
+    out += table.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace indaas

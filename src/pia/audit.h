@@ -1,0 +1,74 @@
+// Private independence auditing orchestration (paper §4.2.4–4.2.5).
+//
+// Given k cloud providers with normalized component-sets, evaluates the
+// Jaccard similarity of every candidate n-way redundancy deployment via the
+// P-SOP protocol (exact, or MinHash-compressed for large sets) and produces
+// the ranking the auditing agent returns to the client — lowest similarity
+// (most independent) first, exactly like Table 2.
+
+#ifndef SRC_PIA_AUDIT_H_
+#define SRC_PIA_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deps/depdb.h"
+#include "src/pia/protocol_stats.h"
+#include "src/pia/psop.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct CloudProvider {
+  std::string name;
+  std::vector<std::string> components;  // normalized ids
+};
+
+// Builds a provider's normalized component-set from its own DepDB (§4.2.3:
+// each provider generates its local dependency graph at the component-set
+// level and normalizes identifiers before entering the protocol). Expands
+// every record into normalized component ids, deduplicated and sorted.
+CloudProvider MakeProviderFromDepDb(const std::string& name, const DepDb& db);
+
+enum class PiaMethod {
+  kPsopExact,    // full component-sets through P-SOP
+  kPsopMinHash,  // MinHash samples through P-SOP (large sets)
+};
+
+struct PiaAuditOptions {
+  PiaMethod method = PiaMethod::kPsopExact;
+  size_t minhash_m = 256;  // sample size when method == kPsopMinHash
+  PsopOptions psop;
+  uint32_t min_redundancy = 2;  // smallest deployment size to evaluate
+  uint32_t max_redundancy = 3;  // largest deployment size to evaluate
+  // Evaluate candidate deployments concurrently (each deployment's protocol
+  // run is independent). 1 = sequential.
+  size_t parallel_deployments = 1;
+};
+
+struct DeploymentSimilarity {
+  std::vector<std::string> providers;  // provider names in the deployment
+  double jaccard = 0.0;
+};
+
+struct PiaAuditReport {
+  // One ranking per redundancy level (index 0 = min_redundancy), each sorted
+  // ascending by Jaccard (most independent first).
+  std::vector<std::vector<DeploymentSimilarity>> rankings;
+  uint32_t min_redundancy = 2;
+  // Aggregate protocol cost across all evaluated deployments, per provider
+  // (indexed like the input providers).
+  std::vector<PartyStats> provider_stats;
+};
+
+// Evaluates every min..max-way deployment. Requires >= min_redundancy
+// providers with unique names and non-empty component sets.
+Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
+                                   const PiaAuditOptions& options = {});
+
+// Renders the Table 2 style ranking list.
+std::string RenderPiaReport(const PiaAuditReport& report);
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_AUDIT_H_

@@ -1,0 +1,38 @@
+#include "src/pia/audit_trail.h"
+
+#include <algorithm>
+
+#include "src/crypto/digest.h"
+
+namespace indaas {
+
+std::string CanonicalDatasetEncoding(const std::vector<std::string>& dataset) {
+  std::vector<std::string> sorted = dataset;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const std::string& element : sorted) {
+    // Length prefix prevents ambiguity between {"ab","c"} and {"a","bc"}.
+    uint64_t length = element.size();
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<char>(length >> shift));
+    }
+    out += element;
+  }
+  return out;
+}
+
+std::string CommitDataset(const std::vector<std::string>& dataset, uint64_t nonce) {
+  std::string payload = CanonicalDatasetEncoding(dataset);
+  payload += "||nonce:";
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    payload.push_back(static_cast<char>(nonce >> shift));
+  }
+  return DigestToHex(Sha256(payload));
+}
+
+bool VerifyDatasetCommitment(const std::vector<std::string>& dataset, uint64_t nonce,
+                             const std::string& commitment_hex) {
+  return CommitDataset(dataset, nonce) == commitment_hex;
+}
+
+}  // namespace indaas

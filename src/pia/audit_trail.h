@@ -1,0 +1,35 @@
+// PIA audit trail (paper §5.2, "trust but leave an audit trail").
+//
+// Dishonest providers could under-report their component-sets to look more
+// independent. The paper's pragmatic countermeasure: providers commit to the
+// data they fed into the protocol; a specially-authorized meta-auditor can
+// later demand the opening and check it. This module provides the
+// commitment scheme (SHA-256 over a canonical serialization plus a secret
+// nonce) and the meta-audit check.
+
+#ifndef SRC_PIA_AUDIT_TRAIL_H_
+#define SRC_PIA_AUDIT_TRAIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace indaas {
+
+// Canonical, order-insensitive serialization of a dataset (sorted, length-
+// prefixed elements) — two honest serializations of the same multiset are
+// byte-identical.
+std::string CanonicalDatasetEncoding(const std::vector<std::string>& dataset);
+
+// Hex SHA-256 commitment to (dataset, nonce). The provider publishes this
+// when the protocol runs and keeps (dataset, nonce) in its records.
+std::string CommitDataset(const std::vector<std::string>& dataset, uint64_t nonce);
+
+// Meta-audit check: does the provider's retained (dataset, nonce) open the
+// published commitment?
+bool VerifyDatasetCommitment(const std::vector<std::string>& dataset, uint64_t nonce,
+                             const std::string& commitment_hex);
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_AUDIT_TRAIL_H_

@@ -1,0 +1,73 @@
+#include "src/pia/jaccard.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace indaas {
+
+Result<double> JaccardSimilarity(const std::vector<std::vector<std::string>>& sets) {
+  if (sets.size() < 2) {
+    return InvalidArgumentError("JaccardSimilarity: need at least two sets");
+  }
+  std::map<std::string, size_t> counts;
+  for (const auto& set : sets) {
+    std::set<std::string> unique(set.begin(), set.end());
+    for (const std::string& element : unique) {
+      ++counts[element];
+    }
+  }
+  if (counts.empty()) {
+    return 0.0;
+  }
+  size_t intersection = 0;
+  for (const auto& [element, count] : counts) {
+    if (count == sets.size()) {
+      ++intersection;
+    }
+  }
+  return static_cast<double>(intersection) / static_cast<double>(counts.size());
+}
+
+MinHashSignature::MinHashSignature(const HashFamily& family,
+                                   const std::vector<std::string>& elements) {
+  mins_.assign(family.size(), std::numeric_limits<uint64_t>::max());
+  for (const std::string& element : elements) {
+    for (size_t i = 0; i < family.size(); ++i) {
+      mins_[i] = std::min(mins_[i], family.Hash(i, element));
+    }
+  }
+}
+
+Result<double> EstimateJaccard(const std::vector<MinHashSignature>& signatures) {
+  if (signatures.size() < 2) {
+    return InvalidArgumentError("EstimateJaccard: need at least two signatures");
+  }
+  const size_t m = signatures.front().size();
+  if (m == 0) {
+    return InvalidArgumentError("EstimateJaccard: empty signatures");
+  }
+  for (const MinHashSignature& sig : signatures) {
+    if (sig.size() != m) {
+      return InvalidArgumentError("EstimateJaccard: signature sizes differ");
+    }
+  }
+  size_t agree = 0;
+  for (size_t i = 0; i < m; ++i) {
+    bool all_equal = true;
+    uint64_t first = signatures.front().value(i);
+    for (size_t s = 1; s < signatures.size(); ++s) {
+      if (signatures[s].value(i) != first) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(m);
+}
+
+}  // namespace indaas

@@ -1,0 +1,49 @@
+// Jaccard similarity and MinHash estimation (paper §4.2.2).
+//
+// J(S_0..S_{k-1}) = |∩ S_i| / |∪ S_i|. J near 0 means the datasets are almost
+// disjoint (independent); J >= 0.75 is conventionally "significantly
+// correlated". MinHash compresses each set into an m-entry signature;
+// J ≈ (# indices where all k signatures agree) / m, with expected error
+// O(1/sqrt(m)) (Broder).
+
+#ifndef SRC_PIA_JACCARD_H_
+#define SRC_PIA_JACCARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/hash_family.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Exact multi-way Jaccard similarity over string sets (inputs need not be
+// sorted or unique). Returns 0 for an empty union; errors on < 2 sets.
+Result<double> JaccardSimilarity(const std::vector<std::vector<std::string>>& sets);
+
+// Conventional threshold above which datasets count as significantly
+// correlated (Walsh & Sirer, NSDI'06, as cited in §4.2.2).
+inline constexpr double kSignificantCorrelation = 0.75;
+
+// MinHash signature: entry i is min over the set of hash function i.
+class MinHashSignature {
+ public:
+  // Builds the signature of `elements` under `family` (all of it).
+  MinHashSignature(const HashFamily& family, const std::vector<std::string>& elements);
+
+  size_t size() const { return mins_.size(); }
+  uint64_t value(size_t i) const { return mins_[i]; }
+  const std::vector<uint64_t>& values() const { return mins_; }
+
+ private:
+  std::vector<uint64_t> mins_;
+};
+
+// Estimated Jaccard across k signatures: fraction of indices where all agree.
+// All signatures must share the same size (same family); errors otherwise.
+Result<double> EstimateJaccard(const std::vector<MinHashSignature>& signatures);
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_JACCARD_H_

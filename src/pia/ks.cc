@@ -1,0 +1,223 @@
+#include "src/pia/ks.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/bignum/modular.h"
+#include "src/crypto/hash_family.h"
+#include "src/crypto/paillier.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace {
+
+// Plaintext polynomial over Z_n, little-endian coefficients (c0 + c1 x + ...).
+using Poly = std::vector<BigUint>;
+
+// Multiplies `poly` by the monic factor (x - root) modulo n.
+Poly MulByRootFactor(const Poly& poly, const BigUint& root, const BigUint& n) {
+  Poly out(poly.size() + 1, BigUint());
+  BigUint neg_root = ModSub(BigUint(), root, n);
+  for (size_t t = 0; t < poly.size(); ++t) {
+    out[t] = ModAdd(out[t], ModMul(poly[t], neg_root, n), n);
+    out[t + 1] = ModAdd(out[t + 1], poly[t], n);
+  }
+  return out;
+}
+
+// Builds Π (x - root) over Z_n.
+Poly PolyFromRoots(const std::vector<BigUint>& roots, const BigUint& n) {
+  Poly poly{BigUint(1)};
+  for (const BigUint& root : roots) {
+    poly = MulByRootFactor(poly, root, n);
+  }
+  return poly;
+}
+
+struct Party {
+  std::vector<BigUint> elements;                    // hashed element values
+  std::vector<size_t> buckets;                      // bucket per element
+  std::vector<std::vector<BigUint>> enc_polys;      // per bucket, encrypted coeffs
+  PartyStats stats;
+};
+
+}  // namespace
+
+Result<KsResult> RunKsIntersectionCardinality(
+    const std::vector<std::vector<std::string>>& datasets, const KsOptions& options) {
+  const size_t k = datasets.size();
+  if (k < 2) {
+    return InvalidArgumentError("RunKs: need at least two parties");
+  }
+  size_t max_elements = 0;
+  for (const auto& dataset : datasets) {
+    if (dataset.empty()) {
+      return InvalidArgumentError("RunKs: empty dataset");
+    }
+    max_elements = std::max(max_elements, dataset.size());
+  }
+  Rng rng(options.seed);
+  // Party 0 stands in for the threshold-decryption key holder.
+  INDAAS_ASSIGN_OR_RETURN(PaillierKeyPair keypair,
+                          GeneratePaillierKeyPair(options.paillier_bits, rng));
+  const PaillierPublicKey& pub = keypair.pub;
+  const BigUint& n = pub.n();
+  const size_t cipher_bytes = pub.CiphertextBytes();
+
+  const size_t num_buckets =
+      std::max<size_t>(1, max_elements / std::max<size_t>(1, options.bucket_capacity));
+  const uint64_t element_seed = options.seed ^ 0x4B53454C454D454EULL;
+  const uint64_t bucket_seed = options.seed ^ 0x4B534255434B4554ULL;
+
+  std::vector<Party> parties(k);
+  // Hash elements (dedup first: sets, not multisets) and assign buckets.
+  size_t max_bucket_load = 0;
+  std::vector<std::vector<std::vector<BigUint>>> roots_per_party(k);
+  for (size_t i = 0; i < k; ++i) {
+    std::set<std::string> unique(datasets[i].begin(), datasets[i].end());
+    roots_per_party[i].assign(num_buckets, {});
+    for (const std::string& element : unique) {
+      BigUint value(KeyedHash64(element_seed, element));
+      size_t bucket = KeyedHash64(bucket_seed, element) % num_buckets;
+      parties[i].elements.push_back(value);
+      parties[i].buckets.push_back(bucket);
+      roots_per_party[i][bucket].push_back(value);
+    }
+    for (const auto& bucket_roots : roots_per_party[i]) {
+      max_bucket_load = std::max(max_bucket_load, bucket_roots.size());
+    }
+  }
+  const size_t degree = max_bucket_load;  // All bucket polys padded to this.
+
+  // Each party builds and encrypts its bucket polynomials (padded with
+  // random phantom roots so every bucket has the same degree).
+  for (size_t i = 0; i < k; ++i) {
+    Party& party = parties[i];
+    WallTimer timer;
+    party.enc_polys.resize(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      std::vector<BigUint> roots = roots_per_party[i][b];
+      while (roots.size() < degree) {
+        roots.push_back(BigUint(rng.Next()));
+      }
+      Poly poly = PolyFromRoots(roots, n);
+      party.enc_polys[b].reserve(poly.size());
+      for (const BigUint& coeff : poly) {
+        INDAAS_ASSIGN_OR_RETURN(BigUint ct, pub.Encrypt(coeff, rng));
+        party.enc_polys[b].push_back(std::move(ct));
+        ++party.stats.encrypt_ops;
+      }
+    }
+    party.stats.compute_seconds += timer.ElapsedSeconds();
+    // Broadcast the encrypted polynomials to the other k-1 parties.
+    size_t poly_bytes = num_buckets * (degree + 1) * cipher_bytes;
+    party.stats.bytes_sent += poly_bytes * (k - 1);
+    for (size_t j = 0; j < k; ++j) {
+      if (j != i) {
+        parties[j].stats.bytes_received += poly_bytes;
+      }
+    }
+  }
+
+  // Each party i multiplies every party's encrypted polynomial by a fresh
+  // random degree-1 polynomial r_{i,j} and accumulates its partial
+  // λ_i = Σ_j r_{i,j}·f_j (degree D+1). Partials go to party 0 to be summed.
+  const size_t lambda_len = degree + 2;
+  std::vector<std::vector<std::vector<BigUint>>> partials(k);
+  for (size_t i = 0; i < k; ++i) {
+    Party& party = parties[i];
+    WallTimer timer;
+    auto& partial = partials[i];
+    partial.assign(num_buckets, {});
+    for (size_t b = 0; b < num_buckets; ++b) {
+      std::vector<BigUint>& acc = partial[b];
+      acc.assign(lambda_len, BigUint(1));  // Enc-free identity: ct "1" = Enc(0)·triv
+      for (size_t j = 0; j < k; ++j) {
+        // r = r0 + r1·x, r1 != 0.
+        BigUint r0(rng.Next());
+        BigUint r1(rng.Next() | 1);
+        const std::vector<BigUint>& f = parties[j].enc_polys[b];
+        for (size_t t = 0; t < f.size(); ++t) {
+          // Contribution of f_t to coefficients t (×r0) and t+1 (×r1).
+          BigUint c0 = pub.MulPlaintext(f[t], r0);
+          BigUint c1 = pub.MulPlaintext(f[t], r1);
+          acc[t] = pub.AddCiphertexts(acc[t], c0);
+          acc[t + 1] = pub.AddCiphertexts(acc[t + 1], c1);
+          party.stats.homomorphic_ops += 4;
+        }
+      }
+    }
+    party.stats.compute_seconds += timer.ElapsedSeconds();
+    if (i != 0) {
+      size_t bytes = num_buckets * lambda_len * cipher_bytes;
+      party.stats.bytes_sent += bytes;
+      parties[0].stats.bytes_received += bytes;
+    }
+  }
+
+  // Party 0 sums the partials into λ and broadcasts λ to everyone.
+  std::vector<std::vector<BigUint>> lambda(num_buckets,
+                                           std::vector<BigUint>(lambda_len, BigUint(1)));
+  {
+    Party& leader = parties[0];
+    WallTimer timer;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t b = 0; b < num_buckets; ++b) {
+        for (size_t t = 0; t < lambda_len; ++t) {
+          lambda[b][t] = pub.AddCiphertexts(lambda[b][t], partials[i][b][t]);
+          ++leader.stats.homomorphic_ops;
+        }
+      }
+    }
+    leader.stats.compute_seconds += timer.ElapsedSeconds();
+    size_t bytes = num_buckets * lambda_len * cipher_bytes;
+    leader.stats.bytes_sent += bytes * (k - 1);
+    for (size_t j = 1; j < k; ++j) {
+      parties[j].stats.bytes_received += bytes;
+    }
+  }
+
+  // Every party evaluates λ at its own elements (encrypted Horner), blinds,
+  // and sends the evaluations to party 0 for decryption. Party 0's zero
+  // count is the intersection cardinality.
+  KsResult result;
+  for (size_t i = 0; i < k; ++i) {
+    Party& party = parties[i];
+    WallTimer timer;
+    size_t zeros = 0;
+    for (size_t e = 0; e < party.elements.size(); ++e) {
+      const std::vector<BigUint>& lam = lambda[party.buckets[e]];
+      const BigUint& x = party.elements[e];
+      BigUint acc = lam.back();
+      for (size_t t = lambda_len - 1; t-- > 0;) {
+        acc = pub.AddCiphertexts(pub.MulPlaintext(acc, x), lam[t]);
+        party.stats.homomorphic_ops += 2;
+      }
+      // Blind with a random nonzero scalar: zero stays zero.
+      acc = pub.MulPlaintext(acc, BigUint(rng.Next() | 1));
+      ++party.stats.homomorphic_ops;
+      if (i != 0) {
+        party.stats.bytes_sent += cipher_bytes;
+        parties[0].stats.bytes_received += cipher_bytes;
+      }
+      // Party 0 decrypts (threshold decryption stand-in).
+      INDAAS_ASSIGN_OR_RETURN(BigUint plain, keypair.priv.Decrypt(pub, acc));
+      ++parties[0].stats.encrypt_ops;
+      if (plain.IsZero()) {
+        ++zeros;
+      }
+    }
+    party.stats.compute_seconds += timer.ElapsedSeconds();
+    if (i == 0) {
+      result.intersection = zeros;
+    }
+  }
+  result.party_stats.reserve(k);
+  for (Party& party : parties) {
+    result.party_stats.push_back(party.stats);
+  }
+  return result;
+}
+
+}  // namespace indaas

@@ -1,0 +1,49 @@
+// KS: Kissner–Song style private set intersection cardinality baseline
+// (paper §6.3.2 compares P-SOP against it).
+//
+// Sets are encoded as polynomials whose roots are the (hashed) elements,
+// bucketized for efficiency; coefficients are encrypted under an additively
+// homomorphic Paillier key. Every party multiplies every other party's
+// encrypted polynomial by a fresh random polynomial (homomorphically) and the
+// results are summed: λ = Σ_{i,j} r_{i,j}·f_j. λ(x) = 0 (w.h.p.) exactly when
+// x is a root of every f_j, i.e. x is in all sets. Evaluating the encrypted λ
+// at a party's own elements and counting decrypted zeros yields |∩ S_i|.
+//
+// Simplifications vs. full KS, documented in DESIGN.md: the threshold-
+// decryption key is held by one designated party (honest-but-curious model),
+// and the random-polynomial degree is 1. The operation counts per party —
+// O(n) Paillier encryptions, O((k-1)·n) homomorphic multiplications, O(n·D)
+// evaluation ops, ciphertexts of 2×|key| bits — match the real protocol's
+// cost structure, which is what Figure 8 measures.
+
+#ifndef SRC_PIA_KS_H_
+#define SRC_PIA_KS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pia/protocol_stats.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct KsOptions {
+  size_t paillier_bits = 1024;  // |n|; ciphertexts are 2048-bit
+  // Expected elements per bucket (buckets keep polynomial degrees constant;
+  // the standard Freedman-style optimization).
+  size_t bucket_capacity = 10;
+  uint64_t seed = 1;
+};
+
+struct KsResult {
+  size_t intersection = 0;
+  std::vector<PartyStats> party_stats;
+};
+
+// Runs the protocol; requires >= 2 parties with non-empty datasets.
+Result<KsResult> RunKsIntersectionCardinality(
+    const std::vector<std::vector<std::string>>& datasets, const KsOptions& options = {});
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_KS_H_

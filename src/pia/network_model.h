@@ -1,0 +1,42 @@
+// Network cost model for the protocol simulations.
+//
+// Protocol runs happen in-process, so PartyStats measures CPU and bytes but
+// not network time. This model converts a protocol's traffic volume and
+// round count into an estimated wall-clock contribution for a given link
+// profile, so benches can report "estimated wall time at 1 Gbps / 0.5 ms
+// RTT" alongside raw compute — the quantity the paper's cluster measured
+// implicitly.
+
+#ifndef SRC_PIA_NETWORK_MODEL_H_
+#define SRC_PIA_NETWORK_MODEL_H_
+
+#include <cstddef>
+
+#include "src/pia/protocol_stats.h"
+
+namespace indaas {
+
+struct NetworkModel {
+  double rtt_seconds = 0.0005;          // per communication round
+  double bandwidth_bytes_per_s = 125e6;  // 1 Gbps
+
+  // Time to move `bytes` over the link plus `rounds` round-trip latencies.
+  double TransferSeconds(size_t bytes, size_t rounds) const {
+    double bw = bandwidth_bytes_per_s > 0 ? bandwidth_bytes_per_s : 1.0;
+    return static_cast<double>(bytes) / bw + static_cast<double>(rounds) * rtt_seconds;
+  }
+
+  // Estimated wall clock for one party: its compute plus shipping what it
+  // sent, with `rounds` synchronization points.
+  double EstimateWallSeconds(const PartyStats& stats, size_t rounds) const {
+    return stats.compute_seconds + TransferSeconds(stats.bytes_sent, rounds);
+  }
+};
+
+// Common profiles.
+inline NetworkModel DatacenterNetwork() { return NetworkModel{0.0005, 125e6}; }   // 1 Gbps LAN
+inline NetworkModel WideAreaNetwork() { return NetworkModel{0.05, 12.5e6}; }      // 100 Mbps WAN
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_NETWORK_MODEL_H_

@@ -1,0 +1,22 @@
+// Per-party accounting shared by the PIA protocols: the quantities Figure 8
+// reports (bandwidth and computation per cloud provider).
+
+#ifndef SRC_PIA_PROTOCOL_STATS_H_
+#define SRC_PIA_PROTOCOL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace indaas {
+
+struct PartyStats {
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  size_t encrypt_ops = 0;      // public-key operations performed
+  size_t homomorphic_ops = 0;  // ciphertext-space mult/exp operations
+  double compute_seconds = 0;  // wall time spent in this party's crypto
+};
+
+}  // namespace indaas
+
+#endif  // SRC_PIA_PROTOCOL_STATS_H_

@@ -1,0 +1,174 @@
+#include "src/pia/psop.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/crypto/hash_family.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace {
+
+// One ring party: its key, its in-flight dataset, and its accounting.
+struct Party {
+  CommutativeKey key;
+  std::vector<BigUint> dataset;  // the dataset currently held (in transit)
+  PartyStats stats;
+};
+
+// Multiset disambiguation (§4.2.2): occurrence t of element e becomes "e||t".
+std::vector<std::string> Disambiguate(const std::vector<std::string>& elements) {
+  std::map<std::string, size_t> seen;
+  std::vector<std::string> out;
+  out.reserve(elements.size());
+  for (const std::string& element : elements) {
+    size_t occurrence = ++seen[element];
+    out.push_back(element + "||" + std::to_string(occurrence));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets,
+                           const PsopOptions& options) {
+  const size_t k = datasets.size();
+  if (k < 2) {
+    return InvalidArgumentError("RunPsop: need at least two parties");
+  }
+  INDAAS_ASSIGN_OR_RETURN(CommutativeGroup group,
+                          CommutativeGroup::CreateWellKnown(options.group_bits));
+  const size_t element_bytes = group.ElementBytes();
+
+  Rng rng(options.seed);
+  std::vector<Party> parties;
+  parties.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(CommutativeKey key, CommutativeKey::Generate(group, rng));
+    parties.push_back(Party{std::move(key), {}, {}});
+  }
+
+  // Phase 0: hash into the group, first encryption, permutation.
+  for (size_t i = 0; i < k; ++i) {
+    Party& party = parties[i];
+    WallTimer timer;
+    std::vector<std::string> elements = Disambiguate(datasets[i]);
+    party.dataset.reserve(elements.size());
+    for (const std::string& element : elements) {
+      BigUint point = group.HashToElement(element, options.hash);
+      party.dataset.push_back(party.key.Encrypt(group, point));
+      ++party.stats.encrypt_ops;
+    }
+    rng.Shuffle(party.dataset);
+    party.stats.compute_seconds += timer.ElapsedSeconds();
+  }
+
+  // Phase 1: pass each dataset around the ring; every hop encrypts and
+  // permutes. After k hops a dataset is back at its origin, encrypted by all.
+  for (size_t hop = 0; hop < k; ++hop) {
+    // Dataset originated by party i currently sits at party (i + hop) % k.
+    std::vector<std::vector<BigUint>> in_flight(k);
+    for (size_t i = 0; i < k; ++i) {
+      size_t holder = (i + hop) % k;
+      size_t next = (i + hop + 1) % k;
+      size_t bytes = parties[holder].dataset.size() * element_bytes;
+      parties[holder].stats.bytes_sent += bytes;
+      parties[next].stats.bytes_received += bytes;
+      in_flight[next] = std::move(parties[holder].dataset);
+    }
+    for (size_t next = 0; next < k; ++next) {
+      parties[next].dataset = std::move(in_flight[next]);
+      if (hop + 1 == k) {
+        continue;  // Dataset is back home fully encrypted; no more crypto.
+      }
+      Party& party = parties[next];
+      WallTimer timer;
+      for (BigUint& element : party.dataset) {
+        element = party.key.Encrypt(group, element);
+        ++party.stats.encrypt_ops;
+      }
+      rng.Shuffle(party.dataset);
+      party.stats.compute_seconds += timer.ElapsedSeconds();
+    }
+  }
+
+  // Phase 2: parties share the fully-encrypted datasets (each holder
+  // broadcasts to the k-1 peers) and count common/unique ciphertexts.
+  for (size_t i = 0; i < k; ++i) {
+    size_t bytes = parties[i].dataset.size() * element_bytes;
+    parties[i].stats.bytes_sent += bytes * (k - 1);
+    for (size_t j = 0; j < k; ++j) {
+      if (j != i) {
+        parties[j].stats.bytes_received += bytes;
+      }
+    }
+  }
+  std::map<std::string, size_t> presence;  // ciphertext -> #parties holding it
+  for (const Party& party : parties) {
+    std::map<std::string, size_t> local;  // multiset within one party
+    for (const BigUint& element : party.dataset) {
+      ++local[element.ToHex()];
+    }
+    for (const auto& [ciphertext, count] : local) {
+      (void)count;  // Disambiguated elements are unique per party.
+      ++presence[ciphertext];
+    }
+  }
+  PsopResult result;
+  result.union_size = presence.size();
+  for (const auto& [ciphertext, count] : presence) {
+    if (count == k) {
+      ++result.intersection;
+    }
+  }
+  result.jaccard = result.union_size == 0
+                       ? 0.0
+                       : static_cast<double>(result.intersection) /
+                             static_cast<double>(result.union_size);
+  result.party_stats.reserve(k);
+  for (Party& party : parties) {
+    result.party_stats.push_back(party.stats);
+  }
+  return result;
+}
+
+Result<PsopResult> RunPsopWithMinHash(const std::vector<std::vector<std::string>>& datasets,
+                                      size_t m, const PsopOptions& options) {
+  if (m == 0) {
+    return InvalidArgumentError("RunPsopWithMinHash: m must be > 0");
+  }
+  // All parties agree on the hash family (seed derived from the protocol
+  // seed, as they would agree on hash functions out of band).
+  HashFamily family(options.seed ^ 0x4D696E4861736821ULL, m);
+  std::vector<std::vector<std::string>> samples;
+  samples.reserve(datasets.size());
+  for (const std::vector<std::string>& dataset : datasets) {
+    if (dataset.empty()) {
+      return InvalidArgumentError("RunPsopWithMinHash: empty dataset");
+    }
+    std::vector<std::string> sample;
+    sample.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      // arg-min element under hash function i, tagged with the function
+      // index so index-i entries only match index-i entries.
+      const std::string* best = &dataset.front();
+      uint64_t best_hash = family.Hash(i, dataset.front());
+      for (const std::string& element : dataset) {
+        uint64_t h = family.Hash(i, element);
+        if (h < best_hash) {
+          best_hash = h;
+          best = &element;
+        }
+      }
+      sample.push_back(StrFormat("%zu#", i) + *best);
+    }
+    samples.push_back(std::move(sample));
+  }
+  INDAAS_ASSIGN_OR_RETURN(PsopResult result, RunPsop(samples, options));
+  // Jaccard estimate is |∩ samples| / m (§4.2.4), not intersection/union.
+  result.jaccard = static_cast<double>(result.intersection) / static_cast<double>(m);
+  return result;
+}
+
+}  // namespace indaas

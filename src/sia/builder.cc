@@ -1,0 +1,164 @@
+#include "src/sia/builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/deps/normalize.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+// Interns a basic event for a normalized component id, reusing the node when
+// the component was already seen (possibly via another server).
+class ComponentInterner {
+ public:
+  ComponentInterner(FaultGraph& graph, const FailureProbabilityModel* prob_model)
+      : graph_(graph), prob_model_(prob_model) {}
+
+  NodeId Intern(const std::string& component_id) {
+    auto it = nodes_.find(component_id);
+    if (it != nodes_.end()) {
+      return it->second;
+    }
+    double prob = prob_model_ != nullptr ? prob_model_->Lookup(component_id) : kUnknownProb;
+    NodeId id = graph_.AddBasicEvent(component_id, prob);
+    nodes_.emplace(component_id, id);
+    return id;
+  }
+
+ private:
+  FaultGraph& graph_;
+  const FailureProbabilityModel* prob_model_;
+  std::map<std::string, NodeId> nodes_;
+};
+
+}  // namespace
+
+Result<FaultGraph> BuildDeploymentFaultGraph(const DepDb& db,
+                                             const std::vector<std::string>& servers,
+                                             const BuildOptions& options) {
+  if (servers.empty()) {
+    return InvalidArgumentError("BuildDeploymentFaultGraph: no servers given");
+  }
+  for (size_t i = 0; i < servers.size(); ++i) {
+    for (size_t j = i + 1; j < servers.size(); ++j) {
+      if (servers[i] == servers[j]) {
+        return InvalidArgumentError("BuildDeploymentFaultGraph: duplicate server '" + servers[i] +
+                                    "'");
+      }
+    }
+  }
+  if (options.required_servers > servers.size()) {
+    return InvalidArgumentError("BuildDeploymentFaultGraph: required_servers > server count");
+  }
+
+  FaultGraph graph;
+  ComponentInterner intern(graph, options.prob_model);
+  std::vector<NodeId> server_gates;
+  server_gates.reserve(servers.size());
+
+  for (const std::string& server : servers) {
+    std::vector<NodeId> server_children;
+
+    // The machine itself as a shared basic event: two VMs on one host both
+    // reference the host's id, creating the co-location RG of §6.2.2.
+    if (options.include_server_event) {
+      server_children.push_back(intern.Intern(server));
+    }
+
+    // Step 4: hardware dependencies.
+    std::vector<NodeId> hw_children;
+    if (options.include_hardware) {
+      for (const HardwareDependency& hw : db.HardwareOf(server)) {
+        hw_children.push_back(intern.Intern(NormalizeHardwareComponent(hw.dep)));
+      }
+    }
+    if (!hw_children.empty()) {
+      server_children.push_back(
+          graph.AddGate(server + "/hardware fails", GateType::kOr, std::move(hw_children)));
+    }
+
+    // Step 5: network dependencies — AND over redundant paths, each path an
+    // OR over its devices.
+    std::vector<NetworkDependency> routes =
+        options.include_network ? db.RoutesBetween(server, options.network_destination)
+                                : std::vector<NetworkDependency>{};
+    if (!routes.empty()) {
+      std::vector<NodeId> path_gates;
+      path_gates.reserve(routes.size());
+      for (size_t r = 0; r < routes.size(); ++r) {
+        std::vector<NodeId> devices;
+        devices.reserve(routes[r].route.size());
+        for (const std::string& device : routes[r].route) {
+          devices.push_back(intern.Intern(NormalizeNetworkComponent(device)));
+        }
+        if (devices.empty()) {
+          continue;  // Directly attached; the path cannot fail.
+        }
+        path_gates.push_back(graph.AddGate(StrFormat("%s/path%zu fails", server.c_str(), r),
+                                           GateType::kOr, std::move(devices)));
+      }
+      if (!path_gates.empty()) {
+        server_children.push_back(
+            graph.AddGate(server + "/network fails", GateType::kAnd, std::move(path_gates)));
+      }
+    }
+
+    // Step 6: software dependencies — OR over components, each an OR over
+    // its packages.
+    std::vector<NodeId> sw_gates;
+    std::vector<SoftwareDependency> software =
+        options.include_software ? db.SoftwareOn(server) : std::vector<SoftwareDependency>{};
+    for (const SoftwareDependency& sw : software) {
+      if (!options.software_of_interest.empty() &&
+          std::find(options.software_of_interest.begin(), options.software_of_interest.end(),
+                    sw.pgm) == options.software_of_interest.end()) {
+        continue;
+      }
+      std::vector<NodeId> packages;
+      packages.reserve(sw.deps.size());
+      for (const std::string& pkg : sw.deps) {
+        size_t eq = pkg.find('=');
+        std::string normalized = eq == std::string::npos
+                                     ? NormalizePackage(pkg)
+                                     : NormalizePackage(pkg.substr(0, eq), pkg.substr(eq + 1));
+        packages.push_back(intern.Intern(normalized));
+      }
+      if (packages.empty()) {
+        continue;
+      }
+      sw_gates.push_back(graph.AddGate(StrFormat("%s/%s fails", server.c_str(), sw.pgm.c_str()),
+                                       GateType::kOr, std::move(packages)));
+    }
+    if (!sw_gates.empty()) {
+      server_children.push_back(
+          graph.AddGate(server + "/software fails", GateType::kOr, std::move(sw_gates)));
+    }
+
+    if (server_children.empty()) {
+      return NotFoundError("BuildDeploymentFaultGraph: no dependency data for server '" + server +
+                           "' (and include_server_event is off)");
+    }
+    // Step 3: the server fails if any dependency category fails.
+    server_gates.push_back(
+        graph.AddGate(server + " fails", GateType::kOr, std::move(server_children)));
+  }
+
+  // Steps 1-2: top event over the redundant servers.
+  NodeId top;
+  if (servers.size() == 1) {
+    top = server_gates.front();
+  } else if (options.required_servers == 0) {
+    top = graph.AddGate("deployment fails", GateType::kAnd, std::move(server_gates));
+  } else {
+    uint32_t fail_threshold =
+        static_cast<uint32_t>(servers.size()) - options.required_servers + 1;
+    top = graph.AddKofNGate("deployment fails", fail_threshold, std::move(server_gates));
+  }
+  graph.SetTopEvent(top);
+  INDAAS_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace indaas

@@ -1,0 +1,61 @@
+// Fault-graph construction from DepDB (paper §4.1.1, "Building the
+// dependency graph", steps 1–6).
+//
+// Given a redundancy deployment — a list of servers (or VMs) — the builder
+// queries DepDB and produces the fault graph:
+//   top event            AND (or k-of-n) over server failure events    [1,2]
+//   server fails         OR over { the machine itself, network fails,
+//                                  hardware fails, software fails }    [3]
+//   hardware fails       OR over hardware component failures           [4]
+//   network fails        AND over redundant paths; each path is an OR
+//                        over its network devices                      [5]
+//   software fails       OR over software components; each component is
+//                        an OR over its packages                       [6]
+// Basic events are normalized component ids (src/deps/normalize.h), so the
+// same physical component referenced by several servers becomes one shared
+// node — the mechanism that surfaces unexpected common dependencies.
+
+#ifndef SRC_SIA_BUILDER_H_
+#define SRC_SIA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deps/depdb.h"
+#include "src/deps/prob_model.h"
+#include "src/graph/fault_graph.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct BuildOptions {
+  // Destination used to select network routes (paper Figure 3: routes to the
+  // Internet).
+  std::string network_destination = "Internet";
+  // Survivability threshold: the deployment fails when fewer than
+  // `required_servers` servers are up (0 = all servers required to fail, i.e.
+  // plain AND / full redundancy).
+  uint32_t required_servers = 0;
+  // Restrict the software layer to these programs (paper §3: the client
+  // lists software components of interest). Empty = all programs in DepDB.
+  std::vector<std::string> software_of_interest;
+  // If set, basic events get failure probabilities from this model.
+  const FailureProbabilityModel* prob_model = nullptr;
+  // Include a basic event for each server machine itself (its outright
+  // failure, independent of catalogued dependencies).
+  bool include_server_event = true;
+  // Dependency types to include (§2 Step 1c: "the types of components and
+  // dependencies to be considered").
+  bool include_network = true;
+  bool include_hardware = true;
+  bool include_software = true;
+};
+
+// Builds and validates the deployment fault graph for `servers`.
+Result<FaultGraph> BuildDeploymentFaultGraph(const DepDb& db,
+                                             const std::vector<std::string>& servers,
+                                             const BuildOptions& options = {});
+
+}  // namespace indaas
+
+#endif  // SRC_SIA_BUILDER_H_

@@ -1,0 +1,139 @@
+#include "src/sia/importance.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/graph/bdd.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+// Pr(top) over minimal RGs by inclusion-exclusion, with probabilities
+// supplied by `prob_of` (allows per-component conditioning).
+double ExactTopProb(const std::vector<RiskGroup>& groups,
+                    const std::function<double(NodeId)>& prob_of) {
+  const size_t n = groups.size();
+  double total = 0.0;
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    RiskGroup merged;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        RiskGroup next;
+        std::set_union(merged.begin(), merged.end(), groups[i].begin(), groups[i].end(),
+                       std::back_inserter(next));
+        merged = std::move(next);
+      }
+    }
+    double term = 1.0;
+    for (NodeId id : merged) {
+      term *= prob_of(id);
+    }
+    total += (__builtin_popcountll(mask) % 2 == 1) ? term : -term;
+  }
+  return total;
+}
+
+// Monte-Carlo Pr(top) with per-component conditioning.
+double MonteCarloTopProb(const FaultGraph& graph, const std::function<double(NodeId)>& prob_of,
+                         size_t rounds, Rng& rng) {
+  std::vector<uint8_t> state(graph.NodeCount(), 0);
+  const auto& basics = graph.BasicEvents();
+  size_t failures = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    for (NodeId id : basics) {
+      state[id] = rng.NextBool(prob_of(id)) ? 1 : 0;
+    }
+    if (graph.Evaluate(state)) {
+      ++failures;
+    }
+  }
+  return rounds == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+Result<std::vector<ComponentImportance>> RankComponentImportance(
+    const FaultGraph& graph, const std::vector<RiskGroup>& minimal_groups,
+    const ImportanceOptions& options) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("RankComponentImportance: graph not validated");
+  }
+  if (minimal_groups.empty()) {
+    return std::vector<ComponentImportance>{};
+  }
+  std::map<NodeId, size_t> memberships;
+  for (const RiskGroup& group : minimal_groups) {
+    for (NodeId id : group) {
+      ++memberships[id];
+    }
+  }
+  auto base_prob = [&](NodeId id) {
+    double p = graph.node(id).failure_prob;
+    return p == kUnknownProb ? options.default_prob : p;
+  };
+  const bool exact = minimal_groups.size() <= options.max_exact_terms;
+  // For large group counts, prefer exact BDD conditioning over Monte Carlo:
+  // compile the structure function once, then sweep per-variable overrides.
+  CompiledFaultGraph compiled;
+  bool have_bdd = false;
+  std::map<NodeId, size_t> var_of;
+  if (!exact) {
+    auto attempt = CompileFaultGraph(graph, options.default_prob);
+    if (attempt.ok()) {
+      compiled = std::move(attempt).value();
+      have_bdd = true;
+      for (size_t v = 0; v < compiled.variable_order.size(); ++v) {
+        var_of.emplace(compiled.variable_order[v], v);
+      }
+    }
+  }
+  auto top_prob = [&](NodeId conditioned, double value) {
+    auto prob_of = [&](NodeId id) { return id == conditioned ? value : base_prob(id); };
+    if (exact) {
+      return ExactTopProb(minimal_groups, prob_of);
+    }
+    if (have_bdd) {
+      std::vector<double> probs = compiled.probs;
+      auto it = var_of.find(conditioned);
+      if (it != var_of.end()) {
+        probs[it->second] = value;
+      }
+      return compiled.manager->Probability(compiled.root, probs);
+    }
+    Rng local(options.seed ^ (static_cast<uint64_t>(conditioned) * 0x9E3779B97F4A7C15ULL + 1));
+    return MonteCarloTopProb(graph, prob_of, options.monte_carlo_rounds, local);
+  };
+  double pr_top = top_prob(kInvalidNode, 0.0);  // unconditioned (id never matches)
+  if (pr_top <= 0.0) {
+    return InternalError("RankComponentImportance: top event probability is zero");
+  }
+
+  std::vector<ComponentImportance> out;
+  out.reserve(memberships.size());
+  for (const auto& [id, count] : memberships) {
+    ComponentImportance entry;
+    entry.id = id;
+    entry.name = graph.node(id).name;
+    entry.rg_memberships = count;
+    double up = top_prob(id, 1.0);   // Pr(T | i failed)
+    double down = top_prob(id, 0.0); // Pr(T | i working)
+    entry.birnbaum = up - down;
+    entry.criticality = entry.birnbaum * base_prob(id) / pr_top;
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(), [](const ComponentImportance& a,
+                                       const ComponentImportance& b) {
+    if (a.criticality != b.criticality) {
+      return a.criticality > b.criticality;
+    }
+    if (a.birnbaum != b.birnbaum) {
+      return a.birnbaum > b.birnbaum;
+    }
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace indaas

@@ -1,0 +1,28 @@
+#include "src/sia/whatif.h"
+
+namespace indaas {
+
+Result<WhatIfResult> SimulateFailures(const FaultGraph& graph,
+                                      const std::vector<std::string>& failed_components) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("SimulateFailures: graph not validated");
+  }
+  std::vector<uint8_t> state(graph.NodeCount(), 0);
+  for (const std::string& name : failed_components) {
+    INDAAS_ASSIGN_OR_RETURN(NodeId id, graph.FindNode(name));
+    if (graph.node(id).gate != GateType::kBasic) {
+      return InvalidArgumentError("SimulateFailures: '" + name + "' is not a basic event");
+    }
+    state[id] = 1;
+  }
+  WhatIfResult result;
+  result.top_event_failed = graph.Evaluate(state);
+  for (NodeId id : graph.TopologicalOrder()) {
+    if (state[id] != 0) {
+      result.failed_events.push_back(graph.node(id).name);
+    }
+  }
+  return result;
+}
+
+}  // namespace indaas

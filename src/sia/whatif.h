@@ -1,0 +1,33 @@
+// What-if failure simulation over a fault graph.
+//
+// The auditing report "can also help an auditing client understand unexpected
+// common dependencies to focus further analysis" (§4.1.4). What-if queries
+// make that concrete: inject a hypothetical set of component failures and
+// observe exactly which intermediate services and which deployments go down.
+
+#ifndef SRC_SIA_WHATIF_H_
+#define SRC_SIA_WHATIF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/fault_graph.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct WhatIfResult {
+  bool top_event_failed = false;
+  // Names of all failed events (basic and intermediate), in topological
+  // order — the failure propagation trace.
+  std::vector<std::string> failed_events;
+};
+
+// Fails exactly the named basic events and propagates. Unknown component
+// names are an error (a typo must not silently pass as "everything fine").
+Result<WhatIfResult> SimulateFailures(const FaultGraph& graph,
+                                      const std::vector<std::string>& failed_components);
+
+}  // namespace indaas
+
+#endif  // SRC_SIA_WHATIF_H_

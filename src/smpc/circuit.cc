@@ -1,0 +1,211 @@
+#include "src/smpc/circuit.h"
+
+#include <algorithm>
+
+namespace indaas {
+
+WireId Circuit::AddInput(int party) {
+  WireId wire = NewWire();
+  inputs_[party == 0 ? 0 : 1].push_back(wire);
+  return wire;
+}
+
+WireId Circuit::AddConstant(bool value) {
+  WireId wire = NewWire();
+  constants_.emplace_back(wire, value);
+  return wire;
+}
+
+WireId Circuit::Xor(WireId a, WireId b) {
+  WireId out = NewWire();
+  gates_.push_back(CircuitGate{GateKind::kXor, a, b, out});
+  return out;
+}
+
+WireId Circuit::And(WireId a, WireId b) {
+  WireId out = NewWire();
+  gates_.push_back(CircuitGate{GateKind::kAnd, a, b, out});
+  ++and_gates_;
+  return out;
+}
+
+WireId Circuit::Not(WireId a) {
+  WireId out = NewWire();
+  gates_.push_back(CircuitGate{GateKind::kNot, a, 0, out});
+  return out;
+}
+
+WireId Circuit::Or(WireId a, WireId b) { return Xor(Xor(a, b), And(a, b)); }
+
+WireId Circuit::Xnor(WireId a, WireId b) { return Not(Xor(a, b)); }
+
+Result<WireId> Circuit::EqualsVec(const std::vector<WireId>& a, const std::vector<WireId>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return InvalidArgumentError("EqualsVec: need equal nonzero widths");
+  }
+  std::vector<WireId> level;
+  level.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    level.push_back(Xnor(a[i], b[i]));
+  }
+  // Balanced AND tree keeps multiplicative depth logarithmic.
+  while (level.size() > 1) {
+    std::vector<WireId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(And(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Result<WireId> Circuit::OrVec(const std::vector<WireId>& bits) {
+  if (bits.empty()) {
+    return InvalidArgumentError("OrVec: empty input");
+  }
+  std::vector<WireId> level = bits;
+  while (level.size() > 1) {
+    std::vector<WireId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Result<std::vector<WireId>> Circuit::AddVec(const std::vector<WireId>& a,
+                                            const std::vector<WireId>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return InvalidArgumentError("AddVec: need equal nonzero widths");
+  }
+  std::vector<WireId> sum;
+  sum.reserve(a.size() + 1);
+  WireId carry = AddConstant(false);
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Full adder: s = a ^ b ^ c; c' = (a^c)(b^c) ^ c  (one AND per bit).
+    WireId axc = Xor(a[i], carry);
+    WireId bxc = Xor(b[i], carry);
+    sum.push_back(Xor(axc, b[i]));
+    carry = Xor(And(axc, bxc), carry);
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Result<std::vector<WireId>> Circuit::PopCount(const std::vector<WireId>& bits) {
+  if (bits.empty()) {
+    return InvalidArgumentError("PopCount: empty input");
+  }
+  // Balanced tree of widening adders over single-bit counters.
+  std::vector<std::vector<WireId>> level;
+  level.reserve(bits.size());
+  for (WireId bit : bits) {
+    level.push_back({bit});
+  }
+  while (level.size() > 1) {
+    std::vector<std::vector<WireId>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      std::vector<WireId> lhs = level[i];
+      std::vector<WireId> rhs = level[i + 1];
+      // Pad to common width.
+      while (lhs.size() < rhs.size()) {
+        lhs.push_back(AddConstant(false));
+      }
+      while (rhs.size() < lhs.size()) {
+        rhs.push_back(AddConstant(false));
+      }
+      INDAAS_ASSIGN_OR_RETURN(std::vector<WireId> sum, AddVec(lhs, rhs));
+      next.push_back(std::move(sum));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+void Circuit::AddOutput(WireId wire) { outputs_.push_back(wire); }
+
+size_t Circuit::AndDepth() const {
+  std::vector<uint32_t> depth(next_wire_, 0);
+  uint32_t max_depth = 0;
+  for (const CircuitGate& gate : gates_) {
+    uint32_t in = depth[gate.a];
+    if (gate.kind != GateKind::kNot) {
+      in = std::max(in, depth[gate.b]);
+    }
+    depth[gate.out] = in + (gate.kind == GateKind::kAnd ? 1 : 0);
+    max_depth = std::max(max_depth, depth[gate.out]);
+  }
+  return max_depth;
+}
+
+size_t Circuit::InputCount(int party) const { return inputs_[party == 0 ? 0 : 1].size(); }
+
+Result<std::vector<bool>> Circuit::Evaluate(const std::vector<bool>& party0_inputs,
+                                            const std::vector<bool>& party1_inputs) const {
+  if (party0_inputs.size() != inputs_[0].size() || party1_inputs.size() != inputs_[1].size()) {
+    return InvalidArgumentError("Evaluate: input sizes do not match declarations");
+  }
+  std::vector<uint8_t> values(next_wire_, 0);
+  for (size_t i = 0; i < inputs_[0].size(); ++i) {
+    values[inputs_[0][i]] = party0_inputs[i] ? 1 : 0;
+  }
+  for (size_t i = 0; i < inputs_[1].size(); ++i) {
+    values[inputs_[1][i]] = party1_inputs[i] ? 1 : 0;
+  }
+  for (const auto& [wire, value] : constants_) {
+    values[wire] = value ? 1 : 0;
+  }
+  // Gates were appended in topological order by construction.
+  for (const CircuitGate& gate : gates_) {
+    switch (gate.kind) {
+      case GateKind::kXor:
+        values[gate.out] = values[gate.a] ^ values[gate.b];
+        break;
+      case GateKind::kAnd:
+        values[gate.out] = values[gate.a] & values[gate.b];
+        break;
+      case GateKind::kNot:
+        values[gate.out] = values[gate.a] ^ 1;
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (WireId wire : outputs_) {
+    out.push_back(values[wire] != 0);
+  }
+  return out;
+}
+
+std::vector<bool> ToBits(uint64_t value, size_t width) {
+  std::vector<bool> bits(width);
+  for (size_t i = 0; i < width; ++i) {
+    bits[i] = ((value >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+uint64_t FromBits(const std::vector<bool>& bits) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if (bits[i]) {
+      value |= 1ULL << i;
+    }
+  }
+  return value;
+}
+
+}  // namespace indaas

@@ -1,0 +1,111 @@
+// Boolean circuits for secure two-party computation.
+//
+// The paper's first PIA candidate (§4.2, following Xiao et al.) is generic
+// secure multi-party computation; it is rejected because "current
+// circuit-based SMPC protocols are too expensive and scale poorly". This
+// module provides the circuit substrate to reproduce that finding: XOR/AND/
+// NOT gates over single-bit wires, builder helpers for comparators and
+// counters, plaintext evaluation for testing, and the cost metrics that
+// govern SMPC performance (AND-gate count and multiplicative depth — XOR is
+// "free" in GMW).
+
+#ifndef SRC_SMPC_CIRCUIT_H_
+#define SRC_SMPC_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+using WireId = uint32_t;
+
+enum class GateKind : uint8_t { kXor, kAnd, kNot };
+
+struct CircuitGate {
+  GateKind kind;
+  WireId a = 0;
+  WireId b = 0;  // unused for kNot
+  WireId out = 0;
+};
+
+// A straight-line boolean circuit with two input parties.
+class Circuit {
+ public:
+  // Declares an input wire owned by `party` (0 or 1). Input order per party
+  // is the order of declaration.
+  WireId AddInput(int party);
+
+  // A constant-valued wire.
+  WireId AddConstant(bool value);
+
+  WireId Xor(WireId a, WireId b);
+  WireId And(WireId a, WireId b);
+  WireId Not(WireId a);
+  // x OR y = x ^ y ^ (x & y)  — costs one AND.
+  WireId Or(WireId a, WireId b);
+  // x == y over single bits: NOT(x ^ y).
+  WireId Xnor(WireId a, WireId b);
+
+  // Equality of two equal-length bit vectors: AND-tree over per-bit XNORs.
+  Result<WireId> EqualsVec(const std::vector<WireId>& a, const std::vector<WireId>& b);
+
+  // OR over a vector (tree).
+  Result<WireId> OrVec(const std::vector<WireId>& bits);
+
+  // Binary adder: a + b over little-endian bit vectors of equal width;
+  // result has width+1 bits (ripple-carry; 1 AND per full adder... 2 with
+  // the carry majority decomposed).
+  Result<std::vector<WireId>> AddVec(const std::vector<WireId>& a,
+                                     const std::vector<WireId>& b);
+
+  // Population count of `bits`: little-endian sum, ceil(log2(n+1)) wide,
+  // built as a balanced adder tree.
+  Result<std::vector<WireId>> PopCount(const std::vector<WireId>& bits);
+
+  // Marks a wire as a circuit output.
+  void AddOutput(WireId wire);
+
+  // --- Introspection ---
+
+  size_t WireCount() const { return next_wire_; }
+  size_t GateCount() const { return gates_.size(); }
+  size_t AndGateCount() const { return and_gates_; }
+  // Multiplicative depth: longest chain of AND gates (GMW round count).
+  size_t AndDepth() const;
+  size_t InputCount(int party) const;
+  const std::vector<WireId>& outputs() const { return outputs_; }
+  const std::vector<CircuitGate>& gates() const { return gates_; }
+
+  // Input wire ids of a party, in declaration order.
+  const std::vector<WireId>& InputsOf(int party) const { return inputs_[party]; }
+  // Constant wires and their values.
+  const std::vector<std::pair<WireId, bool>>& constants() const { return constants_; }
+
+  // --- Plaintext evaluation (testing / verification) ---
+
+  // Evaluates with the given per-party input bit strings; returns output
+  // bits in AddOutput order.
+  Result<std::vector<bool>> Evaluate(const std::vector<bool>& party0_inputs,
+                                     const std::vector<bool>& party1_inputs) const;
+
+ private:
+  WireId NewWire() { return next_wire_++; }
+
+  WireId next_wire_ = 0;
+  std::vector<CircuitGate> gates_;
+  std::vector<WireId> inputs_[2];
+  std::vector<std::pair<WireId, bool>> constants_;
+  std::vector<WireId> outputs_;
+  size_t and_gates_ = 0;
+};
+
+// Converts an unsigned value to `width` little-endian constant bits... of a
+// *plaintext input* encoding (helper for tests and input packing).
+std::vector<bool> ToBits(uint64_t value, size_t width);
+uint64_t FromBits(const std::vector<bool>& bits);
+
+}  // namespace indaas
+
+#endif  // SRC_SMPC_CIRCUIT_H_

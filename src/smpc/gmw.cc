@@ -1,0 +1,202 @@
+#include "src/smpc/gmw.h"
+
+#include <algorithm>
+
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace {
+
+// One party's view: its share of every wire.
+struct Party {
+  std::vector<uint8_t> shares;
+  PartyStats stats;
+};
+
+// A Beaver triple (a, b, c=ab), XOR-shared between the parties.
+struct TripleShares {
+  uint8_t a[2];
+  uint8_t b[2];
+  uint8_t c[2];
+};
+
+}  // namespace
+
+Result<GmwResult> RunGmw(const Circuit& circuit, const std::vector<bool>& party0_inputs,
+                         const std::vector<bool>& party1_inputs, Rng& rng) {
+  if (party0_inputs.size() != circuit.InputCount(0) ||
+      party1_inputs.size() != circuit.InputCount(1)) {
+    return InvalidArgumentError("RunGmw: input sizes do not match the circuit");
+  }
+  WallTimer total_timer;
+  GmwResult result;
+  result.and_gates = circuit.AndGateCount();
+
+  Party parties[2];
+  parties[0].shares.assign(circuit.WireCount(), 0);
+  parties[1].shares.assign(circuit.WireCount(), 0);
+
+  // Input sharing: the owner samples a random mask, keeps one share, sends
+  // the other (1 bit on the wire per input).
+  auto share_inputs = [&](int owner, const std::vector<bool>& inputs) {
+    const std::vector<WireId>& wires = circuit.InputsOf(owner);
+    for (size_t i = 0; i < wires.size(); ++i) {
+      uint8_t mask = static_cast<uint8_t>(rng.Next() & 1);
+      parties[owner].shares[wires[i]] = (inputs[i] ? 1 : 0) ^ mask;
+      parties[1 - owner].shares[wires[i]] = mask;
+    }
+    parties[owner].stats.bytes_sent += (wires.size() + 7) / 8;
+    parties[1 - owner].stats.bytes_received += (wires.size() + 7) / 8;
+  };
+  share_inputs(0, party0_inputs);
+  share_inputs(1, party1_inputs);
+
+  // Constants: party 0 holds the value, party 1 holds zero.
+  for (const auto& [wire, value] : circuit.constants()) {
+    parties[0].shares[wire] = value ? 1 : 0;
+    parties[1].shares[wire] = 0;
+  }
+
+  // Trusted dealer: pre-generate one triple per AND gate (counted as
+  // received preprocessing bytes: 3 bits per party per triple).
+  std::vector<TripleShares> triples;
+  triples.reserve(circuit.AndGateCount());
+  for (size_t t = 0; t < circuit.AndGateCount(); ++t) {
+    uint8_t a = static_cast<uint8_t>(rng.Next() & 1);
+    uint8_t b = static_cast<uint8_t>(rng.Next() & 1);
+    uint8_t c = a & b;
+    TripleShares shares;
+    shares.a[0] = static_cast<uint8_t>(rng.Next() & 1);
+    shares.a[1] = a ^ shares.a[0];
+    shares.b[0] = static_cast<uint8_t>(rng.Next() & 1);
+    shares.b[1] = b ^ shares.b[0];
+    shares.c[0] = static_cast<uint8_t>(rng.Next() & 1);
+    shares.c[1] = c ^ shares.c[0];
+    triples.push_back(shares);
+  }
+  for (int p = 0; p < 2; ++p) {
+    parties[p].stats.bytes_received += (3 * circuit.AndGateCount() + 7) / 8;
+  }
+
+  // Batched evaluation: XOR/NOT gates whose inputs are ready are applied
+  // eagerly; AND gates whose inputs are ready are collected into the current
+  // batch and resolved together with one exchange of masked (d, e) bits.
+  // Scanning stops at the first gate depending on an unresolved AND output,
+  // so each batch is one communication round and the round count equals the
+  // circuit's effective multiplicative depth.
+  std::vector<uint8_t> ready(circuit.WireCount(), 0);
+  for (int p = 0; p < 2; ++p) {
+    for (WireId wire : circuit.InputsOf(p)) {
+      ready[wire] = 1;
+    }
+  }
+  for (const auto& [wire, value] : circuit.constants()) {
+    (void)value;
+    ready[wire] = 1;
+  }
+  size_t next_triple = 0;
+  const auto& gates = circuit.gates();
+  // Indices of gates not yet evaluated, kept in topological order.
+  std::vector<size_t> remaining(gates.size());
+  for (size_t i = 0; i < gates.size(); ++i) {
+    remaining[i] = i;
+  }
+  WallTimer compute_timer;
+  while (!remaining.empty()) {
+    // Evaluate every ready local gate (one topological pass suffices: local
+    // gates appear after their inputs, so a sweep reaches a fixpoint with
+    // respect to other locals), and collect every ready AND gate into the
+    // round's batch — regardless of position, as a real GMW implementation
+    // batches by depth, not by construction order.
+    std::vector<size_t> layer_ands;
+    std::vector<size_t> still_pending;
+    still_pending.reserve(remaining.size());
+    for (size_t index : remaining) {
+      const CircuitGate& gate = gates[index];
+      bool inputs_ready =
+          ready[gate.a] != 0 && (gate.kind == GateKind::kNot || ready[gate.b] != 0);
+      if (!inputs_ready) {
+        still_pending.push_back(index);
+        continue;
+      }
+      if (gate.kind == GateKind::kAnd) {
+        layer_ands.push_back(index);  // Output stays not-ready until resolved.
+        continue;
+      }
+      // Local gate: evaluate immediately for both parties.
+      for (int p = 0; p < 2; ++p) {
+        uint8_t a = parties[p].shares[gate.a];
+        if (gate.kind == GateKind::kXor) {
+          parties[p].shares[gate.out] = a ^ parties[p].shares[gate.b];
+        } else {  // kNot: party 0 flips, party 1 copies.
+          parties[p].shares[gate.out] = p == 0 ? a ^ 1 : a;
+        }
+      }
+      ready[gate.out] = 1;
+    }
+    if (!layer_ands.empty()) {
+      ++result.rounds;
+      // Each party computes masked d = x ^ a, e = y ^ b for every AND in the
+      // layer and sends its shares to the peer (2 bits per gate each way).
+      std::vector<uint8_t> d_shares[2];
+      std::vector<uint8_t> e_shares[2];
+      for (int p = 0; p < 2; ++p) {
+        d_shares[p].reserve(layer_ands.size());
+        e_shares[p].reserve(layer_ands.size());
+        for (size_t idx = 0; idx < layer_ands.size(); ++idx) {
+          const CircuitGate& gate = gates[layer_ands[idx]];
+          const TripleShares& triple = triples[next_triple + idx];
+          d_shares[p].push_back(parties[p].shares[gate.a] ^ triple.a[p]);
+          e_shares[p].push_back(parties[p].shares[gate.b] ^ triple.b[p]);
+        }
+        size_t bytes = (2 * layer_ands.size() + 7) / 8;
+        parties[p].stats.bytes_sent += bytes;
+        parties[1 - p].stats.bytes_received += bytes;
+      }
+      // Both parties reconstruct public d, e and complete the Beaver step:
+      // z = c ^ d·b ^ e·a ^ d·e (the d·e term added by party 0 only).
+      for (size_t idx = 0; idx < layer_ands.size(); ++idx) {
+        const CircuitGate& gate = gates[layer_ands[idx]];
+        const TripleShares& triple = triples[next_triple + idx];
+        uint8_t d = d_shares[0][idx] ^ d_shares[1][idx];
+        uint8_t e = e_shares[0][idx] ^ e_shares[1][idx];
+        for (int p = 0; p < 2; ++p) {
+          uint8_t z = triple.c[p];
+          z ^= d & triple.b[p];
+          z ^= e & triple.a[p];
+          if (p == 0) {
+            z ^= d & e;
+          }
+          parties[p].shares[gate.out] = z;
+        }
+        ready[gate.out] = 1;
+      }
+      next_triple += layer_ands.size();
+    } else if (still_pending.size() == remaining.size()) {
+      return InternalError("RunGmw: no gate became ready (bad circuit ordering)");
+    }
+    remaining = std::move(still_pending);
+  }
+  result.triples_consumed = next_triple;
+
+  // Output reconstruction: parties exchange output shares (1 bit each way
+  // per output).
+  size_t out_bytes = (circuit.outputs().size() + 7) / 8;
+  for (int p = 0; p < 2; ++p) {
+    parties[p].stats.bytes_sent += out_bytes;
+    parties[p].stats.bytes_received += out_bytes;
+  }
+  result.outputs.reserve(circuit.outputs().size());
+  for (WireId wire : circuit.outputs()) {
+    result.outputs.push_back((parties[0].shares[wire] ^ parties[1].shares[wire]) != 0);
+  }
+  double seconds = compute_timer.ElapsedSeconds();
+  for (int p = 0; p < 2; ++p) {
+    parties[p].stats.compute_seconds = seconds / 2;  // Both run concurrently.
+    result.party_stats[p] = parties[p].stats;
+  }
+  (void)total_timer;
+  return result;
+}
+
+}  // namespace indaas

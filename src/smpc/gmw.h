@@ -1,0 +1,41 @@
+// GMW-style secure two-party circuit evaluation over XOR shares.
+//
+// Each wire value v is split as v = v0 ^ v1 between the parties. XOR and NOT
+// gates are local ("free"); every AND gate consumes one Beaver multiplication
+// triple and one round-trip of masked bits between the parties. Triples come
+// from a trusted dealer (the standard preprocessing model; OT-based triple
+// generation would only add cost, which strengthens the paper's conclusion
+// that circuit-SMPC is impractical for this workload).
+//
+// The simulation runs both parties in-process but keeps their share vectors
+// disjoint, exchanges exactly the messages the real protocol would, and
+// accounts every byte. Communication is batched per AND-depth layer, so the
+// round count equals the circuit's multiplicative depth.
+
+#ifndef SRC_SMPC_GMW_H_
+#define SRC_SMPC_GMW_H_
+
+#include <vector>
+
+#include "src/pia/protocol_stats.h"
+#include "src/smpc/circuit.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct GmwResult {
+  std::vector<bool> outputs;
+  PartyStats party_stats[2];
+  size_t and_gates = 0;
+  size_t rounds = 0;           // communication rounds (= AND depth)
+  size_t triples_consumed = 0;
+};
+
+// Evaluates `circuit` on the parties' private inputs.
+Result<GmwResult> RunGmw(const Circuit& circuit, const std::vector<bool>& party0_inputs,
+                         const std::vector<bool>& party1_inputs, Rng& rng);
+
+}  // namespace indaas
+
+#endif  // SRC_SMPC_GMW_H_

@@ -1,0 +1,84 @@
+#include "src/smpc/psi_circuit.h"
+
+#include <set>
+
+#include "src/crypto/hash_family.h"
+
+namespace indaas {
+
+Result<Circuit> BuildPsiCardinalityCircuit(size_t n0, size_t n1, size_t hash_bits) {
+  if (n0 == 0 || n1 == 0 || hash_bits == 0 || hash_bits > 64) {
+    return InvalidArgumentError("BuildPsiCardinalityCircuit: need n0,n1 >= 1, 1..64 hash bits");
+  }
+  Circuit circuit;
+  // Party inputs: n0 and n1 elements of hash_bits each, little-endian.
+  std::vector<std::vector<WireId>> elements0(n0);
+  std::vector<std::vector<WireId>> elements1(n1);
+  for (size_t i = 0; i < n0; ++i) {
+    for (size_t b = 0; b < hash_bits; ++b) {
+      elements0[i].push_back(circuit.AddInput(0));
+    }
+  }
+  for (size_t j = 0; j < n1; ++j) {
+    for (size_t b = 0; b < hash_bits; ++b) {
+      elements1[j].push_back(circuit.AddInput(1));
+    }
+  }
+  // Row indicator: element i of party 0 present in party 1's set.
+  std::vector<WireId> present;
+  present.reserve(n0);
+  for (size_t i = 0; i < n0; ++i) {
+    std::vector<WireId> matches;
+    matches.reserve(n1);
+    for (size_t j = 0; j < n1; ++j) {
+      INDAAS_ASSIGN_OR_RETURN(WireId eq, circuit.EqualsVec(elements0[i], elements1[j]));
+      matches.push_back(eq);
+    }
+    INDAAS_ASSIGN_OR_RETURN(WireId any, circuit.OrVec(matches));
+    present.push_back(any);
+  }
+  INDAAS_ASSIGN_OR_RETURN(std::vector<WireId> count, circuit.PopCount(present));
+  for (WireId bit : count) {
+    circuit.AddOutput(bit);
+  }
+  return circuit;
+}
+
+Result<SmpcPsiResult> RunSmpcIntersectionCardinality(const std::vector<std::string>& set0,
+                                                     const std::vector<std::string>& set1,
+                                                     const SmpcPsiOptions& options) {
+  std::set<std::string> unique0(set0.begin(), set0.end());
+  std::set<std::string> unique1(set1.begin(), set1.end());
+  if (unique0.empty() || unique1.empty()) {
+    return InvalidArgumentError("RunSmpcIntersectionCardinality: empty input set");
+  }
+  INDAAS_ASSIGN_OR_RETURN(
+      Circuit circuit,
+      BuildPsiCardinalityCircuit(unique0.size(), unique1.size(), options.hash_bits));
+
+  // Both parties hash with the agreed function (seed is a domain parameter).
+  const uint64_t hash_seed = options.seed ^ 0x534D50435053493FULL;
+  uint64_t mask = options.hash_bits == 64 ? ~0ULL : ((1ULL << options.hash_bits) - 1);
+  std::vector<bool> inputs0;
+  std::vector<bool> inputs1;
+  for (const std::string& element : unique0) {
+    std::vector<bool> bits = ToBits(KeyedHash64(hash_seed, element) & mask, options.hash_bits);
+    inputs0.insert(inputs0.end(), bits.begin(), bits.end());
+  }
+  for (const std::string& element : unique1) {
+    std::vector<bool> bits = ToBits(KeyedHash64(hash_seed, element) & mask, options.hash_bits);
+    inputs1.insert(inputs1.end(), bits.begin(), bits.end());
+  }
+
+  Rng rng(options.seed);
+  INDAAS_ASSIGN_OR_RETURN(GmwResult gmw, RunGmw(circuit, inputs0, inputs1, rng));
+  SmpcPsiResult result;
+  result.intersection = static_cast<size_t>(FromBits(gmw.outputs));
+  result.and_gates = gmw.and_gates;
+  result.rounds = gmw.rounds;
+  result.party_stats[0] = gmw.party_stats[0];
+  result.party_stats[1] = gmw.party_stats[1];
+  return result;
+}
+
+}  // namespace indaas

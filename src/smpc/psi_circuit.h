@@ -1,0 +1,46 @@
+// Circuit-based private set intersection cardinality — the SMPC approach to
+// private independence auditing that the paper evaluates and rejects (§4.2:
+// "works in theory, but scales poorly in practice ... impractical currently
+// even for datasets with only a few hundreds of components").
+//
+// Each party hashes its component identifiers to `hash_bits`-bit values; the
+// circuit compares every pair (n0 × n1 equality comparators), ORs each row,
+// and popcounts the row indicators. AND-gate count is Θ(n0·n1·hash_bits) —
+// the quadratic blowup that motivates P-SOP.
+
+#ifndef SRC_SMPC_PSI_CIRCUIT_H_
+#define SRC_SMPC_PSI_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/smpc/circuit.h"
+#include "src/smpc/gmw.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct SmpcPsiOptions {
+  size_t hash_bits = 32;  // element hash width (collision prob ~ n^2 / 2^bits)
+  uint64_t seed = 1;
+};
+
+struct SmpcPsiResult {
+  size_t intersection = 0;
+  size_t and_gates = 0;
+  size_t rounds = 0;
+  PartyStats party_stats[2];
+};
+
+// Builds the intersection-cardinality circuit for set sizes n0, n1.
+Result<Circuit> BuildPsiCardinalityCircuit(size_t n0, size_t n1, size_t hash_bits);
+
+// Runs the full protocol: hash, share, evaluate under GMW, reconstruct the
+// count. Duplicate elements are deduplicated first (set semantics).
+Result<SmpcPsiResult> RunSmpcIntersectionCardinality(const std::vector<std::string>& set0,
+                                                     const std::vector<std::string>& set1,
+                                                     const SmpcPsiOptions& options = {});
+
+}  // namespace indaas
+
+#endif  // SRC_SMPC_PSI_CIRCUIT_H_

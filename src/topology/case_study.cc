@@ -1,0 +1,60 @@
+#include "src/topology/case_study.h"
+
+#include <array>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+Result<DataCenterTopology> BuildCaseStudyDatacenter(uint32_t num_tors,
+                                                    uint32_t servers_per_rack) {
+  if (num_tors == 0 || servers_per_rack == 0) {
+    return InvalidArgumentError("BuildCaseStudyDatacenter: need >= 1 ToR and >= 1 server");
+  }
+  DataCenterTopology topo;
+  DeviceId b1 = topo.AddDevice("b1", DeviceType::kCoreRouter);
+  DeviceId b2 = topo.AddDevice("b2", DeviceType::kCoreRouter);
+  DeviceId c1 = topo.AddDevice("c1", DeviceType::kCoreRouter);
+  DeviceId c2 = topo.AddDevice("c2", DeviceType::kCoreRouter);
+  DeviceId internet = topo.AddDevice("Internet", DeviceType::kInternet);
+  for (DeviceId core : {b1, b2, c1, c2}) {
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(core, internet));
+  }
+  // Each ToR is dual-homed to one of the six 2-subsets of the four cores.
+  const std::array<std::pair<DeviceId, DeviceId>, 6> kUplinkClasses = {{
+      {b1, b2}, {c1, c2}, {b1, c1}, {b2, c2}, {b1, c2}, {b2, c1},
+  }};
+  for (uint32_t i = 1; i <= num_tors; ++i) {
+    DeviceId tor = topo.AddDevice(StrFormat("e%u", i), DeviceType::kTorSwitch);
+    const auto& uplinks = kUplinkClasses[(i - 1) % kUplinkClasses.size()];
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(tor, uplinks.first));
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(tor, uplinks.second));
+    for (uint32_t s = 1; s <= servers_per_rack; ++s) {
+      DeviceId server = topo.AddDevice(StrFormat("rack%u-srv%u", i, s), DeviceType::kServer);
+      INDAAS_RETURN_IF_ERROR(topo.AddLink(server, tor));
+    }
+  }
+  return topo;
+}
+
+Result<DataCenterTopology> BuildLabCloud() {
+  DataCenterTopology topo;
+  DeviceId core1 = topo.AddDevice("Core1", DeviceType::kCoreRouter);
+  DeviceId core2 = topo.AddDevice("Core2", DeviceType::kCoreRouter);
+  DeviceId internet = topo.AddDevice("Internet", DeviceType::kInternet);
+  INDAAS_RETURN_IF_ERROR(topo.AddLink(core1, internet));
+  INDAAS_RETURN_IF_ERROR(topo.AddLink(core2, internet));
+  DeviceId switch1 = topo.AddDevice("Switch1", DeviceType::kTorSwitch);
+  DeviceId switch2 = topo.AddDevice("Switch2", DeviceType::kTorSwitch);
+  for (DeviceId sw : {switch1, switch2}) {
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(sw, core1));
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(sw, core2));
+  }
+  for (int i = 1; i <= 4; ++i) {
+    DeviceId server = topo.AddDevice(StrFormat("Server%d", i), DeviceType::kServer);
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(server, i <= 2 ? switch1 : switch2));
+  }
+  return topo;
+}
+
+}  // namespace indaas

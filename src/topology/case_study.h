@@ -1,0 +1,33 @@
+// The two concrete infrastructures from the paper's case studies (§6.2).
+
+#ifndef SRC_TOPOLOGY_CASE_STUDY_H_
+#define SRC_TOPOLOGY_CASE_STUDY_H_
+
+#include <cstdint>
+
+#include "src/topology/datacenter.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Figure 6a: a Benson-style data center with `num_tors` Top-of-Rack switches
+// (e1..eN, default 33), each serving one rack of `servers_per_rack` servers,
+// and four core routers (b1, b2, c1, c2) connecting the ToRs to the Internet.
+//
+// The paper does not publish the exact ToR->core wiring; we dual-home each
+// ToR to one of the six 2-subsets of the cores, cycling deterministically by
+// ToR index. This preserves the property the case study demonstrates: some
+// rack pairs share no core router (no unexpected RG beyond their own ToRs)
+// while most pairs do.
+Result<DataCenterTopology> BuildCaseStudyDatacenter(uint32_t num_tors = 33,
+                                                    uint32_t servers_per_rack = 1);
+
+// Figure 6b: the lab IaaS cloud — four servers and four switches. Server1 and
+// Server2 uplink through Switch1, Server3 and Server4 through Switch2; both
+// switches are dual-homed to Core1 and Core2, which reach the Internet.
+// (VMs are placed separately; see PlaceVms in placement.h.)
+Result<DataCenterTopology> BuildLabCloud();
+
+}  // namespace indaas
+
+#endif  // SRC_TOPOLOGY_CASE_STUDY_H_

@@ -1,0 +1,153 @@
+#include "src/topology/datacenter.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace indaas {
+
+const char* DeviceTypeName(DeviceType type) {
+  switch (type) {
+    case DeviceType::kServer:
+      return "server";
+    case DeviceType::kVm:
+      return "vm";
+    case DeviceType::kTorSwitch:
+      return "tor";
+    case DeviceType::kAggSwitch:
+      return "agg";
+    case DeviceType::kCoreRouter:
+      return "core";
+    case DeviceType::kInternet:
+      return "internet";
+  }
+  return "?";
+}
+
+DeviceId DataCenterTopology::AddDevice(const std::string& name, DeviceType type) {
+  DeviceId id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(Device{name, type});
+  adjacency_.emplace_back();
+  name_index_.emplace(name, id);
+  return id;
+}
+
+Status DataCenterTopology::AddLink(DeviceId a, DeviceId b) {
+  if (a >= devices_.size() || b >= devices_.size()) {
+    return OutOfRangeError("AddLink: device id out of range");
+  }
+  if (a == b) {
+    return InvalidArgumentError("AddLink: self-links are not allowed");
+  }
+  if (std::find(adjacency_[a].begin(), adjacency_[a].end(), b) != adjacency_[a].end()) {
+    return Status::Ok();  // Duplicate links collapse.
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++link_count_;
+  return Status::Ok();
+}
+
+Result<DeviceId> DataCenterTopology::FindDevice(const std::string& name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return NotFoundError("no device named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<DeviceId> DataCenterTopology::DevicesOfType(DeviceType type) const {
+  std::vector<DeviceId> out;
+  for (DeviceId id = 0; id < devices_.size(); ++id) {
+    if (devices_[id].type == type) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::map<DeviceType, size_t> DataCenterTopology::CountsByType() const {
+  std::map<DeviceType, size_t> counts;
+  for (const Device& device : devices_) {
+    ++counts[device.type];
+  }
+  return counts;
+}
+
+std::vector<std::vector<DeviceId>> DataCenterTopology::EnumerateRoutes(DeviceId src, DeviceId dst,
+                                                                       size_t max_paths,
+                                                                       size_t max_hops) const {
+  std::vector<std::vector<DeviceId>> paths;
+  if (src >= devices_.size() || dst >= devices_.size() || src == dst || max_paths == 0) {
+    return paths;
+  }
+  // BFS from dst: hop distance of every device to the destination.
+  constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(devices_.size(), kUnreachable);
+  std::vector<DeviceId> frontier{dst};
+  dist[dst] = 0;
+  size_t head = 0;
+  while (head < frontier.size()) {
+    DeviceId node = frontier[head++];
+    for (DeviceId next : adjacency_[node]) {
+      if (dist[next] == kUnreachable) {
+        dist[next] = dist[node] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (dist[src] == kUnreachable || dist[src] > max_hops) {
+    return paths;
+  }
+  // DFS along strictly-decreasing distances (every walk is a shortest path,
+  // so no visited bookkeeping is needed and no cycles can occur).
+  std::vector<DeviceId> current{src};
+  std::vector<size_t> cursor{0};
+  while (!current.empty() && paths.size() < max_paths) {
+    DeviceId node = current.back();
+    size_t& idx = cursor.back();
+    const std::vector<DeviceId>& neighbors = adjacency_[node];
+    bool descended = false;
+    while (idx < neighbors.size()) {
+      DeviceId next = neighbors[idx++];
+      if (dist[next] + 1 != dist[node]) {
+        continue;
+      }
+      if (next == dst) {
+        std::vector<DeviceId> path = current;
+        path.push_back(dst);
+        paths.push_back(std::move(path));
+        if (paths.size() >= max_paths) {
+          return paths;
+        }
+        continue;
+      }
+      current.push_back(next);
+      cursor.push_back(0);
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      current.pop_back();
+      cursor.pop_back();
+    }
+  }
+  return paths;
+}
+
+std::vector<NetworkDependency> DataCenterTopology::NetworkDependencies(DeviceId src, DeviceId dst,
+                                                                       size_t max_paths,
+                                                                       size_t max_hops) const {
+  std::vector<NetworkDependency> out;
+  for (const std::vector<DeviceId>& path : EnumerateRoutes(src, dst, max_paths, max_hops)) {
+    NetworkDependency dep;
+    dep.src = devices_[src].name;
+    dep.dst = devices_[dst].name;
+    for (size_t i = 1; i + 1 < path.size(); ++i) {
+      dep.route.push_back(devices_[path[i]].name);
+    }
+    out.push_back(std::move(dep));
+  }
+  return out;
+}
+
+}  // namespace indaas

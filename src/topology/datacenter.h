@@ -1,0 +1,82 @@
+// Data center topology model: devices (servers, switches, routers, VMs) and
+// links, with route enumeration used to derive network dependency records.
+
+#ifndef SRC_TOPOLOGY_DATACENTER_H_
+#define SRC_TOPOLOGY_DATACENTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/deps/record.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+using DeviceId = uint32_t;
+
+enum class DeviceType : uint8_t {
+  kServer,
+  kVm,
+  kTorSwitch,
+  kAggSwitch,
+  kCoreRouter,
+  kInternet,  // external sink node
+};
+
+const char* DeviceTypeName(DeviceType type);
+
+struct Device {
+  std::string name;
+  DeviceType type;
+};
+
+// An undirected multigraph of devices. Devices are identified by dense ids;
+// names must be unique.
+class DataCenterTopology {
+ public:
+  DeviceId AddDevice(const std::string& name, DeviceType type);
+
+  // Adds an undirected link; duplicate links are ignored.
+  Status AddLink(DeviceId a, DeviceId b);
+
+  size_t DeviceCount() const { return devices_.size(); }
+  size_t LinkCount() const { return link_count_; }
+  const Device& device(DeviceId id) const { return devices_[id]; }
+  const std::vector<DeviceId>& Neighbors(DeviceId id) const { return adjacency_[id]; }
+
+  Result<DeviceId> FindDevice(const std::string& name) const;
+
+  // All devices of the given type, in insertion order.
+  std::vector<DeviceId> DevicesOfType(DeviceType type) const;
+
+  // Device count per type (for Table 3 style summaries).
+  std::map<DeviceType, size_t> CountsByType() const;
+
+  // Enumerates the equal-cost shortest paths from `src` to `dst` (device
+  // ids, endpoints included), as ECMP routing would use: a BFS computes hop
+  // distances to `dst`, then a DFS walks only edges that strictly decrease
+  // the distance. Stops after `max_paths` paths; paths longer than `max_hops`
+  // links are skipped entirely. Neighbor order follows insertion order, so
+  // results are deterministic.
+  std::vector<std::vector<DeviceId>> EnumerateRoutes(DeviceId src, DeviceId dst,
+                                                     size_t max_paths = 64,
+                                                     size_t max_hops = 8) const;
+
+  // Converts enumerated routes into Table 1 network dependency records:
+  // route field lists intermediate devices only (as in Figure 3).
+  std::vector<NetworkDependency> NetworkDependencies(DeviceId src, DeviceId dst,
+                                                     size_t max_paths = 64,
+                                                     size_t max_hops = 8) const;
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<std::vector<DeviceId>> adjacency_;
+  std::map<std::string, DeviceId> name_index_;
+  size_t link_count_ = 0;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_TOPOLOGY_DATACENTER_H_

@@ -1,0 +1,74 @@
+#include "src/topology/fat_tree.h"
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+FatTreeStats FatTreeStatsFor(uint32_t ports) {
+  FatTreeStats stats;
+  stats.ports = ports;
+  uint32_t half = ports / 2;
+  stats.core_routers = static_cast<size_t>(half) * half;
+  stats.agg_switches = static_cast<size_t>(ports) * half;
+  stats.tor_switches = static_cast<size_t>(ports) * half;
+  stats.servers = static_cast<size_t>(ports) * half * half;
+  return stats;
+}
+
+Result<DataCenterTopology> BuildFatTree(uint32_t ports) {
+  if (ports < 4 || ports % 2 != 0) {
+    return InvalidArgumentError("BuildFatTree: port count must be even and >= 4");
+  }
+  const uint32_t half = ports / 2;
+  DataCenterTopology topo;
+
+  // Core routers: indexed (j, c), j in [0, half) matching the agg position
+  // within a pod, c in [0, half).
+  std::vector<DeviceId> cores;
+  cores.reserve(static_cast<size_t>(half) * half);
+  for (uint32_t j = 0; j < half; ++j) {
+    for (uint32_t c = 0; c < half; ++c) {
+      cores.push_back(topo.AddDevice(StrFormat("core%u", j * half + c), DeviceType::kCoreRouter));
+    }
+  }
+  DeviceId internet = topo.AddDevice("Internet", DeviceType::kInternet);
+  for (DeviceId core : cores) {
+    INDAAS_RETURN_IF_ERROR(topo.AddLink(core, internet));
+  }
+
+  for (uint32_t p = 0; p < ports; ++p) {
+    std::vector<DeviceId> aggs;
+    std::vector<DeviceId> tors;
+    aggs.reserve(half);
+    tors.reserve(half);
+    for (uint32_t j = 0; j < half; ++j) {
+      aggs.push_back(topo.AddDevice(StrFormat("pod%u-agg%u", p, j), DeviceType::kAggSwitch));
+    }
+    for (uint32_t j = 0; j < half; ++j) {
+      tors.push_back(topo.AddDevice(StrFormat("pod%u-tor%u", p, j), DeviceType::kTorSwitch));
+    }
+    // Full bipartite mesh between the pod's ToRs and aggs.
+    for (DeviceId tor : tors) {
+      for (DeviceId agg : aggs) {
+        INDAAS_RETURN_IF_ERROR(topo.AddLink(tor, agg));
+      }
+    }
+    // Agg j connects to cores j*half .. j*half + half-1.
+    for (uint32_t j = 0; j < half; ++j) {
+      for (uint32_t c = 0; c < half; ++c) {
+        INDAAS_RETURN_IF_ERROR(topo.AddLink(aggs[j], cores[j * half + c]));
+      }
+    }
+    // Servers under each ToR.
+    for (uint32_t t = 0; t < half; ++t) {
+      for (uint32_t s = 0; s < half; ++s) {
+        DeviceId server =
+            topo.AddDevice(StrFormat("pod%u-srv%u-%u", p, t, s), DeviceType::kServer);
+        INDAAS_RETURN_IF_ERROR(topo.AddLink(server, tors[t]));
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace indaas

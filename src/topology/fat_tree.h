@@ -1,0 +1,37 @@
+// Three-stage fat-tree generator (paper §6.3.1, Table 3).
+//
+// A k-port fat tree (PortLand-style) has k pods; each pod holds k/2 ToR and
+// k/2 aggregation switches; each ToR serves k/2 servers; (k/2)^2 core
+// routers connect the pods. Table 3's topologies A/B/C are k = 16, 24, 48.
+
+#ifndef SRC_TOPOLOGY_FAT_TREE_H_
+#define SRC_TOPOLOGY_FAT_TREE_H_
+
+#include <cstdint>
+
+#include "src/topology/datacenter.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+struct FatTreeStats {
+  uint32_t ports = 0;
+  size_t core_routers = 0;
+  size_t agg_switches = 0;
+  size_t tor_switches = 0;
+  size_t servers = 0;
+  // Total devices (cores + aggs + ToRs + servers), matching Table 3's rows.
+  size_t TotalDevices() const { return core_routers + agg_switches + tor_switches + servers; }
+};
+
+// Expected device counts for a k-port fat tree (Table 3 formulae).
+FatTreeStats FatTreeStatsFor(uint32_t ports);
+
+// Builds the full topology, including a single "Internet" sink connected to
+// every core router. `ports` must be even and >= 4.
+// Device naming: core<i>, pod<p>-agg<j>, pod<p>-tor<j>, pod<p>-srv<t>-<s>.
+Result<DataCenterTopology> BuildFatTree(uint32_t ports);
+
+}  // namespace indaas
+
+#endif  // SRC_TOPOLOGY_FAT_TREE_H_

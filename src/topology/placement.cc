@@ -1,0 +1,112 @@
+#include "src/topology/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace indaas {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kLeastLoadedRandom:
+      return "least-loaded-random";
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kRandom:
+      return "random";
+    case PlacementPolicy::kAntiAffinity:
+      return "anti-affinity";
+  }
+  return "?";
+}
+
+Result<PlacementResult> PlaceVms(const std::vector<VmRequest>& vms,
+                                 const std::vector<PlacementHost>& hosts,
+                                 PlacementPolicy policy, Rng& rng) {
+  if (hosts.empty()) {
+    return InvalidArgumentError("PlaceVms: no hosts");
+  }
+  std::vector<uint32_t> load(hosts.size(), 0);
+  // Which groups each host already carries (for anti-affinity).
+  std::vector<std::vector<std::string>> groups_on_host(hosts.size());
+  PlacementResult result;
+  result.assignment.reserve(vms.size());
+  size_t rr_cursor = 0;
+
+  for (const VmRequest& vm : vms) {
+    std::vector<size_t> candidates;
+    for (size_t h = 0; h < hosts.size(); ++h) {
+      if (load[h] < hosts[h].capacity) {
+        candidates.push_back(h);
+      }
+    }
+    if (candidates.empty()) {
+      return ResourceExhaustedError("PlaceVms: out of capacity placing '" + vm.name + "'");
+    }
+    size_t chosen = candidates.front();
+    switch (policy) {
+      case PlacementPolicy::kLeastLoadedRandom: {
+        // "Least loaded" by free slots, random tie-break — the OpenStack
+        // behaviour the paper blames for the co-located Riak VMs.
+        uint32_t best_free = 0;
+        for (size_t h : candidates) {
+          best_free = std::max(best_free, hosts[h].capacity - load[h]);
+        }
+        std::vector<size_t> best;
+        for (size_t h : candidates) {
+          if (hosts[h].capacity - load[h] == best_free) {
+            best.push_back(h);
+          }
+        }
+        chosen = best[rng.NextBelow(best.size())];
+        break;
+      }
+      case PlacementPolicy::kRoundRobin: {
+        // First candidate at or after the cursor.
+        chosen = candidates.front();
+        for (size_t h : candidates) {
+          if (h >= rr_cursor) {
+            chosen = h;
+            break;
+          }
+        }
+        rr_cursor = (chosen + 1) % hosts.size();
+        break;
+      }
+      case PlacementPolicy::kRandom:
+        chosen = candidates[rng.NextBelow(candidates.size())];
+        break;
+      case PlacementPolicy::kAntiAffinity: {
+        std::vector<size_t> safe;
+        for (size_t h : candidates) {
+          const auto& groups = groups_on_host[h];
+          bool conflict = !vm.group.empty() &&
+                          std::find(groups.begin(), groups.end(), vm.group) != groups.end();
+          if (!conflict) {
+            safe.push_back(h);
+          }
+        }
+        const std::vector<size_t>& pool = safe.empty() ? candidates : safe;
+        uint32_t best_free = 0;
+        for (size_t h : pool) {
+          best_free = std::max(best_free, hosts[h].capacity - load[h]);
+        }
+        std::vector<size_t> best;
+        for (size_t h : pool) {
+          if (hosts[h].capacity - load[h] == best_free) {
+            best.push_back(h);
+          }
+        }
+        chosen = best[rng.NextBelow(best.size())];
+        break;
+      }
+    }
+    ++load[chosen];
+    if (!vm.group.empty()) {
+      groups_on_host[chosen].push_back(vm.group);
+    }
+    result.assignment.push_back(chosen);
+  }
+  return result;
+}
+
+}  // namespace indaas

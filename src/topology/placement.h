@@ -1,0 +1,52 @@
+// OpenStack-style virtual machine placement simulation (paper §6.2.2).
+//
+// The hardware case study hinges on OpenStack's default scheduler placing
+// two redundant VMs on the same physical server: it "randomly selects from
+// the least loaded resources to host a VM". This module reproduces that
+// policy (plus alternatives for comparison) over a simple capacity model.
+
+#ifndef SRC_TOPOLOGY_PLACEMENT_H_
+#define SRC_TOPOLOGY_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace indaas {
+
+enum class PlacementPolicy {
+  kLeastLoadedRandom,  // OpenStack-like: random among servers with most free capacity
+  kRoundRobin,         // spread sequentially
+  kRandom,             // uniform among servers with any free capacity
+  kAntiAffinity,       // least-loaded, but avoids servers already hosting a
+                       // VM from the same group when possible
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+struct PlacementHost {
+  std::string name;
+  uint32_t capacity = 0;  // VM slots
+};
+
+struct VmRequest {
+  std::string name;
+  std::string group;  // anti-affinity group (e.g. "riak"); may be empty
+};
+
+struct PlacementResult {
+  // host index per VM, parallel to the request vector.
+  std::vector<size_t> assignment;
+};
+
+// Places `vms` in order onto `hosts` under `policy`. Fails if capacity runs
+// out. Deterministic given the Rng seed.
+Result<PlacementResult> PlaceVms(const std::vector<VmRequest>& vms,
+                                 const std::vector<PlacementHost>& hosts,
+                                 PlacementPolicy policy, Rng& rng);
+
+}  // namespace indaas
+
+#endif  // SRC_TOPOLOGY_PLACEMENT_H_

@@ -1,0 +1,41 @@
+#include "src/util/file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace indaas {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return InternalError("read error on '" + path + "'");
+  }
+  return contents;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot create '" + path + "': " + std::strerror(errno));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size() || std::fclose(file) != 0;
+  if (failed) {
+    return InternalError("write error on '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace indaas

@@ -1,0 +1,20 @@
+// Whole-file read/write helpers with Status-based error reporting.
+
+#ifndef SRC_UTIL_FILE_H_
+#define SRC_UTIL_FILE_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Reads the entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+// Writes (creates/truncates) the file with the given contents.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_FILE_H_

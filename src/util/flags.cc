@@ -1,0 +1,129 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace indaas {
+
+void FlagSet::AddInt(const std::string& name, int64_t* target, const std::string& help) {
+  flags_[name] = Flag{Type::kInt, target, help};
+}
+void FlagSet::AddDouble(const std::string& name, double* target, const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help};
+}
+void FlagSet::AddBool(const std::string& name, bool* target, const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help};
+}
+void FlagSet::AddString(const std::string& name, std::string* target, const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help};
+}
+
+Status FlagSet::SetValue(const std::string& name, const Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name + ": expected integer, got '" + value + "'");
+      }
+      *static_cast<int64_t*>(flag.target) = parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name + ": expected number, got '" + value + "'");
+      }
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return InvalidArgumentError("flag --" + name + ": expected bool, got '" + value + "'");
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::Ok();
+  }
+  return InternalError("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return InvalidArgumentError("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      PrintHelp(argv[0]);
+      return FailedPreconditionError("--help requested");
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    // Boolean negation: --no-foo.
+    if (!has_value && StartsWith(name, "no-")) {
+      std::string base = name.substr(3);
+      auto it = flags_.find(base);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        *static_cast<bool*>(it->second.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("flag --" + name + " requires a value");
+      }
+      value = argv[++i];
+    }
+    INDAAS_RETURN_IF_ERROR(SetValue(name, it->second, value));
+  }
+  return Status::Ok();
+}
+
+void FlagSet::PrintHelp(const std::string& program) const {
+  std::printf("Usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    const char* type = "";
+    switch (flag.type) {
+      case Type::kInt:
+        type = "int";
+        break;
+      case Type::kDouble:
+        type = "double";
+        break;
+      case Type::kBool:
+        type = "bool";
+        break;
+      case Type::kString:
+        type = "string";
+        break;
+    }
+    std::printf("  --%-24s (%s) %s\n", name.c_str(), type, flag.help.c_str());
+  }
+}
+
+}  // namespace indaas

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for the benchmark harnesses and examples.
+//
+// Supports --name=value and --name value forms, plus boolean --name /
+// --no-name. Unknown flags are reported as errors so typos in experiment
+// parameters do not silently run the wrong configuration.
+
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+
+// Declarative flag registry: register flags, then Parse(argc, argv).
+class FlagSet {
+ public:
+  // Registers a flag bound to `target`; `help` is shown by PrintHelp().
+  void AddInt(const std::string& name, int64_t* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+
+  // Parses argv, updating bound targets. Returns an error on unknown flags or
+  // malformed values. Recognizes --help and reports it via kFailedPrecondition
+  // after printing usage.
+  Status Parse(int argc, char** argv);
+
+  // Writes usage text for all registered flags to stdout.
+  void PrintHelp(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+  };
+  Status SetValue(const std::string& name, const Flag& flag, const std::string& value);
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_FLAGS_H_

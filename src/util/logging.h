@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics and the
+// benchmark harnesses; levels can be silenced globally (tests set kWarning).
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace indaas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: stream-collecting log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace indaas
+
+#define INDAAS_LOG(level)                                                             \
+  if (::indaas::LogLevel::k##level < ::indaas::GetLogLevel()) {                       \
+  } else                                                                              \
+    ::indaas::LogMessage(::indaas::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,72 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+
+namespace indaas {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's multiply-shift rejection method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace indaas

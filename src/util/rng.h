@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** — fast, high-quality, reproducible across platforms. Used by the
+// failure sampling algorithm (millions of coin flips per round sweep), topology
+// generation, and synthetic workload generation. Not cryptographically secure;
+// crypto code uses its own entropy handling (see src/crypto/).
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace indaas {
+
+// xoshiro256** 1.0 by Blackman & Vigna, seeded via SplitMix64.
+class Rng {
+ public:
+  // Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound) using Lemire's unbiased method. bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Fisher–Yates shuffle of `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Splits off an independently-seeded child generator (for per-thread use).
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,59 @@
+// Descriptive statistics and an ASCII table printer for experiment output.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace indaas {
+
+// Streaming accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Returns the p-th percentile (0..100) of `values` by linear interpolation.
+// `values` need not be sorted; an empty input yields 0.
+double Percentile(std::vector<double> values, double p);
+
+// Accumulates rows and renders an aligned plain-text table, in the style of
+// the tables in the paper's evaluation section.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  // Convenience: render straight to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_STATS_H_

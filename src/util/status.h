@@ -1,0 +1,145 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// INDaaS does not throw exceptions across API boundaries; fallible operations
+// return Status (no payload) or Result<T> (payload or error), in the spirit of
+// absl::Status / zx::result.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace indaas {
+
+// Error categories used throughout the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+  kParseError,
+  kProtocolError,
+};
+
+// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value without a payload.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  // Constructs a status with the given code and message. `code` should not be
+  // kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status ParseError(std::string message);
+Status ProtocolError(std::string message);
+
+// A value of type T, or an error Status. Access to value() asserts ok().
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  // Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  // Status of the result; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+// Propagates an error Status from an expression that yields Status.
+#define INDAAS_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::indaas::Status indaas_status_ = (expr); \
+    if (!indaas_status_.ok()) {               \
+      return indaas_status_;                  \
+    }                                         \
+  } while (false)
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define INDAAS_CONCAT_INNER_(a, b) a##b
+#define INDAAS_CONCAT_(a, b) INDAAS_CONCAT_INNER_(a, b)
+#define INDAAS_ASSIGN_OR_RETURN(lhs, expr) \
+  INDAAS_ASSIGN_OR_RETURN_IMPL_(INDAAS_CONCAT_(indaas_result_, __LINE__), lhs, expr)
+#define INDAAS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string utilities used across the library (splitting, joining,
+// trimming, predicates, and printf-style formatting).
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indaas {
+
+// Splits `text` on `sep`; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Splits and trims whitespace from every field, dropping empty results.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Renders bytes as a human-readable size ("1.50 MB").
+std::string HumanBytes(double bytes);
+
+// Renders seconds as a human-readable duration ("3.2 s", "45 ms").
+std::string HumanSeconds(double seconds);
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,90 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace indaas {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  // Chunk the index space so each worker grabs contiguous ranges.
+  size_t chunks = std::min(n, workers_.size() * 4);
+  std::atomic<size_t> next_chunk{0};
+  size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([&, chunk_size, n] {
+      for (;;) {
+        size_t chunk = next_chunk.fetch_add(1);
+        size_t begin = chunk * chunk_size;
+        if (begin >= n) {
+          return;
+        }
+        size_t end = std::min(begin + chunk_size, n);
+        for (size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutting down with an empty queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace indaas

@@ -1,0 +1,53 @@
+// Fixed-size worker pool used to parallelize failure-sampling rounds and
+// per-deployment audits.
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace indaas {
+
+// A simple FIFO thread pool. Tasks are std::function<void()>; Wait() blocks
+// until all submitted tasks have run. Destruction waits for queued tasks.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // fn must be safe to invoke concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for benchmarks and progress reporting.
+
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace indaas {
+
+// Measures elapsed wall time from construction (or the last Reset()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace indaas
+
+#endif  // SRC_UTIL_TIMER_H_

@@ -1,0 +1,243 @@
+// Tests for src/acquire/: the three simulated dependency acquisition modules
+// and the acquisition runner.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/acquire/apt_sim.h"
+#include "src/acquire/dam.h"
+#include "src/acquire/lshw_sim.h"
+#include "src/acquire/nsdminer_sim.h"
+#include "src/pia/jaccard.h"
+#include "src/topology/case_study.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+// --- NSDMiner simulator ---
+
+TEST(NsdMinerTest, InfersRoutesFromFlows) {
+  NsdMinerSim miner(2);
+  FlowRecord flow{"S1", "Internet", {"ToR1", "Core1"}};
+  miner.IngestFlow(flow);
+  auto once = miner.Collect("S1");
+  ASSERT_TRUE(once.ok());
+  EXPECT_TRUE(once->empty());  // Below the noise threshold.
+  miner.IngestFlow(flow);
+  auto twice = miner.Collect("S1");
+  ASSERT_TRUE(twice.ok());
+  ASSERT_EQ(twice->size(), 1u);
+  const auto* net = std::get_if<NetworkDependency>(&(*twice)[0]);
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->route, flow.route);
+}
+
+TEST(NsdMinerTest, CollectsOnlyForRequestedHost) {
+  NsdMinerSim miner(1);
+  miner.IngestFlow({"S1", "Internet", {"ToR1"}});
+  miner.IngestFlow({"S2", "Internet", {"ToR2"}});
+  auto s1 = miner.Collect("S1");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->size(), 1u);
+  auto s3 = miner.Collect("S3");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_TRUE(s3->empty());
+}
+
+TEST(NsdMinerTest, TrafficGenerationCoversEcmpPaths) {
+  auto topo = BuildLabCloud();
+  ASSERT_TRUE(topo.ok());
+  Rng rng(7);
+  auto flows = GenerateTraffic(*topo, "Server1", "Internet", 200, rng);
+  ASSERT_TRUE(flows.ok());
+  EXPECT_EQ(flows->size(), 200u);
+  std::set<std::vector<std::string>> routes;
+  for (const FlowRecord& flow : *flows) {
+    routes.insert(flow.route);
+  }
+  EXPECT_EQ(routes.size(), 2u);  // Switch1 -> Core1|Core2
+
+  NsdMinerSim miner(3);
+  miner.IngestFlows(*flows);
+  auto collected = miner.Collect("Server1");
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected->size(), 2u);
+}
+
+TEST(NsdMinerTest, NoRouteError) {
+  auto topo = BuildLabCloud();
+  ASSERT_TRUE(topo.ok());
+  Rng rng(7);
+  EXPECT_FALSE(GenerateTraffic(*topo, "nope", "Internet", 1, rng).ok());
+}
+
+// --- lshw simulator ---
+
+TEST(LshwTest, EmitsHostPrefixedComponents) {
+  LshwSim lshw;
+  lshw.RegisterMachine("S1", MachineSpec{"Intel(R)X5550@2.6GHz", "SED900", "DDR3", "82599"});
+  auto records = lshw.Collect("S1");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  const auto* cpu = std::get_if<HardwareDependency>(&(*records)[0]);
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->hw, "S1");
+  EXPECT_EQ(cpu->type, "CPU");
+  EXPECT_EQ(cpu->dep, "S1-Intel(R)X5550@2.6GHz");  // Figure 3's format
+}
+
+TEST(LshwTest, SharedComponentsKeepGlobalIdentity) {
+  LshwSim lshw;
+  Rng rng(1);
+  lshw.RegisterMachine("VM7", LshwSim::RandomSpec(rng));
+  lshw.RegisterSharedComponent("VM7", "Host", "Server2");
+  lshw.RegisterSharedComponent("VM8", "Host", "Server2");
+  auto vm7 = lshw.Collect("VM7");
+  ASSERT_TRUE(vm7.ok());
+  bool found = false;
+  for (const auto& record : *vm7) {
+    const auto* hw = std::get_if<HardwareDependency>(&record);
+    if (hw != nullptr && hw->type == "Host") {
+      EXPECT_EQ(hw->dep, "Server2");  // NOT VM7-prefixed
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  auto vm8 = lshw.Collect("VM8");
+  ASSERT_TRUE(vm8.ok());
+  EXPECT_EQ(vm8->size(), 1u);
+}
+
+TEST(LshwTest, UnknownMachineFails) {
+  LshwSim lshw;
+  EXPECT_FALSE(lshw.Collect("ghost").ok());
+}
+
+TEST(LshwTest, RandomSpecDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  MachineSpec sa = LshwSim::RandomSpec(a);
+  MachineSpec sb = LshwSim::RandomSpec(b);
+  EXPECT_EQ(sa.cpu_model, sb.cpu_model);
+  EXPECT_EQ(sa.disk_model, sb.disk_model);
+}
+
+// --- apt-rdepends simulator ---
+
+TEST(AptSimTest, ClosureFollowsChains) {
+  PackageUniverse universe;
+  ASSERT_TRUE(universe.AddPackage("app", "1.0", {"libA"}).ok());
+  ASSERT_TRUE(universe.AddPackage("libA", "2.0", {"libB"}).ok());
+  ASSERT_TRUE(universe.AddPackage("libB", "3.0", {}).ok());
+  auto closure = universe.Closure("app");
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(*closure, (std::vector<std::string>{"libA=2.0", "libB=3.0"}));
+}
+
+TEST(AptSimTest, ClosureHandlesCycles) {
+  PackageUniverse universe;
+  ASSERT_TRUE(universe.AddPackage("a", "1", {"b"}).ok());
+  ASSERT_TRUE(universe.AddPackage("b", "1", {"a"}).ok());
+  auto closure = universe.Closure("a");
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 1u);  // only b; a itself excluded
+}
+
+TEST(AptSimTest, ClosureFailsOnDanglingDep) {
+  PackageUniverse universe;
+  ASSERT_TRUE(universe.AddPackage("a", "1", {"ghost"}).ok());
+  EXPECT_FALSE(universe.Closure("a").ok());
+}
+
+TEST(AptSimTest, DuplicatePackageRejected) {
+  PackageUniverse universe;
+  ASSERT_TRUE(universe.AddPackage("a", "1", {}).ok());
+  EXPECT_FALSE(universe.AddPackage("a", "2", {}).ok());
+}
+
+TEST(AptSimTest, KeyValueStoreUniverseClosureSizes) {
+  // The calibrated block model (DESIGN.md): closure sizes 79/70/57/78.
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  auto riak = universe.Closure("riak");
+  auto mongo = universe.Closure("mongodb-server");
+  auto redis = universe.Closure("redis-server");
+  auto couch = universe.Closure("couchdb");
+  ASSERT_TRUE(riak.ok());
+  ASSERT_TRUE(mongo.ok());
+  ASSERT_TRUE(redis.ok());
+  ASSERT_TRUE(couch.ok());
+  EXPECT_EQ(riak->size(), 79u);
+  EXPECT_EQ(mongo->size(), 70u);
+  EXPECT_EQ(redis->size(), 57u);
+  EXPECT_EQ(couch->size(), 78u);
+}
+
+TEST(AptSimTest, KeyValueStoreUniverseReproducesTable2PairOrder) {
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  auto closure = [&](const char* pkg) {
+    auto c = universe.Closure(pkg);
+    EXPECT_TRUE(c.ok());
+    return *c;
+  };
+  std::vector<std::vector<std::string>> sets = {closure("riak"), closure("mongodb-server"),
+                                                closure("redis-server"), closure("couchdb")};
+  auto jac = [&](size_t a, size_t b) {
+    auto j = JaccardSimilarity({sets[a], sets[b]});
+    EXPECT_TRUE(j.ok());
+    return *j;
+  };
+  // Table 2 order (ascending Jaccard):
+  // C2&C4 < C2&C3 < C1&C4 < C1&C3 < C3&C4 < C1&C2  (1=Riak 2=Mongo 3=Redis 4=Couch)
+  double j24 = jac(1, 3), j23 = jac(1, 2), j14 = jac(0, 3), j13 = jac(0, 2), j34 = jac(2, 3),
+         j12 = jac(0, 1);
+  EXPECT_LT(j24, j23);
+  EXPECT_LT(j23, j14);
+  EXPECT_LT(j14, j13);
+  EXPECT_LT(j13, j34);
+  EXPECT_LT(j34, j12);
+  // Magnitudes near the paper's: J(C1,C2)=0.5059, J(C2,C4)=0.1419.
+  EXPECT_NEAR(j12, 0.5059, 0.03);
+  EXPECT_NEAR(j24, 0.1419, 0.03);
+}
+
+TEST(AptSimTest, CollectEmitsSoftwareRecords) {
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  AptRdependsSim apt(&universe);
+  ASSERT_TRUE(apt.InstallProgram("cloud1-host", "riak").ok());
+  EXPECT_FALSE(apt.InstallProgram("cloud1-host", "not-a-package").ok());
+  auto records = apt.Collect("cloud1-host");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  const auto* sw = std::get_if<SoftwareDependency>(&(*records)[0]);
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->pgm, "riak");
+  EXPECT_EQ(sw->deps.size(), 79u);
+  // Versioned entries ("name=version").
+  EXPECT_NE(sw->deps[0].find('='), std::string::npos);
+}
+
+// --- Acquisition runner ---
+
+TEST(RunAcquisitionTest, FillsDepDb) {
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  AptRdependsSim apt(&universe);
+  ASSERT_TRUE(apt.InstallProgram("S1", "redis-server").ok());
+  LshwSim lshw;
+  Rng rng(3);
+  lshw.RegisterMachine("S1", LshwSim::RandomSpec(rng));
+
+  DepDb db;
+  ASSERT_TRUE(RunAcquisition({&apt, &lshw}, {"S1"}, db).ok());
+  EXPECT_EQ(db.SoftwareOn("S1").size(), 1u);
+  EXPECT_EQ(db.HardwareOf("S1").size(), 4u);
+}
+
+TEST(RunAcquisitionTest, NullModuleRejected) {
+  DepDb db;
+  EXPECT_FALSE(RunAcquisition({nullptr}, {"S1"}, db).ok());
+}
+
+}  // namespace
+}  // namespace indaas

@@ -1,0 +1,215 @@
+// Tests for src/deps/: Table 1 record parsing/serialization, DepDB queries,
+// normalization, and the failure probability model.
+
+#include <gtest/gtest.h>
+
+#include "src/deps/depdb.h"
+#include "src/deps/normalize.h"
+#include "src/deps/prob_model.h"
+#include "src/deps/record.h"
+
+namespace indaas {
+namespace {
+
+// --- Records: the exact lines from the paper's Figure 3 ---
+
+TEST(RecordTest, ParseNetworkRecord) {
+  auto record = ParseRecord(R"(<src="S1" dst="Internet" route="ToR1,Core1"/>)");
+  ASSERT_TRUE(record.ok());
+  const auto* net = std::get_if<NetworkDependency>(&record.value());
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->src, "S1");
+  EXPECT_EQ(net->dst, "Internet");
+  EXPECT_EQ(net->route, (std::vector<std::string>{"ToR1", "Core1"}));
+}
+
+TEST(RecordTest, ParseHardwareRecord) {
+  auto record = ParseRecord(R"(<hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>)");
+  ASSERT_TRUE(record.ok());
+  const auto* hw = std::get_if<HardwareDependency>(&record.value());
+  ASSERT_NE(hw, nullptr);
+  EXPECT_EQ(hw->hw, "S1");
+  EXPECT_EQ(hw->type, "CPU");
+  EXPECT_EQ(hw->dep, "S1-Intel(R)X5550@2.6GHz");
+}
+
+TEST(RecordTest, ParseSoftwareRecord) {
+  // Figure 3 uses a bare '>' terminator for software lines; accept both.
+  auto record = ParseRecord(R"(<pgm="Riak1" hw="S1" dep="libc6,libsvn1">)");
+  ASSERT_TRUE(record.ok());
+  const auto* sw = std::get_if<SoftwareDependency>(&record.value());
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->pgm, "Riak1");
+  EXPECT_EQ(sw->hw, "S1");
+  EXPECT_EQ(sw->deps, (std::vector<std::string>{"libc6", "libsvn1"}));
+}
+
+TEST(RecordTest, SerializeParseRoundTrip) {
+  std::vector<DependencyRecord> records = {
+      NetworkDependency{"S2", "Internet", {"ToR1", "Core2"}},
+      HardwareDependency{"S2", "Disk", "S2-SED900"},
+      SoftwareDependency{"QueryEngine2", "S2", {"libc6", "libgccl"}},
+  };
+  for (const DependencyRecord& record : records) {
+    auto parsed = ParseRecord(SerializeRecord(record));
+    ASSERT_TRUE(parsed.ok()) << SerializeRecord(record);
+    EXPECT_EQ(*parsed, record);
+  }
+}
+
+TEST(RecordTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseRecord("").ok());
+  EXPECT_FALSE(ParseRecord("src=S1").ok());
+  EXPECT_FALSE(ParseRecord("<src=\"S1\"").ok());
+  EXPECT_FALSE(ParseRecord("<bogus=\"x\"/>").ok());
+  EXPECT_FALSE(ParseRecord("<src=\"S1\" route=\"a\"/>").ok());  // missing dst
+  EXPECT_FALSE(ParseRecord("<hw=\"S1\" type=\"CPU\"/>").ok());  // missing dep
+  EXPECT_FALSE(ParseRecord("<pgm=\"X\" dep=\"a\"/>").ok());     // missing hw
+  EXPECT_FALSE(ParseRecord("<src=\"S1\" dst=unquoted/>").ok());
+}
+
+TEST(RecordTest, ParseRecordsSkipsCommentsAndSeparators) {
+  const char* kDoc = R"(
+# Network dependencies of S1 and S2:
+<src="S1" dst="Internet" route="ToR1,Core1"/>
+------------------------------------
+<hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>
+
+<pgm="Riak1" hw="S1" dep="libc6,libsvn1">
+)";
+  auto records = ParseRecords(kDoc);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 3u);
+}
+
+// --- DepDB ---
+
+TEST(DepDbTest, AddAndQuery) {
+  DepDb db;
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1", "Core1"}});
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1", "Core2"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"ToR1", "Core1"}});
+  db.Add(HardwareDependency{"S1", "CPU", "S1-X5550"});
+  db.Add(SoftwareDependency{"Riak1", "S1", {"libc6"}});
+
+  EXPECT_EQ(db.RoutesFrom("S1").size(), 2u);
+  EXPECT_EQ(db.RoutesBetween("S1", "Internet").size(), 2u);
+  EXPECT_EQ(db.RoutesBetween("S1", "Mars").size(), 0u);
+  EXPECT_EQ(db.HardwareOf("S1").size(), 1u);
+  EXPECT_EQ(db.SoftwareOn("S1").size(), 1u);
+  EXPECT_EQ(db.SoftwareOn("S2").size(), 0u);
+  auto riak = db.SoftwareByName("Riak1");
+  ASSERT_TRUE(riak.ok());
+  EXPECT_EQ(riak->hw, "S1");
+  EXPECT_FALSE(db.SoftwareByName("nope").ok());
+}
+
+TEST(DepDbTest, DeduplicatesExactRecords) {
+  DepDb db;
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1"}});
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1"}});
+  EXPECT_EQ(db.NetworkCount(), 1u);
+}
+
+TEST(DepDbTest, KnownHosts) {
+  DepDb db;
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1"}});
+  db.Add(HardwareDependency{"S2", "CPU", "x"});
+  db.Add(SoftwareDependency{"pgm", "S3", {"libc6"}});
+  EXPECT_EQ(db.KnownHosts(), (std::vector<std::string>{"S1", "S2", "S3"}));
+}
+
+TEST(DepDbTest, ImportExportRoundTrip) {
+  DepDb db;
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1", "Core1"}});
+  db.Add(HardwareDependency{"S1", "Disk", "S1-SED900"});
+  db.Add(SoftwareDependency{"Riak1", "S1", {"libc6", "libsvn1"}});
+  std::string text = db.ExportText();
+
+  DepDb db2;
+  ASSERT_TRUE(db2.ImportText(text).ok());
+  EXPECT_EQ(db2.TotalCount(), 3u);
+  EXPECT_EQ(db2.ExportText(), text);
+}
+
+TEST(DepDbTest, ClearEmpties) {
+  DepDb db;
+  db.Add(HardwareDependency{"S1", "CPU", "x"});
+  db.Clear();
+  EXPECT_EQ(db.TotalCount(), 0u);
+  EXPECT_TRUE(db.KnownHosts().empty());
+}
+
+// --- Normalization ---
+
+TEST(NormalizeTest, NetworkComponent) {
+  EXPECT_EQ(NormalizeNetworkComponent("ToR1"), "net:tor1");
+  EXPECT_EQ(NormalizeNetworkComponent(" 10.0.0.1 "), "net:10.0.0.1");
+}
+
+TEST(NormalizeTest, Package) {
+  EXPECT_EQ(NormalizePackage("OpenSSL", "1.0.1e"), "pkg:openssl=1.0.1e");
+  EXPECT_EQ(NormalizePackage("libc6"), "pkg:libc6");
+}
+
+TEST(NormalizeTest, Hardware) {
+  EXPECT_EQ(NormalizeHardwareComponent("SED900"), "hw:sed900");
+}
+
+TEST(NormalizeTest, ComponentsOfRecords) {
+  auto net = NormalizedComponentsOf(NetworkDependency{"S1", "I", {"ToR1", "Core1"}});
+  EXPECT_EQ(net, (std::vector<std::string>{"net:tor1", "net:core1"}));
+  auto hw = NormalizedComponentsOf(HardwareDependency{"S1", "CPU", "X5550"});
+  EXPECT_EQ(hw, (std::vector<std::string>{"hw:x5550"}));
+  auto sw = NormalizedComponentsOf(SoftwareDependency{"p", "S1", {"libc6=2.13", "zlib1g"}});
+  EXPECT_EQ(sw, (std::vector<std::string>{"pkg:libc6=2.13", "pkg:zlib1g"}));
+}
+
+TEST(NormalizeTest, SameComponentAcrossProvidersMatches) {
+  // The PIA property from §4.2.3: identical third-party components get
+  // identical identifiers regardless of which provider reports them.
+  auto a = NormalizedComponentsOf(SoftwareDependency{"svcA", "cloud1-host", {"OpenSSL=1.0.1e"}});
+  auto b = NormalizedComponentsOf(SoftwareDependency{"svcB", "cloud2-host", {"openssl=1.0.1e"}});
+  EXPECT_EQ(a, b);
+}
+
+// --- Probability model ---
+
+TEST(ProbModelTest, DefaultForUnknown) {
+  FailureProbabilityModel model(0.07);
+  EXPECT_DOUBLE_EQ(model.Lookup("anything"), 0.07);
+}
+
+TEST(ProbModelTest, LongestPrefixWins) {
+  FailureProbabilityModel model(0.01);
+  ASSERT_TRUE(model.SetClassProb("net:", 0.08).ok());
+  ASSERT_TRUE(model.SetClassProb("net:tor", 0.05).ok());
+  EXPECT_DOUBLE_EQ(model.Lookup("net:tor17"), 0.05);
+  EXPECT_DOUBLE_EQ(model.Lookup("net:core1"), 0.08);
+  EXPECT_DOUBLE_EQ(model.Lookup("pkg:zlib"), 0.01);
+}
+
+TEST(ProbModelTest, ExactOverrideBeatsPrefix) {
+  FailureProbabilityModel model;
+  ASSERT_TRUE(model.SetClassProb("pkg:", 0.03).ok());
+  ASSERT_TRUE(model.SetComponentProb("pkg:openssl=1.0.1e", 0.9).ok());
+  EXPECT_DOUBLE_EQ(model.Lookup("pkg:openssl=1.0.1e"), 0.9);
+  EXPECT_DOUBLE_EQ(model.Lookup("pkg:zlib1g=1.0"), 0.03);
+}
+
+TEST(ProbModelTest, RejectsOutOfRange) {
+  FailureProbabilityModel model;
+  EXPECT_FALSE(model.SetClassProb("x", -0.1).ok());
+  EXPECT_FALSE(model.SetComponentProb("x", 1.1).ok());
+}
+
+TEST(ProbModelTest, GillDefaultsSensible) {
+  FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
+  EXPECT_DOUBLE_EQ(model.Lookup("net:tor5"), 0.05);
+  EXPECT_DOUBLE_EQ(model.Lookup("net:agg12"), 0.10);
+  EXPECT_DOUBLE_EQ(model.Lookup("net:core3"), 0.12);
+  EXPECT_GT(model.Lookup("hw:disk-sed900"), model.Lookup("hw:ram-ddr3"));
+}
+
+}  // namespace
+}  // namespace indaas

@@ -1,0 +1,346 @@
+// Tests for src/graph/: fault graph structure, validation, evaluation,
+// levels of detail, downgrades, and composition.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/compose.h"
+#include "src/graph/fault_graph.h"
+#include "src/graph/levels.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+// Builds Figure 4(a): top AND over E1 = OR(A1, A2), E2 = OR(A2, A3).
+FaultGraph BuildFig4a() {
+  FaultGraph graph;
+  NodeId a1 = graph.AddBasicEvent("A1");
+  NodeId a2 = graph.AddBasicEvent("A2");
+  NodeId a3 = graph.AddBasicEvent("A3");
+  NodeId e1 = graph.AddGate("E1 fails", GateType::kOr, {a1, a2});
+  NodeId e2 = graph.AddGate("E2 fails", GateType::kOr, {a2, a3});
+  NodeId top = graph.AddGate("deployment fails", GateType::kAnd, {e1, e2});
+  graph.SetTopEvent(top);
+  EXPECT_TRUE(graph.Validate().ok());
+  return graph;
+}
+
+TEST(FaultGraphTest, BasicStructure) {
+  FaultGraph graph = BuildFig4a();
+  EXPECT_EQ(graph.NodeCount(), 6u);
+  EXPECT_EQ(graph.BasicEvents().size(), 3u);
+  auto a2 = graph.FindNode("A2");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(graph.node(*a2).gate, GateType::kBasic);
+  EXPECT_FALSE(graph.FindNode("nope").ok());
+}
+
+TEST(FaultGraphTest, EvaluateAndOrSemantics) {
+  FaultGraph graph = BuildFig4a();
+  auto a1 = graph.FindNode("A1");
+  auto a2 = graph.FindNode("A2");
+  auto a3 = graph.FindNode("A3");
+  std::vector<uint8_t> state(graph.NodeCount(), 0);
+
+  // A2 alone fails both E1 and E2 -> top fails.
+  state.assign(graph.NodeCount(), 0);
+  state[*a2] = 1;
+  EXPECT_TRUE(graph.Evaluate(state));
+
+  // A1 alone fails only E1 -> top survives.
+  state.assign(graph.NodeCount(), 0);
+  state[*a1] = 1;
+  EXPECT_FALSE(graph.Evaluate(state));
+
+  // A1 + A3 fail both sides.
+  state.assign(graph.NodeCount(), 0);
+  state[*a1] = 1;
+  state[*a3] = 1;
+  EXPECT_TRUE(graph.Evaluate(state));
+
+  // Nothing failed.
+  state.assign(graph.NodeCount(), 0);
+  EXPECT_FALSE(graph.Evaluate(state));
+}
+
+TEST(FaultGraphTest, KofNGate) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("a");
+  NodeId b = graph.AddBasicEvent("b");
+  NodeId c = graph.AddBasicEvent("c");
+  NodeId top = graph.AddKofNGate("2of3", 2, {a, b, c});
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  std::vector<uint8_t> state(graph.NodeCount(), 0);
+  state[a] = 1;
+  EXPECT_FALSE(graph.Evaluate(state));
+  state[b] = 1;
+  EXPECT_TRUE(graph.Evaluate(state));
+  state[c] = 1;
+  EXPECT_TRUE(graph.Evaluate(state));
+}
+
+TEST(FaultGraphTest, ValidateRejectsCycle) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("a");
+  NodeId g1 = graph.AddGate("g1", GateType::kOr, {a});
+  NodeId g2 = graph.AddGate("g2", GateType::kOr, {g1});
+  ASSERT_TRUE(graph.AddChild(g1, g2).ok());  // cycle g1 <-> g2
+  graph.SetTopEvent(g2);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(FaultGraphTest, ValidateRejectsEmptyGate) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("a");
+  (void)a;
+  // Build a gate with no children by converting... AddGate requires children
+  // at construction; test k-of-n bounds instead.
+  NodeId b = graph.AddBasicEvent("b");
+  NodeId bad = graph.AddKofNGate("bad", 5, {a, b});
+  graph.SetTopEvent(bad);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(FaultGraphTest, ValidateRejectsMissingTop) {
+  FaultGraph graph;
+  graph.AddBasicEvent("a");
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(FaultGraphTest, ValidateRejectsDuplicateNames) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("x");
+  NodeId b = graph.AddBasicEvent("x");
+  NodeId top = graph.AddGate("top", GateType::kOr, {a, b});
+  graph.SetTopEvent(top);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(FaultGraphTest, AddChildToBasicFails) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("a");
+  NodeId b = graph.AddBasicEvent("b");
+  EXPECT_FALSE(graph.AddChild(a, b).ok());
+}
+
+TEST(FaultGraphTest, SetFailureProbValidates) {
+  FaultGraph graph;
+  NodeId a = graph.AddBasicEvent("a");
+  EXPECT_TRUE(graph.SetFailureProb(a, 0.5).ok());
+  EXPECT_DOUBLE_EQ(graph.node(a).failure_prob, 0.5);
+  EXPECT_FALSE(graph.SetFailureProb(a, 1.5).ok());
+  EXPECT_FALSE(graph.SetFailureProb(999, 0.5).ok());
+}
+
+TEST(FaultGraphTest, TopologicalOrderChildrenFirst) {
+  FaultGraph graph = BuildFig4a();
+  std::vector<size_t> position(graph.NodeCount());
+  const auto& order = graph.TopologicalOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  for (NodeId id = 0; id < graph.NodeCount(); ++id) {
+    for (NodeId child : graph.node(id).children) {
+      EXPECT_LT(position[child], position[id]);
+    }
+  }
+}
+
+TEST(FaultGraphTest, ToDotContainsNodes) {
+  FaultGraph graph = BuildFig4a();
+  std::string dot = graph.ToDot("g");
+  EXPECT_NE(dot.find("A1"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+// --- Levels of detail ---
+
+TEST(LevelsTest, SharedComponents) {
+  std::vector<ComponentSet> sets = {{"E1", {"A1", "A2"}}, {"E2", {"A2", "A3"}}};
+  auto shared = SharedComponents(sets);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], "A2");
+  EXPECT_EQ(CommonToAll(sets), shared);
+  EXPECT_EQ(UnionOfAll(sets).size(), 3u);
+}
+
+TEST(LevelsTest, NormalizeComponentSetSortsAndDedupes) {
+  ComponentSet set{"E", {"b", "a", "b"}};
+  NormalizeComponentSet(set);
+  EXPECT_EQ(set.components, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LevelsTest, NormalizeFaultSetKeepsMaxProb) {
+  FaultSet set{"E", {{"x", 0.1}, {"x", 0.3}, {"a", 0.2}}};
+  NormalizeFaultSet(set);
+  ASSERT_EQ(set.events.size(), 2u);
+  EXPECT_EQ(set.events[0].component, "a");
+  EXPECT_EQ(set.events[1].component, "x");
+  EXPECT_DOUBLE_EQ(set.events[1].failure_prob, 0.3);
+}
+
+TEST(LevelsTest, BuildFromComponentSetsSharesNodes) {
+  std::vector<ComponentSet> sets = {{"E1", {"A1", "A2"}}, {"E2", {"A2", "A3"}}};
+  auto graph = BuildFromComponentSets(sets);
+  ASSERT_TRUE(graph.ok());
+  // A1, A2, A3 basic + 2 source gates + top = 6 nodes; A2 shared.
+  EXPECT_EQ(graph->NodeCount(), 6u);
+  EXPECT_EQ(graph->BasicEvents().size(), 3u);
+}
+
+TEST(LevelsTest, BuildFromFaultSetsCarriesProbabilities) {
+  std::vector<FaultSet> sets = {{"E1", {{"A1", 0.1}, {"A2", 0.2}}},
+                                {"E2", {{"A2", 0.2}, {"A3", 0.3}}}};
+  auto graph = BuildFromFaultSets(sets);
+  ASSERT_TRUE(graph.ok());
+  auto a3 = graph->FindNode("A3");
+  ASSERT_TRUE(a3.ok());
+  EXPECT_DOUBLE_EQ(graph->node(*a3).failure_prob, 0.3);
+}
+
+TEST(LevelsTest, BuildNofM) {
+  // 2-of-3 required -> top is a 2-of-3 failure gate (k = m - n + 1 = 2).
+  std::vector<ComponentSet> sets = {{"E1", {"A"}}, {"E2", {"B"}}, {"E3", {"C"}}};
+  auto graph = BuildFromComponentSets(sets, 2);
+  ASSERT_TRUE(graph.ok());
+  const FaultNode& top = graph->node(graph->top_event());
+  EXPECT_EQ(top.gate, GateType::kKofN);
+  EXPECT_EQ(top.k, 2u);
+}
+
+TEST(LevelsTest, BuildRejectsBadInput) {
+  EXPECT_FALSE(BuildFromComponentSets({}).ok());
+  EXPECT_FALSE(BuildFromComponentSets({{"E1", {}}}).ok());
+  EXPECT_FALSE(BuildFromComponentSets({{"E1", {"A"}}}, 2).ok());
+}
+
+TEST(LevelsTest, DowngradeRoundTrip) {
+  std::vector<ComponentSet> sets = {{"E1 fails", {"A1", "A2"}}, {"E2 fails", {"A2", "A3"}}};
+  auto graph = BuildFromComponentSets(sets);
+  ASSERT_TRUE(graph.ok());
+  auto downgraded = DowngradeToComponentSets(*graph);
+  ASSERT_TRUE(downgraded.ok());
+  ASSERT_EQ(downgraded->size(), 2u);
+  EXPECT_EQ((*downgraded)[0].components, sets[0].components);
+  EXPECT_EQ((*downgraded)[1].components, sets[1].components);
+}
+
+TEST(LevelsTest, DowngradeDeepGraphFlattens) {
+  // Fig 4(c)-like: internal redundancy collapses into flat per-source sets.
+  FaultGraph graph;
+  NodeId tor = graph.AddBasicEvent("ToR1");
+  NodeId core1 = graph.AddBasicEvent("Core1");
+  NodeId core2 = graph.AddBasicEvent("Core2");
+  NodeId p1 = graph.AddGate("path1", GateType::kOr, {tor, core1});
+  NodeId p2 = graph.AddGate("path2", GateType::kOr, {tor, core2});
+  NodeId net = graph.AddGate("S1 net", GateType::kAnd, {p1, p2});
+  NodeId disk = graph.AddBasicEvent("Disk1");
+  NodeId s1 = graph.AddGate("S1 fails", GateType::kOr, {net, disk});
+  NodeId s2_disk = graph.AddBasicEvent("Disk2");
+  NodeId s2 = graph.AddGate("S2 fails", GateType::kOr, {s2_disk});
+  NodeId top = graph.AddGate("top", GateType::kAnd, {s1, s2});
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  auto sets = DowngradeToComponentSets(graph);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->size(), 2u);
+  EXPECT_EQ((*sets)[0].components,
+            (std::vector<std::string>{"Core1", "Core2", "Disk1", "ToR1"}));
+  EXPECT_EQ((*sets)[1].components, (std::vector<std::string>{"Disk2"}));
+}
+
+// --- Composition ---
+
+TEST(ComposeTest, SplicesServiceGraph) {
+  // Primary: EC2 instance depends on "EBS" (placeholder) and its own disk.
+  FaultGraph primary;
+  NodeId ebs = primary.AddBasicEvent("EBS");
+  NodeId disk = primary.AddBasicEvent("disk1");
+  NodeId top = primary.AddGate("instance fails", GateType::kOr, {ebs, disk});
+  primary.SetTopEvent(top);
+  ASSERT_TRUE(primary.Validate().ok());
+
+  // EBS service graph: fails when both its servers fail; both share a switch.
+  FaultGraph ebs_graph;
+  NodeId sw = ebs_graph.AddBasicEvent("switch-S");
+  NodeId sa = ebs_graph.AddBasicEvent("ebs-server-a");
+  NodeId sb = ebs_graph.AddBasicEvent("ebs-server-b");
+  NodeId ra = ebs_graph.AddGate("replica a", GateType::kOr, {sa, sw});
+  NodeId rb = ebs_graph.AddGate("replica b", GateType::kOr, {sb, sw});
+  NodeId ebs_top = ebs_graph.AddGate("ebs fails", GateType::kAnd, {ra, rb});
+  ebs_graph.SetTopEvent(ebs_top);
+  ASSERT_TRUE(ebs_graph.Validate().ok());
+
+  auto composed = ComposeFaultGraphs(primary, {{"EBS", &ebs_graph}});
+  ASSERT_TRUE(composed.ok());
+  // The placeholder is now a gate, and the switch failure alone must fail
+  // the composed instance.
+  auto sw_id = composed->FindNode("switch-S");
+  ASSERT_TRUE(sw_id.ok());
+  std::vector<uint8_t> state(composed->NodeCount(), 0);
+  state[*sw_id] = 1;
+  EXPECT_TRUE(composed->Evaluate(state));
+  // A single EBS server failure must not.
+  state.assign(composed->NodeCount(), 0);
+  auto sa_id = composed->FindNode("ebs-server-a");
+  ASSERT_TRUE(sa_id.ok());
+  state[*sa_id] = 1;
+  EXPECT_FALSE(composed->Evaluate(state));
+}
+
+TEST(ComposeTest, SharedBasicEventsUnify) {
+  // Two services both depend on the same power source; composing both into
+  // one deployment must yield a single shared node.
+  FaultGraph primary;
+  NodeId s1 = primary.AddBasicEvent("svcA");
+  NodeId s2 = primary.AddBasicEvent("svcB");
+  NodeId top = primary.AddGate("top", GateType::kAnd, {s1, s2});
+  primary.SetTopEvent(top);
+  ASSERT_TRUE(primary.Validate().ok());
+
+  auto make_service = [](const std::string& own) {
+    FaultGraph g;
+    NodeId power = g.AddBasicEvent("power-dublin");
+    NodeId self = g.AddBasicEvent(own);
+    NodeId t = g.AddGate("svc fails", GateType::kOr, {power, self});
+    g.SetTopEvent(t);
+    EXPECT_TRUE(g.Validate().ok());
+    return g;
+  };
+  FaultGraph ga = make_service("gen-a");
+  FaultGraph gb = make_service("gen-b");
+  auto composed = ComposeFaultGraphs(primary, {{"svcA", &ga}, {"svcB", &gb}});
+  ASSERT_TRUE(composed.ok());
+  // Exactly one "power-dublin" node; failing it fails everything (the
+  // Dublin-storm scenario from §1).
+  auto power = composed->FindNode("power-dublin");
+  ASSERT_TRUE(power.ok());
+  std::vector<uint8_t> state(composed->NodeCount(), 0);
+  state[*power] = 1;
+  EXPECT_TRUE(composed->Evaluate(state));
+}
+
+TEST(ComposeTest, MissingPlaceholderFails) {
+  FaultGraph primary;
+  NodeId a = primary.AddBasicEvent("a");
+  NodeId top = primary.AddGate("top", GateType::kOr, {a});
+  primary.SetTopEvent(top);
+  ASSERT_TRUE(primary.Validate().ok());
+  FaultGraph service;
+  NodeId b = service.AddBasicEvent("b");
+  NodeId stop = service.AddGate("stop", GateType::kOr, {b});
+  service.SetTopEvent(stop);
+  ASSERT_TRUE(service.Validate().ok());
+  EXPECT_FALSE(ComposeFaultGraphs(primary, {{"missing", &service}}).ok());
+}
+
+TEST(ComposeTest, RequiresValidatedInputs) {
+  FaultGraph primary;  // not validated
+  FaultGraph service;
+  EXPECT_FALSE(ComposeFaultGraphs(primary, {{"x", &service}}).ok());
+}
+
+}  // namespace
+}  // namespace indaas

@@ -1,0 +1,237 @@
+// End-to-end integration tests reproducing the paper's three case studies
+// (§6.2) in miniature: topology/placement -> acquisition -> DepDB -> fault
+// graph -> risk groups -> report.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/acquire/apt_sim.h"
+#include "src/acquire/lshw_sim.h"
+#include "src/acquire/nsdminer_sim.h"
+#include "src/agent/agent.h"
+#include "src/deps/cvss.h"
+#include "src/sia/importance.h"
+#include "src/pia/audit.h"
+#include "src/sia/builder.h"
+#include "src/sia/risk_groups.h"
+#include "src/topology/case_study.h"
+#include "src/topology/placement.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace {
+
+// --- Case study 1 (Fig. 6a): common network dependencies in a data center ---
+
+TEST(NetworkCaseStudyTest, FindsIndependentRackPairs) {
+  auto topo = BuildCaseStudyDatacenter(12, 1);
+  ASSERT_TRUE(topo.ok());
+
+  // Traffic-based acquisition: flows from each rack server to the Internet.
+  NsdMinerSim miner(3);
+  Rng rng(1);
+  for (uint32_t r = 1; r <= 12; ++r) {
+    auto flows = GenerateTraffic(*topo, StrFormat("rack%u-srv1", r), "Internet", 60, rng);
+    ASSERT_TRUE(flows.ok());
+    miner.IngestFlows(*flows);
+  }
+  AuditingAgent agent;
+  agent.AddModule(&miner);
+
+  AuditSpecification spec;
+  for (uint32_t a = 1; a <= 12; ++a) {
+    for (uint32_t b = a + 1; b <= 12; ++b) {
+      spec.candidate_deployments.push_back(
+          {StrFormat("rack%u-srv1", a), StrFormat("rack%u-srv1", b)});
+    }
+  }
+  ASSERT_TRUE(agent.AcquireDependencies(spec).ok());
+  auto report = agent.AuditStructural(spec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->deployments.size(), 66u);  // C(12,2)
+
+  // Some pairs have no unexpected RGs (disjoint core classes) and they must
+  // outrank every pair with shared cores.
+  size_t clean = 0;
+  for (const DeploymentAudit& audit : report->deployments) {
+    if (audit.unexpected_rgs == 0) {
+      ++clean;
+    }
+  }
+  EXPECT_GT(clean, 0u);
+  EXPECT_LT(clean, 66u);
+  EXPECT_EQ(report->deployments[0].unexpected_rgs, 0u);
+  EXPECT_GT(report->deployments.back().unexpected_rgs, 0u);
+
+  // Rack1 ({b1,b2}) and rack2 ({c1,c2}) use disjoint cores: their pair must
+  // be among the clean ones.
+  for (const DeploymentAudit& audit : report->deployments) {
+    if (audit.servers == std::vector<std::string>{"rack1-srv1", "rack2-srv1"}) {
+      EXPECT_EQ(audit.unexpected_rgs, 0u);
+    }
+    if (audit.servers == std::vector<std::string>{"rack1-srv1", "rack7-srv1"}) {
+      // Same core class {b1,b2}: the shared cores form an unexpected RG.
+      EXPECT_GT(audit.unexpected_rgs, 0u);
+    }
+  }
+}
+
+// --- Case study 2 (Fig. 6b): common hardware via VM co-location ---
+
+TEST(HardwareCaseStudyTest, DetectsOpenStackColocationAndRedeploys) {
+  auto topo = BuildLabCloud();
+  ASSERT_TRUE(topo.ok());
+
+  // OpenStack-like placement puts both Riak VMs on Server2 (most capacity).
+  std::vector<PlacementHost> hosts = {{"Server1", 2}, {"Server2", 10}, {"Server3", 2},
+                                      {"Server4", 2}};
+  std::vector<VmRequest> vms;
+  for (int i = 1; i <= 6; ++i) {
+    vms.push_back({StrFormat("VM%d", i), ""});
+  }
+  vms.push_back({"VM7", "riak"});
+  vms.push_back({"VM8", "riak"});
+  Rng rng(1);
+  auto placement = PlaceVms(vms, hosts, PlacementPolicy::kLeastLoadedRandom, rng);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->assignment[6], 1u);
+  ASSERT_EQ(placement->assignment[7], 1u);
+
+  // Acquisition: each VM's hardware includes its host server (shared id),
+  // and its network routes are its host's routes.
+  LshwSim lshw;
+  NsdMinerSim miner(2);
+  DepDb db;
+  Rng traffic_rng(2);
+  for (size_t v = 6; v < 8; ++v) {
+    const std::string vm = vms[v].name;
+    const std::string host = hosts[placement->assignment[v]].name;
+    lshw.RegisterMachine(vm, LshwSim::RandomSpec(traffic_rng));
+    lshw.RegisterSharedComponent(vm, "Host", host);
+    auto flows = GenerateTraffic(*topo, host, "Internet", 50, traffic_rng);
+    ASSERT_TRUE(flows.ok());
+    for (FlowRecord flow : *flows) {
+      flow.src = vm;  // The VM's traffic egresses via its host's paths.
+      miner.IngestFlow(flow);
+    }
+  }
+  ASSERT_TRUE(RunAcquisition({&lshw, &miner}, {"VM7", "VM8"}, db).ok());
+
+  // Audit the deployed configuration.
+  auto graph = BuildDeploymentFaultGraph(db, {"VM7", "VM8"});
+  ASSERT_TRUE(graph.ok());
+  auto groups = ComputeMinimalRiskGroups(*graph);
+  ASSERT_TRUE(groups.ok());
+  std::set<std::vector<std::string>> names;
+  for (const RiskGroup& group : groups->groups) {
+    std::vector<std::string> group_names;
+    for (NodeId id : group) {
+      group_names.push_back(graph->node(id).name);
+    }
+    std::sort(group_names.begin(), group_names.end());
+    names.insert(group_names);
+  }
+  // The paper's top-4 RG list: {Server2}, {Switch1}, {Core1 & Core2},
+  // {VM7 & VM8}.
+  EXPECT_EQ(names.count({"hw:server2"}), 1u);
+  EXPECT_EQ(names.count({"net:switch1"}), 1u);
+  EXPECT_EQ(names.count({"net:core1", "net:core2"}), 1u);
+  EXPECT_EQ(names.count({"VM7", "VM8"}), 1u);
+
+  // Re-deploy per the report: anti-affinity placement avoids the shared
+  // server, removing the size-1 hardware RG.
+  Rng rng2(1);
+  auto fixed = PlaceVms(vms, hosts, PlacementPolicy::kAntiAffinity, rng2);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_NE(fixed->assignment[6], fixed->assignment[7]);
+}
+
+// --- Case study 3 (Fig. 6c / Table 2): private software audit ---
+
+TEST(SoftwareCaseStudyTest, Table2RankingsReproduce) {
+  PackageUniverse universe = PackageUniverse::KeyValueStoreUniverse();
+  std::vector<CloudProvider> providers;
+  const char* programs[] = {"riak", "mongodb-server", "redis-server", "couchdb"};
+  for (int i = 0; i < 4; ++i) {
+    auto closure = universe.Closure(programs[i]);
+    ASSERT_TRUE(closure.ok());
+    providers.push_back({StrFormat("Cloud%d", i + 1), *closure});
+  }
+  PiaAuditOptions options;
+  options.psop.group_bits = 768;
+  auto report = RunPiaAudit(providers, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rankings.size(), 2u);
+
+  // Two-way ranking order from Table 2:
+  // 1. C2&C4  2. C2&C3  3. C1&C4  4. C1&C3  5. C3&C4  6. C1&C2
+  std::vector<std::vector<std::string>> expected_two = {
+      {"Cloud2", "Cloud4"}, {"Cloud2", "Cloud3"}, {"Cloud1", "Cloud4"},
+      {"Cloud1", "Cloud3"}, {"Cloud3", "Cloud4"}, {"Cloud1", "Cloud2"},
+  };
+  ASSERT_EQ(report->rankings[0].size(), expected_two.size());
+  for (size_t i = 0; i < expected_two.size(); ++i) {
+    EXPECT_EQ(report->rankings[0][i].providers, expected_two[i]) << "rank " << (i + 1);
+  }
+
+  // Three-way ranking order from Table 2:
+  // 1. C2&C3&C4  2. C1&C2&C4  3. C1&C3&C4  4. C1&C2&C3
+  std::vector<std::vector<std::string>> expected_three = {
+      {"Cloud2", "Cloud3", "Cloud4"},
+      {"Cloud1", "Cloud2", "Cloud4"},
+      {"Cloud1", "Cloud3", "Cloud4"},
+      {"Cloud1", "Cloud2", "Cloud3"},
+  };
+  ASSERT_EQ(report->rankings[1].size(), expected_three.size());
+  for (size_t i = 0; i < expected_three.size(); ++i) {
+    EXPECT_EQ(report->rankings[1][i].providers, expected_three[i]) << "rank " << (i + 1);
+  }
+}
+
+// --- Heartbleed scenario (§3: software dependencies "could lead to
+// common-mode failures (e.g., Heartbleed)"; §5.1: CVSS feeds supply the
+// probabilities) ---
+
+TEST(HeartbleedScenarioTest, CvssFeedSurfacesSharedOpensslRisk) {
+  // Two replicas of a service, each with its own disk, both linking the same
+  // vulnerable OpenSSL build.
+  DepDb db;
+  db.Add(HardwareDependency{"S1", "Disk", "S1-disk"});
+  db.Add(HardwareDependency{"S2", "Disk", "S2-disk"});
+  db.Add(SoftwareDependency{"web1", "S1", {"openssl=1.0.1e", "libc6=2.13"}});
+  db.Add(SoftwareDependency{"web2", "S2", {"openssl=1.0.1e", "libc6=2.13"}});
+
+  FailureProbabilityModel model(0.01);
+  ASSERT_TRUE(LoadCvssFeed("# heartbleed advisory\nopenssl 1.0.1e 10.0\n", model, 0.3).ok());
+
+  BuildOptions build;
+  build.prob_model = &model;
+  build.include_server_event = false;
+  auto graph = BuildDeploymentFaultGraph(db, {"S1", "S2"}, build);
+  ASSERT_TRUE(graph.ok());
+  auto groups = ComputeMinimalRiskGroups(*graph);
+  ASSERT_TRUE(groups.ok());
+
+  // The shared vulnerable package is a single-component risk group...
+  auto openssl_node = graph->FindNode("pkg:openssl=1.0.1e");
+  ASSERT_TRUE(openssl_node.ok());
+  EXPECT_DOUBLE_EQ(graph->node(*openssl_node).failure_prob, 0.3);
+  bool found = false;
+  for (const RiskGroup& group : groups->groups) {
+    if (group.size() == 1 && group[0] == *openssl_node) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // ...and it dominates the importance ranking once CVSS weights apply.
+  auto importance = RankComponentImportance(*graph, groups->groups);
+  ASSERT_TRUE(importance.ok());
+  ASSERT_FALSE(importance->empty());
+  EXPECT_EQ((*importance)[0].name, "pkg:openssl=1.0.1e");
+}
+
+}  // namespace
+}  // namespace indaas

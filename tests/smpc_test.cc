@@ -1,0 +1,306 @@
+// Tests for src/smpc/: boolean circuits, the GMW protocol, and circuit-based
+// private set intersection cardinality.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/smpc/circuit.h"
+#include "src/smpc/gmw.h"
+#include "src/smpc/psi_circuit.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+// --- Circuit construction & plaintext evaluation ---
+
+TEST(CircuitTest, GateTruthTables) {
+  Circuit circuit;
+  WireId a = circuit.AddInput(0);
+  WireId b = circuit.AddInput(1);
+  circuit.AddOutput(circuit.Xor(a, b));
+  circuit.AddOutput(circuit.And(a, b));
+  circuit.AddOutput(circuit.Or(a, b));
+  circuit.AddOutput(circuit.Not(a));
+  circuit.AddOutput(circuit.Xnor(a, b));
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      auto out = circuit.Evaluate({va}, {vb});
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ((*out)[0], va != vb);
+      EXPECT_EQ((*out)[1], va && vb);
+      EXPECT_EQ((*out)[2], va || vb);
+      EXPECT_EQ((*out)[3], !va);
+      EXPECT_EQ((*out)[4], va == vb);
+    }
+  }
+}
+
+TEST(CircuitTest, ConstantsAndCounts) {
+  Circuit circuit;
+  WireId a = circuit.AddInput(0);
+  WireId t = circuit.AddConstant(true);
+  circuit.AddOutput(circuit.And(a, t));
+  EXPECT_EQ(circuit.AndGateCount(), 1u);
+  EXPECT_EQ(circuit.InputCount(0), 1u);
+  EXPECT_EQ(circuit.InputCount(1), 0u);
+  auto out = circuit.Evaluate({true}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE((*out)[0]);
+}
+
+TEST(CircuitTest, AdderMatchesArithmetic) {
+  const size_t kWidth = 8;
+  Circuit circuit;
+  std::vector<WireId> a;
+  std::vector<WireId> b;
+  for (size_t i = 0; i < kWidth; ++i) {
+    a.push_back(circuit.AddInput(0));
+  }
+  for (size_t i = 0; i < kWidth; ++i) {
+    b.push_back(circuit.AddInput(1));
+  }
+  auto sum = circuit.AddVec(a, b);
+  ASSERT_TRUE(sum.ok());
+  for (WireId wire : *sum) {
+    circuit.AddOutput(wire);
+  }
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t va = rng.NextBelow(256);
+    uint64_t vb = rng.NextBelow(256);
+    auto out = circuit.Evaluate(ToBits(va, kWidth), ToBits(vb, kWidth));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(FromBits(*out), va + vb);
+  }
+}
+
+TEST(CircuitTest, EqualsVecMatches) {
+  const size_t kWidth = 16;
+  Circuit circuit;
+  std::vector<WireId> a;
+  std::vector<WireId> b;
+  for (size_t i = 0; i < kWidth; ++i) {
+    a.push_back(circuit.AddInput(0));
+  }
+  for (size_t i = 0; i < kWidth; ++i) {
+    b.push_back(circuit.AddInput(1));
+  }
+  auto eq = circuit.EqualsVec(a, b);
+  ASSERT_TRUE(eq.ok());
+  circuit.AddOutput(*eq);
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t va = rng.NextBelow(1 << kWidth);
+    uint64_t vb = rng.NextBool(0.5) ? va : rng.NextBelow(1 << kWidth);
+    auto out = circuit.Evaluate(ToBits(va, kWidth), ToBits(vb, kWidth));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ((*out)[0], va == vb);
+  }
+}
+
+TEST(CircuitTest, PopCountMatches) {
+  const size_t kBits = 13;
+  Circuit circuit;
+  std::vector<WireId> bits;
+  for (size_t i = 0; i < kBits; ++i) {
+    bits.push_back(circuit.AddInput(0));
+  }
+  auto count = circuit.PopCount(bits);
+  ASSERT_TRUE(count.ok());
+  for (WireId wire : *count) {
+    circuit.AddOutput(wire);
+  }
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t value = rng.NextBelow(1 << kBits);
+    auto out = circuit.Evaluate(ToBits(value, kBits), {});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(FromBits(*out), static_cast<uint64_t>(__builtin_popcountll(value)));
+  }
+}
+
+TEST(CircuitTest, RejectsBadShapes) {
+  Circuit circuit;
+  WireId a = circuit.AddInput(0);
+  EXPECT_FALSE(circuit.EqualsVec({a}, {a, a}).ok());
+  EXPECT_FALSE(circuit.EqualsVec({}, {}).ok());
+  EXPECT_FALSE(circuit.OrVec({}).ok());
+  EXPECT_FALSE(circuit.PopCount({}).ok());
+  EXPECT_FALSE(circuit.Evaluate({}, {true}).ok());
+}
+
+TEST(CircuitTest, BitHelpersRoundTrip) {
+  EXPECT_EQ(FromBits(ToBits(0xDEADBEEF, 32)), 0xDEADBEEFu);
+  EXPECT_EQ(FromBits(ToBits(0, 8)), 0u);
+  EXPECT_EQ(ToBits(5, 4), (std::vector<bool>{true, false, true, false}));
+}
+
+// --- GMW vs plaintext, swept over random circuits ---
+
+class GmwPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GmwPropertyTest, MatchesPlaintextEvaluation) {
+  Rng rng(GetParam() * 2654435761ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit circuit;
+    std::vector<WireId> wires;
+    size_t in0 = 1 + rng.NextBelow(4);
+    size_t in1 = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < in0; ++i) {
+      wires.push_back(circuit.AddInput(0));
+    }
+    for (size_t i = 0; i < in1; ++i) {
+      wires.push_back(circuit.AddInput(1));
+    }
+    wires.push_back(circuit.AddConstant(rng.NextBool(0.5)));
+    for (int g = 0; g < 25; ++g) {
+      WireId a = wires[rng.NextBelow(wires.size())];
+      WireId b = wires[rng.NextBelow(wires.size())];
+      switch (rng.NextBelow(4)) {
+        case 0:
+          wires.push_back(circuit.Xor(a, b));
+          break;
+        case 1:
+          wires.push_back(circuit.And(a, b));
+          break;
+        case 2:
+          wires.push_back(circuit.Or(a, b));
+          break;
+        default:
+          wires.push_back(circuit.Not(a));
+          break;
+      }
+    }
+    for (int o = 0; o < 4; ++o) {
+      circuit.AddOutput(wires[wires.size() - 1 - static_cast<size_t>(o)]);
+    }
+    std::vector<bool> inputs0;
+    std::vector<bool> inputs1;
+    for (size_t i = 0; i < in0; ++i) {
+      inputs0.push_back(rng.NextBool(0.5));
+    }
+    for (size_t i = 0; i < in1; ++i) {
+      inputs1.push_back(rng.NextBool(0.5));
+    }
+    auto plain = circuit.Evaluate(inputs0, inputs1);
+    Rng gmw_rng(GetParam() + static_cast<uint64_t>(trial));
+    auto secure = RunGmw(circuit, inputs0, inputs1, gmw_rng);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(secure.ok());
+    EXPECT_EQ(secure->outputs, *plain) << "seed " << GetParam() << " trial " << trial;
+    EXPECT_EQ(secure->triples_consumed, circuit.AndGateCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmwPropertyTest, ::testing::Range<uint64_t>(1, 9));
+
+TEST(GmwTest, AccountsCommunication) {
+  Circuit circuit;
+  WireId a = circuit.AddInput(0);
+  WireId b = circuit.AddInput(1);
+  circuit.AddOutput(circuit.And(a, b));
+  Rng rng(5);
+  auto result = RunGmw(circuit, {true}, {true}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outputs[0]);
+  EXPECT_EQ(result->and_gates, 1u);
+  EXPECT_EQ(result->rounds, 1u);
+  EXPECT_GT(result->party_stats[0].bytes_sent, 0u);
+  EXPECT_GT(result->party_stats[1].bytes_received, 0u);
+}
+
+TEST(GmwTest, RejectsWrongInputSizes) {
+  Circuit circuit;
+  circuit.AddInput(0);
+  Rng rng(6);
+  EXPECT_FALSE(RunGmw(circuit, {}, {}, rng).ok());
+  EXPECT_FALSE(RunGmw(circuit, {true, false}, {}, rng).ok());
+}
+
+TEST(GmwTest, DeepCircuitRoundsMatchDepth) {
+  // A chain of ANDs: depth == gate count == rounds.
+  Circuit circuit;
+  WireId acc = circuit.AddInput(0);
+  for (int i = 0; i < 10; ++i) {
+    acc = circuit.And(acc, circuit.AddInput(1));
+  }
+  circuit.AddOutput(acc);
+  Rng rng(7);
+  auto result = RunGmw(circuit, {true}, std::vector<bool>(10, true), rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outputs[0]);
+  EXPECT_EQ(result->rounds, 10u);
+  EXPECT_EQ(circuit.AndDepth(), 10u);
+}
+
+// --- PSI cardinality circuit ---
+
+TEST(SmpcPsiTest, SmallSetsExact) {
+  auto result = RunSmpcIntersectionCardinality({"a", "b", "c", "d"}, {"c", "d", "e"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intersection, 2u);
+  EXPECT_GT(result->and_gates, 0u);
+  EXPECT_GT(result->rounds, 0u);
+}
+
+TEST(SmpcPsiTest, DisjointAndIdentical) {
+  auto disjoint = RunSmpcIntersectionCardinality({"a", "b"}, {"c", "d"});
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_EQ(disjoint->intersection, 0u);
+  auto identical = RunSmpcIntersectionCardinality({"a", "b", "c"}, {"a", "b", "c"});
+  ASSERT_TRUE(identical.ok());
+  EXPECT_EQ(identical->intersection, 3u);
+}
+
+TEST(SmpcPsiTest, DuplicatesDeduplicated) {
+  auto result = RunSmpcIntersectionCardinality({"a", "a", "b"}, {"a"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intersection, 1u);
+}
+
+TEST(SmpcPsiTest, MatchesPlaintextOnRandomSets) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::set<std::string> s0;
+    std::set<std::string> s1;
+    for (int i = 0; i < 12; ++i) {
+      s0.insert("c" + std::to_string(rng.NextBelow(20)));
+      s1.insert("c" + std::to_string(rng.NextBelow(20)));
+    }
+    std::vector<std::string> v0(s0.begin(), s0.end());
+    std::vector<std::string> v1(s1.begin(), s1.end());
+    size_t expected = 0;
+    for (const std::string& e : s0) {
+      expected += s1.count(e);
+    }
+    SmpcPsiOptions options;
+    options.seed = 100 + static_cast<uint64_t>(trial);
+    auto result = RunSmpcIntersectionCardinality(v0, v1, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->intersection, expected) << "trial " << trial;
+  }
+}
+
+TEST(SmpcPsiTest, QuadraticGateGrowth) {
+  auto small = BuildPsiCardinalityCircuit(10, 10, 16);
+  auto large = BuildPsiCardinalityCircuit(20, 20, 16);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // 4x the pairs => ~4x the AND gates (popcount adds lower-order terms).
+  double ratio = static_cast<double>(large->AndGateCount()) /
+                 static_cast<double>(small->AndGateCount());
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(SmpcPsiTest, RejectsBadInput) {
+  EXPECT_FALSE(RunSmpcIntersectionCardinality({}, {"a"}).ok());
+  EXPECT_FALSE(BuildPsiCardinalityCircuit(0, 5, 16).ok());
+  EXPECT_FALSE(BuildPsiCardinalityCircuit(5, 5, 0).ok());
+  EXPECT_FALSE(BuildPsiCardinalityCircuit(5, 5, 65).ok());
+}
+
+}  // namespace
+}  // namespace indaas

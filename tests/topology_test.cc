@@ -1,0 +1,312 @@
+// Tests for src/topology/: topology model, route enumeration, fat-tree
+// generation (Table 3), case-study infrastructures, VM placement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/case_study.h"
+#include "src/topology/datacenter.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/placement.h"
+#include "src/util/rng.h"
+
+namespace indaas {
+namespace {
+
+TEST(DataCenterTest, DevicesAndLinks) {
+  DataCenterTopology topo;
+  DeviceId a = topo.AddDevice("a", DeviceType::kServer);
+  DeviceId b = topo.AddDevice("b", DeviceType::kTorSwitch);
+  ASSERT_TRUE(topo.AddLink(a, b).ok());
+  EXPECT_EQ(topo.DeviceCount(), 2u);
+  EXPECT_EQ(topo.LinkCount(), 1u);
+  EXPECT_EQ(topo.Neighbors(a), (std::vector<DeviceId>{b}));
+  EXPECT_EQ(topo.Neighbors(b), (std::vector<DeviceId>{a}));
+  auto found = topo.FindDevice("a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, a);
+  EXPECT_FALSE(topo.FindDevice("zzz").ok());
+}
+
+TEST(DataCenterTest, RejectsBadLinks) {
+  DataCenterTopology topo;
+  DeviceId a = topo.AddDevice("a", DeviceType::kServer);
+  EXPECT_FALSE(topo.AddLink(a, a).ok());
+  EXPECT_FALSE(topo.AddLink(a, 99).ok());
+  // Duplicate links collapse.
+  DeviceId b = topo.AddDevice("b", DeviceType::kServer);
+  ASSERT_TRUE(topo.AddLink(a, b).ok());
+  ASSERT_TRUE(topo.AddLink(b, a).ok());
+  EXPECT_EQ(topo.LinkCount(), 1u);
+}
+
+TEST(DataCenterTest, EnumerateRoutesDiamond) {
+  // a - {x,y} - d : two disjoint 2-hop paths.
+  DataCenterTopology topo;
+  DeviceId a = topo.AddDevice("a", DeviceType::kServer);
+  DeviceId x = topo.AddDevice("x", DeviceType::kCoreRouter);
+  DeviceId y = topo.AddDevice("y", DeviceType::kCoreRouter);
+  DeviceId d = topo.AddDevice("d", DeviceType::kInternet);
+  ASSERT_TRUE(topo.AddLink(a, x).ok());
+  ASSERT_TRUE(topo.AddLink(a, y).ok());
+  ASSERT_TRUE(topo.AddLink(x, d).ok());
+  ASSERT_TRUE(topo.AddLink(y, d).ok());
+  auto paths = topo.EnumerateRoutes(a, d);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), d);
+    EXPECT_EQ(path.size(), 3u);
+  }
+}
+
+TEST(DataCenterTest, EnumerateRoutesRespectsMaxPaths) {
+  DataCenterTopology topo;
+  DeviceId a = topo.AddDevice("a", DeviceType::kServer);
+  DeviceId d = topo.AddDevice("d", DeviceType::kInternet);
+  for (int i = 0; i < 10; ++i) {
+    DeviceId mid = topo.AddDevice("m" + std::to_string(i), DeviceType::kCoreRouter);
+    ASSERT_TRUE(topo.AddLink(a, mid).ok());
+    ASSERT_TRUE(topo.AddLink(mid, d).ok());
+  }
+  EXPECT_EQ(topo.EnumerateRoutes(a, d, 4).size(), 4u);
+  EXPECT_EQ(topo.EnumerateRoutes(a, d, 100).size(), 10u);
+}
+
+TEST(DataCenterTest, NetworkDependenciesListIntermediates) {
+  DataCenterTopology topo;
+  DeviceId s = topo.AddDevice("S1", DeviceType::kServer);
+  DeviceId tor = topo.AddDevice("ToR1", DeviceType::kTorSwitch);
+  DeviceId core = topo.AddDevice("Core1", DeviceType::kCoreRouter);
+  DeviceId net = topo.AddDevice("Internet", DeviceType::kInternet);
+  ASSERT_TRUE(topo.AddLink(s, tor).ok());
+  ASSERT_TRUE(topo.AddLink(tor, core).ok());
+  ASSERT_TRUE(topo.AddLink(core, net).ok());
+  auto deps = topo.NetworkDependencies(s, net);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].src, "S1");
+  EXPECT_EQ(deps[0].dst, "Internet");
+  EXPECT_EQ(deps[0].route, (std::vector<std::string>{"ToR1", "Core1"}));
+}
+
+TEST(DataCenterTest, NoRouteWhenDisconnected) {
+  DataCenterTopology topo;
+  DeviceId a = topo.AddDevice("a", DeviceType::kServer);
+  DeviceId b = topo.AddDevice("b", DeviceType::kInternet);
+  EXPECT_TRUE(topo.EnumerateRoutes(a, b).empty());
+}
+
+// --- Fat tree (Table 3) ---
+
+struct Table3Row {
+  uint32_t ports;
+  size_t cores, aggs, tors, servers, total;
+};
+
+class FatTreeTable3Test : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(FatTreeTable3Test, MatchesPaperCounts) {
+  const Table3Row& row = GetParam();
+  FatTreeStats stats = FatTreeStatsFor(row.ports);
+  EXPECT_EQ(stats.core_routers, row.cores);
+  EXPECT_EQ(stats.agg_switches, row.aggs);
+  EXPECT_EQ(stats.tor_switches, row.tors);
+  EXPECT_EQ(stats.servers, row.servers);
+  EXPECT_EQ(stats.TotalDevices(), row.total);
+}
+
+// The three rows of Table 3, verbatim.
+INSTANTIATE_TEST_SUITE_P(Table3, FatTreeTable3Test,
+                         ::testing::Values(Table3Row{16, 64, 128, 128, 1024, 1344},
+                                           Table3Row{24, 144, 288, 288, 3456, 4176},
+                                           Table3Row{48, 576, 1152, 1152, 27648, 30528}));
+
+TEST(FatTreeTest, BuiltTopologyMatchesStats) {
+  auto topo = BuildFatTree(8);
+  ASSERT_TRUE(topo.ok());
+  FatTreeStats stats = FatTreeStatsFor(8);
+  auto counts = topo->CountsByType();
+  EXPECT_EQ(counts[DeviceType::kCoreRouter], stats.core_routers);
+  EXPECT_EQ(counts[DeviceType::kAggSwitch], stats.agg_switches);
+  EXPECT_EQ(counts[DeviceType::kTorSwitch], stats.tor_switches);
+  EXPECT_EQ(counts[DeviceType::kServer], stats.servers);
+  EXPECT_EQ(counts[DeviceType::kInternet], 1u);
+}
+
+TEST(FatTreeTest, ServerReachesInternetViaThreeTiers) {
+  auto topo = BuildFatTree(4);
+  ASSERT_TRUE(topo.ok());
+  auto server = topo->FindDevice("pod0-srv0-0");
+  auto internet = topo->FindDevice("Internet");
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(internet.ok());
+  auto paths = topo->EnumerateRoutes(*server, *internet, 64, 4);
+  ASSERT_FALSE(paths.empty());
+  // Shortest paths: server -> tor -> agg -> core -> Internet (5 nodes);
+  // a 4-port fat tree has 2 aggs x 2 cores per agg = 4 such paths.
+  size_t shortest = 0;
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.front(), *server);
+    EXPECT_EQ(path.back(), *internet);
+    if (path.size() == 5) {
+      ++shortest;
+    }
+  }
+  EXPECT_EQ(shortest, 4u);
+}
+
+TEST(FatTreeTest, RejectsBadPortCounts) {
+  EXPECT_FALSE(BuildFatTree(3).ok());
+  EXPECT_FALSE(BuildFatTree(2).ok());
+  EXPECT_FALSE(BuildFatTree(7).ok());
+}
+
+// --- Case studies ---
+
+TEST(CaseStudyTest, DatacenterShape) {
+  auto topo = BuildCaseStudyDatacenter(33, 1);
+  ASSERT_TRUE(topo.ok());
+  auto counts = topo->CountsByType();
+  EXPECT_EQ(counts[DeviceType::kTorSwitch], 33u);   // e1..e33
+  EXPECT_EQ(counts[DeviceType::kCoreRouter], 4u);   // b1,b2,c1,c2
+  EXPECT_EQ(counts[DeviceType::kServer], 33u);
+  // Every ToR is dual-homed.
+  for (uint32_t i = 1; i <= 33; ++i) {
+    auto tor = topo->FindDevice("e" + std::to_string(i));
+    ASSERT_TRUE(tor.ok());
+    size_t cores = 0;
+    for (DeviceId n : topo->Neighbors(*tor)) {
+      if (topo->device(n).type == DeviceType::kCoreRouter) {
+        ++cores;
+      }
+    }
+    EXPECT_EQ(cores, 2u) << "e" << i;
+  }
+}
+
+TEST(CaseStudyTest, SomeRackPairsShareNoCore) {
+  auto topo = BuildCaseStudyDatacenter(12, 1);
+  ASSERT_TRUE(topo.ok());
+  auto core_set = [&](uint32_t i) {
+    auto tor = topo->FindDevice("e" + std::to_string(i));
+    EXPECT_TRUE(tor.ok());
+    std::set<std::string> cores;
+    for (DeviceId n : topo->Neighbors(*tor)) {
+      if (topo->device(n).type == DeviceType::kCoreRouter) {
+        cores.insert(topo->device(n).name);
+      }
+    }
+    return cores;
+  };
+  // Uplink classes cycle with period 6: e1={b1,b2}, e2={c1,c2} are disjoint.
+  std::set<std::string> e1 = core_set(1);
+  std::set<std::string> e2 = core_set(2);
+  std::vector<std::string> overlap;
+  std::set_intersection(e1.begin(), e1.end(), e2.begin(), e2.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+  // e1 and e7 are the same class: full overlap.
+  EXPECT_EQ(core_set(1), core_set(7));
+}
+
+TEST(CaseStudyTest, LabCloudShape) {
+  auto topo = BuildLabCloud();
+  ASSERT_TRUE(topo.ok());
+  auto counts = topo->CountsByType();
+  EXPECT_EQ(counts[DeviceType::kServer], 4u);
+  EXPECT_EQ(counts[DeviceType::kTorSwitch] + counts[DeviceType::kCoreRouter], 4u);
+  // Server1's only uplink is Switch1 (the {Switch1} RG of §6.2.2).
+  auto s1 = topo->FindDevice("Server1");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_EQ(topo->Neighbors(*s1).size(), 1u);
+  EXPECT_EQ(topo->device(topo->Neighbors(*s1)[0]).name, "Switch1");
+  // Both paths from Server1 to the Internet pass Switch1.
+  auto internet = topo->FindDevice("Internet");
+  ASSERT_TRUE(internet.ok());
+  auto deps = topo->NetworkDependencies(*s1, *internet);
+  ASSERT_EQ(deps.size(), 2u);
+  for (const auto& dep : deps) {
+    EXPECT_EQ(dep.route.front(), "Switch1");
+  }
+}
+
+// --- Placement ---
+
+TEST(PlacementTest, LeastLoadedPrefersBiggestFreeCapacity) {
+  // Host B has double capacity; first two VMs must land on B.
+  std::vector<PlacementHost> hosts = {{"A", 2}, {"B", 4}};
+  std::vector<VmRequest> vms = {{"vm1", ""}, {"vm2", ""}};
+  Rng rng(1);
+  auto result = PlaceVms(vms, hosts, PlacementPolicy::kLeastLoadedRandom, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment[0], 1u);
+  EXPECT_EQ(result->assignment[1], 1u);
+}
+
+TEST(PlacementTest, ReproducesOpenStackColocation) {
+  // §6.2.2: the two redundant Riak VMs land on the same (larger) server.
+  // Server2's capacity keeps it strictly least-loaded throughout, so the
+  // "random among least loaded" policy deterministically co-locates.
+  std::vector<PlacementHost> hosts = {{"Server1", 2}, {"Server2", 10}, {"Server3", 2},
+                                      {"Server4", 2}};
+  std::vector<VmRequest> vms;
+  for (int i = 1; i <= 6; ++i) {
+    vms.push_back({"vm" + std::to_string(i), ""});
+  }
+  vms.push_back({"VM7", "riak"});
+  vms.push_back({"VM8", "riak"});
+  Rng rng(1);
+  auto result = PlaceVms(vms, hosts, PlacementPolicy::kLeastLoadedRandom, rng);
+  ASSERT_TRUE(result.ok());
+  // Server2 always has the most free slots, so both Riak VMs co-locate.
+  EXPECT_EQ(result->assignment[6], 1u);
+  EXPECT_EQ(result->assignment[7], 1u);
+}
+
+TEST(PlacementTest, AntiAffinitySeparatesGroup) {
+  std::vector<PlacementHost> hosts = {{"Server1", 2}, {"Server2", 10}, {"Server3", 2},
+                                      {"Server4", 2}};
+  std::vector<VmRequest> vms;
+  for (int i = 1; i <= 6; ++i) {
+    vms.push_back({"vm" + std::to_string(i), ""});
+  }
+  vms.push_back({"VM7", "riak"});
+  vms.push_back({"VM8", "riak"});
+  Rng rng(1);
+  auto result = PlaceVms(vms, hosts, PlacementPolicy::kAntiAffinity, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->assignment[6], result->assignment[7]);
+}
+
+TEST(PlacementTest, RoundRobinSpreads) {
+  std::vector<PlacementHost> hosts = {{"A", 2}, {"B", 2}, {"C", 2}};
+  std::vector<VmRequest> vms = {{"v1", ""}, {"v2", ""}, {"v3", ""}};
+  Rng rng(1);
+  auto result = PlaceVms(vms, hosts, PlacementPolicy::kRoundRobin, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PlacementTest, CapacityExhaustionFails) {
+  std::vector<PlacementHost> hosts = {{"A", 1}};
+  std::vector<VmRequest> vms = {{"v1", ""}, {"v2", ""}};
+  Rng rng(1);
+  EXPECT_FALSE(PlaceVms(vms, hosts, PlacementPolicy::kRandom, rng).ok());
+  EXPECT_FALSE(PlaceVms(vms, {}, PlacementPolicy::kRandom, rng).ok());
+}
+
+TEST(PlacementTest, RandomIsDeterministicPerSeed) {
+  std::vector<PlacementHost> hosts = {{"A", 5}, {"B", 5}};
+  std::vector<VmRequest> vms(6, VmRequest{"v", ""});
+  Rng rng1(42);
+  Rng rng2(42);
+  auto r1 = PlaceVms(vms, hosts, PlacementPolicy::kRandom, rng1);
+  auto r2 = PlaceVms(vms, hosts, PlacementPolicy::kRandom, rng2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignment, r2->assignment);
+}
+
+}  // namespace
+}  // namespace indaas
