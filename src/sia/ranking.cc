@@ -1,8 +1,11 @@
 #include "src/sia/ranking.h"
 
 #include "src/graph/bdd.h"
+#include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
 
 namespace indaas {
 
@@ -36,6 +39,11 @@ double TopEventProbabilityExact(const FaultGraph& graph, const std::vector<RiskG
   // Inclusion–exclusion: Pr(union of "all events in RG_i fail") =
   // sum over nonempty subsets S of (-1)^(|S|+1) * Pr(union of members fail).
   const size_t n = groups.size();
+  if (n >= 64) {
+    // 1ULL << n would be undefined; callers must clamp (RankByImportance
+    // does) or route large group counts through the BDD / Monte Carlo.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   double total = 0.0;
   for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
     RiskGroup merged;
@@ -75,6 +83,57 @@ double TopEventProbabilityMonteCarlo(const FaultGraph& graph, double default_pro
   return rounds == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(rounds);
 }
 
+double TopEventProbabilityMonteCarlo(const FaultGraph& graph, double default_prob, size_t rounds,
+                                     uint64_t seed, size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<size_t>(1, rounds));
+  if (threads <= 1) {
+    Rng rng(seed);
+    return TopEventProbabilityMonteCarlo(graph, default_prob, rounds, rng);
+  }
+  // One shard per worker; shard seeds are drawn serially from a seeder so
+  // the set of streams depends only on (seed, threads).
+  Rng seeder(seed);
+  std::vector<uint64_t> shard_seeds(threads);
+  std::vector<size_t> shard_rounds(threads, rounds / threads);
+  for (size_t s = 0; s < threads; ++s) {
+    shard_seeds[s] = seeder.Next();
+    if (s < rounds % threads) {
+      ++shard_rounds[s];
+    }
+  }
+  std::vector<size_t> shard_failures(threads, 0);
+  ThreadPool pool(threads);
+  pool.ParallelFor(threads, [&](size_t s) {
+    Rng rng(shard_seeds[s]);
+    std::vector<uint8_t> state(graph.NodeCount(), 0);
+    const auto& basics = graph.BasicEvents();
+    std::vector<double> probs;
+    probs.reserve(basics.size());
+    for (NodeId id : basics) {
+      double p = graph.node(id).failure_prob;
+      probs.push_back(p == kUnknownProb ? default_prob : p);
+    }
+    size_t failures = 0;
+    for (size_t round = 0; round < shard_rounds[s]; ++round) {
+      for (size_t i = 0; i < basics.size(); ++i) {
+        state[basics[i]] = rng.NextBool(probs[i]) ? 1 : 0;
+      }
+      if (graph.Evaluate(state)) {
+        ++failures;
+      }
+    }
+    shard_failures[s] = failures;
+  });
+  size_t failures = 0;
+  for (size_t s = 0; s < threads; ++s) {
+    failures += shard_failures[s];
+  }
+  return rounds == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(rounds);
+}
+
 Result<ProbabilityRanking> RankByImportance(const FaultGraph& graph,
                                             const std::vector<RiskGroup>& minimal_groups,
                                             const ProbabilityRankingOptions& options) {
@@ -85,7 +144,10 @@ Result<ProbabilityRanking> RankByImportance(const FaultGraph& graph,
     return ProbabilityRanking{};
   }
   ProbabilityRanking out;
-  if (minimal_groups.size() <= options.max_exact_terms) {
+  // The inclusion-exclusion mask is 64-bit: >= 64 groups would shift out of
+  // range, so such inputs always take the BDD / Monte-Carlo route.
+  const size_t max_exact_terms = std::min<size_t>(options.max_exact_terms, 63);
+  if (minimal_groups.size() <= max_exact_terms) {
     out.top_event_prob = TopEventProbabilityExact(graph, minimal_groups, options.default_prob);
   } else {
     // Too many groups for inclusion-exclusion: BDD compilation stays exact;
@@ -94,9 +156,8 @@ Result<ProbabilityRanking> RankByImportance(const FaultGraph& graph,
     if (bdd.ok()) {
       out.top_event_prob = *bdd;
     } else {
-      Rng rng(options.seed);
-      out.top_event_prob = TopEventProbabilityMonteCarlo(graph, options.default_prob,
-                                                         options.monte_carlo_rounds, rng);
+      out.top_event_prob = TopEventProbabilityMonteCarlo(
+          graph, options.default_prob, options.monte_carlo_rounds, options.seed, options.threads);
     }
   }
   if (out.top_event_prob <= 0.0) {

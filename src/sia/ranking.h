@@ -44,11 +44,17 @@ struct ProbabilityRankingOptions {
   double default_prob = 0.01;
   // Exact inclusion–exclusion is used up to this many minimal RGs (2^n
   // terms); beyond it Pr(T) comes from BDD compilation (exact), and only if
-  // the BDD exceeds its node budget from Monte-Carlo evaluation.
+  // the BDD exceeds its node budget from Monte-Carlo evaluation. Values
+  // >= 64 are clamped to 63: the 2^n subset walk is a 64-bit mask, so larger
+  // group counts must take the BDD / Monte-Carlo route.
   size_t max_exact_terms = 20;
   size_t bdd_node_budget = 2000000;
   size_t monte_carlo_rounds = 200000;
   uint64_t seed = 1;
+  // Worker threads for the Monte-Carlo fallback (0 = hardware concurrency).
+  // Rounds are sharded with per-shard Rng streams derived from `seed`, so
+  // results are deterministic for a fixed thread count.
+  size_t threads = 0;
 };
 
 struct ProbabilityRanking {
@@ -62,13 +68,22 @@ Result<ProbabilityRanking> RankByImportance(const FaultGraph& graph,
                                             const ProbabilityRankingOptions& options = {});
 
 // Pr(top event) by inclusion–exclusion over minimal RGs (exact; use only for
-// small group counts — 2^n terms).
+// small group counts — 2^n terms). Requires groups.size() < 64 (the subset
+// walk is a 64-bit mask); larger inputs return NaN instead of shifting out
+// of range. RankByImportance clamps max_exact_terms so it never hits this.
 double TopEventProbabilityExact(const FaultGraph& graph, const std::vector<RiskGroup>& groups,
                                 double default_prob);
 
 // Pr(top event) by Monte-Carlo evaluation of the fault graph itself.
 double TopEventProbabilityMonteCarlo(const FaultGraph& graph, double default_prob, size_t rounds,
                                      Rng& rng);
+
+// Parallel variant: shards `rounds` across `threads` workers (0 = hardware
+// concurrency), each with its own Rng stream derived from `seed`. The result
+// is deterministic for a fixed thread count; a single thread reproduces the
+// serial Rng overload exactly.
+double TopEventProbabilityMonteCarlo(const FaultGraph& graph, double default_prob, size_t rounds,
+                                     uint64_t seed, size_t threads);
 
 // Independence score over the top-n entries (n = 0 means all): sum of scores.
 double IndependenceScore(const std::vector<RankedRiskGroup>& ranked, size_t top_n = 0);

@@ -1,8 +1,13 @@
 #include "src/sia/risk_groups.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
 
+#include "src/sia/cutset.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace indaas {
 
@@ -13,13 +18,28 @@ bool IsSubsetOf(const RiskGroup& a, const RiskGroup& b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
-std::vector<RiskGroup> MinimizeRiskGroups(std::vector<RiskGroup> groups) {
+namespace {
+
+// Canonical output order shared by both engines: size ascending, then
+// lexicographic — the contract documented on MinimizeRiskGroups.
+void SortGroups(std::vector<RiskGroup>& groups) {
   std::sort(groups.begin(), groups.end(), [](const RiskGroup& a, const RiskGroup& b) {
     if (a.size() != b.size()) {
       return a.size() < b.size();
     }
     return a < b;
   });
+}
+
+// ===========================================================================
+// Legacy vector engine (RgEngine::kVector): sorted std::vector<NodeId> cut
+// sets, std::set_union products, pairwise std::includes absorption. Kept
+// verbatim as the parity baseline for the bitset engine and as the reference
+// implementation the property tests compare against.
+// ===========================================================================
+
+std::vector<RiskGroup> MinimizeRiskGroupsVector(std::vector<RiskGroup> groups) {
+  SortGroups(groups);
   groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
   std::vector<RiskGroup> minimal;
   for (RiskGroup& candidate : groups) {
@@ -42,8 +62,6 @@ std::vector<RiskGroup> MinimizeRiskGroups(std::vector<RiskGroup> groups) {
   }
   return minimal;
 }
-
-namespace {
 
 // Merges two sorted id sets (set union).
 RiskGroup UnionOf(const RiskGroup& a, const RiskGroup& b) {
@@ -78,18 +96,13 @@ Result<std::vector<RiskGroup>> CombineAnd(const std::vector<RiskGroup>& lhs,
     }
   }
   if (options.inline_absorption) {
-    out = MinimizeRiskGroups(std::move(out));
+    out = MinimizeRiskGroupsVector(std::move(out));
   }
   return out;
 }
 
-}  // namespace
-
-Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
-                                                 const MinimalRgOptions& options) {
-  if (!graph.validated()) {
-    return FailedPreconditionError("ComputeMinimalRiskGroups: graph not validated");
-  }
+Result<MinimalRgResult> ComputeMinimalRiskGroupsVector(const FaultGraph& graph,
+                                                       const MinimalRgOptions& options) {
   MinimalRgResult result;
   // Per-node cut set lists, built in topological (children-first) order.
   std::vector<std::vector<RiskGroup>> cut_sets(graph.NodeCount());
@@ -105,7 +118,7 @@ Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
           mine.insert(mine.end(), cut_sets[child].begin(), cut_sets[child].end());
         }
         if (options.inline_absorption) {
-          mine = MinimizeRiskGroups(std::move(mine));
+          mine = MinimizeRiskGroupsVector(std::move(mine));
         }
         break;
       }
@@ -158,7 +171,8 @@ Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
             pick[i] = pick[i - 1] + 1;
           }
         }
-        mine = options.inline_absorption ? MinimizeRiskGroups(std::move(acc)) : std::move(acc);
+        mine = options.inline_absorption ? MinimizeRiskGroupsVector(std::move(acc))
+                                         : std::move(acc);
         break;
       }
     }
@@ -179,8 +193,312 @@ Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
       }
     }
   }
-  result.groups = MinimizeRiskGroups(std::move(cut_sets[graph.top_event()]));
+  result.groups = MinimizeRiskGroupsVector(std::move(cut_sets[graph.top_event()]));
   return result;
+}
+
+// ===========================================================================
+// Bitset engine (RgEngine::kBitset): fixed-stride uint64_t rows over the
+// basic events (src/sia/cutset.h), arena storage, hash dedup +
+// bucket-by-popcount absorption, and thread-pool sharding of large AND
+// products and absorption levels. Byte-identical results to the vector
+// engine: the surviving minimal set is unique, shards merge in chunk order,
+// and the public RiskGroup form is canonically sorted at the API boundary.
+// ===========================================================================
+
+// Products per shard of a parallel AND-product sweep. Fixed (never derived
+// from the worker count) so shard boundaries — and thus the merged row
+// order — are identical for every thread count.
+constexpr size_t kProductGrain = 1024;
+// A product sweep must be at least this large before the pool is engaged.
+constexpr size_t kMinParallelProducts = 4096;
+
+// Spins up the shared worker pool only once a stage actually has enough work
+// to amortize thread creation; small graphs never pay for it.
+class LazyPool {
+ public:
+  explicit LazyPool(size_t threads)
+      : threads_(threads != 0 ? threads
+                              : std::max<size_t>(1, std::thread::hardware_concurrency())) {}
+
+  // nullptr when the engine is configured (or defaulted) to one thread.
+  ThreadPool* Get() {
+    if (threads_ <= 1) {
+      return nullptr;
+    }
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    return pool_.get();
+  }
+
+ private:
+  size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// Cartesian AND product over bitset rows; same budget / size-bound semantics
+// as the vector CombineAnd. Flat product index t maps to (t / |rhs|,
+// t % |rhs|), so the sequential append order and the shard-merged order are
+// the same sequence.
+Status CombineAndBitset(const CutSetArena& lhs, const CutSetArena& rhs,
+                        const MinimalRgOptions& options, CutSetArena* out, bool* pruned,
+                        LazyPool& lazy_pool) {
+  const size_t stride = lhs.stride();
+  out->Clear();
+  if (lhs.size() * rhs.size() > 0 &&
+      lhs.size() > options.max_cut_sets_per_node / std::max<size_t>(rhs.size(), 1)) {
+    return ResourceExhaustedError(
+        StrFormat("minimal RG analysis exceeded cut-set budget (%zu x %zu products)", lhs.size(),
+                  rhs.size()));
+  }
+  const size_t total = lhs.size() * rhs.size();
+  auto emit_range = [&](CutSetArena& dst, bool& dst_pruned, size_t begin, size_t end) {
+    std::vector<uint64_t> merged(stride);
+    for (size_t t = begin; t < end; ++t) {
+      const uint64_t* a = lhs.row(t / rhs.size());
+      const uint64_t* b = rhs.row(t % rhs.size());
+      RowUnion(merged.data(), a, b, stride);
+      if (options.max_rg_size == SIZE_MAX ||
+          RowPopcount(merged.data(), stride) <= options.max_rg_size) {
+        dst.AppendCopy(merged.data());
+      } else {
+        dst_pruned = true;
+      }
+    }
+  };
+  ThreadPool* pool = total >= kMinParallelProducts ? lazy_pool.Get() : nullptr;
+  if (pool == nullptr) {
+    out->Reserve(total);
+    bool local_pruned = false;
+    emit_range(*out, local_pruned, 0, total);
+    if (local_pruned) {
+      *pruned = true;
+    }
+  } else {
+    const size_t chunks = (total + kProductGrain - 1) / kProductGrain;
+    std::vector<CutSetArena> parts(chunks, CutSetArena(stride));
+    std::vector<uint8_t> part_pruned(chunks, 0);
+    pool->ParallelForChunked(total, kProductGrain, [&](size_t begin, size_t end) {
+      const size_t chunk = begin / kProductGrain;
+      parts[chunk].Reserve(end - begin);
+      bool chunk_pruned = false;
+      emit_range(parts[chunk], chunk_pruned, begin, end);
+      part_pruned[chunk] = chunk_pruned ? 1 : 0;
+    });
+    size_t kept = 0;
+    for (const CutSetArena& part : parts) {
+      kept += part.size();
+    }
+    out->Reserve(kept);
+    for (size_t c = 0; c < chunks; ++c) {
+      out->AppendAll(parts[c]);
+      if (part_pruned[c]) {
+        *pruned = true;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<MinimalRgResult> ComputeMinimalRiskGroupsBitset(const FaultGraph& graph,
+                                                       const MinimalRgOptions& options) {
+  MinimalRgResult result;
+  EventIndex index(graph);
+  const size_t stride = index.stride();
+  LazyPool lazy_pool(options.threads);
+  std::vector<CutSetArena> cut_sets(graph.NodeCount(), CutSetArena(stride));
+  for (NodeId id : graph.TopologicalOrder()) {
+    const FaultNode& node = graph.node(id);
+    CutSetArena& mine = cut_sets[id];
+    switch (node.gate) {
+      case GateType::kBasic: {
+        uint64_t* row = mine.AppendZero();
+        const size_t bit = index.BitFor(id);
+        row[bit / 64] |= 1ULL << (bit % 64);
+        break;
+      }
+      case GateType::kOr: {
+        size_t total = 0;
+        for (NodeId child : node.children) {
+          total += cut_sets[child].size();
+        }
+        mine.Reserve(total);
+        for (NodeId child : node.children) {
+          mine.AppendAll(cut_sets[child]);
+        }
+        if (options.inline_absorption) {
+          mine = AbsorbMinimal(mine, lazy_pool.Get());
+        }
+        break;
+      }
+      case GateType::kAnd: {
+        bool first = true;
+        for (NodeId child : node.children) {
+          if (first) {
+            mine.AppendAll(cut_sets[child]);
+            first = false;
+          } else {
+            CutSetArena next(stride);
+            INDAAS_RETURN_IF_ERROR(CombineAndBitset(mine, cut_sets[child], options, &next,
+                                                    &result.size_bounded, lazy_pool));
+            if (options.inline_absorption) {
+              next = AbsorbMinimal(next, lazy_pool.Get());
+            }
+            mine = std::move(next);
+          }
+          if (mine.empty()) {
+            // All products exceeded the size bound: no cut sets within bound.
+            result.size_bounded = true;
+            break;
+          }
+        }
+        break;
+      }
+      case GateType::kKofN: {
+        // Cut sets of a k-of-n gate: for every k-subset of children, the AND
+        // combination of their cut sets; union over subsets.
+        CutSetArena acc(stride);
+        const size_t n = node.children.size();
+        const uint32_t k = node.k;
+        std::vector<size_t> pick(k);
+        for (uint32_t i = 0; i < k; ++i) {
+          pick[i] = i;
+        }
+        for (;;) {
+          CutSetArena product(stride);
+          product.AppendAll(cut_sets[node.children[pick[0]]]);
+          for (uint32_t i = 1; i < k && !product.empty(); ++i) {
+            CutSetArena next(stride);
+            INDAAS_RETURN_IF_ERROR(CombineAndBitset(product, cut_sets[node.children[pick[i]]],
+                                                    options, &next, &result.size_bounded,
+                                                    lazy_pool));
+            if (options.inline_absorption) {
+              next = AbsorbMinimal(next, lazy_pool.Get());
+            }
+            product = std::move(next);
+          }
+          acc.AppendAll(product);
+          // Next k-combination.
+          int pos = static_cast<int>(k) - 1;
+          while (pos >= 0 && pick[pos] == n - k + static_cast<size_t>(pos)) {
+            --pos;
+          }
+          if (pos < 0) {
+            break;
+          }
+          ++pick[pos];
+          for (size_t i = static_cast<size_t>(pos) + 1; i < k; ++i) {
+            pick[i] = pick[i - 1] + 1;
+          }
+        }
+        mine = options.inline_absorption ? AbsorbMinimal(acc, lazy_pool.Get()) : std::move(acc);
+        break;
+      }
+    }
+    if (mine.size() > options.max_cut_sets_per_node) {
+      return ResourceExhaustedError(
+          StrFormat("node '%s' accumulated %zu cut sets (budget %zu)", node.name.c_str(),
+                    mine.size(), options.max_cut_sets_per_node));
+    }
+    if (options.max_rg_size != SIZE_MAX) {
+      CutSetArena within(stride);
+      within.Reserve(mine.size());
+      for (size_t i = 0; i < mine.size(); ++i) {
+        if (RowPopcount(mine.row(i), stride) <= options.max_rg_size) {
+          within.AppendCopy(mine.row(i));
+        }
+      }
+      if (within.size() != mine.size()) {
+        result.size_bounded = true;
+        mine = std::move(within);
+      }
+    }
+  }
+  CutSetArena minimal = AbsorbMinimal(cut_sets[graph.top_event()], lazy_pool.Get());
+  result.groups.reserve(minimal.size());
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    const uint64_t* row = minimal.row(i);
+    RiskGroup group;
+    for (size_t w = 0; w < stride; ++w) {
+      uint64_t word = row[w];
+      while (word != 0) {
+        const size_t bit = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+        group.push_back(index.IdFor(bit));
+        word &= word - 1;
+      }
+    }
+    result.groups.push_back(std::move(group));
+  }
+  SortGroups(result.groups);
+  return result;
+}
+
+// MinimizeRiskGroups inputs above this size take the bitset path; below it
+// the remap overhead outweighs the word-parallel wins.
+constexpr size_t kMinBitsetMinimize = 16;
+
+}  // namespace
+
+std::vector<RiskGroup> MinimizeRiskGroups(std::vector<RiskGroup> groups) {
+  if (groups.size() <= kMinBitsetMinimize) {
+    return MinimizeRiskGroupsVector(std::move(groups));
+  }
+  // Remap the distinct ids to dense bits, absorb word-wise, map back. The
+  // sorted id universe keeps bit order == id order, so extracted groups come
+  // out sorted.
+  std::vector<NodeId> universe;
+  for (const RiskGroup& group : groups) {
+    universe.insert(universe.end(), group.begin(), group.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  const size_t stride = std::max<size_t>(1, (universe.size() + 63) / 64);
+  auto bit_for = [&](NodeId id) {
+    return static_cast<size_t>(
+        std::lower_bound(universe.begin(), universe.end(), id) - universe.begin());
+  };
+  CutSetArena arena(stride);
+  arena.Reserve(groups.size());
+  for (const RiskGroup& group : groups) {
+    uint64_t* row = arena.AppendZero();
+    for (NodeId id : group) {
+      const size_t bit = bit_for(id);
+      row[bit / 64] |= 1ULL << (bit % 64);
+    }
+  }
+  CutSetArena minimal = AbsorbMinimal(arena, nullptr);
+  std::vector<RiskGroup> out;
+  out.reserve(minimal.size());
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    const uint64_t* row = minimal.row(i);
+    RiskGroup group;
+    for (size_t w = 0; w < stride; ++w) {
+      uint64_t word = row[w];
+      while (word != 0) {
+        const size_t bit = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+        group.push_back(universe[bit]);
+        word &= word - 1;
+      }
+    }
+    out.push_back(std::move(group));
+  }
+  SortGroups(out);
+  return out;
+}
+
+Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
+                                                 const MinimalRgOptions& options) {
+  if (!graph.validated()) {
+    return FailedPreconditionError("ComputeMinimalRiskGroups: graph not validated");
+  }
+  switch (options.engine) {
+    case RgEngine::kBitset:
+      return ComputeMinimalRiskGroupsBitset(graph, options);
+    case RgEngine::kVector:
+      return ComputeMinimalRiskGroupsVector(graph, options);
+  }
+  return InternalError("ComputeMinimalRiskGroups: unknown engine");
 }
 
 bool FailsTopEvent(const FaultGraph& graph, const RiskGroup& group) {

@@ -29,6 +29,19 @@ bool IsSubsetOf(const RiskGroup& a, const RiskGroup& b);
 // The result is sorted by size, then lexicographically.
 std::vector<RiskGroup> MinimizeRiskGroups(std::vector<RiskGroup> groups);
 
+// Which cut-set representation drives the bottom-up computation. Both
+// engines produce byte-identical MinimalRgResults (property-tested); the
+// legacy vector engine is retained as the parity baseline and perf yardstick.
+enum class RgEngine : uint8_t {
+  // Fixed-stride uint64_t bitsets over the basic events, arena-allocated,
+  // with hash dedup, bucket-by-popcount absorption, and optional thread-pool
+  // sharding of AND products and absorption passes (DESIGN.md §5).
+  kBitset,
+  // Sorted std::vector<NodeId> per cut set, std::set_union products,
+  // pairwise std::includes absorption; single-threaded.
+  kVector,
+};
+
 struct MinimalRgOptions {
   // Cut sets larger than this are pruned during computation: the analysis is
   // then exact for all minimal RGs of size <= max_rg_size (size-bounded fault
@@ -41,6 +54,12 @@ struct MinimalRgOptions {
   // Apply absorption (subset pruning) after every combination step instead of
   // only at the end. Usually a large win; ablatable (DESIGN.md §4).
   bool inline_absorption = true;
+  RgEngine engine = RgEngine::kBitset;
+  // Worker threads for the bitset engine's AND-product / absorption sharding
+  // (0 = hardware concurrency, 1 = fully sequential). Output is byte-
+  // identical for every thread count; the pool is only spun up once a stage
+  // has enough work to amortize it.
+  size_t threads = 0;
 };
 
 struct MinimalRgResult {

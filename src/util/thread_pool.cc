@@ -43,20 +43,36 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   // Chunk the index space so each worker grabs contiguous ranges.
   size_t chunks = std::min(n, workers_.size() * 4);
-  std::atomic<size_t> next_chunk{0};
   size_t chunk_size = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, chunk_size, n] {
+  ParallelForChunked(n, chunk_size, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+void ThreadPool::ParallelForChunked(size_t n, size_t grain,
+                                    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (grain == 0) {
+    grain = (n + workers_.size() - 1) / workers_.size();
+  }
+  size_t chunks = (n + grain - 1) / grain;
+  // Workers pull chunk indices from a shared counter; at most one queued
+  // task per worker regardless of chunk count.
+  std::atomic<size_t> next_chunk{0};
+  size_t tasks = std::min(chunks, workers_.size());
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([&, grain, n] {
       for (;;) {
         size_t chunk = next_chunk.fetch_add(1);
-        size_t begin = chunk * chunk_size;
+        size_t begin = chunk * grain;
         if (begin >= n) {
           return;
         }
-        size_t end = std::min(begin + chunk_size, n);
-        for (size_t i = begin; i < end; ++i) {
-          fn(i);
-        }
+        fn(begin, std::min(begin + grain, n));
       }
     });
   }

@@ -36,6 +36,15 @@ class ThreadPool {
   // fn must be safe to invoke concurrently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Chunked variant for tight loops: runs fn(begin, end) over contiguous
+  // chunks of [0, n), each at most `grain` indices long (grain 0 picks one
+  // chunk per worker), so the per-element cost is a plain loop iteration
+  // instead of a std::function dispatch. Chunk boundaries depend only on
+  // n and grain, never on the worker count, so callers that merge per-chunk
+  // results in chunk order get thread-count-independent output.
+  void ParallelForChunked(size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -125,6 +125,66 @@ TEST_P(MinimalRgVsBruteForceTest, ExactMatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MinimalRgVsBruteForceTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// --- Bitset engine vs legacy vector engine, swept over seeds and options ---
+//
+// The two engines must be byte-identical: same groups in the same order and
+// the same size_bounded flag, for every combination of inline absorption,
+// size bound, and bitset thread count.
+
+class RgEngineParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RgEngineParityTest, BitsetMatchesVectorEngine) {
+  Rng rng(GetParam() * 6151);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t num_basic = 3 + rng.NextBelow(10);  // 3..12
+    size_t num_gates = 2 + rng.NextBelow(7);   // 2..8
+    FaultGraph graph = RandomFaultGraph(rng, num_basic, num_gates);
+    for (bool inline_absorption : {true, false}) {
+      for (size_t max_rg_size : {SIZE_MAX, size_t{3}}) {
+        MinimalRgOptions vector_options;
+        vector_options.engine = RgEngine::kVector;
+        vector_options.inline_absorption = inline_absorption;
+        vector_options.max_rg_size = max_rg_size;
+        auto expected = ComputeMinimalRiskGroups(graph, vector_options);
+        ASSERT_TRUE(expected.ok());
+        for (size_t threads : {size_t{1}, size_t{4}}) {
+          MinimalRgOptions bitset_options = vector_options;
+          bitset_options.engine = RgEngine::kBitset;
+          bitset_options.threads = threads;
+          auto got = ComputeMinimalRiskGroups(graph, bitset_options);
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got->groups, expected->groups)
+              << "seed " << GetParam() << " trial " << trial << " inline " << inline_absorption
+              << " bound " << max_rg_size << " threads " << threads;
+          EXPECT_EQ(got->size_bounded, expected->size_bounded)
+              << "seed " << GetParam() << " trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RgEngineParityTest, ::testing::Range<uint64_t>(1, 9));
+
+// Every group either engine emits on an unbounded run is truly minimal by
+// direct graph evaluation.
+TEST(RgEngineParityTest, EmittedGroupsAreTrulyMinimal) {
+  Rng rng(4057);
+  for (int trial = 0; trial < 10; ++trial) {
+    FaultGraph graph = RandomFaultGraph(rng, 3 + rng.NextBelow(7), 2 + rng.NextBelow(5));
+    for (RgEngine engine : {RgEngine::kBitset, RgEngine::kVector}) {
+      MinimalRgOptions options;
+      options.engine = engine;
+      auto result = ComputeMinimalRiskGroups(graph, options);
+      ASSERT_TRUE(result.ok());
+      for (const RiskGroup& group : result->groups) {
+        EXPECT_TRUE(IsMinimalRiskGroup(graph, group))
+            << "trial " << trial << " engine " << (engine == RgEngine::kBitset ? "bitset" : "vector");
+      }
+    }
+  }
+}
+
 // --- Sampling soundness & convergence on random graphs ---
 
 class SamplingPropertyTest : public ::testing::TestWithParam<uint64_t> {};

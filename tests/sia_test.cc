@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "src/deps/depdb.h"
@@ -179,6 +180,81 @@ TEST(MinimalRgTest, AbsorptionAblationSameResult) {
   EXPECT_EQ(Names(graph, on->groups), Names(graph, off->groups));
 }
 
+// --- Bitset vs vector engine on the fixed graphs ---
+
+TEST(MinimalRgTest, EnginesAgreeOnFixedGraphs) {
+  for (FaultGraph graph : {BuildFig4a(), BuildSharedTorGraph()}) {
+    MinimalRgOptions bitset_options;
+    bitset_options.engine = RgEngine::kBitset;
+    MinimalRgOptions vector_options;
+    vector_options.engine = RgEngine::kVector;
+    auto bitset = ComputeMinimalRiskGroups(graph, bitset_options);
+    auto vector = ComputeMinimalRiskGroups(graph, vector_options);
+    ASSERT_TRUE(bitset.ok());
+    ASSERT_TRUE(vector.ok());
+    EXPECT_EQ(bitset->groups, vector->groups);
+    EXPECT_EQ(bitset->size_bounded, vector->size_bounded);
+  }
+}
+
+TEST(MinimalRgTest, BitsetEngineBudgetExceededFailsCleanly) {
+  // Same 3^12-cut-set workload as BudgetExceededFailsCleanly, bitset engine.
+  FaultGraph graph;
+  std::vector<NodeId> ors;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<NodeId> basics;
+    for (int j = 0; j < 3; ++j) {
+      basics.push_back(graph.AddBasicEvent("b" + std::to_string(i) + "_" + std::to_string(j)));
+    }
+    ors.push_back(graph.AddGate("or" + std::to_string(i), GateType::kOr, basics));
+  }
+  NodeId top = graph.AddGate("top", GateType::kAnd, ors);
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  MinimalRgOptions options;
+  options.engine = RgEngine::kBitset;
+  options.max_cut_sets_per_node = 1000;
+  auto result = ComputeMinimalRiskGroups(graph, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MinimalRgTest, BitsetEngineSizeBoundPrunes) {
+  FaultGraph graph = BuildFig4a();
+  MinimalRgOptions options;
+  options.engine = RgEngine::kBitset;
+  options.max_rg_size = 1;
+  auto result = ComputeMinimalRiskGroups(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->size_bounded);
+  auto names = Names(graph, result->groups);
+  EXPECT_EQ(names, (std::set<std::vector<std::string>>{{"A2"}}));
+}
+
+TEST(MinimalRgTest, BitsetEngineWideGraphCrossesWordBoundary) {
+  // 70 basic events force a 2-word stride; OR over all of them plus an AND
+  // pair spanning both words.
+  FaultGraph graph;
+  std::vector<NodeId> basics;
+  for (int i = 0; i < 70; ++i) {
+    basics.push_back(graph.AddBasicEvent("b" + std::to_string(i)));
+  }
+  NodeId wide_or = graph.AddGate("wide_or", GateType::kOr,
+                                 std::vector<NodeId>(basics.begin() + 2, basics.end()));
+  NodeId pair = graph.AddGate("pair", GateType::kAnd, {basics[0], basics[1]});
+  NodeId top = graph.AddGate("top", GateType::kOr, {wide_or, pair});
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  for (RgEngine engine : {RgEngine::kBitset, RgEngine::kVector}) {
+    MinimalRgOptions options;
+    options.engine = engine;
+    auto result = ComputeMinimalRiskGroups(graph, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->groups.size(), 69u);  // 68 singletons + {b0, b1}
+    EXPECT_EQ(result->groups.back(), (RiskGroup{basics[0], basics[1]}));
+  }
+}
+
 // --- MinimizeRiskGroups / subset helpers ---
 
 TEST(RiskGroupUtilTest, IsSubsetOf) {
@@ -335,6 +411,65 @@ TEST(RankingTest, MonteCarloAgreesWithExact) {
   Rng rng(123);
   double mc = TopEventProbabilityMonteCarlo(graph, 0.01, 400000, rng);
   EXPECT_NEAR(mc, exact, 0.005);
+}
+
+TEST(RankingTest, ParallelMonteCarloSingleThreadMatchesSerial) {
+  FaultGraph graph = BuildFig4a();
+  Rng rng(77);
+  double serial = TopEventProbabilityMonteCarlo(graph, 0.01, 50000, rng);
+  double parallel = TopEventProbabilityMonteCarlo(graph, 0.01, 50000, /*seed=*/77, /*threads=*/1);
+  EXPECT_DOUBLE_EQ(serial, parallel);
+}
+
+TEST(RankingTest, ParallelMonteCarloIsDeterministicAndAccurate) {
+  FaultGraph graph = BuildFig4a();
+  auto groups = ComputeMinimalRiskGroups(graph);
+  ASSERT_TRUE(groups.ok());
+  double exact = TopEventProbabilityExact(graph, groups->groups, 0.01);
+  double first = TopEventProbabilityMonteCarlo(graph, 0.01, 400000, /*seed=*/9, /*threads=*/4);
+  double second = TopEventProbabilityMonteCarlo(graph, 0.01, 400000, /*seed=*/9, /*threads=*/4);
+  EXPECT_DOUBLE_EQ(first, second);  // fixed seed + thread count => fixed result
+  EXPECT_NEAR(first, exact, 0.005);
+}
+
+TEST(RankingTest, ExactRefusesSixtyFourGroups) {
+  // 64 single-event groups would shift 1ULL << 64 — the guard returns NaN
+  // instead of undefined behavior.
+  FaultGraph graph;
+  std::vector<NodeId> basics;
+  for (int i = 0; i < 64; ++i) {
+    basics.push_back(graph.AddBasicEvent("b" + std::to_string(i), 0.01));
+  }
+  NodeId top = graph.AddGate("top", GateType::kOr, basics);
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  std::vector<RiskGroup> groups;
+  for (NodeId id : basics) {
+    groups.push_back({id});
+  }
+  EXPECT_TRUE(std::isnan(TopEventProbabilityExact(graph, groups, 0.01)));
+}
+
+TEST(RankingTest, ImportanceClampsExactTermsPastSixtyFour) {
+  // 70 minimal RGs with max_exact_terms well past 64: the clamp must route
+  // Pr(T) through the BDD instead of an out-of-range shift.
+  FaultGraph graph;
+  std::vector<NodeId> basics;
+  for (int i = 0; i < 70; ++i) {
+    basics.push_back(graph.AddBasicEvent("b" + std::to_string(i), 0.001));
+  }
+  NodeId top = graph.AddGate("top", GateType::kOr, basics);
+  graph.SetTopEvent(top);
+  ASSERT_TRUE(graph.Validate().ok());
+  auto groups = ComputeMinimalRiskGroups(graph);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->groups.size(), 70u);
+  ProbabilityRankingOptions options;
+  options.max_exact_terms = 1000;
+  auto ranking = RankByImportance(graph, groups->groups, options);
+  ASSERT_TRUE(ranking.ok());
+  // Pr(OR of 70 independent p=0.001 events) = 1 - 0.999^70.
+  EXPECT_NEAR(ranking->top_event_prob, 1.0 - std::pow(0.999, 70), 1e-9);
 }
 
 TEST(RankingTest, GroupProbabilityUsesDefaults) {

@@ -316,6 +316,49 @@ TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
 }
 
+TEST(ThreadPoolTest, ParallelForChunkedCoversIndexSpaceOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelForChunked(1000, 64, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end - begin, 64u);
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedZeroGrainSplitsPerWorker) {
+  ThreadPool pool(3);
+  std::atomic<int> chunks{0};
+  std::atomic<size_t> covered{0};
+  pool.ParallelForChunked(100, 0, [&](size_t begin, size_t end) {
+    chunks.fetch_add(1);
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+  EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelForChunked(0, 8, [](size_t, size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedGrainLargerThanN) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks{0};
+  pool.ParallelForChunked(5, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
 TEST(ThreadPoolTest, WaitThenReuse) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
