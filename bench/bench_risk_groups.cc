@@ -6,8 +6,13 @@
 //   {"bench":"rg_fat_tree_k16","engine":"bitset","ns_per_op":...,"groups":...,
 //    "identical_to_vector":true,"speedup_vs_vector":...}
 //
+// The same results are also written as one machine-readable JSON document
+// (default BENCH_risk_groups.json, see --json-out) for tooling that prefers
+// a single file over scraping stdout.
+//
 //   bench_risk_groups [--reps=5] [--servers=3] [--paths=16] [--threads=0]
 //                     [--dag-basics=14] [--dag-gates=24]
+//                     [--json-out=BENCH_risk_groups.json]
 
 #include <cstdio>
 #include <set>
@@ -18,6 +23,7 @@
 #include "src/sia/builder.h"
 #include "src/sia/risk_groups.h"
 #include "src/topology/fat_tree.h"
+#include "src/util/file.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -92,6 +98,21 @@ struct EngineRun {
   std::vector<RiskGroup> groups;
 };
 
+// One emitted measurement, mirrored into the --json-out document.
+struct BenchRecord {
+  std::string bench;
+  std::string topology;
+  std::string engine;
+  double ns_per_op = 0.0;
+  size_t groups = 0;
+  double speedup_vs_vector = 0.0;  // 0 for the vector baseline itself
+};
+
+std::vector<BenchRecord>& Records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
 EngineRun TimeEngine(const FaultGraph& graph, RgEngine engine, size_t threads, size_t reps) {
   MinimalRgOptions options;
   options.engine = engine;
@@ -110,7 +131,8 @@ EngineRun TimeEngine(const FaultGraph& graph, RgEngine engine, size_t threads, s
   return run;
 }
 
-void RunCase(const std::string& name, const FaultGraph& graph, size_t threads, size_t reps) {
+void RunCase(const std::string& name, const std::string& topology, const FaultGraph& graph,
+             size_t threads, size_t reps) {
   EngineRun vec = TimeEngine(graph, RgEngine::kVector, threads, reps);
   EngineRun bits = TimeEngine(graph, RgEngine::kBitset, threads, reps);
   const bool identical = vec.groups == bits.groups;
@@ -120,11 +142,33 @@ void RunCase(const std::string& name, const FaultGraph& graph, size_t threads, s
               "\"identical_to_vector\":%s,\"speedup_vs_vector\":%.2f}\n",
               name.c_str(), bits.ns_per_op, bits.groups.size(), identical ? "true" : "false",
               vec.ns_per_op / bits.ns_per_op);
+  Records().push_back(BenchRecord{name, topology, "vector", vec.ns_per_op, vec.groups.size(), 0.0});
+  Records().push_back(BenchRecord{name, topology, "bitset", bits.ns_per_op, bits.groups.size(),
+                                  vec.ns_per_op / bits.ns_per_op});
   if (!identical) {
     std::fprintf(stderr, "ENGINE MISMATCH on %s: vector=%zu groups, bitset=%zu groups\n",
                  name.c_str(), vec.groups.size(), bits.groups.size());
     std::exit(1);
   }
+}
+
+std::string RecordsToJson(size_t reps, size_t threads) {
+  std::string out = "{\n  \"benchmark\": \"risk_groups\",\n";
+  out += StrFormat("  \"reps\": %zu,\n  \"threads\": %zu,\n  \"results\": [\n", reps, threads);
+  for (size_t i = 0; i < Records().size(); ++i) {
+    const BenchRecord& r = Records()[i];
+    out += StrFormat(
+        "    {\"bench\": \"%s\", \"topology\": \"%s\", \"engine\": \"%s\", "
+        "\"ns_per_op\": %.0f, \"ms_per_op\": %.6f, \"groups\": %zu",
+        r.bench.c_str(), r.topology.c_str(), r.engine.c_str(), r.ns_per_op, r.ns_per_op / 1e6,
+        r.groups);
+    if (r.speedup_vs_vector > 0.0) {
+      out += StrFormat(", \"speedup_vs_vector\": %.2f", r.speedup_vs_vector);
+    }
+    out += i + 1 < Records().size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
 }
 
 }  // namespace
@@ -136,6 +180,7 @@ int main(int argc, char** argv) {
   int64_t threads = 0;
   int64_t dag_basics = 14;
   int64_t dag_gates = 24;
+  std::string json_out = "BENCH_risk_groups.json";
   FlagSet flags;
   flags.AddInt("reps", &reps, "repetitions per engine per case");
   flags.AddInt("servers", &servers, "redundant servers in the fat-tree deployment");
@@ -143,6 +188,7 @@ int main(int argc, char** argv) {
   flags.AddInt("threads", &threads, "bitset engine worker threads (0 = hardware)");
   flags.AddInt("dag-basics", &dag_basics, "basic events in the random DAG case");
   flags.AddInt("dag-gates", &dag_gates, "gates in the random DAG case");
+  flags.AddString("json-out", &json_out, "machine-readable results file ('' = skip)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -159,11 +205,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
       return 1;
     }
-    RunCase(StrFormat("rg_fat_tree_k%u", ports), *graph, static_cast<size_t>(threads),
-            static_cast<size_t>(reps));
+    RunCase(StrFormat("rg_fat_tree_k%u", ports), StrFormat("fat_tree_k%u", ports), *graph,
+            static_cast<size_t>(threads), static_cast<size_t>(reps));
   }
 
   FaultGraph dag = RandomDag(42, static_cast<size_t>(dag_basics), static_cast<size_t>(dag_gates));
-  RunCase("rg_random_dag", dag, static_cast<size_t>(threads), static_cast<size_t>(reps));
+  RunCase("rg_random_dag", "random_dag", dag, static_cast<size_t>(threads),
+          static_cast<size_t>(reps));
+
+  if (!json_out.empty()) {
+    std::string doc = RecordsToJson(static_cast<size_t>(reps), static_cast<size_t>(threads));
+    if (Status s = WriteFile(json_out, doc); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/graph/levels.h"
+#include "src/obs/trace.h"
 #include "src/sia/builder.h"
 #include "src/sia/sampling.h"
 #include "src/util/strings.h"
@@ -49,10 +50,14 @@ Result<SiaAuditReport> RunSiaAudit(const DepDb& db, const AuditSpecification& sp
   SiaAuditReport report;
   report.algorithm = spec.algorithm;
   report.metric = spec.metric;
+  INDAAS_TRACE_SPAN_NAMED(audit_span, "sia.audit");
+  audit_span.Annotate("deployments", std::to_string(spec.candidate_deployments.size()));
 
   // One deployment's audit, independent of every other deployment's.
   auto audit_one =
       [&](const std::vector<std::string>& servers) -> Result<DeploymentAudit> {
+    INDAAS_TRACE_SPAN_NAMED(span, "sia.audit.deployment");
+    span.Annotate("servers", Join(servers, ","));
     BuildOptions build;
     build.required_servers = spec.required_servers;
     build.software_of_interest = spec.software_of_interest;

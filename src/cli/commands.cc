@@ -8,6 +8,9 @@
 #include "src/agent/agent.h"
 #include "src/agent/report_diff.h"
 #include "src/deps/cvss.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/graph/fault_graph.h"
 #include "src/graph/serialize.h"
 #include "src/sia/builder.h"
@@ -17,6 +20,7 @@
 #include "src/topology/fat_tree.h"
 #include "src/util/file.h"
 #include "src/util/flags.h"
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace indaas {
@@ -71,6 +75,61 @@ Result<DataCenterTopology> BuildInfra(const std::string& infra,
     return topo;
   }
   return InvalidArgumentError("unknown --infra '" + infra + "' (case6a | lab | fat<k>)");
+}
+
+// Observability outputs shared by the audit-style commands.
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+void AddObsFlags(FlagSet& flags, ObsOutputs& obs) {
+  flags.AddString("metrics-out", &obs.metrics_path,
+                  "write a JSON metrics dump (counters/gauges/histograms/stages) here");
+  flags.AddString("trace-out", &obs.trace_path,
+                  "write a Chrome trace-event file (chrome://tracing, Perfetto) here");
+}
+
+// Arms the registry and span recorder for a fresh run. Tracing is needed for
+// either output: the metrics dump's "stages" section aggregates spans.
+void BeginObs(const ObsOutputs& out) {
+  if (out.metrics_path.empty() && out.trace_path.empty()) {
+    return;
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::TraceRecorder::Global().Reset();
+  obs::TraceRecorder::Global().SetEnabled(true);
+}
+
+// Writes the requested dumps and prints the stage-timing table.
+Status FinishObs(const ObsOutputs& out) {
+  if (out.metrics_path.empty() && out.trace_path.empty()) {
+    return Status::Ok();
+  }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  std::vector<obs::SpanRecord> spans = recorder.Snapshot();
+  std::vector<obs::StageStat> stages = obs::AggregateStages(spans);
+  if (!out.metrics_path.empty()) {
+    INDAAS_RETURN_IF_ERROR(WriteFile(
+        out.metrics_path, obs::MetricsToJson(obs::MetricsRegistry::Global().Snapshot(), stages)));
+  }
+  if (!out.trace_path.empty()) {
+    INDAAS_RETURN_IF_ERROR(WriteFile(out.trace_path, obs::SpansToChromeTrace(spans)));
+  }
+  if (!stages.empty()) {
+    std::printf("\n%s", obs::RenderStageTable(stages).c_str());
+  }
+  if (!out.metrics_path.empty()) {
+    std::printf("wrote metrics -> %s\n", out.metrics_path.c_str());
+  }
+  if (!out.trace_path.empty()) {
+    std::printf("wrote Chrome trace (%zu spans) -> %s\n", spans.size(), out.trace_path.c_str());
+  }
+  if (recorder.dropped() > 0) {
+    INDAAS_LOG(Warning) << recorder.dropped() << " spans dropped (trace ring full)";
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -129,6 +188,7 @@ Status RunAuditCommand(int argc, char** argv) {
   std::string cvss_path;
   int64_t rounds = 100000;
   int64_t seed = 1;
+  int64_t parallel = 1;
   FlagSet flags;
   flags.AddString("depdb", &depdb_path, "DepDB file to audit");
   flags.AddString("baseline", &baseline_path, "older DepDB file; prints a regression diff");
@@ -138,6 +198,9 @@ Status RunAuditCommand(int argc, char** argv) {
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
   flags.AddInt("rounds", &rounds, "sampling rounds");
   flags.AddInt("seed", &seed, "sampling seed");
+  flags.AddInt("parallel", &parallel, "audit this many deployments concurrently");
+  ObsOutputs obs_out;
+  AddObsFlags(flags, obs_out);
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (depdb_path.empty()) {
     return InvalidArgumentError("--depdb is required");
@@ -159,6 +222,7 @@ Status RunAuditCommand(int argc, char** argv) {
   }
   spec.sampling_rounds = static_cast<size_t>(rounds);
   spec.seed = static_cast<uint64_t>(seed);
+  spec.parallel_deployments = static_cast<size_t>(std::max<int64_t>(1, parallel));
 
   FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
   if (!cvss_path.empty()) {
@@ -174,6 +238,7 @@ Status RunAuditCommand(int argc, char** argv) {
     return agent.AuditStructural(spec);
   };
 
+  BeginObs(obs_out);
   INDAAS_ASSIGN_OR_RETURN(SiaAuditReport report, run_audit(depdb_path));
   std::printf("%s", RenderSiaReport(report).c_str());
   if (!baseline_path.empty()) {
@@ -181,7 +246,7 @@ Status RunAuditCommand(int argc, char** argv) {
     AuditDiff diff = DiffSiaReports(baseline, report);
     std::printf("\n=== changes since baseline ===\n%s", RenderAuditDiff(diff).c_str());
   }
-  return Status::Ok();
+  return FinishObs(obs_out);
 }
 
 Status RunDotCommand(int argc, char** argv) {
@@ -283,6 +348,7 @@ Status RunPiaCommand(int argc, char** argv) {
   int64_t m = 256;
   int64_t group_bits = 768;
   int64_t max_redundancy = 3;
+  int64_t parallel = 1;
   FlagSet flags;
   flags.AddString("sets", &sets_path, "provider file: '<name>: c1, c2, ...' per line");
   flags.AddString("depdbs", &depdbs_spec,
@@ -292,6 +358,9 @@ Status RunPiaCommand(int argc, char** argv) {
   flags.AddInt("m", &m, "MinHash sample size");
   flags.AddInt("group-bits", &group_bits, "commutative group bits");
   flags.AddInt("max-redundancy", &max_redundancy, "largest deployment size to rank");
+  flags.AddInt("parallel", &parallel, "run this many protocol instances concurrently");
+  ObsOutputs obs_out;
+  AddObsFlags(flags, obs_out);
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (sets_path.empty() == depdbs_spec.empty()) {
     return InvalidArgumentError("exactly one of --sets or --depdbs is required");
@@ -331,16 +400,43 @@ Status RunPiaCommand(int argc, char** argv) {
   options.psop.group_bits = static_cast<size_t>(group_bits);
   options.max_redundancy =
       static_cast<uint32_t>(std::min<int64_t>(max_redundancy, providers.size()));
+  options.parallel_deployments = static_cast<size_t>(std::max<int64_t>(1, parallel));
+  BeginObs(obs_out);
   AuditingAgent agent;
   INDAAS_ASSIGN_OR_RETURN(PiaAuditReport report, agent.AuditPrivate(providers, options));
   std::printf("%s", RenderPiaReport(report).c_str());
-  return Status::Ok();
+  return FinishObs(obs_out);
 }
 
 int RunCli(int argc, char** argv) {
+  // --log-level is global: valid anywhere on the command line, consumed here
+  // so the per-command flag parsers never see it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StartsWith(arg, "--log-level=")) {
+      std::string_view value = arg.substr(12);
+      if (value == "debug") {
+        SetLogLevel(LogLevel::kDebug);
+      } else if (value == "info") {
+        SetLogLevel(LogLevel::kInfo);
+      } else if (value == "warning") {
+        SetLogLevel(LogLevel::kWarning);
+      } else if (value == "error") {
+        SetLogLevel(LogLevel::kError);
+      } else {
+        std::fprintf(stderr, "bad --log-level '%s' (debug | info | warning | error)\n",
+                     std::string(value).c_str());
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: indaas <command> [flags]\n"
+                 "usage: indaas [--log-level=debug|info|warning|error] <command> [flags]\n"
                  "commands:\n"
                  "  collect  run simulated dependency acquisition into a DepDB file\n"
                  "  audit    structural independence audit of candidate deployments\n"
@@ -348,7 +444,8 @@ int RunCli(int argc, char** argv) {
                  "  graph       save a deployment's fault graph (text format)\n"
                  "  whatif      simulate component failures against a saved graph\n"
                  "  importance  rank components by fault-tree importance measures\n"
-                 "  pia         private independence audit across provider component sets\n");
+                 "  pia         private independence audit across provider component sets\n"
+                 "audit and pia accept --metrics-out=<file> and --trace-out=<file>\n");
     return 2;
   }
   std::string command = argv[1];

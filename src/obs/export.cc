@@ -1,0 +1,200 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace indaas {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendKeyValue(std::string& out, const std::string& key, const std::string& raw_value) {
+  out += '"';
+  out += JsonEscape(key);
+  out += "\":";
+  out += raw_value;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<StageStat> AggregateStages(const std::vector<SpanRecord>& spans) {
+  std::vector<StageStat> stages;
+  std::map<std::string, size_t> index;
+  for (const SpanRecord& span : spans) {
+    auto it = index.find(span.name);
+    if (it == index.end()) {
+      it = index.emplace(span.name, stages.size()).first;
+      stages.push_back(StageStat{span.name, 0, 0, span.dur_us, span.dur_us});
+    }
+    StageStat& stat = stages[it->second];
+    ++stat.count;
+    stat.total_us += span.dur_us;
+    stat.min_us = std::min(stat.min_us, span.dur_us);
+    stat.max_us = std::max(stat.max_us, span.dur_us);
+  }
+  return stages;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot, const std::vector<StageStat>& stages) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& counter : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKeyValue(out, counter.name, std::to_string(counter.value));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKeyValue(out, gauge.name,
+                   "{\"value\":" + std::to_string(gauge.value) +
+                       ",\"max\":" + std::to_string(gauge.max) + "}");
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& histogram : snapshot.histograms) {
+    std::string body = "{\"bounds\":[";
+    for (size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b != 0) {
+        body += ',';
+      }
+      body += FormatDouble(histogram.bounds[b]);
+    }
+    body += "],\"counts\":[";
+    for (size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b != 0) {
+        body += ',';
+      }
+      body += std::to_string(histogram.counts[b]);
+    }
+    body += "],\"count\":" + std::to_string(histogram.count) +
+            ",\"sum\":" + FormatDouble(histogram.sum) + "}";
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKeyValue(out, histogram.name, body);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"stages\": {";
+  first = true;
+  for (const StageStat& stage : stages) {
+    std::string body =
+        "{\"count\":" + std::to_string(stage.count) +
+        ",\"total_ms\":" + FormatDouble(static_cast<double>(stage.total_us) / 1e3) +
+        ",\"min_ms\":" + FormatDouble(static_cast<double>(stage.min_us) / 1e3) +
+        ",\"max_ms\":" + FormatDouble(static_cast<double>(stage.max_us) / 1e3) + "}";
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKeyValue(out, stage.name, body);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& counter : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-48s %20llu\n", counter.name.c_str(),
+                  static_cast<unsigned long long>(counter.value));
+    out += line;
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "%-48s %20lld  (max %lld)\n", gauge.name.c_str(),
+                  static_cast<long long>(gauge.value), static_cast<long long>(gauge.max));
+    out += line;
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    double mean =
+        histogram.count == 0 ? 0.0 : histogram.sum / static_cast<double>(histogram.count);
+    std::snprintf(line, sizeof(line), "%-48s count=%llu mean=%s\n", histogram.name.c_str(),
+                  static_cast<unsigned long long>(histogram.count),
+                  FormatDouble(mean).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderStageTable(const std::vector<StageStat>& stages) {
+  std::string out = "stage                                        calls     total ms      "
+                    "mean ms       max ms\n";
+  char line[160];
+  for (const StageStat& stage : stages) {
+    double total_ms = static_cast<double>(stage.total_us) / 1e3;
+    double mean_ms = stage.count == 0 ? 0.0 : total_ms / static_cast<double>(stage.count);
+    std::snprintf(line, sizeof(line), "%-42s %7llu %12.3f %12.3f %12.3f\n", stage.name.c_str(),
+                  static_cast<unsigned long long>(stage.count), total_ms, mean_ms,
+                  static_cast<double>(stage.max_us) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"indaas\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(span.start_us);
+    out += ",\"dur\":" + std::to_string(span.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(span.tid);
+    out += ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    out += ",\"depth\":" + std::to_string(span.depth);
+    for (const auto& [key, value] : span.annotations) {
+      out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace indaas

@@ -1,0 +1,53 @@
+// Exporters for the metrics registry and span recorder (DESIGN.md §6):
+// human-readable text, structured JSON, and the Chrome trace-event format
+// that chrome://tracing and Perfetto load directly.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace indaas {
+namespace obs {
+
+// Per-stage aggregate over all spans sharing a name.
+struct StageStat {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t min_us = 0;
+  uint64_t max_us = 0;
+};
+
+// Groups spans by name, ordered by first occurrence (== pipeline order).
+std::vector<StageStat> AggregateStages(const std::vector<SpanRecord>& spans);
+
+// Structured JSON dump of every instrument, plus a "stages" section when
+// span aggregates are supplied:
+//   {"counters":{...},"gauges":{...},"histograms":{...},"stages":{...}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot,
+                          const std::vector<StageStat>& stages = {});
+
+// Aligned plain-text rendering of a snapshot (for stderr / logs).
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+
+// Stage-timing table printed after `indaas audit` runs.
+std::string RenderStageTable(const std::vector<StageStat>& stages);
+
+// Chrome trace-event JSON: one complete ("ph":"X") event per span with
+// microsecond timestamps; annotations become event args. Loadable in
+// chrome://tracing and Perfetto.
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace obs
+}  // namespace indaas
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,165 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace indaas {
+namespace obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Set(int64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  RaiseMax(value);
+}
+
+void Gauge::Add(int64_t delta) {
+  int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  RaiseMax(now);
+}
+
+void Gauge::RaiseMax(int64_t candidate) {
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(double value) {
+  // First bound >= value; values above every bound land in the overflow slot.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  Shard& shard = shards_[ThreadShardIndex() % kMetricShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Scrape() const {
+  Snapshot snap;
+  snap.name = name_;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name))).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name, std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value(), gauge->Max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->Scrape());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace indaas

@@ -1,0 +1,171 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms for the audit pipeline (DESIGN.md §6).
+//
+// Hot paths pay roughly one relaxed atomic RMW per event: counters and
+// histograms are sharded across cache-line-padded atomic slots indexed by a
+// per-thread shard id, so concurrent writers on different cores almost never
+// touch the same cache line. A scrape (Snapshot) sums the shards; it never
+// blocks writers and writers never observe the scraper.
+//
+// Instruments are registered by dotted name ("sia.cutsets.generated") in the
+// global registry and live for the process lifetime: GetCounter et al.
+// return stable pointers that callers cache, so the name lookup (one mutex
+// acquisition) happens once per call site, not per event. Reset() zeroes
+// every instrument in place — cached pointers stay valid — which is how the
+// CLI and tests delimit one run's metrics from the next.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace indaas {
+namespace obs {
+
+// Number of padded slots each counter/histogram spreads its writers over.
+inline constexpr size_t kMetricShards = 16;
+
+// Dense per-thread shard index (stable for the thread's lifetime).
+size_t ThreadShardIndex();
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[ThreadShardIndex() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  // Sum over shards; safe to call while writers are active.
+  uint64_t Value() const;
+  // Zeroes all shards (used by MetricsRegistry::Reset).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  Shard shards_[kMetricShards];
+};
+
+// Instantaneous signed value (queue depths, worker counts). Tracks the
+// maximum value ever set so short-lived peaks survive until the scrape.
+class Gauge {
+ public:
+  void Set(int64_t value);
+  void Add(int64_t delta);
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void RaiseMax(int64_t candidate);
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts values in (bounds[i-1], bounds[i]]
+// (bounds[-1] = -inf); one implicit overflow bucket counts values above the
+// last bound. Count and sum are tracked alongside the buckets.
+class Histogram {
+ public:
+  void Record(double value);
+
+  struct Snapshot {
+    std::string name;
+    std::vector<double> bounds;    // upper bounds, ascending
+    std::vector<uint64_t> counts;  // bounds.size() + 1 entries (last = overflow)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Scrape() const;
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;  // bounds.size() + 1
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+// Everything the registry knows at one scrape, in name order.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+    int64_t max = 0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<Histogram::Snapshot> histograms;
+};
+
+// The process-wide instrument registry. Thread-safe; instruments are created
+// on first request and never destroyed.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. Pointers are stable for the process lifetime. For histograms the
+  // bounds are fixed by the first caller; later callers get the existing
+  // instrument regardless of the bounds they pass.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // Aggregates every instrument. Safe to call while writers are active.
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every instrument in place; cached instrument pointers stay valid.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace indaas
+
+#endif  // SRC_OBS_METRICS_H_

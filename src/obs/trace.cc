@@ -1,0 +1,121 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace indaas {
+namespace obs {
+namespace {
+
+// Innermost open span on this thread; children link to it as their parent.
+struct ThreadSpanState {
+  int64_t current = -1;
+  uint32_t depth = 0;
+};
+
+ThreadSpanState& TlsSpanState() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch).count());
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Reset(size_t capacity) {
+  capacity_ = capacity;
+  slots_ = std::make_unique<Slot[]>(capacity);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+int64_t TraceRecorder::Claim() {
+  int64_t id = next_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<size_t>(id) >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  return id;
+}
+
+void TraceRecorder::Commit(int64_t id, SpanRecord record) {
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  slot.record = std::move(record);
+  slot.ready.store(true, std::memory_order_release);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::vector<SpanRecord> out;
+  int64_t claimed = next_.load(std::memory_order_relaxed);
+  size_t upper = std::min(static_cast<size_t>(claimed < 0 ? 0 : claimed), capacity_);
+  out.reserve(upper);
+  for (size_t i = 0; i < upper; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire)) {
+      out.push_back(slots_[i].record);
+    }
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) {
+    return;
+  }
+  id_ = recorder.Claim();
+  if (id_ < 0) {
+    return;
+  }
+  ThreadSpanState& state = TlsSpanState();
+  saved_parent_ = state.current;
+  depth_ = saved_parent_ >= 0 ? state.depth + 1 : 0;
+  state.current = id_;
+  state.depth = depth_;
+  start_us_ = TraceNowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ < 0) {
+    return;
+  }
+  uint64_t end_us = TraceNowMicros();
+  ThreadSpanState& state = TlsSpanState();
+  state.current = saved_parent_;
+  state.depth = depth_ > 0 ? depth_ - 1 : 0;
+  SpanRecord record;
+  record.name = name_;
+  record.annotations = std::move(annotations_);
+  record.start_us = start_us_;
+  record.dur_us = end_us - start_us_;
+  record.tid = TraceThreadId();
+  record.id = id_;
+  record.parent = saved_parent_;
+  record.depth = depth_;
+  TraceRecorder::Global().Commit(id_, std::move(record));
+}
+
+void ScopedSpan::Annotate(const char* key, std::string value) {
+  if (id_ < 0) {
+    return;
+  }
+  annotations_.emplace_back(key, std::move(value));
+}
+
+}  // namespace obs
+}  // namespace indaas

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "src/deps/normalize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
 #include "src/util/strings.h"
@@ -88,6 +90,18 @@ Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
   report.min_redundancy = options.min_redundancy;
   report.provider_stats.assign(providers.size(), PartyStats{});
 
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.audit");
+  span.Annotate("providers", std::to_string(providers.size()));
+  static obs::Counter* runs_total = obs::MetricsRegistry::Global().GetCounter("pia.runs_total");
+  // Per-provider aggregation meters: besides the report struct, each fold
+  // lands in pia.provider.<name>.* counters for the metrics dump.
+  std::vector<PartyMeter> provider_meters;
+  provider_meters.reserve(providers.size());
+  for (size_t i = 0; i < providers.size(); ++i) {
+    std::string scope = "provider." + providers[i].name;
+    provider_meters.emplace_back(&report.provider_stats[i], scope.c_str());
+  }
+
   for (uint32_t r = options.min_redundancy; r <= options.max_redundancy; ++r) {
     std::vector<std::vector<size_t>> combos = Combinations(providers.size(), r);
     // One protocol run per candidate deployment; runs are independent, so
@@ -120,19 +134,20 @@ Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
         return runs[c].status();
       }
       const PsopResult& run = *runs[c];
+      runs_total->Add(1);
       DeploymentSimilarity entry;
       for (size_t idx : combos[c]) {
         entry.providers.push_back(providers[idx].name);
       }
       entry.jaccard = run.jaccard;
       for (size_t i = 0; i < combos[c].size(); ++i) {
-        PartyStats& agg = report.provider_stats[combos[c][i]];
+        PartyMeter& agg = provider_meters[combos[c][i]];
         const PartyStats& cur = run.party_stats[i];
-        agg.bytes_sent += cur.bytes_sent;
-        agg.bytes_received += cur.bytes_received;
-        agg.encrypt_ops += cur.encrypt_ops;
-        agg.homomorphic_ops += cur.homomorphic_ops;
-        agg.compute_seconds += cur.compute_seconds;
+        agg.AddBytesSent(cur.bytes_sent);
+        agg.AddBytesReceived(cur.bytes_received);
+        agg.AddEncryptOps(cur.encrypt_ops);
+        agg.AddHomomorphicOps(cur.homomorphic_ops);
+        agg.AddComputeSeconds(cur.compute_seconds);
       }
       ranking.push_back(std::move(entry));
     }

@@ -6,8 +6,8 @@
 #include "src/bignum/modular.h"
 #include "src/crypto/hash_family.h"
 #include "src/crypto/paillier.h"
+#include "src/obs/trace.h"
 #include "src/util/strings.h"
-#include "src/util/timer.h"
 
 namespace indaas {
 namespace {
@@ -57,10 +57,26 @@ Result<KsResult> RunKsIntersectionCardinality(
     }
     max_elements = std::max(max_elements, dataset.size());
   }
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.ks");
+  span.Annotate("parties", std::to_string(k));
+
+  std::vector<Party> parties(k);
+  std::vector<PartyMeter> meters;
+  meters.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    meters.emplace_back(&parties[i].stats, "ks");
+  }
+
   Rng rng(options.seed);
-  // Party 0 stands in for the threshold-decryption key holder.
-  INDAAS_ASSIGN_OR_RETURN(PaillierKeyPair keypair,
-                          GeneratePaillierKeyPair(options.paillier_bits, rng));
+  // Party 0 stands in for the threshold-decryption key holder; key
+  // generation is its compute.
+  Result<PaillierKeyPair> keypair_or = InternalError("RunKs: keygen not run");
+  {
+    PartyComputeTimer timer(meters[0]);
+    keypair_or = GeneratePaillierKeyPair(options.paillier_bits, rng);
+  }
+  INDAAS_RETURN_IF_ERROR(keypair_or.status());
+  PaillierKeyPair& keypair = *keypair_or;
   const PaillierPublicKey& pub = keypair.pub;
   const BigUint& n = pub.n();
   const size_t cipher_bytes = pub.CiphertextBytes();
@@ -70,11 +86,11 @@ Result<KsResult> RunKsIntersectionCardinality(
   const uint64_t element_seed = options.seed ^ 0x4B53454C454D454EULL;
   const uint64_t bucket_seed = options.seed ^ 0x4B534255434B4554ULL;
 
-  std::vector<Party> parties(k);
   // Hash elements (dedup first: sets, not multisets) and assign buckets.
   size_t max_bucket_load = 0;
   std::vector<std::vector<std::vector<BigUint>>> roots_per_party(k);
   for (size_t i = 0; i < k; ++i) {
+    PartyComputeTimer timer(meters[i]);
     std::set<std::string> unique(datasets[i].begin(), datasets[i].end());
     roots_per_party[i].assign(num_buckets, {});
     for (const std::string& element : unique) {
@@ -92,30 +108,34 @@ Result<KsResult> RunKsIntersectionCardinality(
 
   // Each party builds and encrypts its bucket polynomials (padded with
   // random phantom roots so every bucket has the same degree).
-  for (size_t i = 0; i < k; ++i) {
-    Party& party = parties[i];
-    WallTimer timer;
-    party.enc_polys.resize(num_buckets);
-    for (size_t b = 0; b < num_buckets; ++b) {
-      std::vector<BigUint> roots = roots_per_party[i][b];
-      while (roots.size() < degree) {
-        roots.push_back(BigUint(rng.Next()));
+  {
+    INDAAS_TRACE_SPAN("pia.ks.encrypt_polys");
+    for (size_t i = 0; i < k; ++i) {
+      Party& party = parties[i];
+      {
+        PartyComputeTimer timer(meters[i]);
+        party.enc_polys.resize(num_buckets);
+        for (size_t b = 0; b < num_buckets; ++b) {
+          std::vector<BigUint> roots = roots_per_party[i][b];
+          while (roots.size() < degree) {
+            roots.push_back(BigUint(rng.Next()));
+          }
+          Poly poly = PolyFromRoots(roots, n);
+          party.enc_polys[b].reserve(poly.size());
+          for (const BigUint& coeff : poly) {
+            INDAAS_ASSIGN_OR_RETURN(BigUint ct, pub.Encrypt(coeff, rng));
+            party.enc_polys[b].push_back(std::move(ct));
+            meters[i].AddEncryptOps();
+          }
+        }
       }
-      Poly poly = PolyFromRoots(roots, n);
-      party.enc_polys[b].reserve(poly.size());
-      for (const BigUint& coeff : poly) {
-        INDAAS_ASSIGN_OR_RETURN(BigUint ct, pub.Encrypt(coeff, rng));
-        party.enc_polys[b].push_back(std::move(ct));
-        ++party.stats.encrypt_ops;
-      }
-    }
-    party.stats.compute_seconds += timer.ElapsedSeconds();
-    // Broadcast the encrypted polynomials to the other k-1 parties.
-    size_t poly_bytes = num_buckets * (degree + 1) * cipher_bytes;
-    party.stats.bytes_sent += poly_bytes * (k - 1);
-    for (size_t j = 0; j < k; ++j) {
-      if (j != i) {
-        parties[j].stats.bytes_received += poly_bytes;
+      // Broadcast the encrypted polynomials to the other k-1 parties.
+      size_t poly_bytes = num_buckets * (degree + 1) * cipher_bytes;
+      meters[i].AddBytesSent(poly_bytes * (k - 1));
+      for (size_t j = 0; j < k; ++j) {
+        if (j != i) {
+          meters[j].AddBytesReceived(poly_bytes);
+        }
       }
     }
   }
@@ -125,34 +145,37 @@ Result<KsResult> RunKsIntersectionCardinality(
   // λ_i = Σ_j r_{i,j}·f_j (degree D+1). Partials go to party 0 to be summed.
   const size_t lambda_len = degree + 2;
   std::vector<std::vector<std::vector<BigUint>>> partials(k);
-  for (size_t i = 0; i < k; ++i) {
-    Party& party = parties[i];
-    WallTimer timer;
-    auto& partial = partials[i];
-    partial.assign(num_buckets, {});
-    for (size_t b = 0; b < num_buckets; ++b) {
-      std::vector<BigUint>& acc = partial[b];
-      acc.assign(lambda_len, BigUint(1));  // Enc-free identity: ct "1" = Enc(0)·triv
-      for (size_t j = 0; j < k; ++j) {
-        // r = r0 + r1·x, r1 != 0.
-        BigUint r0(rng.Next());
-        BigUint r1(rng.Next() | 1);
-        const std::vector<BigUint>& f = parties[j].enc_polys[b];
-        for (size_t t = 0; t < f.size(); ++t) {
-          // Contribution of f_t to coefficients t (×r0) and t+1 (×r1).
-          BigUint c0 = pub.MulPlaintext(f[t], r0);
-          BigUint c1 = pub.MulPlaintext(f[t], r1);
-          acc[t] = pub.AddCiphertexts(acc[t], c0);
-          acc[t + 1] = pub.AddCiphertexts(acc[t + 1], c1);
-          party.stats.homomorphic_ops += 4;
+  {
+    INDAAS_TRACE_SPAN("pia.ks.randomize");
+    for (size_t i = 0; i < k; ++i) {
+      {
+        PartyComputeTimer timer(meters[i]);
+        auto& partial = partials[i];
+        partial.assign(num_buckets, {});
+        for (size_t b = 0; b < num_buckets; ++b) {
+          std::vector<BigUint>& acc = partial[b];
+          acc.assign(lambda_len, BigUint(1));  // Enc-free identity: ct "1" = Enc(0)·triv
+          for (size_t j = 0; j < k; ++j) {
+            // r = r0 + r1·x, r1 != 0.
+            BigUint r0(rng.Next());
+            BigUint r1(rng.Next() | 1);
+            const std::vector<BigUint>& f = parties[j].enc_polys[b];
+            for (size_t t = 0; t < f.size(); ++t) {
+              // Contribution of f_t to coefficients t (×r0) and t+1 (×r1).
+              BigUint c0 = pub.MulPlaintext(f[t], r0);
+              BigUint c1 = pub.MulPlaintext(f[t], r1);
+              acc[t] = pub.AddCiphertexts(acc[t], c0);
+              acc[t + 1] = pub.AddCiphertexts(acc[t + 1], c1);
+              meters[i].AddHomomorphicOps(4);
+            }
+          }
         }
       }
-    }
-    party.stats.compute_seconds += timer.ElapsedSeconds();
-    if (i != 0) {
-      size_t bytes = num_buckets * lambda_len * cipher_bytes;
-      party.stats.bytes_sent += bytes;
-      parties[0].stats.bytes_received += bytes;
+      if (i != 0) {
+        size_t bytes = num_buckets * lambda_len * cipher_bytes;
+        meters[i].AddBytesSent(bytes);
+        meters[0].AddBytesReceived(bytes);
+      }
     }
   }
 
@@ -160,55 +183,68 @@ Result<KsResult> RunKsIntersectionCardinality(
   std::vector<std::vector<BigUint>> lambda(num_buckets,
                                            std::vector<BigUint>(lambda_len, BigUint(1)));
   {
-    Party& leader = parties[0];
-    WallTimer timer;
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t b = 0; b < num_buckets; ++b) {
-        for (size_t t = 0; t < lambda_len; ++t) {
-          lambda[b][t] = pub.AddCiphertexts(lambda[b][t], partials[i][b][t]);
-          ++leader.stats.homomorphic_ops;
+    INDAAS_TRACE_SPAN("pia.ks.aggregate");
+    {
+      PartyComputeTimer timer(meters[0]);
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t b = 0; b < num_buckets; ++b) {
+          for (size_t t = 0; t < lambda_len; ++t) {
+            lambda[b][t] = pub.AddCiphertexts(lambda[b][t], partials[i][b][t]);
+            meters[0].AddHomomorphicOps();
+          }
         }
       }
     }
-    leader.stats.compute_seconds += timer.ElapsedSeconds();
     size_t bytes = num_buckets * lambda_len * cipher_bytes;
-    leader.stats.bytes_sent += bytes * (k - 1);
+    meters[0].AddBytesSent(bytes * (k - 1));
     for (size_t j = 1; j < k; ++j) {
-      parties[j].stats.bytes_received += bytes;
+      meters[j].AddBytesReceived(bytes);
     }
   }
 
   // Every party evaluates λ at its own elements (encrypted Horner), blinds,
-  // and sends the evaluations to party 0 for decryption. Party 0's zero
-  // count is the intersection cardinality.
+  // and sends the evaluations to party 0 for decryption. Decryption is party
+  // 0's compute (threshold-decryption stand-in), not the evaluator's — its
+  // time and key operations are charged to party 0. Party 0's zero count is
+  // the intersection cardinality.
   KsResult result;
+  INDAAS_TRACE_SPAN("pia.ks.evaluate_decrypt");
   for (size_t i = 0; i < k; ++i) {
     Party& party = parties[i];
-    WallTimer timer;
-    size_t zeros = 0;
-    for (size_t e = 0; e < party.elements.size(); ++e) {
-      const std::vector<BigUint>& lam = lambda[party.buckets[e]];
-      const BigUint& x = party.elements[e];
-      BigUint acc = lam.back();
-      for (size_t t = lambda_len - 1; t-- > 0;) {
-        acc = pub.AddCiphertexts(pub.MulPlaintext(acc, x), lam[t]);
-        party.stats.homomorphic_ops += 2;
-      }
-      // Blind with a random nonzero scalar: zero stays zero.
-      acc = pub.MulPlaintext(acc, BigUint(rng.Next() | 1));
-      ++party.stats.homomorphic_ops;
-      if (i != 0) {
-        party.stats.bytes_sent += cipher_bytes;
-        parties[0].stats.bytes_received += cipher_bytes;
-      }
-      // Party 0 decrypts (threshold decryption stand-in).
-      INDAAS_ASSIGN_OR_RETURN(BigUint plain, keypair.priv.Decrypt(pub, acc));
-      ++parties[0].stats.encrypt_ops;
-      if (plain.IsZero()) {
-        ++zeros;
+    std::vector<BigUint> blinded;
+    {
+      PartyComputeTimer timer(meters[i]);
+      blinded.reserve(party.elements.size());
+      for (size_t e = 0; e < party.elements.size(); ++e) {
+        const std::vector<BigUint>& lam = lambda[party.buckets[e]];
+        const BigUint& x = party.elements[e];
+        BigUint acc = lam.back();
+        for (size_t t = lambda_len - 1; t-- > 0;) {
+          acc = pub.AddCiphertexts(pub.MulPlaintext(acc, x), lam[t]);
+          meters[i].AddHomomorphicOps(2);
+        }
+        // Blind with a random nonzero scalar: zero stays zero.
+        acc = pub.MulPlaintext(acc, BigUint(rng.Next() | 1));
+        meters[i].AddHomomorphicOps();
+        blinded.push_back(std::move(acc));
       }
     }
-    party.stats.compute_seconds += timer.ElapsedSeconds();
+    if (i != 0) {
+      size_t bytes = blinded.size() * cipher_bytes;
+      meters[i].AddBytesSent(bytes);
+      meters[0].AddBytesReceived(bytes);
+    }
+    size_t zeros = 0;
+    {
+      PartyComputeTimer timer(meters[0]);
+      for (const BigUint& ct : blinded) {
+        INDAAS_ASSIGN_OR_RETURN(BigUint plain, keypair.priv.Decrypt(pub, ct));
+        meters[0].AddEncryptOps();
+        if (plain.IsZero()) {
+          ++zeros;
+        }
+      }
+    }
     if (i == 0) {
       result.intersection = zeros;
     }

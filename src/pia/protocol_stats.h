@@ -1,11 +1,21 @@
 // Per-party accounting shared by the PIA protocols: the quantities Figure 8
 // reports (bandwidth and computation per cloud provider).
+//
+// PartyStats is the per-run scrape view that protocol results return;
+// PartyMeter is how protocols fill it in. Every meter update also lands in
+// the process-wide metrics registry (pia.<protocol>.* counters), so the
+// registry sees protocol totals across all concurrent runs while results
+// keep their exact per-party breakdown.
 
 #ifndef SRC_PIA_PROTOCOL_STATS_H_
 #define SRC_PIA_PROTOCOL_STATS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
 
 namespace indaas {
 
@@ -14,7 +24,73 @@ struct PartyStats {
   size_t bytes_received = 0;
   size_t encrypt_ops = 0;      // public-key operations performed
   size_t homomorphic_ops = 0;  // ciphertext-space mult/exp operations
-  double compute_seconds = 0;  // wall time spent in this party's crypto
+  double compute_seconds = 0;  // monotonic wall time spent in this party's crypto
+};
+
+// Accounting front-end for one party of one protocol run: updates the
+// party's PartyStats and mirrors each quantity into registry counters named
+// pia.<protocol>.{bytes_sent,bytes_received,encrypt_ops,homomorphic_ops}
+// plus pia.<protocol>.compute_micros. The registry counters are process
+// totals; per-party attribution stays in the struct.
+class PartyMeter {
+ public:
+  PartyMeter(PartyStats* stats, const char* protocol) : stats_(stats) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    std::string prefix = std::string("pia.") + protocol + ".";
+    bytes_sent_ = registry.GetCounter(prefix + "bytes_sent");
+    bytes_received_ = registry.GetCounter(prefix + "bytes_received");
+    encrypt_ops_ = registry.GetCounter(prefix + "encrypt_ops");
+    homomorphic_ops_ = registry.GetCounter(prefix + "homomorphic_ops");
+    compute_micros_ = registry.GetCounter(prefix + "compute_micros");
+  }
+
+  void AddBytesSent(size_t bytes) {
+    stats_->bytes_sent += bytes;
+    bytes_sent_->Add(bytes);
+  }
+  void AddBytesReceived(size_t bytes) {
+    stats_->bytes_received += bytes;
+    bytes_received_->Add(bytes);
+  }
+  void AddEncryptOps(size_t n = 1) {
+    stats_->encrypt_ops += n;
+    encrypt_ops_->Add(n);
+  }
+  void AddHomomorphicOps(size_t n = 1) {
+    stats_->homomorphic_ops += n;
+    homomorphic_ops_->Add(n);
+  }
+  void AddComputeSeconds(double seconds) {
+    stats_->compute_seconds += seconds;
+    compute_micros_->Add(static_cast<uint64_t>(seconds * 1e6));
+  }
+
+  PartyStats* stats() const { return stats_; }
+
+ private:
+  PartyStats* stats_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* bytes_received_;
+  obs::Counter* encrypt_ops_;
+  obs::Counter* homomorphic_ops_;
+  obs::Counter* compute_micros_;
+};
+
+// Scoped compute timer: adds the elapsed monotonic wall time to the meter's
+// party when destroyed. Every compute phase of a protocol — encryption,
+// homomorphic evaluation, decryption, intersection counting — charges its
+// party through one of these, so compute_seconds is clock-consistent.
+class PartyComputeTimer {
+ public:
+  explicit PartyComputeTimer(PartyMeter& meter) : meter_(meter) {}
+  ~PartyComputeTimer() { meter_.AddComputeSeconds(timer_.ElapsedSeconds()); }
+
+  PartyComputeTimer(const PartyComputeTimer&) = delete;
+  PartyComputeTimer& operator=(const PartyComputeTimer&) = delete;
+
+ private:
+  PartyMeter& meter_;
+  WallTimer timer_;
 };
 
 }  // namespace indaas

@@ -4,8 +4,8 @@
 #include <map>
 
 #include "src/crypto/hash_family.h"
+#include "src/obs/trace.h"
 #include "src/util/strings.h"
-#include "src/util/timer.h"
 
 namespace indaas {
 namespace {
@@ -37,6 +37,8 @@ Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets
   if (k < 2) {
     return InvalidArgumentError("RunPsop: need at least two parties");
   }
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.psop");
+  span.Annotate("parties", std::to_string(k));
   INDAAS_ASSIGN_OR_RETURN(CommutativeGroup group,
                           CommutativeGroup::CreateWellKnown(options.group_bits));
   const size_t element_bytes = group.ElementBytes();
@@ -48,78 +50,99 @@ Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets
     INDAAS_ASSIGN_OR_RETURN(CommutativeKey key, CommutativeKey::Generate(group, rng));
     parties.push_back(Party{std::move(key), {}, {}});
   }
+  // Meters bind to parties' stats; `parties` must not reallocate below.
+  std::vector<PartyMeter> meters;
+  meters.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    meters.emplace_back(&parties[i].stats, "psop");
+  }
 
   // Phase 0: hash into the group, first encryption, permutation.
-  for (size_t i = 0; i < k; ++i) {
-    Party& party = parties[i];
-    WallTimer timer;
-    std::vector<std::string> elements = Disambiguate(datasets[i]);
-    party.dataset.reserve(elements.size());
-    for (const std::string& element : elements) {
-      BigUint point = group.HashToElement(element, options.hash);
-      party.dataset.push_back(party.key.Encrypt(group, point));
-      ++party.stats.encrypt_ops;
+  {
+    INDAAS_TRACE_SPAN("pia.psop.encrypt_permute");
+    for (size_t i = 0; i < k; ++i) {
+      Party& party = parties[i];
+      PartyComputeTimer timer(meters[i]);
+      std::vector<std::string> elements = Disambiguate(datasets[i]);
+      party.dataset.reserve(elements.size());
+      for (const std::string& element : elements) {
+        BigUint point = group.HashToElement(element, options.hash);
+        party.dataset.push_back(party.key.Encrypt(group, point));
+        meters[i].AddEncryptOps();
+      }
+      rng.Shuffle(party.dataset);
     }
-    rng.Shuffle(party.dataset);
-    party.stats.compute_seconds += timer.ElapsedSeconds();
   }
 
   // Phase 1: pass each dataset around the ring; every hop encrypts and
   // permutes. After k hops a dataset is back at its origin, encrypted by all.
-  for (size_t hop = 0; hop < k; ++hop) {
-    // Dataset originated by party i currently sits at party (i + hop) % k.
-    std::vector<std::vector<BigUint>> in_flight(k);
-    for (size_t i = 0; i < k; ++i) {
-      size_t holder = (i + hop) % k;
-      size_t next = (i + hop + 1) % k;
-      size_t bytes = parties[holder].dataset.size() * element_bytes;
-      parties[holder].stats.bytes_sent += bytes;
-      parties[next].stats.bytes_received += bytes;
-      in_flight[next] = std::move(parties[holder].dataset);
-    }
-    for (size_t next = 0; next < k; ++next) {
-      parties[next].dataset = std::move(in_flight[next]);
-      if (hop + 1 == k) {
-        continue;  // Dataset is back home fully encrypted; no more crypto.
+  {
+    INDAAS_TRACE_SPAN("pia.psop.ring");
+    for (size_t hop = 0; hop < k; ++hop) {
+      // Dataset originated by party i currently sits at party (i + hop) % k.
+      std::vector<std::vector<BigUint>> in_flight(k);
+      for (size_t i = 0; i < k; ++i) {
+        size_t holder = (i + hop) % k;
+        size_t next = (i + hop + 1) % k;
+        size_t bytes = parties[holder].dataset.size() * element_bytes;
+        meters[holder].AddBytesSent(bytes);
+        meters[next].AddBytesReceived(bytes);
+        in_flight[next] = std::move(parties[holder].dataset);
       }
-      Party& party = parties[next];
-      WallTimer timer;
-      for (BigUint& element : party.dataset) {
-        element = party.key.Encrypt(group, element);
-        ++party.stats.encrypt_ops;
+      for (size_t next = 0; next < k; ++next) {
+        parties[next].dataset = std::move(in_flight[next]);
+        if (hop + 1 == k) {
+          continue;  // Dataset is back home fully encrypted; no more crypto.
+        }
+        Party& party = parties[next];
+        PartyComputeTimer timer(meters[next]);
+        for (BigUint& element : party.dataset) {
+          element = party.key.Encrypt(group, element);
+          meters[next].AddEncryptOps();
+        }
+        rng.Shuffle(party.dataset);
       }
-      rng.Shuffle(party.dataset);
-      party.stats.compute_seconds += timer.ElapsedSeconds();
     }
   }
 
   // Phase 2: parties share the fully-encrypted datasets (each holder
   // broadcasts to the k-1 peers) and count common/unique ciphertexts.
+  INDAAS_TRACE_SPAN("pia.psop.share_count");
   for (size_t i = 0; i < k; ++i) {
     size_t bytes = parties[i].dataset.size() * element_bytes;
-    parties[i].stats.bytes_sent += bytes * (k - 1);
+    meters[i].AddBytesSent(bytes * (k - 1));
     for (size_t j = 0; j < k; ++j) {
       if (j != i) {
-        parties[j].stats.bytes_received += bytes;
+        meters[j].AddBytesReceived(bytes);
       }
     }
   }
   std::map<std::string, size_t> presence;  // ciphertext -> #parties holding it
-  for (const Party& party : parties) {
+  for (size_t i = 0; i < k; ++i) {
+    const Party& party = parties[i];
     std::map<std::string, size_t> local;  // multiset within one party
-    for (const BigUint& element : party.dataset) {
-      ++local[element.ToHex()];
+    {
+      // Each party scans its own ciphertexts; that cost is the party's.
+      PartyComputeTimer timer(meters[i]);
+      for (const BigUint& element : party.dataset) {
+        ++local[element.ToHex()];
+      }
     }
+    // The simulation merges the broadcasts once; charge the counting party.
+    PartyComputeTimer timer(meters[0]);
     for (const auto& [ciphertext, count] : local) {
       (void)count;  // Disambiguated elements are unique per party.
       ++presence[ciphertext];
     }
   }
   PsopResult result;
-  result.union_size = presence.size();
-  for (const auto& [ciphertext, count] : presence) {
-    if (count == k) {
-      ++result.intersection;
+  {
+    PartyComputeTimer timer(meters[0]);
+    result.union_size = presence.size();
+    for (const auto& [ciphertext, count] : presence) {
+      if (count == k) {
+        ++result.intersection;
+      }
     }
   }
   result.jaccard = result.union_size == 0
@@ -138,6 +161,7 @@ Result<PsopResult> RunPsopWithMinHash(const std::vector<std::vector<std::string>
   if (m == 0) {
     return InvalidArgumentError("RunPsopWithMinHash: m must be > 0");
   }
+  INDAAS_TRACE_SPAN("pia.psop.minhash");
   // All parties agree on the hash family (seed derived from the protocol
   // seed, as they would agree on hash functions out of band).
   HashFamily family(options.seed ^ 0x4D696E4861736821ULL, m);

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "src/deps/normalize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/strings.h"
 
 namespace indaas {
@@ -41,6 +43,8 @@ Result<FaultGraph> BuildDeploymentFaultGraph(const DepDb& db,
   if (servers.empty()) {
     return InvalidArgumentError("BuildDeploymentFaultGraph: no servers given");
   }
+  INDAAS_TRACE_SPAN_NAMED(span, "sia.build_graph");
+  span.Annotate("servers", std::to_string(servers.size()));
   for (size_t i = 0; i < servers.size(); ++i) {
     for (size_t j = i + 1; j < servers.size(); ++j) {
       if (servers[i] == servers[j]) {
@@ -158,6 +162,12 @@ Result<FaultGraph> BuildDeploymentFaultGraph(const DepDb& db,
   }
   graph.SetTopEvent(top);
   INDAAS_RETURN_IF_ERROR(graph.Validate());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* nodes = registry.GetCounter("sia.graph.nodes");
+  static obs::Counter* basic_events = registry.GetCounter("sia.graph.basic_events");
+  nodes->Add(graph.NodeCount());
+  basic_events->Add(graph.BasicEvents().size());
+  span.Annotate("nodes", std::to_string(graph.NodeCount()));
   return graph;
 }
 

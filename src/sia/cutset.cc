@@ -4,6 +4,8 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace indaas {
 
 EventIndex::EventIndex(const FaultGraph& graph) {
@@ -129,6 +131,12 @@ CutSetArena AbsorbMinimal(const CutSetArena& sets, ThreadPool* pool) {
   for (size_t i : kept) {
     out.AppendCopy(sets.row(i));
   }
+  // Batch counter updates: two relaxed adds per absorption sweep, not per row.
+  static obs::Counter* deduped = obs::MetricsRegistry::Global().GetCounter("sia.cutsets.deduped");
+  static obs::Counter* absorbed_count =
+      obs::MetricsRegistry::Global().GetCounter("sia.cutsets.absorbed");
+  deduped->Add(n - candidates.size());
+  absorbed_count->Add(candidates.size() - kept.size());
   return out;
 }
 

@@ -1,6 +1,8 @@
 #include "src/sia/ranking.h"
 
 #include "src/graph/bdd.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
@@ -10,6 +12,9 @@
 namespace indaas {
 
 std::vector<RankedRiskGroup> RankBySize(std::vector<RiskGroup> groups) {
+  INDAAS_TRACE_SPAN_NAMED(span, "sia.rank");
+  span.Annotate("method", "size");
+  span.Annotate("groups", std::to_string(groups.size()));
   std::sort(groups.begin(), groups.end(), [](const RiskGroup& a, const RiskGroup& b) {
     if (a.size() != b.size()) {
       return a.size() < b.size();
@@ -143,21 +148,29 @@ Result<ProbabilityRanking> RankByImportance(const FaultGraph& graph,
   if (minimal_groups.empty()) {
     return ProbabilityRanking{};
   }
+  INDAAS_TRACE_SPAN_NAMED(span, "sia.rank");
+  span.Annotate("groups", std::to_string(minimal_groups.size()));
   ProbabilityRanking out;
   // The inclusion-exclusion mask is 64-bit: >= 64 groups would shift out of
   // range, so such inputs always take the BDD / Monte-Carlo route.
   const size_t max_exact_terms = std::min<size_t>(options.max_exact_terms, 63);
   if (minimal_groups.size() <= max_exact_terms) {
     out.top_event_prob = TopEventProbabilityExact(graph, minimal_groups, options.default_prob);
+    span.Annotate("method", "exact");
   } else {
     // Too many groups for inclusion-exclusion: BDD compilation stays exact;
     // Monte Carlo is the last resort when the BDD blows its budget.
     auto bdd = TopEventProbabilityBdd(graph, options.default_prob, options.bdd_node_budget);
     if (bdd.ok()) {
       out.top_event_prob = *bdd;
+      span.Annotate("method", "bdd");
     } else {
       out.top_event_prob = TopEventProbabilityMonteCarlo(
           graph, options.default_prob, options.monte_carlo_rounds, options.seed, options.threads);
+      static obs::Counter* mc_rounds =
+          obs::MetricsRegistry::Global().GetCounter("sia.rank.mc_rounds");
+      mc_rounds->Add(options.monte_carlo_rounds);
+      span.Annotate("method", "monte_carlo");
     }
   }
   if (out.top_event_prob <= 0.0) {

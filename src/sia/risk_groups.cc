@@ -5,11 +5,37 @@
 #include <memory>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sia/cutset.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
 namespace indaas {
+namespace {
+
+// Engine-level counters (DESIGN.md §6), bumped once per batch operation.
+struct CutSetMetrics {
+  obs::Counter* generated;   // AND products kept (within the size bound)
+  obs::Counter* size_pruned; // products dropped by max_rg_size
+  obs::Counter* deduped;     // exact duplicates removed (vector engine)
+  obs::Counter* absorbed;    // rows absorbed by a subset (vector engine)
+};
+
+CutSetMetrics& Metrics() {
+  static CutSetMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return CutSetMetrics{
+        registry.GetCounter("sia.cutsets.generated"),
+        registry.GetCounter("sia.cutsets.size_pruned"),
+        registry.GetCounter("sia.cutsets.deduped"),
+        registry.GetCounter("sia.cutsets.absorbed"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 bool IsSubsetOf(const RiskGroup& a, const RiskGroup& b) {
   if (a.size() > b.size()) {
@@ -39,8 +65,11 @@ void SortGroups(std::vector<RiskGroup>& groups) {
 // ===========================================================================
 
 std::vector<RiskGroup> MinimizeRiskGroupsVector(std::vector<RiskGroup> groups) {
+  const size_t before_dedup = groups.size();
   SortGroups(groups);
   groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  Metrics().deduped->Add(before_dedup - groups.size());
+  const size_t after_dedup = groups.size();
   std::vector<RiskGroup> minimal;
   for (RiskGroup& candidate : groups) {
     bool absorbed = false;
@@ -60,6 +89,7 @@ std::vector<RiskGroup> MinimizeRiskGroupsVector(std::vector<RiskGroup> groups) {
       minimal.push_back(std::move(candidate));
     }
   }
+  Metrics().absorbed->Add(after_dedup - minimal.size());
   return minimal;
 }
 
@@ -95,6 +125,8 @@ Result<std::vector<RiskGroup>> CombineAnd(const std::vector<RiskGroup>& lhs,
       }
     }
   }
+  Metrics().generated->Add(out.size());
+  Metrics().size_pruned->Add(lhs.size() * rhs.size() - out.size());
   if (options.inline_absorption) {
     out = MinimizeRiskGroupsVector(std::move(out));
   }
@@ -298,6 +330,8 @@ Status CombineAndBitset(const CutSetArena& lhs, const CutSetArena& rhs,
       }
     }
   }
+  Metrics().generated->Add(out->size());
+  Metrics().size_pruned->Add(total - out->size());
   return Status::Ok();
 }
 
@@ -492,13 +526,21 @@ Result<MinimalRgResult> ComputeMinimalRiskGroups(const FaultGraph& graph,
   if (!graph.validated()) {
     return FailedPreconditionError("ComputeMinimalRiskGroups: graph not validated");
   }
+  INDAAS_TRACE_SPAN_NAMED(span, "sia.enumerate");
+  span.Annotate("engine", options.engine == RgEngine::kBitset ? "bitset" : "vector");
+  Result<MinimalRgResult> result = InternalError("ComputeMinimalRiskGroups: unknown engine");
   switch (options.engine) {
     case RgEngine::kBitset:
-      return ComputeMinimalRiskGroupsBitset(graph, options);
+      result = ComputeMinimalRiskGroupsBitset(graph, options);
+      break;
     case RgEngine::kVector:
-      return ComputeMinimalRiskGroupsVector(graph, options);
+      result = ComputeMinimalRiskGroupsVector(graph, options);
+      break;
   }
-  return InternalError("ComputeMinimalRiskGroups: unknown engine");
+  if (result.ok()) {
+    span.Annotate("groups", std::to_string(result->groups.size()));
+  }
+  return result;
 }
 
 bool FailsTopEvent(const FaultGraph& graph, const RiskGroup& group) {

@@ -4,6 +4,8 @@
 #include <set>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 
 namespace indaas {
@@ -103,6 +105,9 @@ Result<SamplingResult> SampleRiskGroups(const FaultGraph& graph, const SamplingO
   }
   size_t threads = std::max<size_t>(1, options.threads);
   threads = std::min(threads, options.rounds);
+  INDAAS_TRACE_SPAN_NAMED(span, "sia.sample");
+  span.Annotate("rounds", std::to_string(options.rounds));
+  span.Annotate("threads", std::to_string(threads));
 
   std::vector<Sampler> samplers;
   samplers.reserve(threads);
@@ -132,6 +137,14 @@ Result<SamplingResult> SampleRiskGroups(const FaultGraph& graph, const SamplingO
     all.insert(all.end(), sampler.groups().begin(), sampler.groups().end());
   }
   result.groups = MinimizeRiskGroups(std::move(all));
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* rounds = registry.GetCounter("sia.sampling.rounds");
+  static obs::Counter* failing = registry.GetCounter("sia.sampling.failing_rounds");
+  static obs::Counter* groups = registry.GetCounter("sia.sampling.groups");
+  rounds->Add(result.rounds_executed);
+  failing->Add(result.failing_rounds);
+  groups->Add(result.groups.size());
+  span.Annotate("groups", std::to_string(result.groups.size()));
   return result;
 }
 

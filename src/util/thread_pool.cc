@@ -2,8 +2,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "src/obs/metrics.h"
 
 namespace indaas {
+namespace {
+
+// Pool instruments, resolved once per process (DESIGN.md §6). Queue depth
+// and worker count are gauges with high-water marks; task latency lands in a
+// log-scaled histogram; busy_micros accumulates execution time so
+// utilization = busy_micros / (workers x wall_micros).
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Gauge* workers;
+  obs::Counter* tasks_total;
+  obs::Counter* busy_micros;
+  obs::Histogram* task_micros;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{
+        registry.GetGauge("threadpool.queue_depth"),
+        registry.GetGauge("threadpool.workers"),
+        registry.GetCounter("threadpool.tasks_total"),
+        registry.GetCounter("threadpool.busy_micros"),
+        registry.GetHistogram("threadpool.task_micros",
+                              {10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7}),
+    };
+  }();
+  return metrics;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -11,6 +50,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  Metrics().workers->Add(static_cast<int64_t>(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,6 +62,7 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) {
     worker.join();
   }
+  Metrics().workers->Add(-static_cast<int64_t>(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -29,6 +70,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  Metrics().queue_depth->Add(1);
   work_available_.notify_one();
 }
 
@@ -80,6 +122,7 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = Metrics();
   for (;;) {
     std::function<void()> task;
     {
@@ -92,7 +135,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    metrics.queue_depth->Add(-1);
+    uint64_t start = NowMicros();
     task();
+    uint64_t elapsed = NowMicros() - start;
+    metrics.tasks_total->Increment();
+    metrics.busy_micros->Add(elapsed);
+    metrics.task_micros->Record(static_cast<double>(elapsed));
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

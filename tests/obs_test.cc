@@ -1,0 +1,455 @@
+// Unit tests for src/obs/: metrics registry, tracing spans, exporters.
+//
+// The registry and recorder are process-wide singletons, so every test uses
+// its own instrument names and resets the recorder it touches.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace indaas {
+namespace obs {
+namespace {
+
+// --- Minimal JSON syntax validator (recursive descent) ---
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Counters ---
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.counter.concurrent");
+  counter->Reset();
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, ScrapeWhileWritingNeverExceedsFinalTotal) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.counter.scrape");
+  counter->Reset();
+  constexpr uint64_t kTotal = 200000;
+  std::thread writer([counter] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      counter->Add(1);
+    }
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t now = counter->Value();
+    EXPECT_LE(last, now);  // monotone under a single writer
+    EXPECT_LE(now, kTotal);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(counter->Value(), kTotal);
+}
+
+TEST(RegistryTest, PointersStableAcrossLookupsAndReset) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* first = registry.GetCounter("test.registry.stable");
+  first->Add(7);
+  Counter* second = registry.GetCounter("test.registry.stable");
+  EXPECT_EQ(first, second);
+  registry.Reset();
+  EXPECT_EQ(first->Value(), 0u);  // zeroed in place, pointer still live
+  first->Add(3);
+  EXPECT_EQ(second->Value(), 3u);
+}
+
+// --- Gauges ---
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge("test.gauge.basic");
+  gauge->Reset();
+  gauge->Set(5);
+  gauge->Add(3);
+  EXPECT_EQ(gauge->Value(), 8);
+  gauge->Add(-6);
+  EXPECT_EQ(gauge->Value(), 2);
+  EXPECT_EQ(gauge->Max(), 8);  // peak survives the drop
+}
+
+// --- Histograms ---
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.hist.bounds", {1.0, 2.0, 4.0});
+  hist->Reset();
+  hist->Record(0.5);  // (-inf, 1]
+  hist->Record(1.0);  // (-inf, 1]  -- bounds are inclusive
+  hist->Record(1.5);  // (1, 2]
+  hist->Record(2.0);  // (1, 2]
+  hist->Record(4.0);  // (2, 4]
+  hist->Record(5.0);  // overflow
+  Histogram::Snapshot snap = hist->Scrape();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.hist.concurrent", {10.0, 100.0});
+  hist->Reset();
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist->Record(static_cast<double>(i % 200));
+      }
+    });
+  }
+  // Scrape concurrently with the writers; totals must never go backwards.
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t now = hist->Scrape().count;
+    EXPECT_LE(last, now);
+    last = now;
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  Histogram::Snapshot snap = hist->Scrape();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) {
+    bucket_total += c;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// --- Spans ---
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  recorder.Reset(64);
+  {
+    INDAAS_TRACE_SPAN_NAMED(span, "off");
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceTest, NestedSpansFormParentChain) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Reset(64);
+  recorder.SetEnabled(true);
+  {
+    INDAAS_TRACE_SPAN_NAMED(outer, "outer");
+    outer.Annotate("key", "value");
+    {
+      INDAAS_TRACE_SPAN("middle");
+      { INDAAS_TRACE_SPAN("inner"); }
+    }
+  }
+  recorder.SetEnabled(false);
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Snapshot is ordered by claim (start) order: outer, middle, inner.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[0].tid, spans[2].tid);
+  // Children are contained in the parent's [start, start+dur] window.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].dur_us, spans[0].start_us + spans[0].dur_us);
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].first, "key");
+  EXPECT_EQ(spans[0].annotations[0].second, "value");
+}
+
+TEST(TraceTest, SpansOnDifferentThreadsGetDifferentTids) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Reset(64);
+  recorder.SetEnabled(true);
+  {
+    INDAAS_TRACE_SPAN("main-root");
+    std::thread worker([] { INDAAS_TRACE_SPAN("worker-root"); });
+    worker.join();
+  }
+  recorder.SetEnabled(false);
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+  // A root on another thread has no parent even while main's span is open.
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, -1);
+}
+
+TEST(TraceTest, FullRingDropsInsteadOfWrapping) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Reset(4);
+  recorder.SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    INDAAS_TRACE_SPAN("burst");
+  }
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.Snapshot().size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  recorder.Reset(64);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+// --- Exporters ---
+
+TEST(ExportTest, StageAggregationGroupsByName) {
+  std::vector<SpanRecord> spans;
+  SpanRecord a;
+  a.name = "build";
+  a.dur_us = 100;
+  SpanRecord b;
+  b.name = "enumerate";
+  b.dur_us = 300;
+  SpanRecord c;
+  c.name = "build";
+  c.dur_us = 50;
+  spans = {a, b, c};
+  std::vector<StageStat> stages = AggregateStages(spans);
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "build");  // first-occurrence order
+  EXPECT_EQ(stages[0].count, 2u);
+  EXPECT_EQ(stages[0].total_us, 150u);
+  EXPECT_EQ(stages[0].min_us, 50u);
+  EXPECT_EQ(stages[0].max_us, 100u);
+  EXPECT_EQ(stages[1].name, "enumerate");
+  EXPECT_EQ(stages[1].count, 1u);
+}
+
+TEST(ExportTest, MetricsJsonIsValidAndContainsInstruments) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("test.export.counter")->Add(42);
+  registry.GetGauge("test.export.gauge")->Set(-3);
+  registry.GetHistogram("test.export.hist", {1.0, 10.0})->Record(5.0);
+  std::vector<StageStat> stages = {{"stage.one", 2, 1500, 500, 1000}};
+  std::string json = MetricsToJson(registry.Snapshot(), stages);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"test.export.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage.one\""), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceIsValidJsonWithNestedSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Reset(64);
+  recorder.SetEnabled(true);
+  {
+    INDAAS_TRACE_SPAN_NAMED(outer, "sia.build");
+    outer.Annotate("nodes", "17");
+    outer.Annotate("quote", "needs \"escaping\"\n");
+    INDAAS_TRACE_SPAN("sia.enumerate");
+  }
+  recorder.SetEnabled(false);
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  std::string json = SpansToChromeTrace(spans);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("sia.build"), std::string::npos);
+  EXPECT_NE(json.find("sia.enumerate"), std::string::npos);
+  EXPECT_NE(json.find("\\\"escaping\\\""), std::string::npos);  // escaped quote
+}
+
+TEST(ExportTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  std::string escaped = JsonEscape(std::string("a\x01z"));
+  EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+}
+
+TEST(ExportTest, RenderersProduceNonEmptyText) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.render.counter")->Add(1);
+  std::string text = RenderMetricsText(registry.Snapshot());
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+  std::vector<StageStat> stages = {{"stage", 1, 1000, 1000, 1000}};
+  std::string table = RenderStageTable(stages);
+  EXPECT_NE(table.find("stage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace indaas

@@ -16,6 +16,7 @@
 #include "src/pia/network_model.h"
 #include "src/pia/psop.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 #include "src/util/strings.h"
 
 namespace indaas {
@@ -169,6 +170,23 @@ TEST(PsopTest, TrafficAccounting) {
   EXPECT_GT(result->party_stats[0].compute_seconds, 0.0);
 }
 
+TEST(PsopTest, ComputeSecondsBoundedBySerialWallTime) {
+  // The simulation runs the parties serially on one thread, so the sum of
+  // per-party compute_seconds (all measured with the same monotonic clock,
+  // including the share/count phase) cannot exceed the run's wall time.
+  WallTimer timer;
+  auto result = RunPsop({MakeSet(0, 25), MakeSet(5, 30), MakeSet(10, 35)}, FastPsop());
+  double wall = timer.ElapsedSeconds();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->party_stats.size(), 3u);
+  double total = 0.0;
+  for (const PartyStats& stats : result->party_stats) {
+    EXPECT_GT(stats.compute_seconds, 0.0);
+    total += stats.compute_seconds;
+  }
+  EXPECT_LE(total, wall);
+}
+
 TEST(PsopTest, NeedsTwoParties) {
   EXPECT_FALSE(RunPsop({MakeSet(0, 3)}, FastPsop()).ok());
 }
@@ -230,6 +248,29 @@ TEST(KsTest, StatsAccounting) {
     EXPECT_GT(stats.encrypt_ops, 0u);
     EXPECT_GT(stats.homomorphic_ops, 0u);
     EXPECT_GT(stats.bytes_sent, 0u);
+  }
+}
+
+TEST(KsTest, ComputeSecondsAttribution) {
+  // Key generation, partial aggregation, and every decryption run at party 0
+  // (the key holder); that time must be charged to party 0, not to whichever
+  // party produced the ciphertext. All parties do measurable work, and the
+  // serial simulation bounds the sum of per-party times by the wall time.
+  WallTimer timer;
+  auto result =
+      RunKsIntersectionCardinality({MakeSet(0, 12), MakeSet(4, 16), MakeSet(8, 20)}, FastKs());
+  double wall = timer.ElapsedSeconds();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->party_stats.size(), 3u);
+  double total = 0.0;
+  for (const PartyStats& stats : result->party_stats) {
+    EXPECT_GT(stats.compute_seconds, 0.0);
+    total += stats.compute_seconds;
+  }
+  EXPECT_LE(total, wall);
+  for (size_t i = 1; i < result->party_stats.size(); ++i) {
+    EXPECT_GE(result->party_stats[0].compute_seconds,
+              result->party_stats[i].compute_seconds);
   }
 }
 
