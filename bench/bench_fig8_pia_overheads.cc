@@ -6,15 +6,25 @@
 // full scale (n to 100,000; 1024-bit keys) is reachable via flags:
 //   bench_fig8_pia_overheads --n-min=1000 --n-max=100000 --group-bits=1024
 //                            --paillier-bits=1024
+//
+// --real additionally runs each P-SOP point as k OS threads speaking the
+// real TCP wire protocol over loopback, cross-validating the NetworkModel
+// estimate against measured wall time (--json-out writes the deltas).
 
 #include <cstdio>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/pia/ks.h"
+#include "src/pia/network_model.h"
 #include "src/pia/psop.h"
+#include "src/svc/pia_peer.h"
+#include "src/util/file.h"
 #include "src/util/flags.h"
 #include "src/util/stats.h"
 #include "src/util/strings.h"
+#include "src/util/timer.h"
 
 using namespace indaas;
 
@@ -52,6 +62,89 @@ Measurement Summarize(const std::vector<PartyStats>& stats) {
   return m;
 }
 
+// One --real data point: a k-thread loopback ring session for one (k, n).
+struct RealPoint {
+  size_t k = 0;
+  size_t n = 0;
+  double jaccard = 0;
+  double measured_wall_s = 0;   // wall time of the whole socket session
+  double estimated_wall_s = 0;  // NetworkModel estimate on the measured stats
+  bool matches_inprocess = false;
+};
+
+// Runs the socket-backed ring over loopback: k threads, each one PiaPeer.
+// The estimate uses the per-peer stats the real run measured (compute +
+// actual wire bytes), so the delta isolates what the model leaves out —
+// scheduling, syscall overhead and loopback's real bandwidth.
+Result<RealPoint> RunRealPoint(const std::vector<std::vector<std::string>>& datasets,
+                               const PsopOptions& psop, const NetworkModel& model) {
+  const size_t k = datasets.size();
+  std::vector<svc::PiaPeer> peers;
+  svc::PiaPeerOptions options;
+  options.psop = psop;
+  options.self_index = 0;
+  peers.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(svc::PiaPeer peer, svc::PiaPeer::Listen(0));
+    options.peers.push_back(net::Endpoint{"127.0.0.1", peer.listen_port()});
+    peers.push_back(std::move(peer));
+  }
+  std::vector<Result<PsopResult>> results(k, InternalError("peer did not run"));
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&, i] {
+      svc::PiaPeerOptions mine = options;
+      mine.self_index = i;
+      results[i] = peers[i].RunPsop(datasets[i], mine);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  RealPoint point;
+  point.k = k;
+  point.n = datasets[0].size();
+  point.measured_wall_s = timer.ElapsedSeconds();
+  // The session's ring hops: 1 handshake + k encrypt hops + k-1 share hops.
+  const size_t rounds = 2 * k;
+  for (size_t i = 0; i < k; ++i) {
+    INDAAS_RETURN_IF_ERROR(results[i].status());
+    const PartyStats& stats = results[i]->party_stats[i];
+    point.estimated_wall_s =
+        std::max(point.estimated_wall_s, model.EstimateWallSeconds(stats, rounds));
+  }
+  point.jaccard = results[0]->jaccard;
+  INDAAS_ASSIGN_OR_RETURN(PsopResult reference, RunPsop(datasets, psop));
+  point.matches_inprocess = true;
+  for (size_t i = 0; i < k; ++i) {
+    if (results[i]->jaccard != reference.jaccard ||
+        results[i]->intersection != reference.intersection ||
+        results[i]->union_size != reference.union_size) {
+      point.matches_inprocess = false;
+    }
+  }
+  return point;
+}
+
+std::string RealPointsToJson(const std::vector<RealPoint>& points) {
+  std::string json = "{\n  \"mode\": \"real-loopback-psop\",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const RealPoint& p = points[i];
+    json += StrFormat(
+        "    {\"k\": %zu, \"n\": %zu, \"jaccard\": %.6f, \"measured_wall_s\": %.6f, "
+        "\"estimated_wall_s\": %.6f, \"delta_s\": %.6f, \"delta_ratio\": %.4f, "
+        "\"matches_inprocess\": %s}%s\n",
+        p.k, p.n, p.jaccard, p.measured_wall_s, p.estimated_wall_s,
+        p.measured_wall_s - p.estimated_wall_s,
+        p.estimated_wall_s > 0 ? p.measured_wall_s / p.estimated_wall_s : 0.0,
+        p.matches_inprocess ? "true" : "false", i + 1 < points.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,6 +154,10 @@ int main(int argc, char** argv) {
   int64_t paillier_bits = 512;
   int64_t k_max = 4;
   int64_t ks_n_cap = 1000;
+  bool real = false;
+  double rtt_ms = 0.05;
+  double bandwidth_mbps = 16000.0;
+  std::string json_out;
   FlagSet flags;
   flags.AddInt("n-min", &n_min, "smallest dataset size");
   flags.AddInt("n-max", &n_max, "largest dataset size (paper: 100000)");
@@ -68,6 +165,13 @@ int main(int argc, char** argv) {
   flags.AddInt("paillier-bits", &paillier_bits, "KS Paillier modulus bits (paper: 1024)");
   flags.AddInt("k-max", &k_max, "largest provider count (paper: 4)");
   flags.AddInt("ks-n-cap", &ks_n_cap, "skip KS above this n (it is the slow baseline)");
+  flags.AddBool("real", &real,
+                "also run each P-SOP point over real loopback sockets and compare "
+                "the NetworkModel estimate with measured wall time");
+  flags.AddDouble("rtt-ms", &rtt_ms, "--real: model RTT in milliseconds (loopback-ish)");
+  flags.AddDouble("bandwidth-mbps", &bandwidth_mbps,
+                  "--real: model bandwidth in MB/s (loopback-ish)");
+  flags.AddString("json-out", &json_out, "--real: write estimated-vs-measured deltas here");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -120,5 +224,44 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper's shape: (8a) KS bandwidth grows faster with k than P-SOP's; (8b) P-SOP\n"
       "outperforms KS by orders of magnitude in computation, both roughly linear in n.\n");
+
+  if (real) {
+    NetworkModel model;
+    model.rtt_seconds = rtt_ms / 1000.0;
+    model.bandwidth_bytes_per_s = bandwidth_mbps * 1e6;
+    std::printf("\n--real: socket-backed P-SOP over loopback (model: %.3f ms RTT, "
+                "%.0f MB/s)\n\n", rtt_ms, bandwidth_mbps);
+    TextTable real_table(
+        {"k", "n", "Measured wall", "Estimated wall", "Delta", "Jaccard matches"});
+    std::vector<RealPoint> points;
+    for (int64_t k = 2; k <= k_max; ++k) {
+      for (int64_t n = n_min; n <= n_max; n *= 2) {
+        auto datasets = MakeDatasets(static_cast<size_t>(k), static_cast<size_t>(n));
+        PsopOptions psop;
+        psop.group_bits = static_cast<size_t>(group_bits);
+        auto point = RunRealPoint(datasets, psop, model);
+        if (!point.ok()) {
+          std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
+          return 1;
+        }
+        real_table.AddRow({std::to_string(k), std::to_string(n),
+                           HumanSeconds(point->measured_wall_s),
+                           HumanSeconds(point->estimated_wall_s),
+                           HumanSeconds(point->measured_wall_s - point->estimated_wall_s),
+                           point->matches_inprocess ? "yes" : "NO"});
+        points.push_back(*point);
+      }
+    }
+    real_table.Print();
+    std::printf("\nDelta is what the model leaves out: thread scheduling, syscalls and\n"
+                "loopback's real bandwidth. Jaccard must match the in-process engine.\n");
+    if (!json_out.empty()) {
+      if (Status s = WriteFile(json_out, RealPointsToJson(points)); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote estimated-vs-measured deltas -> %s\n", json_out.c_str());
+    }
+  }
   return 0;
 }

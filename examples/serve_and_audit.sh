@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Two-terminal walkthrough of the networked INDaaS service, compressed into
+# one script on loopback (README "Networked mode", DESIGN.md §7).
+#
+# What a human would do across two terminals:
+#   terminal 1:  indaas serve --port=7341
+#   terminal 2:  indaas audit --remote=localhost:7341 --depdb=... --deployments=...
+# plus a three-peer socket-backed P-SOP ring (one process per provider).
+#
+# Usage: examples/serve_and_audit.sh [path-to-indaas-binary]
+set -eu
+
+INDAAS="${1:-./build/src/cli/indaas}"
+if [ ! -x "$INDAAS" ]; then
+  echo "indaas binary not found at $INDAAS (build first, or pass its path)" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+PORT=17341
+
+echo "### 1. Collect a DepDB from the simulated lab cloud"
+"$INDAAS" collect --infra=lab --out="$WORKDIR/depdb.txt" --with-software
+
+echo
+echo "### 2. [terminal 1] Start the audit server"
+"$INDAAS" serve --port=$PORT &
+SERVER_PID=$!
+
+echo
+echo "### 3. [terminal 2] Ship the DepDB to the server and audit remotely"
+# The client retries with exponential backoff while the server comes up, so
+# no sleep is needed between the two steps.
+"$INDAAS" audit --remote=localhost:$PORT --depdb="$WORKDIR/depdb.txt" \
+    --deployments="Server1,Server2;Server1,Server3;Server2,Server4"
+
+echo
+echo "### 4. Stop the server"
+kill -INT $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+
+echo
+echo "### 5. Socket-backed P-SOP: three provider processes form a TCP ring"
+cat > "$WORKDIR/providers.txt" <<'EOF'
+CloudA: net:tor1, net:core1, hw:sed900, pkg:libc6=2.13
+CloudB: net:tor2, net:core1, hw:sed900, pkg:libc6=2.13
+CloudC: net:tor3, net:core1, hw:wd200, pkg:libc6=2.13
+EOF
+PEERS="127.0.0.1:17401,127.0.0.1:17402,127.0.0.1:17403"
+"$INDAAS" pia --sets="$WORKDIR/providers.txt" --peers="$PEERS" --self=0 &
+PEER0=$!
+"$INDAAS" pia --sets="$WORKDIR/providers.txt" --peers="$PEERS" --self=1 &
+PEER1=$!
+"$INDAAS" pia --sets="$WORKDIR/providers.txt" --peers="$PEERS" --self=2
+wait $PEER0 $PEER1
+
+echo
+echo "Done: every peer printed the same Jaccard without any peer seeing"
+echo "another's component set."

@@ -1,6 +1,10 @@
 #include "src/cli/commands.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <thread>
 
 #include "src/acquire/apt_sim.h"
 #include "src/acquire/lshw_sim.h"
@@ -13,9 +17,13 @@
 #include "src/obs/trace.h"
 #include "src/graph/fault_graph.h"
 #include "src/graph/serialize.h"
+#include "src/net/socket.h"
 #include "src/sia/builder.h"
 #include "src/sia/importance.h"
 #include "src/sia/whatif.h"
+#include "src/svc/client.h"
+#include "src/svc/pia_peer.h"
+#include "src/svc/server.h"
 #include "src/topology/case_study.h"
 #include "src/topology/fat_tree.h"
 #include "src/util/file.h"
@@ -186,11 +194,15 @@ Status RunAuditCommand(int argc, char** argv) {
   std::string algorithm = "minimal";
   std::string metric = "size";
   std::string cvss_path;
+  std::string remote;
   int64_t rounds = 100000;
   int64_t seed = 1;
   int64_t parallel = 1;
   FlagSet flags;
   flags.AddString("depdb", &depdb_path, "DepDB file to audit");
+  flags.AddString("remote", &remote,
+                  "audit on a remote `indaas serve` instance at host:port "
+                  "(ships --depdb there first)");
   flags.AddString("baseline", &baseline_path, "older DepDB file; prints a regression diff");
   flags.AddString("deployments", &deployments_spec, "candidate deployments: \"S1,S2;S1,S3\"");
   flags.AddString("algorithm", &algorithm, "minimal | sampling");
@@ -223,6 +235,26 @@ Status RunAuditCommand(int argc, char** argv) {
   spec.sampling_rounds = static_cast<size_t>(rounds);
   spec.seed = static_cast<uint64_t>(seed);
   spec.parallel_deployments = static_cast<size_t>(std::max<int64_t>(1, parallel));
+
+  if (!remote.empty()) {
+    // Remote audits run against the server's agent; the options that
+    // configure a local agent don't apply.
+    if (!baseline_path.empty() || !cvss_path.empty()) {
+      return InvalidArgumentError("--baseline and --cvss are not supported with --remote");
+    }
+    INDAAS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::ParseEndpoint(remote));
+    INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(depdb_path));
+    BeginObs(obs_out);
+    INDAAS_ASSIGN_OR_RETURN(svc::AuditClient client, svc::AuditClient::Connect(endpoint));
+    INDAAS_ASSIGN_OR_RETURN(svc::ImportAck ack, client.ImportDepDb(text));
+    std::printf("imported DepDB into %s (%llu network, %llu hardware, %llu software)\n",
+                endpoint.ToString().c_str(), static_cast<unsigned long long>(ack.network),
+                static_cast<unsigned long long>(ack.hardware),
+                static_cast<unsigned long long>(ack.software));
+    INDAAS_ASSIGN_OR_RETURN(SiaAuditReport report, client.AuditStructural(spec));
+    std::printf("%s", RenderSiaReport(report).c_str());
+    return FinishObs(obs_out);
+  }
 
   FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
   if (!cvss_path.empty()) {
@@ -344,8 +376,11 @@ Status RunImportanceCommand(int argc, char** argv) {
 Status RunPiaCommand(int argc, char** argv) {
   std::string sets_path;
   std::string depdbs_spec;
+  std::string peers_spec;
   bool minhash = false;
   int64_t m = 256;
+  int64_t self_index = 0;
+  int64_t seed = 1;
   int64_t group_bits = 768;
   int64_t max_redundancy = 3;
   int64_t parallel = 1;
@@ -354,8 +389,13 @@ Status RunPiaCommand(int argc, char** argv) {
   flags.AddString("depdbs", &depdbs_spec,
                   "providers from DepDB files: \"Cloud1=a.txt;Cloud2=b.txt\" "
                   "(normalized per §4.2.3)");
+  flags.AddString("peers", &peers_spec,
+                  "socket mode: the P-SOP ring as \"hostA:p1,hostB:p2,...\" "
+                  "(one `indaas pia` process per peer)");
   flags.AddBool("minhash", &minhash, "MinHash-compress sets before P-SOP");
   flags.AddInt("m", &m, "MinHash sample size");
+  flags.AddInt("self", &self_index, "socket mode: this peer's index into --peers");
+  flags.AddInt("seed", &seed, "socket mode: shared session seed (key material differs per peer)");
   flags.AddInt("group-bits", &group_bits, "commutative group bits");
   flags.AddInt("max-redundancy", &max_redundancy, "largest deployment size to rank");
   flags.AddInt("parallel", &parallel, "run this many protocol instances concurrently");
@@ -394,6 +434,48 @@ Status RunPiaCommand(int argc, char** argv) {
       providers.push_back(MakeProviderFromDepDb(entry.substr(0, eq), db));
     }
   }
+  if (!peers_spec.empty()) {
+    // Socket mode: this process is ring peer `self` and audits its own
+    // provider set against the others over TCP.
+    INDAAS_ASSIGN_OR_RETURN(std::vector<net::Endpoint> peers,
+                            net::ParseEndpointList(peers_spec));
+    if (peers.size() < 2) {
+      return InvalidArgumentError("--peers needs at least two ring endpoints");
+    }
+    if (self_index < 0 || static_cast<size_t>(self_index) >= peers.size()) {
+      return InvalidArgumentError(
+          StrFormat("--self=%lld is out of the %zu-peer ring",
+                    static_cast<long long>(self_index), peers.size()));
+    }
+    if (static_cast<size_t>(self_index) >= providers.size()) {
+      return InvalidArgumentError(
+          StrFormat("--self=%lld has no provider line in %s",
+                    static_cast<long long>(self_index), sets_path.c_str()));
+    }
+    svc::PiaPeerOptions peer_options;
+    peer_options.peers = std::move(peers);
+    peer_options.self_index = static_cast<size_t>(self_index);
+    peer_options.psop.group_bits = static_cast<size_t>(group_bits);
+    peer_options.psop.seed = static_cast<uint64_t>(seed);
+    const CloudProvider& self_provider = providers[static_cast<size_t>(self_index)];
+    BeginObs(obs_out);
+    INDAAS_ASSIGN_OR_RETURN(
+        svc::PiaPeer peer,
+        svc::PiaPeer::Listen(peer_options.peers[peer_options.self_index].port));
+    std::printf("peer %lld/%zu (%s) listening on port %u, running P-SOP...\n",
+                static_cast<long long>(self_index), peer_options.peers.size(),
+                self_provider.name.c_str(), peer.listen_port());
+    INDAAS_ASSIGN_OR_RETURN(PsopResult result,
+                            peer.RunPsop(self_provider.components, peer_options));
+    const PartyStats& stats = result.party_stats[peer_options.self_index];
+    std::printf("jaccard=%.6f intersection=%zu union=%zu\n", result.jaccard,
+                result.intersection, result.union_size);
+    std::printf("self: %.3fs compute, %zu encrypt ops, %zu B sent, %zu B received\n",
+                stats.compute_seconds, stats.encrypt_ops, stats.bytes_sent,
+                stats.bytes_received);
+    return FinishObs(obs_out);
+  }
+
   PiaAuditOptions options;
   options.method = minhash ? PiaMethod::kPsopMinHash : PiaMethod::kPsopExact;
   options.minhash_m = static_cast<size_t>(m);
@@ -406,6 +488,67 @@ Status RunPiaCommand(int argc, char** argv) {
   INDAAS_ASSIGN_OR_RETURN(PiaAuditReport report, agent.AuditPrivate(providers, options));
   std::printf("%s", RenderPiaReport(report).c_str());
   return FinishObs(obs_out);
+}
+
+namespace {
+// SIGINT/SIGTERM flip this; the serve loop polls it.
+std::atomic<bool> g_serve_interrupted{false};
+void HandleServeSignal(int) { g_serve_interrupted.store(true); }
+}  // namespace
+
+Status RunServeCommand(int argc, char** argv) {
+  int64_t port = 7341;
+  int64_t threads = 4;
+  int64_t io_timeout_ms = 10000;
+  std::string depdb_path;
+  std::string cvss_path;
+  FlagSet flags;
+  flags.AddInt("port", &port, "TCP port to listen on (0 picks a free port)");
+  flags.AddInt("threads", &threads, "worker threads serving requests");
+  flags.AddInt("io-timeout-ms", &io_timeout_ms, "per-request read/write timeout");
+  flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
+  flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError(StrFormat("--port=%lld is not a TCP port",
+                                          static_cast<long long>(port)));
+  }
+
+  svc::AuditServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.worker_threads = static_cast<size_t>(std::max<int64_t>(1, threads));
+  options.io_timeout_ms = static_cast<int>(io_timeout_ms);
+  svc::AuditServer server(options);
+
+  // The probability model must outlive the server's agent.
+  FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
+  if (!cvss_path.empty()) {
+    INDAAS_ASSIGN_OR_RETURN(std::string feed, ReadFile(cvss_path));
+    INDAAS_RETURN_IF_ERROR(LoadCvssFeed(feed, model));
+    server.agent().SetProbabilityModel(&model);
+  }
+  if (!depdb_path.empty()) {
+    INDAAS_ASSIGN_OR_RETURN(std::string text, ReadFile(depdb_path));
+    INDAAS_RETURN_IF_ERROR(server.agent().depdb().ImportText(text));
+    std::printf("preloaded %zu DepDB records from %s\n",
+                server.agent().depdb().TotalCount(), depdb_path.c_str());
+  }
+
+  INDAAS_RETURN_IF_ERROR(server.Start());
+  std::printf("indaas audit server listening on port %u (%zu workers); Ctrl-C to stop\n",
+              server.port(), options.worker_threads);
+  std::fflush(stdout);
+  g_serve_interrupted.store(false);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::printf("shutting down...\n");
+  server.Stop();
+  return Status::Ok();
 }
 
 int RunCli(int argc, char** argv) {
@@ -445,7 +588,10 @@ int RunCli(int argc, char** argv) {
                  "  whatif      simulate component failures against a saved graph\n"
                  "  importance  rank components by fault-tree importance measures\n"
                  "  pia         private independence audit across provider component sets\n"
-                 "audit and pia accept --metrics-out=<file> and --trace-out=<file>\n");
+                 "  serve       run the networked audit service (see audit --remote)\n"
+                 "audit and pia accept --metrics-out=<file> and --trace-out=<file>\n"
+                 "networked: serve --port=P; audit --remote=host:P; "
+                 "pia --peers=a:p1,b:p2,c:p3 --self=i\n");
     return 2;
   }
   std::string command = argv[1];
@@ -464,6 +610,8 @@ int RunCli(int argc, char** argv) {
     status = RunImportanceCommand(argc - 1, argv + 1);
   } else if (command == "pia") {
     status = RunPiaCommand(argc - 1, argv + 1);
+  } else if (command == "serve") {
+    status = RunServeCommand(argc - 1, argv + 1);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

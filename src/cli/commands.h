@@ -8,9 +8,15 @@
 //   indaas whatif     --graph=g.fg --fail="net:tor1,hw:x"
 //   indaas importance --graph=g.fg
 //   indaas pia        --sets=providers.txt [...]
+//   indaas serve      --port=7341 [--threads=4] [--depdb=deps.txt]
 //
 // `pia` reads providers from a simple format: one provider per line,
 //   <name>: <component>, <component>, ...
+//
+// Networked mode: `serve` runs the audit service; `audit --remote=host:port`
+// ships the DepDB to that server and audits there; `pia
+// --peers=a:p1,b:p2,c:p3 --self=i` runs one party of a socket-backed P-SOP
+// ring (its set is line i of the --sets file).
 
 #ifndef SRC_CLI_COMMANDS_H_
 #define SRC_CLI_COMMANDS_H_
@@ -30,6 +36,7 @@ Status RunGraphCommand(int argc, char** argv);
 Status RunWhatIfCommand(int argc, char** argv);
 Status RunImportanceCommand(int argc, char** argv);
 Status RunPiaCommand(int argc, char** argv);
+Status RunServeCommand(int argc, char** argv);
 
 // Dispatches to a subcommand; prints usage on unknown commands.
 int RunCli(int argc, char** argv);

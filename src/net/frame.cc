@@ -1,0 +1,109 @@
+#include "src/net/frame.h"
+
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace net {
+namespace {
+
+void AppendU32BE(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>(value & 0xFF));
+}
+
+uint32_t ReadU32BE(const unsigned char* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+obs::Counter* FramesSent() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("net.frames_sent");
+  return counter;
+}
+obs::Counter* FramesRecv() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("net.frames_recv");
+  return counter;
+}
+obs::Counter* FrameRejects() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("net.frames_rejected");
+  return counter;
+}
+
+}  // namespace
+
+std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size) {
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  AppendU32BE(&header, kFrameMagic);
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(type));
+  header.push_back(0);  // flags hi
+  header.push_back(0);  // flags lo
+  AppendU32BE(&header, payload_size);
+  return header;
+}
+
+Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms) {
+  if (payload.size() > UINT32_MAX) {
+    return InvalidArgumentError("WriteFrame: payload exceeds 4 GiB");
+  }
+  std::string header = EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()));
+  // Two sends, not one copy: payloads can be tens of MB and the header is
+  // tiny; TCP_NODELAY is on but the kernel coalesces back-to-back sends.
+  INDAAS_RETURN_IF_ERROR(socket.SendAll(header, timeout_ms));
+  INDAAS_RETURN_IF_ERROR(socket.SendAll(payload, timeout_ms));
+  FramesSent()->Increment();
+  return Status::Ok();
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits& limits) {
+  if (bytes.size() != kFrameHeaderBytes) {
+    return ProtocolError(StrFormat("frame header is %zu bytes, want %zu", bytes.size(),
+                                   kFrameHeaderBytes));
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  uint32_t magic = ReadU32BE(p);
+  if (magic != kFrameMagic) {
+    FrameRejects()->Increment();
+    return ProtocolError(StrFormat("bad frame magic 0x%08X", magic));
+  }
+  uint8_t version = p[4];
+  if (version != kWireVersion) {
+    FrameRejects()->Increment();
+    return ProtocolError(StrFormat("unsupported wire version %u (want %u)", version,
+                                   kWireVersion));
+  }
+  uint16_t flags = static_cast<uint16_t>((p[6] << 8) | p[7]);
+  if (flags != 0) {
+    FrameRejects()->Increment();
+    return ProtocolError(StrFormat("nonzero reserved frame flags 0x%04X", flags));
+  }
+  uint32_t length = ReadU32BE(p + 8);
+  if (length > limits.max_payload_bytes) {
+    FrameRejects()->Increment();
+    return ProtocolError(StrFormat("frame payload %u bytes exceeds limit %u", length,
+                                   limits.max_payload_bytes));
+  }
+  FrameHeader header;
+  header.type = p[5];
+  header.payload_size = length;
+  return header;
+}
+
+Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_ms) {
+  std::string raw;
+  INDAAS_RETURN_IF_ERROR(socket.RecvAll(&raw, kFrameHeaderBytes, timeout_ms));
+  INDAAS_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(raw, limits));
+  Frame frame;
+  frame.type = header.type;
+  INDAAS_RETURN_IF_ERROR(socket.RecvAll(&frame.payload, header.payload_size, timeout_ms));
+  FramesRecv()->Increment();
+  return frame;
+}
+
+}  // namespace net
+}  // namespace indaas

@@ -1,0 +1,71 @@
+// Length-prefixed message framing with a versioned binary header
+// (DESIGN.md §7). Every INDaaS message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic 0x494E4441 ("INDA"), big-endian
+//   4       1     wire-format version (kWireVersion)
+//   5       1     message type (svc::MsgType; opaque to this layer)
+//   6       2     flags (reserved, must be zero)
+//   8       4     payload length in bytes, big-endian
+//   12      n     payload
+//
+// ReadFrame validates magic, version, flags and length against FrameLimits
+// before allocating the payload buffer, so a garbage or hostile peer costs
+// a 12-byte read, never an attacker-chosen allocation. Frame errors are
+// kProtocolError (do not retry); timeouts and closed peers keep the socket
+// layer's kDeadlineExceeded / kUnavailable codes.
+
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x494E4441;  // "INDA"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+struct FrameLimits {
+  // Largest payload ReadFrame will accept. PIA datasets dominate frame
+  // sizes: 100k elements × 128-byte group elements ≈ 13 MB, so 64 MB leaves
+  // ample headroom while still rejecting nonsense lengths.
+  uint32_t max_payload_bytes = 64u << 20;
+};
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+// Serializes the header for `type`/`payload_size` (testing seam; WriteFrame
+// uses it internally).
+std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size);
+
+// Decoded, validated header fields.
+struct FrameHeader {
+  uint8_t type = 0;
+  uint32_t payload_size = 0;
+};
+
+// Validates a raw kFrameHeaderBytes-byte header against `limits`. Shared by
+// ReadFrame and multiplexing callers that assemble frames from non-blocking
+// reads (the PIA ring pump).
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits& limits);
+
+// Writes one frame (header + payload) to the socket.
+Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms);
+
+// Reads and validates one frame. The timeout applies to each socket wait,
+// so a total stall is bounded by timeout_ms (header) + timeout_ms (payload).
+Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_ms);
+
+}  // namespace net
+}  // namespace indaas
+
+#endif  // SRC_NET_FRAME_H_

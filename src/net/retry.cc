@@ -1,0 +1,51 @@
+#include "src/net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+
+namespace indaas {
+namespace net {
+
+double BackoffSeconds(const RetryPolicy& policy, size_t attempt) {
+  double backoff = policy.initial_backoff_s;
+  for (size_t i = 0; i < attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= policy.max_backoff_s) {
+      return policy.max_backoff_s;
+    }
+  }
+  return std::min(backoff, policy.max_backoff_s);
+}
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+Result<Socket> ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
+                                const RetryPolicy& policy) {
+  static obs::Counter* retries =
+      obs::MetricsRegistry::Global().GetCounter("net.connect_retries");
+  size_t attempts = std::max<size_t>(1, policy.max_attempts);
+  for (size_t attempt = 0;; ++attempt) {
+    Result<Socket> sock = TcpConnect(endpoint, timeout_ms);
+    if (sock.ok()) {
+      return sock;
+    }
+    if (attempt + 1 >= attempts || !IsRetryable(sock.status())) {
+      return sock;
+    }
+    retries->Increment();
+    double backoff = BackoffSeconds(policy, attempt);
+    INDAAS_LOG(Debug) << "connect " << endpoint.ToString() << " failed ("
+                      << sock.status().ToString() << "); retrying in " << backoff << " s";
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
+}  // namespace net
+}  // namespace indaas

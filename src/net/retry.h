@@ -1,0 +1,41 @@
+// Retry with exponential backoff for transient (kUnavailable) failures.
+//
+// The canonical consumer is ConnectWithRetry: a PIA ring or an audit client
+// frequently starts before its peer's listener is up, so the first connect
+// is refused and succeeds a few backoff steps later. Deterministic (no
+// jitter): backoff_s(attempt) = min(initial * multiplier^attempt, max).
+
+#ifndef SRC_NET_RETRY_H_
+#define SRC_NET_RETRY_H_
+
+#include <cstddef>
+
+#include "src/net/socket.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace net {
+
+struct RetryPolicy {
+  size_t max_attempts = 8;          // total tries, including the first
+  double initial_backoff_s = 0.02;  // sleep after the first failure
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
+};
+
+// Sleep duration after failed attempt `attempt` (0-based).
+double BackoffSeconds(const RetryPolicy& policy, size_t attempt);
+
+// Whether `status` is worth retrying (kUnavailable or kDeadlineExceeded).
+bool IsRetryable(const Status& status);
+
+// TcpConnect with up to policy.max_attempts tries; sleeps the backoff
+// between failures and counts each retry in net.connect_retries. Returns
+// the final attempt's error when all tries fail.
+Result<Socket> ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
+                                const RetryPolicy& policy = {});
+
+}  // namespace net
+}  // namespace indaas
+
+#endif  // SRC_NET_RETRY_H_

@@ -1,0 +1,330 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace net {
+namespace {
+
+obs::Counter* BytesSentCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("net.bytes_sent");
+  return counter;
+}
+obs::Counter* BytesRecvCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("net.bytes_recv");
+  return counter;
+}
+obs::Gauge* ConnectionsGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("net.connections_open");
+  return gauge;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return InternalError(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+// One poll() on a single fd; distinguishes timeout from fd errors.
+Status PollOne(int fd, short events, int timeout_ms, const char* what) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;  // Retry with the full timeout; interruptions are rare.
+      }
+      return InternalError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) {
+      return DeadlineExceededError(StrFormat("%s: timed out after %d ms", what, timeout_ms));
+    }
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      return UnavailableError(std::string(what) + ": socket error");
+    }
+    // POLLHUP still allows draining buffered data; let read() see the EOF.
+    return Status::Ok();
+  }
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const { return host + ":" + std::to_string(port); }
+
+Result<Endpoint> ParseEndpoint(std::string_view text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == text.size()) {
+    return InvalidArgumentError("endpoint must be host:port — '" + std::string(text) + "'");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(Trim(text.substr(0, colon)));
+  std::string port_text(Trim(text.substr(colon + 1)));
+  char* end = nullptr;
+  long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+    return InvalidArgumentError("bad port in endpoint '" + std::string(text) + "'");
+  }
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text) {
+  std::vector<Endpoint> endpoints;
+  // An empty segment is rejected, not skipped: ring position is positional,
+  // and silently dropping one entry would shift every later peer's index.
+  for (const std::string& entry : Split(text, ',')) {
+    if (Trim(entry).empty()) {
+      return InvalidArgumentError("empty entry in endpoint list '" + std::string(text) + "'");
+    }
+    INDAAS_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(entry));
+    endpoints.push_back(std::move(endpoint));
+  }
+  if (endpoints.empty()) {
+    return InvalidArgumentError("empty endpoint list");
+  }
+  return endpoints;
+}
+
+Socket::Socket(int fd) : fd_(fd) {
+  if (fd_ >= 0) {
+    ConnectionsGauge()->Add(1);
+  }
+}
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ConnectionsGauge()->Add(-1);
+  }
+}
+
+Status Socket::WaitReadable(int timeout_ms) const {
+  return PollOne(fd_, POLLIN, timeout_ms, "recv");
+}
+
+Status Socket::WaitWritable(int timeout_ms) const {
+  return PollOne(fd_, POLLOUT, timeout_ms, "send");
+}
+
+Status Socket::SendAll(std::string_view data, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the process.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      BytesSentCounter()->Add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      INDAAS_RETURN_IF_ERROR(WaitWritable(timeout_ms));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return UnavailableError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(std::string* out, size_t length, int timeout_ms) {
+  out->clear();
+  out->resize(length);
+  size_t received = 0;
+  while (received < length) {
+    ssize_t n = ::recv(fd_, out->data() + received, length - received, 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      BytesRecvCounter()->Add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return UnavailableError(
+          StrFormat("recv: peer closed after %zu of %zu bytes", received, length));
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      INDAAS_RETURN_IF_ERROR(WaitReadable(timeout_ms));
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Socket::SendSome(std::string_view data) {
+  for (;;) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      BytesSentCounter()->Add(static_cast<uint64_t>(n));
+      return static_cast<size_t>(n);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<size_t>(0);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return UnavailableError(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+Result<size_t> Socket::RecvSome(char* out, size_t capacity) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, out, capacity, 0);
+    if (n > 0) {
+      BytesRecvCounter()->Add(static_cast<uint64_t>(n));
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) {
+      return UnavailableError("recv: peer closed the connection");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<size_t>(0);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<uint16_t> Socket::LocalPort() const {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return InternalError(std::string("getsockname: ") + std::strerror(errno));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> TcpListen(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return UnavailableError(StrFormat("bind port %u: ", port) + std::strerror(errno));
+  }
+  if (::listen(fd, backlog) < 0) {
+    return InternalError(std::string("listen: ") + std::strerror(errno));
+  }
+  INDAAS_RETURN_IF_ERROR(SetNonBlocking(fd));
+  return sock;
+}
+
+Result<Socket> TcpAccept(const Socket& listener, int timeout_ms) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      INDAAS_RETURN_IF_ERROR(SetNonBlocking(fd));
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      INDAAS_RETURN_IF_ERROR(PollOne(listener.fd(), POLLIN, timeout_ms, "accept"));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) {
+      continue;  // The connection died between SYN and accept; keep waiting.
+    }
+    return InternalError(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+Result<Socket> TcpConnect(const Endpoint& endpoint, int timeout_ms) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(endpoint.host.c_str(), std::to_string(endpoint.port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return UnavailableError("resolve " + endpoint.ToString() + ": " + ::gai_strerror(rc));
+  }
+  Status last = UnavailableError("connect " + endpoint.ToString() + ": no addresses");
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = InternalError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    Socket sock(fd);
+    if (Status s = SetNonBlocking(fd); !s.ok()) {
+      last = std::move(s);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Immediate success (loopback fast path).
+    } else if (errno == EINPROGRESS) {
+      if (Status s = PollOne(fd, POLLOUT, timeout_ms, "connect"); !s.ok()) {
+        last = std::move(s);
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        last = UnavailableError("connect " + endpoint.ToString() + ": " + std::strerror(err));
+        continue;
+      }
+    } else {
+      last = UnavailableError("connect " + endpoint.ToString() + ": " + std::strerror(errno));
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(res);
+    return sock;
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace net
+}  // namespace indaas

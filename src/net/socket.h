@@ -1,0 +1,96 @@
+// Non-blocking TCP sockets with poll-based readiness waits (DESIGN.md §7).
+//
+// Every socket this layer creates is non-blocking; blocking semantics are
+// recovered per call through WaitReadable/WaitWritable with an explicit
+// deadline, so a stuck peer costs at most the caller's timeout — never a
+// hung thread. Timeouts surface as kDeadlineExceeded, connectivity failures
+// (refused, reset, unreachable, EOF) as kUnavailable so callers can decide
+// what is retryable. All traffic is mirrored into the metrics registry as
+// net.bytes_sent / net.bytes_recv counters and a net.connections_open gauge.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+namespace net {
+
+// A "host:port" pair. Host may be a name ("localhost") or dotted IPv4.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+// Parses "host:port". The port must be in [1, 65535].
+Result<Endpoint> ParseEndpoint(std::string_view text);
+
+// Parses "a:p1,b:p2,c:p3" into an ordered list (the PIA ring order).
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text);
+
+// Move-only RAII wrapper over a non-blocking socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd);
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Closes the descriptor now (idempotent).
+  void Close();
+
+  // Blocks (via poll) until the socket is readable/writable or `timeout_ms`
+  // elapses. timeout_ms < 0 waits forever.
+  Status WaitReadable(int timeout_ms) const;
+  Status WaitWritable(int timeout_ms) const;
+
+  // Writes all `data.size()` bytes, polling for writability as needed; the
+  // timeout applies to each poll individually (progress resets it).
+  Status SendAll(std::string_view data, int timeout_ms);
+
+  // Reads exactly `length` bytes into `out` (resized). A clean peer close
+  // mid-message is kUnavailable; a timeout is kDeadlineExceeded.
+  Status RecvAll(std::string* out, size_t length, int timeout_ms);
+
+  // Single non-blocking send/recv attempts for callers that multiplex
+  // several sockets through one poll loop (the PIA ring pump). Both return
+  // the byte count moved — 0 means "would block, poll and retry". A closed
+  // peer is kUnavailable.
+  Result<size_t> SendSome(std::string_view data);
+  Result<size_t> RecvSome(char* out, size_t capacity);
+
+  // Local port the socket is bound to (useful after listening on port 0).
+  Result<uint16_t> LocalPort() const;
+
+ private:
+  int fd_ = -1;
+};
+
+// Opens a listening socket on `port` (0 picks a free port) bound to all
+// interfaces, with SO_REUSEADDR.
+Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+
+// Accepts one connection, waiting up to `timeout_ms` for one to arrive.
+Result<Socket> TcpAccept(const Socket& listener, int timeout_ms);
+
+// Connects to `endpoint` with a bounded non-blocking connect.
+Result<Socket> TcpConnect(const Endpoint& endpoint, int timeout_ms);
+
+}  // namespace net
+}  // namespace indaas
+
+#endif  // SRC_NET_SOCKET_H_

@@ -5,7 +5,8 @@
 // round count into an estimated wall-clock contribution for a given link
 // profile, so benches can report "estimated wall time at 1 Gbps / 0.5 ms
 // RTT" alongside raw compute — the quantity the paper's cluster measured
-// implicitly.
+// implicitly. bench_fig8_pia_overheads --real cross-validates the estimate
+// against measured loopback wall time of the socket-backed ring.
 
 #ifndef SRC_PIA_NETWORK_MODEL_H_
 #define SRC_PIA_NETWORK_MODEL_H_
@@ -26,10 +27,19 @@ struct NetworkModel {
     return static_cast<double>(bytes) / bw + static_cast<double>(rounds) * rtt_seconds;
   }
 
+  // Directional variant: a party's NIC serializes both what it sends and
+  // what it receives, so both directions are charged. This matters for
+  // asymmetric protocols — the KS aggregator receives far more than it
+  // sends, and charging only bytes_sent undercounts its wall time.
+  double TransferSeconds(size_t bytes_sent, size_t bytes_received, size_t rounds) const {
+    return TransferSeconds(bytes_sent + bytes_received, rounds);
+  }
+
   // Estimated wall clock for one party: its compute plus shipping what it
-  // sent, with `rounds` synchronization points.
+  // sent and received, with `rounds` synchronization points.
   double EstimateWallSeconds(const PartyStats& stats, size_t rounds) const {
-    return stats.compute_seconds + TransferSeconds(stats.bytes_sent, rounds);
+    return stats.compute_seconds +
+           TransferSeconds(stats.bytes_sent, stats.bytes_received, rounds);
   }
 };
 

@@ -17,8 +17,9 @@ struct Party {
   PartyStats stats;
 };
 
-// Multiset disambiguation (§4.2.2): occurrence t of element e becomes "e||t".
-std::vector<std::string> Disambiguate(const std::vector<std::string>& elements) {
+}  // namespace
+
+std::vector<std::string> DisambiguateMultiset(const std::vector<std::string>& elements) {
   std::map<std::string, size_t> seen;
   std::vector<std::string> out;
   out.reserve(elements.size());
@@ -28,8 +29,6 @@ std::vector<std::string> Disambiguate(const std::vector<std::string>& elements) 
   }
   return out;
 }
-
-}  // namespace
 
 Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets,
                            const PsopOptions& options) {
@@ -63,7 +62,7 @@ Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets
     for (size_t i = 0; i < k; ++i) {
       Party& party = parties[i];
       PartyComputeTimer timer(meters[i]);
-      std::vector<std::string> elements = Disambiguate(datasets[i]);
+      std::vector<std::string> elements = DisambiguateMultiset(datasets[i]);
       party.dataset.reserve(elements.size());
       for (const std::string& element : elements) {
         BigUint point = group.HashToElement(element, options.hash);

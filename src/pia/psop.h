@@ -41,6 +41,12 @@ struct PsopResult {
   std::vector<PartyStats> party_stats;  // one entry per party
 };
 
+// Multiset disambiguation (§4.2.2): occurrence t of element e becomes
+// "e||t", making every party's elements unique while preserving multiset
+// intersection semantics. Shared with the socket-backed peers so both
+// engines hash identical plaintexts.
+std::vector<std::string> DisambiguateMultiset(const std::vector<std::string>& elements);
+
 // Runs the protocol over the parties' datasets (one vector<string> each).
 // Requires >= 2 parties; datasets may contain duplicates (handled via the
 // e||1..e||t disambiguation from §4.2.2).

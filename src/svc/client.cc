@@ -1,0 +1,68 @@
+#include "src/svc/client.h"
+
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace svc {
+
+AuditClient::AuditClient(net::Socket socket, AuditClientOptions options)
+    : socket_(std::move(socket)), options_(std::move(options)) {}
+
+Result<AuditClient> AuditClient::Connect(const net::Endpoint& endpoint,
+                                         const AuditClientOptions& options) {
+  INDAAS_ASSIGN_OR_RETURN(
+      net::Socket socket,
+      net::ConnectWithRetry(endpoint, options.connect_timeout_ms, options.retry));
+  return AuditClient(std::move(socket), options);
+}
+
+Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
+                                     MsgType expected) {
+  INDAAS_RETURN_IF_ERROR(net::WriteFrame(socket_, static_cast<uint8_t>(request), payload,
+                                         options_.io_timeout_ms));
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
+                          net::ReadFrame(socket_, options_.limits, options_.io_timeout_ms));
+  if (reply.type == static_cast<uint8_t>(MsgType::kErrorReply)) {
+    return DecodeErrorReply(reply.payload);
+  }
+  if (reply.type != static_cast<uint8_t>(expected)) {
+    return ProtocolError(StrFormat("unexpected reply type %u (want %u)", reply.type,
+                                   static_cast<uint8_t>(expected)));
+  }
+  return reply;
+}
+
+Status AuditClient::Ping() {
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply, Call(MsgType::kPing, "", MsgType::kPong));
+  if (!reply.payload.empty()) {
+    return ProtocolError("pong carried unexpected payload");
+  }
+  return Status::Ok();
+}
+
+Result<ImportAck> AuditClient::ImportDepDb(const std::string& table1_text) {
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
+                          Call(MsgType::kImportDepDb, table1_text, MsgType::kImportAck));
+  return DecodeImportAck(reply.payload);
+}
+
+Result<SiaAuditReport> AuditClient::AuditStructural(const AuditSpecification& spec) {
+  INDAAS_ASSIGN_OR_RETURN(
+      net::Frame reply,
+      Call(MsgType::kAuditRequest, EncodeAuditSpecification(spec), MsgType::kAuditReport));
+  return DecodeSiaAuditReport(reply.payload);
+}
+
+Result<PiaAuditReport> AuditClient::AuditPia(const std::vector<CloudProvider>& providers,
+                                             const PiaAuditOptions& options) {
+  PiaRequest request;
+  request.providers = providers;
+  request.options = options;
+  INDAAS_ASSIGN_OR_RETURN(
+      net::Frame reply,
+      Call(MsgType::kPiaRequest, EncodePiaRequest(request), MsgType::kPiaReport));
+  return DecodePiaAuditReport(reply.payload);
+}
+
+}  // namespace svc
+}  // namespace indaas

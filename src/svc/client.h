@@ -1,0 +1,66 @@
+// Client side of the INDaaS audit service: connects to an AuditServer
+// (retrying with exponential backoff while the server comes up), ships
+// DepDB records, and drives remote structural / private audits. One client
+// holds one connection and issues requests serially; use one client per
+// thread for concurrency.
+
+#ifndef SRC_SVC_CLIENT_H_
+#define SRC_SVC_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/agent/sia_audit.h"
+#include "src/agent/spec.h"
+#include "src/net/frame.h"
+#include "src/net/retry.h"
+#include "src/net/socket.h"
+#include "src/pia/audit.h"
+#include "src/svc/proto.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace svc {
+
+struct AuditClientOptions {
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 30000;  // audits on large DepDBs take real time
+  net::RetryPolicy retry;
+  net::FrameLimits limits;
+};
+
+class AuditClient {
+ public:
+  // Connects (with retry/backoff for a server that is still starting).
+  static Result<AuditClient> Connect(const net::Endpoint& endpoint,
+                                     const AuditClientOptions& options = {});
+
+  // Round-trip liveness check.
+  Status Ping();
+
+  // Imports Table-1 formatted DepDB text into the server's database;
+  // returns the server's post-import record counts.
+  Result<ImportAck> ImportDepDb(const std::string& table1_text);
+
+  // Runs a structural audit on the server's DepDB.
+  Result<SiaAuditReport> AuditStructural(const AuditSpecification& spec);
+
+  // Runs a private audit over the given provider sets on the server.
+  Result<PiaAuditReport> AuditPia(const std::vector<CloudProvider>& providers,
+                                  const PiaAuditOptions& options = {});
+
+ private:
+  AuditClient(net::Socket socket, AuditClientOptions options);
+
+  // Sends one request frame and reads the reply, unwrapping kErrorReply
+  // into its remote Status.
+  Result<net::Frame> Call(MsgType request, std::string_view payload, MsgType expected);
+
+  net::Socket socket_;
+  AuditClientOptions options_;
+};
+
+}  // namespace svc
+}  // namespace indaas
+
+#endif  // SRC_SVC_CLIENT_H_

@@ -1,0 +1,267 @@
+#include "src/svc/pia_peer.h"
+
+#include <map>
+#include <poll.h>
+#include <set>
+
+#include "src/crypto/commutative.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/svc/proto.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace svc {
+namespace {
+
+// Assembles the full on-wire bytes of one frame (header + payload) for the
+// pump, which needs the whole message up front to interleave sends with
+// receives.
+std::string FrameBytes(MsgType type, std::string_view payload) {
+  std::string bytes = net::EncodeFrameHeader(static_cast<uint8_t>(type),
+                                             static_cast<uint32_t>(payload.size()));
+  bytes.append(payload.data(), payload.size());
+  return bytes;
+}
+
+}  // namespace
+
+Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
+                                  net::Socket& rx, const net::FrameLimits& limits,
+                                  int timeout_ms) {
+  size_t sent = 0;
+  std::string in_buffer;        // header, then payload, received so far
+  bool have_header = false;
+  net::FrameHeader header;
+  net::Frame frame;
+  auto recv_target = [&]() -> size_t {
+    return have_header ? header.payload_size : net::kFrameHeaderBytes;
+  };
+  while (sent < out_bytes.size() || !have_header || in_buffer.size() < recv_target()) {
+    struct pollfd fds[2];
+    int tx_slot = -1;
+    int rx_slot = -1;
+    int nfds = 0;
+    if (sent < out_bytes.size()) {
+      fds[nfds] = {tx.fd(), POLLOUT, 0};
+      tx_slot = nfds++;
+    }
+    fds[nfds] = {rx.fd(), POLLIN, 0};
+    rx_slot = nfds++;
+    int rc = ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError("ExchangeFrames: poll failed");
+    }
+    if (rc == 0) {
+      return DeadlineExceededError(
+          StrFormat("ring round stalled for %d ms (peer hung or partitioned)", timeout_ms));
+    }
+    if (tx_slot >= 0 && (fds[tx_slot].revents & (POLLOUT | POLLERR | POLLHUP))) {
+      INDAAS_ASSIGN_OR_RETURN(size_t n, tx.SendSome(out_bytes.substr(sent)));
+      sent += n;
+    }
+    if (fds[rx_slot].revents & (POLLIN | POLLERR | POLLHUP)) {
+      // Never read past the current frame: bytes beyond it belong to the
+      // next round.
+      size_t want = recv_target() - in_buffer.size();
+      if (want > 0) {
+        char chunk[64 * 1024];
+        size_t capacity = std::min(want, sizeof(chunk));
+        INDAAS_ASSIGN_OR_RETURN(size_t n, rx.RecvSome(chunk, capacity));
+        in_buffer.append(chunk, n);
+      }
+      if (!have_header && in_buffer.size() == net::kFrameHeaderBytes) {
+        INDAAS_ASSIGN_OR_RETURN(header, net::DecodeFrameHeader(in_buffer, limits));
+        have_header = true;
+        in_buffer.clear();
+      }
+    }
+  }
+  frame.type = header.type;
+  frame.payload = std::move(in_buffer);
+  return frame;
+}
+
+Result<PiaPeer> PiaPeer::Listen(uint16_t port) {
+  INDAAS_ASSIGN_OR_RETURN(net::Socket listener, net::TcpListen(port));
+  INDAAS_ASSIGN_OR_RETURN(uint16_t bound, listener.LocalPort());
+  return PiaPeer(std::move(listener), bound);
+}
+
+Result<PsopResult> PiaPeer::RunPsop(const std::vector<std::string>& dataset,
+                                    const PiaPeerOptions& options) {
+  const size_t k = options.peers.size();
+  const size_t self = options.self_index;
+  if (k < 2) {
+    return InvalidArgumentError("PiaPeer::RunPsop: need at least two ring peers");
+  }
+  if (self >= k) {
+    return InvalidArgumentError(StrFormat("PiaPeer::RunPsop: self_index %zu out of ring of %zu",
+                                          self, k));
+  }
+  const size_t successor = (self + 1) % k;
+  const size_t predecessor = (self + k - 1) % k;
+
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.psop.socket");
+  span.Annotate("ring_size", std::to_string(k));
+  span.Annotate("self", std::to_string(self));
+
+  // --- Ring setup: connect to the successor while the predecessor connects
+  // to us. Retry/backoff absorbs peers that start late.
+  INDAAS_ASSIGN_OR_RETURN(
+      net::Socket tx, net::ConnectWithRetry(options.peers[successor],
+                                            options.connect_timeout_ms, options.retry));
+  INDAAS_ASSIGN_OR_RETURN(net::Socket rx, net::TcpAccept(listener_, options.io_timeout_ms));
+
+  // --- Handshake: cross-check the ring geometry and crypto parameters.
+  PsopHello hello;
+  hello.ring_size = static_cast<uint32_t>(k);
+  hello.sender_index = static_cast<uint32_t>(self);
+  hello.group_bits = static_cast<uint32_t>(options.psop.group_bits);
+  hello.hash_algorithm = static_cast<uint8_t>(options.psop.hash);
+  INDAAS_RETURN_IF_ERROR(net::WriteFrame(tx, static_cast<uint8_t>(MsgType::kPsopHello),
+                                         EncodePsopHello(hello), options.io_timeout_ms));
+  INDAAS_ASSIGN_OR_RETURN(net::Frame hello_frame,
+                          net::ReadFrame(rx, options.limits, options.io_timeout_ms));
+  if (hello_frame.type != static_cast<uint8_t>(MsgType::kPsopHello)) {
+    return ProtocolError("ring handshake: first frame was not a hello");
+  }
+  INDAAS_ASSIGN_OR_RETURN(PsopHello peer_hello, DecodePsopHello(hello_frame.payload));
+  if (peer_hello.ring_size != k || peer_hello.sender_index != predecessor) {
+    return ProtocolError(StrFormat(
+        "ring handshake mismatch: predecessor claims index %u of %u, expected %zu of %zu",
+        peer_hello.sender_index, peer_hello.ring_size, predecessor, k));
+  }
+  if (peer_hello.group_bits != options.psop.group_bits ||
+      peer_hello.hash_algorithm != static_cast<uint8_t>(options.psop.hash)) {
+    return ProtocolError("ring handshake mismatch: peers disagree on crypto parameters");
+  }
+
+  // --- Crypto setup. Key material is local to this peer; only uniqueness
+  // across peers matters, so the seed folds in the ring index.
+  INDAAS_ASSIGN_OR_RETURN(CommutativeGroup group,
+                          CommutativeGroup::CreateWellKnown(options.psop.group_bits));
+  const size_t element_bytes = group.ElementBytes();
+  Rng rng(options.psop.seed + 0x9E3779B97F4A7C15ULL * (self + 1));
+  INDAAS_ASSIGN_OR_RETURN(CommutativeKey key, CommutativeKey::Generate(group, rng));
+
+  PsopResult result;
+  result.party_stats.assign(k, PartyStats{});
+  PartyMeter meter(&result.party_stats[self], "psop");
+
+  // --- Phase 0: hash into the group, first encryption, permutation
+  // (identical to the in-process engine's phase 0).
+  std::vector<BigUint> current;
+  {
+    INDAAS_TRACE_SPAN("pia.psop.encrypt_permute");
+    PartyComputeTimer timer(meter);
+    std::vector<std::string> elements = DisambiguateMultiset(dataset);
+    current.reserve(elements.size());
+    for (const std::string& element : elements) {
+      BigUint point = group.HashToElement(element, options.psop.hash);
+      current.push_back(key.Encrypt(group, point));
+      meter.AddEncryptOps();
+    }
+    rng.Shuffle(current);
+  }
+
+  // Sends `current` tagged with its origin while receiving the predecessor's
+  // dataset of the same round; validates type and origin on the way in.
+  auto exchange = [&](MsgType type, uint32_t send_origin,
+                      uint32_t expect_origin) -> Result<std::vector<BigUint>> {
+    PsopDataset out;
+    out.origin = send_origin;
+    out.element_bytes = static_cast<uint32_t>(element_bytes);
+    out.elements = std::move(current);
+    std::string out_bytes = FrameBytes(type, EncodePsopDataset(out));
+    meter.AddBytesSent(out_bytes.size());
+    INDAAS_ASSIGN_OR_RETURN(
+        net::Frame frame, ExchangeFrames(tx, out_bytes, rx, options.limits,
+                                         options.io_timeout_ms));
+    if (frame.type != static_cast<uint8_t>(type)) {
+      return ProtocolError(StrFormat("ring round got frame type %u, want %u", frame.type,
+                                     static_cast<uint8_t>(type)));
+    }
+    meter.AddBytesReceived(net::kFrameHeaderBytes + frame.payload.size());
+    INDAAS_ASSIGN_OR_RETURN(PsopDataset in, DecodePsopDataset(frame.payload));
+    if (in.origin != expect_origin) {
+      return ProtocolError(StrFormat("ring round got dataset of origin %u, want %u", in.origin,
+                                     expect_origin));
+    }
+    if (in.element_bytes != element_bytes) {
+      return ProtocolError("ring peers disagree on group element width");
+    }
+    return std::move(in.elements);
+  };
+
+  // --- Phase 1: k ring hops; every hop encrypts and permutes, except the
+  // last, which returns each dataset to its fully-encrypted origin.
+  {
+    INDAAS_TRACE_SPAN("pia.psop.ring");
+    for (size_t hop = 0; hop < k; ++hop) {
+      uint32_t send_origin = static_cast<uint32_t>((self + k - hop) % k);
+      uint32_t expect_origin = static_cast<uint32_t>((self + k - hop - 1) % k);
+      INDAAS_ASSIGN_OR_RETURN(current, exchange(MsgType::kPsopDataset, send_origin,
+                                                expect_origin));
+      if (hop + 1 < k) {
+        PartyComputeTimer timer(meter);
+        for (BigUint& element : current) {
+          element = key.Encrypt(group, element);
+          meter.AddEncryptOps();
+        }
+        rng.Shuffle(current);
+      }
+    }
+  }
+
+  // --- Phase 2: ring all-gather of the fully-encrypted datasets, counting
+  // as they arrive. Each dataset is charged once per forwarding hop, which
+  // totals the same k-1 transmissions the in-process broadcast accounts.
+  std::map<std::string, size_t> presence;  // ciphertext -> #parties holding it
+  auto count_dataset = [&](const std::vector<BigUint>& elements) {
+    PartyComputeTimer timer(meter);
+    std::set<std::string> local;
+    for (const BigUint& element : elements) {
+      local.insert(element.ToHex());
+    }
+    for (const std::string& ciphertext : local) {
+      ++presence[ciphertext];
+    }
+  };
+  {
+    INDAAS_TRACE_SPAN("pia.psop.share_count");
+    count_dataset(current);
+    for (size_t hop = 0; hop + 1 < k; ++hop) {
+      uint32_t send_origin = static_cast<uint32_t>((self + k - hop) % k);
+      uint32_t expect_origin = static_cast<uint32_t>((self + k - hop - 1) % k);
+      INDAAS_ASSIGN_OR_RETURN(current, exchange(MsgType::kPsopShare, send_origin,
+                                                expect_origin));
+      count_dataset(current);
+    }
+  }
+  {
+    PartyComputeTimer timer(meter);
+    result.union_size = presence.size();
+    for (const auto& [ciphertext, count] : presence) {
+      (void)ciphertext;
+      if (count == k) {
+        ++result.intersection;
+      }
+    }
+  }
+  result.jaccard = result.union_size == 0
+                       ? 0.0
+                       : static_cast<double>(result.intersection) /
+                             static_cast<double>(result.union_size);
+  static obs::Counter* sessions =
+      obs::MetricsRegistry::Global().GetCounter("pia.socket_sessions_total");
+  sessions->Increment();
+  return result;
+}
+
+}  // namespace svc
+}  // namespace indaas

@@ -1,0 +1,92 @@
+// Socket-backed P-SOP: the protocol of src/pia/psop.h executed by k real
+// peers over TCP instead of in-process message passing (paper §4.2, the way
+// the prototype's cluster ran it).
+//
+// All peers share the ring configuration (ordered endpoint list plus the
+// protocol parameters); each runs one PiaPeer. A peer listens on its own
+// ring port, connects to its successor (retrying with backoff while the
+// successor's listener comes up), accepts its predecessor and handshakes
+// (ring size, index and crypto parameters are cross-checked before any
+// data moves). Protocol rounds then pump frames in both directions through
+// one poll loop — every peer sends to its successor while receiving from
+// its predecessor, so ring rounds cannot deadlock on full TCP buffers no
+// matter the dataset size.
+//
+// The intersection/union counts — and hence the Jaccard similarity — are
+// byte-identical to RunPsop on the same datasets: commutative encryption
+// makes the counts independent of key material and permutation order, which
+// is exactly what makes the ring protocol correct in the first place.
+//
+// Failure semantics: a peer that disconnects mid-round fails the session
+// with kUnavailable; a peer that stalls fails it with kDeadlineExceeded
+// after io_timeout_ms. No partial result is returned either way.
+
+#ifndef SRC_SVC_PIA_PEER_H_
+#define SRC_SVC_PIA_PEER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/retry.h"
+#include "src/net/socket.h"
+#include "src/pia/psop.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace svc {
+
+struct PiaPeerOptions {
+  // The ring, in a fixed order every peer agrees on. peers[i] is where peer
+  // i listens; peer i sends to peers[(i+1) % k].
+  std::vector<net::Endpoint> peers;
+  size_t self_index = 0;
+  // Protocol parameters; hash/group_bits must match on every peer (the
+  // handshake enforces it). The seed only has to be unique per peer — each
+  // peer derives its key material from seed and self_index.
+  PsopOptions psop;
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 10000;
+  net::RetryPolicy retry;
+  net::FrameLimits limits;
+};
+
+// One party of a socket-backed PIA session. Listen() binds the ring port up
+// front (so peers can start in any order); RunPsop() runs one full session.
+class PiaPeer {
+ public:
+  // Binds the listening socket on `port` (0 picks a free port — query
+  // listen_port(), used by tests to assemble loopback rings).
+  static Result<PiaPeer> Listen(uint16_t port);
+
+  uint16_t listen_port() const { return port_; }
+
+  // Runs one P-SOP session over `dataset` (this peer's component multiset).
+  // Every ring peer must call this with the same `options.peers`/psop
+  // parameters and its own self_index/dataset. Returns the session result;
+  // party_stats[self_index] carries this peer's measured costs (other
+  // entries are zero — their owners measure them).
+  Result<PsopResult> RunPsop(const std::vector<std::string>& dataset,
+                             const PiaPeerOptions& options);
+
+ private:
+  explicit PiaPeer(net::Socket listener, uint16_t port)
+      : listener_(std::move(listener)), port_(port) {}
+
+  net::Socket listener_;
+  uint16_t port_ = 0;
+};
+
+// Frame pump shared by ring protocols (exposed for tests): sends the
+// already-framed `out_bytes` to `tx` while assembling one inbound frame
+// from `rx`, multiplexing both directions through poll so neither side of
+// a ring round can deadlock the other. `timeout_ms` bounds each wait for
+// progress in either direction.
+Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
+                                  net::Socket& rx, const net::FrameLimits& limits,
+                                  int timeout_ms);
+
+}  // namespace svc
+}  // namespace indaas
+
+#endif  // SRC_SVC_PIA_PEER_H_

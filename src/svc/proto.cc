@@ -1,0 +1,382 @@
+#include "src/svc/proto.h"
+
+#include "src/net/wire.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace svc {
+namespace {
+
+using net::WireReader;
+using net::WireWriter;
+
+// Rejects trailing bytes after a fully-decoded payload.
+Status FinishDecode(const WireReader& reader, const char* what) {
+  if (!reader.AtEnd()) {
+    return ParseError(StrFormat("%s: %zu trailing bytes after payload", what,
+                                reader.remaining()));
+  }
+  return Status::Ok();
+}
+
+void EncodePartyStats(WireWriter& writer, const PartyStats& stats) {
+  writer.U64(stats.bytes_sent);
+  writer.U64(stats.bytes_received);
+  writer.U64(stats.encrypt_ops);
+  writer.U64(stats.homomorphic_ops);
+  writer.F64(stats.compute_seconds);
+}
+
+Result<PartyStats> DecodePartyStats(WireReader& reader) {
+  PartyStats stats;
+  INDAAS_ASSIGN_OR_RETURN(uint64_t sent, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint64_t received, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint64_t encrypt, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint64_t homomorphic, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(double compute, reader.F64());
+  stats.bytes_sent = static_cast<size_t>(sent);
+  stats.bytes_received = static_cast<size_t>(received);
+  stats.encrypt_ops = static_cast<size_t>(encrypt);
+  stats.homomorphic_ops = static_cast<size_t>(homomorphic);
+  stats.compute_seconds = compute;
+  return stats;
+}
+
+}  // namespace
+
+// --- Error reply ---
+
+std::string EncodeErrorReply(const Status& status) {
+  WireWriter writer;
+  writer.U16(static_cast<uint16_t>(status.code()));
+  writer.Str(status.message());
+  return writer.Take();
+}
+
+Status DecodeErrorReply(std::string_view payload) {
+  WireReader reader(payload);
+  auto code_or = reader.U16();
+  auto message_or = reader.Bytes();
+  if (!code_or.ok() || !message_or.ok() || !reader.AtEnd()) {
+    return ProtocolError("malformed error reply from peer");
+  }
+  StatusCode code;
+  switch (static_cast<StatusCode>(*code_or)) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kParseError:
+    case StatusCode::kProtocolError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      code = static_cast<StatusCode>(*code_or);
+      break;
+    default:
+      code = StatusCode::kInternal;
+      break;
+  }
+  return Status(code, "remote: " + *message_or);
+}
+
+// --- DepDb import ---
+
+std::string EncodeImportAck(const ImportAck& ack) {
+  WireWriter writer;
+  writer.U64(ack.network);
+  writer.U64(ack.hardware);
+  writer.U64(ack.software);
+  return writer.Take();
+}
+
+Result<ImportAck> DecodeImportAck(std::string_view payload) {
+  WireReader reader(payload);
+  ImportAck ack;
+  INDAAS_ASSIGN_OR_RETURN(ack.network, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(ack.hardware, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(ack.software, reader.U64());
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "ImportAck"));
+  return ack;
+}
+
+// --- Structural audit ---
+
+std::string EncodeAuditSpecification(const AuditSpecification& spec) {
+  WireWriter writer;
+  writer.U32(static_cast<uint32_t>(spec.candidate_deployments.size()));
+  for (const std::vector<std::string>& deployment : spec.candidate_deployments) {
+    writer.StrVec(deployment);
+  }
+  writer.U32(spec.required_servers);
+  writer.Bool(spec.include_network);
+  writer.Bool(spec.include_hardware);
+  writer.Bool(spec.include_software);
+  writer.StrVec(spec.software_of_interest);
+  writer.U8(static_cast<uint8_t>(spec.algorithm));
+  writer.U8(static_cast<uint8_t>(spec.metric));
+  writer.U64(spec.sampling_rounds);
+  writer.F64(spec.sampling_bias);
+  writer.U64(spec.seed);
+  writer.U64(spec.threads);
+  writer.U64(spec.parallel_deployments);
+  writer.U64(spec.score_top_n);
+  return writer.Take();
+}
+
+Result<AuditSpecification> DecodeAuditSpecification(std::string_view payload) {
+  WireReader reader(payload);
+  AuditSpecification spec;
+  INDAAS_ASSIGN_OR_RETURN(uint32_t deployments, reader.U32());
+  spec.candidate_deployments.reserve(deployments);
+  for (uint32_t i = 0; i < deployments; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(std::vector<std::string> servers, reader.StrVec());
+    spec.candidate_deployments.push_back(std::move(servers));
+  }
+  INDAAS_ASSIGN_OR_RETURN(spec.required_servers, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(spec.include_network, reader.Bool());
+  INDAAS_ASSIGN_OR_RETURN(spec.include_hardware, reader.Bool());
+  INDAAS_ASSIGN_OR_RETURN(spec.include_software, reader.Bool());
+  INDAAS_ASSIGN_OR_RETURN(spec.software_of_interest, reader.StrVec());
+  INDAAS_ASSIGN_OR_RETURN(uint8_t algorithm, reader.U8());
+  if (algorithm > static_cast<uint8_t>(RgAlgorithm::kSampling)) {
+    return ParseError(StrFormat("bad RgAlgorithm value %u", algorithm));
+  }
+  spec.algorithm = static_cast<RgAlgorithm>(algorithm);
+  INDAAS_ASSIGN_OR_RETURN(uint8_t metric, reader.U8());
+  if (metric > static_cast<uint8_t>(RankingMetric::kFailureProbability)) {
+    return ParseError(StrFormat("bad RankingMetric value %u", metric));
+  }
+  spec.metric = static_cast<RankingMetric>(metric);
+  INDAAS_ASSIGN_OR_RETURN(uint64_t rounds, reader.U64());
+  spec.sampling_rounds = static_cast<size_t>(rounds);
+  INDAAS_ASSIGN_OR_RETURN(spec.sampling_bias, reader.F64());
+  INDAAS_ASSIGN_OR_RETURN(spec.seed, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint64_t threads, reader.U64());
+  spec.threads = static_cast<size_t>(threads);
+  INDAAS_ASSIGN_OR_RETURN(uint64_t parallel, reader.U64());
+  spec.parallel_deployments = static_cast<size_t>(parallel);
+  INDAAS_ASSIGN_OR_RETURN(uint64_t top_n, reader.U64());
+  spec.score_top_n = static_cast<size_t>(top_n);
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "AuditSpecification"));
+  return spec;
+}
+
+std::string EncodeSiaAuditReport(const SiaAuditReport& report) {
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(report.algorithm));
+  writer.U8(static_cast<uint8_t>(report.metric));
+  writer.U32(static_cast<uint32_t>(report.deployments.size()));
+  for (const DeploymentAudit& audit : report.deployments) {
+    writer.StrVec(audit.servers);
+    writer.U32(static_cast<uint32_t>(audit.ranked_groups.size()));
+    for (const DeploymentAudit::NamedRiskGroup& group : audit.ranked_groups) {
+      writer.StrVec(group.components);
+      writer.F64(group.score);
+    }
+    writer.F64(audit.independence_score);
+    writer.U64(audit.unexpected_rgs);
+    writer.F64(audit.top_event_prob);
+  }
+  return writer.Take();
+}
+
+Result<SiaAuditReport> DecodeSiaAuditReport(std::string_view payload) {
+  WireReader reader(payload);
+  SiaAuditReport report;
+  INDAAS_ASSIGN_OR_RETURN(uint8_t algorithm, reader.U8());
+  if (algorithm > static_cast<uint8_t>(RgAlgorithm::kSampling)) {
+    return ParseError(StrFormat("bad RgAlgorithm value %u", algorithm));
+  }
+  report.algorithm = static_cast<RgAlgorithm>(algorithm);
+  INDAAS_ASSIGN_OR_RETURN(uint8_t metric, reader.U8());
+  if (metric > static_cast<uint8_t>(RankingMetric::kFailureProbability)) {
+    return ParseError(StrFormat("bad RankingMetric value %u", metric));
+  }
+  report.metric = static_cast<RankingMetric>(metric);
+  INDAAS_ASSIGN_OR_RETURN(uint32_t deployments, reader.U32());
+  report.deployments.reserve(deployments);
+  for (uint32_t d = 0; d < deployments; ++d) {
+    DeploymentAudit audit;
+    INDAAS_ASSIGN_OR_RETURN(audit.servers, reader.StrVec());
+    INDAAS_ASSIGN_OR_RETURN(uint32_t groups, reader.U32());
+    audit.ranked_groups.reserve(groups);
+    for (uint32_t g = 0; g < groups; ++g) {
+      DeploymentAudit::NamedRiskGroup group;
+      INDAAS_ASSIGN_OR_RETURN(group.components, reader.StrVec());
+      INDAAS_ASSIGN_OR_RETURN(group.score, reader.F64());
+      audit.ranked_groups.push_back(std::move(group));
+    }
+    INDAAS_ASSIGN_OR_RETURN(audit.independence_score, reader.F64());
+    INDAAS_ASSIGN_OR_RETURN(uint64_t unexpected, reader.U64());
+    audit.unexpected_rgs = static_cast<size_t>(unexpected);
+    INDAAS_ASSIGN_OR_RETURN(audit.top_event_prob, reader.F64());
+    report.deployments.push_back(std::move(audit));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "SiaAuditReport"));
+  return report;
+}
+
+// --- Private audit ---
+
+std::string EncodePiaRequest(const PiaRequest& request) {
+  WireWriter writer;
+  writer.U32(static_cast<uint32_t>(request.providers.size()));
+  for (const CloudProvider& provider : request.providers) {
+    writer.Str(provider.name);
+    writer.StrVec(provider.components);
+  }
+  const PiaAuditOptions& options = request.options;
+  writer.U8(static_cast<uint8_t>(options.method));
+  writer.U64(options.minhash_m);
+  writer.U8(static_cast<uint8_t>(options.psop.hash));
+  writer.U64(options.psop.group_bits);
+  writer.U64(options.psop.seed);
+  writer.U32(options.min_redundancy);
+  writer.U32(options.max_redundancy);
+  writer.U64(options.parallel_deployments);
+  return writer.Take();
+}
+
+Result<PiaRequest> DecodePiaRequest(std::string_view payload) {
+  WireReader reader(payload);
+  PiaRequest request;
+  INDAAS_ASSIGN_OR_RETURN(uint32_t providers, reader.U32());
+  request.providers.reserve(providers);
+  for (uint32_t i = 0; i < providers; ++i) {
+    CloudProvider provider;
+    INDAAS_ASSIGN_OR_RETURN(provider.name, reader.Str());
+    INDAAS_ASSIGN_OR_RETURN(provider.components, reader.StrVec());
+    request.providers.push_back(std::move(provider));
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint8_t method, reader.U8());
+  if (method > static_cast<uint8_t>(PiaMethod::kPsopMinHash)) {
+    return ParseError(StrFormat("bad PiaMethod value %u", method));
+  }
+  request.options.method = static_cast<PiaMethod>(method);
+  INDAAS_ASSIGN_OR_RETURN(uint64_t m, reader.U64());
+  request.options.minhash_m = static_cast<size_t>(m);
+  INDAAS_ASSIGN_OR_RETURN(uint8_t hash, reader.U8());
+  if (hash > static_cast<uint8_t>(HashAlgorithm::kSha256)) {
+    return ParseError(StrFormat("bad HashAlgorithm value %u", hash));
+  }
+  request.options.psop.hash = static_cast<HashAlgorithm>(hash);
+  INDAAS_ASSIGN_OR_RETURN(uint64_t group_bits, reader.U64());
+  request.options.psop.group_bits = static_cast<size_t>(group_bits);
+  INDAAS_ASSIGN_OR_RETURN(request.options.psop.seed, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(request.options.min_redundancy, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(request.options.max_redundancy, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(uint64_t parallel, reader.U64());
+  request.options.parallel_deployments = static_cast<size_t>(parallel);
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PiaRequest"));
+  return request;
+}
+
+std::string EncodePiaAuditReport(const PiaAuditReport& report) {
+  WireWriter writer;
+  writer.U32(report.min_redundancy);
+  writer.U32(static_cast<uint32_t>(report.rankings.size()));
+  for (const std::vector<DeploymentSimilarity>& ranking : report.rankings) {
+    writer.U32(static_cast<uint32_t>(ranking.size()));
+    for (const DeploymentSimilarity& entry : ranking) {
+      writer.StrVec(entry.providers);
+      writer.F64(entry.jaccard);
+    }
+  }
+  writer.U32(static_cast<uint32_t>(report.provider_stats.size()));
+  for (const PartyStats& stats : report.provider_stats) {
+    EncodePartyStats(writer, stats);
+  }
+  return writer.Take();
+}
+
+Result<PiaAuditReport> DecodePiaAuditReport(std::string_view payload) {
+  WireReader reader(payload);
+  PiaAuditReport report;
+  INDAAS_ASSIGN_OR_RETURN(report.min_redundancy, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(uint32_t levels, reader.U32());
+  report.rankings.reserve(levels);
+  for (uint32_t level = 0; level < levels; ++level) {
+    INDAAS_ASSIGN_OR_RETURN(uint32_t entries, reader.U32());
+    std::vector<DeploymentSimilarity> ranking;
+    ranking.reserve(entries);
+    for (uint32_t e = 0; e < entries; ++e) {
+      DeploymentSimilarity entry;
+      INDAAS_ASSIGN_OR_RETURN(entry.providers, reader.StrVec());
+      INDAAS_ASSIGN_OR_RETURN(entry.jaccard, reader.F64());
+      ranking.push_back(std::move(entry));
+    }
+    report.rankings.push_back(std::move(ranking));
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t stats_count, reader.U32());
+  report.provider_stats.reserve(stats_count);
+  for (uint32_t i = 0; i < stats_count; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(PartyStats stats, DecodePartyStats(reader));
+    report.provider_stats.push_back(stats);
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PiaAuditReport"));
+  return report;
+}
+
+// --- P-SOP session payloads ---
+
+std::string EncodePsopHello(const PsopHello& hello) {
+  WireWriter writer;
+  writer.U32(hello.ring_size);
+  writer.U32(hello.sender_index);
+  writer.U32(hello.group_bits);
+  writer.U8(hello.hash_algorithm);
+  return writer.Take();
+}
+
+Result<PsopHello> DecodePsopHello(std::string_view payload) {
+  WireReader reader(payload);
+  PsopHello hello;
+  INDAAS_ASSIGN_OR_RETURN(hello.ring_size, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(hello.sender_index, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(hello.group_bits, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(hello.hash_algorithm, reader.U8());
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopHello"));
+  return hello;
+}
+
+std::string EncodePsopDataset(const PsopDataset& dataset) {
+  WireWriter writer;
+  writer.U32(dataset.origin);
+  writer.U32(dataset.element_bytes);
+  writer.U32(static_cast<uint32_t>(dataset.elements.size()));
+  for (const BigUint& element : dataset.elements) {
+    std::vector<uint8_t> bytes = element.ToBytesBE(dataset.element_bytes);
+    writer.Bytes(std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  }
+  return writer.Take();
+}
+
+Result<PsopDataset> DecodePsopDataset(std::string_view payload) {
+  WireReader reader(payload);
+  PsopDataset dataset;
+  INDAAS_ASSIGN_OR_RETURN(dataset.origin, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(dataset.element_bytes, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  if (dataset.element_bytes == 0 || dataset.element_bytes > 4096) {
+    return ParseError(StrFormat("bad PsopDataset element width %u", dataset.element_bytes));
+  }
+  dataset.elements.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(std::string raw, reader.Bytes());
+    if (raw.size() != dataset.element_bytes) {
+      return ParseError(StrFormat("PsopDataset element %u is %zu bytes, want %u", i,
+                                  raw.size(), dataset.element_bytes));
+    }
+    std::vector<uint8_t> bytes(raw.begin(), raw.end());
+    dataset.elements.push_back(BigUint::FromBytesBE(bytes));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopDataset"));
+  return dataset;
+}
+
+}  // namespace svc
+}  // namespace indaas

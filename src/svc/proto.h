@@ -1,0 +1,119 @@
+// INDaaS RPC message types and payload codecs (DESIGN.md §7).
+//
+// One frame (src/net/frame.h) carries one message; the frame's type byte is
+// a MsgType and the payload is the matching codec's output built on the
+// src/net/wire.h primitives. Decoders validate exhaustively — enum ranges,
+// element counts, trailing bytes — so a hostile payload yields kParseError,
+// never a malformed in-memory object.
+//
+// Request/response pairing:
+//   kPing          -> kPong           (empty payloads)
+//   kImportDepDb   -> kImportAck      (Table-1 text -> record counts)
+//   kAuditRequest  -> kAuditReport    (AuditSpecification -> SiaAuditReport)
+//   kPiaRequest    -> kPiaReport      (providers+options -> PiaAuditReport)
+//   any request    -> kErrorReply     (Status code + message)
+//
+// The kPsop* types are the socket-backed P-SOP session messages exchanged
+// between PiaPeers (src/svc/pia_peer.h), not server RPCs.
+
+#ifndef SRC_SVC_PROTO_H_
+#define SRC_SVC_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/agent/sia_audit.h"
+#include "src/agent/spec.h"
+#include "src/bignum/biguint.h"
+#include "src/pia/audit.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace svc {
+
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kImportDepDb = 3,
+  kImportAck = 4,
+  kAuditRequest = 5,
+  kAuditReport = 6,
+  kPiaRequest = 7,
+  kPiaReport = 8,
+  kErrorReply = 9,
+  // PIA peer-to-peer session messages.
+  kPsopHello = 16,
+  kPsopDataset = 17,
+  kPsopShare = 18,
+};
+
+// --- Error reply ---
+
+std::string EncodeErrorReply(const Status& status);
+// Reconstructs the remote Status (best effort: unknown codes map to
+// kInternal).
+Status DecodeErrorReply(std::string_view payload);
+
+// --- DepDb import ---
+
+struct ImportAck {
+  uint64_t network = 0;
+  uint64_t hardware = 0;
+  uint64_t software = 0;
+};
+
+std::string EncodeImportAck(const ImportAck& ack);
+Result<ImportAck> DecodeImportAck(std::string_view payload);
+
+// --- Structural audit ---
+
+std::string EncodeAuditSpecification(const AuditSpecification& spec);
+Result<AuditSpecification> DecodeAuditSpecification(std::string_view payload);
+
+std::string EncodeSiaAuditReport(const SiaAuditReport& report);
+Result<SiaAuditReport> DecodeSiaAuditReport(std::string_view payload);
+
+// --- Private audit ---
+
+struct PiaRequest {
+  std::vector<CloudProvider> providers;
+  PiaAuditOptions options;
+};
+
+std::string EncodePiaRequest(const PiaRequest& request);
+Result<PiaRequest> DecodePiaRequest(std::string_view payload);
+
+std::string EncodePiaAuditReport(const PiaAuditReport& report);
+Result<PiaAuditReport> DecodePiaAuditReport(std::string_view payload);
+
+// --- P-SOP session payloads ---
+
+// Ring handshake: every peer sends this to its successor before any data so
+// misconfigured rings (mismatched size, index, or crypto parameters) fail
+// fast with a clear error instead of corrupting a session.
+struct PsopHello {
+  uint32_t ring_size = 0;
+  uint32_t sender_index = 0;
+  uint32_t group_bits = 0;
+  uint8_t hash_algorithm = 0;  // HashAlgorithm as its underlying value
+};
+
+std::string EncodePsopHello(const PsopHello& hello);
+Result<PsopHello> DecodePsopHello(std::string_view payload);
+
+// A dataset in transit around the ring: fixed-width big-endian group
+// elements. `origin` identifies which peer's dataset this is.
+struct PsopDataset {
+  uint32_t origin = 0;
+  uint32_t element_bytes = 0;
+  std::vector<BigUint> elements;
+};
+
+std::string EncodePsopDataset(const PsopDataset& dataset);
+Result<PsopDataset> DecodePsopDataset(std::string_view payload);
+
+}  // namespace svc
+}  // namespace indaas
+
+#endif  // SRC_SVC_PROTO_H_

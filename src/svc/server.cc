@@ -1,0 +1,206 @@
+#include "src/svc/server.h"
+
+#include <mutex>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/svc/proto.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace svc {
+namespace {
+
+// Poll slice for idle waits: bounds how long Stop() waits on a quiet
+// listener or an idle keep-alive connection.
+constexpr int kIdlePollMs = 100;
+
+const char* MsgTypeName(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kImportDepDb:
+      return "import_depdb";
+    case MsgType::kAuditRequest:
+      return "audit";
+    case MsgType::kPiaRequest:
+      return "pia";
+    default:
+      return "unknown";
+  }
+}
+
+obs::Histogram* RpcLatency() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "svc.rpc_latency_seconds",
+      {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+       2.5, 5.0, 10.0});
+  return histogram;
+}
+
+}  // namespace
+
+AuditServer::AuditServer(AuditServerOptions options) : options_(std::move(options)) {}
+
+AuditServer::~AuditServer() { Stop(); }
+
+Status AuditServer::Start() {
+  if (running_.load()) {
+    return FailedPreconditionError("AuditServer already started");
+  }
+  INDAAS_ASSIGN_OR_RETURN(listener_, net::TcpListen(options_.port));
+  INDAAS_ASSIGN_OR_RETURN(port_, listener_.LocalPort());
+  workers_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads));
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  INDAAS_LOG(Info) << "AuditServer listening on port " << port_ << " ("
+                   << workers_->num_threads() << " workers)";
+  return Status::Ok();
+}
+
+void AuditServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (workers_) {
+    workers_->Wait();
+    workers_.reset();
+  }
+  listener_.Close();
+}
+
+void AuditServer::AcceptLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    Result<net::Socket> accepted = net::TcpAccept(listener_, kIdlePollMs);
+    if (!accepted.ok()) {
+      // Timeout is the idle heartbeat; anything else is logged and survived.
+      if (accepted.status().code() != StatusCode::kDeadlineExceeded) {
+        INDAAS_LOG(Warning) << "accept failed: " << accepted.status();
+      }
+      continue;
+    }
+    static obs::Counter* accepted_total =
+        obs::MetricsRegistry::Global().GetCounter("svc.connections_accepted");
+    accepted_total->Increment();
+    // shared_ptr: the lambda lands in a std::function, which must be
+    // copyable; the socket itself is move-only.
+    auto socket = std::make_shared<net::Socket>(std::move(*accepted));
+    workers_->Submit([this, socket] { ServeConnection(socket); });
+  }
+}
+
+void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
+  static obs::Gauge* active = obs::MetricsRegistry::Global().GetGauge("svc.requests_active");
+  while (running_.load(std::memory_order_relaxed)) {
+    // Idle wait in short slices so Stop() is never blocked on a quiet
+    // keep-alive connection.
+    Status readable = socket->WaitReadable(kIdlePollMs);
+    if (readable.code() == StatusCode::kDeadlineExceeded) {
+      continue;
+    }
+    if (!readable.ok()) {
+      return;
+    }
+    Result<net::Frame> frame = net::ReadFrame(*socket, options_.limits, options_.io_timeout_ms);
+    if (!frame.ok()) {
+      // A clean close between requests is the normal end of a session.
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        INDAAS_LOG(Warning) << "closing connection: " << frame.status();
+      }
+      return;
+    }
+    active->Add(1);
+    WallTimer timer;
+    uint8_t reply_type = 0;
+    std::string reply_payload;
+    HandleRequest(frame->type, frame->payload, &reply_type, &reply_payload);
+    RpcLatency()->Record(timer.ElapsedSeconds());
+    active->Add(-1);
+    if (Status s = net::WriteFrame(*socket, reply_type, reply_payload, options_.io_timeout_ms);
+        !s.ok()) {
+      INDAAS_LOG(Warning) << "reply failed: " << s;
+      return;
+    }
+  }
+}
+
+void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_t* reply_type,
+                                std::string* reply_payload) {
+  static obs::Counter* errors = obs::MetricsRegistry::Global().GetCounter("svc.rpc_errors");
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("svc.rpcs.") + MsgTypeName(type))
+      ->Increment();
+  INDAAS_TRACE_SPAN_NAMED(span, "svc.rpc");
+  span.Annotate("type", MsgTypeName(type));
+
+  Status error;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPing: {
+      *reply_type = static_cast<uint8_t>(MsgType::kPong);
+      reply_payload->clear();
+      return;
+    }
+    case MsgType::kImportDepDb: {
+      std::unique_lock<std::shared_mutex> lock(agent_mu_);
+      error = agent_.depdb().ImportText(payload);
+      if (error.ok()) {
+        ImportAck ack;
+        ack.network = agent_.depdb().NetworkCount();
+        ack.hardware = agent_.depdb().HardwareCount();
+        ack.software = agent_.depdb().SoftwareCount();
+        *reply_type = static_cast<uint8_t>(MsgType::kImportAck);
+        *reply_payload = EncodeImportAck(ack);
+        return;
+      }
+      break;
+    }
+    case MsgType::kAuditRequest: {
+      Result<AuditSpecification> spec = DecodeAuditSpecification(payload);
+      if (spec.ok()) {
+        std::shared_lock<std::shared_mutex> lock(agent_mu_);
+        Result<SiaAuditReport> report = agent_.AuditStructural(*spec);
+        if (report.ok()) {
+          *reply_type = static_cast<uint8_t>(MsgType::kAuditReport);
+          *reply_payload = EncodeSiaAuditReport(*report);
+          return;
+        }
+        error = report.status();
+      } else {
+        error = spec.status();
+      }
+      break;
+    }
+    case MsgType::kPiaRequest: {
+      Result<PiaRequest> request = DecodePiaRequest(payload);
+      if (request.ok()) {
+        // PIA runs over the request's own provider sets, not the DepDB; no
+        // agent lock needed.
+        Result<PiaAuditReport> report = agent_.AuditPrivate(request->providers,
+                                                            request->options);
+        if (report.ok()) {
+          *reply_type = static_cast<uint8_t>(MsgType::kPiaReport);
+          *reply_payload = EncodePiaAuditReport(*report);
+          return;
+        }
+        error = report.status();
+      } else {
+        error = request.status();
+      }
+      break;
+    }
+    default:
+      error = ProtocolError("unknown request type " + std::to_string(type));
+      break;
+  }
+  errors->Increment();
+  span.Annotate("error", error.ToString());
+  *reply_type = static_cast<uint8_t>(MsgType::kErrorReply);
+  *reply_payload = EncodeErrorReply(error);
+}
+
+}  // namespace svc
+}  // namespace indaas

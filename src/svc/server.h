@@ -1,0 +1,85 @@
+// The networked auditing agent (paper §2, Figure 1, as a real service).
+//
+// AuditServer listens on a TCP port and serves the INDaaS RPCs defined in
+// src/svc/proto.h: DepDB imports, structural (SIA) audits and private (PIA)
+// audits. One accept thread hands each connection to the shared ThreadPool;
+// a connection is served serially (one in-flight request per client), while
+// different connections run concurrently up to the worker count. The DepDB
+// behind the agent is guarded by a reader/writer lock: imports are
+// exclusive, audits run shared, so concurrent clients never observe a
+// half-imported database.
+//
+// Failure semantics: malformed payloads earn a kErrorReply and the
+// connection stays open; framing violations (bad magic/version/oversize)
+// and I/O timeouts close the connection. Stop() drains in-flight requests
+// before returning; idle connections notice the shutdown within one poll
+// slice (~100 ms).
+
+#ifndef SRC_SVC_SERVER_H_
+#define SRC_SVC_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+
+#include "src/agent/agent.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/util/thread_pool.h"
+
+namespace indaas {
+namespace svc {
+
+struct AuditServerOptions {
+  uint16_t port = 0;        // 0 = pick any free port (see AuditServer::port())
+  size_t worker_threads = 4;
+  int io_timeout_ms = 10000;  // per read/write once a request is in flight
+  net::FrameLimits limits;
+};
+
+class AuditServer {
+ public:
+  explicit AuditServer(AuditServerOptions options = {});
+  ~AuditServer();
+
+  AuditServer(const AuditServer&) = delete;
+  AuditServer& operator=(const AuditServer&) = delete;
+
+  // The agent served by this process. Configure it (preload a DepDB, set a
+  // probability model) before Start(); afterwards all access must go
+  // through the RPC surface.
+  AuditingAgent& agent() { return agent_; }
+
+  // Binds, listens and spawns the accept thread. Fails if already started
+  // or the port is taken.
+  Status Start();
+
+  // Stops accepting, drains in-flight requests and joins all threads.
+  // Idempotent.
+  void Stop();
+
+  // The bound port (valid after Start(); resolves port 0 to the real one).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<net::Socket> socket);
+  // Dispatches one decoded request; returns the reply frame (type+payload).
+  void HandleRequest(uint8_t type, const std::string& payload, uint8_t* reply_type,
+                     std::string* reply_payload);
+
+  AuditServerOptions options_;
+  AuditingAgent agent_;
+  std::shared_mutex agent_mu_;  // imports exclusive, audits shared
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+}  // namespace svc
+}  // namespace indaas
+
+#endif  // SRC_SVC_SERVER_H_

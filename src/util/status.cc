@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kProtocolError:
       return "PROTOCOL_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -75,6 +79,12 @@ Status ParseError(std::string message) {
 }
 Status ProtocolError(std::string message) {
   return Status(StatusCode::kProtocolError, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace indaas

@@ -29,6 +29,8 @@ enum class StatusCode {
   kResourceExhausted,
   kParseError,
   kProtocolError,
+  kDeadlineExceeded,  // an I/O or RPC deadline elapsed before completion
+  kUnavailable,       // transient connectivity failure; safe to retry
 };
 
 // Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -75,6 +77,8 @@ Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status ParseError(std::string message);
 Status ProtocolError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 // A value of type T, or an error Status. Access to value() asserts ok().
 template <typename T>

@@ -1,0 +1,395 @@
+// Tests for the transport layer: endpoints, wire codec primitives, frame
+// framing/validation, sockets on loopback, and retry/backoff.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "src/net/frame.h"
+#include "src/net/retry.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+
+namespace indaas {
+namespace net {
+namespace {
+
+// --- Endpoints ---
+
+TEST(EndpointTest, ParseGood) {
+  auto endpoint = ParseEndpoint("example.com:8080");
+  ASSERT_TRUE(endpoint.ok());
+  EXPECT_EQ(endpoint->host, "example.com");
+  EXPECT_EQ(endpoint->port, 8080);
+  EXPECT_EQ(endpoint->ToString(), "example.com:8080");
+}
+
+TEST(EndpointTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseEndpoint("").ok());
+  EXPECT_FALSE(ParseEndpoint("no-port").ok());
+  EXPECT_FALSE(ParseEndpoint("host:").ok());
+  EXPECT_FALSE(ParseEndpoint(":123").ok());
+  EXPECT_FALSE(ParseEndpoint("host:0").ok());
+  EXPECT_FALSE(ParseEndpoint("host:65536").ok());
+  EXPECT_FALSE(ParseEndpoint("host:12ab").ok());
+}
+
+TEST(EndpointTest, ParseList) {
+  auto list = ParseEndpointList("a:1, b:2,c:3");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].host, "a");
+  EXPECT_EQ((*list)[1].port, 2);
+  EXPECT_EQ((*list)[2].ToString(), "c:3");
+  EXPECT_FALSE(ParseEndpointList("a:1,,b:2").ok());
+  EXPECT_FALSE(ParseEndpointList("").ok());
+}
+
+// --- Wire codec ---
+
+TEST(WireTest, ScalarRoundTrip) {
+  WireWriter writer;
+  writer.U8(0xAB);
+  writer.U16(0xBEEF);
+  writer.U32(0xDEADBEEF);
+  writer.U64(0x0123456789ABCDEFull);
+  writer.Bool(true);
+  writer.Bool(false);
+  writer.F64(-1.5e300);
+  WireReader reader(writer.buffer());
+  EXPECT_EQ(reader.U8().value_or(0), 0xAB);
+  EXPECT_EQ(reader.U16().value_or(0), 0xBEEF);
+  EXPECT_EQ(reader.U32().value_or(0), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64().value_or(0), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.Bool().value_or(false), true);
+  EXPECT_EQ(reader.Bool().value_or(true), false);
+  EXPECT_EQ(reader.F64().value_or(0), -1.5e300);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireTest, BytesAndStringsRoundTrip) {
+  WireWriter writer;
+  writer.Bytes(std::string("\x00\x01\xFFthe bytes", 12));
+  writer.Str("");
+  writer.StrVec({"alpha", "", "gamma"});
+  WireReader reader(writer.buffer());
+  EXPECT_EQ(reader.Bytes().value_or("?"), std::string("\x00\x01\xFFthe bytes", 12));
+  EXPECT_EQ(reader.Str().value_or("?"), "");
+  auto vec = reader.StrVec();
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(*vec, (std::vector<std::string>{"alpha", "", "gamma"}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+// Property test: random sequences of typed values survive a round trip.
+TEST(WireTest, RandomRoundTripProperty) {
+  std::mt19937_64 rng(12345);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Record what we wrote, then read it back in the same order.
+    std::vector<int> kinds;
+    std::vector<uint64_t> scalars;
+    std::vector<std::string> blobs;
+    WireWriter writer;
+    int fields = 1 + static_cast<int>(rng() % 12);
+    for (int f = 0; f < fields; ++f) {
+      int kind = static_cast<int>(rng() % 5);
+      kinds.push_back(kind);
+      uint64_t value = rng();
+      switch (kind) {
+        case 0: writer.U8(static_cast<uint8_t>(value)); scalars.push_back(value & 0xFF); break;
+        case 1: writer.U16(static_cast<uint16_t>(value)); scalars.push_back(value & 0xFFFF); break;
+        case 2: writer.U32(static_cast<uint32_t>(value)); scalars.push_back(value & 0xFFFFFFFF); break;
+        case 3: writer.U64(value); scalars.push_back(value); break;
+        case 4: {
+          std::string blob(value % 64, static_cast<char>(value % 251));
+          writer.Bytes(blob);
+          blobs.push_back(blob);
+          break;
+        }
+      }
+    }
+    WireReader reader(writer.buffer());
+    size_t scalar_at = 0;
+    size_t blob_at = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0: EXPECT_EQ(uint64_t{reader.U8().value_or(1)}, scalars[scalar_at++]); break;
+        case 1: EXPECT_EQ(uint64_t{reader.U16().value_or(1)}, scalars[scalar_at++]); break;
+        case 2: EXPECT_EQ(uint64_t{reader.U32().value_or(1)}, scalars[scalar_at++]); break;
+        case 3: EXPECT_EQ(reader.U64().value_or(1), scalars[scalar_at++]); break;
+        case 4: EXPECT_EQ(reader.Bytes().value_or("?"), blobs[blob_at++]); break;
+      }
+    }
+    EXPECT_TRUE(reader.AtEnd()) << "trial " << trial;
+  }
+}
+
+TEST(WireTest, TruncationIsParseErrorNeverOverread) {
+  WireWriter writer;
+  writer.U32(7);
+  writer.Str("payload");
+  writer.U64(42);
+  const std::string full = writer.buffer();
+  // Every proper prefix must fail cleanly on whichever field it cuts.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    WireReader reader(prefix);
+    auto a = reader.U32();
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), StatusCode::kParseError);
+      continue;
+    }
+    auto b = reader.Str();
+    if (!b.ok()) {
+      EXPECT_EQ(b.status().code(), StatusCode::kParseError);
+      continue;
+    }
+    auto c = reader.U64();
+    EXPECT_FALSE(c.ok()) << "cut at " << cut;
+    EXPECT_EQ(c.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(WireTest, BoolRejectsNonCanonical) {
+  WireWriter writer;
+  writer.U8(2);
+  WireReader reader(writer.buffer());
+  auto value = reader.Bool();
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireTest, StrVecRejectsAbsurdCount) {
+  // A count far larger than the remaining bytes must fail before allocating.
+  WireWriter writer;
+  writer.U32(0x40000000);  // claims a billion strings
+  WireReader reader(writer.buffer());
+  auto vec = reader.StrVec();
+  ASSERT_FALSE(vec.ok());
+  EXPECT_EQ(vec.status().code(), StatusCode::kParseError);
+}
+
+// --- Frame header validation ---
+
+TEST(FrameTest, HeaderRoundTrip) {
+  std::string header = EncodeFrameHeader(7, 123456);
+  ASSERT_EQ(header.size(), kFrameHeaderBytes);
+  auto decoded = DecodeFrameHeader(header, FrameLimits{});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, 7);
+  EXPECT_EQ(decoded->payload_size, 123456u);
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::string header = EncodeFrameHeader(1, 4);
+  header[0] = 'X';
+  auto decoded = DecodeFrameHeader(header, FrameLimits{});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, RejectsBadVersion) {
+  std::string header = EncodeFrameHeader(1, 4);
+  header[4] = static_cast<char>(kWireVersion + 1);
+  auto decoded = DecodeFrameHeader(header, FrameLimits{});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, RejectsNonZeroFlags) {
+  std::string header = EncodeFrameHeader(1, 4);
+  header[6] = 1;
+  auto decoded = DecodeFrameHeader(header, FrameLimits{});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, RejectsOversizedLength) {
+  FrameLimits limits;
+  limits.max_payload_bytes = 1024;
+  std::string header = EncodeFrameHeader(1, 1025);
+  auto decoded = DecodeFrameHeader(header, limits);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  // At the limit is fine.
+  EXPECT_TRUE(DecodeFrameHeader(EncodeFrameHeader(1, 1024), limits).ok());
+}
+
+// --- Sockets on loopback ---
+
+// Listener + connected pair on 127.0.0.1, built fresh per test.
+struct LoopbackPair {
+  Socket server;
+  Socket client;
+};
+
+LoopbackPair MakeLoopbackPair() {
+  auto listener = TcpListen(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  auto port = listener->LocalPort();
+  EXPECT_TRUE(port.ok());
+  auto client = TcpConnect(Endpoint{"127.0.0.1", *port}, 2000);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  auto server = TcpAccept(*listener, 2000);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return LoopbackPair{std::move(*server), std::move(*client)};
+}
+
+TEST(SocketTest, SendAllRecvAllRoundTrip) {
+  LoopbackPair pair = MakeLoopbackPair();
+  // Large enough to require multiple send() calls on most kernels.
+  std::string message(1 << 20, 'x');
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<char>(i * 31);
+  }
+  std::thread sender([&] { ASSERT_TRUE(pair.client.SendAll(message, 5000).ok()); });
+  std::string received;
+  Status status = pair.server.RecvAll(&received, message.size(), 5000);
+  sender.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(received, message);
+}
+
+TEST(SocketTest, RecvTimeoutIsDeadlineExceeded) {
+  LoopbackPair pair = MakeLoopbackPair();
+  std::string out;
+  Status status = pair.server.RecvAll(&out, 1, 50);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketTest, PeerCloseIsUnavailable) {
+  LoopbackPair pair = MakeLoopbackPair();
+  pair.client.Close();
+  std::string out;
+  Status status = pair.server.RecvAll(&out, 1, 1000);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, ConnectRefusedIsUnavailable) {
+  // Grab a port that is free, then close the listener so nothing serves it.
+  uint16_t dead_port;
+  {
+    auto listener = TcpListen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->LocalPort().value_or(1);
+  }
+  auto client = TcpConnect(Endpoint{"127.0.0.1", dead_port}, 500);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, WriteReadOverSocket) {
+  LoopbackPair pair = MakeLoopbackPair();
+  std::string payload = "frame payload \x01\x02";
+  ASSERT_TRUE(WriteFrame(pair.client, 5, payload, 2000).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, 5);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, GarbageBytesRejectedBeforeAllocation) {
+  LoopbackPair pair = MakeLoopbackPair();
+  // 12 bytes of garbage: invalid magic must be rejected without reading a
+  // payload (the bogus "length" would be enormous).
+  std::string garbage = "GARBAGEBYTES";
+  ASSERT_EQ(garbage.size(), kFrameHeaderBytes);
+  ASSERT_TRUE(pair.client.SendAll(garbage, 2000).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, TruncatedFrameIsUnavailable) {
+  LoopbackPair pair = MakeLoopbackPair();
+  // A valid header promising 100 bytes, then the peer dies after 10.
+  std::string header = EncodeFrameHeader(3, 100);
+  ASSERT_TRUE(pair.client.SendAll(header + std::string(10, 'p'), 2000).ok());
+  pair.client.Close();
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, OversizedFrameRejectedByReader) {
+  LoopbackPair pair = MakeLoopbackPair();
+  FrameLimits limits;
+  limits.max_payload_bytes = 16;
+  ASSERT_TRUE(pair.client.SendAll(EncodeFrameHeader(3, 17), 2000).ok());
+  auto frame = ReadFrame(pair.server, limits, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kProtocolError);
+}
+
+// --- Retry / backoff ---
+
+TEST(RetryTest, BackoffSequenceIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.02;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.1;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 0), 0.02);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1), 0.04);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2), 0.08);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3), 0.1);   // capped
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 20), 0.1);  // stays capped
+}
+
+TEST(RetryTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryable(UnavailableError("refused")));
+  EXPECT_TRUE(IsRetryable(DeadlineExceededError("slow")));
+  EXPECT_FALSE(IsRetryable(ProtocolError("bad magic")));
+  EXPECT_FALSE(IsRetryable(InvalidArgumentError("nope")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+}
+
+TEST(RetryTest, ConnectWithRetryOutlastsLateListener) {
+  // Reserve a free port, release it, then bring the real listener up late —
+  // the first connect attempts are refused and backoff must absorb that.
+  uint16_t port;
+  {
+    auto probe = TcpListen(0);
+    ASSERT_TRUE(probe.ok());
+    port = probe->LocalPort().value_or(1);
+  }
+  std::thread late_listener([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto listener = TcpListen(port);
+    if (!listener.ok()) {
+      return;  // port raced away; the client side will fail and report
+    }
+    auto accepted = TcpAccept(*listener, 3000);
+    (void)accepted;
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 16;
+  policy.initial_backoff_s = 0.02;
+  policy.max_backoff_s = 0.1;
+  auto client = ConnectWithRetry(Endpoint{"127.0.0.1", port}, 1000, policy);
+  late_listener.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+}
+
+TEST(RetryTest, ConnectWithRetryGivesUp) {
+  uint16_t dead_port;
+  {
+    auto probe = TcpListen(0);
+    ASSERT_TRUE(probe.ok());
+    dead_port = probe->LocalPort().value_or(1);
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_s = 0.001;
+  auto client = ConnectWithRetry(Endpoint{"127.0.0.1", dead_port}, 200, policy);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace indaas

@@ -1,0 +1,585 @@
+// Tests for the service layer: RPC payload codecs, the networked audit
+// server/client end-to-end on loopback, and the socket-backed P-SOP ring
+// (including its failure semantics).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/deps/depdb.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/pia/psop.h"
+#include "src/svc/client.h"
+#include "src/svc/pia_peer.h"
+#include "src/svc/proto.h"
+#include "src/svc/server.h"
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace svc {
+namespace {
+
+// Small but structurally interesting DepDB shared by the server tests.
+std::string TestDepDbText() {
+  DepDb db;
+  db.Add(NetworkDependency{"S1", "Internet", {"ToR1", "Core1"}});
+  db.Add(NetworkDependency{"S2", "Internet", {"ToR1", "Core1"}});
+  db.Add(NetworkDependency{"S3", "Internet", {"ToR2", "Core1"}});
+  db.Add(HardwareDependency{"S1", "Disk", "SED900"});
+  db.Add(HardwareDependency{"S2", "Disk", "SED900"});
+  db.Add(HardwareDependency{"S3", "Disk", "WD200"});
+  db.Add(SoftwareDependency{"riak", "S1", {"libc6=2.13"}});
+  db.Add(SoftwareDependency{"riak", "S2", {"libc6=2.13"}});
+  db.Add(SoftwareDependency{"riak", "S3", {"libc6=2.14"}});
+  return db.ExportText();
+}
+
+AuditSpecification TestSpec() {
+  AuditSpecification spec;
+  spec.candidate_deployments = {{"S1", "S2"}, {"S1", "S3"}};
+  return spec;
+}
+
+// --- Payload codecs ---
+
+TEST(ProtoTest, ErrorReplyRoundTripsEveryCode) {
+  for (StatusCode code : {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+                          StatusCode::kInternal, StatusCode::kParseError,
+                          StatusCode::kProtocolError, StatusCode::kDeadlineExceeded,
+                          StatusCode::kUnavailable}) {
+    Status original(code, "something broke");
+    Status decoded = DecodeErrorReply(EncodeErrorReply(original));
+    EXPECT_EQ(decoded.code(), code);
+    EXPECT_EQ(decoded.message(), "remote: something broke");
+  }
+}
+
+TEST(ProtoTest, ImportAckRoundTrip) {
+  ImportAck ack;
+  ack.network = 12;
+  ack.hardware = 34;
+  ack.software = 56;
+  auto decoded = DecodeImportAck(EncodeImportAck(ack));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->network, 12u);
+  EXPECT_EQ(decoded->hardware, 34u);
+  EXPECT_EQ(decoded->software, 56u);
+}
+
+TEST(ProtoTest, AuditSpecificationRoundTripAllFields) {
+  AuditSpecification spec;
+  spec.candidate_deployments = {{"S1", "S2"}, {"S3"}};
+  spec.required_servers = 2;
+  spec.include_network = false;
+  spec.include_hardware = true;
+  spec.include_software = false;
+  spec.software_of_interest = {"riak", "nginx"};
+  spec.algorithm = RgAlgorithm::kSampling;
+  spec.metric = RankingMetric::kFailureProbability;
+  spec.sampling_rounds = 777;
+  spec.sampling_bias = 0.125;
+  spec.seed = 99;
+  spec.threads = 3;
+  spec.parallel_deployments = 2;
+  spec.score_top_n = 5;
+  auto decoded = DecodeAuditSpecification(EncodeAuditSpecification(spec));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->candidate_deployments, spec.candidate_deployments);
+  EXPECT_EQ(decoded->required_servers, spec.required_servers);
+  EXPECT_EQ(decoded->include_network, spec.include_network);
+  EXPECT_EQ(decoded->include_hardware, spec.include_hardware);
+  EXPECT_EQ(decoded->include_software, spec.include_software);
+  EXPECT_EQ(decoded->software_of_interest, spec.software_of_interest);
+  EXPECT_EQ(decoded->algorithm, spec.algorithm);
+  EXPECT_EQ(decoded->metric, spec.metric);
+  EXPECT_EQ(decoded->sampling_rounds, spec.sampling_rounds);
+  EXPECT_EQ(decoded->sampling_bias, spec.sampling_bias);
+  EXPECT_EQ(decoded->seed, spec.seed);
+  EXPECT_EQ(decoded->threads, spec.threads);
+  EXPECT_EQ(decoded->parallel_deployments, spec.parallel_deployments);
+  EXPECT_EQ(decoded->score_top_n, spec.score_top_n);
+}
+
+TEST(ProtoTest, SiaAuditReportRoundTrip) {
+  SiaAuditReport report;
+  report.algorithm = RgAlgorithm::kSampling;
+  report.metric = RankingMetric::kFailureProbability;
+  DeploymentAudit audit;
+  audit.servers = {"S1", "S3"};
+  audit.ranked_groups.push_back({{"net:core1"}, 1.5});
+  audit.ranked_groups.push_back({{"hw:sed900", "pkg:libc6=2.13"}, 2.0});
+  audit.independence_score = 3.5;
+  audit.unexpected_rgs = 2;
+  audit.top_event_prob = 0.015625;
+  report.deployments.push_back(audit);
+  auto decoded = DecodeSiaAuditReport(EncodeSiaAuditReport(report));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->algorithm, report.algorithm);
+  EXPECT_EQ(decoded->metric, report.metric);
+  ASSERT_EQ(decoded->deployments.size(), 1u);
+  const DeploymentAudit& d = decoded->deployments[0];
+  EXPECT_EQ(d.servers, audit.servers);
+  ASSERT_EQ(d.ranked_groups.size(), 2u);
+  EXPECT_EQ(d.ranked_groups[1].components, audit.ranked_groups[1].components);
+  EXPECT_EQ(d.ranked_groups[1].score, 2.0);
+  EXPECT_EQ(d.independence_score, 3.5);
+  EXPECT_EQ(d.unexpected_rgs, 2u);
+  EXPECT_EQ(d.top_event_prob, 0.015625);
+}
+
+TEST(ProtoTest, PiaRequestRoundTrip) {
+  PiaRequest request;
+  request.providers = {{"CloudA", {"net:tor1", "hw:x"}}, {"CloudB", {"net:tor2"}}};
+  request.options.method = PiaMethod::kPsopMinHash;
+  request.options.minhash_m = 64;
+  request.options.psop.group_bits = 768;
+  request.options.psop.seed = 17;
+  request.options.min_redundancy = 2;
+  request.options.max_redundancy = 2;
+  request.options.parallel_deployments = 4;
+  auto decoded = DecodePiaRequest(EncodePiaRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->providers.size(), 2u);
+  EXPECT_EQ(decoded->providers[0].name, "CloudA");
+  EXPECT_EQ(decoded->providers[0].components, request.providers[0].components);
+  EXPECT_EQ(decoded->options.method, PiaMethod::kPsopMinHash);
+  EXPECT_EQ(decoded->options.minhash_m, 64u);
+  EXPECT_EQ(decoded->options.psop.group_bits, 768u);
+  EXPECT_EQ(decoded->options.psop.seed, 17u);
+  EXPECT_EQ(decoded->options.max_redundancy, 2u);
+  EXPECT_EQ(decoded->options.parallel_deployments, 4u);
+}
+
+TEST(ProtoTest, PsopHelloRoundTrip) {
+  PsopHello hello;
+  hello.ring_size = 3;
+  hello.sender_index = 2;
+  hello.group_bits = 768;
+  hello.hash_algorithm = 1;
+  auto decoded = DecodePsopHello(EncodePsopHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ring_size, 3u);
+  EXPECT_EQ(decoded->sender_index, 2u);
+  EXPECT_EQ(decoded->group_bits, 768u);
+  EXPECT_EQ(decoded->hash_algorithm, 1);
+}
+
+TEST(ProtoTest, PsopDatasetRoundTrip) {
+  PsopDataset dataset;
+  dataset.origin = 1;
+  dataset.element_bytes = 8;
+  dataset.elements = {BigUint(0x1122334455667788ull), BigUint(7), BigUint(0)};
+  auto decoded = DecodePsopDataset(EncodePsopDataset(dataset));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->origin, 1u);
+  EXPECT_EQ(decoded->element_bytes, 8u);
+  ASSERT_EQ(decoded->elements.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->elements[i].ToHex(), dataset.elements[i].ToHex()) << i;
+  }
+}
+
+TEST(ProtoTest, EveryTruncationRejectedCleanly) {
+  // Property sweep: every proper prefix of a valid payload must decode to an
+  // error (never crash, never succeed).
+  PiaRequest request;
+  request.providers = {{"CloudA", {"c1", "c2"}}, {"CloudB", {"c3"}}};
+  const std::string full = EncodePiaRequest(request);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodePiaRequest(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  const std::string spec_bytes = EncodeAuditSpecification(TestSpec());
+  for (size_t cut = 0; cut < spec_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeAuditSpecification(spec_bytes.substr(0, cut)).ok()) << "cut " << cut;
+  }
+}
+
+TEST(ProtoTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(DecodeImportAck(EncodeImportAck(ImportAck{}) + "x").ok());
+  EXPECT_FALSE(DecodePsopHello(EncodePsopHello(PsopHello{}) + "x").ok());
+  EXPECT_FALSE(
+      DecodeAuditSpecification(EncodeAuditSpecification(TestSpec()) + "x").ok());
+}
+
+TEST(ProtoTest, PsopDatasetRejectsBadElementWidth) {
+  PsopDataset dataset;
+  dataset.origin = 0;
+  dataset.element_bytes = 0;  // zero width is nonsense
+  EXPECT_FALSE(DecodePsopDataset(EncodePsopDataset(dataset)).ok());
+}
+
+// --- AuditServer / AuditClient end-to-end (loopback) ---
+
+TEST(AuditServerTest, PingImportAuditRoundTrip) {
+  AuditServerOptions options;
+  options.worker_threads = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  const std::string depdb_text = TestDepDbText();
+  auto ack = client->ImportDepDb(depdb_text);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->network, 3u);
+  EXPECT_EQ(ack->hardware, 3u);
+  EXPECT_EQ(ack->software, 3u);
+
+  AuditSpecification spec = TestSpec();
+  auto remote = client->AuditStructural(spec);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  // The remote report must match a local agent auditing the same DepDB.
+  AuditingAgent local;
+  ASSERT_TRUE(local.depdb().ImportText(depdb_text).ok());
+  auto expected = local.AuditStructural(spec);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(remote->deployments.size(), expected->deployments.size());
+  for (size_t i = 0; i < remote->deployments.size(); ++i) {
+    EXPECT_EQ(remote->deployments[i].servers, expected->deployments[i].servers);
+    EXPECT_EQ(remote->deployments[i].independence_score,
+              expected->deployments[i].independence_score);
+    EXPECT_EQ(remote->deployments[i].unexpected_rgs, expected->deployments[i].unexpected_rgs);
+    EXPECT_EQ(remote->deployments[i].ranked_groups.size(),
+              expected->deployments[i].ranked_groups.size());
+  }
+  server.Stop();
+}
+
+TEST(AuditServerTest, RemotePiaAudit) {
+  AuditServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+  std::vector<CloudProvider> providers = {{"CloudA", {"net:tor1", "net:core1", "hw:x"}},
+                                          {"CloudB", {"net:tor2", "net:core1", "hw:x"}},
+                                          {"CloudC", {"net:tor3", "net:core2", "hw:y"}}};
+  PiaAuditOptions options;
+  options.psop.group_bits = 768;
+  options.max_redundancy = 2;
+  auto remote = client->AuditPia(providers, options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  AuditingAgent local;
+  auto expected = local.AuditPrivate(providers, options);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(remote->rankings.size(), expected->rankings.size());
+  ASSERT_EQ(remote->rankings[0].size(), expected->rankings[0].size());
+  for (size_t i = 0; i < remote->rankings[0].size(); ++i) {
+    EXPECT_EQ(remote->rankings[0][i].providers, expected->rankings[0][i].providers);
+    EXPECT_EQ(remote->rankings[0][i].jaccard, expected->rankings[0][i].jaccard);
+  }
+  server.Stop();
+}
+
+TEST(AuditServerTest, BadRequestGetsErrorReplyAndConnectionSurvives) {
+  AuditServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+  AuditSpecification empty_spec;  // no deployments: the agent must reject it
+  auto report = client->AuditStructural(empty_spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("remote: "), std::string::npos);
+  // The error was payload-level, not framing: the connection keeps working.
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+TEST(AuditServerTest, ConcurrentClients) {
+  AuditServerOptions options;
+  options.worker_threads = 4;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    auto seed_client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(seed_client.ok());
+    ASSERT_TRUE(seed_client->ImportDepDb(TestDepDbText()).ok());
+  }
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        if (c % 2 == 0) {
+          // Even clients audit (shared lock)...
+          auto report = client->AuditStructural(TestSpec());
+          if (!report.ok() || report->deployments.size() != 2) {
+            ++failures;
+          }
+        } else {
+          // ...odd clients re-import (exclusive lock), forcing both lock
+          // modes to interleave.
+          auto ack = client->ImportDepDb(TestDepDbText());
+          if (!ack.ok()) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+// --- Socket-backed P-SOP ring ---
+
+PsopOptions RingPsopOptions() {
+  PsopOptions psop;
+  psop.group_bits = 768;
+  psop.seed = 42;
+  return psop;
+}
+
+// Runs a full k-peer loopback session over `datasets`; returns one result
+// per peer (or dies on setup failure).
+std::vector<Result<PsopResult>> RunLoopbackRing(
+    const std::vector<std::vector<std::string>>& datasets, int io_timeout_ms = 10000) {
+  const size_t k = datasets.size();
+  std::vector<PiaPeer> peers;
+  PiaPeerOptions options;
+  options.psop = RingPsopOptions();
+  options.io_timeout_ms = io_timeout_ms;
+  for (size_t i = 0; i < k; ++i) {
+    auto peer = PiaPeer::Listen(0);
+    EXPECT_TRUE(peer.ok()) << peer.status().ToString();
+    options.peers.push_back(net::Endpoint{"127.0.0.1", peer->listen_port()});
+    peers.push_back(std::move(*peer));
+  }
+  std::vector<Result<PsopResult>> results(k, InternalError("peer did not run"));
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&, i] {
+      PiaPeerOptions mine = options;
+      mine.self_index = i;
+      results[i] = peers[i].RunPsop(datasets[i], mine);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return results;
+}
+
+TEST(PiaPeerTest, ThreePartyJaccardByteIdenticalToInProcess) {
+  std::vector<std::vector<std::string>> datasets = {
+      {"net:tor1", "net:core1", "hw:sed900", "pkg:libc6=2.13", "shared"},
+      {"net:tor2", "net:core1", "hw:sed900", "pkg:libc6=2.13", "shared"},
+      {"net:tor3", "net:core1", "hw:wd200", "pkg:libc6=2.13", "shared"},
+  };
+  auto results = RunLoopbackRing(datasets);
+  auto reference = RunPsop(datasets, RingPsopOptions());
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "peer " << i << ": " << results[i].status().ToString();
+    // Bit-exact double equality, not almost-equal: the socket engine must
+    // compute the identical intersection/union counts and division.
+    EXPECT_EQ(results[i]->intersection, reference->intersection) << "peer " << i;
+    EXPECT_EQ(results[i]->union_size, reference->union_size) << "peer " << i;
+    EXPECT_EQ(results[i]->jaccard, reference->jaccard) << "peer " << i;
+    // The peer metered its own real traffic.
+    const PartyStats& stats = results[i]->party_stats[i];
+    EXPECT_GT(stats.bytes_sent, 0u);
+    EXPECT_GT(stats.bytes_received, 0u);
+    EXPECT_GT(stats.encrypt_ops, 0u);
+  }
+  // Sanity: intersection is the 3 common elements (core1, libc6, shared).
+  EXPECT_EQ(reference->intersection, 3u);
+}
+
+TEST(PiaPeerTest, TwoPartyWithDuplicatesMatchesInProcess) {
+  std::vector<std::vector<std::string>> datasets = {
+      {"a", "a", "b", "c"},
+      {"a", "b", "b", "d"},
+  };
+  auto results = RunLoopbackRing(datasets);
+  auto reference = RunPsop(datasets, RingPsopOptions());
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_EQ(results[i]->jaccard, reference->jaccard);
+    EXPECT_EQ(results[i]->intersection, reference->intersection);
+    EXPECT_EQ(results[i]->union_size, reference->union_size);
+  }
+}
+
+TEST(PiaPeerTest, MisconfiguredRingFailsHandshake) {
+  // Two peers that disagree on the ring size must fail fast at the
+  // handshake, not mid-protocol.
+  auto peer0 = PiaPeer::Listen(0);
+  auto peer1 = PiaPeer::Listen(0);
+  ASSERT_TRUE(peer0.ok());
+  ASSERT_TRUE(peer1.ok());
+  std::vector<net::Endpoint> ring = {{"127.0.0.1", peer0->listen_port()},
+                                     {"127.0.0.1", peer1->listen_port()}};
+  Result<PsopResult> r0 = InternalError("unset");
+  Result<PsopResult> r1 = InternalError("unset");
+  std::thread t0([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 0;
+    options.psop = RingPsopOptions();
+    options.io_timeout_ms = 3000;
+    r0 = peer0->RunPsop({"x"}, options);
+  });
+  std::thread t1([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 1;
+    options.psop = RingPsopOptions();
+    options.psop.group_bits = 1024;  // disagrees with peer 0
+    options.io_timeout_ms = 3000;
+    r1 = peer1->RunPsop({"y"}, options);
+  });
+  t0.join();
+  t1.join();
+  EXPECT_FALSE(r0.ok());
+  EXPECT_FALSE(r1.ok());
+}
+
+TEST(PiaPeerTest, PeerDisconnectMidSessionFailsCleanlyAndBounded) {
+  // Ring of three where peer 2 is a saboteur: it completes the handshake,
+  // then vanishes. Peers 0 and 1 must fail with a transport error within
+  // their io timeout — no hang, no partial result.
+  auto peer0 = PiaPeer::Listen(0);
+  auto peer1 = PiaPeer::Listen(0);
+  auto saboteur_listener = net::TcpListen(0);
+  ASSERT_TRUE(peer0.ok());
+  ASSERT_TRUE(peer1.ok());
+  ASSERT_TRUE(saboteur_listener.ok());
+  auto saboteur_port = saboteur_listener->LocalPort();
+  ASSERT_TRUE(saboteur_port.ok());
+  std::vector<net::Endpoint> ring = {{"127.0.0.1", peer0->listen_port()},
+                                     {"127.0.0.1", peer1->listen_port()},
+                                     {"127.0.0.1", *saboteur_port}};
+  constexpr int kIoTimeoutMs = 1500;
+  PiaPeerOptions options;
+  options.peers = ring;
+  options.psop = RingPsopOptions();
+  options.io_timeout_ms = kIoTimeoutMs;
+
+  Result<PsopResult> r0 = InternalError("unset");
+  Result<PsopResult> r1 = InternalError("unset");
+  std::thread t0([&] {
+    PiaPeerOptions mine = options;
+    mine.self_index = 0;
+    r0 = peer0->RunPsop({"a", "b"}, mine);
+  });
+  std::thread t1([&] {
+    PiaPeerOptions mine = options;
+    mine.self_index = 1;
+    r1 = peer1->RunPsop({"a", "c"}, mine);
+  });
+  std::thread saboteur([&] {
+    // Play peer 2 up through the handshake, then drop both connections.
+    auto tx = net::ConnectWithRetry(ring[0], 2000, {});
+    if (!tx.ok()) {
+      return;
+    }
+    auto rx = net::TcpAccept(*saboteur_listener, 5000);
+    if (!rx.ok()) {
+      return;
+    }
+    PsopHello hello;
+    hello.ring_size = 3;
+    hello.sender_index = 2;
+    hello.group_bits = static_cast<uint32_t>(options.psop.group_bits);
+    hello.hash_algorithm = static_cast<uint8_t>(options.psop.hash);
+    (void)net::WriteFrame(*tx, static_cast<uint8_t>(MsgType::kPsopHello),
+                          EncodePsopHello(hello), 2000);
+    auto peer_hello = net::ReadFrame(*rx, net::FrameLimits{}, 5000);
+    (void)peer_hello;
+    tx->Close();
+    rx->Close();
+  });
+
+  WallTimer timer;
+  t0.join();
+  t1.join();
+  saboteur.join();
+  double elapsed = timer.ElapsedSeconds();
+
+  EXPECT_FALSE(r0.ok());
+  EXPECT_FALSE(r1.ok());
+  for (const Status& status : {r0.status(), r1.status()}) {
+    EXPECT_TRUE(status.code() == StatusCode::kUnavailable ||
+                status.code() == StatusCode::kDeadlineExceeded)
+        << status.ToString();
+  }
+  // Bounded: failure must land within a small multiple of the io timeout
+  // (the joins started after thread creation, so elapsed is a loose bound).
+  EXPECT_LT(elapsed, 4.0 * kIoTimeoutMs / 1000.0);
+}
+
+// --- The frame pump ---
+
+TEST(ExchangeFramesTest, LargeFramesBothDirectionsNoDeadlock) {
+  // Two nodes exchange 4 MB frames simultaneously over two TCP connections
+  // (as ring neighbours do). Naive send-then-receive would deadlock on full
+  // kernel buffers; the pump must interleave.
+  auto listener_ab = net::TcpListen(0);
+  auto listener_ba = net::TcpListen(0);
+  ASSERT_TRUE(listener_ab.ok());
+  ASSERT_TRUE(listener_ba.ok());
+  auto a_tx = net::TcpConnect({"127.0.0.1", listener_ab->LocalPort().value_or(1)}, 2000);
+  auto b_tx = net::TcpConnect({"127.0.0.1", listener_ba->LocalPort().value_or(1)}, 2000);
+  ASSERT_TRUE(a_tx.ok());
+  ASSERT_TRUE(b_tx.ok());
+  auto b_rx = net::TcpAccept(*listener_ab, 2000);
+  auto a_rx = net::TcpAccept(*listener_ba, 2000);
+  ASSERT_TRUE(b_rx.ok());
+  ASSERT_TRUE(a_rx.ok());
+
+  const std::string payload_a(4 << 20, 'A');
+  const std::string payload_b(4 << 20, 'B');
+  std::string frame_a = net::EncodeFrameHeader(17, static_cast<uint32_t>(payload_a.size()));
+  frame_a += payload_a;
+  std::string frame_b = net::EncodeFrameHeader(17, static_cast<uint32_t>(payload_b.size()));
+  frame_b += payload_b;
+
+  Result<net::Frame> got_at_b = InternalError("unset");
+  std::thread node_b([&] {
+    got_at_b = ExchangeFrames(*b_tx, frame_b, *b_rx, net::FrameLimits{}, 10000);
+  });
+  auto got_at_a = ExchangeFrames(*a_tx, frame_a, *a_rx, net::FrameLimits{}, 10000);
+  node_b.join();
+
+  ASSERT_TRUE(got_at_a.ok()) << got_at_a.status().ToString();
+  ASSERT_TRUE(got_at_b.ok()) << got_at_b.status().ToString();
+  EXPECT_EQ(got_at_a->payload, payload_b);
+  EXPECT_EQ(got_at_b->payload, payload_a);
+}
+
+TEST(ExchangeFramesTest, StalledPeerTimesOut) {
+  auto listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  auto tx = net::TcpConnect({"127.0.0.1", listener->LocalPort().value_or(1)}, 2000);
+  ASSERT_TRUE(tx.ok());
+  auto rx = net::TcpAccept(*listener, 2000);
+  ASSERT_TRUE(rx.ok());
+  // Nothing ever arrives on rx (the "peer" is tx's counterpart = rx itself,
+  // and we never write to it): the pump must give up at the deadline.
+  WallTimer timer;
+  auto frame = ExchangeFrames(*tx, "", *rx, net::FrameLimits{}, 200);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedSeconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace indaas
