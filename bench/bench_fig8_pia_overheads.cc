@@ -69,6 +69,7 @@ struct RealPoint {
   double jaccard = 0;
   double measured_wall_s = 0;   // wall time of the whole socket session
   double estimated_wall_s = 0;  // NetworkModel estimate on the measured stats
+  uint64_t bytes_sent = 0;      // real wire bytes, summed over the peers
   bool matches_inprocess = false;
 };
 
@@ -114,6 +115,7 @@ Result<RealPoint> RunRealPoint(const std::vector<std::vector<std::string>>& data
     const PartyStats& stats = results[i]->party_stats[i];
     point.estimated_wall_s =
         std::max(point.estimated_wall_s, model.EstimateWallSeconds(stats, rounds));
+    point.bytes_sent += stats.bytes_sent;
   }
   point.jaccard = results[0]->jaccard;
   INDAAS_ASSIGN_OR_RETURN(PsopResult reference, RunPsop(datasets, psop));
@@ -135,10 +137,11 @@ std::string RealPointsToJson(const std::vector<RealPoint>& points) {
     json += StrFormat(
         "    {\"k\": %zu, \"n\": %zu, \"jaccard\": %.6f, \"measured_wall_s\": %.6f, "
         "\"estimated_wall_s\": %.6f, \"delta_s\": %.6f, \"delta_ratio\": %.4f, "
-        "\"matches_inprocess\": %s}%s\n",
+        "\"bytes_sent\": %llu, \"matches_inprocess\": %s}%s\n",
         p.k, p.n, p.jaccard, p.measured_wall_s, p.estimated_wall_s,
         p.measured_wall_s - p.estimated_wall_s,
         p.estimated_wall_s > 0 ? p.measured_wall_s / p.estimated_wall_s : 0.0,
+        static_cast<unsigned long long>(p.bytes_sent),
         p.matches_inprocess ? "true" : "false", i + 1 < points.size() ? "," : "");
   }
   json += "  ]\n}\n";

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Distributed tracing walkthrough (README "Distributed observability",
+# DESIGN.md §6): a server and a remote audit client each write their own
+# Chrome trace, then `indaas trace-merge` stitches them into one
+# clock-aligned timeline where the server's handler spans nest inside the
+# client's RPC spans.
+#
+# What a human would do across two terminals:
+#   terminal 1:  indaas serve --port=7341 --trace-out=server_trace.json
+#   terminal 2:  indaas audit --remote=localhost:7341 --trace-out=client_trace.json ...
+#   terminal 2:  indaas stats --remote=localhost:7341
+#   (stop the server)
+#   terminal 2:  indaas trace-merge --out=merged.json client_trace.json server_trace.json
+#
+# Usage: examples/distributed_trace.sh [path-to-indaas-binary]
+set -eu
+
+INDAAS="${1:-./build/src/cli/indaas}"
+if [ ! -x "$INDAAS" ]; then
+  echo "indaas binary not found at $INDAAS (build first, or pass its path)" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+PORT=17351
+
+echo "### 1. Collect a DepDB from the simulated lab cloud"
+"$INDAAS" collect --infra=lab --out="$WORKDIR/depdb.txt" --with-software
+
+echo
+echo "### 2. [terminal 1] Start the audit server, tracing to a file"
+"$INDAAS" serve --port=$PORT --trace-out="$WORKDIR/server_trace.json" &
+SERVER_PID=$!
+
+echo
+echo "### 3. [terminal 2] Audit remotely; the client traces its own RPCs"
+# The trace context rides the wire (one frame flag + 16 bytes), so the
+# server's handler spans record the client's trace id and calling span.
+"$INDAAS" audit --remote=localhost:$PORT --depdb="$WORKDIR/depdb.txt" \
+    --deployments="Server1,Server2;Server1,Server3" \
+    --trace-out="$WORKDIR/client_trace.json"
+
+echo
+echo "### 4. [terminal 2] Scrape the server's live stats and health"
+"$INDAAS" stats --remote=localhost:$PORT
+echo
+echo "--- same snapshot, Prometheus exposition (excerpt) ---"
+"$INDAAS" stats --remote=localhost:$PORT --format=prometheus | head -n 12
+
+echo
+echo "### 5. Stop the server so it writes its trace file"
+kill -INT $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+
+echo
+echo "### 6. Merge the two per-process traces into one timeline"
+"$INDAAS" trace-merge --out="$WORKDIR/merged.json" \
+    "$WORKDIR/client_trace.json" "$WORKDIR/server_trace.json"
+
+echo
+echo "Merged trace head (each process is its own pid, clocks aligned):"
+head -c 600 "$WORKDIR/merged.json"
+echo
+echo
+echo "Load the merged file in chrome://tracing or https://ui.perfetto.dev —"
+echo "the server's svc.rpc spans sit inside the client's svc.client.rpc spans."

@@ -15,6 +15,7 @@
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/trace_merge.h"
 #include "src/graph/fault_graph.h"
 #include "src/graph/serialize.h"
 #include "src/net/socket.h"
@@ -490,6 +491,86 @@ Status RunPiaCommand(int argc, char** argv) {
   return FinishObs(obs_out);
 }
 
+Status RunStatsCommand(int argc, char** argv) {
+  std::string remote;
+  std::string format = "text";
+  FlagSet flags;
+  flags.AddString("remote", &remote, "the `indaas serve` instance to scrape, host:port");
+  flags.AddString("format", &format, "text | prometheus | json");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (remote.empty()) {
+    return InvalidArgumentError("--remote is required (e.g. --remote=localhost:7341)");
+  }
+  if (format != "text" && format != "prometheus" && format != "json") {
+    return InvalidArgumentError("--format must be text, prometheus or json");
+  }
+  INDAAS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::ParseEndpoint(remote));
+  INDAAS_ASSIGN_OR_RETURN(svc::AuditClient client, svc::AuditClient::Connect(endpoint));
+  INDAAS_ASSIGN_OR_RETURN(svc::HealthStatus health, client.Health());
+  INDAAS_ASSIGN_OR_RETURN(svc::ServerStats stats, client.GetStats());
+  if (format == "prometheus") {
+    std::printf("%s", obs::MetricsToPrometheus(stats.metrics).c_str());
+    std::printf("# TYPE indaas_server_serving gauge\nindaas_server_serving %d\n",
+                health.serving ? 1 : 0);
+    std::printf("# TYPE indaas_server_uptime_seconds gauge\nindaas_server_uptime_seconds %.3f\n",
+                static_cast<double>(stats.uptime_us) / 1e6);
+    std::printf("# TYPE indaas_server_depdb_records gauge\nindaas_server_depdb_records %llu\n",
+                static_cast<unsigned long long>(stats.depdb_records));
+    return Status::Ok();
+  }
+  if (format == "json") {
+    std::printf("%s", obs::MetricsToJson(stats.metrics).c_str());
+    return Status::Ok();
+  }
+  std::printf("%s: %s, up %.1f s, %llu DepDB records\n", endpoint.ToString().c_str(),
+              health.serving ? "serving" : "NOT serving",
+              static_cast<double>(stats.uptime_us) / 1e6,
+              static_cast<unsigned long long>(stats.depdb_records));
+  std::printf("%s", obs::RenderMetricsText(stats.metrics).c_str());
+  return Status::Ok();
+}
+
+Status RunTraceMergeCommand(int argc, char** argv) {
+  // Positional inputs plus an optional --out: parsed by hand because the
+  // FlagSet grammar is flags-only.
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StartsWith(arg, "--out=")) {
+      out_path = std::string(arg.substr(6));
+    } else if (StartsWith(arg, "--")) {
+      return InvalidArgumentError("unknown flag '" + std::string(arg) +
+                                  "' (usage: trace-merge [--out=merged.json] a.json b.json ...)");
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.size() < 2) {
+    return InvalidArgumentError("trace-merge needs at least two per-process trace files");
+  }
+  std::vector<obs::ProcessTrace> traces;
+  traces.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    INDAAS_ASSIGN_OR_RETURN(std::string json, ReadFile(path));
+    INDAAS_ASSIGN_OR_RETURN(obs::ProcessTrace trace, obs::ParseChromeTrace(json, path));
+    traces.push_back(std::move(trace));
+  }
+  INDAAS_ASSIGN_OR_RETURN(std::string merged, obs::MergeChromeTraces(traces));
+  if (out_path.empty()) {
+    std::printf("%s", merged.c_str());
+    return Status::Ok();
+  }
+  INDAAS_RETURN_IF_ERROR(WriteFile(out_path, merged));
+  size_t spans = 0;
+  for (const obs::ProcessTrace& trace : traces) {
+    spans += trace.events.size();
+  }
+  std::printf("merged %zu spans from %zu processes -> %s\n", spans, traces.size(),
+              out_path.c_str());
+  return Status::Ok();
+}
+
 namespace {
 // SIGINT/SIGTERM flip this; the serve loop polls it.
 std::atomic<bool> g_serve_interrupted{false};
@@ -508,6 +589,8 @@ Status RunServeCommand(int argc, char** argv) {
   flags.AddInt("io-timeout-ms", &io_timeout_ms, "per-request read/write timeout");
   flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
+  ObsOutputs obs_out;
+  AddObsFlags(flags, obs_out);
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (port < 0 || port > 65535) {
     return InvalidArgumentError(StrFormat("--port=%lld is not a TCP port",
@@ -534,6 +617,7 @@ Status RunServeCommand(int argc, char** argv) {
                 server.agent().depdb().TotalCount(), depdb_path.c_str());
   }
 
+  BeginObs(obs_out);
   INDAAS_RETURN_IF_ERROR(server.Start());
   std::printf("indaas audit server listening on port %u (%zu workers); Ctrl-C to stop\n",
               server.port(), options.worker_threads);
@@ -548,7 +632,7 @@ Status RunServeCommand(int argc, char** argv) {
   std::signal(SIGTERM, SIG_DFL);
   std::printf("shutting down...\n");
   server.Stop();
-  return Status::Ok();
+  return FinishObs(obs_out);
 }
 
 int RunCli(int argc, char** argv) {
@@ -589,7 +673,10 @@ int RunCli(int argc, char** argv) {
                  "  importance  rank components by fault-tree importance measures\n"
                  "  pia         private independence audit across provider component sets\n"
                  "  serve       run the networked audit service (see audit --remote)\n"
-                 "audit and pia accept --metrics-out=<file> and --trace-out=<file>\n"
+                 "  stats       scrape a live server's metrics (--remote=host:P "
+                 "[--format=text|prometheus|json])\n"
+                 "  trace-merge merge per-process --trace-out files into one Chrome trace\n"
+                 "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
                  "networked: serve --port=P; audit --remote=host:P; "
                  "pia --peers=a:p1,b:p2,c:p3 --self=i\n");
     return 2;
@@ -612,6 +699,10 @@ int RunCli(int argc, char** argv) {
     status = RunPiaCommand(argc - 1, argv + 1);
   } else if (command == "serve") {
     status = RunServeCommand(argc - 1, argv + 1);
+  } else if (command == "stats") {
+    status = RunStatsCommand(argc - 1, argv + 1);
+  } else if (command == "trace-merge") {
+    status = RunTraceMergeCommand(argc - 1, argv + 1);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 2;

@@ -9,6 +9,8 @@
 //   indaas importance --graph=g.fg
 //   indaas pia        --sets=providers.txt [...]
 //   indaas serve      --port=7341 [--threads=4] [--depdb=deps.txt]
+//   indaas stats      --remote=host:port [--format=text|prometheus|json]
+//   indaas trace-merge --out=merged.json a.json b.json ...
 //
 // `pia` reads providers from a simple format: one provider per line,
 //   <name>: <component>, <component>, ...
@@ -17,6 +19,11 @@
 // ships the DepDB to that server and audits there; `pia
 // --peers=a:p1,b:p2,c:p3 --self=i` runs one party of a socket-backed P-SOP
 // ring (its set is line i of the --sets file).
+//
+// Distributed observability: `stats` scrapes a live server's metrics
+// snapshot over the kGetStats RPC (and its health over kHealth);
+// `trace-merge` stitches per-process --trace-out files from client, server
+// and ring peers into one clock-aligned Chrome trace.
 
 #ifndef SRC_CLI_COMMANDS_H_
 #define SRC_CLI_COMMANDS_H_
@@ -37,6 +44,8 @@ Status RunWhatIfCommand(int argc, char** argv);
 Status RunImportanceCommand(int argc, char** argv);
 Status RunPiaCommand(int argc, char** argv);
 Status RunServeCommand(int argc, char** argv);
+Status RunStatsCommand(int argc, char** argv);
+Status RunTraceMergeCommand(int argc, char** argv);
 
 // Dispatches to a subcommand; prints usage on unknown commands.
 int RunCli(int argc, char** argv);

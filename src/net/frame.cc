@@ -14,9 +14,18 @@ void AppendU32BE(std::string* out, uint32_t value) {
   out->push_back(static_cast<char>(value & 0xFF));
 }
 
+void AppendU64BE(std::string* out, uint64_t value) {
+  AppendU32BE(out, static_cast<uint32_t>(value >> 32));
+  AppendU32BE(out, static_cast<uint32_t>(value & 0xFFFFFFFFULL));
+}
+
 uint32_t ReadU32BE(const unsigned char* p) {
   return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
          (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t ReadU64BE(const unsigned char* p) {
+  return (static_cast<uint64_t>(ReadU32BE(p)) << 32) | ReadU32BE(p + 4);
 }
 
 obs::Counter* FramesSent() {
@@ -35,23 +44,49 @@ obs::Counter* FrameRejects() {
 
 }  // namespace
 
-std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size) {
+std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size, uint16_t flags) {
   std::string header;
   header.reserve(kFrameHeaderBytes);
   AppendU32BE(&header, kFrameMagic);
   header.push_back(static_cast<char>(kWireVersion));
   header.push_back(static_cast<char>(type));
-  header.push_back(0);  // flags hi
-  header.push_back(0);  // flags lo
+  header.push_back(static_cast<char>((flags >> 8) & 0xFF));
+  header.push_back(static_cast<char>(flags & 0xFF));
   AppendU32BE(&header, payload_size);
   return header;
 }
 
-Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms) {
+std::string EncodeTraceContext(const obs::TraceContext& trace) {
+  std::string out;
+  out.reserve(kTraceContextBytes);
+  AppendU64BE(&out, trace.trace_id);
+  AppendU64BE(&out, trace.parent_span_id);
+  return out;
+}
+
+Result<obs::TraceContext> DecodeTraceContext(std::string_view bytes) {
+  if (bytes.size() != kTraceContextBytes) {
+    return ProtocolError(StrFormat("trace context is %zu bytes, want %zu", bytes.size(),
+                                   kTraceContextBytes));
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  obs::TraceContext trace;
+  trace.trace_id = ReadU64BE(p);
+  trace.parent_span_id = ReadU64BE(p + 8);
+  return trace;
+}
+
+Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
+                  const obs::TraceContext& trace) {
   if (payload.size() > UINT32_MAX) {
     return InvalidArgumentError("WriteFrame: payload exceeds 4 GiB");
   }
-  std::string header = EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()));
+  uint16_t flags = trace.valid() ? kFrameFlagTraceContext : 0;
+  std::string header = EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), flags);
+  if (trace.valid()) {
+    // The 16-byte extension piggybacks on the header send; both are tiny.
+    header += EncodeTraceContext(trace);
+  }
   // Two sends, not one copy: payloads can be tens of MB and the header is
   // tiny; TCP_NODELAY is on but the kernel coalesces back-to-back sends.
   INDAAS_RETURN_IF_ERROR(socket.SendAll(header, timeout_ms));
@@ -78,7 +113,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
                                    kWireVersion));
   }
   uint16_t flags = static_cast<uint16_t>((p[6] << 8) | p[7]);
-  if (flags != 0) {
+  if ((flags & ~kFrameFlagTraceContext) != 0) {
     FrameRejects()->Increment();
     return ProtocolError(StrFormat("nonzero reserved frame flags 0x%04X", flags));
   }
@@ -91,6 +126,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
   FrameHeader header;
   header.type = p[5];
   header.payload_size = length;
+  header.has_trace_context = (flags & kFrameFlagTraceContext) != 0;
   return header;
 }
 
@@ -100,6 +136,11 @@ Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_m
   INDAAS_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(raw, limits));
   Frame frame;
   frame.type = header.type;
+  if (header.has_trace_context) {
+    std::string ext;
+    INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kTraceContextBytes, timeout_ms));
+    INDAAS_ASSIGN_OR_RETURN(frame.trace, DecodeTraceContext(ext));
+  }
   INDAAS_RETURN_IF_ERROR(socket.RecvAll(&frame.payload, header.payload_size, timeout_ms));
   FramesRecv()->Increment();
   return frame;

@@ -5,9 +5,19 @@
 //   0       4     magic 0x494E4441 ("INDA"), big-endian
 //   4       1     wire-format version (kWireVersion)
 //   5       1     message type (svc::MsgType; opaque to this layer)
-//   6       2     flags (reserved, must be zero)
-//   8       4     payload length in bytes, big-endian
-//   12      n     payload
+//   6       2     flags (bit 0 = trace-context extension; others reserved,
+//                 must be zero)
+//   8       4     payload length in bytes, big-endian (extension excluded)
+//   12      16    trace-context extension, only when flag bit 0 is set:
+//                 trace id (u64 BE) + parent wire span id (u64 BE)
+//   12|28   n     payload
+//
+// The trace-context extension (kFrameFlagTraceContext) carries the
+// distributed request identity from src/obs/propagate.h ahead of the
+// payload; its 16 bytes are NOT counted in the payload length, so a peer
+// that understands the flag can strip it without re-parsing the payload.
+// Traceless frames (flags == 0) remain fully valid — old clients keep
+// working — but any other nonzero flag bit is still a hard kProtocolError.
 //
 // ReadFrame validates magic, version, flags and length against FrameLimits
 // before allocating the payload buffer, so a garbage or hostile peer costs
@@ -22,6 +32,7 @@
 #include <string>
 
 #include "src/net/socket.h"
+#include "src/obs/propagate.h"
 #include "src/util/status.h"
 
 namespace indaas {
@@ -30,6 +41,12 @@ namespace net {
 inline constexpr uint32_t kFrameMagic = 0x494E4441;  // "INDA"
 inline constexpr uint8_t kWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 12;
+
+// Frame flag bits (header offset 6, big-endian u16). Bit 0 announces the
+// fixed-size trace-context extension between header and payload; all other
+// bits are reserved and rejected.
+inline constexpr uint16_t kFrameFlagTraceContext = 0x0001;
+inline constexpr size_t kTraceContextBytes = 16;
 
 struct FrameLimits {
   // Largest payload ReadFrame will accept. PIA datasets dominate frame
@@ -41,16 +58,30 @@ struct FrameLimits {
 struct Frame {
   uint8_t type = 0;
   std::string payload;
+  // Distributed request identity carried by the trace extension; invalid
+  // (trace_id == 0) when the frame had no extension.
+  obs::TraceContext trace;
 };
 
 // Serializes the header for `type`/`payload_size` (testing seam; WriteFrame
-// uses it internally).
-std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size);
+// uses it internally). `flags` is written verbatim — tests use it to forge
+// frames with reserved bits set.
+std::string EncodeFrameHeader(uint8_t type, uint32_t payload_size, uint16_t flags = 0);
+
+// Serializes the 16-byte trace-context extension (trace id + parent wire
+// span id, both big-endian u64).
+std::string EncodeTraceContext(const obs::TraceContext& trace);
+
+// Decodes a kTraceContextBytes-byte trace extension.
+Result<obs::TraceContext> DecodeTraceContext(std::string_view bytes);
 
 // Decoded, validated header fields.
 struct FrameHeader {
   uint8_t type = 0;
   uint32_t payload_size = 0;
+  // True when the trace-context flag was set: kTraceContextBytes of trace
+  // extension follow the header, before the payload.
+  bool has_trace_context = false;
 };
 
 // Validates a raw kFrameHeaderBytes-byte header against `limits`. Shared by
@@ -58,11 +89,14 @@ struct FrameHeader {
 // reads (the PIA ring pump).
 Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits& limits);
 
-// Writes one frame (header + payload) to the socket.
-Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms);
+// Writes one frame (header [+ trace extension] + payload) to the socket.
+// The extension is emitted only when `trace` is valid.
+Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
+                  const obs::TraceContext& trace = {});
 
 // Reads and validates one frame. The timeout applies to each socket wait,
-// so a total stall is bounded by timeout_ms (header) + timeout_ms (payload).
+// so a total stall is bounded by timeout_ms per phase (header, optional
+// trace extension, payload).
 Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_ms);
 
 }  // namespace net

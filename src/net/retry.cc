@@ -27,14 +27,20 @@ bool IsRetryable(const Status& status) {
 }
 
 Result<Socket> ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
-                                const RetryPolicy& policy) {
+                                const RetryPolicy& policy, size_t* retries_out) {
   static obs::Counter* retries =
       obs::MetricsRegistry::Global().GetCounter("net.connect_retries");
   size_t attempts = std::max<size_t>(1, policy.max_attempts);
+  if (retries_out != nullptr) {
+    *retries_out = 0;
+  }
   for (size_t attempt = 0;; ++attempt) {
     Result<Socket> sock = TcpConnect(endpoint, timeout_ms);
     if (sock.ok()) {
       return sock;
+    }
+    if (retries_out != nullptr) {
+      *retries_out = attempt + 1;
     }
     if (attempt + 1 >= attempts || !IsRetryable(sock.status())) {
       return sock;

@@ -31,9 +31,13 @@ bool IsRetryable(const Status& status);
 
 // TcpConnect with up to policy.max_attempts tries; sleeps the backoff
 // between failures and counts each retry in net.connect_retries. Returns
-// the final attempt's error when all tries fail.
+// the final attempt's error when all tries fail. When `retries_out` is
+// non-null it receives the number of failed attempts before success (or
+// before giving up), letting callers attribute retries to a specific RPC
+// instead of only the process-wide counter.
 Result<Socket> ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
-                                const RetryPolicy& policy = {});
+                                const RetryPolicy& policy = {},
+                                size_t* retries_out = nullptr);
 
 }  // namespace net
 }  // namespace indaas

@@ -173,6 +173,52 @@ std::string RenderStageTable(const std::vector<StageStat>& stages) {
   return out;
 }
 
+namespace {
+
+// "svc.rpc_seconds.Ping" -> "indaas_svc_rpc_seconds_Ping". Prometheus metric
+// names admit [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PrometheusFamily(const std::string& name) {
+  std::string out = "indaas_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& counter : snapshot.counters) {
+    std::string family = PrometheusFamily(counter.name);
+    out += "# TYPE " + family + " counter\n";
+    out += family + " " + std::to_string(counter.value) + "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    std::string family = PrometheusFamily(gauge.name);
+    out += "# TYPE " + family + " gauge\n";
+    out += family + " " + std::to_string(gauge.value) + "\n";
+    out += "# TYPE " + family + "_max gauge\n";
+    out += family + "_max " + std::to_string(gauge.max) + "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    std::string family = PrometheusFamily(histogram.name);
+    out += "# TYPE " + family + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < histogram.bounds.size(); ++b) {
+      cumulative += b < histogram.counts.size() ? histogram.counts[b] : 0;
+      out += family + "_bucket{le=\"" + FormatDouble(histogram.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) + "\n";
+    out += family + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += family + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
 std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -187,6 +233,13 @@ std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
     out += "\"span_id\":" + std::to_string(span.id);
     out += ",\"parent\":" + std::to_string(span.parent);
     out += ",\"depth\":" + std::to_string(span.depth);
+    if (span.trace_id != 0) {
+      // Decimal strings: 64-bit ids do not survive JSON's double numbers.
+      out += ",\"trace_id\":\"" + std::to_string(span.trace_id) + "\"";
+    }
+    if (span.remote_parent != 0) {
+      out += ",\"remote_parent\":\"" + std::to_string(span.remote_parent) + "\"";
+    }
     for (const auto& [key, value] : span.annotations) {
       out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
     }

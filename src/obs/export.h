@@ -1,6 +1,7 @@
 // Exporters for the metrics registry and span recorder (DESIGN.md §6):
-// human-readable text, structured JSON, and the Chrome trace-event format
-// that chrome://tracing and Perfetto load directly.
+// human-readable text, structured JSON, Prometheus text exposition, and the
+// Chrome trace-event format that chrome://tracing and Perfetto load
+// directly.
 
 #ifndef SRC_OBS_EXPORT_H_
 #define SRC_OBS_EXPORT_H_
@@ -39,9 +40,20 @@ std::string RenderMetricsText(const MetricsSnapshot& snapshot);
 // Stage-timing table printed after `indaas audit` runs.
 std::string RenderStageTable(const std::vector<StageStat>& stages);
 
+// Prometheus text exposition (version 0.0.4) of a snapshot. Dotted
+// instrument names become underscore families under an `indaas_` prefix
+// ("svc.rpc_seconds.Ping" -> "indaas_svc_rpc_seconds_Ping"); counters and
+// gauges map to their Prometheus types (a gauge's tracked max becomes a
+// separate `<family>_max` gauge), and histograms emit cumulative
+// `_bucket{le="..."}` samples plus `_sum`/`_count`. Exactly one `# TYPE`
+// line per family, no duplicate sample names.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
 // Chrome trace-event JSON: one complete ("ph":"X") event per span with
-// microsecond timestamps; annotations become event args. Loadable in
-// chrome://tracing and Perfetto.
+// microsecond timestamps; annotations become event args. Spans that carry a
+// distributed identity add `trace_id` / `remote_parent` args, rendered as
+// decimal strings because u64 ids do not survive JSON's double numbers.
+// Loadable in chrome://tracing and Perfetto.
 std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
 
 // Escapes a string for embedding inside a JSON string literal.

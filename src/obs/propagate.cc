@@ -1,0 +1,54 @@
+#include "src/obs/propagate.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace indaas {
+namespace obs {
+namespace {
+
+thread_local TraceContext tls_context;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessFingerprint() {
+  static const uint64_t fingerprint = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    return SplitMix64(seed);
+  }();
+  return fingerprint;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = SplitMix64(ProcessFingerprint() ^
+                           counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+uint64_t DeriveTraceId(uint64_t seed) {
+  uint64_t id = SplitMix64(seed ^ 0x494E4441534E4150ULL);  // "INDASNAP"
+  return id == 0 ? 1 : id;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context) : saved_(tls_context) {
+  tls_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
+
+}  // namespace obs
+}  // namespace indaas

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/propagate.h"
+
 namespace indaas {
 namespace obs {
 namespace {
@@ -87,6 +89,13 @@ ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   depth_ = saved_parent_ >= 0 ? state.depth + 1 : 0;
   state.current = id_;
   state.depth = depth_;
+  TraceContext ctx = CurrentTraceContext();
+  trace_id_ = ctx.trace_id;
+  if (saved_parent_ < 0) {
+    // Only roots link across processes; nested spans already have a local
+    // parent and inherit the trace id alone.
+    remote_parent_ = ctx.parent_span_id;
+  }
   start_us_ = TraceNowMicros();
 }
 
@@ -107,6 +116,8 @@ ScopedSpan::~ScopedSpan() {
   record.id = id_;
   record.parent = saved_parent_;
   record.depth = depth_;
+  record.trace_id = trace_id_;
+  record.remote_parent = remote_parent_;
   TraceRecorder::Global().Commit(id_, std::move(record));
 }
 

@@ -44,6 +44,11 @@ struct SpanRecord {
   int64_t id = -1;        // claim order == start order
   int64_t parent = -1;    // id of the enclosing span on this thread, -1 = root
   uint32_t depth = 0;     // 0 for roots
+  // Distributed identity (src/obs/propagate.h): the trace id installed on
+  // the recording thread when the span started (0 = process-local span),
+  // and — for root spans only — the remote caller's wire span id.
+  uint64_t trace_id = 0;
+  uint64_t remote_parent = 0;
 };
 
 // Microseconds since the process-wide trace epoch (steady clock).
@@ -110,12 +115,18 @@ class ScopedSpan {
 
   bool recording() const { return id_ >= 0; }
 
+  // This span's local id (-1 when not recording). Cross-process callers
+  // propagate obs::WireSpanId(span_id()) so 0 can mean "no span".
+  int64_t span_id() const { return id_; }
+
  private:
   const char* name_;
   int64_t id_ = -1;
   int64_t saved_parent_ = -1;
   uint32_t depth_ = 0;
   uint64_t start_us_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t remote_parent_ = 0;
   std::vector<std::pair<std::string, std::string>> annotations_;
 };
 

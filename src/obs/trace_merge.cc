@@ -1,0 +1,505 @@
+#include "src/obs/trace_merge.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "src/obs/export.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace obs {
+namespace {
+
+// --- Minimal JSON parser ---
+//
+// Just enough JSON to read Chrome trace files back in: the full value
+// grammar, doubles for numbers, no \uXXXX surrogate pairs (the exporter
+// never emits code points above the escape set). Kept private to this
+// translation unit; nothing else in the repo consumes JSON.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view src) : src_(src) {}
+
+  Result<JsonValue> Parse() {
+    INDAAS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWs();
+    if (pos_ != src_.size()) {
+      return ParseError(StrFormat("trailing bytes at offset %zu", pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t' ||
+                                  src_[pos_] == '\n' || src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Result<char> Peek() {
+    SkipWs();
+    if (pos_ >= src_.size()) {
+      return ParseError("unexpected end of JSON");
+    }
+    return src_[pos_];
+  }
+
+  Status Expect(char c) {
+    INDAAS_ASSIGN_OR_RETURN(char got, Peek());
+    if (got != c) {
+      return ParseError(StrFormat("expected '%c' at offset %zu, got '%c'", c, pos_, got));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status ExpectWord(std::string_view word) {
+    if (src_.substr(pos_, word.size()) != word) {
+      return ParseError(StrFormat("bad literal at offset %zu", pos_));
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  Result<JsonValue> ParseValue() {
+    INDAAS_ASSIGN_OR_RETURN(char c, Peek());
+    JsonValue value;
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        INDAAS_ASSIGN_OR_RETURN(value.text, ParseString());
+        value.kind = JsonValue::Kind::kString;
+        return value;
+      }
+      case 't':
+        INDAAS_RETURN_IF_ERROR(ExpectWord("true"));
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        INDAAS_RETURN_IF_ERROR(ExpectWord("false"));
+        value.kind = JsonValue::Kind::kBool;
+        return value;
+      case 'n':
+        INDAAS_RETURN_IF_ERROR(ExpectWord("null"));
+        return value;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    INDAAS_RETURN_IF_ERROR(Expect('{'));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    INDAAS_ASSIGN_OR_RETURN(char c, Peek());
+    if (c == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      INDAAS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      INDAAS_RETURN_IF_ERROR(Expect(':'));
+      INDAAS_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.fields.emplace_back(std::move(key), std::move(member));
+      INDAAS_ASSIGN_OR_RETURN(char next, Peek());
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      INDAAS_RETURN_IF_ERROR(Expect('}'));
+      return value;
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    INDAAS_RETURN_IF_ERROR(Expect('['));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    INDAAS_ASSIGN_OR_RETURN(char c, Peek());
+    if (c == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      INDAAS_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      value.items.push_back(std::move(item));
+      INDAAS_ASSIGN_OR_RETURN(char next, Peek());
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      INDAAS_RETURN_IF_ERROR(Expect(']'));
+      return value;
+    }
+  }
+
+  Result<std::string> ParseString() {
+    INDAAS_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= src_.size()) {
+        break;
+      }
+      char escape = src_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > src_.size()) {
+            return ParseError("truncated \\u escape");
+          }
+          unsigned code = static_cast<unsigned>(
+              std::strtoul(std::string(src_.substr(pos_, 4)).c_str(), nullptr, 16));
+          pos_ += 4;
+          // The exporter only emits \u00XX control escapes; anything wider
+          // is replaced rather than decoded into UTF-8.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return ParseError(StrFormat("bad escape '\\%c'", escape));
+      }
+    }
+    return ParseError("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (src_[pos_] == '-' || src_[pos_] == '+' || src_[pos_] == '.' ||
+            src_[pos_] == 'e' || src_[pos_] == 'E' ||
+            (src_[pos_] >= '0' && src_[pos_] <= '9'))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return ParseError(StrFormat("expected a JSON value at offset %zu", start));
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(std::string(src_.substr(start, pos_ - start)).c_str(), nullptr);
+    return value;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+// --- Trace file -> MergeEvents ---
+
+uint64_t ParseU64Text(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+// Renders a parsed arg value back to flat text for the merged output.
+std::string ArgText(const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kString:
+      return value.text;
+    case JsonValue::Kind::kNumber: {
+      if (value.number == static_cast<double>(static_cast<int64_t>(value.number))) {
+        return std::to_string(static_cast<int64_t>(value.number));
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value.number);
+      return buf;
+    }
+    case JsonValue::Kind::kBool:
+      return value.boolean ? "true" : "false";
+    default:
+      return "";
+  }
+}
+
+// Reads a u64 id arg that the exporter writes as a decimal string (older
+// files may carry a plain number).
+uint64_t IdArg(const JsonValue& args, const char* key) {
+  const JsonValue* value = args.Find(key);
+  if (value == nullptr) {
+    return 0;
+  }
+  if (value->kind == JsonValue::Kind::kString) {
+    return ParseU64Text(value->text);
+  }
+  if (value->kind == JsonValue::Kind::kNumber) {
+    return static_cast<uint64_t>(value->number);
+  }
+  return 0;
+}
+
+double NumberOr(const JsonValue* value, double fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber ? value->number
+                                                                     : fallback;
+}
+
+// Span midpoint / end in the file's own clock, as double µs.
+double Mid(const MergeEvent& e) {
+  return static_cast<double>(e.ts) + static_cast<double>(e.dur) / 2.0;
+}
+double End(const MergeEvent& e) { return static_cast<double>(e.ts + e.dur); }
+
+const std::string* FindArg(const MergeEvent& e, const char* key) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ProcessTrace> ParseChromeTrace(std::string_view json, std::string source) {
+  JsonParser parser(json);
+  Result<JsonValue> doc = parser.Parse();
+  if (!doc.ok()) {
+    return ParseError(StrFormat("%s: %s", source.c_str(),
+                                std::string(doc.status().message()).c_str()));
+  }
+  if (doc->kind != JsonValue::Kind::kObject) {
+    return ParseError(StrFormat("%s: top level is not an object", source.c_str()));
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return ParseError(StrFormat("%s: missing traceEvents array", source.c_str()));
+  }
+  ProcessTrace trace;
+  trace.source = std::move(source);
+  trace.events.reserve(events->items.size());
+  for (const JsonValue& raw : events->items) {
+    if (raw.kind != JsonValue::Kind::kObject) {
+      continue;
+    }
+    const JsonValue* ph = raw.Find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->text != "X") {
+      continue;  // metadata / instant events carry no span timing
+    }
+    MergeEvent event;
+    const JsonValue* name = raw.Find("name");
+    if (name != nullptr && name->kind == JsonValue::Kind::kString) {
+      event.name = name->text;
+    }
+    event.ts = static_cast<uint64_t>(NumberOr(raw.Find("ts"), 0.0));
+    event.dur = static_cast<uint64_t>(NumberOr(raw.Find("dur"), 0.0));
+    event.tid = static_cast<uint32_t>(NumberOr(raw.Find("tid"), 0.0));
+    if (const JsonValue* args = raw.Find("args");
+        args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      event.span_id = static_cast<int64_t>(NumberOr(args->Find("span_id"), -1.0));
+      event.parent = static_cast<int64_t>(NumberOr(args->Find("parent"), -1.0));
+      event.trace_id = IdArg(*args, "trace_id");
+      event.remote_parent = IdArg(*args, "remote_parent");
+      for (const auto& [key, value] : args->fields) {
+        if (key == "span_id" || key == "parent" || key == "trace_id" ||
+            key == "remote_parent") {
+          continue;
+        }
+        event.args.emplace_back(key, ArgText(value));
+      }
+    }
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+Result<std::vector<int64_t>> EstimateClockOffsets(const std::vector<ProcessTrace>& traces) {
+  const size_t n = traces.size();
+  std::vector<int64_t> offsets(n, 0);
+  if (n <= 1) {
+    return offsets;
+  }
+
+  // estimates[{i,j}]: values v with t_i ≈ t_j + v (convert file j's clock
+  // into file i's). Every pairing is recorded in both directions.
+  std::map<std::pair<size_t, size_t>, std::vector<double>> estimates;
+  auto add_estimate = [&](size_t i, size_t j, double value) {
+    estimates[{i, j}].push_back(value);
+    estimates[{j, i}].push_back(-value);
+  };
+
+  // RPC pairs: a client span in file a and the server span it caused in
+  // file b bracket the same request, so their midpoints coincide up to half
+  // the (asymmetric) network delay.
+  for (size_t a = 0; a < n; ++a) {
+    for (const MergeEvent& client : traces[a].events) {
+      if (client.name != "svc.client.rpc" || client.trace_id == 0 || client.span_id < 0) {
+        continue;
+      }
+      uint64_t wire_id = static_cast<uint64_t>(client.span_id) + 1;
+      for (size_t b = 0; b < n; ++b) {
+        if (b == a) {
+          continue;
+        }
+        for (const MergeEvent& server : traces[b].events) {
+          if (server.name == "svc.rpc" && server.trace_id == client.trace_id &&
+              server.remote_parent == wire_id) {
+            add_estimate(a, b, Mid(client) - Mid(server));
+          }
+        }
+      }
+    }
+  }
+
+  // Ring pairs: lockstep hops — the exchange with the same xseq in the same
+  // session (trace id) ends at nearly the same instant on every peer.
+  for (size_t a = 0; a < n; ++a) {
+    for (const MergeEvent& left : traces[a].events) {
+      if (left.name != "pia.ring.exchange" || left.trace_id == 0) {
+        continue;
+      }
+      const std::string* left_seq = FindArg(left, "xseq");
+      if (left_seq == nullptr) {
+        continue;
+      }
+      for (size_t b = a + 1; b < n; ++b) {
+        for (const MergeEvent& right : traces[b].events) {
+          if (right.name != "pia.ring.exchange" || right.trace_id != left.trace_id) {
+            continue;
+          }
+          const std::string* right_seq = FindArg(right, "xseq");
+          if (right_seq != nullptr && *right_seq == *left_seq) {
+            add_estimate(a, b, End(left) - End(right));
+          }
+        }
+      }
+    }
+  }
+
+  // Anchor file 0 and walk the pairing graph breadth-first; each step adds
+  // the mean pairwise estimate. Files with no path to an anchored file keep
+  // offset 0 (their clock is unknowable from the evidence given).
+  std::vector<bool> anchored(n, false);
+  anchored[0] = true;
+  std::vector<size_t> queue{0};
+  while (!queue.empty()) {
+    size_t i = queue.back();
+    queue.pop_back();
+    for (size_t j = 0; j < n; ++j) {
+      if (anchored[j]) {
+        continue;
+      }
+      auto it = estimates.find({i, j});
+      if (it == estimates.end() || it->second.empty()) {
+        continue;
+      }
+      double sum = 0.0;
+      for (double value : it->second) {
+        sum += value;
+      }
+      double mean = sum / static_cast<double>(it->second.size());
+      // offsets convert into file 0's clock: t_0 = t_i + offsets[i] and
+      // t_i = t_j + mean, so offsets[j] = offsets[i] + mean.
+      offsets[j] = offsets[i] + static_cast<int64_t>(mean);
+      anchored[j] = true;
+      queue.push_back(j);
+    }
+  }
+  return offsets;
+}
+
+Result<std::string> MergeChromeTraces(const std::vector<ProcessTrace>& traces) {
+  INDAAS_ASSIGN_OR_RETURN(std::vector<int64_t> offsets, EstimateClockOffsets(traces));
+
+  // Shift the merged timeline so the earliest event lands at t=0 (Chrome
+  // renders negative timestamps poorly).
+  int64_t min_ts = 0;
+  bool any = false;
+  for (size_t f = 0; f < traces.size(); ++f) {
+    for (const MergeEvent& event : traces[f].events) {
+      int64_t adjusted = static_cast<int64_t>(event.ts) + offsets[f];
+      if (!any || adjusted < min_ts) {
+        min_ts = adjusted;
+        any = true;
+      }
+    }
+  }
+
+  struct Placed {
+    const MergeEvent* event;
+    size_t file;
+    int64_t ts;
+  };
+  std::vector<Placed> placed;
+  for (size_t f = 0; f < traces.size(); ++f) {
+    for (const MergeEvent& event : traces[f].events) {
+      placed.push_back({&event, f, static_cast<int64_t>(event.ts) + offsets[f] - min_ts});
+    }
+  }
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const Placed& a, const Placed& b) { return a.ts < b.ts; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (size_t f = 0; f < traces.size(); ++f) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(f + 1) +
+           ",\"args\":{\"name\":\"" + JsonEscape(traces[f].source) + "\"}}";
+    out += ",\n{\"name\":\"clock_offset_us\",\"ph\":\"M\",\"pid\":" + std::to_string(f + 1) +
+           ",\"args\":{\"offset\":" + std::to_string(offsets[f]) + "}}";
+  }
+  for (const Placed& p : placed) {
+    const MergeEvent& event = *p.event;
+    out += ",\n{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"indaas\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(p.ts);
+    out += ",\"dur\":" + std::to_string(event.dur);
+    out += ",\"pid\":" + std::to_string(p.file + 1);
+    out += ",\"tid\":" + std::to_string(event.tid);
+    out += ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(event.span_id);
+    out += ",\"parent\":" + std::to_string(event.parent);
+    if (event.trace_id != 0) {
+      out += ",\"trace_id\":\"" + std::to_string(event.trace_id) + "\"";
+    }
+    if (event.remote_parent != 0) {
+      out += ",\"remote_parent\":\"" + std::to_string(event.remote_parent) + "\"";
+    }
+    for (const auto& [key, value] : event.args) {
+      out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace indaas

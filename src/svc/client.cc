@@ -1,35 +1,85 @@
 #include "src/svc/client.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
+#include "src/obs/trace.h"
 #include "src/util/strings.h"
+#include "src/util/timer.h"
 
 namespace indaas {
 namespace svc {
+namespace {
 
-AuditClient::AuditClient(net::Socket socket, AuditClientOptions options)
-    : socket_(std::move(socket)), options_(std::move(options)) {}
+obs::Histogram* ClientRpcSeconds() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "svc.client.rpc_seconds",
+      {0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128, 0.0256, 0.0512,
+       0.1024, 0.2048, 0.4096, 0.8192, 1.6384, 3.2768, 6.5536, 13.1072});
+  return histogram;
+}
+
+}  // namespace
+
+AuditClient::AuditClient(net::Socket socket, AuditClientOptions options, uint64_t trace_id)
+    : socket_(std::move(socket)), options_(std::move(options)), trace_id_(trace_id) {}
 
 Result<AuditClient> AuditClient::Connect(const net::Endpoint& endpoint,
                                          const AuditClientOptions& options) {
-  INDAAS_ASSIGN_OR_RETURN(
-      net::Socket socket,
-      net::ConnectWithRetry(endpoint, options.connect_timeout_ms, options.retry));
-  return AuditClient(std::move(socket), options);
+  size_t retries = 0;
+  Result<net::Socket> socket =
+      net::ConnectWithRetry(endpoint, options.connect_timeout_ms, options.retry, &retries);
+  if (retries > 0) {
+    // Attribute retries to this client on top of the process-wide
+    // net.connect_retries the retry layer already counts.
+    obs::MetricsRegistry::Global().GetCounter("svc.client.connect_retries")->Add(retries);
+  }
+  INDAAS_RETURN_IF_ERROR(socket.status());
+  // Join the calling thread's trace if one is installed (e.g. the CLI put
+  // the whole run under one trace); otherwise this client starts its own.
+  obs::TraceContext ambient = obs::CurrentTraceContext();
+  uint64_t trace_id = ambient.valid() ? ambient.trace_id : obs::NewTraceId();
+  return AuditClient(std::move(*socket), options, trace_id);
 }
 
 Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
                                      MsgType expected) {
-  INDAAS_RETURN_IF_ERROR(net::WriteFrame(socket_, static_cast<uint8_t>(request), payload,
-                                         options_.io_timeout_ms));
-  INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
-                          net::ReadFrame(socket_, options_.limits, options_.io_timeout_ms));
-  if (reply.type == static_cast<uint8_t>(MsgType::kErrorReply)) {
-    return DecodeErrorReply(reply.payload);
+  // The RPC span must carry this client's trace id even when the calling
+  // thread has no ambient context (a bare CLI client): reinstall the id,
+  // keeping any ambient remote parent only if it belongs to the same trace.
+  obs::TraceContext ambient = obs::CurrentTraceContext();
+  obs::ScopedTraceContext rpc_context(obs::TraceContext{
+      trace_id_, ambient.trace_id == trace_id_ ? ambient.parent_span_id : 0});
+  INDAAS_TRACE_SPAN_NAMED(span, "svc.client.rpc");
+  span.Annotate("type", MsgTypeName(request));
+  WallTimer timer;
+  // Propagate this client's trace and this span as the remote parent; with
+  // tracing disabled the span id is -1 and the wire parent is 0, but the
+  // trace id still flows so server metrics stay attributable.
+  obs::TraceContext trace{trace_id_, obs::WireSpanId(span.span_id())};
+  auto finish = [&](Result<net::Frame> result) {
+    ClientRpcSeconds()->Record(timer.ElapsedSeconds());
+    if (!result.ok()) {
+      span.Annotate("error", result.status().ToString());
+    }
+    return result;
+  };
+  if (Status s = net::WriteFrame(socket_, static_cast<uint8_t>(request), payload,
+                                 options_.io_timeout_ms, trace);
+      !s.ok()) {
+    return finish(s);
   }
-  if (reply.type != static_cast<uint8_t>(expected)) {
-    return ProtocolError(StrFormat("unexpected reply type %u (want %u)", reply.type,
-                                   static_cast<uint8_t>(expected)));
+  Result<net::Frame> reply = net::ReadFrame(socket_, options_.limits, options_.io_timeout_ms);
+  if (!reply.ok()) {
+    return finish(std::move(reply));
   }
-  return reply;
+  if (reply->type == static_cast<uint8_t>(MsgType::kErrorReply)) {
+    return finish(DecodeErrorReply(reply->payload));
+  }
+  if (reply->type != static_cast<uint8_t>(expected)) {
+    return finish(ProtocolError(StrFormat("unexpected reply type %u (want %u)", reply->type,
+                                          static_cast<uint8_t>(expected))));
+  }
+  return finish(std::move(reply));
 }
 
 Status AuditClient::Ping() {
@@ -62,6 +112,16 @@ Result<PiaAuditReport> AuditClient::AuditPia(const std::vector<CloudProvider>& p
       net::Frame reply,
       Call(MsgType::kPiaRequest, EncodePiaRequest(request), MsgType::kPiaReport));
   return DecodePiaAuditReport(reply.payload);
+}
+
+Result<ServerStats> AuditClient::GetStats() {
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply, Call(MsgType::kGetStats, "", MsgType::kStatsReply));
+  return DecodeServerStats(reply.payload);
+}
+
+Result<HealthStatus> AuditClient::Health() {
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply, Call(MsgType::kHealth, "", MsgType::kHealthReply));
+  return DecodeHealthStatus(reply.payload);
 }
 
 }  // namespace svc

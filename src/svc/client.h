@@ -3,6 +3,13 @@
 // DepDB records, and drives remote structural / private audits. One client
 // holds one connection and issues requests serially; use one client per
 // thread for concurrency.
+//
+// Observability: every Call() opens a "svc.client.rpc" span, propagates the
+// client's trace context in the frame's trace extension (src/obs/propagate.h)
+// so server-side spans join the same trace, and records request wall time in
+// the client-side `svc.client.rpc_seconds` histogram — the server-only
+// timing blind spot is closed from both ends. Connect retries are counted
+// per client in `svc.client.connect_retries` on top of the net-layer total.
 
 #ifndef SRC_SVC_CLIENT_H_
 #define SRC_SVC_CLIENT_H_
@@ -49,8 +56,19 @@ class AuditClient {
   Result<PiaAuditReport> AuditPia(const std::vector<CloudProvider>& providers,
                                   const PiaAuditOptions& options = {});
 
+  // Fetches the server's metrics snapshot (counters, gauges, per-RPC
+  // latency histograms) plus uptime and DepDB size.
+  Result<ServerStats> GetStats();
+
+  // Asks whether the server is serving (false once it begins draining).
+  Result<HealthStatus> Health();
+
+  // The trace id this client stamps on every request: the calling thread's
+  // context at Connect() time if one was installed, else freshly minted.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
-  AuditClient(net::Socket socket, AuditClientOptions options);
+  AuditClient(net::Socket socket, AuditClientOptions options, uint64_t trace_id);
 
   // Sends one request frame and reads the reply, unwrapping kErrorReply
   // into its remote Status.
@@ -58,6 +76,7 @@ class AuditClient {
 
   net::Socket socket_;
   AuditClientOptions options_;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace svc

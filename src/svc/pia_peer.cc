@@ -6,6 +6,7 @@
 
 #include "src/crypto/commutative.h"
 #include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/svc/proto.h"
 #include "src/util/logging.h"
@@ -15,12 +16,17 @@ namespace indaas {
 namespace svc {
 namespace {
 
-// Assembles the full on-wire bytes of one frame (header + payload) for the
-// pump, which needs the whole message up front to interleave sends with
-// receives.
-std::string FrameBytes(MsgType type, std::string_view payload) {
+// Assembles the full on-wire bytes of one frame (header [+ trace extension]
+// + payload) for the pump, which needs the whole message up front to
+// interleave sends with receives.
+std::string FrameBytes(MsgType type, std::string_view payload,
+                       const obs::TraceContext& trace = {}) {
+  uint16_t flags = trace.valid() ? net::kFrameFlagTraceContext : 0;
   std::string bytes = net::EncodeFrameHeader(static_cast<uint8_t>(type),
-                                             static_cast<uint32_t>(payload.size()));
+                                             static_cast<uint32_t>(payload.size()), flags);
+  if (trace.valid()) {
+    bytes += net::EncodeTraceContext(trace);
+  }
   bytes.append(payload.data(), payload.size());
   return bytes;
 }
@@ -31,14 +37,24 @@ Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
                                   net::Socket& rx, const net::FrameLimits& limits,
                                   int timeout_ms) {
   size_t sent = 0;
-  std::string in_buffer;        // header, then payload, received so far
+  std::string in_buffer;  // header, then trace extension, then payload
   bool have_header = false;
+  bool have_trace = false;  // trace extension consumed (or absent)
   net::FrameHeader header;
   net::Frame frame;
   auto recv_target = [&]() -> size_t {
-    return have_header ? header.payload_size : net::kFrameHeaderBytes;
+    if (!have_header) {
+      return net::kFrameHeaderBytes;
+    }
+    if (!have_trace) {
+      return net::kTraceContextBytes;
+    }
+    return header.payload_size;
   };
-  while (sent < out_bytes.size() || !have_header || in_buffer.size() < recv_target()) {
+  auto recv_done = [&]() {
+    return have_header && have_trace && in_buffer.size() >= header.payload_size;
+  };
+  while (sent < out_bytes.size() || !recv_done()) {
     struct pollfd fds[2];
     int tx_slot = -1;
     int rx_slot = -1;
@@ -77,6 +93,12 @@ Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
       if (!have_header && in_buffer.size() == net::kFrameHeaderBytes) {
         INDAAS_ASSIGN_OR_RETURN(header, net::DecodeFrameHeader(in_buffer, limits));
         have_header = true;
+        have_trace = !header.has_trace_context;
+        in_buffer.clear();
+      } else if (have_header && !have_trace &&
+                 in_buffer.size() == net::kTraceContextBytes) {
+        INDAAS_ASSIGN_OR_RETURN(frame.trace, net::DecodeTraceContext(in_buffer));
+        have_trace = true;
         in_buffer.clear();
       }
     }
@@ -106,6 +128,12 @@ Result<PsopResult> PiaPeer::RunPsop(const std::vector<std::string>& dataset,
   const size_t successor = (self + 1) % k;
   const size_t predecessor = (self + k - 1) % k;
 
+  // Ring peers all start at once — there is no originator whose context we
+  // could adopt — so every peer derives the same session trace id from the
+  // shared protocol seed, making one ring session one distributed trace.
+  obs::TraceContext session{obs::DeriveTraceId(options.psop.seed), 0};
+  obs::ScopedTraceContext session_trace(session);
+
   INDAAS_TRACE_SPAN_NAMED(span, "pia.psop.socket");
   span.Annotate("ring_size", std::to_string(k));
   span.Annotate("self", std::to_string(self));
@@ -124,7 +152,8 @@ Result<PsopResult> PiaPeer::RunPsop(const std::vector<std::string>& dataset,
   hello.group_bits = static_cast<uint32_t>(options.psop.group_bits);
   hello.hash_algorithm = static_cast<uint8_t>(options.psop.hash);
   INDAAS_RETURN_IF_ERROR(net::WriteFrame(tx, static_cast<uint8_t>(MsgType::kPsopHello),
-                                         EncodePsopHello(hello), options.io_timeout_ms));
+                                         EncodePsopHello(hello), options.io_timeout_ms,
+                                         session));
   INDAAS_ASSIGN_OR_RETURN(net::Frame hello_frame,
                           net::ReadFrame(rx, options.limits, options.io_timeout_ms));
   if (hello_frame.type != static_cast<uint8_t>(MsgType::kPsopHello)) {
@@ -171,13 +200,20 @@ Result<PsopResult> PiaPeer::RunPsop(const std::vector<std::string>& dataset,
 
   // Sends `current` tagged with its origin while receiving the predecessor's
   // dataset of the same round; validates type and origin on the way in.
+  // `xseq` numbers the session's exchanges: ring rounds are lockstep, so
+  // the same xseq on different peers is the same round — which is what
+  // trace-merge uses to align per-peer clocks.
+  size_t xseq = 0;
   auto exchange = [&](MsgType type, uint32_t send_origin,
                       uint32_t expect_origin) -> Result<std::vector<BigUint>> {
+    INDAAS_TRACE_SPAN_NAMED(hop_span, "pia.ring.exchange");
+    hop_span.Annotate("xseq", std::to_string(xseq++));
+    hop_span.Annotate("self", std::to_string(self));
     PsopDataset out;
     out.origin = send_origin;
     out.element_bytes = static_cast<uint32_t>(element_bytes);
     out.elements = std::move(current);
-    std::string out_bytes = FrameBytes(type, EncodePsopDataset(out));
+    std::string out_bytes = FrameBytes(type, EncodePsopDataset(out), session);
     meter.AddBytesSent(out_bytes.size());
     INDAAS_ASSIGN_OR_RETURN(
         net::Frame frame, ExchangeFrames(tx, out_bytes, rx, options.limits,

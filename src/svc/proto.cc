@@ -42,7 +42,34 @@ Result<PartyStats> DecodePartyStats(WireReader& reader) {
   return stats;
 }
 
+// Upper bound on any repeated-field count in a stats payload. A registry
+// snapshot has tens of instruments; a count beyond this is a hostile or
+// corrupted payload, rejected before any allocation.
+constexpr uint32_t kMaxStatsEntries = 1u << 16;
+
 }  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kImportDepDb: return "ImportDepDb";
+    case MsgType::kImportAck: return "ImportAck";
+    case MsgType::kAuditRequest: return "AuditRequest";
+    case MsgType::kAuditReport: return "AuditReport";
+    case MsgType::kPiaRequest: return "PiaRequest";
+    case MsgType::kPiaReport: return "PiaReport";
+    case MsgType::kErrorReply: return "ErrorReply";
+    case MsgType::kGetStats: return "GetStats";
+    case MsgType::kStatsReply: return "StatsReply";
+    case MsgType::kHealth: return "Health";
+    case MsgType::kHealthReply: return "HealthReply";
+    case MsgType::kPsopHello: return "PsopHello";
+    case MsgType::kPsopDataset: return "PsopDataset";
+    case MsgType::kPsopShare: return "PsopShare";
+  }
+  return "Unknown";
+}
 
 // --- Error reply ---
 
@@ -319,6 +346,118 @@ Result<PiaAuditReport> DecodePiaAuditReport(std::string_view payload) {
   }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PiaAuditReport"));
   return report;
+}
+
+// --- Stats and health ---
+
+std::string EncodeServerStats(const ServerStats& stats) {
+  WireWriter writer;
+  writer.U64(stats.uptime_us);
+  writer.U64(stats.depdb_records);
+  const obs::MetricsSnapshot& m = stats.metrics;
+  writer.U32(static_cast<uint32_t>(m.counters.size()));
+  for (const obs::MetricsSnapshot::CounterValue& c : m.counters) {
+    writer.Str(c.name);
+    writer.U64(c.value);
+  }
+  writer.U32(static_cast<uint32_t>(m.gauges.size()));
+  for (const obs::MetricsSnapshot::GaugeValue& g : m.gauges) {
+    writer.Str(g.name);
+    writer.U64(static_cast<uint64_t>(g.value));
+    writer.U64(static_cast<uint64_t>(g.max));
+  }
+  writer.U32(static_cast<uint32_t>(m.histograms.size()));
+  for (const obs::Histogram::Snapshot& h : m.histograms) {
+    writer.Str(h.name);
+    writer.U32(static_cast<uint32_t>(h.bounds.size()));
+    for (double bound : h.bounds) {
+      writer.F64(bound);
+    }
+    // counts is always bounds.size() + 1 (trailing overflow bucket), so the
+    // bounds count doubles as the counts length prefix.
+    for (uint64_t count : h.counts) {
+      writer.U64(count);
+    }
+    writer.U64(h.count);
+    writer.F64(h.sum);
+  }
+  return writer.Take();
+}
+
+Result<ServerStats> DecodeServerStats(std::string_view payload) {
+  WireReader reader(payload);
+  ServerStats stats;
+  INDAAS_ASSIGN_OR_RETURN(stats.uptime_us, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(stats.depdb_records, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint32_t counters, reader.U32());
+  if (counters > kMaxStatsEntries) {
+    return ParseError(StrFormat("ServerStats: counter count %u exceeds limit", counters));
+  }
+  stats.metrics.counters.reserve(counters);
+  for (uint32_t i = 0; i < counters; ++i) {
+    obs::MetricsSnapshot::CounterValue c;
+    INDAAS_ASSIGN_OR_RETURN(c.name, reader.Str());
+    INDAAS_ASSIGN_OR_RETURN(c.value, reader.U64());
+    stats.metrics.counters.push_back(std::move(c));
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t gauges, reader.U32());
+  if (gauges > kMaxStatsEntries) {
+    return ParseError(StrFormat("ServerStats: gauge count %u exceeds limit", gauges));
+  }
+  stats.metrics.gauges.reserve(gauges);
+  for (uint32_t i = 0; i < gauges; ++i) {
+    obs::MetricsSnapshot::GaugeValue g;
+    INDAAS_ASSIGN_OR_RETURN(g.name, reader.Str());
+    INDAAS_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(uint64_t max, reader.U64());
+    g.value = static_cast<int64_t>(value);
+    g.max = static_cast<int64_t>(max);
+    stats.metrics.gauges.push_back(std::move(g));
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t histograms, reader.U32());
+  if (histograms > kMaxStatsEntries) {
+    return ParseError(StrFormat("ServerStats: histogram count %u exceeds limit", histograms));
+  }
+  stats.metrics.histograms.reserve(histograms);
+  for (uint32_t i = 0; i < histograms; ++i) {
+    obs::Histogram::Snapshot h;
+    INDAAS_ASSIGN_OR_RETURN(h.name, reader.Str());
+    INDAAS_ASSIGN_OR_RETURN(uint32_t bounds, reader.U32());
+    if (bounds > kMaxStatsEntries) {
+      return ParseError(StrFormat("ServerStats: bucket count %u exceeds limit", bounds));
+    }
+    h.bounds.reserve(bounds);
+    for (uint32_t b = 0; b < bounds; ++b) {
+      INDAAS_ASSIGN_OR_RETURN(double bound, reader.F64());
+      h.bounds.push_back(bound);
+    }
+    h.counts.reserve(bounds + 1);
+    for (uint32_t b = 0; b < bounds + 1; ++b) {
+      INDAAS_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+      h.counts.push_back(count);
+    }
+    INDAAS_ASSIGN_OR_RETURN(h.count, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(h.sum, reader.F64());
+    stats.metrics.histograms.push_back(std::move(h));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "ServerStats"));
+  return stats;
+}
+
+std::string EncodeHealthStatus(const HealthStatus& status) {
+  WireWriter writer;
+  writer.Bool(status.serving);
+  writer.U64(status.uptime_us);
+  return writer.Take();
+}
+
+Result<HealthStatus> DecodeHealthStatus(std::string_view payload) {
+  WireReader reader(payload);
+  HealthStatus status;
+  INDAAS_ASSIGN_OR_RETURN(status.serving, reader.Bool());
+  INDAAS_ASSIGN_OR_RETURN(status.uptime_us, reader.U64());
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "HealthStatus"));
+  return status;
 }
 
 // --- P-SOP session payloads ---

@@ -11,6 +11,8 @@
 //   kImportDepDb   -> kImportAck      (Table-1 text -> record counts)
 //   kAuditRequest  -> kAuditReport    (AuditSpecification -> SiaAuditReport)
 //   kPiaRequest    -> kPiaReport      (providers+options -> PiaAuditReport)
+//   kGetStats      -> kStatsReply     (empty -> ServerStats snapshot)
+//   kHealth        -> kHealthReply    (empty -> HealthStatus)
 //   any request    -> kErrorReply     (Status code + message)
 //
 // The kPsop* types are the socket-backed P-SOP session messages exchanged
@@ -26,6 +28,7 @@
 #include "src/agent/sia_audit.h"
 #include "src/agent/spec.h"
 #include "src/bignum/biguint.h"
+#include "src/obs/metrics.h"
 #include "src/pia/audit.h"
 #include "src/util/status.h"
 
@@ -42,11 +45,20 @@ enum class MsgType : uint8_t {
   kPiaRequest = 7,
   kPiaReport = 8,
   kErrorReply = 9,
+  kGetStats = 10,
+  kStatsReply = 11,
+  kHealth = 12,
+  kHealthReply = 13,
   // PIA peer-to-peer session messages.
   kPsopHello = 16,
   kPsopDataset = 17,
   kPsopShare = 18,
 };
+
+// Human-readable message-type name ("AuditRequest"), shared by server logs,
+// per-RPC metric names, and the stats renderer. Unknown values map to
+// "Unknown".
+const char* MsgTypeName(MsgType type);
 
 // --- Error reply ---
 
@@ -86,6 +98,30 @@ Result<PiaRequest> DecodePiaRequest(std::string_view payload);
 
 std::string EncodePiaAuditReport(const PiaAuditReport& report);
 Result<PiaAuditReport> DecodePiaAuditReport(std::string_view payload);
+
+// --- Stats and health ---
+
+// A scrape of the serving process, answered to kGetStats. Carries the full
+// MetricsSnapshot (counters, gauges, per-RPC latency histograms, bytes
+// in/out, active connections) plus fields the registry does not own.
+struct ServerStats {
+  uint64_t uptime_us = 0;        // microseconds since the server started
+  uint64_t depdb_records = 0;    // dependency records currently loaded
+  obs::MetricsSnapshot metrics;
+};
+
+std::string EncodeServerStats(const ServerStats& stats);
+Result<ServerStats> DecodeServerStats(std::string_view payload);
+
+// Liveness/readiness answer to kHealth. `serving` flips to false when the
+// server begins draining, before the listener closes.
+struct HealthStatus {
+  bool serving = false;
+  uint64_t uptime_us = 0;
+};
+
+std::string EncodeHealthStatus(const HealthStatus& status);
+Result<HealthStatus> DecodeHealthStatus(std::string_view payload);
 
 // --- P-SOP session payloads ---
 

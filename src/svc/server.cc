@@ -1,8 +1,10 @@
 #include "src/svc/server.h"
 
 #include <mutex>
+#include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/svc/proto.h"
 #include "src/util/logging.h"
@@ -16,20 +18,7 @@ namespace {
 // listener or an idle keep-alive connection.
 constexpr int kIdlePollMs = 100;
 
-const char* MsgTypeName(uint8_t type) {
-  switch (static_cast<MsgType>(type)) {
-    case MsgType::kPing:
-      return "ping";
-    case MsgType::kImportDepDb:
-      return "import_depdb";
-    case MsgType::kAuditRequest:
-      return "audit";
-    case MsgType::kPiaRequest:
-      return "pia";
-    default:
-      return "unknown";
-  }
-}
+const char* RpcName(uint8_t type) { return MsgTypeName(static_cast<MsgType>(type)); }
 
 obs::Histogram* RpcLatency() {
   static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
@@ -38,6 +27,38 @@ obs::Histogram* RpcLatency() {
        2.5, 5.0, 10.0});
   return histogram;
 }
+
+// Geometric bucket bounds for the per-RPC latency histograms: 100 µs up to
+// ~13 s, doubling per bucket (18 buckets + overflow). Exponential bounds
+// keep relative error roughly constant across four decades of latency.
+std::vector<double> ExponentialLatencyBounds() {
+  std::vector<double> bounds;
+  for (double bound = 0.0001; bound < 16.0; bound *= 2.0) {
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+obs::Histogram* RpcSeconds(uint8_t type) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      std::string("svc.rpc_seconds.") + RpcName(type), ExponentialLatencyBounds());
+}
+
+// Add(+delta) now, Add(-delta) at scope exit — keeps the gauge honest on
+// every early return.
+class GaugeScope {
+ public:
+  GaugeScope(obs::Gauge* gauge, int64_t delta) : gauge_(gauge), delta_(delta) {
+    gauge_->Add(delta_);
+  }
+  ~GaugeScope() { gauge_->Add(-delta_); }
+  GaugeScope(const GaugeScope&) = delete;
+  GaugeScope& operator=(const GaugeScope&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+  int64_t delta_;
+};
 
 }  // namespace
 
@@ -52,6 +73,8 @@ Status AuditServer::Start() {
   INDAAS_ASSIGN_OR_RETURN(listener_, net::TcpListen(options_.port));
   INDAAS_ASSIGN_OR_RETURN(port_, listener_.LocalPort());
   workers_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads));
+  start_us_.store(obs::TraceNowMicros(), std::memory_order_relaxed);
+  serving_.store(true, std::memory_order_relaxed);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   INDAAS_LOG(Info) << "AuditServer listening on port " << port_ << " ("
@@ -60,6 +83,7 @@ Status AuditServer::Start() {
 }
 
 void AuditServer::Stop() {
+  serving_.store(false, std::memory_order_relaxed);
   if (!running_.exchange(false)) {
     return;
   }
@@ -95,6 +119,11 @@ void AuditServer::AcceptLoop() {
 
 void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
   static obs::Gauge* active = obs::MetricsRegistry::Global().GetGauge("svc.requests_active");
+  static obs::Gauge* connections =
+      obs::MetricsRegistry::Global().GetGauge("svc.connections_active");
+  static obs::Counter* dropped =
+      obs::MetricsRegistry::Global().GetCounter("svc.connections_dropped");
+  GaugeScope connection_scope(connections, 1);
   while (running_.load(std::memory_order_relaxed)) {
     // Idle wait in short slices so Stop() is never blocked on a quiet
     // keep-alive connection.
@@ -107,22 +136,32 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
     }
     Result<net::Frame> frame = net::ReadFrame(*socket, options_.limits, options_.io_timeout_ms);
     if (!frame.ok()) {
-      // A clean close between requests is the normal end of a session.
+      // A clean close between requests is the normal end of a session;
+      // anything else (framing violation, mid-frame timeout) is a drop.
       if (frame.status().code() != StatusCode::kUnavailable) {
         INDAAS_LOG(Warning) << "closing connection: " << frame.status();
+        dropped->Increment();
       }
       return;
     }
-    active->Add(1);
-    WallTimer timer;
     uint8_t reply_type = 0;
     std::string reply_payload;
-    HandleRequest(frame->type, frame->payload, &reply_type, &reply_payload);
-    RpcLatency()->Record(timer.ElapsedSeconds());
-    active->Add(-1);
+    WallTimer timer;
+    {
+      GaugeScope request_scope(active, 1);
+      // Adopt the request's distributed identity for exactly this request:
+      // installing an invalid context for traceless frames deliberately
+      // clears whatever the previous request left on this pool thread.
+      obs::ScopedTraceContext request_trace(frame->trace);
+      HandleRequest(frame->type, frame->payload, &reply_type, &reply_payload);
+    }
+    double elapsed = timer.ElapsedSeconds();
+    RpcLatency()->Record(elapsed);
+    RpcSeconds(frame->type)->Record(elapsed);
     if (Status s = net::WriteFrame(*socket, reply_type, reply_payload, options_.io_timeout_ms);
         !s.ok()) {
       INDAAS_LOG(Warning) << "reply failed: " << s;
+      dropped->Increment();
       return;
     }
   }
@@ -132,16 +171,40 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
                                 std::string* reply_payload) {
   static obs::Counter* errors = obs::MetricsRegistry::Global().GetCounter("svc.rpc_errors");
   obs::MetricsRegistry::Global()
-      .GetCounter(std::string("svc.rpcs.") + MsgTypeName(type))
+      .GetCounter(std::string("svc.rpcs.") + RpcName(type))
       ->Increment();
   INDAAS_TRACE_SPAN_NAMED(span, "svc.rpc");
-  span.Annotate("type", MsgTypeName(type));
+  span.Annotate("type", RpcName(type));
 
   Status error;
   switch (static_cast<MsgType>(type)) {
     case MsgType::kPing: {
       *reply_type = static_cast<uint8_t>(MsgType::kPong);
       reply_payload->clear();
+      return;
+    }
+    case MsgType::kGetStats: {
+      ServerStats stats;
+      stats.uptime_us =
+          obs::TraceNowMicros() - start_us_.load(std::memory_order_relaxed);
+      {
+        std::shared_lock<std::shared_mutex> lock(agent_mu_);
+        stats.depdb_records = agent_.depdb().NetworkCount() +
+                              agent_.depdb().HardwareCount() +
+                              agent_.depdb().SoftwareCount();
+      }
+      stats.metrics = obs::MetricsRegistry::Global().Snapshot();
+      *reply_type = static_cast<uint8_t>(MsgType::kStatsReply);
+      *reply_payload = EncodeServerStats(stats);
+      return;
+    }
+    case MsgType::kHealth: {
+      HealthStatus health;
+      health.serving = serving();
+      health.uptime_us =
+          obs::TraceNowMicros() - start_us_.load(std::memory_order_relaxed);
+      *reply_type = static_cast<uint8_t>(MsgType::kHealthReply);
+      *reply_payload = EncodeHealthStatus(health);
       return;
     }
     case MsgType::kImportDepDb: {

@@ -14,6 +14,13 @@
 // and I/O timeouts close the connection. Stop() drains in-flight requests
 // before returning; idle connections notice the shutdown within one poll
 // slice (~100 ms).
+//
+// Observability: every request frame carrying a trace-context extension is
+// adopted for the duration of that request (RAII, so pool threads never
+// leak one request's identity into the next); per-RPC latency lands in
+// exponential `svc.rpc_seconds.<MsgTypeName>` histograms, and the
+// kGetStats/kHealth RPCs expose the whole MetricsRegistry plus drain state
+// to remote scrapers.
 
 #ifndef SRC_SVC_SERVER_H_
 #define SRC_SVC_SERVER_H_
@@ -62,6 +69,13 @@ class AuditServer {
   // The bound port (valid after Start(); resolves port 0 to the real one).
   uint16_t port() const { return port_; }
 
+  // Health as reported to kHealth. Start() sets serving; Stop() clears it
+  // before draining. set_serving(false) lets an operator drain the server —
+  // existing connections keep working but Health answers not-serving — so
+  // load balancers stop sending new work ahead of the actual shutdown.
+  bool serving() const { return serving_.load(std::memory_order_relaxed); }
+  void set_serving(bool serving) { serving_.store(serving, std::memory_order_relaxed); }
+
  private:
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<net::Socket> socket);
@@ -75,6 +89,8 @@ class AuditServer {
   net::Socket listener_;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> serving_{false};
+  std::atomic<uint64_t> start_us_{0};  // trace-epoch micros at Start()
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> workers_;
 };

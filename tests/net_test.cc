@@ -200,11 +200,42 @@ TEST(FrameTest, RejectsBadVersion) {
 }
 
 TEST(FrameTest, RejectsNonZeroFlags) {
-  std::string header = EncodeFrameHeader(1, 4);
-  header[6] = 1;
+  // Every reserved flag bit other than the trace bit stays a hard protocol
+  // error, alone or alongside the trace bit.
+  for (uint16_t flags : {uint16_t{0x0002}, uint16_t{0x0100}, uint16_t{0x8000},
+                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0004)}) {
+    std::string header = EncodeFrameHeader(1, 4, flags);
+    auto decoded = DecodeFrameHeader(header, FrameLimits{});
+    ASSERT_FALSE(decoded.ok()) << "flags 0x" << std::hex << flags;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  }
+}
+
+TEST(FrameTest, TraceFlagBitIsAccepted) {
+  std::string header = EncodeFrameHeader(3, 9, kFrameFlagTraceContext);
   auto decoded = DecodeFrameHeader(header, FrameLimits{});
-  ASSERT_FALSE(decoded.ok());
-  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_trace_context);
+  EXPECT_EQ(decoded->type, 3);
+  EXPECT_EQ(decoded->payload_size, 9u);
+  // Traceless headers decode with the extension absent (backward compat).
+  auto plain = DecodeFrameHeader(EncodeFrameHeader(3, 9), FrameLimits{});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_trace_context);
+}
+
+TEST(FrameTest, TraceContextCodecRoundTrip) {
+  obs::TraceContext trace{0xDEADBEEFCAFEF00DULL, 42};
+  std::string bytes = EncodeTraceContext(trace);
+  ASSERT_EQ(bytes.size(), kTraceContextBytes);
+  auto decoded = DecodeTraceContext(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace_id, trace.trace_id);
+  EXPECT_EQ(decoded->parent_span_id, trace.parent_span_id);
+  // Truncated extensions are protocol errors, not parse-as-zero.
+  auto truncated = DecodeTraceContext(std::string_view(bytes).substr(0, 8));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kProtocolError);
 }
 
 TEST(FrameTest, RejectsOversizedLength) {
@@ -291,6 +322,27 @@ TEST(FrameTest, WriteReadOverSocket) {
   ASSERT_TRUE(frame.ok()) << frame.status().ToString();
   EXPECT_EQ(frame->type, 5);
   EXPECT_EQ(frame->payload, payload);
+  // Traceless frames arrive with no distributed identity.
+  EXPECT_FALSE(frame->trace.valid());
+}
+
+TEST(FrameTest, TraceContextRoundTripsOverSocket) {
+  LoopbackPair pair = MakeLoopbackPair();
+  obs::TraceContext trace{0x1122334455667788ULL, 7};
+  ASSERT_TRUE(WriteFrame(pair.client, 5, "hello", 2000, trace).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, 5);
+  EXPECT_EQ(frame->payload, "hello");
+  EXPECT_EQ(frame->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(frame->trace.parent_span_id, trace.parent_span_id);
+  // The extension is not part of the payload length: a traceless frame sent
+  // right behind it must still parse cleanly.
+  ASSERT_TRUE(WriteFrame(pair.client, 6, "plain", 2000).ok());
+  auto next = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->payload, "plain");
+  EXPECT_FALSE(next->trace.valid());
 }
 
 TEST(FrameTest, GarbageBytesRejectedBeforeAllocation) {

@@ -6,13 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
 #include "src/obs/trace.h"
+#include "src/obs/trace_merge.h"
 
 namespace indaas {
 namespace obs {
@@ -448,6 +453,289 @@ TEST(ExportTest, RenderersProduceNonEmptyText) {
   std::vector<StageStat> stages = {{"stage", 1, 1000, 1000, 1000}};
   std::string table = RenderStageTable(stages);
   EXPECT_NE(table.find("stage"), std::string::npos);
+}
+
+// --- Trace-context propagation ---
+
+TEST(PropagateTest, ScopedContextInstallsRestoresAndClears) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    ScopedTraceContext outer(TraceContext{111, 5});
+    EXPECT_EQ(CurrentTraceContext().trace_id, 111u);
+    EXPECT_EQ(CurrentTraceContext().parent_span_id, 5u);
+    {
+      ScopedTraceContext inner(TraceContext{222, 9});
+      EXPECT_EQ(CurrentTraceContext().trace_id, 222u);
+    }
+    // Inner scope restores the outer context.
+    EXPECT_EQ(CurrentTraceContext().trace_id, 111u);
+    {
+      // Installing an invalid context deliberately clears the slot (pool
+      // threads adopt "no identity" for traceless requests).
+      ScopedTraceContext cleared(TraceContext{});
+      EXPECT_FALSE(CurrentTraceContext().valid());
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, 111u);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(PropagateTest, WireSpanIdMapsNoSpanToZero) {
+  EXPECT_EQ(WireSpanId(-1), 0u);
+  EXPECT_EQ(WireSpanId(0), 1u);
+  EXPECT_EQ(WireSpanId(41), 42u);
+}
+
+TEST(PropagateTest, TraceIdGenerators) {
+  // Derived ids are deterministic in the seed (ring peers agree without
+  // coordination), never zero, and spread across seeds.
+  EXPECT_EQ(DeriveTraceId(42), DeriveTraceId(42));
+  EXPECT_NE(DeriveTraceId(42), DeriveTraceId(43));
+  std::set<uint64_t> derived;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    uint64_t id = DeriveTraceId(seed);
+    EXPECT_NE(id, 0u);
+    derived.insert(id);
+  }
+  EXPECT_EQ(derived.size(), 64u);
+  // Fresh ids are nonzero and distinct call to call.
+  uint64_t a = NewTraceId();
+  uint64_t b = NewTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, SpansCaptureAmbientTraceContext) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Reset();
+  recorder.SetEnabled(true);
+  {
+    ScopedTraceContext ambient(TraceContext{777, 3});
+    INDAAS_TRACE_SPAN_NAMED(root, "prop.root");
+    { INDAAS_TRACE_SPAN("prop.child"); }
+  }
+  { INDAAS_TRACE_SPAN("prop.local"); }
+  recorder.SetEnabled(false);
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : recorder.Snapshot()) {
+    by_name[span.name] = span;
+  }
+  ASSERT_EQ(by_name.count("prop.root"), 1u);
+  ASSERT_EQ(by_name.count("prop.child"), 1u);
+  ASSERT_EQ(by_name.count("prop.local"), 1u);
+  // The root adopts both halves of the ambient context...
+  EXPECT_EQ(by_name["prop.root"].trace_id, 777u);
+  EXPECT_EQ(by_name["prop.root"].remote_parent, 3u);
+  // ...the nested span inherits only the trace id (its parent is local)...
+  EXPECT_EQ(by_name["prop.child"].trace_id, 777u);
+  EXPECT_EQ(by_name["prop.child"].remote_parent, 0u);
+  EXPECT_EQ(by_name["prop.child"].parent, by_name["prop.root"].id);
+  // ...and spans outside any context stay process-local.
+  EXPECT_EQ(by_name["prop.local"].trace_id, 0u);
+  EXPECT_EQ(by_name["prop.local"].remote_parent, 0u);
+}
+
+// --- Prometheus exposition ---
+
+// Splits exposition text into lines, dropping the trailing empty line.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ExportTest, PrometheusExpositionIsWellFormed) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"net.bytes_sent", 4096}, {"svc.rpcs.Ping", 7}};
+  snapshot.gauges = {{"svc.connections_active", 2, 6}};
+  Histogram::Snapshot h;
+  h.name = "svc.rpc_seconds.Ping";
+  h.bounds = {0.001, 0.01};
+  h.counts = {3, 2, 1};
+  h.count = 6;
+  h.sum = 0.05;
+  snapshot.histograms = {h};
+  const std::string text = MetricsToPrometheus(snapshot);
+
+  std::map<std::string, int> type_lines;      // family -> # TYPE count
+  std::map<std::string, int> sample_series;   // name{labels} -> count
+  for (const std::string& line : Lines(text)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram") << line;
+      ++type_lines[family];
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    // Sample line: everything before the last space is name{labels}.
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    ++sample_series[series];
+    // Metric names must be prefixed and sanitized to the Prometheus charset.
+    EXPECT_EQ(series.rfind("indaas_", 0), 0u) << series;
+    for (char c : series.substr(0, series.find('{'))) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+          << series;
+    }
+  }
+  // Exactly one # TYPE per family, no duplicate sample series.
+  for (const auto& [family, count] : type_lines) {
+    EXPECT_EQ(count, 1) << family;
+  }
+  for (const auto& [series, count] : sample_series) {
+    EXPECT_EQ(count, 1) << series;
+  }
+  // Spot-check the histogram rendering: cumulative buckets ending at +Inf ==
+  // total count, plus _sum and _count samples under one family.
+  EXPECT_EQ(type_lines.count("indaas_svc_rpc_seconds_Ping"), 1u);
+  EXPECT_NE(text.find("indaas_svc_rpc_seconds_Ping_bucket{le=\"+Inf\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("indaas_svc_rpc_seconds_Ping_count 6"), std::string::npos);
+  EXPECT_NE(text.find("indaas_net_bytes_sent 4096"), std::string::npos);
+  // The gauge's high-water mark becomes its own family.
+  EXPECT_EQ(type_lines.count("indaas_svc_connections_active"), 1u);
+  EXPECT_EQ(type_lines.count("indaas_svc_connections_active_max"), 1u);
+}
+
+// --- Trace merge ---
+
+TEST(TraceMergeTest, ParsesChromeTraceBackIntoEvents) {
+  SpanRecord root;
+  root.name = "svc.rpc";
+  root.start_us = 1000;
+  root.dur_us = 400;
+  root.tid = 0;
+  root.id = 0;
+  root.parent = -1;
+  root.trace_id = 0xDEADBEEFCAFEF00DULL;  // only representable as a string in JSON
+  root.remote_parent = 7;
+  root.annotations = {{"type", "Ping"}};
+  SpanRecord child = root;
+  child.name = "sia.rank";
+  child.id = 1;
+  child.parent = 0;
+  child.depth = 1;
+  child.remote_parent = 0;
+  child.annotations.clear();
+  const std::string json = SpansToChromeTrace({root, child});
+
+  auto parsed = ParseChromeTrace(json, "a.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 2u);
+  const MergeEvent& event = parsed->events[0];
+  EXPECT_EQ(event.name, "svc.rpc");
+  EXPECT_EQ(event.ts, 1000u);
+  EXPECT_EQ(event.dur, 400u);
+  EXPECT_EQ(event.span_id, 0);
+  EXPECT_EQ(event.trace_id, root.trace_id);  // exact, not rounded via double
+  EXPECT_EQ(event.remote_parent, 7u);
+  ASSERT_FALSE(event.args.empty());
+  const MergeEvent& nested = parsed->events[1];
+  EXPECT_EQ(nested.parent, 0);
+  EXPECT_EQ(nested.remote_parent, 0u);
+  EXPECT_FALSE(ParseChromeTrace("not json", "bad").ok());
+  EXPECT_FALSE(ParseChromeTrace("{\"other\":1}", "bad").ok());
+}
+
+// A client/server span pair over a known artificial skew: server clock runs
+// 500000 µs ahead of the client's.
+std::vector<ProcessTrace> SkewedRpcTraces() {
+  ProcessTrace client;
+  client.source = "client.json";
+  MergeEvent rpc;
+  rpc.name = "svc.client.rpc";
+  rpc.ts = 1000;
+  rpc.dur = 400;  // midpoint 1200
+  rpc.span_id = 4;
+  rpc.trace_id = 99;
+  client.events.push_back(rpc);
+  ProcessTrace server;
+  server.source = "server.json";
+  MergeEvent handler;
+  handler.name = "svc.rpc";
+  handler.ts = 501000;
+  handler.dur = 200;  // midpoint 501100
+  handler.trace_id = 99;
+  handler.remote_parent = 5;  // wire id of client span 4
+  server.events.push_back(handler);
+  return {client, server};
+}
+
+TEST(TraceMergeTest, RecoversClockOffsetFromRpcPair) {
+  auto offsets = EstimateClockOffsets(SkewedRpcTraces());
+  ASSERT_TRUE(offsets.ok());
+  ASSERT_EQ(offsets->size(), 2u);
+  EXPECT_EQ((*offsets)[0], 0);
+  // Midpoint alignment: 1200 - 501100.
+  EXPECT_EQ((*offsets)[1], -499900);
+}
+
+TEST(TraceMergeTest, RecoversClockOffsetFromRingHops) {
+  // Two ring peers whose same-xseq exchange hops end simultaneously; peer
+  // 1's clock reads 250 µs later.
+  ProcessTrace peer0, peer1;
+  peer0.source = "peer0.json";
+  peer1.source = "peer1.json";
+  for (int xseq = 0; xseq < 3; ++xseq) {
+    MergeEvent hop;
+    hop.name = "pia.ring.exchange";
+    hop.trace_id = 1234;
+    hop.args = {{"xseq", std::to_string(xseq)}};
+    hop.ts = 1000 + 100 * static_cast<uint64_t>(xseq);
+    hop.dur = 50;
+    peer0.events.push_back(hop);
+    hop.ts += 250;
+    peer1.events.push_back(hop);
+  }
+  auto offsets = EstimateClockOffsets({peer0, peer1});
+  ASSERT_TRUE(offsets.ok());
+  EXPECT_EQ((*offsets)[0], 0);
+  EXPECT_EQ((*offsets)[1], -250);
+  // A third file with no cross-process evidence keeps its own clock.
+  ProcessTrace stranger;
+  stranger.source = "stranger.json";
+  auto with_stranger = EstimateClockOffsets({peer0, peer1, stranger});
+  ASSERT_TRUE(with_stranger.ok());
+  EXPECT_EQ((*with_stranger)[2], 0);
+}
+
+TEST(TraceMergeTest, MergedTraceIsAlignedValidJson) {
+  auto merged = MergeChromeTraces(SkewedRpcTraces());
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(JsonValidator(*merged).Valid()) << *merged;
+  // Each input file becomes its own pid with a process_name metadata row and
+  // its estimated offset recorded.
+  EXPECT_NE(merged->find("client.json"), std::string::npos);
+  EXPECT_NE(merged->find("server.json"), std::string::npos);
+  EXPECT_NE(merged->find("process_name"), std::string::npos);
+  EXPECT_NE(merged->find("clock_offset_us"), std::string::npos);
+  // The timeline is shifted so the earliest event starts at 0, and the
+  // server span lands inside the client span (1100..1300 vs 1000..1400
+  // before the common shift of -1000).
+  auto reparsed = ParseChromeTrace(*merged, "merged.json");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->events.size(), 2u);
+  uint64_t client_ts = 0, client_dur = 0, server_ts = 0, server_dur = 0;
+  for (const MergeEvent& event : reparsed->events) {
+    if (event.name == "svc.client.rpc") {
+      client_ts = event.ts;
+      client_dur = event.dur;
+    } else if (event.name == "svc.rpc") {
+      server_ts = event.ts;
+      server_dur = event.dur;
+    }
+  }
+  EXPECT_EQ(client_ts, 0u);
+  EXPECT_GE(server_ts, client_ts);
+  EXPECT_LE(server_ts + server_dur, client_ts + client_dur);
 }
 
 }  // namespace

@@ -10,6 +10,9 @@
 #include "src/deps/depdb.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
+#include "src/obs/trace.h"
 #include "src/pia/psop.h"
 #include "src/svc/client.h"
 #include "src/svc/pia_peer.h"
@@ -210,6 +213,77 @@ TEST(ProtoTest, PsopDatasetRejectsBadElementWidth) {
   EXPECT_FALSE(DecodePsopDataset(EncodePsopDataset(dataset)).ok());
 }
 
+// Populated stats payload shared by the codec tests below.
+ServerStats TestServerStats() {
+  ServerStats stats;
+  stats.uptime_us = 123456789;
+  stats.depdb_records = 42;
+  stats.metrics.counters = {{"net.bytes_sent", 1024}, {"svc.rpcs.Ping", 3}};
+  stats.metrics.gauges = {{"svc.connections_active", 2, 5}};
+  obs::Histogram::Snapshot h;
+  h.name = "svc.rpc_seconds.Ping";
+  h.bounds = {0.001, 0.01, 0.1};
+  h.counts = {1, 2, 3, 0};  // bounds + 1: trailing overflow bucket
+  h.count = 6;
+  h.sum = 0.25;
+  stats.metrics.histograms = {h};
+  return stats;
+}
+
+TEST(ProtoTest, ServerStatsRoundTrip) {
+  const ServerStats stats = TestServerStats();
+  auto decoded = DecodeServerStats(EncodeServerStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->uptime_us, stats.uptime_us);
+  EXPECT_EQ(decoded->depdb_records, stats.depdb_records);
+  ASSERT_EQ(decoded->metrics.counters.size(), 2u);
+  EXPECT_EQ(decoded->metrics.counters[0].name, "net.bytes_sent");
+  EXPECT_EQ(decoded->metrics.counters[0].value, 1024u);
+  ASSERT_EQ(decoded->metrics.gauges.size(), 1u);
+  EXPECT_EQ(decoded->metrics.gauges[0].name, "svc.connections_active");
+  EXPECT_EQ(decoded->metrics.gauges[0].value, 2);
+  EXPECT_EQ(decoded->metrics.gauges[0].max, 5);
+  ASSERT_EQ(decoded->metrics.histograms.size(), 1u);
+  const obs::Histogram::Snapshot& h = decoded->metrics.histograms[0];
+  EXPECT_EQ(h.name, "svc.rpc_seconds.Ping");
+  EXPECT_EQ(h.bounds, stats.metrics.histograms[0].bounds);
+  EXPECT_EQ(h.counts, stats.metrics.histograms[0].counts);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum, 0.25);
+}
+
+TEST(ProtoTest, ServerStatsTruncationAndHostileCountsRejected) {
+  const std::string full = EncodeServerStats(TestServerStats());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeServerStats(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeServerStats(full + "x").ok());
+  // A forged counter count (bytes 16..19, right after uptime + depdb) must
+  // be rejected by the entry limit before any allocation happens.
+  std::string forged = full;
+  for (size_t i = 16; i < 20; ++i) {
+    forged[i] = static_cast<char>(0xFF);
+  }
+  EXPECT_FALSE(DecodeServerStats(forged).ok());
+}
+
+TEST(ProtoTest, HealthStatusRoundTrip) {
+  for (bool serving : {true, false}) {
+    HealthStatus status;
+    status.serving = serving;
+    status.uptime_us = 987654;
+    auto decoded = DecodeHealthStatus(EncodeHealthStatus(status));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->serving, serving);
+    EXPECT_EQ(decoded->uptime_us, 987654u);
+  }
+  const std::string full = EncodeHealthStatus(HealthStatus{});
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeHealthStatus(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeHealthStatus(full + "x").ok());
+}
+
 // --- AuditServer / AuditClient end-to-end (loopback) ---
 
 TEST(AuditServerTest, PingImportAuditRoundTrip) {
@@ -336,6 +410,117 @@ TEST(AuditServerTest, ConcurrentClients) {
   server.Stop();
 }
 
+// --- Stats / health over loopback ---
+
+// Finds a counter by name; returns 0 when absent.
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) {
+      return counter.value;
+    }
+  }
+  return 0;
+}
+
+const obs::Histogram::Snapshot* FindHistogram(const obs::MetricsSnapshot& snapshot,
+                                              const std::string& name) {
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == name) {
+      return &histogram;
+    }
+  }
+  return nullptr;
+}
+
+TEST(AuditServerTest, StatsAndHealthEndToEnd) {
+  AuditServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto health = client->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->serving);
+
+  ASSERT_TRUE(client->ImportDepDb(TestDepDbText()).ok());
+  ASSERT_TRUE(client->AuditStructural(TestSpec()).ok());
+  auto first = client->GetStats();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->depdb_records, 9u);
+  EXPECT_GT(first->uptime_us, 0u);
+  // The registry snapshot carries the transport byte meters and the per-RPC
+  // latency histograms the server maintains.
+  EXPECT_GT(CounterValue(first->metrics, "net.bytes_sent"), 0u);
+  EXPECT_GT(CounterValue(first->metrics, "net.bytes_recv"), 0u);
+  EXPECT_GE(CounterValue(first->metrics, "svc.rpcs.AuditRequest"), 1u);
+  const obs::Histogram::Snapshot* audit_seconds =
+      FindHistogram(first->metrics, "svc.rpc_seconds.AuditRequest");
+  ASSERT_NE(audit_seconds, nullptr);
+  EXPECT_GE(audit_seconds->count, 1u);
+  EXPECT_GT(audit_seconds->sum, 0.0);
+
+  // A second audit strictly advances the RPC counter and never decreases any
+  // counter the first snapshot reported.
+  ASSERT_TRUE(client->AuditStructural(TestSpec()).ok());
+  auto second = client->GetStats();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->uptime_us, first->uptime_us);
+  EXPECT_GT(CounterValue(second->metrics, "svc.rpcs.AuditRequest"),
+            CounterValue(first->metrics, "svc.rpcs.AuditRequest"));
+  for (const auto& counter : first->metrics.counters) {
+    EXPECT_GE(CounterValue(second->metrics, counter.name), counter.value) << counter.name;
+  }
+  const obs::Histogram::Snapshot* second_seconds =
+      FindHistogram(second->metrics, "svc.rpc_seconds.AuditRequest");
+  ASSERT_NE(second_seconds, nullptr);
+  EXPECT_GT(second_seconds->count, audit_seconds->count);
+
+  // Draining: the health probe flips to not-serving while stats (and other
+  // RPCs) keep answering, exactly what a load balancer needs for shutdown.
+  server.set_serving(false);
+  auto draining = client->Health();
+  ASSERT_TRUE(draining.ok());
+  EXPECT_FALSE(draining->serving);
+  EXPECT_TRUE(client->GetStats().ok());
+  server.Stop();
+}
+
+TEST(AuditServerTest, TracePropagatesClientToServer) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Reset();
+  recorder.SetEnabled(true);
+  AuditServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const uint64_t trace_id = 0xABCDEF0123456789ULL;
+  {
+    // The ambient context seeds the client's trace id at Connect.
+    obs::ScopedTraceContext ambient(obs::TraceContext{trace_id, 0});
+    auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(client.ok());
+    EXPECT_EQ(client->trace_id(), trace_id);
+    ASSERT_TRUE(client->Ping().ok());
+  }
+  server.Stop();
+  recorder.SetEnabled(false);
+
+  // The client's RPC span and the server's handler span must share the trace
+  // id, with the server span's remote parent naming the client span.
+  const std::vector<obs::SpanRecord> spans = recorder.Snapshot();
+  const obs::SpanRecord* client_span = nullptr;
+  const obs::SpanRecord* server_span = nullptr;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "svc.client.rpc" && span.trace_id == trace_id) {
+      client_span = &span;
+    }
+    if (span.name == "svc.rpc" && span.trace_id == trace_id) {
+      server_span = &span;
+    }
+  }
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  EXPECT_EQ(server_span->remote_parent, obs::WireSpanId(client_span->id));
+}
+
 // --- Socket-backed P-SOP ring ---
 
 PsopOptions RingPsopOptions() {
@@ -414,6 +599,53 @@ TEST(PiaPeerTest, TwoPartyWithDuplicatesMatchesInProcess) {
     EXPECT_EQ(results[i]->jaccard, reference->jaccard);
     EXPECT_EQ(results[i]->intersection, reference->intersection);
     EXPECT_EQ(results[i]->union_size, reference->union_size);
+  }
+}
+
+TEST(PiaPeerTest, RingSpansShareDerivedSessionTraceId) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Reset();
+  recorder.SetEnabled(true);
+  auto results = RunLoopbackRing({{"a", "b", "c"}, {"a", "b", "d"}});
+  recorder.SetEnabled(false);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // Every peer derives the session trace id from the shared P-SOP seed, so
+  // a later trace-merge can stitch the per-process files without any
+  // coordinator handing out ids.
+  const uint64_t session = obs::DeriveTraceId(RingPsopOptions().seed);
+  ASSERT_NE(session, 0u);
+  size_t hops = 0;
+  for (const obs::SpanRecord& span : recorder.Snapshot()) {
+    if (span.name != "pia.ring.exchange") {
+      continue;
+    }
+    ++hops;
+    EXPECT_EQ(span.trace_id, session);
+  }
+  // Two peers, one dataset pass + one share pass each at minimum.
+  EXPECT_GE(hops, 4u);
+}
+
+TEST(PiaPeerTest, MetricsSnapshotRacesRingCleanly) {
+  // Scrapers snapshot the global registry exactly as a GetStats handler
+  // would, while a live ring hammers the same instruments — the TSan build
+  // proves the snapshot path is race-free.
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+      (void)snapshot;
+    }
+  });
+  auto results = RunLoopbackRing({{"net:tor1", "net:core1", "shared"},
+                                  {"net:tor2", "net:core1", "shared"},
+                                  {"net:tor3", "net:core2", "shared"}});
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
   }
 }
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Flags performance regressions between BENCH_*.json snapshots.
+
+Each snapshot (written by tools/collect_bench.py) maps benchmark names to
+{"p50_seconds": ..., "bytes": ..., "config": {...}}. This script compares
+the newest snapshot against the previous one and fails when any shared
+benchmark slowed down by more than the threshold (default 15%). Timing
+noise on small absolute values is common, so points faster than --min-
+seconds are reported but never fatal.
+
+Usage (from the repo root):
+    tools/check_bench.py                      # newest vs previous snapshot
+    tools/check_bench.py BENCH_a.json BENCH_b.json   # explicit pair (old new)
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+
+def snapshot_order(path):
+    """Sort key: numeric PR suffix when present (pr2 < pr10), else mtime."""
+    match = re.search(r"BENCH_\D*(\d+)", path.name)
+    if match:
+        return (0, int(match.group(1)))
+    return (1, path.stat().st_mtime)
+
+
+def load(path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshots", nargs="*", type=pathlib.Path,
+                        help="explicit old/new snapshot pair; default: the two "
+                             "newest BENCH_*.json in --dir")
+    parser.add_argument("--dir", default=".", help="where to look for BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional slowdown that counts as a regression")
+    parser.add_argument("--min-seconds", type=float, default=1e-4,
+                        help="ignore regressions on points faster than this")
+    args = parser.parse_args()
+
+    if args.snapshots and len(args.snapshots) != 2:
+        parser.error("pass exactly two snapshots (old new), or none")
+    if args.snapshots:
+        old_path, new_path = args.snapshots
+    else:
+        found = sorted(pathlib.Path(args.dir).glob("BENCH_*.json"), key=snapshot_order)
+        if not found:
+            sys.exit(f"error: no BENCH_*.json under {args.dir}")
+        if len(found) == 1:
+            doc = load(found[0])
+            print(f"{found[0]}: {len(doc)} benchmarks, no previous snapshot to "
+                  "compare against — baseline OK")
+            return
+        old_path, new_path = found[-2], found[-1]
+
+    old, new = load(old_path), load(new_path)
+    shared = sorted(set(old) & set(new))
+    print(f"comparing {new_path} against {old_path}: "
+          f"{len(shared)} shared benchmarks "
+          f"({len(set(new) - set(old))} new, {len(set(old) - set(new))} gone)")
+
+    regressions = []
+    for name in shared:
+        before = old[name]["p50_seconds"]
+        after = new[name]["p50_seconds"]
+        if before <= 0:
+            continue
+        ratio = after / before
+        marker = " "
+        if ratio > 1 + args.threshold:
+            if before >= args.min_seconds and after >= args.min_seconds:
+                regressions.append(name)
+                marker = "!"
+            else:
+                marker = "~"  # too fast to trust the delta
+        elif ratio < 1 - args.threshold:
+            marker = "+"
+        print(f"  {marker} {name}: {before:.6f}s -> {after:.6f}s ({ratio:.2f}x)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
+              f"{args.threshold:.0%}:")
+        for name in regressions:
+            print(f"  {name}")
+        sys.exit(1)
+    print("\nOK: no regression beyond the threshold")
+
+
+if __name__ == "__main__":
+    main()

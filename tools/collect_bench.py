@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Collects the per-PR benchmark snapshot (BENCH_<tag>.json).
+
+Runs the two machine-readable benchmarks and folds their --json-out
+documents into one flat snapshot at the repo root:
+
+    {"<benchmark name>": {"p50_seconds": ..., "bytes": ..., "config": {...}}}
+
+Usage (from the repo root, after building):
+    tools/collect_bench.py --tag=pr5 [--build=build] [--fig8-n-max=10000]
+
+Compare snapshots across PRs with tools/check_bench.py.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(cmd):
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def collect_risk_groups(build, workdir):
+    """bench_risk_groups: one entry per (topology case, engine)."""
+    out = workdir / "risk_groups.json"
+    run_bench([str(build / "bench" / "bench_risk_groups"), f"--json-out={out}"])
+    doc = json.loads(out.read_text())
+    snapshot = {}
+    for result in doc["results"]:
+        name = f"risk_groups/{result['bench']}/{result['engine']}"
+        snapshot[name] = {
+            "p50_seconds": result["ns_per_op"] / 1e9,
+            "bytes": 0,
+            "config": {
+                "topology": result["topology"],
+                "engine": result["engine"],
+                "groups": result["groups"],
+                "reps": doc["reps"],
+                "threads": doc["threads"],
+            },
+        }
+    return snapshot
+
+
+def collect_fig8(build, workdir, n_max):
+    """bench_fig8 --real: one entry per loopback-ring (k, n) point."""
+    out = workdir / "fig8.json"
+    run_bench([
+        str(build / "bench" / "bench_fig8_pia_overheads"),
+        "--real",
+        "--ks-n-cap=0",  # the KS baseline is minutes-slow and has no JSON row
+        f"--n-max={n_max}",
+        f"--json-out={out}",
+    ])
+    doc = json.loads(out.read_text())
+    snapshot = {}
+    for point in doc["points"]:
+        name = f"fig8_psop_ring/k{point['k']}_n{point['n']}"
+        snapshot[name] = {
+            "p50_seconds": point["measured_wall_s"],
+            "bytes": point.get("bytes_sent", 0),
+            "config": {
+                "k": point["k"],
+                "n": point["n"],
+                "estimated_wall_s": point["estimated_wall_s"],
+                "matches_inprocess": point["matches_inprocess"],
+            },
+        }
+    return snapshot
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tag", required=True, help="snapshot tag, e.g. pr5")
+    parser.add_argument("--build", default="build", help="CMake build directory")
+    parser.add_argument("--fig8-n-max", type=int, default=1000,
+                        help="largest --real ring dataset (keeps collection fast)")
+    parser.add_argument("--out-dir", default=".", help="where BENCH_<tag>.json lands")
+    args = parser.parse_args()
+
+    build = pathlib.Path(args.build)
+    snapshot = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = pathlib.Path(tmp)
+        snapshot.update(collect_risk_groups(build, workdir))
+        snapshot.update(collect_fig8(build, workdir, args.fig8_n_max))
+
+    out_path = pathlib.Path(args.out_dir) / f"BENCH_{args.tag}.json"
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} ({len(snapshot)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()
