@@ -5,7 +5,8 @@
 // from process spawn and connect cost, which is what the EXPERIMENTS.md
 // observability-overhead A/B needs.
 //
-//   bench_svc_rpc [--pings=5000] [--audits=200] [--json-out=...]
+//   bench_svc_rpc [--pings=5000] [--audits=200] [--mode=reactor|threaded]
+//                 [--json-out=...]
 
 #include <cstdio>
 
@@ -38,14 +39,22 @@ std::string BenchDepDbText() {
 Status Run(int argc, char** argv) {
   int64_t pings = 5000;
   int64_t audits = 200;
+  std::string mode = "reactor";
   std::string json_out;
   FlagSet flags;
   flags.AddInt("pings", &pings, "timed Ping round trips");
   flags.AddInt("audits", &audits, "timed structural-audit round trips");
+  flags.AddString("mode", &mode, "server mode to measure: reactor | threaded");
   flags.AddString("json-out", &json_out, "write machine-readable results here");
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
 
-  svc::AuditServer server;
+  svc::AuditServerOptions options;
+  if (mode == "threaded") {
+    options.mode = svc::ServerMode::kThreadPerRequest;
+  } else if (mode != "reactor") {
+    return InvalidArgumentError("--mode must be reactor or threaded");
+  }
+  svc::AuditServer server(options);
   INDAAS_RETURN_IF_ERROR(server.Start());
   INDAAS_ASSIGN_OR_RETURN(svc::AuditClient client,
                           svc::AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()}));

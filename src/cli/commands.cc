@@ -581,12 +581,27 @@ Status RunServeCommand(int argc, char** argv) {
   int64_t port = 7341;
   int64_t threads = 4;
   int64_t io_timeout_ms = 10000;
+  std::string mode = "reactor";
+  int64_t reactor_shards = 2;
+  int64_t max_inflight = 256;
+  int64_t max_inflight_per_conn = 64;
+  int64_t backlog = 128;
+  int64_t read_deadline_ms = 10000;
   std::string depdb_path;
   std::string cvss_path;
   FlagSet flags;
   flags.AddInt("port", &port, "TCP port to listen on (0 picks a free port)");
   flags.AddInt("threads", &threads, "worker threads serving requests");
   flags.AddInt("io-timeout-ms", &io_timeout_ms, "per-request read/write timeout");
+  flags.AddString("mode", &mode, "serving mode: reactor (epoll, pipelining) or threaded");
+  flags.AddInt("reactor-shards", &reactor_shards, "epoll reactor shards (reactor mode)");
+  flags.AddInt("max-inflight", &max_inflight,
+               "global in-flight request cap before shedding with UNAVAILABLE");
+  flags.AddInt("max-inflight-per-conn", &max_inflight_per_conn,
+               "per-connection in-flight request cap (pipelining window)");
+  flags.AddInt("backlog", &backlog, "listen(2) backlog for every listener");
+  flags.AddInt("read-deadline-ms", &read_deadline_ms,
+               "drop connections stalled mid-frame for this long (reactor mode)");
   flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
   ObsOutputs obs_out;
@@ -596,11 +611,22 @@ Status RunServeCommand(int argc, char** argv) {
     return InvalidArgumentError(StrFormat("--port=%lld is not a TCP port",
                                           static_cast<long long>(port)));
   }
+  if (mode != "reactor" && mode != "threaded") {
+    return InvalidArgumentError("--mode must be 'reactor' or 'threaded'");
+  }
 
   svc::AuditServerOptions options;
   options.port = static_cast<uint16_t>(port);
   options.worker_threads = static_cast<size_t>(std::max<int64_t>(1, threads));
   options.io_timeout_ms = static_cast<int>(io_timeout_ms);
+  options.mode = mode == "threaded" ? svc::ServerMode::kThreadPerRequest
+                                    : svc::ServerMode::kReactor;
+  options.reactor_shards = static_cast<size_t>(std::max<int64_t>(1, reactor_shards));
+  options.max_inflight_global = static_cast<size_t>(std::max<int64_t>(1, max_inflight));
+  options.max_inflight_per_connection =
+      static_cast<size_t>(std::max<int64_t>(1, max_inflight_per_conn));
+  options.listen_backlog = static_cast<int>(std::max<int64_t>(1, backlog));
+  options.read_deadline_ms = static_cast<int>(read_deadline_ms);
   svc::AuditServer server(options);
 
   // The probability model must outlive the server's agent.
@@ -619,8 +645,15 @@ Status RunServeCommand(int argc, char** argv) {
 
   BeginObs(obs_out);
   INDAAS_RETURN_IF_ERROR(server.Start());
-  std::printf("indaas audit server listening on port %u (%zu workers); Ctrl-C to stop\n",
-              server.port(), options.worker_threads);
+  if (options.mode == svc::ServerMode::kReactor) {
+    std::printf(
+        "indaas audit server listening on port %u (%zu reactor shards, %zu workers); "
+        "Ctrl-C to stop\n",
+        server.port(), server.reactor_shards(), options.worker_threads);
+  } else {
+    std::printf("indaas audit server listening on port %u (%zu workers); Ctrl-C to stop\n",
+                server.port(), options.worker_threads);
+  }
   std::fflush(stdout);
   g_serve_interrupted.store(false);
   std::signal(SIGINT, HandleServeSignal);
@@ -677,8 +710,10 @@ int RunCli(int argc, char** argv) {
                  "[--format=text|prometheus|json])\n"
                  "  trace-merge merge per-process --trace-out files into one Chrome trace\n"
                  "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
-                 "networked: serve --port=P; audit --remote=host:P; "
-                 "pia --peers=a:p1,b:p2,c:p3 --self=i\n");
+                 "networked: serve --port=P [--mode=reactor|threaded --reactor-shards=N\n"
+                 "  --max-inflight=N --max-inflight-per-conn=N --backlog=N "
+                 "--read-deadline-ms=MS];\n"
+                 "  audit --remote=host:P; pia --peers=a:p1,b:p2,c:p3 --self=i\n");
     return 2;
   }
   std::string command = argv[1];

@@ -1,0 +1,229 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace indaas {
+namespace net {
+namespace {
+
+constexpr int kMaxEventsPerWait = 64;
+
+obs::Counter* LoopIterations() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("net.loop.iterations");
+  return counter;
+}
+
+// Geometric bounds from 1 µs to ~4 s: epoll waits span idle seconds down to
+// immediate readiness, so relative resolution matters more than absolute.
+std::vector<double> ExponentialWaitBounds() {
+  std::vector<double> bounds;
+  for (double bound = 1e-6; bound < 8.0; bound *= 4.0) {
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+obs::Histogram* WaitSeconds() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "net.loop.wait_seconds", ExponentialWaitBounds());
+  return histogram;
+}
+
+obs::Histogram* DispatchSeconds() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "net.loop.dispatch_seconds", ExponentialWaitBounds());
+  return histogram;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
+    INDAAS_LOG(Error) << "EventLoop setup failed: " << std::strerror(errno);
+    return;
+  }
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = wakeup_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) < 0) {
+    INDAAS_LOG(Error) << "EventLoop wakeup registration failed: " << std::strerror(errno);
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) {
+    ::close(wakeup_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler handler) {
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+    return InternalError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) < 0) {
+    return InternalError(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  // The fd may already be closed (EBADF) when callers close before
+  // unregistering; either way it is gone from the epoll set.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+uint64_t EventLoop::AddTimer(double delay_s, std::function<void()> fn) {
+  uint64_t id = next_timer_id_++;
+  Timer timer;
+  timer.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(std::max(0.0, delay_s)));
+  timer.id = id;
+  timer_heap_.push_back(timer);
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<Timer>());
+  timer_fns_[id] = std::move(fn);
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  // Lazy cancellation: the heap entry stays and is skipped when it pops.
+  timer_fns_.erase(id);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+int EventLoop::NextTimerTimeoutMs() const {
+  if (timer_heap_.empty()) {
+    return -1;  // block until an fd or a wakeup
+  }
+  auto now = std::chrono::steady_clock::now();
+  auto until = timer_heap_.front().deadline - now;
+  if (until.count() <= 0) {
+    return 0;
+  }
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(until).count() + 1;
+  return static_cast<int>(std::min<long long>(ms, 60 * 1000));
+}
+
+void EventLoop::RunExpiredTimers() {
+  auto now = std::chrono::steady_clock::now();
+  while (!timer_heap_.empty() && timer_heap_.front().deadline <= now) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<Timer>());
+    Timer expired = timer_heap_.back();
+    timer_heap_.pop_back();
+    auto it = timer_fns_.find(expired.id);
+    if (it == timer_fns_.end()) {
+      continue;  // cancelled
+    }
+    std::function<void()> fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) {
+    fn();
+  }
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t count = 0;
+  while (::read(wakeup_fd_, &count, sizeof(count)) == sizeof(count)) {
+  }
+}
+
+void EventLoop::Run() {
+  if (!ok()) {
+    return;
+  }
+  struct epoll_event events[kMaxEventsPerWait];
+  while (!stop_.load(std::memory_order_acquire)) {
+    WallTimer wait_timer;
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEventsPerWait, NextTimerTimeoutMs());
+    WaitSeconds()->Record(wait_timer.ElapsedSeconds());
+    LoopIterations()->Increment();
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      INDAAS_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      return;
+    }
+    WallTimer dispatch_timer;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) {
+        continue;  // removed by an earlier handler in this batch
+      }
+      // Hold a reference so the handler may Remove() itself mid-call.
+      std::shared_ptr<FdHandler> handler = it->second;
+      (*handler)(events[i].events);
+    }
+    RunExpiredTimers();
+    RunPosted();
+    DispatchSeconds()->Record(dispatch_timer.ElapsedSeconds());
+  }
+  // Closures posted before Stop() must still run (reply flushes, cleanup).
+  RunPosted();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace net
+}  // namespace indaas

@@ -1,0 +1,120 @@
+// Level-triggered epoll reactor core (DESIGN.md §7).
+//
+// One EventLoop owns one epoll instance, a deadline timer queue, and an
+// eventfd used to wake the loop from other threads. Everything except
+// Post() and Stop() is loop-thread-only: fd handlers, timers and the
+// connection state machines built on top of them run on the single thread
+// inside Run(), so they need no locks of their own. Cross-thread work
+// (a worker finishing an audit, a shutdown request) enters through Post(),
+// which enqueues a closure under a mutex and writes the eventfd so a
+// blocked epoll_wait returns immediately.
+//
+// The loop is level-triggered: a handler that does not drain its fd is
+// simply called again on the next iteration, so partial reads/writes are
+// the normal case, not a lost wakeup. Handlers receive the epoll event
+// mask and may Remove() their own fd mid-callback (dispatch holds a
+// reference to the handler, not an iterator).
+//
+// Observability: net.loop.iterations counts wakeups, net.loop.wait_seconds
+// is an exponential histogram of time spent blocked in epoll_wait, and
+// net.loop.dispatch_seconds measures time spent running handlers, timers
+// and posted closures per iteration.
+
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace indaas {
+namespace net {
+
+class EventLoop {
+ public:
+  // Receives the raw epoll event mask (EPOLLIN / EPOLLOUT / EPOLLERR ...).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd creation failed at construction; Run() on a
+  // broken loop returns immediately.
+  bool ok() const { return epoll_fd_ >= 0 && wakeup_fd_ >= 0; }
+
+  // Registers `fd` for `events` (EPOLLIN etc., level-triggered). The handler
+  // is invoked on the loop thread for every ready event. Loop-thread-only
+  // once Run() has started (use Post to register from outside).
+  Status Add(int fd, uint32_t events, FdHandler handler);
+
+  // Changes the event mask of a registered fd. Loop-thread-only.
+  Status Modify(int fd, uint32_t events);
+
+  // Unregisters `fd`; its handler is released. Safe to call from inside the
+  // fd's own handler. Loop-thread-only. Does not close the fd.
+  void Remove(int fd);
+
+  // Schedules `fn` to run on the loop thread after `delay_s` seconds;
+  // returns a nonzero id usable with CancelTimer. Loop-thread-only.
+  uint64_t AddTimer(double delay_s, std::function<void()> fn);
+
+  // Cancels a pending timer (no-op if it already fired). Loop-thread-only.
+  void CancelTimer(uint64_t id);
+
+  // Enqueues `fn` for execution on the loop thread and wakes the loop.
+  // Thread-safe. Closures posted before Stop() run before the loop exits;
+  // closures posted after Stop() may never run.
+  void Post(std::function<void()> fn);
+
+  // Runs the loop on the calling thread until Stop(). Dispatches ready fds,
+  // expired timers, then posted closures, every iteration.
+  void Run();
+
+  // Asks the loop to exit after finishing the current iteration (including
+  // any already-posted closures). Thread-safe, idempotent.
+  void Stop();
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t id = 0;
+    // Min-heap on deadline; ties broken by id so ordering is deterministic.
+    bool operator>(const Timer& other) const {
+      return deadline != other.deadline ? deadline > other.deadline : id > other.id;
+    }
+  };
+
+  int NextTimerTimeoutMs() const;
+  void RunExpiredTimers();
+  void RunPosted();
+  void DrainWakeup();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  // Loop-thread state.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::vector<Timer> timer_heap_;  // std::push_heap/pop_heap with operator>
+  std::unordered_map<uint64_t, std::function<void()>> timer_fns_;
+  uint64_t next_timer_id_ = 1;
+
+  // Cross-thread mailbox.
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace net
+}  // namespace indaas
+
+#endif  // SRC_NET_EVENT_LOOP_H_

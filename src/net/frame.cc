@@ -76,20 +76,68 @@ Result<obs::TraceContext> DecodeTraceContext(std::string_view bytes) {
   return trace;
 }
 
+std::string EncodeRequestId(uint64_t request_id) {
+  std::string out;
+  out.reserve(kRequestIdBytes);
+  AppendU64BE(&out, request_id);
+  return out;
+}
+
+Result<uint64_t> DecodeRequestId(std::string_view bytes) {
+  if (bytes.size() != kRequestIdBytes) {
+    return ProtocolError(StrFormat("request id is %zu bytes, want %zu", bytes.size(),
+                                   kRequestIdBytes));
+  }
+  uint64_t id = ReadU64BE(reinterpret_cast<const unsigned char*>(bytes.data()));
+  if (id == 0) {
+    return ProtocolError("request id 0 is reserved for id-less frames");
+  }
+  return id;
+}
+
+namespace {
+
+// Header + extensions for one frame; shared by EncodeFrame and WriteFrame.
+std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
+                              const obs::TraceContext& trace, uint64_t request_id) {
+  uint16_t flags = 0;
+  if (trace.valid()) {
+    flags |= kFrameFlagTraceContext;
+  }
+  if (request_id != 0) {
+    flags |= kFrameFlagRequestId;
+  }
+  std::string prefix = EncodeFrameHeader(type, payload_size, flags);
+  if (trace.valid()) {
+    prefix += EncodeTraceContext(trace);
+  }
+  if (request_id != 0) {
+    prefix += EncodeRequestId(request_id);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint8_t type, std::string_view payload, const obs::TraceContext& trace,
+                        uint64_t request_id) {
+  std::string frame =
+      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id);
+  frame.append(payload);
+  FramesSent()->Increment();
+  return frame;
+}
+
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
-                  const obs::TraceContext& trace) {
+                  const obs::TraceContext& trace, uint64_t request_id) {
   if (payload.size() > UINT32_MAX) {
     return InvalidArgumentError("WriteFrame: payload exceeds 4 GiB");
   }
-  uint16_t flags = trace.valid() ? kFrameFlagTraceContext : 0;
-  std::string header = EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), flags);
-  if (trace.valid()) {
-    // The 16-byte extension piggybacks on the header send; both are tiny.
-    header += EncodeTraceContext(trace);
-  }
-  // Two sends, not one copy: payloads can be tens of MB and the header is
+  std::string prefix =
+      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id);
+  // Two sends, not one copy: payloads can be tens of MB and the prefix is
   // tiny; TCP_NODELAY is on but the kernel coalesces back-to-back sends.
-  INDAAS_RETURN_IF_ERROR(socket.SendAll(header, timeout_ms));
+  INDAAS_RETURN_IF_ERROR(socket.SendAll(prefix, timeout_ms));
   INDAAS_RETURN_IF_ERROR(socket.SendAll(payload, timeout_ms));
   FramesSent()->Increment();
   return Status::Ok();
@@ -113,7 +161,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
                                    kWireVersion));
   }
   uint16_t flags = static_cast<uint16_t>((p[6] << 8) | p[7]);
-  if ((flags & ~kFrameFlagTraceContext) != 0) {
+  if ((flags & ~kFrameKnownFlags) != 0) {
     FrameRejects()->Increment();
     return ProtocolError(StrFormat("nonzero reserved frame flags 0x%04X", flags));
   }
@@ -127,6 +175,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
   header.type = p[5];
   header.payload_size = length;
   header.has_trace_context = (flags & kFrameFlagTraceContext) != 0;
+  header.has_request_id = (flags & kFrameFlagRequestId) != 0;
   return header;
 }
 
@@ -140,6 +189,11 @@ Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_m
     std::string ext;
     INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kTraceContextBytes, timeout_ms));
     INDAAS_ASSIGN_OR_RETURN(frame.trace, DecodeTraceContext(ext));
+  }
+  if (header.has_request_id) {
+    std::string ext;
+    INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kRequestIdBytes, timeout_ms));
+    INDAAS_ASSIGN_OR_RETURN(frame.request_id, DecodeRequestId(ext));
   }
   INDAAS_RETURN_IF_ERROR(socket.RecvAll(&frame.payload, header.payload_size, timeout_ms));
   FramesRecv()->Increment();

@@ -5,19 +5,28 @@
 //   0       4     magic 0x494E4441 ("INDA"), big-endian
 //   4       1     wire-format version (kWireVersion)
 //   5       1     message type (svc::MsgType; opaque to this layer)
-//   6       2     flags (bit 0 = trace-context extension; others reserved,
-//                 must be zero)
-//   8       4     payload length in bytes, big-endian (extension excluded)
+//   6       2     flags (bit 0 = trace-context extension, bit 1 = request-id
+//                 extension; others reserved, must be zero)
+//   8       4     payload length in bytes, big-endian (extensions excluded)
 //   12      16    trace-context extension, only when flag bit 0 is set:
 //                 trace id (u64 BE) + parent wire span id (u64 BE)
-//   12|28   n     payload
+//   +0      8     request-id extension, only when flag bit 1 is set:
+//                 per-connection request id (u64 BE, never zero). Follows
+//                 the trace extension when both are present.
+//   ...     n     payload
 //
-// The trace-context extension (kFrameFlagTraceContext) carries the
-// distributed request identity from src/obs/propagate.h ahead of the
-// payload; its 16 bytes are NOT counted in the payload length, so a peer
-// that understands the flag can strip it without re-parsing the payload.
-// Traceless frames (flags == 0) remain fully valid — old clients keep
-// working — but any other nonzero flag bit is still a hard kProtocolError.
+// Extensions carry per-frame identity ahead of the payload; their bytes are
+// NOT counted in the payload length, so a peer that understands the flags
+// can strip them without re-parsing the payload. The trace-context
+// extension (kFrameFlagTraceContext) is the distributed request identity
+// from src/obs/propagate.h. The request-id extension (kFrameFlagRequestId)
+// pairs pipelined requests with out-of-order responses on one connection:
+// a server echoes the request's id on the matching reply, so a multiplexed
+// client can keep a bounded window of requests in flight and complete them
+// in whatever order the server finishes. Plain frames (flags == 0) remain
+// byte-identical to the original format — old clients keep working — and
+// any other nonzero flag bit is still a hard kProtocolError, so an old
+// peer rejects pipelined traffic outright instead of mis-pairing replies.
 //
 // ReadFrame validates magic, version, flags and length against FrameLimits
 // before allocating the payload buffer, so a garbage or hostile peer costs
@@ -43,10 +52,14 @@ inline constexpr uint8_t kWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 12;
 
 // Frame flag bits (header offset 6, big-endian u16). Bit 0 announces the
-// fixed-size trace-context extension between header and payload; all other
-// bits are reserved and rejected.
+// fixed-size trace-context extension between header and payload; bit 1 the
+// request-id extension (after the trace extension when both are present);
+// all other bits are reserved and rejected.
 inline constexpr uint16_t kFrameFlagTraceContext = 0x0001;
+inline constexpr uint16_t kFrameFlagRequestId = 0x0002;
+inline constexpr uint16_t kFrameKnownFlags = kFrameFlagTraceContext | kFrameFlagRequestId;
 inline constexpr size_t kTraceContextBytes = 16;
+inline constexpr size_t kRequestIdBytes = 8;
 
 struct FrameLimits {
   // Largest payload ReadFrame will accept. PIA datasets dominate frame
@@ -61,6 +74,9 @@ struct Frame {
   // Distributed request identity carried by the trace extension; invalid
   // (trace_id == 0) when the frame had no extension.
   obs::TraceContext trace;
+  // Pipelining id carried by the request-id extension; 0 when the frame had
+  // none (writers never emit id 0, so 0 is unambiguous for "absent").
+  uint64_t request_id = 0;
 };
 
 // Serializes the header for `type`/`payload_size` (testing seam; WriteFrame
@@ -75,6 +91,13 @@ std::string EncodeTraceContext(const obs::TraceContext& trace);
 // Decodes a kTraceContextBytes-byte trace extension.
 Result<obs::TraceContext> DecodeTraceContext(std::string_view bytes);
 
+// Serializes the 8-byte request-id extension (big-endian u64).
+std::string EncodeRequestId(uint64_t request_id);
+
+// Decodes a kRequestIdBytes-byte request-id extension. An id of zero is a
+// protocol error: writers never emit it, and readers rely on 0 = absent.
+Result<uint64_t> DecodeRequestId(std::string_view bytes);
+
 // Decoded, validated header fields.
 struct FrameHeader {
   uint8_t type = 0;
@@ -82,6 +105,19 @@ struct FrameHeader {
   // True when the trace-context flag was set: kTraceContextBytes of trace
   // extension follow the header, before the payload.
   bool has_trace_context = false;
+  // True when the request-id flag was set: kRequestIdBytes of request-id
+  // extension follow the header (after any trace extension).
+  bool has_request_id = false;
+
+  // Bytes of extensions between header and payload.
+  size_t extension_bytes() const {
+    return (has_trace_context ? kTraceContextBytes : 0) +
+           (has_request_id ? kRequestIdBytes : 0);
+  }
+  // Total frame size on the wire (header + extensions + payload).
+  size_t total_bytes() const {
+    return kFrameHeaderBytes + extension_bytes() + payload_size;
+  }
 };
 
 // Validates a raw kFrameHeaderBytes-byte header against `limits`. Shared by
@@ -89,14 +125,21 @@ struct FrameHeader {
 // reads (the PIA ring pump).
 Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits& limits);
 
-// Writes one frame (header [+ trace extension] + payload) to the socket.
-// The extension is emitted only when `trace` is valid.
+// Serializes a whole frame (header + extensions + payload) into one buffer.
+// Used by the reactor's buffered write path, which batches several frames
+// into one send; WriteFrame is the immediate-send equivalent.
+std::string EncodeFrame(uint8_t type, std::string_view payload,
+                        const obs::TraceContext& trace = {}, uint64_t request_id = 0);
+
+// Writes one frame (header [+ extensions] + payload) to the socket. The
+// trace extension is emitted only when `trace` is valid, the request-id
+// extension only when `request_id` is nonzero.
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
-                  const obs::TraceContext& trace = {});
+                  const obs::TraceContext& trace = {}, uint64_t request_id = 0);
 
 // Reads and validates one frame. The timeout applies to each socket wait,
 // so a total stall is bounded by timeout_ms per phase (header, optional
-// trace extension, payload).
+// extensions, payload).
 Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_ms);
 
 }  // namespace net

@@ -232,7 +232,7 @@ Result<uint16_t> Socket::LocalPort() const {
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
 
-Result<Socket> TcpListen(uint16_t port, int backlog) {
+Result<Socket> TcpListen(uint16_t port, int backlog, bool reuse_port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return InternalError(std::string("socket: ") + std::strerror(errno));
@@ -240,6 +240,16 @@ Result<Socket> TcpListen(uint16_t port, int backlog) {
   Socket sock(fd);
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      return UnimplementedError(std::string("setsockopt(SO_REUSEPORT): ") +
+                                std::strerror(errno));
+    }
+#else
+    return UnimplementedError("SO_REUSEPORT not available on this platform");
+#endif
+  }
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;

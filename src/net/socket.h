@@ -81,8 +81,13 @@ class Socket {
 };
 
 // Opens a listening socket on `port` (0 picks a free port) bound to all
-// interfaces, with SO_REUSEADDR.
-Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+// interfaces, with SO_REUSEADDR. With `reuse_port` the socket is also bound
+// with SO_REUSEPORT so several listeners can share one port and let the
+// kernel spread incoming connections across them (the reactor's per-shard
+// accept path); a kernel without SO_REUSEPORT fails the setsockopt and the
+// call returns kUnimplemented so callers can fall back to a single
+// acceptor.
+Result<Socket> TcpListen(uint16_t port, int backlog = 64, bool reuse_port = false);
 
 // Accepts one connection, waiting up to `timeout_ms` for one to arrive.
 Result<Socket> TcpAccept(const Socket& listener, int timeout_ms);

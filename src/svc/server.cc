@@ -1,8 +1,12 @@
 #include "src/svc/server.h"
 
+#include <sys/epoll.h>
+
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "src/net/event_loop.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
@@ -15,8 +19,14 @@ namespace svc {
 namespace {
 
 // Poll slice for idle waits: bounds how long Stop() waits on a quiet
-// listener or an idle keep-alive connection.
+// listener or an idle keep-alive connection (thread-per-request mode only;
+// the reactor blocks in epoll_wait and is woken explicitly).
 constexpr int kIdlePollMs = 100;
+
+// Read chunk for the reactor's non-blocking receive path. Level-triggered
+// epoll re-arms automatically, so a connection with more than this pending
+// is simply revisited next iteration instead of monopolizing the loop.
+constexpr size_t kReadChunkBytes = 64 * 1024;
 
 const char* RpcName(uint8_t type) { return MsgTypeName(static_cast<MsgType>(type)); }
 
@@ -44,6 +54,53 @@ obs::Histogram* RpcSeconds(uint8_t type) {
       std::string("svc.rpc_seconds.") + RpcName(type), ExponentialLatencyBounds());
 }
 
+obs::Counter* ConnectionsAccepted() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.connections_accepted");
+  return counter;
+}
+
+obs::Counter* ConnectionsDropped() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.connections_dropped");
+  return counter;
+}
+
+obs::Counter* RequestsShed() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("svc.requests_shed");
+  return counter;
+}
+
+obs::Counter* SlowReaderDrops() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.slow_reader_drops");
+  return counter;
+}
+
+obs::Gauge* RequestsActive() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("svc.requests_active");
+  return gauge;
+}
+
+obs::Gauge* ConnectionsActive() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("svc.connections_active");
+  return gauge;
+}
+
+// The reactor parses frames itself from its receive buffers, so it keeps
+// the frame-layer counters honest by hand (ReadFrame does this for the
+// thread-per-request path).
+obs::Counter* FramesRecv() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("net.frames_recv");
+  return counter;
+}
+
+obs::Counter* FramesRejected() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("net.frames_rejected");
+  return counter;
+}
+
 // Add(+delta) now, Add(-delta) at scope exit — keeps the gauge honest on
 // every early return.
 class GaugeScope {
@@ -62,6 +119,438 @@ class GaugeScope {
 
 }  // namespace
 
+// One epoll shard per thread; each shard owns its loop, its (optional)
+// listener and every connection the kernel or the fallback acceptor handed
+// it. All Conn state is loop-thread-only — the only cross-thread traffic is
+// worker completions entering through EventLoop::Post and the global
+// in-flight counter, which is atomic.
+struct AuditServer::Reactor {
+  struct Conn {
+    net::Socket socket;
+    std::string in;    // received, not yet parsed
+    std::string out;   // encoded replies, not yet sent
+    size_t out_pos = 0;
+    size_t inflight = 0;       // requests handed to the pool, reply pending
+    bool want_write = false;   // EPOLLOUT currently armed
+    uint64_t deadline_timer = 0;  // nonzero while a partial-frame timer runs
+    bool closed = false;
+  };
+
+  struct Shard {
+    net::EventLoop loop;
+    net::Socket listener;  // invalid on non-zero shards in fallback mode
+    std::thread thread;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;  // keyed by fd
+  };
+
+  explicit Reactor(AuditServer* server) : server(server) {}
+
+  AuditServer* server;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<size_t> inflight_global{0};
+  std::atomic<size_t> next_shard{0};  // fallback round-robin cursor
+  bool sharded_accept = true;
+
+  Status Start() {
+    const AuditServerOptions& opts = server->options_;
+    size_t num_shards = std::max<size_t>(1, opts.reactor_shards);
+    // Shard 0 always listens. With several shards it asks for SO_REUSEPORT
+    // so its siblings can bind the same port; a single shard needs neither.
+    bool want_reuse_port = num_shards > 1;
+    Result<net::Socket> first =
+        net::TcpListen(opts.port, opts.listen_backlog, want_reuse_port);
+    if (!first.ok() && first.status().code() == StatusCode::kUnimplemented) {
+      sharded_accept = false;
+      first = net::TcpListen(opts.port, opts.listen_backlog, false);
+    }
+    INDAAS_RETURN_IF_ERROR(first.status());
+    INDAAS_ASSIGN_OR_RETURN(server->port_, first->LocalPort());
+
+    for (size_t i = 0; i < num_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      if (!shard->loop.ok()) {
+        return InternalError("reactor shard setup failed (epoll unavailable)");
+      }
+      if (i == 0) {
+        shard->listener = std::move(*first);
+      } else if (sharded_accept) {
+        Result<net::Socket> sibling =
+            net::TcpListen(server->port_, opts.listen_backlog, true);
+        if (!sibling.ok()) {
+          // Lost the SO_REUSEPORT race (or support) mid-way: fall back to
+          // shard 0 accepting for everyone. Already-bound siblings keep
+          // their listeners; un-bound ones just run connections.
+          INDAAS_LOG(Warning) << "shard " << i
+                              << " listener unavailable, falling back to single acceptor: "
+                              << sibling.status();
+          sharded_accept = false;
+        } else {
+          shard->listener = std::move(*sibling);
+        }
+      }
+      shards.push_back(std::move(shard));
+    }
+
+    for (auto& shard : shards) {
+      Shard* raw = shard.get();
+      if (raw->listener.valid()) {
+        INDAAS_RETURN_IF_ERROR(raw->loop.Add(raw->listener.fd(), EPOLLIN,
+                                             [this, raw](uint32_t) { OnAcceptable(raw); }));
+      }
+    }
+    for (auto& shard : shards) {
+      Shard* raw = shard.get();
+      raw->thread = std::thread([raw] { raw->loop.Run(); });
+    }
+    return Status::Ok();
+  }
+
+  // Phase one of shutdown: stop accepting. Runs on the caller's thread;
+  // the actual closes run on each shard's loop.
+  void CloseListeners() {
+    for (auto& shard : shards) {
+      Shard* raw = shard.get();
+      raw->loop.Post([raw] {
+        if (raw->listener.valid()) {
+          raw->loop.Remove(raw->listener.fd());
+          raw->listener.Close();
+        }
+      });
+    }
+  }
+
+  // Phase two: stop the loops (pending completions posted by the — by now
+  // drained — worker pool run before each loop exits), join, and release
+  // whatever connections remain.
+  void Join() {
+    for (auto& shard : shards) {
+      shard->loop.Stop();
+    }
+    for (auto& shard : shards) {
+      if (shard->thread.joinable()) {
+        shard->thread.join();
+      }
+    }
+    for (auto& shard : shards) {
+      for (auto& [fd, conn] : shard->conns) {
+        conn->closed = true;
+        conn->socket.Close();
+        ConnectionsActive()->Add(-1);
+      }
+      shard->conns.clear();
+      shard->listener.Close();
+    }
+  }
+
+  // ---- Everything below runs on a shard's loop thread. ----
+
+  void OnAcceptable(Shard* shard) {
+    while (true) {
+      Result<net::Socket> accepted = net::TcpAccept(shard->listener, 0);
+      if (!accepted.ok()) {
+        // kDeadlineExceeded = accept queue drained; level-triggered epoll
+        // will call us again for the next arrival.
+        if (accepted.status().code() != StatusCode::kDeadlineExceeded) {
+          INDAAS_LOG(Warning) << "accept failed: " << accepted.status();
+        }
+        return;
+      }
+      ConnectionsAccepted()->Increment();
+      if (sharded_accept) {
+        AdoptSocket(shard, std::move(*accepted));
+        continue;
+      }
+      Shard* target =
+          shards[next_shard.fetch_add(1, std::memory_order_relaxed) % shards.size()].get();
+      if (target == shard) {
+        AdoptSocket(shard, std::move(*accepted));
+      } else {
+        // shared_ptr: Post takes a std::function, which must be copyable;
+        // the socket itself is move-only.
+        auto socket = std::make_shared<net::Socket>(std::move(*accepted));
+        target->loop.Post([this, target, socket] { AdoptSocket(target, std::move(*socket)); });
+      }
+    }
+  }
+
+  void AdoptSocket(Shard* shard, net::Socket socket) {
+    auto conn = std::make_shared<Conn>();
+    conn->socket = std::move(socket);
+    int fd = conn->socket.fd();
+    Status added = shard->loop.Add(
+        fd, EPOLLIN, [this, shard, conn](uint32_t events) { OnConnEvent(shard, conn, events); });
+    if (!added.ok()) {
+      INDAAS_LOG(Warning) << "connection registration failed: " << added;
+      return;  // Conn and its socket die here
+    }
+    shard->conns[fd] = conn;
+    ConnectionsActive()->Add(1);
+  }
+
+  void OnConnEvent(Shard* shard, const std::shared_ptr<Conn>& conn, uint32_t events) {
+    if (conn->closed) {
+      return;
+    }
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      CloseConn(shard, conn, /*count_drop=*/false);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      FlushWrites(shard, conn);
+      if (conn->closed) {
+        return;
+      }
+    }
+    if (events & EPOLLIN) {
+      ReadAndDispatch(shard, conn);
+    }
+  }
+
+  void ReadAndDispatch(Shard* shard, const std::shared_ptr<Conn>& conn) {
+    char buffer[kReadChunkBytes];
+    while (true) {
+      Result<size_t> received = conn->socket.RecvSome(buffer, sizeof(buffer));
+      if (!received.ok()) {
+        // Peer closed (kUnavailable) or errored. A close between frames
+        // with nothing owed is the normal end of a keep-alive session; a
+        // close mid-frame or with replies still queued is a drop.
+        bool mid_stream = !conn->in.empty() || conn->inflight > 0 ||
+                          conn->out_pos < conn->out.size();
+        CloseConn(shard, conn, mid_stream);
+        return;
+      }
+      if (*received == 0) {
+        break;  // would block: receive queue drained
+      }
+      conn->in.append(buffer, *received);
+      if (*received < sizeof(buffer)) {
+        break;  // short read — likely drained; epoll re-arms if not
+      }
+    }
+    ParseFrames(shard, conn);
+  }
+
+  void ParseFrames(Shard* shard, const std::shared_ptr<Conn>& conn) {
+    const net::FrameLimits& limits = server->options_.limits;
+    std::string_view view(conn->in);
+    size_t pos = 0;
+    while (view.size() - pos >= net::kFrameHeaderBytes) {
+      Result<net::FrameHeader> header =
+          net::DecodeFrameHeader(view.substr(pos, net::kFrameHeaderBytes), limits);
+      if (!header.ok()) {
+        INDAAS_LOG(Warning) << "closing connection: " << header.status();
+        FramesRejected()->Increment();
+        CloseConn(shard, conn, /*count_drop=*/true);
+        return;
+      }
+      if (view.size() - pos < header->total_bytes()) {
+        break;  // partial frame: wait for more bytes (under the deadline)
+      }
+      size_t offset = pos + net::kFrameHeaderBytes;
+      net::Frame frame;
+      frame.type = header->type;
+      if (header->has_trace_context) {
+        Result<obs::TraceContext> trace =
+            net::DecodeTraceContext(view.substr(offset, net::kTraceContextBytes));
+        if (!trace.ok()) {
+          FramesRejected()->Increment();
+          CloseConn(shard, conn, /*count_drop=*/true);
+          return;
+        }
+        frame.trace = *trace;
+        offset += net::kTraceContextBytes;
+      }
+      if (header->has_request_id) {
+        Result<uint64_t> id =
+            net::DecodeRequestId(view.substr(offset, net::kRequestIdBytes));
+        if (!id.ok()) {
+          INDAAS_LOG(Warning) << "closing connection: " << id.status();
+          FramesRejected()->Increment();
+          CloseConn(shard, conn, /*count_drop=*/true);
+          return;
+        }
+        frame.request_id = *id;
+        offset += net::kRequestIdBytes;
+      }
+      frame.payload.assign(view.substr(offset, header->payload_size));
+      pos = offset + header->payload_size;
+      FramesRecv()->Increment();
+      DispatchFrame(shard, conn, std::move(frame));
+      if (conn->closed) {
+        return;
+      }
+      view = std::string_view(conn->in);  // DispatchFrame never touches in, but be safe
+    }
+    conn->in.erase(0, pos);
+    if (!conn->in.empty()) {
+      ArmReadDeadline(shard, conn);
+    } else {
+      DisarmReadDeadline(shard, conn);
+    }
+  }
+
+  void DispatchFrame(Shard* shard, const std::shared_ptr<Conn>& conn, net::Frame frame) {
+    MsgType type = static_cast<MsgType>(frame.type);
+    uint64_t request_id = frame.request_id;
+    if (type == MsgType::kPing || type == MsgType::kHealth) {
+      // Trivial RPCs answer inline on the loop: no locks, no allocation
+      // worth a pool round-trip, and they stay responsive under audit load.
+      uint8_t reply_type = 0;
+      std::string reply_payload;
+      WallTimer timer;
+      {
+        GaugeScope request_scope(RequestsActive(), 1);
+        obs::ScopedTraceContext request_trace(frame.trace);
+        server->HandleRequest(frame.type, frame.payload, &reply_type, &reply_payload);
+      }
+      double elapsed = timer.ElapsedSeconds();
+      RpcLatency()->Record(elapsed);
+      RpcSeconds(frame.type)->Record(elapsed);
+      EnqueueReply(shard, conn, net::EncodeFrame(reply_type, reply_payload, {}, request_id));
+      return;
+    }
+
+    const AuditServerOptions& opts = server->options_;
+    if (!server->running_.load(std::memory_order_relaxed) ||
+        conn->inflight >= opts.max_inflight_per_connection ||
+        inflight_global.load(std::memory_order_relaxed) >= opts.max_inflight_global) {
+      RequestsShed()->Increment();
+      Status overloaded = UnavailableError("server overloaded: in-flight request cap reached");
+      EnqueueReply(shard, conn,
+                   net::EncodeFrame(static_cast<uint8_t>(MsgType::kErrorReply),
+                                    EncodeErrorReply(overloaded), {}, request_id));
+      return;
+    }
+
+    conn->inflight++;
+    inflight_global.fetch_add(1, std::memory_order_relaxed);
+    // shared_ptr wrappers: ThreadPool tasks are std::function and must be
+    // copyable; the payload can be megabytes, so no by-value copies.
+    auto payload = std::make_shared<std::string>(std::move(frame.payload));
+    uint8_t raw_type = frame.type;
+    obs::TraceContext trace = frame.trace;
+    server->workers_->Submit([this, shard, conn, raw_type, request_id, payload, trace] {
+      uint8_t reply_type = 0;
+      std::string reply_payload;
+      WallTimer timer;
+      {
+        GaugeScope request_scope(RequestsActive(), 1);
+        // Adopt the request's distributed identity for exactly this
+        // request; an invalid context deliberately clears whatever the
+        // previous request left on this pool thread.
+        obs::ScopedTraceContext request_trace(trace);
+        server->HandleRequest(raw_type, *payload, &reply_type, &reply_payload);
+      }
+      double elapsed = timer.ElapsedSeconds();
+      RpcLatency()->Record(elapsed);
+      RpcSeconds(raw_type)->Record(elapsed);
+      // Replies never carry a trace extension (legacy clients expect plain
+      // reply frames) and echo the request id so the client can pair them.
+      auto reply =
+          std::make_shared<std::string>(net::EncodeFrame(reply_type, reply_payload, {},
+                                                         request_id));
+      shard->loop.Post([this, shard, conn, reply] {
+        inflight_global.fetch_sub(1, std::memory_order_relaxed);
+        if (conn->inflight > 0) {
+          conn->inflight--;
+        }
+        if (conn->closed) {
+          return;
+        }
+        EnqueueReply(shard, conn, std::move(*reply));
+      });
+    });
+  }
+
+  void EnqueueReply(Shard* shard, const std::shared_ptr<Conn>& conn, std::string bytes) {
+    if (conn->closed) {
+      return;
+    }
+    conn->out.append(bytes);
+    FlushWrites(shard, conn);
+  }
+
+  void FlushWrites(Shard* shard, const std::shared_ptr<Conn>& conn) {
+    while (conn->out_pos < conn->out.size()) {
+      Result<size_t> sent =
+          conn->socket.SendSome(std::string_view(conn->out).substr(conn->out_pos));
+      if (!sent.ok()) {
+        INDAAS_LOG(Warning) << "reply failed: " << sent.status();
+        CloseConn(shard, conn, /*count_drop=*/true);
+        return;
+      }
+      if (*sent == 0) {
+        break;  // kernel send buffer full: wait for EPOLLOUT
+      }
+      conn->out_pos += *sent;
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+      if (conn->want_write) {
+        conn->want_write = false;
+        (void)shard->loop.Modify(conn->socket.fd(), EPOLLIN);
+      }
+      return;
+    }
+    // Blocked with bytes pending: reclaim the sent prefix, then check the
+    // slow-reader cap — a peer that reads slower than it asks gets dropped
+    // instead of growing an unbounded buffer server-side.
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+    if (conn->out.size() > server->options_.max_write_buffer_bytes) {
+      SlowReaderDrops()->Increment();
+      INDAAS_LOG(Warning) << "dropping slow reader (" << conn->out.size()
+                          << " bytes unsent)";
+      CloseConn(shard, conn, /*count_drop=*/true);
+      return;
+    }
+    if (!conn->want_write) {
+      conn->want_write = true;
+      (void)shard->loop.Modify(conn->socket.fd(), EPOLLIN | EPOLLOUT);
+    }
+  }
+
+  void ArmReadDeadline(Shard* shard, const std::shared_ptr<Conn>& conn) {
+    if (conn->deadline_timer != 0 || server->options_.read_deadline_ms <= 0) {
+      return;
+    }
+    conn->deadline_timer = shard->loop.AddTimer(
+        server->options_.read_deadline_ms / 1000.0, [this, shard, conn] {
+          conn->deadline_timer = 0;
+          if (conn->closed) {
+            return;
+          }
+          INDAAS_LOG(Warning) << "dropping connection stalled mid-frame ("
+                              << conn->in.size() << " bytes buffered)";
+          CloseConn(shard, conn, /*count_drop=*/true);
+        });
+  }
+
+  void DisarmReadDeadline(Shard* shard, const std::shared_ptr<Conn>& conn) {
+    if (conn->deadline_timer != 0) {
+      shard->loop.CancelTimer(conn->deadline_timer);
+      conn->deadline_timer = 0;
+    }
+  }
+
+  void CloseConn(Shard* shard, const std::shared_ptr<Conn>& conn, bool count_drop) {
+    if (conn->closed) {
+      return;
+    }
+    conn->closed = true;
+    if (count_drop) {
+      ConnectionsDropped()->Increment();
+    }
+    DisarmReadDeadline(shard, conn);
+    int fd = conn->socket.fd();
+    shard->loop.Remove(fd);
+    shard->conns.erase(fd);
+    conn->socket.Close();
+    ConnectionsActive()->Add(-1);
+  }
+};
+
 AuditServer::AuditServer(AuditServerOptions options) : options_(std::move(options)) {}
 
 AuditServer::~AuditServer() { Stop(); }
@@ -70,7 +559,32 @@ Status AuditServer::Start() {
   if (running_.load()) {
     return FailedPreconditionError("AuditServer already started");
   }
-  INDAAS_ASSIGN_OR_RETURN(listener_, net::TcpListen(options_.port));
+  return options_.mode == ServerMode::kReactor ? StartReactor() : StartThreaded();
+}
+
+Status AuditServer::StartReactor() {
+  workers_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads));
+  start_us_.store(obs::TraceNowMicros(), std::memory_order_relaxed);
+  serving_.store(true, std::memory_order_relaxed);
+  running_.store(true);
+  reactor_ = std::make_unique<Reactor>(this);
+  if (Status started = reactor_->Start(); !started.ok()) {
+    running_.store(false);
+    serving_.store(false, std::memory_order_relaxed);
+    reactor_->Join();
+    reactor_.reset();
+    workers_.reset();
+    return started;
+  }
+  INDAAS_LOG(Info) << "AuditServer (reactor) listening on port " << port_ << " ("
+                   << reactor_->shards.size() << " shards, " << workers_->num_threads()
+                   << " workers"
+                   << (reactor_->sharded_accept ? ")" : ", single acceptor)");
+  return Status::Ok();
+}
+
+Status AuditServer::StartThreaded() {
+  INDAAS_ASSIGN_OR_RETURN(listener_, net::TcpListen(options_.port, options_.listen_backlog));
   INDAAS_ASSIGN_OR_RETURN(port_, listener_.LocalPort());
   workers_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads));
   start_us_.store(obs::TraceNowMicros(), std::memory_order_relaxed);
@@ -87,6 +601,18 @@ void AuditServer::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  if (reactor_) {
+    // Order matters: stop accepting, drain the pool (completions are
+    // Posted to their shard loops), then stop the loops — EventLoop runs
+    // already-posted closures before exiting, so no reply is dropped
+    // without at least a flush attempt.
+    reactor_->CloseListeners();
+    workers_->Wait();
+    reactor_->Join();
+    reactor_.reset();
+    workers_.reset();
+    return;
+  }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
@@ -96,6 +622,8 @@ void AuditServer::Stop() {
   }
   listener_.Close();
 }
+
+size_t AuditServer::reactor_shards() const { return reactor_ ? reactor_->shards.size() : 0; }
 
 void AuditServer::AcceptLoop() {
   while (running_.load(std::memory_order_relaxed)) {
@@ -107,9 +635,7 @@ void AuditServer::AcceptLoop() {
       }
       continue;
     }
-    static obs::Counter* accepted_total =
-        obs::MetricsRegistry::Global().GetCounter("svc.connections_accepted");
-    accepted_total->Increment();
+    ConnectionsAccepted()->Increment();
     // shared_ptr: the lambda lands in a std::function, which must be
     // copyable; the socket itself is move-only.
     auto socket = std::make_shared<net::Socket>(std::move(*accepted));
@@ -118,12 +644,7 @@ void AuditServer::AcceptLoop() {
 }
 
 void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
-  static obs::Gauge* active = obs::MetricsRegistry::Global().GetGauge("svc.requests_active");
-  static obs::Gauge* connections =
-      obs::MetricsRegistry::Global().GetGauge("svc.connections_active");
-  static obs::Counter* dropped =
-      obs::MetricsRegistry::Global().GetCounter("svc.connections_dropped");
-  GaugeScope connection_scope(connections, 1);
+  GaugeScope connection_scope(ConnectionsActive(), 1);
   while (running_.load(std::memory_order_relaxed)) {
     // Idle wait in short slices so Stop() is never blocked on a quiet
     // keep-alive connection.
@@ -140,7 +661,7 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
       // anything else (framing violation, mid-frame timeout) is a drop.
       if (frame.status().code() != StatusCode::kUnavailable) {
         INDAAS_LOG(Warning) << "closing connection: " << frame.status();
-        dropped->Increment();
+        ConnectionsDropped()->Increment();
       }
       return;
     }
@@ -148,7 +669,7 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
     std::string reply_payload;
     WallTimer timer;
     {
-      GaugeScope request_scope(active, 1);
+      GaugeScope request_scope(RequestsActive(), 1);
       // Adopt the request's distributed identity for exactly this request:
       // installing an invalid context for traceless frames deliberately
       // clears whatever the previous request left on this pool thread.
@@ -158,10 +679,13 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
     double elapsed = timer.ElapsedSeconds();
     RpcLatency()->Record(elapsed);
     RpcSeconds(frame->type)->Record(elapsed);
-    if (Status s = net::WriteFrame(*socket, reply_type, reply_payload, options_.io_timeout_ms);
+    // Echo the request id (if any) so pipelined clients work against both
+    // server modes; plain requests get byte-identical plain replies.
+    if (Status s = net::WriteFrame(*socket, reply_type, reply_payload, options_.io_timeout_ms,
+                                   {}, frame->request_id);
         !s.ok()) {
       INDAAS_LOG(Warning) << "reply failed: " << s;
-      dropped->Increment();
+      ConnectionsDropped()->Increment();
       return;
     }
   }

@@ -2,23 +2,41 @@
 //
 // AuditServer listens on a TCP port and serves the INDaaS RPCs defined in
 // src/svc/proto.h: DepDB imports, structural (SIA) audits and private (PIA)
-// audits. One accept thread hands each connection to the shared ThreadPool;
-// a connection is served serially (one in-flight request per client), while
-// different connections run concurrently up to the worker count. The DepDB
-// behind the agent is guarded by a reader/writer lock: imports are
-// exclusive, audits run shared, so concurrent clients never observe a
+// audits. Two serving modes share one RPC surface:
+//
+//   kReactor (default) — N reactor shards, each an epoll EventLoop thread
+//   (src/net/event_loop.h) owning its own SO_REUSEPORT listener (fallback:
+//   one acceptor round-robining connections across shards). Connections are
+//   non-blocking state machines: reads accumulate into a parse buffer,
+//   complete frames dispatch, replies append to a bounded write buffer
+//   flushed as the socket drains. Requests carrying a request-id extension
+//   may pipeline — several in flight per connection, replies completed out
+//   of order, each echoing its request id. CPU-bound RPCs (imports, audits)
+//   run on the shared ThreadPool so loops never block; trivial RPCs (ping,
+//   health) answer inline on the loop. Admission control sheds load with
+//   kUnavailable once per-connection or global in-flight caps are hit, and
+//   slow readers whose write buffer exceeds its cap are dropped, so one
+//   stalled client can never pin server memory.
+//
+//   kThreadPerRequest — the pre-reactor baseline: one accept thread hands
+//   each connection to the ThreadPool, which serves it serially for the
+//   connection's lifetime. At most worker_threads connections make progress
+//   concurrently. Kept for A/B measurement (bench_svc_saturation) and as a
+//   reference implementation.
+//
+// The DepDB behind the agent is guarded by a reader/writer lock: imports
+// are exclusive, audits run shared, so concurrent clients never observe a
 // half-imported database.
 //
 // Failure semantics: malformed payloads earn a kErrorReply and the
 // connection stays open; framing violations (bad magic/version/oversize)
-// and I/O timeouts close the connection. Stop() drains in-flight requests
-// before returning; idle connections notice the shutdown within one poll
-// slice (~100 ms).
+// close the connection; a connection mid-frame for longer than the read
+// deadline is dropped. Stop() drains admitted requests before returning.
 //
-// Observability: every request frame carrying a trace-context extension is
-// adopted for the duration of that request (RAII, so pool threads never
-// leak one request's identity into the next); per-RPC latency lands in
-// exponential `svc.rpc_seconds.<MsgTypeName>` histograms, and the
+// Observability: request frames carrying a trace-context extension are
+// adopted for the duration of that request; per-RPC latency lands in
+// exponential `svc.rpc_seconds.<MsgTypeName>` histograms; the reactor adds
+// svc.requests_shed, svc.slow_reader_drops and net.loop.* instruments; the
 // kGetStats/kHealth RPCs expose the whole MetricsRegistry plus drain state
 // to remote scrapers.
 
@@ -38,11 +56,33 @@
 namespace indaas {
 namespace svc {
 
+enum class ServerMode {
+  kReactor,           // epoll shards, pipelining, admission control
+  kThreadPerRequest,  // baseline: one pool task per connection
+};
+
 struct AuditServerOptions {
   uint16_t port = 0;        // 0 = pick any free port (see AuditServer::port())
   size_t worker_threads = 4;
   int io_timeout_ms = 10000;  // per read/write once a request is in flight
   net::FrameLimits limits;
+
+  ServerMode mode = ServerMode::kReactor;
+
+  // Reactor knobs (ignored in kThreadPerRequest mode).
+  size_t reactor_shards = 2;  // epoll loops; clamped to at least 1
+  // A connection sitting on a partial frame longer than this is dropped.
+  // Idle connections *between* frames are never timed out (keep-alive).
+  int read_deadline_ms = 10000;
+  // Admission control: a request that would exceed either cap is answered
+  // immediately with kUnavailable instead of being queued.
+  size_t max_inflight_per_connection = 64;
+  size_t max_inflight_global = 256;
+  // A connection whose unsent replies exceed this is dropped (slow reader).
+  size_t max_write_buffer_bytes = 16u << 20;
+
+  // Listen backlog for every listener (both modes).
+  int listen_backlog = 128;
 };
 
 class AuditServer {
@@ -58,16 +98,21 @@ class AuditServer {
   // through the RPC surface.
   AuditingAgent& agent() { return agent_; }
 
-  // Binds, listens and spawns the accept thread. Fails if already started
+  // Binds, listens and spawns the serving threads. Fails if already started
   // or the port is taken.
   Status Start();
 
-  // Stops accepting, drains in-flight requests and joins all threads.
+  // Stops accepting, drains admitted requests and joins all threads.
   // Idempotent.
   void Stop();
 
   // The bound port (valid after Start(); resolves port 0 to the real one).
   uint16_t port() const { return port_; }
+
+  // The number of reactor shards actually running (0 in thread-per-request
+  // mode; may be less than requested if SO_REUSEPORT was unavailable — the
+  // shards still run, fed by one acceptor).
+  size_t reactor_shards() const;
 
   // Health as reported to kHealth. Start() sets serving; Stop() clears it
   // before draining. set_serving(false) lets an operator drain the server —
@@ -77,6 +122,11 @@ class AuditServer {
   void set_serving(bool serving) { serving_.store(serving, std::memory_order_relaxed); }
 
  private:
+  struct Reactor;  // defined in server.cc; owns shards, loops and conns
+  friend struct Reactor;
+
+  Status StartThreaded();
+  Status StartReactor();
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<net::Socket> socket);
   // Dispatches one decoded request; returns the reply frame (type+payload).
@@ -93,6 +143,7 @@ class AuditServer {
   std::atomic<uint64_t> start_us_{0};  // trace-epoch micros at Start()
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> workers_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace svc

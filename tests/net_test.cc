@@ -2,11 +2,14 @@
 // framing/validation, sockets on loopback, and retry/backoff.
 
 #include <gtest/gtest.h>
+#include <sys/epoll.h>
 
+#include <atomic>
 #include <chrono>
 #include <random>
 #include <thread>
 
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/net/retry.h"
 #include "src/net/socket.h"
@@ -200,15 +203,72 @@ TEST(FrameTest, RejectsBadVersion) {
 }
 
 TEST(FrameTest, RejectsNonZeroFlags) {
-  // Every reserved flag bit other than the trace bit stays a hard protocol
-  // error, alone or alongside the trace bit.
-  for (uint16_t flags : {uint16_t{0x0002}, uint16_t{0x0100}, uint16_t{0x8000},
-                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0004)}) {
+  // Every reserved flag bit stays a hard protocol error, alone or alongside
+  // the known (trace, request-id) bits — this is what makes old peers
+  // reject pipelined traffic outright instead of mis-framing it.
+  for (uint16_t flags : {uint16_t{0x0004}, uint16_t{0x0100}, uint16_t{0x8000},
+                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0004),
+                         static_cast<uint16_t>(kFrameFlagRequestId | 0x0008),
+                         static_cast<uint16_t>(kFrameKnownFlags | 0x4000)}) {
     std::string header = EncodeFrameHeader(1, 4, flags);
     auto decoded = DecodeFrameHeader(header, FrameLimits{});
     ASSERT_FALSE(decoded.ok()) << "flags 0x" << std::hex << flags;
     EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
   }
+}
+
+// Property: a header decodes iff its flags are a subset of the known bits,
+// and each known bit independently controls its extension marker.
+TEST(FrameTest, FlagSubsetDecodabilityProperty) {
+  std::mt19937_64 rng(987654321);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint16_t flags = static_cast<uint16_t>(rng());
+    std::string header = EncodeFrameHeader(9, 32, flags);
+    auto decoded = DecodeFrameHeader(header, FrameLimits{});
+    bool known_only = (flags & ~kFrameKnownFlags) == 0;
+    ASSERT_EQ(decoded.ok(), known_only) << "flags 0x" << std::hex << flags;
+    if (!known_only) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+      continue;
+    }
+    EXPECT_EQ(decoded->has_trace_context, (flags & kFrameFlagTraceContext) != 0);
+    EXPECT_EQ(decoded->has_request_id, (flags & kFrameFlagRequestId) != 0);
+    size_t extensions = (decoded->has_trace_context ? kTraceContextBytes : 0) +
+                        (decoded->has_request_id ? kRequestIdBytes : 0);
+    EXPECT_EQ(decoded->extension_bytes(), extensions);
+    EXPECT_EQ(decoded->total_bytes(), kFrameHeaderBytes + extensions + 32u);
+  }
+}
+
+TEST(FrameTest, RequestIdFlagBitIsAccepted) {
+  std::string header = EncodeFrameHeader(3, 9, kFrameFlagRequestId);
+  auto decoded = DecodeFrameHeader(header, FrameLimits{});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_request_id);
+  EXPECT_FALSE(decoded->has_trace_context);
+  // Both extensions together account for 24 bytes ahead of the payload.
+  auto both =
+      DecodeFrameHeader(EncodeFrameHeader(3, 9, kFrameKnownFlags), FrameLimits{});
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->has_trace_context);
+  EXPECT_TRUE(both->has_request_id);
+  EXPECT_EQ(both->extension_bytes(), kTraceContextBytes + kRequestIdBytes);
+}
+
+TEST(FrameTest, RequestIdCodecRoundTrip) {
+  std::string bytes = EncodeRequestId(0x0102030405060708ULL);
+  ASSERT_EQ(bytes.size(), kRequestIdBytes);
+  auto decoded = DecodeRequestId(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 0x0102030405060708ULL);
+  // Truncated extensions are protocol errors, not parse-as-zero.
+  auto truncated = DecodeRequestId(std::string_view(bytes).substr(0, 4));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kProtocolError);
+  // Id zero means "absent" everywhere, so it must never appear on the wire.
+  auto zero = DecodeRequestId(EncodeRequestId(0));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kProtocolError);
 }
 
 TEST(FrameTest, TraceFlagBitIsAccepted) {
@@ -345,6 +405,52 @@ TEST(FrameTest, TraceContextRoundTripsOverSocket) {
   EXPECT_FALSE(next->trace.valid());
 }
 
+TEST(FrameTest, RequestIdRoundTripsOverSocket) {
+  LoopbackPair pair = MakeLoopbackPair();
+  // Request id alone.
+  ASSERT_TRUE(WriteFrame(pair.client, 5, "req", 2000, {}, 77).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->request_id, 77u);
+  EXPECT_EQ(frame->payload, "req");
+  EXPECT_FALSE(frame->trace.valid());
+  // Trace context and request id together, in either encoder.
+  obs::TraceContext trace{0xA1B2C3D4E5F60718ULL, 3};
+  ASSERT_TRUE(pair.client.SendAll(EncodeFrame(6, "both", trace, 0xFFFFFFFFFFFFFFFFULL),
+                                  2000)
+                  .ok());
+  auto next = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->payload, "both");
+  EXPECT_EQ(next->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(next->request_id, 0xFFFFFFFFFFFFFFFFULL);
+  // An id-less frame right behind is unaffected (extension not counted in
+  // the payload length).
+  ASSERT_TRUE(WriteFrame(pair.client, 7, "plain", 2000).ok());
+  auto plain = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->payload, "plain");
+  EXPECT_EQ(plain->request_id, 0u);
+}
+
+TEST(FrameTest, EncodeFrameMatchesWriteFrameBytes) {
+  // EncodeFrame (the reactor's buffered path) and WriteFrame (the serial
+  // path) must produce identical bytes for identical inputs — this is the
+  // byte-level compatibility contract between old and new peers.
+  LoopbackPair pair = MakeLoopbackPair();
+  obs::TraceContext trace{42, 7};
+  ASSERT_TRUE(WriteFrame(pair.client, 9, "payload", 2000, trace, 1234).ok());
+  std::string expected = EncodeFrame(9, "payload", trace, 1234);
+  std::string wire;
+  ASSERT_TRUE(pair.server.RecvAll(&wire, expected.size(), 2000).ok());
+  EXPECT_EQ(wire, expected);
+  // And the flags==0 frame stays byte-identical to the legacy layout.
+  ASSERT_TRUE(WriteFrame(pair.client, 2, "", 2000).ok());
+  std::string legacy;
+  ASSERT_TRUE(pair.server.RecvAll(&legacy, kFrameHeaderBytes, 2000).ok());
+  EXPECT_EQ(legacy, EncodeFrameHeader(2, 0));
+}
+
 TEST(FrameTest, GarbageBytesRejectedBeforeAllocation) {
   LoopbackPair pair = MakeLoopbackPair();
   // 12 bytes of garbage: invalid magic must be rejected without reading a
@@ -376,6 +482,79 @@ TEST(FrameTest, OversizedFrameRejectedByReader) {
   auto frame = ReadFrame(pair.server, limits, 2000);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kProtocolError);
+}
+
+// --- Event loop ---
+
+TEST(EventLoopTest, PostRunsOnLoopAndStopExits) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> ran{0};
+  std::thread runner([&] { loop.Run(); });
+  loop.Post([&] { ran.fetch_add(1); });
+  loop.Post([&] {
+    ran.fetch_add(1);
+    loop.Stop();
+  });
+  runner.join();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(EventLoopTest, PostedBeforeStopStillRuns) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::atomic<bool> ran{false};
+  // Post then Stop before the loop ever runs: Run() must still execute the
+  // closure on its way out — the reactor's shutdown flushes depend on it.
+  loop.Post([&] { ran.store(true); });
+  loop.Stop();
+  loop.Run();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(EventLoopTest, TimerFiresAfterDelayAndCancelSuppresses) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::atomic<bool> fired{false};
+  std::atomic<bool> cancelled_fired{false};
+  loop.Post([&] {
+    uint64_t doomed = loop.AddTimer(0.01, [&] { cancelled_fired.store(true); });
+    loop.CancelTimer(doomed);
+    loop.AddTimer(0.02, [&] {
+      fired.store(true);
+      loop.Stop();
+    });
+  });
+  std::thread runner([&] { loop.Run(); });
+  runner.join();
+  EXPECT_TRUE(fired.load());
+  EXPECT_FALSE(cancelled_fired.load());
+}
+
+TEST(EventLoopTest, DispatchesReadableFdAndRemoveSilences) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  LoopbackPair pair = MakeLoopbackPair();
+  std::atomic<int> reads{0};
+  std::thread runner([&] { loop.Run(); });
+  int fd = pair.server.fd();
+  Socket* server = &pair.server;
+  loop.Post([&, fd, server] {
+    Status added = loop.Add(fd, EPOLLIN, [&, fd, server](uint32_t events) {
+      EXPECT_TRUE(events & EPOLLIN);
+      char buffer[64];
+      auto received = server->RecvSome(buffer, sizeof(buffer));
+      EXPECT_TRUE(received.ok());
+      reads.fetch_add(1);
+      // A handler may remove its own registration mid-callback.
+      loop.Remove(fd);
+      loop.Stop();
+    });
+    EXPECT_TRUE(added.ok()) << added.ToString();
+  });
+  ASSERT_TRUE(pair.client.SendAll("wake", 2000).ok());
+  runner.join();
+  EXPECT_EQ(reads.load(), 1);
 }
 
 // --- Retry / backoff ---

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "src/deps/depdb.h"
@@ -15,6 +18,7 @@
 #include "src/obs/trace.h"
 #include "src/pia/psop.h"
 #include "src/svc/client.h"
+#include "src/svc/mux_client.h"
 #include "src/svc/pia_peer.h"
 #include "src/svc/proto.h"
 #include "src/svc/server.h"
@@ -519,6 +523,287 @@ TEST(AuditServerTest, TracePropagatesClientToServer) {
   ASSERT_NE(client_span, nullptr);
   ASSERT_NE(server_span, nullptr);
   EXPECT_EQ(server_span->remote_parent, obs::WireSpanId(client_span->id));
+}
+
+// --- Reactor mode, pipelining, and admission control ---
+
+TEST(AuditServerTest, ThreadedModeStillServes) {
+  // The pre-reactor baseline stays a first-class mode (bench_svc_saturation
+  // A/Bs against it), so it gets the same end-to-end coverage.
+  AuditServerOptions options;
+  options.mode = ServerMode::kThreadPerRequest;
+  options.worker_threads = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.reactor_shards(), 0u);
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->ImportDepDb(TestDepDbText()).ok());
+  auto report = client->AuditStructural(TestSpec());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->deployments.size(), 2u);
+  server.Stop();
+}
+
+TEST(AuditServerTest, ReactorReportsItsShards) {
+  AuditServerOptions options;
+  options.reactor_shards = 3;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.reactor_shards(), 3u);
+  server.Stop();
+}
+
+TEST(AuditServerTest, LegacyClientInteropIsByteIdentical) {
+  // A pre-pipelining client speaks flags==0 frames; the reactor's reply to
+  // such a request must be byte-for-byte what the old server sent — not
+  // just semantically equivalent.
+  AuditServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto socket = net::TcpConnect(net::Endpoint{"127.0.0.1", server.port()}, 2000);
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(socket
+                  ->SendAll(net::EncodeFrameHeader(static_cast<uint8_t>(MsgType::kPing), 0),
+                            2000)
+                  .ok());
+  std::string reply;
+  ASSERT_TRUE(socket->RecvAll(&reply, net::kFrameHeaderBytes, 5000).ok());
+  EXPECT_EQ(reply, net::EncodeFrameHeader(static_cast<uint8_t>(MsgType::kPong), 0));
+  // Nothing further follows the pong (no surprise extensions).
+  std::string extra;
+  EXPECT_EQ(socket->RecvAll(&extra, 1, 100).code(), StatusCode::kDeadlineExceeded);
+  server.Stop();
+}
+
+TEST(MuxClientTest, PipelinedRepliesCompleteOutOfOrder) {
+  // A hand-rolled server reads a batch of pipelined requests, then answers
+  // them in reverse order, echoing each request's payload and id. The mux
+  // client must pair every completion by id — last-issued resolves first.
+  auto listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener->LocalPort();
+  ASSERT_TRUE(port.ok());
+  constexpr int kCalls = 3;
+  std::thread fake_server([&] {
+    auto conn = net::TcpAccept(*listener, 5000);
+    ASSERT_TRUE(conn.ok());
+    std::vector<net::Frame> requests;
+    for (int i = 0; i < kCalls; ++i) {
+      auto frame = net::ReadFrame(*conn, net::FrameLimits{}, 5000);
+      ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+      ASSERT_NE(frame->request_id, 0u);
+      requests.push_back(std::move(*frame));
+    }
+    for (int i = kCalls - 1; i >= 0; --i) {
+      ASSERT_TRUE(net::WriteFrame(*conn, static_cast<uint8_t>(MsgType::kPong),
+                                  requests[i].payload, 2000, {}, requests[i].request_id)
+                      .ok());
+    }
+    // Hold the connection open until the client is done with it.
+    std::string eof_probe;
+    (void)conn->RecvAll(&eof_probe, 1, 5000);
+  });
+
+  MuxClientOptions options;
+  options.window = kCalls + 1;
+  auto client = MuxAuditClient::Connect(net::Endpoint{"127.0.0.1", *port}, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> completion_order;
+  std::vector<std::string> payloads(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    client->AsyncCall(MsgType::kPing, "call-" + std::to_string(i), MsgType::kPong,
+                      [&, i](Result<net::Frame> reply) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        if (reply.ok()) {
+                          payloads[i] = reply->payload;
+                        }
+                        completion_order.push_back(i);
+                        cv.notify_one();
+                      });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return completion_order.size() == kCalls; }));
+    // Pairing is by id: each call got its own payload back even though the
+    // server replied in reverse.
+    for (int i = 0; i < kCalls; ++i) {
+      EXPECT_EQ(payloads[i], "call-" + std::to_string(i)) << i;
+    }
+    EXPECT_EQ(completion_order, (std::vector<int>{2, 1, 0}));
+  }
+  client->Shutdown();
+  fake_server.join();
+}
+
+TEST(MuxClientTest, ManyConcurrentAuditsAgainstReactor) {
+  AuditServerOptions options;
+  options.worker_threads = 4;
+  options.reactor_shards = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  MuxClientOptions mux_options;
+  mux_options.connections = 2;
+  mux_options.window = 64;
+  auto client = MuxAuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()}, mux_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->ImportDepDb(TestDepDbText()).ok());
+
+  constexpr int kAudits = 100;
+  const std::string spec_bytes = EncodeAuditSpecification(TestSpec());
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  int failures = 0;
+  for (int i = 0; i < kAudits; ++i) {
+    client->AsyncCall(MsgType::kAuditRequest, spec_bytes, MsgType::kAuditReport,
+                      [&](Result<net::Frame> reply) {
+                        bool ok = reply.ok();
+                        if (ok) {
+                          auto report = DecodeSiaAuditReport(reply->payload);
+                          ok = report.ok() && report->deployments.size() == 2;
+                        }
+                        std::lock_guard<std::mutex> lock(mu);
+                        if (!ok) {
+                          ++failures;
+                        }
+                        ++done;
+                        cv.notify_one();
+                      });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(30), [&] { return done == kAudits; }));
+  }
+  EXPECT_EQ(failures, 0);
+  client->Shutdown();
+  server.Stop();
+}
+
+TEST(AuditServerTest, ShedsLoadBeyondInflightCapWithUnavailable) {
+  // Cap the per-connection window at 1, then fire a burst of pipelined
+  // audits in a single write. The whole burst parses inside one read
+  // callback — before any worker completion can run — so everything past
+  // the first admitted request must be shed with kUnavailable, id echoed.
+  AuditServerOptions options;
+  options.worker_threads = 2;
+  options.reactor_shards = 1;
+  options.max_inflight_per_connection = 1;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    auto seed_client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(seed_client.ok());
+    ASSERT_TRUE(seed_client->ImportDepDb(TestDepDbText()).ok());
+  }
+  const uint64_t shed_before =
+      CounterValue(obs::MetricsRegistry::Global().Snapshot(), "svc.requests_shed");
+
+  auto socket = net::TcpConnect(net::Endpoint{"127.0.0.1", server.port()}, 2000);
+  ASSERT_TRUE(socket.ok());
+  constexpr uint64_t kBurst = 64;
+  const std::string spec_bytes = EncodeAuditSpecification(TestSpec());
+  std::string burst;
+  for (uint64_t id = 1; id <= kBurst; ++id) {
+    burst += net::EncodeFrame(static_cast<uint8_t>(MsgType::kAuditRequest), spec_bytes, {},
+                              id);
+  }
+  ASSERT_TRUE(socket->SendAll(burst, 5000).ok());
+
+  uint64_t reports = 0;
+  uint64_t shed = 0;
+  std::vector<bool> seen(kBurst + 1, false);
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    auto reply = net::ReadFrame(*socket, net::FrameLimits{}, 10000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_GE(reply->request_id, 1u);
+    ASSERT_LE(reply->request_id, kBurst);
+    EXPECT_FALSE(seen[reply->request_id]) << "duplicate id " << reply->request_id;
+    seen[reply->request_id] = true;
+    if (reply->type == static_cast<uint8_t>(MsgType::kAuditReport)) {
+      ++reports;
+    } else {
+      ASSERT_EQ(reply->type, static_cast<uint8_t>(MsgType::kErrorReply));
+      Status remote = DecodeErrorReply(reply->payload);
+      EXPECT_EQ(remote.code(), StatusCode::kUnavailable) << remote.ToString();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(reports + shed, kBurst);
+  EXPECT_GE(reports, 1u);  // the admitted request(s) really ran
+  EXPECT_GE(shed, 1u);     // overload really shed
+  const uint64_t shed_after =
+      CounterValue(obs::MetricsRegistry::Global().Snapshot(), "svc.requests_shed");
+  EXPECT_GE(shed_after, shed_before + shed);
+  server.Stop();
+}
+
+TEST(AuditServerTest, ReadDeadlineDropsStalledPartialFrame) {
+  AuditServerOptions options;
+  options.read_deadline_ms = 100;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto socket = net::TcpConnect(net::Endpoint{"127.0.0.1", server.port()}, 2000);
+  ASSERT_TRUE(socket.ok());
+  // A header promising 100 payload bytes that never arrive: the server must
+  // drop the connection once the read deadline lapses, not hold it forever.
+  ASSERT_TRUE(socket->SendAll(net::EncodeFrameHeader(1, 100) + "stall", 2000).ok());
+  std::string reply;
+  WallTimer timer;
+  Status status = socket->RecvAll(&reply, 1, 5000);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);  // peer closed on us
+  EXPECT_LT(timer.ElapsedSeconds(), 4.0);
+  server.Stop();
+}
+
+TEST(AuditServerTest, IdleConnectionSurvivesReadDeadline) {
+  // The deadline applies to partial frames only: a connection idle between
+  // requests is keep-alive, never culled.
+  AuditServerOptions options;
+  options.read_deadline_ms = 100;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // 3× the deadline
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+TEST(AuditServerTest, StatsScrapeRacesReactorLoadCleanly) {
+  // A scraper hammers the registry snapshot while a mux client drives
+  // pipelined load through the reactor — the TSan build proves the whole
+  // reactor/pool/scrape weave is race-free.
+  AuditServerOptions options;
+  options.worker_threads = 2;
+  options.reactor_shards = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+      (void)snapshot;
+    }
+  });
+  MuxClientOptions mux_options;
+  mux_options.connections = 2;
+  mux_options.window = 32;
+  auto client = MuxAuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()}, mux_options);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client->Ping().ok()) << i;
+  }
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  client->Shutdown();
+  server.Stop();
 }
 
 // --- Socket-backed P-SOP ring ---

@@ -64,9 +64,15 @@ def main():
 
     old, new = load(old_path), load(new_path)
     shared = sorted(set(old) & set(new))
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
     print(f"comparing {new_path} against {old_path}: "
           f"{len(shared)} shared benchmarks "
-          f"({len(set(new) - set(old))} new, {len(set(old) - set(new))} gone)")
+          f"({len(added)} new, {len(removed)} gone)")
+    for name in added:
+        print(f"  new:  {name}")
+    for name in removed:
+        print(f"  gone: {name}")
 
     regressions = []
     for name in shared:

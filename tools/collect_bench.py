@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Collects the per-PR benchmark snapshot (BENCH_<tag>.json).
 
-Runs the two machine-readable benchmarks and folds their --json-out
-documents into one flat snapshot at the repo root:
+Runs the machine-readable benchmarks and folds their --json-out documents
+into one flat snapshot at the repo root:
 
     {"<benchmark name>": {"p50_seconds": ..., "bytes": ..., "config": {...}}}
 
@@ -74,6 +74,61 @@ def collect_fig8(build, workdir, n_max):
     return snapshot
 
 
+def collect_svc_rpc(build, workdir):
+    """bench_svc_rpc: serial client RPC latency (ping and structural audit)."""
+    out = workdir / "svc_rpc.json"
+    run_bench([str(build / "bench" / "bench_svc_rpc"), f"--json-out={out}"])
+    doc = json.loads(out.read_text())
+    snapshot = {}
+    for phase in ("ping", "audit"):
+        snapshot[f"svc_rpc/{phase}"] = {
+            "p50_seconds": doc[phase]["us_per_rpc"] / 1e6,
+            "bytes": 0,
+            "config": {"rpcs": doc[phase]["rpcs"]},
+        }
+    return snapshot
+
+
+def collect_svc_saturation(build, workdir):
+    """bench_svc_saturation: pipelining gain, sustained concurrency, open loop."""
+    out = workdir / "svc_saturation.json"
+    run_bench([str(build / "bench" / "bench_svc_saturation"), f"--json-out={out}"])
+    doc = json.loads(out.read_text())
+    snapshot = {
+        "svc_saturation/mux_ping": {
+            "p50_seconds": 1.0 / doc["pipelining"]["mux_rps"],
+            "bytes": 0,
+            "config": doc["pipelining"],
+        },
+    }
+    for run in doc["sustained"]:
+        name = f"svc_saturation/{run['mode']}_c{run['conns']}"
+        snapshot[name] = {
+            "p50_seconds": run["p50_ms"] / 1e3,
+            "bytes": 0,
+            "config": {
+                "mode": run["mode"],
+                "conns": run["conns"],
+                "sustained": run["sustained"],
+                "completed": run["completed"],
+                "p99_ms": run["p99_ms"],
+            },
+        }
+    for run in doc["open_loop"]:
+        name = f"svc_saturation/openloop_r{run['rate']:.0f}"
+        snapshot[name] = {
+            "p50_seconds": run["p50_ms"] / 1e3,
+            "bytes": 0,
+            "config": {
+                "rate": run["rate"],
+                "achieved_rps": run["achieved_rps"],
+                "shed": run["shed"],
+                "p99_ms": run["p99_ms"],
+            },
+        }
+    return snapshot
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tag", required=True, help="snapshot tag, e.g. pr5")
@@ -89,6 +144,8 @@ def main():
         workdir = pathlib.Path(tmp)
         snapshot.update(collect_risk_groups(build, workdir))
         snapshot.update(collect_fig8(build, workdir, args.fig8_n_max))
+        snapshot.update(collect_svc_rpc(build, workdir))
+        snapshot.update(collect_svc_saturation(build, workdir))
 
     out_path = pathlib.Path(args.out_dir) / f"BENCH_{args.tag}.json"
     out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
