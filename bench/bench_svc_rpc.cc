@@ -6,11 +6,12 @@
 // observability-overhead A/B needs.
 //
 //   bench_svc_rpc [--pings=5000] [--audits=200] [--mode=reactor|threaded]
-//                 [--json-out=...]
+//                 [--flight-recorder=on|off] [--json-out=...]
 
 #include <cstdio>
 
 #include "src/deps/depdb.h"
+#include "src/obs/flight_recorder.h"
 #include "src/svc/client.h"
 #include "src/svc/server.h"
 #include "src/util/file.h"
@@ -40,13 +41,20 @@ Status Run(int argc, char** argv) {
   int64_t pings = 5000;
   int64_t audits = 200;
   std::string mode = "reactor";
+  std::string flight = "on";
   std::string json_out;
   FlagSet flags;
   flags.AddInt("pings", &pings, "timed Ping round trips");
   flags.AddInt("audits", &audits, "timed structural-audit round trips");
   flags.AddString("mode", &mode, "server mode to measure: reactor | threaded");
+  flags.AddString("flight-recorder", &flight,
+                  "on (default) | off: A/B the always-on observability cost");
   flags.AddString("json-out", &json_out, "write machine-readable results here");
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flight != "on" && flight != "off") {
+    return InvalidArgumentError("--flight-recorder must be on or off");
+  }
+  obs::FlightRecorder::Global().SetEnabled(flight == "on");
 
   svc::AuditServerOptions options;
   if (mode == "threaded") {
@@ -86,11 +94,11 @@ Status Run(int argc, char** argv) {
               static_cast<long long>(audits), audit_s, audit_us);
   if (!json_out.empty()) {
     std::string doc = StrFormat(
-        "{\n  \"benchmark\": \"svc_rpc\",\n"
+        "{\n  \"benchmark\": \"svc_rpc\",\n  \"flight_recorder\": \"%s\",\n"
         "  \"ping\": {\"rpcs\": %lld, \"seconds\": %.6f, \"us_per_rpc\": %.2f},\n"
         "  \"audit\": {\"rpcs\": %lld, \"seconds\": %.6f, \"us_per_rpc\": %.2f}\n}\n",
-        static_cast<long long>(pings), ping_s, ping_us, static_cast<long long>(audits),
-        audit_s, audit_us);
+        flight.c_str(), static_cast<long long>(pings), ping_s, ping_us,
+        static_cast<long long>(audits), audit_s, audit_us);
     INDAAS_RETURN_IF_ERROR(WriteFile(json_out, doc));
   }
   return Status::Ok();

@@ -1,9 +1,12 @@
 #include "src/cli/commands.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "src/acquire/apt_sim.h"
@@ -13,6 +16,8 @@
 #include "src/agent/report_diff.h"
 #include "src/deps/cvss.h"
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_merge.h"
@@ -136,7 +141,7 @@ Status FinishObs(const ObsOutputs& out) {
     std::printf("wrote Chrome trace (%zu spans) -> %s\n", spans.size(), out.trace_path.c_str());
   }
   if (recorder.dropped() > 0) {
-    INDAAS_LOG(Warning) << recorder.dropped() << " spans dropped (trace ring full)";
+    INDAAS_SLOG(Warn, "cli.spans_dropped").Kv("dropped", recorder.dropped());
   }
   return Status::Ok();
 }
@@ -530,6 +535,91 @@ Status RunStatsCommand(int argc, char** argv) {
   return Status::Ok();
 }
 
+Status RunDebugCommand(int argc, char** argv) {
+  std::string remote;
+  int64_t events = 32;
+  int64_t top = 10;
+  FlagSet flags;
+  flags.AddString("remote", &remote, "the `indaas serve` instance to introspect, host:port");
+  flags.AddInt("events", &events, "recent flight-recorder events to show");
+  flags.AddInt("top", &top, "slowest retained RPCs to show");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (remote.empty()) {
+    return InvalidArgumentError("--remote is required (e.g. --remote=localhost:7341)");
+  }
+  INDAAS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::ParseEndpoint(remote));
+  INDAAS_ASSIGN_OR_RETURN(svc::AuditClient client, svc::AuditClient::Connect(endpoint));
+  INDAAS_ASSIGN_OR_RETURN(svc::DebugInfo info, client.GetDebugInfo());
+
+  std::printf("%s: up %.1f s, mode=%s, %llu in flight\n", endpoint.ToString().c_str(),
+              static_cast<double>(info.uptime_us) / 1e6,
+              info.mode == 0 ? "reactor" : "threaded",
+              static_cast<unsigned long long>(info.inflight_global));
+  if (!info.shards.empty()) {
+    std::printf("shards (%zu):\n", info.shards.size());
+    for (const svc::DebugShard& shard : info.shards) {
+      std::printf("  shard %u: %llu conns, %llu in flight%s\n", shard.index,
+                  static_cast<unsigned long long>(shard.connections),
+                  static_cast<unsigned long long>(shard.inflight),
+                  shard.has_listener ? ", listening" : "");
+    }
+  }
+  if (!info.connections.empty()) {
+    std::printf("connections (%zu):\n", info.connections.size());
+    for (const svc::DebugConnection& conn : info.connections) {
+      std::printf(
+          "  conn %llu shard=%u age=%.1fs in_buf=%lluB out_buf=%lluB inflight=%llu"
+          " oldest_pending=%.3fs\n",
+          static_cast<unsigned long long>(conn.id), conn.shard,
+          static_cast<double>(conn.age_us) / 1e6,
+          static_cast<unsigned long long>(conn.in_buffer_bytes),
+          static_cast<unsigned long long>(conn.write_buffer_bytes),
+          static_cast<unsigned long long>(conn.inflight),
+          static_cast<double>(conn.oldest_pending_us) / 1e6);
+    }
+  }
+  size_t event_count = std::min(info.events.size(), static_cast<size_t>(std::max<int64_t>(0, events)));
+  if (event_count > 0) {
+    std::printf("recent flight-recorder events (%zu of %zu):\n", event_count,
+                info.events.size());
+    for (size_t i = info.events.size() - event_count; i < info.events.size(); ++i) {
+      const svc::DebugFlightEvent& e = info.events[i];
+      std::printf("  t=%llu tid=%u %s a=%llu b=%llu code=%u",
+                  static_cast<unsigned long long>(e.t_us), e.tid,
+                  obs::FlightEventTypeName(static_cast<obs::FlightEventType>(e.type)),
+                  static_cast<unsigned long long>(e.a), static_cast<unsigned long long>(e.b),
+                  e.code);
+      if (e.trace_id != 0) {
+        std::printf(" trace=%llu", static_cast<unsigned long long>(e.trace_id));
+      }
+      std::printf("\n");
+    }
+  }
+  size_t slow_count = std::min(info.slowest.size(), static_cast<size_t>(std::max<int64_t>(0, top)));
+  if (slow_count > 0) {
+    std::printf("slowest retained RPCs (%zu of %zu):\n", slow_count, info.slowest.size());
+    for (size_t i = 0; i < slow_count; ++i) {
+      const svc::DebugSlowRpc& rpc = info.slowest[i];
+      std::printf("  %-12s %8.3f ms  %s%s conn=%llu req=%llu",
+                  svc::MsgTypeName(static_cast<svc::MsgType>(rpc.rpc_type)),
+                  rpc.total_s * 1e3,
+                  obs::TailOutcomeName(static_cast<obs::TailOutcome>(rpc.outcome)),
+                  rpc.ok ? "" : " (error)", static_cast<unsigned long long>(rpc.conn_id),
+                  static_cast<unsigned long long>(rpc.request_id));
+      if (rpc.trace_id != 0) {
+        std::printf(" trace=%llu", static_cast<unsigned long long>(rpc.trace_id));
+      }
+      std::printf("\n    stages:");
+      for (int s = 0; s < 6; ++s) {
+        std::printf(" %s=%.3fms", obs::RpcStageName(static_cast<obs::RpcStage>(s)),
+                    rpc.stage_s[s] * 1e3);
+      }
+      std::printf("\n");
+    }
+  }
+  return Status::Ok();
+}
+
 Status RunTraceMergeCommand(int argc, char** argv) {
   // Positional inputs plus an optional --out: parsed by hand because the
   // FlagSet grammar is flags-only.
@@ -587,8 +677,10 @@ Status RunServeCommand(int argc, char** argv) {
   int64_t max_inflight_per_conn = 64;
   int64_t backlog = 128;
   int64_t read_deadline_ms = 10000;
+  int64_t slow_rpc_ms = 100;
   std::string depdb_path;
   std::string cvss_path;
+  std::string flight_dump;
   FlagSet flags;
   flags.AddInt("port", &port, "TCP port to listen on (0 picks a free port)");
   flags.AddInt("threads", &threads, "worker threads serving requests");
@@ -602,8 +694,14 @@ Status RunServeCommand(int argc, char** argv) {
   flags.AddInt("backlog", &backlog, "listen(2) backlog for every listener");
   flags.AddInt("read-deadline-ms", &read_deadline_ms,
                "drop connections stalled mid-frame for this long (reactor mode)");
+  flags.AddInt("slow-rpc-ms", &slow_rpc_ms,
+               "RPCs slower than this keep their stage breakdown for `indaas debug`"
+               " (0 = sheds/errors only)");
   flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
+  flags.AddString("flight-dump", &flight_dump,
+                  "install SIGUSR2/crash handlers dumping the flight recorder to this file"
+                  " (empty = handlers not installed)");
   ObsOutputs obs_out;
   AddObsFlags(flags, obs_out);
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
@@ -627,7 +725,14 @@ Status RunServeCommand(int argc, char** argv) {
       static_cast<size_t>(std::max<int64_t>(1, max_inflight_per_conn));
   options.listen_backlog = static_cast<int>(std::max<int64_t>(1, backlog));
   options.read_deadline_ms = static_cast<int>(read_deadline_ms);
+  options.slow_rpc_threshold_s = static_cast<double>(slow_rpc_ms) / 1e3;
   svc::AuditServer server(options);
+
+  if (!flight_dump.empty()) {
+    obs::InstallFlightRecorderSignalHandlers(flight_dump);
+    std::printf("flight recorder: kill -USR2 %d dumps to %s (crashes dump there too)\n",
+                static_cast<int>(::getpid()), flight_dump.c_str());
+  }
 
   // The probability model must outlive the server's agent.
   FailureProbabilityModel model = FailureProbabilityModel::GillEtAlDefaults();
@@ -669,8 +774,8 @@ Status RunServeCommand(int argc, char** argv) {
 }
 
 int RunCli(int argc, char** argv) {
-  // --log-level is global: valid anywhere on the command line, consumed here
-  // so the per-command flag parsers never see it.
+  // --log-level and --log-format are global: valid anywhere on the command
+  // line, consumed here so the per-command flag parsers never see them.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -689,6 +794,17 @@ int RunCli(int argc, char** argv) {
                      std::string(value).c_str());
         return 2;
       }
+    } else if (StartsWith(arg, "--log-format=")) {
+      std::string_view value = arg.substr(13);
+      if (value == "json") {
+        obs::Logger::Global().SetSink(std::make_shared<obs::JsonLogSink>(stderr));
+      } else if (value == "text") {
+        obs::Logger::Global().SetSink(nullptr);  // restores the stderr text sink
+      } else {
+        std::fprintf(stderr, "bad --log-format '%s' (text | json)\n",
+                     std::string(value).c_str());
+        return 2;
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -696,7 +812,8 @@ int RunCli(int argc, char** argv) {
   argc = kept;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: indaas [--log-level=debug|info|warning|error] <command> [flags]\n"
+                 "usage: indaas [--log-level=debug|info|warning|error] [--log-format=text|json] "
+                 "<command> [flags]\n"
                  "commands:\n"
                  "  collect  run simulated dependency acquisition into a DepDB file\n"
                  "  audit    structural independence audit of candidate deployments\n"
@@ -708,11 +825,13 @@ int RunCli(int argc, char** argv) {
                  "  serve       run the networked audit service (see audit --remote)\n"
                  "  stats       scrape a live server's metrics (--remote=host:P "
                  "[--format=text|prometheus|json])\n"
+                 "  debug       live introspection of a server: shards, connections, flight\n"
+                 "              recorder, slowest RPCs (--remote=host:P [--events=N] [--top=K])\n"
                  "  trace-merge merge per-process --trace-out files into one Chrome trace\n"
                  "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
                  "networked: serve --port=P [--mode=reactor|threaded --reactor-shards=N\n"
                  "  --max-inflight=N --max-inflight-per-conn=N --backlog=N "
-                 "--read-deadline-ms=MS];\n"
+                 "--read-deadline-ms=MS --slow-rpc-ms=MS --flight-dump=FILE];\n"
                  "  audit --remote=host:P; pia --peers=a:p1,b:p2,c:p3 --self=i\n");
     return 2;
   }
@@ -736,6 +855,8 @@ int RunCli(int argc, char** argv) {
     status = RunServeCommand(argc - 1, argv + 1);
   } else if (command == "stats") {
     status = RunStatsCommand(argc - 1, argv + 1);
+  } else if (command == "debug") {
+    status = RunDebugCommand(argc - 1, argv + 1);
   } else if (command == "trace-merge") {
     status = RunTraceMergeCommand(argc - 1, argv + 1);
   } else {

@@ -10,6 +10,7 @@
 //   indaas pia        --sets=providers.txt [...]
 //   indaas serve      --port=7341 [--threads=4] [--depdb=deps.txt]
 //   indaas stats      --remote=host:port [--format=text|prometheus|json]
+//   indaas debug      --remote=host:port [--events=N] [--top=K]
 //   indaas trace-merge --out=merged.json a.json b.json ...
 //
 // `pia` reads providers from a simple format: one provider per line,
@@ -45,6 +46,7 @@ Status RunImportanceCommand(int argc, char** argv);
 Status RunPiaCommand(int argc, char** argv);
 Status RunServeCommand(int argc, char** argv);
 Status RunStatsCommand(int argc, char** argv);
+Status RunDebugCommand(int argc, char** argv);
 Status RunTraceMergeCommand(int argc, char** argv);
 
 // Dispatches to a subcommand; prints usage on unknown commands.

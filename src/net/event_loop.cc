@@ -8,8 +8,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
-#include "src/util/logging.h"
 #include "src/util/timer.h"
 
 namespace indaas {
@@ -46,13 +47,31 @@ obs::Histogram* DispatchSeconds() {
   return histogram;
 }
 
+// How late timers fire relative to their deadline — the canonical event-loop
+// lag signal: a busy or blocked loop services its timer heap late.
+obs::Histogram* LagSeconds() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "net.loop.lag_seconds", ExponentialWaitBounds());
+  return histogram;
+}
+
+obs::Gauge* TimerHeapDepth() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("net.loop.timer_heap_depth");
+  return gauge;
+}
+
+// Lag above this lands a kLoopLag flight event so post-hoc dumps show when
+// (and how badly) a loop thread stalled.
+constexpr double kLagEventThresholdSeconds = 1e-3;
+
 }  // namespace
 
 EventLoop::EventLoop() {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
-    INDAAS_LOG(Error) << "EventLoop setup failed: " << std::strerror(errno);
+    INDAAS_SLOG(Error, "net.loop_setup_failed").Kv("error", std::strerror(errno));
     return;
   }
   struct epoll_event event;
@@ -60,7 +79,7 @@ EventLoop::EventLoop() {
   event.events = EPOLLIN;
   event.data.fd = wakeup_fd_;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) < 0) {
-    INDAAS_LOG(Error) << "EventLoop wakeup registration failed: " << std::strerror(errno);
+    INDAAS_SLOG(Error, "net.loop_wakeup_failed").Kv("error", std::strerror(errno));
     ::close(epoll_fd_);
     epoll_fd_ = -1;
   }
@@ -115,12 +134,15 @@ uint64_t EventLoop::AddTimer(double delay_s, std::function<void()> fn) {
   timer_heap_.push_back(timer);
   std::push_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<Timer>());
   timer_fns_[id] = std::move(fn);
+  TimerHeapDepth()->Add(1);
   return id;
 }
 
 void EventLoop::CancelTimer(uint64_t id) {
   // Lazy cancellation: the heap entry stays and is skipped when it pops.
-  timer_fns_.erase(id);
+  if (timer_fns_.erase(id) != 0) {
+    TimerHeapDepth()->Add(-1);
+  }
 }
 
 void EventLoop::Post(std::function<void()> fn) {
@@ -158,6 +180,16 @@ void EventLoop::RunExpiredTimers() {
     }
     std::function<void()> fn = std::move(it->second);
     timer_fns_.erase(it);
+    TimerHeapDepth()->Add(-1);
+    double lag_s =
+        std::chrono::duration<double>(now - expired.deadline).count();
+    if (lag_s < 0) lag_s = 0;
+    LagSeconds()->Record(lag_s);
+    if (lag_s >= kLagEventThresholdSeconds) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kLoopLag, static_cast<uint64_t>(lag_s * 1e6),
+          timer_fns_.size(), 0, 0);
+    }
     fn();
   }
 }
@@ -193,7 +225,7 @@ void EventLoop::Run() {
       if (errno == EINTR) {
         continue;
       }
-      INDAAS_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      INDAAS_SLOG(Error, "net.epoll_wait_failed").Kv("error", std::strerror(errno));
       return;
     }
     WallTimer dispatch_timer;

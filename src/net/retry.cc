@@ -4,8 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
-#include "src/util/logging.h"
 
 namespace indaas {
 namespace net {
@@ -47,8 +47,10 @@ Result<Socket> ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
     }
     retries->Increment();
     double backoff = BackoffSeconds(policy, attempt);
-    INDAAS_LOG(Debug) << "connect " << endpoint.ToString() << " failed ("
-                      << sock.status().ToString() << "); retrying in " << backoff << " s";
+    INDAAS_SLOG(Debug, "net.connect_retry")
+        .Kv("endpoint", endpoint.ToString())
+        .Kv("error", sock.status().ToString())
+        .Kv("backoff_s", backoff);
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
   }
 }

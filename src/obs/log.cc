@@ -1,0 +1,301 @@
+#include "src/obs/log.h"
+
+#include <sys/time.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <ctime>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/propagate.h"
+#include "src/obs/trace.h"
+
+namespace indaas {
+namespace obs {
+namespace {
+
+Counter* EmittedCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter("obs.log.emitted");
+  return counter;
+}
+
+Counter* SuppressedCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter("obs.log.suppressed");
+  return counter;
+}
+
+uint64_t WallMicros() {
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  return static_cast<uint64_t>(tv.tv_sec) * 1000000u + static_cast<uint64_t>(tv.tv_usec);
+}
+
+// True when the value needs quoting in the text format (empty, spaces,
+// quotes, '=' or control characters would break k=v tokenization).
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendWallTimestamp(std::string* out, uint64_t wall_us) {
+  time_t seconds = static_cast<time_t>(wall_us / 1000000u);
+  struct tm utc;
+  ::gmtime_r(&seconds, &utc);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%06uZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<unsigned>(wall_us % 1000000u));
+  out->append(buffer);
+}
+
+const char* BaseName(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "debug";
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarn:
+      return "warn";
+    case LogSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void TextLogSink::Write(const LogRecord& record) {
+  std::string line;
+  line.reserve(96 + record.event.size());
+  const char sev_tag[] = {'D', 'I', 'W', 'E'};
+  int sev_index = static_cast<int>(record.severity);
+  line.push_back(sev_index >= 0 && sev_index < 4 ? sev_tag[sev_index] : '?');
+  line.push_back(' ');
+  AppendWallTimestamp(&line, record.wall_us);
+  line.push_back(' ');
+  line.append(record.event);
+  for (const LogField& field : record.fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    if (!field.is_number && NeedsQuoting(field.value)) {
+      AppendQuoted(&line, field.value);
+    } else {
+      line.append(field.value);
+    }
+  }
+  if (record.trace_id != 0) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), " trace=%" PRIu64, record.trace_id);
+    line.append(buffer);
+  }
+  if (record.suppressed != 0) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), " suppressed=%" PRIu64, record.suppressed);
+    line.append(buffer);
+  }
+  char site[96];
+  std::snprintf(site, sizeof(site), " (%s:%d tid=%u)\n", BaseName(record.file), record.line,
+                record.tid);
+  line.append(site);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+std::string JsonLogSink::Render(const LogRecord& record) {
+  std::string out;
+  out.reserve(160 + record.event.size());
+  char buffer[96];
+  out.append("{\"sev\":\"");
+  out.append(LogSeverityName(record.severity));
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"t_us\":%" PRIu64 ",\"wall_us\":%" PRIu64 ",\"event\":\"", record.t_us,
+                record.wall_us);
+  out.append(buffer);
+  out.append(JsonEscape(record.event));
+  out.push_back('"');
+  std::snprintf(buffer, sizeof(buffer), ",\"tid\":%u", record.tid);
+  out.append(buffer);
+  if (record.trace_id != 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"trace_id\":\"%" PRIu64 "\"", record.trace_id);
+    out.append(buffer);
+  }
+  std::snprintf(buffer, sizeof(buffer), ",\"src\":\"%s:%d\"", BaseName(record.file),
+                record.line);
+  out.append(buffer);
+  if (record.suppressed != 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"suppressed\":%" PRIu64, record.suppressed);
+    out.append(buffer);
+  }
+  if (!record.fields.empty()) {
+    out.append(",\"kv\":{");
+    bool first = true;
+    for (const LogField& field : record.fields) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('"');
+      out.append(JsonEscape(field.key));
+      out.append("\":");
+      if (field.is_number) {
+        out.append(field.value);
+      } else {
+        out.push_back('"');
+        out.append(JsonEscape(field.value));
+        out.push_back('"');
+      }
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void JsonLogSink::Write(const LogRecord& record) {
+  std::string line = Render(record);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+void CaptureLogSink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<LogRecord> CaptureLogSink::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+Logger::Logger() : sink_(std::make_shared<TextLogSink>(stderr)) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked: outlives static destructors
+  return *logger;
+}
+
+void Logger::SetSink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) sink = std::make_shared<TextLogSink>(stderr);
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Log(LogRecord record) {
+  if (!Enabled(record.severity)) return;
+  EmittedCounter()->Increment();
+  if (record.suppressed != 0) SuppressedCounter()->Add(record.suppressed);
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_->Write(record);
+}
+
+uint64_t LogSite::NowMicros() { return TraceNowMicros(); }
+
+bool LogSite::Admit(double per_sec, uint64_t now_us) {
+  if (per_sec <= 0) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t budget = static_cast<uint64_t>(std::ceil(per_sec));
+  uint64_t window = window_start_us_.load(std::memory_order_relaxed);
+  if (now_us >= window + 1000000u) {
+    // A new one-second window. Whoever wins the CAS resets the admission
+    // count; losers just admit into the fresh window below.
+    if (window_start_us_.compare_exchange_strong(window, now_us, std::memory_order_relaxed)) {
+      admitted_in_window_.store(0, std::memory_order_relaxed);
+    }
+  }
+  uint64_t admitted = admitted_in_window_.fetch_add(1, std::memory_order_relaxed);
+  if (admitted < budget) return true;
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+LogEventBuilder::LogEventBuilder(LogSeverity severity, const char* file, int line,
+                                 const char* event, uint64_t suppressed) {
+  record_.severity = severity;
+  record_.t_us = TraceNowMicros();
+  record_.wall_us = WallMicros();
+  record_.tid = TraceThreadId();
+  record_.trace_id = CurrentTraceContext().trace_id;
+  record_.file = file;
+  record_.line = line;
+  record_.event = event;
+  record_.suppressed = suppressed;
+}
+
+LogEventBuilder::~LogEventBuilder() { Logger::Global().Log(std::move(record_)); }
+
+LogEventBuilder& LogEventBuilder::Kv(const char* key, std::string_view value) {
+  record_.fields.push_back(LogField{key, std::string(value), false});
+  return *this;
+}
+
+LogEventBuilder& LogEventBuilder::Kv(const char* key, bool value) {
+  record_.fields.push_back(LogField{key, value ? "true" : "false", true});
+  return *this;
+}
+
+LogEventBuilder& LogEventBuilder::Kv(const char* key, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  record_.fields.push_back(LogField{key, buffer, true});
+  return *this;
+}
+
+LogEventBuilder& LogEventBuilder::KvInt(const char* key, int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  record_.fields.push_back(LogField{key, buffer, true});
+  return *this;
+}
+
+LogEventBuilder& LogEventBuilder::KvUint(const char* key, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  record_.fields.push_back(LogField{key, buffer, true});
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace indaas

@@ -1,0 +1,242 @@
+// Structured, leveled logging (DESIGN.md §6).
+//
+// A log record is an *event* — a dotted name plus typed key=value fields —
+// not a formatted sentence, so sinks can render the same record as aligned
+// key=value text for a terminal or NDJSON for a collector, and tooling can
+// filter on fields instead of regexing prose. Records carry the recording
+// thread, the ambient distributed trace id (src/obs/propagate.h) and the
+// call site, which is what lets an operator jump from a "slow_reader_drop"
+// log line to the matching flight-recorder events and trace spans.
+//
+// Emission is gated twice: a relaxed atomic severity check before any
+// argument is evaluated (the INDAAS_SLOG macro short-circuits), and an
+// optional per-site rate limit (INDAAS_SLOG_EVERY) that admits at most
+// `per_sec` records per second per call site, counting what it suppressed —
+// the next admitted record carries the suppressed count, so bursts are
+// summarized instead of silently eaten. Hot paths can therefore log their
+// failure modes (shed, slow-reader drop, read deadline) without a storm of
+// identical lines taking the service down a second time.
+//
+// The sink is process-global and swappable: TextLogSink (key=value lines,
+// default, stderr), JsonLogSink (one JSON object per line) and
+// CaptureLogSink (in-memory, for tests). Sink writes are serialized by the
+// logger, so sinks need no locking of their own.
+//
+// Usage:
+//   INDAAS_SLOG(Warn, "svc.slow_reader_drop")
+//       .Kv("conn", conn_id).Kv("unsent_bytes", pending);
+//   INDAAS_SLOG_EVERY(Error, "net.accept_failed", 1.0)
+//       .Kv("error", status.ToString());
+
+#ifndef SRC_OBS_LOG_H_
+#define SRC_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace indaas {
+namespace obs {
+
+enum class LogSeverity : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Lower-case severity tag ("debug" ... "error").
+const char* LogSeverityName(LogSeverity severity);
+
+// One typed key=value field. `is_number` is true for integers, doubles and
+// booleans, so the JSON sink can emit them unquoted.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+// One structured log record, as handed to sinks.
+struct LogRecord {
+  LogSeverity severity = LogSeverity::kInfo;
+  uint64_t t_us = 0;       // microseconds since the process trace epoch
+  uint64_t wall_us = 0;    // microseconds since the unix epoch (wall clock)
+  uint32_t tid = 0;        // dense thread index (obs::TraceThreadId)
+  uint64_t trace_id = 0;   // ambient distributed trace id, 0 = none
+  const char* file = "";   // call site (static storage; never freed)
+  int line = 0;
+  std::string event;       // dotted event name ("svc.slow_reader_drop")
+  std::vector<LogField> fields;
+  uint64_t suppressed = 0;  // rate-limited records dropped before this one
+};
+
+// Where records go. Write() is called under the logger's lock — sinks are
+// never entered concurrently and need no locking of their own.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+// key=value lines:
+//   W 2026-08-08T06:00:01.123456Z svc.slow_reader_drop conn=7 bytes=131072
+//       trace=18446744073709551615 suppressed=12 (server.cc:503)
+class TextLogSink : public LogSink {
+ public:
+  explicit TextLogSink(std::FILE* out = stderr) : out_(out) {}
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::FILE* out_;
+};
+
+// One JSON object per line (NDJSON), numeric fields unquoted, u64 ids as
+// decimal strings (they do not survive JSON doubles):
+//   {"sev":"warn","t_us":123,"wall_us":...,"event":"...","tid":2,
+//    "trace_id":"...","src":"server.cc:503","suppressed":0,"kv":{...}}
+class JsonLogSink : public LogSink {
+ public:
+  explicit JsonLogSink(std::FILE* out = stderr) : out_(out) {}
+  void Write(const LogRecord& record) override;
+
+  // Renders one record to its NDJSON line (no trailing newline); exposed so
+  // tests can golden-check the format without capturing a FILE*.
+  static std::string Render(const LogRecord& record);
+
+ private:
+  std::FILE* out_;
+};
+
+// Buffers records in memory for tests.
+class CaptureLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+  std::vector<LogRecord> Take();
+
+ private:
+  std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+// The process-wide logger: severity gate + the active sink.
+class Logger {
+ public:
+  static Logger& Global();
+
+  void SetMinSeverity(LogSeverity severity) {
+    min_severity_.store(static_cast<int>(severity), std::memory_order_relaxed);
+  }
+  LogSeverity min_severity() const {
+    return static_cast<LogSeverity>(min_severity_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogSeverity severity) const {
+    return static_cast<int>(severity) >= min_severity_.load(std::memory_order_relaxed);
+  }
+
+  // Swaps the sink (nullptr restores the default stderr text sink). The old
+  // sink is released once no in-flight Log() holds it.
+  void SetSink(std::shared_ptr<LogSink> sink);
+
+  // Emits one record (severity re-checked; sink write serialized).
+  void Log(LogRecord record);
+
+ private:
+  Logger();
+
+  std::atomic<int> min_severity_{static_cast<int>(LogSeverity::kInfo)};
+  std::mutex mu_;  // guards sink_ swaps and serializes Write()
+  std::shared_ptr<LogSink> sink_;
+};
+
+// Per-call-site rate limiter (fixed one-second windows, admits up to
+// ceil(per_sec) records per window; everything else increments a suppressed
+// counter the next admitted record picks up). All-atomic: a racing thread
+// may occasionally be admitted into a window that just rolled over, which
+// trades exactness for zero locks on the deny path.
+class LogSite {
+ public:
+  constexpr LogSite() = default;
+
+  // True when this emission is admitted under `per_sec`.
+  bool Admit(double per_sec) { return Admit(per_sec, NowMicros()); }
+  // Deterministic variant for tests.
+  bool Admit(double per_sec, uint64_t now_us);
+
+  // Returns the suppressed-since-last-emit count and resets it.
+  uint64_t TakeSuppressed() { return suppressed_.exchange(0, std::memory_order_relaxed); }
+
+ private:
+  static uint64_t NowMicros();
+
+  std::atomic<uint64_t> window_start_us_{0};
+  std::atomic<uint64_t> admitted_in_window_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+// Builds one record field by field and emits it on destruction. Created
+// only by the INDAAS_SLOG* macros once the severity gate passed.
+class LogEventBuilder {
+ public:
+  LogEventBuilder(LogSeverity severity, const char* file, int line, const char* event,
+                  uint64_t suppressed);
+  ~LogEventBuilder();
+
+  LogEventBuilder(const LogEventBuilder&) = delete;
+  LogEventBuilder& operator=(const LogEventBuilder&) = delete;
+
+  LogEventBuilder& Kv(const char* key, std::string_view value);
+  LogEventBuilder& Kv(const char* key, const char* value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogEventBuilder& Kv(const char* key, const std::string& value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogEventBuilder& Kv(const char* key, bool value);
+  LogEventBuilder& Kv(const char* key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  LogEventBuilder& Kv(const char* key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return KvInt(key, static_cast<int64_t>(value));
+    } else {
+      return KvUint(key, static_cast<uint64_t>(value));
+    }
+  }
+
+ private:
+  LogEventBuilder& KvInt(const char* key, int64_t value);
+  LogEventBuilder& KvUint(const char* key, uint64_t value);
+
+  LogRecord record_;
+};
+
+}  // namespace obs
+}  // namespace indaas
+
+#ifndef INDAAS_OBS_CONCAT
+#define INDAAS_OBS_CONCAT_(a, b) a##b
+#define INDAAS_OBS_CONCAT(a, b) INDAAS_OBS_CONCAT_(a, b)
+#endif
+
+// Structured log statement: INDAAS_SLOG(Warn, "svc.x").Kv("k", v)...;
+// Severity is checked before any Kv argument is evaluated.
+#define INDAAS_SLOG(severity, event)                                                   \
+  if (!::indaas::obs::Logger::Global().Enabled(::indaas::obs::LogSeverity::k##severity)) { \
+  } else                                                                               \
+    ::indaas::obs::LogEventBuilder(::indaas::obs::LogSeverity::k##severity, __FILE__,  \
+                                   __LINE__, event, 0)
+
+// Rate-limited variant: admits at most `per_sec` records per second from
+// this call site; the next admitted record carries the suppressed count.
+#define INDAAS_SLOG_EVERY(severity, event, per_sec)                                    \
+  if (!::indaas::obs::Logger::Global().Enabled(::indaas::obs::LogSeverity::k##severity)) { \
+  } else if (static ::indaas::obs::LogSite INDAAS_OBS_CONCAT(indaas_slog_site_, __LINE__); \
+             !INDAAS_OBS_CONCAT(indaas_slog_site_, __LINE__).Admit(per_sec)) {         \
+  } else                                                                               \
+    ::indaas::obs::LogEventBuilder(                                                    \
+        ::indaas::obs::LogSeverity::k##severity, __FILE__, __LINE__, event,            \
+        INDAAS_OBS_CONCAT(indaas_slog_site_, __LINE__).TakeSuppressed())
+
+#endif  // SRC_OBS_LOG_H_

@@ -71,6 +71,18 @@ void Histogram::Record(double value) {
   }
 }
 
+void Histogram::RecordWithExemplar(double value, uint64_t trace_id) {
+  Record(value);
+  if (trace_id == 0) return;
+  if (value < exemplar_peek_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (value >= exemplar_value_) {
+    exemplar_value_ = value;
+    exemplar_trace_id_ = trace_id;
+    exemplar_peek_.store(value, std::memory_order_relaxed);
+  }
+}
+
 Histogram::Snapshot Histogram::Scrape() const {
   Snapshot snap;
   snap.name = name_;
@@ -83,6 +95,11 @@ Histogram::Snapshot Histogram::Scrape() const {
     snap.count += shard.count.load(std::memory_order_relaxed);
     snap.sum += shard.sum.load(std::memory_order_relaxed);
   }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    snap.exemplar_value = exemplar_value_;
+    snap.exemplar_trace_id = exemplar_trace_id_;
+  }
   return snap;
 }
 
@@ -94,6 +111,10 @@ void Histogram::Reset() {
     shard.count.store(0, std::memory_order_relaxed);
     shard.sum.store(0.0, std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplar_value_ = 0.0;
+  exemplar_trace_id_ = 0;
+  exemplar_peek_.store(0.0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

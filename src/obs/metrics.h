@@ -93,12 +93,21 @@ class Histogram {
  public:
   void Record(double value);
 
+  // Record() plus exemplar tracking: remembers the trace id of the largest
+  // value recorded since the last Reset, so a scrape can point an operator
+  // at a concrete worst-case request instead of just a bucket count. The
+  // fast path adds one relaxed atomic load; only new maxima take the lock.
+  // trace_id 0 (no ambient trace) records without exemplar consideration.
+  void RecordWithExemplar(double value, uint64_t trace_id);
+
   struct Snapshot {
     std::string name;
     std::vector<double> bounds;    // upper bounds, ascending
     std::vector<uint64_t> counts;  // bounds.size() + 1 entries (last = overflow)
     uint64_t count = 0;
     double sum = 0.0;
+    double exemplar_value = 0.0;    // largest value with a trace id, 0 = none
+    uint64_t exemplar_trace_id = 0;
   };
   Snapshot Scrape() const;
   void Reset();
@@ -118,6 +127,13 @@ class Histogram {
   std::string name_;
   std::vector<double> bounds_;
   Shard shards_[kMetricShards];
+
+  // Exemplar state: `exemplar_peek_` mirrors the guarded value so the fast
+  // path can reject non-maxima with a single relaxed load.
+  std::atomic<double> exemplar_peek_{0.0};
+  mutable std::mutex exemplar_mu_;
+  double exemplar_value_ = 0.0;
+  uint64_t exemplar_trace_id_ = 0;
 };
 
 // Everything the registry knows at one scrape, in name order.

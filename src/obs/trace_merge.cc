@@ -358,12 +358,32 @@ Result<std::vector<int64_t>> EstimateClockOffsets(const std::vector<ProcessTrace
   // RPC pairs: a client span in file a and the server span it caused in
   // file b bracket the same request, so their midpoints coincide up to half
   // the (asymmetric) network delay.
+  //
+  // Pairing keys must be unique within their file: duplicate span ids (e.g.
+  // the same trace file passed twice, or id reuse across restarts) would
+  // otherwise cross-match every client copy against every server copy and
+  // poison the offset mean. Ambiguous keys are dropped on both sides —
+  // degrading to fewer estimates, never to wrong ones.
+  std::vector<std::map<std::pair<uint64_t, uint64_t>, size_t>> client_keys(n);
+  std::vector<std::map<std::pair<uint64_t, uint64_t>, size_t>> server_keys(n);
+  for (size_t f = 0; f < n; ++f) {
+    for (const MergeEvent& e : traces[f].events) {
+      if (e.name == "svc.client.rpc" && e.trace_id != 0 && e.span_id >= 0) {
+        ++client_keys[f][{e.trace_id, static_cast<uint64_t>(e.span_id) + 1}];
+      } else if (e.name == "svc.rpc" && e.trace_id != 0 && e.remote_parent != 0) {
+        ++server_keys[f][{e.trace_id, e.remote_parent}];
+      }
+    }
+  }
   for (size_t a = 0; a < n; ++a) {
     for (const MergeEvent& client : traces[a].events) {
       if (client.name != "svc.client.rpc" || client.trace_id == 0 || client.span_id < 0) {
         continue;
       }
       uint64_t wire_id = static_cast<uint64_t>(client.span_id) + 1;
+      if (client_keys[a][{client.trace_id, wire_id}] > 1) {
+        continue;  // ambiguous: several client spans claim this identity
+      }
       for (size_t b = 0; b < n; ++b) {
         if (b == a) {
           continue;
@@ -371,6 +391,9 @@ Result<std::vector<int64_t>> EstimateClockOffsets(const std::vector<ProcessTrace
         for (const MergeEvent& server : traces[b].events) {
           if (server.name == "svc.rpc" && server.trace_id == client.trace_id &&
               server.remote_parent == wire_id) {
+            if (server_keys[b][{server.trace_id, server.remote_parent}] > 1) {
+              continue;  // ambiguous: several server spans claim this parent
+            }
             add_estimate(a, b, Mid(client) - Mid(server));
           }
         }

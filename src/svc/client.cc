@@ -124,5 +124,11 @@ Result<HealthStatus> AuditClient::Health() {
   return DecodeHealthStatus(reply.payload);
 }
 
+Result<DebugInfo> AuditClient::GetDebugInfo() {
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
+                          Call(MsgType::kGetDebugInfo, "", MsgType::kDebugInfoReply));
+  return DecodeDebugInfo(reply.payload);
+}
+
 }  // namespace svc
 }  // namespace indaas

@@ -63,6 +63,12 @@ class AuditClient {
   // Asks whether the server is serving (false once it begins draining).
   Result<HealthStatus> Health();
 
+  // Fetches live introspection for `indaas debug`: per-shard and
+  // per-connection state, recent flight-recorder events, slowest RPCs with
+  // their stage breakdowns. Answered even while the server is shedding load
+  // (the reactor intercepts it ahead of admission control).
+  Result<DebugInfo> GetDebugInfo();
+
   // The trace id this client stamps on every request: the calling thread's
   // context at Connect() time if one was installed, else freshly minted.
   uint64_t trace_id() const { return trace_id_; }

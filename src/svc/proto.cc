@@ -64,6 +64,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kStatsReply: return "StatsReply";
     case MsgType::kHealth: return "Health";
     case MsgType::kHealthReply: return "HealthReply";
+    case MsgType::kGetDebugInfo: return "GetDebugInfo";
+    case MsgType::kDebugInfoReply: return "DebugInfoReply";
     case MsgType::kPsopHello: return "PsopHello";
     case MsgType::kPsopDataset: return "PsopDataset";
     case MsgType::kPsopShare: return "PsopShare";
@@ -380,6 +382,8 @@ std::string EncodeServerStats(const ServerStats& stats) {
     }
     writer.U64(h.count);
     writer.F64(h.sum);
+    writer.F64(h.exemplar_value);
+    writer.U64(h.exemplar_trace_id);
   }
   return writer.Take();
 }
@@ -438,6 +442,8 @@ Result<ServerStats> DecodeServerStats(std::string_view payload) {
     }
     INDAAS_ASSIGN_OR_RETURN(h.count, reader.U64());
     INDAAS_ASSIGN_OR_RETURN(h.sum, reader.F64());
+    INDAAS_ASSIGN_OR_RETURN(h.exemplar_value, reader.F64());
+    INDAAS_ASSIGN_OR_RETURN(h.exemplar_trace_id, reader.U64());
     stats.metrics.histograms.push_back(std::move(h));
   }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "ServerStats"));
@@ -458,6 +464,134 @@ Result<HealthStatus> DecodeHealthStatus(std::string_view payload) {
   INDAAS_ASSIGN_OR_RETURN(status.uptime_us, reader.U64());
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "HealthStatus"));
   return status;
+}
+
+// --- Debug introspection ---
+
+std::string EncodeDebugInfo(const DebugInfo& info) {
+  WireWriter writer;
+  writer.U64(info.uptime_us);
+  writer.U8(info.mode);
+  writer.U32(info.reactor_shards);
+  writer.U64(info.inflight_global);
+  writer.U32(static_cast<uint32_t>(info.shards.size()));
+  for (const DebugShard& shard : info.shards) {
+    writer.U32(shard.index);
+    writer.U64(shard.connections);
+    writer.U64(shard.inflight);
+    writer.Bool(shard.has_listener);
+  }
+  writer.U32(static_cast<uint32_t>(info.connections.size()));
+  for (const DebugConnection& conn : info.connections) {
+    writer.U64(conn.id);
+    writer.U32(conn.shard);
+    writer.U64(conn.age_us);
+    writer.U64(conn.in_buffer_bytes);
+    writer.U64(conn.write_buffer_bytes);
+    writer.U64(conn.inflight);
+    writer.U64(conn.oldest_pending_us);
+  }
+  writer.U32(static_cast<uint32_t>(info.events.size()));
+  for (const DebugFlightEvent& event : info.events) {
+    writer.U64(event.t_us);
+    writer.U64(event.trace_id);
+    writer.U64(event.a);
+    writer.U64(event.b);
+    writer.U32(event.tid);
+    writer.U16(event.type);
+    writer.U16(event.code);
+  }
+  writer.U32(static_cast<uint32_t>(info.slowest.size()));
+  for (const DebugSlowRpc& rpc : info.slowest) {
+    writer.U64(rpc.trace_id);
+    writer.U64(rpc.request_id);
+    writer.U16(rpc.rpc_type);
+    writer.U8(rpc.outcome);
+    writer.Bool(rpc.ok);
+    writer.U64(rpc.conn_id);
+    writer.U64(rpc.end_us);
+    writer.F64(rpc.total_s);
+    for (double stage : rpc.stage_s) {
+      writer.F64(stage);
+    }
+  }
+  return writer.Take();
+}
+
+Result<DebugInfo> DecodeDebugInfo(std::string_view payload) {
+  WireReader reader(payload);
+  DebugInfo info;
+  INDAAS_ASSIGN_OR_RETURN(info.uptime_us, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(info.mode, reader.U8());
+  INDAAS_ASSIGN_OR_RETURN(info.reactor_shards, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(info.inflight_global, reader.U64());
+  INDAAS_ASSIGN_OR_RETURN(uint32_t shards, reader.U32());
+  if (shards > kMaxStatsEntries) {
+    return ParseError(StrFormat("DebugInfo: shard count %u exceeds limit", shards));
+  }
+  info.shards.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    DebugShard shard;
+    INDAAS_ASSIGN_OR_RETURN(shard.index, reader.U32());
+    INDAAS_ASSIGN_OR_RETURN(shard.connections, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(shard.inflight, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(shard.has_listener, reader.Bool());
+    info.shards.push_back(shard);
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t connections, reader.U32());
+  if (connections > kMaxStatsEntries) {
+    return ParseError(StrFormat("DebugInfo: connection count %u exceeds limit", connections));
+  }
+  info.connections.reserve(connections);
+  for (uint32_t i = 0; i < connections; ++i) {
+    DebugConnection conn;
+    INDAAS_ASSIGN_OR_RETURN(conn.id, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(conn.shard, reader.U32());
+    INDAAS_ASSIGN_OR_RETURN(conn.age_us, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(conn.in_buffer_bytes, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(conn.write_buffer_bytes, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(conn.inflight, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(conn.oldest_pending_us, reader.U64());
+    info.connections.push_back(conn);
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t events, reader.U32());
+  if (events > kMaxStatsEntries) {
+    return ParseError(StrFormat("DebugInfo: event count %u exceeds limit", events));
+  }
+  info.events.reserve(events);
+  for (uint32_t i = 0; i < events; ++i) {
+    DebugFlightEvent event;
+    INDAAS_ASSIGN_OR_RETURN(event.t_us, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(event.trace_id, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(event.a, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(event.b, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(event.tid, reader.U32());
+    INDAAS_ASSIGN_OR_RETURN(event.type, reader.U16());
+    INDAAS_ASSIGN_OR_RETURN(event.code, reader.U16());
+    info.events.push_back(event);
+  }
+  INDAAS_ASSIGN_OR_RETURN(uint32_t slowest, reader.U32());
+  if (slowest > kMaxStatsEntries) {
+    return ParseError(StrFormat("DebugInfo: slow-rpc count %u exceeds limit", slowest));
+  }
+  info.slowest.reserve(slowest);
+  for (uint32_t i = 0; i < slowest; ++i) {
+    DebugSlowRpc rpc;
+    INDAAS_ASSIGN_OR_RETURN(rpc.trace_id, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(rpc.request_id, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(rpc.rpc_type, reader.U16());
+    INDAAS_ASSIGN_OR_RETURN(rpc.outcome, reader.U8());
+    INDAAS_ASSIGN_OR_RETURN(rpc.ok, reader.Bool());
+    INDAAS_ASSIGN_OR_RETURN(rpc.conn_id, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(rpc.end_us, reader.U64());
+    INDAAS_ASSIGN_OR_RETURN(rpc.total_s, reader.F64());
+    for (double& stage : rpc.stage_s) {
+      INDAAS_ASSIGN_OR_RETURN(stage, reader.F64());
+    }
+    info.slowest.push_back(rpc);
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "DebugInfo"));
+  return info;
 }
 
 // --- P-SOP session payloads ---

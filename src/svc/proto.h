@@ -13,6 +13,7 @@
 //   kPiaRequest    -> kPiaReport      (providers+options -> PiaAuditReport)
 //   kGetStats      -> kStatsReply     (empty -> ServerStats snapshot)
 //   kHealth        -> kHealthReply    (empty -> HealthStatus)
+//   kGetDebugInfo  -> kDebugInfoReply (empty -> DebugInfo introspection)
 //   any request    -> kErrorReply     (Status code + message)
 //
 // The kPsop* types are the socket-backed P-SOP session messages exchanged
@@ -49,6 +50,8 @@ enum class MsgType : uint8_t {
   kStatsReply = 11,
   kHealth = 12,
   kHealthReply = 13,
+  kGetDebugInfo = 14,
+  kDebugInfoReply = 15,
   // PIA peer-to-peer session messages.
   kPsopHello = 16,
   kPsopDataset = 17,
@@ -122,6 +125,69 @@ struct HealthStatus {
 
 std::string EncodeHealthStatus(const HealthStatus& status);
 Result<HealthStatus> DecodeHealthStatus(std::string_view payload);
+
+// --- Debug introspection (kGetDebugInfo -> kDebugInfoReply) ---
+
+// One reactor shard, as seen at gather time.
+struct DebugShard {
+  uint32_t index = 0;
+  uint64_t connections = 0;   // open connections owned by this shard
+  uint64_t inflight = 0;      // requests admitted but not yet replied
+  bool has_listener = false;  // still accepting (false once draining)
+};
+
+// One open connection (reactor mode only; threaded mode reports none).
+struct DebugConnection {
+  uint64_t id = 0;
+  uint32_t shard = 0;
+  uint64_t age_us = 0;                // since accept
+  uint64_t in_buffer_bytes = 0;       // partially-read frame bytes
+  uint64_t write_buffer_bytes = 0;    // reply bytes not yet on the wire
+  uint64_t inflight = 0;              // requests admitted on this connection
+  uint64_t oldest_pending_us = 0;     // age of the oldest unanswered request
+};
+
+// A flight-recorder event on the wire (mirror of obs::FlightEvent).
+struct DebugFlightEvent {
+  uint64_t t_us = 0;
+  uint64_t trace_id = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t tid = 0;
+  uint16_t type = 0;  // obs::FlightEventType
+  uint16_t code = 0;
+};
+
+// One tail-sampled RPC with its stage breakdown (mirror of obs::TailSample;
+// stage order follows obs::RpcStage).
+struct DebugSlowRpc {
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  uint16_t rpc_type = 0;
+  uint8_t outcome = 0;  // obs::TailOutcome
+  bool ok = false;
+  uint64_t conn_id = 0;
+  uint64_t end_us = 0;
+  double total_s = 0;
+  double stage_s[6] = {};  // obs::kRpcStageCount
+};
+
+// Everything `indaas debug --remote` renders: per-shard and per-connection
+// introspection, recent flight-recorder events, and the slowest retained
+// RPCs. Collected live by fanning a gather across reactor shards.
+struct DebugInfo {
+  uint64_t uptime_us = 0;
+  uint8_t mode = 0;            // ServerMode as its underlying value
+  uint32_t reactor_shards = 0;
+  uint64_t inflight_global = 0;
+  std::vector<DebugShard> shards;
+  std::vector<DebugConnection> connections;
+  std::vector<DebugFlightEvent> events;
+  std::vector<DebugSlowRpc> slowest;
+};
+
+std::string EncodeDebugInfo(const DebugInfo& info);
+Result<DebugInfo> DecodeDebugInfo(std::string_view payload);
 
 // --- P-SOP session payloads ---
 

@@ -2,11 +2,15 @@
 
 #include <sys/epoll.h>
 
+#include <algorithm>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/event_loop.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
@@ -52,6 +56,60 @@ std::vector<double> ExponentialLatencyBounds() {
 obs::Histogram* RpcSeconds(uint8_t type) {
   return obs::MetricsRegistry::Global().GetHistogram(
       std::string("svc.rpc_seconds.") + RpcName(type), ExponentialLatencyBounds());
+}
+
+// Stage histograms resolve finer than the per-RPC ones: stages bottom out
+// around a microsecond (decode/encode of small payloads), so the buckets
+// start three decades lower.
+std::vector<double> StageLatencyBounds() {
+  std::vector<double> bounds;
+  for (double bound = 0.000001; bound < 8.0; bound *= 2.0) {
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+// svc.stage.<read|decode|queue|compute|encode|write>_seconds — the
+// per-stage latency decomposition of every finished RPC, exemplared with
+// the trace id of the worst request seen.
+obs::Histogram* StageSeconds(int stage) {
+  static obs::Histogram* histograms[obs::kRpcStageCount] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < obs::kRpcStageCount; ++i) {
+      histograms[i] = obs::MetricsRegistry::Global().GetHistogram(
+          std::string("svc.stage.") + obs::RpcStageName(static_cast<obs::RpcStage>(i)) +
+              "_seconds",
+          StageLatencyBounds());
+    }
+  });
+  return histograms[stage];
+}
+
+// Dispatch→worker-pickup delay under its ROADMAP name: this is the signal
+// adaptive shed thresholds will key on, so it gets a dedicated series in
+// addition to svc.stage.queue_seconds.
+obs::Histogram* QueueDelaySeconds() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "svc.queue_delay_seconds", StageLatencyBounds());
+  return histogram;
+}
+
+// Adds `timer`'s elapsed time to one stage; tolerates a null decomposition
+// so the handler works for callers that don't measure stages.
+void AddStage(obs::RpcStageSeconds* stages, obs::RpcStage stage, const WallTimer& timer) {
+  if (stages != nullptr) {
+    stages->Add(stage, timer.ElapsedSeconds());
+  }
+}
+
+// Records a finished RPC's full decomposition into the stage histograms.
+void RecordStages(const obs::RpcStageSeconds& stages, uint64_t trace_id) {
+  for (int i = 0; i < obs::kRpcStageCount; ++i) {
+    StageSeconds(i)->RecordWithExemplar(stages.s[i], trace_id);
+  }
+  QueueDelaySeconds()->RecordWithExemplar(
+      stages.s[static_cast<int>(obs::RpcStage::kQueue)], trace_id);
 }
 
 obs::Counter* ConnectionsAccepted() {
@@ -125,6 +183,28 @@ class GaugeScope {
 // worker completions entering through EventLoop::Post and the global
 // in-flight counter, which is atomic.
 struct AuditServer::Reactor {
+  // Everything needed to finish accounting for one RPC once its reply
+  // leaves the socket: identity for the flight recorder and tail sampler,
+  // plus the stage decomposition accumulated so far (read/decode/queue/
+  // compute/encode — write is added at flush time).
+  struct RpcFinal {
+    uint16_t rpc_type = 0;
+    uint8_t reply_type = 0;
+    uint64_t request_id = 0;
+    uint64_t trace_id = 0;
+    uint64_t conn_id = 0;
+    uint64_t begin_us = 0;  // first buffered byte of the request frame
+    obs::RpcStageSeconds stages;
+  };
+
+  // A reply in the connection's write buffer, finalized when the absolute
+  // out-stream offset `flush_end` has gone to the kernel.
+  struct ReplyMarker {
+    uint64_t flush_end = 0;
+    uint64_t enqueue_us = 0;
+    RpcFinal final;
+  };
+
   struct Conn {
     net::Socket socket;
     std::string in;    // received, not yet parsed
@@ -134,6 +214,16 @@ struct AuditServer::Reactor {
     bool want_write = false;   // EPOLLOUT currently armed
     uint64_t deadline_timer = 0;  // nonzero while a partial-frame timer runs
     bool closed = false;
+
+    // Debug/stage-decomposition state (loop-thread-only, like the rest).
+    uint64_t id = 0;              // process-wide connection id
+    uint64_t established_us = 0;  // accept time, trace-epoch micros
+    uint64_t in_since_us = 0;     // when the current partial frame started
+    uint64_t out_base = 0;        // absolute offset of out[0] in the stream
+    std::deque<ReplyMarker> markers;  // in out-stream order
+    // (request id, admitted time) of requests in the worker pool, for the
+    // oldest-pending-request introspection.
+    std::vector<std::pair<uint64_t, uint64_t>> pending;
   };
 
   struct Shard {
@@ -141,6 +231,15 @@ struct AuditServer::Reactor {
     net::Socket listener;  // invalid on non-zero shards in fallback mode
     std::thread thread;
     std::unordered_map<int, std::shared_ptr<Conn>> conns;  // keyed by fd
+    size_t index = 0;
+  };
+
+  // One in-flight kGetDebugInfo fan-out across shards. The last shard to
+  // report posts the encoded reply back to the origin loop.
+  struct DebugGather {
+    std::mutex mu;
+    DebugInfo info;
+    size_t remaining = 0;
   };
 
   explicit Reactor(AuditServer* server) : server(server) {}
@@ -168,6 +267,7 @@ struct AuditServer::Reactor {
 
     for (size_t i = 0; i < num_shards; ++i) {
       auto shard = std::make_unique<Shard>();
+      shard->index = i;
       if (!shard->loop.ok()) {
         return InternalError("reactor shard setup failed (epoll unavailable)");
       }
@@ -180,9 +280,10 @@ struct AuditServer::Reactor {
           // Lost the SO_REUSEPORT race (or support) mid-way: fall back to
           // shard 0 accepting for everyone. Already-bound siblings keep
           // their listeners; un-bound ones just run connections.
-          INDAAS_LOG(Warning) << "shard " << i
-                              << " listener unavailable, falling back to single acceptor: "
-                              << sibling.status();
+          INDAAS_SLOG(Warn, "svc.shard_listener_unavailable")
+              .Kv("shard", i)
+              .Kv("fallback", "single_acceptor")
+              .Kv("error", sibling.status().ToString());
           sharded_accept = false;
         } else {
           shard->listener = std::move(*sibling);
@@ -251,7 +352,9 @@ struct AuditServer::Reactor {
         // kDeadlineExceeded = accept queue drained; level-triggered epoll
         // will call us again for the next arrival.
         if (accepted.status().code() != StatusCode::kDeadlineExceeded) {
-          INDAAS_LOG(Warning) << "accept failed: " << accepted.status();
+          INDAAS_SLOG_EVERY(Warn, "svc.accept_failed", 1.0)
+              .Kv("shard", shard->index)
+              .Kv("error", accepted.status().ToString());
         }
         return;
       }
@@ -276,15 +379,21 @@ struct AuditServer::Reactor {
   void AdoptSocket(Shard* shard, net::Socket socket) {
     auto conn = std::make_shared<Conn>();
     conn->socket = std::move(socket);
+    conn->id = server->next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    conn->established_us = obs::TraceNowMicros();
     int fd = conn->socket.fd();
     Status added = shard->loop.Add(
         fd, EPOLLIN, [this, shard, conn](uint32_t events) { OnConnEvent(shard, conn, events); });
     if (!added.ok()) {
-      INDAAS_LOG(Warning) << "connection registration failed: " << added;
+      INDAAS_SLOG(Warn, "svc.conn_register_failed")
+          .Kv("conn", conn->id)
+          .Kv("error", added.ToString());
       return;  // Conn and its socket die here
     }
     shard->conns[fd] = conn;
     ConnectionsActive()->Add(1);
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kAccept, conn->id,
+                                         shard->index, 0, 0);
   }
 
   void OnConnEvent(Shard* shard, const std::shared_ptr<Conn>& conn, uint32_t events) {
@@ -322,6 +431,9 @@ struct AuditServer::Reactor {
       if (*received == 0) {
         break;  // would block: receive queue drained
       }
+      if (conn->in.empty()) {
+        conn->in_since_us = obs::TraceNowMicros();  // a new frame starts here
+      }
       conn->in.append(buffer, *received);
       if (*received < sizeof(buffer)) {
         break;  // short read — likely drained; epoll re-arms if not
@@ -338,7 +450,9 @@ struct AuditServer::Reactor {
       Result<net::FrameHeader> header =
           net::DecodeFrameHeader(view.substr(pos, net::kFrameHeaderBytes), limits);
       if (!header.ok()) {
-        INDAAS_LOG(Warning) << "closing connection: " << header.status();
+        INDAAS_SLOG(Warn, "svc.frame_rejected")
+            .Kv("conn", conn->id)
+            .Kv("error", header.status().ToString());
         FramesRejected()->Increment();
         CloseConn(shard, conn, /*count_drop=*/true);
         return;
@@ -364,7 +478,9 @@ struct AuditServer::Reactor {
         Result<uint64_t> id =
             net::DecodeRequestId(view.substr(offset, net::kRequestIdBytes));
         if (!id.ok()) {
-          INDAAS_LOG(Warning) << "closing connection: " << id.status();
+          INDAAS_SLOG(Warn, "svc.frame_rejected")
+              .Kv("conn", conn->id)
+              .Kv("error", id.status().ToString());
           FramesRejected()->Increment();
           CloseConn(shard, conn, /*count_drop=*/true);
           return;
@@ -375,7 +491,9 @@ struct AuditServer::Reactor {
       frame.payload.assign(view.substr(offset, header->payload_size));
       pos = offset + header->payload_size;
       FramesRecv()->Increment();
-      DispatchFrame(shard, conn, std::move(frame));
+      const uint64_t frame_start_us = conn->in_since_us;
+      conn->in_since_us = obs::TraceNowMicros();  // remaining bytes = next frame
+      DispatchFrame(shard, conn, std::move(frame), frame_start_us);
       if (conn->closed) {
         return;
       }
@@ -389,9 +507,34 @@ struct AuditServer::Reactor {
     }
   }
 
-  void DispatchFrame(Shard* shard, const std::shared_ptr<Conn>& conn, net::Frame frame) {
+  void DispatchFrame(Shard* shard, const std::shared_ptr<Conn>& conn, net::Frame frame,
+                     uint64_t frame_start_us) {
     MsgType type = static_cast<MsgType>(frame.type);
     uint64_t request_id = frame.request_id;
+    const uint64_t now_us = obs::TraceNowMicros();
+    const double read_s =
+        frame_start_us != 0 && now_us > frame_start_us ? (now_us - frame_start_us) / 1e6 : 0;
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kRpcBegin, request_id,
+                                         conn->id, frame.type, frame.trace.trace_id);
+
+    // Seeded with everything the flush-time finalizer needs; each path
+    // below fills in its stages before handing it to EnqueueReplyTracked.
+    RpcFinal final;
+    final.rpc_type = frame.type;
+    final.request_id = request_id;
+    final.trace_id = frame.trace.trace_id;
+    final.conn_id = conn->id;
+    final.begin_us = frame_start_us != 0 ? frame_start_us : now_us;
+    final.stages.Add(obs::RpcStage::kRead, read_s);
+
+    if (type == MsgType::kGetDebugInfo) {
+      // Introspection must answer even when the server is shedding —
+      // debugging an overloaded server is this RPC's whole purpose — so it
+      // bypasses admission control and fans out across the shards.
+      StartDebugGather(shard, conn, request_id);
+      return;
+    }
+
     if (type == MsgType::kPing || type == MsgType::kHealth) {
       // Trivial RPCs answer inline on the loop: no locks, no allocation
       // worth a pool round-trip, and they stay responsive under audit load.
@@ -401,12 +544,15 @@ struct AuditServer::Reactor {
       {
         GaugeScope request_scope(RequestsActive(), 1);
         obs::ScopedTraceContext request_trace(frame.trace);
-        server->HandleRequest(frame.type, frame.payload, &reply_type, &reply_payload);
+        server->HandleRequest(frame.type, frame.payload, &reply_type, &reply_payload,
+                              &final.stages);
       }
       double elapsed = timer.ElapsedSeconds();
       RpcLatency()->Record(elapsed);
       RpcSeconds(frame.type)->Record(elapsed);
-      EnqueueReply(shard, conn, net::EncodeFrame(reply_type, reply_payload, {}, request_id));
+      final.reply_type = reply_type;
+      EnqueueReplyTracked(shard, conn,
+                          net::EncodeFrame(reply_type, reply_payload, {}, request_id), final);
       return;
     }
 
@@ -415,6 +561,23 @@ struct AuditServer::Reactor {
         conn->inflight >= opts.max_inflight_per_connection ||
         inflight_global.load(std::memory_order_relaxed) >= opts.max_inflight_global) {
       RequestsShed()->Increment();
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kShed, request_id,
+                                           conn->id, frame.type, frame.trace.trace_id);
+      INDAAS_SLOG_EVERY(Warn, "svc.request_shed", 1.0)
+          .Kv("conn", conn->id)
+          .Kv("rpc", RpcName(frame.type))
+          .Kv("inflight_conn", conn->inflight)
+          .Kv("inflight_global", inflight_global.load(std::memory_order_relaxed));
+      obs::TailSample shed_sample;
+      shed_sample.trace_id = frame.trace.trace_id;
+      shed_sample.request_id = request_id;
+      shed_sample.rpc_type = frame.type;
+      shed_sample.outcome = obs::TailOutcome::kShed;
+      shed_sample.conn_id = conn->id;
+      shed_sample.end_us = now_us;
+      shed_sample.total_s = read_s;
+      shed_sample.stages = final.stages;
+      obs::TailSampler::Global().Offer(shed_sample);
       Status overloaded = UnavailableError("server overloaded: in-flight request cap reached");
       EnqueueReply(shard, conn,
                    net::EncodeFrame(static_cast<uint8_t>(MsgType::kErrorReply),
@@ -423,13 +586,20 @@ struct AuditServer::Reactor {
     }
 
     conn->inflight++;
+    conn->pending.emplace_back(request_id, now_us);
     inflight_global.fetch_add(1, std::memory_order_relaxed);
     // shared_ptr wrappers: ThreadPool tasks are std::function and must be
     // copyable; the payload can be megabytes, so no by-value copies.
     auto payload = std::make_shared<std::string>(std::move(frame.payload));
     uint8_t raw_type = frame.type;
     obs::TraceContext trace = frame.trace;
-    server->workers_->Submit([this, shard, conn, raw_type, request_id, payload, trace] {
+    const uint64_t dispatch_us = now_us;
+    server->workers_->Submit([this, shard, conn, raw_type, request_id, payload, trace,
+                              dispatch_us, final]() mutable {
+      const uint64_t picked_us = obs::TraceNowMicros();
+      if (picked_us > dispatch_us) {
+        final.stages.Add(obs::RpcStage::kQueue, (picked_us - dispatch_us) / 1e6);
+      }
       uint8_t reply_type = 0;
       std::string reply_payload;
       WallTimer timer;
@@ -439,25 +609,35 @@ struct AuditServer::Reactor {
         // request; an invalid context deliberately clears whatever the
         // previous request left on this pool thread.
         obs::ScopedTraceContext request_trace(trace);
-        server->HandleRequest(raw_type, *payload, &reply_type, &reply_payload);
+        server->HandleRequest(raw_type, *payload, &reply_type, &reply_payload,
+                              &final.stages);
       }
       double elapsed = timer.ElapsedSeconds();
       RpcLatency()->Record(elapsed);
       RpcSeconds(raw_type)->Record(elapsed);
+      final.reply_type = reply_type;
       // Replies never carry a trace extension (legacy clients expect plain
       // reply frames) and echo the request id so the client can pair them.
+      WallTimer frame_encode_timer;
       auto reply =
           std::make_shared<std::string>(net::EncodeFrame(reply_type, reply_payload, {},
                                                          request_id));
-      shard->loop.Post([this, shard, conn, reply] {
+      final.stages.Add(obs::RpcStage::kEncode, frame_encode_timer.ElapsedSeconds());
+      shard->loop.Post([this, shard, conn, reply, final] {
         inflight_global.fetch_sub(1, std::memory_order_relaxed);
         if (conn->inflight > 0) {
           conn->inflight--;
         }
+        for (auto it = conn->pending.begin(); it != conn->pending.end(); ++it) {
+          if (it->first == final.request_id) {
+            conn->pending.erase(it);
+            break;
+          }
+        }
         if (conn->closed) {
           return;
         }
-        EnqueueReply(shard, conn, std::move(*reply));
+        EnqueueReplyTracked(shard, conn, std::move(*reply), final);
       });
     });
   }
@@ -470,12 +650,58 @@ struct AuditServer::Reactor {
     FlushWrites(shard, conn);
   }
 
+  // EnqueueReply plus a marker at the reply's end offset: when FlushWrites
+  // pushes the last byte to the kernel, the RPC's write stage closes and
+  // its full decomposition is recorded.
+  void EnqueueReplyTracked(Shard* shard, const std::shared_ptr<Conn>& conn, std::string bytes,
+                           const RpcFinal& final) {
+    if (conn->closed) {
+      return;
+    }
+    conn->out.append(bytes);
+    ReplyMarker marker;
+    marker.flush_end = conn->out_base + conn->out.size();
+    marker.enqueue_us = obs::TraceNowMicros();
+    marker.final = final;
+    conn->markers.push_back(std::move(marker));
+    FlushWrites(shard, conn);
+  }
+
+  // Closes the books on one RPC: write stage, stage histograms with the
+  // trace id as exemplar, flight-recorder end event, tail-sampler offer.
+  void FinalizeRpc(const ReplyMarker& marker, uint64_t now_us) {
+    RpcFinal final = marker.final;
+    if (now_us > marker.enqueue_us) {
+      final.stages.Add(obs::RpcStage::kWrite, (now_us - marker.enqueue_us) / 1e6);
+    }
+    RecordStages(final.stages, final.trace_id);
+    const double total_s =
+        now_us > final.begin_us ? (now_us - final.begin_us) / 1e6 : final.stages.total();
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kRpcEnd, final.request_id,
+                                         static_cast<uint64_t>(total_s * 1e6),
+                                         final.rpc_type, final.trace_id);
+    const bool errored = final.reply_type == static_cast<uint8_t>(MsgType::kErrorReply);
+    obs::TailSample sample;
+    sample.trace_id = final.trace_id;
+    sample.request_id = final.request_id;
+    sample.rpc_type = final.rpc_type;
+    sample.outcome = errored ? obs::TailOutcome::kError : obs::TailOutcome::kSlow;
+    sample.ok = !errored;
+    sample.conn_id = final.conn_id;
+    sample.end_us = now_us;
+    sample.total_s = total_s;
+    sample.stages = final.stages;
+    obs::TailSampler::Global().Offer(sample);
+  }
+
   void FlushWrites(Shard* shard, const std::shared_ptr<Conn>& conn) {
     while (conn->out_pos < conn->out.size()) {
       Result<size_t> sent =
           conn->socket.SendSome(std::string_view(conn->out).substr(conn->out_pos));
       if (!sent.ok()) {
-        INDAAS_LOG(Warning) << "reply failed: " << sent.status();
+        INDAAS_SLOG(Warn, "svc.reply_failed")
+            .Kv("conn", conn->id)
+            .Kv("error", sent.status().ToString());
         CloseConn(shard, conn, /*count_drop=*/true);
         return;
       }
@@ -484,7 +710,17 @@ struct AuditServer::Reactor {
       }
       conn->out_pos += *sent;
     }
+    // Finalize every RPC whose reply is now fully in the kernel.
+    const uint64_t flushed_abs = conn->out_base + conn->out_pos;
+    if (!conn->markers.empty() && conn->markers.front().flush_end <= flushed_abs) {
+      const uint64_t now_us = obs::TraceNowMicros();
+      while (!conn->markers.empty() && conn->markers.front().flush_end <= flushed_abs) {
+        FinalizeRpc(conn->markers.front(), now_us);
+        conn->markers.pop_front();
+      }
+    }
     if (conn->out_pos == conn->out.size()) {
+      conn->out_base += conn->out.size();
       conn->out.clear();
       conn->out_pos = 0;
       if (conn->want_write) {
@@ -497,11 +733,15 @@ struct AuditServer::Reactor {
     // slow-reader cap — a peer that reads slower than it asks gets dropped
     // instead of growing an unbounded buffer server-side.
     conn->out.erase(0, conn->out_pos);
+    conn->out_base += conn->out_pos;
     conn->out_pos = 0;
     if (conn->out.size() > server->options_.max_write_buffer_bytes) {
       SlowReaderDrops()->Increment();
-      INDAAS_LOG(Warning) << "dropping slow reader (" << conn->out.size()
-                          << " bytes unsent)";
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kSlowReaderDrop, conn->id,
+                                           conn->out.size(), 0, 0);
+      INDAAS_SLOG_EVERY(Warn, "svc.slow_reader_drop", 1.0)
+          .Kv("conn", conn->id)
+          .Kv("unsent_bytes", conn->out.size());
       CloseConn(shard, conn, /*count_drop=*/true);
       return;
     }
@@ -521,8 +761,13 @@ struct AuditServer::Reactor {
           if (conn->closed) {
             return;
           }
-          INDAAS_LOG(Warning) << "dropping connection stalled mid-frame ("
-                              << conn->in.size() << " bytes buffered)";
+          obs::FlightRecorder::Global().Record(
+              obs::FlightEventType::kReadDeadline, conn->id,
+              static_cast<uint64_t>(server->options_.read_deadline_ms), 0, 0);
+          INDAAS_SLOG(Warn, "svc.read_deadline_drop")
+              .Kv("conn", conn->id)
+              .Kv("buffered_bytes", conn->in.size())
+              .Kv("deadline_ms", server->options_.read_deadline_ms);
           CloseConn(shard, conn, /*count_drop=*/true);
         });
   }
@@ -542,12 +787,84 @@ struct AuditServer::Reactor {
     if (count_drop) {
       ConnectionsDropped()->Increment();
     }
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kConnClose, conn->id,
+                                         conn->out.size() - conn->out_pos, 0, 0);
+    conn->markers.clear();  // replies that never reached the wire: no write stage
     DisarmReadDeadline(shard, conn);
     int fd = conn->socket.fd();
     shard->loop.Remove(fd);
     shard->conns.erase(fd);
     conn->socket.Close();
     ConnectionsActive()->Add(-1);
+  }
+
+  // kGetDebugInfo: collect per-connection detail on every shard's own loop
+  // thread (Conn state is loop-thread-only), merge under the gather lock,
+  // and have the last shard post the encoded reply back to the origin.
+  void StartDebugGather(Shard* origin, const std::shared_ptr<Conn>& conn,
+                        uint64_t request_id) {
+    auto gather = std::make_shared<DebugGather>();
+    server->FillDebugCommon(&gather->info);
+    gather->info.reactor_shards = static_cast<uint32_t>(shards.size());
+    gather->info.inflight_global = inflight_global.load(std::memory_order_relaxed);
+    gather->remaining = shards.size();
+    for (auto& shard_owner : shards) {
+      Shard* shard = shard_owner.get();
+      auto collect = [this, shard, gather, origin, conn, request_id] {
+        DebugShard dshard;
+        dshard.index = static_cast<uint32_t>(shard->index);
+        dshard.has_listener = shard->listener.valid();
+        std::vector<DebugConnection> dconns;
+        const uint64_t now_us = obs::TraceNowMicros();
+        for (const auto& [fd, c] : shard->conns) {
+          dshard.connections++;
+          dshard.inflight += c->inflight;
+          DebugConnection dc;
+          dc.id = c->id;
+          dc.shard = static_cast<uint32_t>(shard->index);
+          dc.age_us = now_us > c->established_us ? now_us - c->established_us : 0;
+          dc.in_buffer_bytes = c->in.size();
+          dc.write_buffer_bytes = c->out.size() - c->out_pos;
+          dc.inflight = c->inflight;
+          for (const auto& [id, admitted_us] : c->pending) {
+            if (now_us > admitted_us) {
+              dc.oldest_pending_us = std::max(dc.oldest_pending_us, now_us - admitted_us);
+            }
+          }
+          dconns.push_back(dc);
+        }
+        bool last = false;
+        {
+          std::lock_guard<std::mutex> lock(gather->mu);
+          gather->info.shards.push_back(dshard);
+          gather->info.connections.insert(gather->info.connections.end(), dconns.begin(),
+                                          dconns.end());
+          last = --gather->remaining == 0;
+        }
+        if (!last) {
+          return;
+        }
+        origin->loop.Post([this, origin, conn, request_id, gather] {
+          if (conn->closed) {
+            return;
+          }
+          std::sort(gather->info.shards.begin(), gather->info.shards.end(),
+                    [](const DebugShard& x, const DebugShard& y) { return x.index < y.index; });
+          std::sort(gather->info.connections.begin(), gather->info.connections.end(),
+                    [](const DebugConnection& x, const DebugConnection& y) {
+                      return x.id < y.id;
+                    });
+          EnqueueReply(origin, conn,
+                       net::EncodeFrame(static_cast<uint8_t>(MsgType::kDebugInfoReply),
+                                        EncodeDebugInfo(gather->info), {}, request_id));
+        });
+      };
+      if (shard == origin) {
+        collect();  // already on this shard's loop thread
+      } else {
+        shard->loop.Post(collect);
+      }
+    }
   }
 };
 
@@ -559,6 +876,7 @@ Status AuditServer::Start() {
   if (running_.load()) {
     return FailedPreconditionError("AuditServer already started");
   }
+  obs::TailSampler::Global().Configure(options_.slow_rpc_threshold_s, options_.tail_samples);
   return options_.mode == ServerMode::kReactor ? StartReactor() : StartThreaded();
 }
 
@@ -576,10 +894,12 @@ Status AuditServer::StartReactor() {
     workers_.reset();
     return started;
   }
-  INDAAS_LOG(Info) << "AuditServer (reactor) listening on port " << port_ << " ("
-                   << reactor_->shards.size() << " shards, " << workers_->num_threads()
-                   << " workers"
-                   << (reactor_->sharded_accept ? ")" : ", single acceptor)");
+  INDAAS_SLOG(Info, "svc.server_started")
+      .Kv("mode", "reactor")
+      .Kv("port", port_)
+      .Kv("shards", reactor_->shards.size())
+      .Kv("workers", workers_->num_threads())
+      .Kv("sharded_accept", reactor_->sharded_accept);
   return Status::Ok();
 }
 
@@ -591,8 +911,10 @@ Status AuditServer::StartThreaded() {
   serving_.store(true, std::memory_order_relaxed);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
-  INDAAS_LOG(Info) << "AuditServer listening on port " << port_ << " ("
-                   << workers_->num_threads() << " workers)";
+  INDAAS_SLOG(Info, "svc.server_started")
+      .Kv("mode", "threaded")
+      .Kv("port", port_)
+      .Kv("workers", workers_->num_threads());
   return Status::Ok();
 }
 
@@ -631,7 +953,8 @@ void AuditServer::AcceptLoop() {
     if (!accepted.ok()) {
       // Timeout is the idle heartbeat; anything else is logged and survived.
       if (accepted.status().code() != StatusCode::kDeadlineExceeded) {
-        INDAAS_LOG(Warning) << "accept failed: " << accepted.status();
+        INDAAS_SLOG_EVERY(Warn, "svc.accept_failed", 1.0)
+            .Kv("error", accepted.status().ToString());
       }
       continue;
     }
@@ -645,6 +968,8 @@ void AuditServer::AcceptLoop() {
 
 void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
   GaugeScope connection_scope(ConnectionsActive(), 1);
+  const uint64_t conn_id = next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kAccept, conn_id, 0, 0, 0);
   while (running_.load(std::memory_order_relaxed)) {
     // Idle wait in short slices so Stop() is never blocked on a quiet
     // keep-alive connection.
@@ -655,16 +980,24 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
     if (!readable.ok()) {
       return;
     }
+    WallTimer read_timer;
     Result<net::Frame> frame = net::ReadFrame(*socket, options_.limits, options_.io_timeout_ms);
     if (!frame.ok()) {
       // A clean close between requests is the normal end of a session;
       // anything else (framing violation, mid-frame timeout) is a drop.
       if (frame.status().code() != StatusCode::kUnavailable) {
-        INDAAS_LOG(Warning) << "closing connection: " << frame.status();
+        INDAAS_SLOG(Warn, "svc.conn_dropped")
+            .Kv("conn", conn_id)
+            .Kv("error", frame.status().ToString());
         ConnectionsDropped()->Increment();
       }
       return;
     }
+    const uint64_t begin_us = obs::TraceNowMicros();
+    obs::RpcStageSeconds stages;
+    stages.Add(obs::RpcStage::kRead, read_timer.ElapsedSeconds());
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kRpcBegin, frame->request_id,
+                                         conn_id, frame->type, frame->trace.trace_id);
     uint8_t reply_type = 0;
     std::string reply_payload;
     WallTimer timer;
@@ -674,25 +1007,83 @@ void AuditServer::ServeConnection(std::shared_ptr<net::Socket> socket) {
       // installing an invalid context for traceless frames deliberately
       // clears whatever the previous request left on this pool thread.
       obs::ScopedTraceContext request_trace(frame->trace);
-      HandleRequest(frame->type, frame->payload, &reply_type, &reply_payload);
+      HandleRequest(frame->type, frame->payload, &reply_type, &reply_payload, &stages);
     }
     double elapsed = timer.ElapsedSeconds();
     RpcLatency()->Record(elapsed);
     RpcSeconds(frame->type)->Record(elapsed);
     // Echo the request id (if any) so pipelined clients work against both
     // server modes; plain requests get byte-identical plain replies.
+    WallTimer write_timer;
     if (Status s = net::WriteFrame(*socket, reply_type, reply_payload, options_.io_timeout_ms,
                                    {}, frame->request_id);
         !s.ok()) {
-      INDAAS_LOG(Warning) << "reply failed: " << s;
+      INDAAS_SLOG(Warn, "svc.reply_failed")
+          .Kv("conn", conn_id)
+          .Kv("error", s.ToString());
       ConnectionsDropped()->Increment();
       return;
     }
+    stages.Add(obs::RpcStage::kWrite, write_timer.ElapsedSeconds());
+    const uint64_t end_us = obs::TraceNowMicros();
+    RecordStages(stages, frame->trace.trace_id);
+    const double total_s = stages.s[static_cast<int>(obs::RpcStage::kRead)] + elapsed +
+                           stages.s[static_cast<int>(obs::RpcStage::kWrite)];
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kRpcEnd, frame->request_id,
+                                         static_cast<uint64_t>(total_s * 1e6), frame->type,
+                                         frame->trace.trace_id);
+    const bool errored = reply_type == static_cast<uint8_t>(MsgType::kErrorReply);
+    obs::TailSample sample;
+    sample.trace_id = frame->trace.trace_id;
+    sample.request_id = frame->request_id;
+    sample.rpc_type = frame->type;
+    sample.outcome = errored ? obs::TailOutcome::kError : obs::TailOutcome::kSlow;
+    sample.ok = !errored;
+    sample.conn_id = conn_id;
+    sample.end_us = end_us;
+    sample.total_s = total_s;
+    sample.stages = stages;
+    obs::TailSampler::Global().Offer(sample);
+    (void)begin_us;
+  }
+}
+
+void AuditServer::FillDebugCommon(DebugInfo* info) {
+  info->uptime_us = obs::TraceNowMicros() - start_us_.load(std::memory_order_relaxed);
+  info->mode = static_cast<uint8_t>(options_.mode);
+  std::vector<obs::FlightEvent> events = obs::FlightRecorder::Global().Snapshot();
+  constexpr size_t kMaxEvents = 128;
+  size_t first = events.size() > kMaxEvents ? events.size() - kMaxEvents : 0;
+  info->events.reserve(events.size() - first);
+  for (size_t i = first; i < events.size(); ++i) {
+    const obs::FlightEvent& e = events[i];
+    DebugFlightEvent out;
+    out.t_us = e.t_us;
+    out.trace_id = e.trace_id;
+    out.a = e.a;
+    out.b = e.b;
+    out.tid = e.tid;
+    out.type = static_cast<uint16_t>(e.type);
+    out.code = e.code;
+    info->events.push_back(out);
+  }
+  for (const obs::TailSample& s : obs::TailSampler::Global().TopSlowest(32)) {
+    DebugSlowRpc out;
+    out.trace_id = s.trace_id;
+    out.request_id = s.request_id;
+    out.rpc_type = s.rpc_type;
+    out.outcome = static_cast<uint8_t>(s.outcome);
+    out.ok = s.ok;
+    out.conn_id = s.conn_id;
+    out.end_us = s.end_us;
+    out.total_s = s.total_s;
+    for (int i = 0; i < obs::kRpcStageCount; ++i) out.stage_s[i] = s.stages.s[i];
+    info->slowest.push_back(out);
   }
 }
 
 void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_t* reply_type,
-                                std::string* reply_payload) {
+                                std::string* reply_payload, obs::RpcStageSeconds* stages) {
   static obs::Counter* errors = obs::MetricsRegistry::Global().GetCounter("svc.rpc_errors");
   obs::MetricsRegistry::Global()
       .GetCounter(std::string("svc.rpcs.") + RpcName(type))
@@ -708,6 +1099,7 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
       return;
     }
     case MsgType::kGetStats: {
+      WallTimer compute_timer;
       ServerStats stats;
       stats.uptime_us =
           obs::TraceNowMicros() - start_us_.load(std::memory_order_relaxed);
@@ -718,8 +1110,11 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
                               agent_.depdb().SoftwareCount();
       }
       stats.metrics = obs::MetricsRegistry::Global().Snapshot();
+      AddStage(stages, obs::RpcStage::kCompute, compute_timer);
+      WallTimer encode_timer;
       *reply_type = static_cast<uint8_t>(MsgType::kStatsReply);
       *reply_payload = EncodeServerStats(stats);
+      AddStage(stages, obs::RpcStage::kEncode, encode_timer);
       return;
     }
     case MsgType::kHealth: {
@@ -731,7 +1126,22 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
       *reply_payload = EncodeHealthStatus(health);
       return;
     }
+    case MsgType::kGetDebugInfo: {
+      // Threaded-mode answer: no per-shard/per-connection detail (the
+      // reactor intercepts this type before admission control and runs the
+      // cross-shard gather instead of reaching here).
+      WallTimer compute_timer;
+      DebugInfo info;
+      FillDebugCommon(&info);
+      AddStage(stages, obs::RpcStage::kCompute, compute_timer);
+      WallTimer encode_timer;
+      *reply_type = static_cast<uint8_t>(MsgType::kDebugInfoReply);
+      *reply_payload = EncodeDebugInfo(info);
+      AddStage(stages, obs::RpcStage::kEncode, encode_timer);
+      return;
+    }
     case MsgType::kImportDepDb: {
+      WallTimer compute_timer;
       std::unique_lock<std::shared_mutex> lock(agent_mu_);
       error = agent_.depdb().ImportText(payload);
       if (error.ok()) {
@@ -739,20 +1149,30 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
         ack.network = agent_.depdb().NetworkCount();
         ack.hardware = agent_.depdb().HardwareCount();
         ack.software = agent_.depdb().SoftwareCount();
+        AddStage(stages, obs::RpcStage::kCompute, compute_timer);
+        WallTimer encode_timer;
         *reply_type = static_cast<uint8_t>(MsgType::kImportAck);
         *reply_payload = EncodeImportAck(ack);
+        AddStage(stages, obs::RpcStage::kEncode, encode_timer);
         return;
       }
+      AddStage(stages, obs::RpcStage::kCompute, compute_timer);
       break;
     }
     case MsgType::kAuditRequest: {
+      WallTimer decode_timer;
       Result<AuditSpecification> spec = DecodeAuditSpecification(payload);
+      AddStage(stages, obs::RpcStage::kDecode, decode_timer);
       if (spec.ok()) {
+        WallTimer compute_timer;
         std::shared_lock<std::shared_mutex> lock(agent_mu_);
         Result<SiaAuditReport> report = agent_.AuditStructural(*spec);
+        AddStage(stages, obs::RpcStage::kCompute, compute_timer);
         if (report.ok()) {
+          WallTimer encode_timer;
           *reply_type = static_cast<uint8_t>(MsgType::kAuditReport);
           *reply_payload = EncodeSiaAuditReport(*report);
+          AddStage(stages, obs::RpcStage::kEncode, encode_timer);
           return;
         }
         error = report.status();
@@ -762,15 +1182,21 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
       break;
     }
     case MsgType::kPiaRequest: {
+      WallTimer decode_timer;
       Result<PiaRequest> request = DecodePiaRequest(payload);
+      AddStage(stages, obs::RpcStage::kDecode, decode_timer);
       if (request.ok()) {
         // PIA runs over the request's own provider sets, not the DepDB; no
         // agent lock needed.
+        WallTimer compute_timer;
         Result<PiaAuditReport> report = agent_.AuditPrivate(request->providers,
                                                             request->options);
+        AddStage(stages, obs::RpcStage::kCompute, compute_timer);
         if (report.ok()) {
+          WallTimer encode_timer;
           *reply_type = static_cast<uint8_t>(MsgType::kPiaReport);
           *reply_payload = EncodePiaAuditReport(*report);
+          AddStage(stages, obs::RpcStage::kEncode, encode_timer);
           return;
         }
         error = report.status();

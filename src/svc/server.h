@@ -51,10 +51,13 @@
 #include "src/agent/agent.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/obs/flight_recorder.h"
 #include "src/util/thread_pool.h"
 
 namespace indaas {
 namespace svc {
+
+struct DebugInfo;  // src/svc/proto.h
 
 enum class ServerMode {
   kReactor,           // epoll shards, pipelining, admission control
@@ -83,6 +86,13 @@ struct AuditServerOptions {
 
   // Listen backlog for every listener (both modes).
   int listen_backlog = 128;
+
+  // Tail sampler (obs::TailSampler): finished RPCs slower than this — plus
+  // every shed or errored RPC regardless of speed — keep their full
+  // per-stage breakdown for kGetDebugInfo / `indaas debug`. <= 0 disables
+  // the slowness criterion (sheds and errors are still retained).
+  double slow_rpc_threshold_s = 0.100;
+  size_t tail_samples = 256;
 };
 
 class AuditServer {
@@ -130,8 +140,15 @@ class AuditServer {
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<net::Socket> socket);
   // Dispatches one decoded request; returns the reply frame (type+payload).
+  // When `stages` is non-null the handler attributes its decode/compute/
+  // encode time there (obs::RpcStage decomposition; read/queue/write are
+  // measured by the transport that called us).
   void HandleRequest(uint8_t type, const std::string& payload, uint8_t* reply_type,
-                     std::string* reply_payload);
+                     std::string* reply_payload, obs::RpcStageSeconds* stages = nullptr);
+  // The mode-independent part of a kGetDebugInfo answer: uptime, mode,
+  // recent flight-recorder events, slowest tail-sampled RPCs. The reactor
+  // adds per-shard/per-connection detail via its cross-shard gather.
+  void FillDebugCommon(DebugInfo* info);
 
   AuditServerOptions options_;
   AuditingAgent agent_;
@@ -141,6 +158,7 @@ class AuditServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> serving_{false};
   std::atomic<uint64_t> start_us_{0};  // trace-epoch micros at Start()
+  std::atomic<uint64_t> next_conn_id_{0};  // debug identity for connections
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<Reactor> reactor_;

@@ -1,46 +1,30 @@
 #include "src/util/logging.h"
 
-#include <atomic>
-#include <cstdio>
-#include <cstring>
+#include "src/obs/log.h"
+
+// INDAAS_LOG predates the structured logger (src/obs/log.h) and survives as
+// a compatibility shim: the stream text becomes a structured record with
+// event "log" and the text under msg=, so legacy call sites share the
+// process-wide severity gate and sink (text/JSON/capture) with INDAAS_SLOG
+// instead of writing to stderr behind its back. LogLevel and LogSeverity
+// deliberately share ordinals.
 
 namespace indaas {
-namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
-
-const char* LevelTag(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "D";
-    case LogLevel::kInfo:
-      return "I";
-    case LogLevel::kWarning:
-      return "W";
-    case LogLevel::kError:
-      return "E";
-  }
-  return "?";
+void SetLogLevel(LogLevel level) {
+  obs::Logger::Global().SetMinSeverity(static_cast<obs::LogSeverity>(level));
 }
 
-const char* Basename(const char* path) {
-  const char* slash = std::strrchr(path, '/');
-  return slash != nullptr ? slash + 1 : path;
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(obs::Logger::Global().min_severity());
 }
 
-}  // namespace
-
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
-
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
-}
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  (void)level_;
+  obs::LogEventBuilder(static_cast<obs::LogSeverity>(level_), file_, line_, "log", 0)
+      .Kv("msg", stream_.str());
 }
 
 }  // namespace indaas

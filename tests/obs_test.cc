@@ -4,8 +4,11 @@
 // its own instrument names and resets the recorder it touches.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <csignal>
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
@@ -14,10 +17,14 @@
 #include <vector>
 
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_merge.h"
+#include "src/util/file.h"
+#include "src/util/logging.h"
 
 namespace indaas {
 namespace obs {
@@ -707,6 +714,126 @@ TEST(TraceMergeTest, RecoversClockOffsetFromRingHops) {
   EXPECT_EQ((*with_stranger)[2], 0);
 }
 
+// Files that share no pairing evidence must keep offset 0 — never borrow an
+// offset from an unrelated pairing. A client trace whose server-side spans
+// were lost (crashed server, missing file) is the canonical case.
+TEST(TraceMergeTest, MissingServerSpansLeaveOffsetsAtZero) {
+  ProcessTrace client;
+  client.source = "client.json";
+  MergeEvent rpc;
+  rpc.name = "svc.client.rpc";
+  rpc.ts = 1000;
+  rpc.dur = 400;
+  rpc.span_id = 4;
+  rpc.trace_id = 99;
+  client.events.push_back(rpc);
+  ProcessTrace server;  // the server file exists but has no svc.rpc spans
+  server.source = "server.json";
+  MergeEvent unrelated;
+  unrelated.name = "sia.rank";
+  unrelated.ts = 777;
+  unrelated.dur = 10;
+  server.events.push_back(unrelated);
+
+  auto offsets = EstimateClockOffsets({client, server});
+  ASSERT_TRUE(offsets.ok());
+  EXPECT_EQ((*offsets)[0], 0);
+  EXPECT_EQ((*offsets)[1], 0);
+  // The merge itself still succeeds (unaligned, but valid).
+  auto merged = MergeChromeTraces({client, server});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(JsonValidator(*merged).Valid());
+}
+
+TEST(TraceMergeTest, SingleProcessTraceMergesCleanly) {
+  ProcessTrace only;
+  only.source = "only.json";
+  MergeEvent span;
+  span.name = "svc.client.rpc";
+  span.ts = 5000;
+  span.dur = 100;
+  span.span_id = 1;
+  span.trace_id = 42;
+  only.events.push_back(span);
+  auto offsets = EstimateClockOffsets({only});
+  ASSERT_TRUE(offsets.ok());
+  ASSERT_EQ(offsets->size(), 1u);
+  EXPECT_EQ((*offsets)[0], 0);
+  auto merged = MergeChromeTraces({only});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(JsonValidator(*merged).Valid());
+  auto reparsed = ParseChromeTrace(*merged, "merged.json");
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->events.size(), 1u);
+  EXPECT_EQ(reparsed->events[0].ts, 0u);  // shifted so the timeline starts at 0
+}
+
+// Duplicate span ids (the same file passed twice, or id reuse) make a
+// pairing key ambiguous; the estimator must drop it rather than cross-match
+// every copy and poison the offset mean.
+TEST(TraceMergeTest, DuplicateSpanIdsAreDroppedNotMispaired) {
+  ProcessTrace client;
+  client.source = "client.json";
+  MergeEvent rpc;
+  rpc.name = "svc.client.rpc";
+  rpc.ts = 1000;
+  rpc.dur = 400;
+  rpc.span_id = 4;
+  rpc.trace_id = 99;
+  client.events.push_back(rpc);
+  rpc.ts = 90000;  // a second client span claiming the SAME identity
+  client.events.push_back(rpc);
+  ProcessTrace server;
+  server.source = "server.json";
+  MergeEvent handler;
+  handler.name = "svc.rpc";
+  handler.ts = 501000;
+  handler.dur = 200;
+  handler.trace_id = 99;
+  handler.remote_parent = 5;
+  server.events.push_back(handler);
+
+  auto offsets = EstimateClockOffsets({client, server});
+  ASSERT_TRUE(offsets.ok());
+  // Ambiguous: which client span caused the server span is unknowable, so
+  // no estimate is produced and the server file keeps its own clock.
+  EXPECT_EQ((*offsets)[1], 0);
+
+  // Duplicated *server* spans are equally ambiguous.
+  ProcessTrace client2;
+  client2.source = "client2.json";
+  MergeEvent rpc2;
+  rpc2.name = "svc.client.rpc";
+  rpc2.ts = 1000;
+  rpc2.dur = 400;
+  rpc2.span_id = 4;
+  rpc2.trace_id = 99;
+  client2.events.push_back(rpc2);
+  ProcessTrace server2;
+  server2.source = "server2.json";
+  server2.events.push_back(handler);
+  server2.events.push_back(handler);  // duplicate claims the same parent
+  auto offsets2 = EstimateClockOffsets({client2, server2});
+  ASSERT_TRUE(offsets2.ok());
+  EXPECT_EQ((*offsets2)[1], 0);
+
+  // An unambiguous pair alongside the duplicates still anchors the file —
+  // ambiguity degrades coverage, not unrelated evidence.
+  MergeEvent clean_client = rpc;
+  clean_client.span_id = 10;
+  clean_client.ts = 2000;
+  clean_client.dur = 400;  // midpoint 2200
+  client.events.push_back(clean_client);
+  MergeEvent clean_server = handler;
+  clean_server.remote_parent = 11;
+  clean_server.ts = 502000;
+  clean_server.dur = 200;  // midpoint 502100
+  server.events.push_back(clean_server);
+  auto offsets3 = EstimateClockOffsets({client, server});
+  ASSERT_TRUE(offsets3.ok());
+  EXPECT_EQ((*offsets3)[1], 2200 - 502100);
+}
+
 TEST(TraceMergeTest, MergedTraceIsAlignedValidJson) {
   auto merged = MergeChromeTraces(SkewedRpcTraces());
   ASSERT_TRUE(merged.ok()) << merged.status().ToString();
@@ -736,6 +863,338 @@ TEST(TraceMergeTest, MergedTraceIsAlignedValidJson) {
   EXPECT_EQ(client_ts, 0u);
   EXPECT_GE(server_ts, client_ts);
   EXPECT_LE(server_ts + server_dur, client_ts + client_dur);
+}
+
+// --- Structured logging ---
+
+// Swaps in a capture sink for the test's lifetime and restores the default
+// (and the default Info threshold) on the way out.
+class CapturedLogs {
+ public:
+  CapturedLogs() : sink_(std::make_shared<CaptureLogSink>()) {
+    Logger::Global().SetSink(sink_);
+  }
+  ~CapturedLogs() {
+    Logger::Global().SetSink(nullptr);
+    Logger::Global().SetMinSeverity(LogSeverity::kInfo);
+  }
+  std::vector<LogRecord> Take() { return sink_->Take(); }
+
+ private:
+  std::shared_ptr<CaptureLogSink> sink_;
+};
+
+TEST(LogTest, SeverityGatesBeforeEmission) {
+  CapturedLogs capture;
+  Logger::Global().SetMinSeverity(LogSeverity::kWarn);
+  INDAAS_SLOG(Info, "test.dropped").Kv("k", 1);
+  INDAAS_SLOG(Warn, "test.kept").Kv("conn", 7u).Kv("why", "slow reader");
+  std::vector<LogRecord> records = capture.Take();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, "test.kept");
+  EXPECT_EQ(records[0].severity, LogSeverity::kWarn);
+  ASSERT_EQ(records[0].fields.size(), 2u);
+  EXPECT_EQ(records[0].fields[0].key, "conn");
+  EXPECT_EQ(records[0].fields[0].value, "7");
+  EXPECT_TRUE(records[0].fields[0].is_number);
+  EXPECT_EQ(records[0].fields[1].value, "slow reader");
+  EXPECT_FALSE(records[0].fields[1].is_number);
+  EXPECT_GT(records[0].line, 0);
+}
+
+TEST(LogTest, RecordsCarryAmbientTraceContext) {
+  CapturedLogs capture;
+  {
+    TraceContext context;
+    context.trace_id = 0xABCDEF0123456789ULL;
+    ScopedTraceContext scoped(context);
+    INDAAS_SLOG(Info, "test.traced");
+  }
+  INDAAS_SLOG(Info, "test.untraced");
+  std::vector<LogRecord> records = capture.Take();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 0xABCDEF0123456789ULL);
+  EXPECT_EQ(records[1].trace_id, 0u);
+}
+
+TEST(LogTest, JsonSinkRendersTypedFields) {
+  LogRecord record;
+  record.severity = LogSeverity::kWarn;
+  record.t_us = 123;
+  record.wall_us = 456;
+  record.tid = 2;
+  record.trace_id = 18446744073709551615ULL;  // u64 max: must stay a string
+  record.file = "dir/server.cc";
+  record.line = 503;
+  record.event = "svc.slow_reader_drop";
+  record.suppressed = 12;
+  record.fields = {{"conn", "7", true}, {"note", "a \"quoted\" value", false}};
+  EXPECT_EQ(JsonLogSink::Render(record),
+            "{\"sev\":\"warn\",\"t_us\":123,\"wall_us\":456,"
+            "\"event\":\"svc.slow_reader_drop\",\"tid\":2,"
+            "\"trace_id\":\"18446744073709551615\",\"src\":\"server.cc:503\","
+            "\"suppressed\":12,\"kv\":{\"conn\":7,\"note\":\"a \\\"quoted\\\" value\"}}");
+}
+
+TEST(LogTest, RateLimiterAdmitsBudgetPerWindowAndCountsSuppressed) {
+  LogSite site;
+  const uint64_t t0 = 10'000'000;
+  // Budget ceil(2.0) = 2 per one-second window.
+  EXPECT_TRUE(site.Admit(2.0, t0));
+  EXPECT_TRUE(site.Admit(2.0, t0 + 1000));
+  EXPECT_FALSE(site.Admit(2.0, t0 + 2000));
+  EXPECT_FALSE(site.Admit(2.0, t0 + 3000));
+  // The window rolls over after one second; the next admit carries the
+  // suppressed count.
+  EXPECT_TRUE(site.Admit(2.0, t0 + 1'000'001));
+  EXPECT_EQ(site.TakeSuppressed(), 2u);
+  EXPECT_EQ(site.TakeSuppressed(), 0u);  // reset on take
+  // per_sec <= 0 always suppresses.
+  LogSite never;
+  EXPECT_FALSE(never.Admit(0.0, t0));
+  EXPECT_EQ(never.TakeSuppressed(), 1u);
+}
+
+TEST(LogTest, LegacyStreamLoggingRoutesThroughStructuredLogger) {
+  CapturedLogs capture;
+  INDAAS_LOG(Warning) << "legacy " << 42;
+  std::vector<LogRecord> records = capture.Take();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].severity, LogSeverity::kWarn);
+  ASSERT_EQ(records[0].fields.size(), 1u);
+  EXPECT_EQ(records[0].fields[0].key, "msg");
+  EXPECT_EQ(records[0].fields[0].value, "legacy 42");
+}
+
+// --- Flight recorder ---
+
+TEST(FlightRecorderTest, RecordedEventsAppearInSnapshotInOrder) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const uint64_t marker = 0x51A51A00u;
+  recorder.Record(FlightEventType::kAccept, marker, 1, 0, 0);
+  recorder.Record(FlightEventType::kRpcBegin, marker, 2, 5, 777);
+  recorder.Record(FlightEventType::kRpcEnd, marker, 3, 5, 777);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  std::vector<FlightEvent> mine;
+  for (const FlightEvent& e : events) {
+    if (e.a == marker) mine.push_back(e);
+  }
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].type, FlightEventType::kAccept);
+  EXPECT_EQ(mine[1].type, FlightEventType::kRpcBegin);
+  EXPECT_EQ(mine[1].code, 5);
+  EXPECT_EQ(mine[1].trace_id, 777u);
+  EXPECT_EQ(mine[2].type, FlightEventType::kRpcEnd);
+  EXPECT_LE(mine[0].t_us, mine[1].t_us);
+  EXPECT_LE(mine[1].t_us, mine[2].t_us);
+  EXPECT_GT(mine[0].tid + 1, 0u);  // a real dense thread id was stamped
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const uint64_t marker = 0xD15AB1EDu;
+  recorder.SetEnabled(false);
+  recorder.Record(FlightEventType::kShed, marker, 0, 0, 0);
+  recorder.SetEnabled(true);
+  for (const FlightEvent& e : recorder.Snapshot()) {
+    EXPECT_NE(e.a, marker);
+  }
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheLatestEvents) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const uint64_t base = 0xFEED0000u;
+  const size_t total = FlightRecorder::kRingCapacity + 64;
+  for (size_t i = 0; i < total; ++i) {
+    recorder.Record(FlightEventType::kLoopLag, base + i, i, 0, 0);
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  size_t mine = 0;
+  bool saw_first = false, saw_last = false;
+  for (const FlightEvent& e : events) {
+    if (e.a >= base && e.a < base + total) {
+      ++mine;
+      if (e.a == base) saw_first = true;
+      if (e.a == base + total - 1) saw_last = true;
+    }
+  }
+  EXPECT_LE(mine, FlightRecorder::kRingCapacity);
+  EXPECT_GE(mine, FlightRecorder::kRingCapacity - 64);  // most of the ring is ours
+  EXPECT_TRUE(saw_last);    // newest survives
+  EXPECT_FALSE(saw_first);  // oldest was overwritten
+}
+
+TEST(FlightRecorderTest, DumpTextRoundTripsThroughParse) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const uint64_t marker = 0xCAFE0001u;
+  recorder.Record(FlightEventType::kReadDeadline, marker, 10000, 3, 909);
+  std::string dump = recorder.DumpText();
+  EXPECT_NE(dump.find("# indaas-flight-recorder v1"), std::string::npos);
+  std::vector<FlightEvent> parsed;
+  size_t n = FlightRecorder::ParseDumpText(dump, &parsed);
+  EXPECT_EQ(n, parsed.size());
+  bool found = false;
+  for (const FlightEvent& e : parsed) {
+    if (e.a == marker) {
+      found = true;
+      EXPECT_EQ(e.type, FlightEventType::kReadDeadline);
+      EXPECT_EQ(e.b, 10000u);
+      EXPECT_EQ(e.code, 3);
+      EXPECT_EQ(e.trace_id, 909u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Garbage lines are skipped, not fatal.
+  std::vector<FlightEvent> partial;
+  EXPECT_EQ(FlightRecorder::ParseDumpText("# header\nnot numbers\n1 2 3\n", &partial), 0u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersSnapshotSafely) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.Record(FlightEventType::kRpcBegin, 0xBEEF0000u + t, i++, 1, 0);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<FlightEvent> events = recorder.Snapshot();
+    // Sorted by timestamp across rings.
+    for (size_t j = 1; j < events.size(); ++j) {
+      EXPECT_LE(events[j - 1].t_us, events[j].t_us);
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(FlightRecorderTest, Sigusr2DumpsToFileAndRoundTrips) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::string path =
+      testing::TempDir() + "indaas_flight_test_" + std::to_string(::getpid()) + ".dump";
+  std::remove(path.c_str());
+  InstallFlightRecorderSignalHandlers(path);
+  const uint64_t marker = 0x51697512u;  // "SIGUSR2"-ish
+  recorder.Record(FlightEventType::kConnClose, marker, 128, 0, 0);
+  ASSERT_EQ(::raise(SIGUSR2), 0);
+  auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  std::vector<FlightEvent> parsed;
+  ASSERT_GT(FlightRecorder::ParseDumpText(*text, &parsed), 0u);
+  bool found_marker = false, found_dump_event = false;
+  for (const FlightEvent& e : parsed) {
+    if (e.a == marker && e.type == FlightEventType::kConnClose) found_marker = true;
+    if (e.type == FlightEventType::kDump) found_dump_event = true;
+  }
+  EXPECT_TRUE(found_marker);
+  EXPECT_TRUE(found_dump_event);  // the dump marks its own trigger point
+  std::remove(path.c_str());
+}
+
+// --- Tail sampler ---
+
+TailSample MakeSample(double total_s, TailOutcome outcome, bool ok, uint64_t trace_id) {
+  TailSample sample;
+  sample.trace_id = trace_id;
+  sample.rpc_type = 1;
+  sample.outcome = outcome;
+  sample.ok = ok;
+  sample.total_s = total_s;
+  sample.stages.Add(RpcStage::kRead, total_s / 2);
+  sample.stages.Add(RpcStage::kCompute, total_s / 2);
+  return sample;
+}
+
+TEST(TailSamplerTest, KeepsSlowShedAndErroredButNotFastSuccesses) {
+  TailSampler& sampler = TailSampler::Global();
+  sampler.Configure(0.050);
+  EXPECT_FALSE(sampler.Offer(MakeSample(0.001, TailOutcome::kSlow, true, 1)));  // fast OK
+  EXPECT_TRUE(sampler.Offer(MakeSample(0.200, TailOutcome::kSlow, true, 2)));   // slow OK
+  EXPECT_TRUE(sampler.Offer(MakeSample(0.001, TailOutcome::kError, false, 3))); // fast error
+  EXPECT_TRUE(sampler.Offer(MakeSample(0.0005, TailOutcome::kShed, false, 4))); // shed
+  std::vector<TailSample> kept = sampler.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  for (const TailSample& s : kept) {
+    EXPECT_NE(s.trace_id, 1u);
+    EXPECT_GT(s.stages.total(), 0.0);  // full stage breakdown retained
+  }
+  // Threshold <= 0 disables the slowness criterion entirely.
+  sampler.Configure(0.0);
+  EXPECT_FALSE(sampler.Offer(MakeSample(10.0, TailOutcome::kSlow, true, 5)));
+  EXPECT_TRUE(sampler.Offer(MakeSample(0.001, TailOutcome::kError, false, 6)));
+  sampler.Configure(0.100);  // restore the default for other tests
+}
+
+TEST(TailSamplerTest, TopSlowestSortsAndCapacityEvictsOldest) {
+  TailSampler& sampler = TailSampler::Global();
+  sampler.Configure(0.001, 4);
+  for (int i = 1; i <= 6; ++i) {
+    sampler.Offer(MakeSample(0.010 * i, TailOutcome::kSlow, true, 100 + i));
+  }
+  std::vector<TailSample> kept = sampler.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);  // capacity bound: the two oldest evicted
+  EXPECT_EQ(kept.front().trace_id, 103u);
+  EXPECT_EQ(kept.back().trace_id, 106u);
+  std::vector<TailSample> top = sampler.TopSlowest(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].trace_id, 106u);  // slowest first
+  EXPECT_EQ(top[1].trace_id, 105u);
+  sampler.Configure(0.100);
+}
+
+// --- Histogram exemplars ---
+
+TEST(HistogramTest, ExemplarTracksTheSlowestTracedValue) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.exemplar.basic", {0.01, 0.1, 1.0});
+  h->Reset();
+  h->RecordWithExemplar(0.05, 11);
+  h->RecordWithExemplar(0.5, 22);   // new maximum
+  h->RecordWithExemplar(0.2, 33);   // slower trace does not displace the max
+  h->RecordWithExemplar(2.0, 0);    // traceless: counted, never an exemplar
+  Histogram::Snapshot snapshot = h->Scrape();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.exemplar_value, 0.5);
+  EXPECT_EQ(snapshot.exemplar_trace_id, 22u);
+  h->Reset();
+  snapshot = h->Scrape();
+  EXPECT_EQ(snapshot.exemplar_trace_id, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.exemplar_value, 0.0);
+}
+
+// --- Prometheus exposition conformance (golden output) ---
+
+// Byte-exact golden rendering: `le` buckets must be cumulative and end with
+// a +Inf bucket equal to _count, _sum must match, families must be typed
+// exactly once. Guards the exporter against silent format drift.
+TEST(ExportTest, PrometheusGoldenOutput) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"net.bytes_sent", 4096}};
+  snapshot.gauges = {{"svc.connections_active", 2, 6}};
+  Histogram::Snapshot h;
+  h.name = "svc.rpc_seconds.Ping";
+  h.bounds = {0.001, 0.01};
+  h.counts = {3, 2, 1};  // per-bucket: <=0.001, <=0.01, overflow
+  h.count = 6;
+  h.sum = 0.05;
+  snapshot.histograms = {h};
+  EXPECT_EQ(MetricsToPrometheus(snapshot),
+            "# TYPE indaas_net_bytes_sent counter\n"
+            "indaas_net_bytes_sent 4096\n"
+            "# TYPE indaas_svc_connections_active gauge\n"
+            "indaas_svc_connections_active 2\n"
+            "# TYPE indaas_svc_connections_active_max gauge\n"
+            "indaas_svc_connections_active_max 6\n"
+            "# TYPE indaas_svc_rpc_seconds_Ping histogram\n"
+            "indaas_svc_rpc_seconds_Ping_bucket{le=\"0.001\"} 3\n"
+            "indaas_svc_rpc_seconds_Ping_bucket{le=\"0.01\"} 5\n"
+            "indaas_svc_rpc_seconds_Ping_bucket{le=\"+Inf\"} 6\n"
+            "indaas_svc_rpc_seconds_Ping_sum 0.05\n"
+            "indaas_svc_rpc_seconds_Ping_count 6\n");
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "src/deps/depdb.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
@@ -288,6 +289,95 @@ TEST(ProtoTest, HealthStatusRoundTrip) {
   EXPECT_FALSE(DecodeHealthStatus(full + "x").ok());
 }
 
+TEST(ProtoTest, DebugInfoRoundTrip) {
+  DebugInfo info;
+  info.uptime_us = 123456789;
+  info.mode = 1;
+  info.reactor_shards = 4;
+  info.inflight_global = 17;
+  DebugShard shard;
+  shard.index = 2;
+  shard.connections = 5;
+  shard.inflight = 3;
+  shard.has_listener = true;
+  info.shards.push_back(shard);
+  DebugConnection conn;
+  conn.id = 42;
+  conn.shard = 2;
+  conn.age_us = 1000000;
+  conn.in_buffer_bytes = 12;
+  conn.write_buffer_bytes = 34;
+  conn.inflight = 2;
+  conn.oldest_pending_us = 2500;
+  info.connections.push_back(conn);
+  DebugFlightEvent event;
+  event.t_us = 99;
+  event.trace_id = 0xABCDu;
+  event.a = 7;
+  event.b = 8;
+  event.tid = 11;
+  event.type = 3;
+  event.code = 6;
+  info.events.push_back(event);
+  DebugSlowRpc slow;
+  slow.trace_id = 0x1234u;
+  slow.request_id = 9;
+  slow.rpc_type = 5;
+  slow.outcome = 2;
+  slow.ok = false;
+  slow.conn_id = 42;
+  slow.end_us = 777;
+  slow.total_s = 0.25;
+  for (int i = 0; i < 6; ++i) slow.stage_s[i] = 0.01 * (i + 1);
+  info.slowest.push_back(slow);
+
+  const std::string full = EncodeDebugInfo(info);
+  auto decoded = DecodeDebugInfo(full);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->uptime_us, info.uptime_us);
+  EXPECT_EQ(decoded->mode, info.mode);
+  EXPECT_EQ(decoded->reactor_shards, info.reactor_shards);
+  EXPECT_EQ(decoded->inflight_global, info.inflight_global);
+  ASSERT_EQ(decoded->shards.size(), 1u);
+  EXPECT_EQ(decoded->shards[0].index, shard.index);
+  EXPECT_EQ(decoded->shards[0].connections, shard.connections);
+  EXPECT_EQ(decoded->shards[0].inflight, shard.inflight);
+  EXPECT_EQ(decoded->shards[0].has_listener, shard.has_listener);
+  ASSERT_EQ(decoded->connections.size(), 1u);
+  EXPECT_EQ(decoded->connections[0].id, conn.id);
+  EXPECT_EQ(decoded->connections[0].shard, conn.shard);
+  EXPECT_EQ(decoded->connections[0].age_us, conn.age_us);
+  EXPECT_EQ(decoded->connections[0].in_buffer_bytes, conn.in_buffer_bytes);
+  EXPECT_EQ(decoded->connections[0].write_buffer_bytes, conn.write_buffer_bytes);
+  EXPECT_EQ(decoded->connections[0].inflight, conn.inflight);
+  EXPECT_EQ(decoded->connections[0].oldest_pending_us, conn.oldest_pending_us);
+  ASSERT_EQ(decoded->events.size(), 1u);
+  EXPECT_EQ(decoded->events[0].t_us, event.t_us);
+  EXPECT_EQ(decoded->events[0].trace_id, event.trace_id);
+  EXPECT_EQ(decoded->events[0].a, event.a);
+  EXPECT_EQ(decoded->events[0].b, event.b);
+  EXPECT_EQ(decoded->events[0].tid, event.tid);
+  EXPECT_EQ(decoded->events[0].type, event.type);
+  EXPECT_EQ(decoded->events[0].code, event.code);
+  ASSERT_EQ(decoded->slowest.size(), 1u);
+  EXPECT_EQ(decoded->slowest[0].trace_id, slow.trace_id);
+  EXPECT_EQ(decoded->slowest[0].request_id, slow.request_id);
+  EXPECT_EQ(decoded->slowest[0].rpc_type, slow.rpc_type);
+  EXPECT_EQ(decoded->slowest[0].outcome, slow.outcome);
+  EXPECT_EQ(decoded->slowest[0].ok, slow.ok);
+  EXPECT_EQ(decoded->slowest[0].conn_id, slow.conn_id);
+  EXPECT_EQ(decoded->slowest[0].end_us, slow.end_us);
+  EXPECT_DOUBLE_EQ(decoded->slowest[0].total_s, slow.total_s);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(decoded->slowest[0].stage_s[i], slow.stage_s[i]) << "stage " << i;
+  }
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeDebugInfo(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeDebugInfo(full + "x").ok());
+}
+
 // --- AuditServer / AuditClient end-to-end (loopback) ---
 
 TEST(AuditServerTest, PingImportAuditRoundTrip) {
@@ -543,6 +633,116 @@ TEST(AuditServerTest, ThreadedModeStillServes) {
   auto report = client->AuditStructural(TestSpec());
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->deployments.size(), 2u);
+  server.Stop();
+}
+
+// The reactor finalizes an RPC (tail-sampler offer included) right after its
+// reply bytes reach the kernel, so a client can observe the reply a beat
+// before the sample lands. Poll briefly instead of asserting instantly.
+std::vector<obs::TailSample> WaitForTailSamples(size_t at_least) {
+  for (int i = 0; i < 2000; ++i) {
+    auto samples = obs::TailSampler::Global().TopSlowest(16);
+    if (samples.size() >= at_least) return samples;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return obs::TailSampler::Global().TopSlowest(16);
+}
+
+TEST(AuditServerTest, TailSamplerKeepsErroredAndSlowButNotFastRpcs) {
+  // Acceptance criterion for the flight-recorder PR: slow/shed/errored RPCs
+  // are tail-captured with a per-stage breakdown; fast successes are not.
+  {
+    AuditServerOptions options;
+    options.slow_rpc_threshold_s = 3600.0;  // nothing qualifies as slow
+    AuditServer server(options);
+    ASSERT_TRUE(server.Start().ok());  // Start() reconfigures (clears) the sampler
+    auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Ping().ok());  // fast + ok: must not be retained
+    AuditSpecification empty_spec;  // agent rejects it -> errored RPC
+    ASSERT_FALSE(client->AuditStructural(empty_spec).ok());
+    auto samples = WaitForTailSamples(1);
+    ASSERT_EQ(samples.size(), 1u) << "only the errored RPC should be retained";
+    EXPECT_EQ(samples[0].rpc_type, static_cast<uint16_t>(MsgType::kAuditRequest));
+    EXPECT_EQ(samples[0].outcome, obs::TailOutcome::kError);
+    EXPECT_FALSE(samples[0].ok);
+    EXPECT_GT(samples[0].total_s, 0.0);
+    EXPECT_GT(samples[0].stages.total(), 0.0) << "stage breakdown must be populated";
+    server.Stop();
+  }
+  {
+    AuditServerOptions options;
+    options.slow_rpc_threshold_s = 1e-9;  // every finished RPC is "slow"
+    AuditServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->ImportDepDb(TestDepDbText()).ok());
+    ASSERT_TRUE(client->AuditStructural(TestSpec()).ok());
+    auto samples = WaitForTailSamples(2);  // ImportDepDb + AuditStructural
+    const obs::TailSample* audit = nullptr;
+    for (const auto& sample : samples) {
+      if (sample.rpc_type == static_cast<uint16_t>(MsgType::kAuditRequest)) audit = &sample;
+    }
+    ASSERT_NE(audit, nullptr) << "slow-but-ok audit should be tail-captured";
+    EXPECT_EQ(audit->outcome, obs::TailOutcome::kSlow);
+    EXPECT_TRUE(audit->ok);
+    EXPECT_GT(audit->total_s, 0.0);
+    // The interesting stages for a pool-dispatched RPC all have signal.
+    EXPECT_GT(audit->stages.s[static_cast<int>(obs::RpcStage::kDecode)], 0.0);
+    EXPECT_GT(audit->stages.s[static_cast<int>(obs::RpcStage::kCompute)], 0.0);
+    EXPECT_GT(audit->stages.total(), 0.0);
+    server.Stop();
+  }
+}
+
+TEST(AuditServerTest, GetDebugInfoReactorEndToEnd) {
+  AuditServerOptions options;
+  options.reactor_shards = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto info = client->GetDebugInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->mode, static_cast<uint8_t>(ServerMode::kReactor));
+  EXPECT_EQ(info->reactor_shards, 2u);
+  EXPECT_GT(info->uptime_us, 0u);
+  ASSERT_EQ(info->shards.size(), 2u);  // one entry per shard, gathered live
+  uint64_t listeners = 0;
+  for (const auto& shard : info->shards) listeners += shard.has_listener ? 1 : 0;
+  EXPECT_GE(listeners, 1u);
+  // Our own connection shows up with per-connection introspection. The
+  // GetDebugInfo in flight bypasses admission, so its own inflight count
+  // is deliberately zero here.
+  ASSERT_GE(info->connections.size(), 1u);
+  uint64_t shard_connections = 0;
+  for (const auto& shard : info->shards) shard_connections += shard.connections;
+  EXPECT_EQ(shard_connections, info->connections.size());
+  EXPECT_FALSE(info->events.empty()) << "flight recorder should have accept/rpc events";
+  server.Stop();
+}
+
+TEST(AuditServerTest, GetDebugInfoThreadedMode) {
+  AuditServerOptions options;
+  options.mode = ServerMode::kThreadPerRequest;
+  options.worker_threads = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto info = client->GetDebugInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->mode, static_cast<uint8_t>(ServerMode::kThreadPerRequest));
+  EXPECT_EQ(info->reactor_shards, 0u);
+  // Per-shard / per-connection detail is a reactor feature; the threaded
+  // baseline still answers with uptime, events, and tail samples.
+  EXPECT_TRUE(info->shards.empty());
+  EXPECT_TRUE(info->connections.empty());
+  EXPECT_GT(info->uptime_us, 0u);
+  EXPECT_FALSE(info->events.empty());
   server.Stop();
 }
 

@@ -63,12 +63,21 @@ def main():
         old_path, new_path = found[-2], found[-1]
 
     old, new = load(old_path), load(new_path)
+    # "_"-prefixed keys are snapshot provenance (git SHA, hostname), not
+    # benchmarks: surface them for context, never compare them.
+    old_meta, new_meta = old.get("_metadata"), new.get("_metadata")
+    old = {k: v for k, v in old.items() if not k.startswith("_")}
+    new = {k: v for k, v in new.items() if not k.startswith("_")}
     shared = sorted(set(old) & set(new))
     added = sorted(set(new) - set(old))
     removed = sorted(set(old) - set(new))
     print(f"comparing {new_path} against {old_path}: "
           f"{len(shared)} shared benchmarks "
           f"({len(added)} new, {len(removed)} gone)")
+    for label, meta in (("old", old_meta), ("new", new_meta)):
+        if meta:
+            print(f"  {label}: sha={meta.get('git_sha', '?')[:12]} "
+                  f"host={meta.get('hostname', '?')}")
     for name in added:
         print(f"  new:  {name}")
     for name in removed:

@@ -15,9 +15,27 @@ Compare snapshots across PRs with tools/check_bench.py.
 import argparse
 import json
 import pathlib
+import socket
 import subprocess
 import sys
 import tempfile
+
+
+def snapshot_metadata(tag):
+    """Provenance stamped into the snapshot under "_metadata".
+
+    Keys starting with "_" are not benchmarks; check_bench.py skips them.
+    Knowing which commit and host produced a snapshot is what makes a
+    cross-PR comparison interpretable (a 10% swing across hosts is noise;
+    on the same host it is a finding).
+    """
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], check=True, capture_output=True, text=True
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        git_sha = "unknown"
+    return {"tag": tag, "git_sha": git_sha, "hostname": socket.gethostname()}
 
 
 def run_bench(cmd):
@@ -139,7 +157,7 @@ def main():
     args = parser.parse_args()
 
     build = pathlib.Path(args.build)
-    snapshot = {}
+    snapshot = {"_metadata": snapshot_metadata(args.tag)}
     with tempfile.TemporaryDirectory() as tmp:
         workdir = pathlib.Path(tmp)
         snapshot.update(collect_risk_groups(build, workdir))
@@ -149,7 +167,8 @@ def main():
 
     out_path = pathlib.Path(args.out_dir) / f"BENCH_{args.tag}.json"
     out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out_path} ({len(snapshot)} benchmarks)")
+    benchmarks = sum(1 for name in snapshot if not name.startswith("_"))
+    print(f"wrote {out_path} ({benchmarks} benchmarks)")
 
 
 if __name__ == "__main__":
