@@ -130,10 +130,31 @@ Result<RealPoint> RunRealPoint(const std::vector<std::vector<std::string>>& data
   return point;
 }
 
-std::string RealPointsToJson(const std::vector<RealPoint>& points) {
-  std::string json = "{\n  \"mode\": \"real-loopback-psop\",\n  \"points\": [\n";
-  for (size_t i = 0; i < points.size(); ++i) {
-    const RealPoint& p = points[i];
+// One per-method data point: bytes on the wire and compute time of exact
+// P-SOP vs MinHash-compressed P-SOP vs sketch exchange at the same (k, n).
+struct MethodPoint {
+  const char* method = "";
+  size_t k = 0;
+  size_t n = 0;
+  double jaccard = 0;
+  double bytes_sent_per_party = 0;
+  double compute_s_per_party = 0;
+};
+
+std::string PointsToJson(const std::vector<MethodPoint>& methods,
+                         const std::vector<RealPoint>& real_points) {
+  std::string json = "{\n  \"mode\": \"fig8-pia-overheads\",\n  \"methods\": [\n";
+  for (size_t i = 0; i < methods.size(); ++i) {
+    const MethodPoint& p = methods[i];
+    json += StrFormat(
+        "    {\"method\": \"%s\", \"k\": %zu, \"n\": %zu, \"jaccard\": %.6f, "
+        "\"bytes_sent_per_party\": %.0f, \"compute_s_per_party\": %.6f}%s\n",
+        p.method, p.k, p.n, p.jaccard, p.bytes_sent_per_party, p.compute_s_per_party,
+        i + 1 < methods.size() ? "," : "");
+  }
+  json += "  ],\n  \"real_points\": [\n";
+  for (size_t i = 0; i < real_points.size(); ++i) {
+    const RealPoint& p = real_points[i];
     json += StrFormat(
         "    {\"k\": %zu, \"n\": %zu, \"jaccard\": %.6f, \"measured_wall_s\": %.6f, "
         "\"estimated_wall_s\": %.6f, \"delta_s\": %.6f, \"delta_ratio\": %.4f, "
@@ -142,10 +163,22 @@ std::string RealPointsToJson(const std::vector<RealPoint>& points) {
         p.measured_wall_s - p.estimated_wall_s,
         p.estimated_wall_s > 0 ? p.measured_wall_s / p.estimated_wall_s : 0.0,
         static_cast<unsigned long long>(p.bytes_sent),
-        p.matches_inprocess ? "true" : "false", i + 1 < points.size() ? "," : "");
+        p.matches_inprocess ? "true" : "false", i + 1 < real_points.size() ? "," : "");
   }
   json += "  ]\n}\n";
   return json;
+}
+
+MethodPoint SummarizePoint(const char* method, size_t k, size_t n, const PsopResult& result) {
+  Measurement m = Summarize(result.party_stats);
+  MethodPoint point;
+  point.method = method;
+  point.k = k;
+  point.n = n;
+  point.jaccard = result.jaccard;
+  point.bytes_sent_per_party = m.mb_sent_per_party * 1024.0 * 1024.0;
+  point.compute_s_per_party = m.compute_seconds_per_party;
+  return point;
 }
 
 }  // namespace
@@ -174,7 +207,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("rtt-ms", &rtt_ms, "--real: model RTT in milliseconds (loopback-ish)");
   flags.AddDouble("bandwidth-mbps", &bandwidth_mbps,
                   "--real: model bandwidth in MB/s (loopback-ish)");
-  flags.AddString("json-out", &json_out, "--real: write estimated-vs-measured deltas here");
+  flags.AddString("json-out", &json_out,
+                  "write per-method bytes-on-wire (and --real deltas) here");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -185,6 +219,7 @@ int main(int argc, char** argv) {
               "(%lld-bit ciphertexts).\n\n",
               (long long)group_bits, (long long)paillier_bits, (long long)(2 * paillier_bits));
 
+  std::vector<MethodPoint> method_points;
   TextTable table({"Protocol", "k", "n", "Bandwidth sent (8a)", "Compute time (8b)"});
   for (int64_t k = 2; k <= k_max; ++k) {
     for (int64_t n = n_min; n <= n_max; n *= 2) {
@@ -200,6 +235,25 @@ int main(int argc, char** argv) {
       table.AddRow({StrFormat("P-SOP(%lld)", (long long)k), std::to_string(k), std::to_string(n),
                     StrFormat("%.2f MB", m.mb_sent_per_party),
                     HumanSeconds(m.compute_seconds_per_party)});
+      method_points.push_back(SummarizePoint("psop-exact", static_cast<size_t>(k),
+                                             static_cast<size_t>(n), *psop_result));
+      // The compressed variants at the same point, for the per-method
+      // bytes-on-wire comparison (--json-out): MinHash-compressed P-SOP and
+      // the encryption-free sketch exchange.
+      auto minhash_result = RunPsopWithMinHash(datasets, 256, psop);
+      if (!minhash_result.ok()) {
+        std::fprintf(stderr, "%s\n", minhash_result.status().ToString().c_str());
+        return 1;
+      }
+      method_points.push_back(SummarizePoint("psop-minhash", static_cast<size_t>(k),
+                                             static_cast<size_t>(n), *minhash_result));
+      auto sketch_result = RunPsopWithSketch(datasets, 256, psop);
+      if (!sketch_result.ok()) {
+        std::fprintf(stderr, "%s\n", sketch_result.status().ToString().c_str());
+        return 1;
+      }
+      method_points.push_back(SummarizePoint("sketch", static_cast<size_t>(k),
+                                             static_cast<size_t>(n), *sketch_result));
     }
   }
   for (int64_t k = 2; k <= k_max; ++k) {
@@ -228,6 +282,7 @@ int main(int argc, char** argv) {
       "\nPaper's shape: (8a) KS bandwidth grows faster with k than P-SOP's; (8b) P-SOP\n"
       "outperforms KS by orders of magnitude in computation, both roughly linear in n.\n");
 
+  std::vector<RealPoint> points;
   if (real) {
     NetworkModel model;
     model.rtt_seconds = rtt_ms / 1000.0;
@@ -236,7 +291,6 @@ int main(int argc, char** argv) {
                 "%.0f MB/s)\n\n", rtt_ms, bandwidth_mbps);
     TextTable real_table(
         {"k", "n", "Measured wall", "Estimated wall", "Delta", "Jaccard matches"});
-    std::vector<RealPoint> points;
     for (int64_t k = 2; k <= k_max; ++k) {
       for (int64_t n = n_min; n <= n_max; n *= 2) {
         auto datasets = MakeDatasets(static_cast<size_t>(k), static_cast<size_t>(n));
@@ -258,13 +312,13 @@ int main(int argc, char** argv) {
     real_table.Print();
     std::printf("\nDelta is what the model leaves out: thread scheduling, syscalls and\n"
                 "loopback's real bandwidth. Jaccard must match the in-process engine.\n");
-    if (!json_out.empty()) {
-      if (Status s = WriteFile(json_out, RealPointsToJson(points)); !s.ok()) {
-        std::fprintf(stderr, "%s\n", s.ToString().c_str());
-        return 1;
-      }
-      std::printf("wrote estimated-vs-measured deltas -> %s\n", json_out.c_str());
+  }
+  if (!json_out.empty()) {
+    if (Status s = WriteFile(json_out, PointsToJson(method_points, points)); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
     }
+    std::printf("wrote per-method bytes and deltas -> %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "src/graph/levels.h"
 #include "src/sia/risk_groups.h"
 #include "src/sia/sampling.h"
+#include "src/sketch/intersect.h"
+#include "src/sketch/sketch.h"
 #include "src/util/rng.h"
 
 namespace indaas {
@@ -165,6 +167,90 @@ void BM_SamplingRounds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SamplingRounds)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// --- MinHash sketch engine (src/sketch) ---
+
+std::vector<std::string> MakeElements(size_t n, uint64_t salt) {
+  std::vector<std::string> elements;
+  elements.reserve(n);
+  for (size_t e = 0; e < n; ++e) {
+    elements.push_back("elem-" + std::to_string(salt) + "-" + std::to_string(e));
+  }
+  return elements;
+}
+
+void BM_SketchBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::string> elements = MakeElements(n, 7);
+  sketch::SketchParams params;
+  params.k = 256;
+  std::vector<uint32_t> out(params.k);
+  for (auto _ : state) {
+    sketch::BuildSketch(params, elements, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SketchBuild)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+bool PinLevel(benchmark::State& state, sketch::SimdLevel* level) {
+  *level = static_cast<sketch::SimdLevel>(state.range(0));
+  if (!sketch::SimdLevelAvailable(*level)) {
+    state.SkipWithError("SIMD level unavailable on this host");
+    return false;
+  }
+  return true;
+}
+
+void BM_SketchAgreeCount(benchmark::State& state) {
+  sketch::SimdLevel level;
+  if (!PinLevel(state, &level)) {
+    return;
+  }
+  sketch::SketchParams params;
+  params.k = 256;
+  std::vector<uint32_t> a(params.k), b(params.k);
+  sketch::BuildSketch(params, MakeElements(2000, 1), a.data());
+  sketch::BuildSketch(params, MakeElements(2000, 2), b.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::AgreeCount(a.data(), b.data(), params.k, level));
+  }
+}
+BENCHMARK(BM_SketchAgreeCount)->Arg(0)->Arg(1)->Arg(2);
+
+// Rotates among many distinct pairs so the branch predictor cannot memorize
+// one merge pattern — a single repeated pair understates scalar cost and
+// with it the SIMD speedup.
+void BM_SketchIntersect(benchmark::State& state) {
+  sketch::SimdLevel level;
+  if (!PinLevel(state, &level)) {
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(1));
+  std::vector<std::vector<uint32_t>> fps;
+  for (size_t i = 0; i < 32; ++i) {
+    fps.push_back(sketch::BuildFingerprints(1, MakeElements(n, i)));
+  }
+  size_t i = 0, j = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::IntersectCount(fps[i].data(), fps[i].size(),
+                                                    fps[j].data(), fps[j].size(), level));
+    if (++j == fps.size()) {
+      j = ++i + 1;
+      if (j >= fps.size()) {
+        i = 0;
+        j = 1;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * state.range(1));
+}
+BENCHMARK(BM_SketchIntersect)
+    ->Args({0, 2000})
+    ->Args({1, 2000})
+    ->Args({2, 2000})
+    ->Args({2, 16384})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace indaas

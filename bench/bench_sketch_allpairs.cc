@@ -1,0 +1,387 @@
+// Provider-scale all-pairs audit benchmark (DESIGN.md §8): accuracy vs
+// bytes vs time of the sketch+LSH engine against the exact per-pair P-SOP
+// baseline, on a synthetic fleet of 64–256 providers.
+//
+// The fleet has a small global core every provider shares, ~15 planted
+// high-similarity pairs (true Jaccard 0.55–0.90 — the correlated-failure
+// risks the audit must surface) and background pairs near the core overlap.
+// The benchmark reports, and --json-out persists:
+//
+//   ring_exec_reduction  pairs an exact audit would run (N(N-1)/2) divided
+//                        by the LSH candidate pairs actually scored
+//   recall_top10         fraction of the true top-10 highest-Jaccard pairs
+//                        the sketch audit reports
+//   simd_speedup         scalar ns/pair over SIMD ns/pair for fingerprint
+//                        intersection, measured across ALL distinct pairs
+//                        (rotating pairs keeps the branch predictor honest —
+//                        a single repeated pair understates scalar cost)
+//   bytes/time           sketch bytes + wall vs an exact-baseline estimate
+//                        calibrated from real P-SOP runs and extrapolated
+//
+// The exact baseline is calibrated at --calib-group-bits (default 768, below
+// the paper's 1024) from --calib-runs real two-party P-SOP executions, so
+// the extrapolated exact cost is a *lower bound* — the reduction factors
+// reported here are conservative.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pia/psop.h"
+#include "src/sketch/allpairs.h"
+#include "src/sketch/intersect.h"
+#include "src/sketch/sketch.h"
+#include "src/util/file.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/timer.h"
+
+using namespace indaas;
+
+namespace {
+
+struct Fleet {
+  std::vector<std::vector<std::string>> sets;
+  // Planted (a, b) pairs with their target Jaccard, ascending by pair index.
+  std::vector<sketch::ScoredPair> planted;
+};
+
+// Builds the synthetic fleet. Provider 2i and 2i+1 form planted pair i when
+// i < planted_pairs: they share a fraction s = 2J/(1+J) of their elements so
+// their Jaccard lands on target J (spread linearly over [0.55, 0.90]).
+// Everyone additionally shares a `core_frac` global core, so background
+// pairs sit near J ~= core_frac/(2-core_frac), not at zero.
+Fleet MakeFleet(size_t providers, size_t elements, size_t planted_pairs, double core_frac) {
+  Fleet fleet;
+  fleet.sets.resize(providers);
+  const size_t core = static_cast<size_t>(static_cast<double>(elements) * core_frac);
+  std::vector<std::string> core_elems;
+  core_elems.reserve(core);
+  for (size_t e = 0; e < core; ++e) {
+    core_elems.push_back("core-" + std::to_string(e));
+  }
+  for (size_t p = 0; p < providers; ++p) {
+    std::vector<std::string>& set = fleet.sets[p];
+    set = core_elems;
+    const bool is_partner = p % 2 == 1 && p / 2 < planted_pairs;
+    size_t shared = 0;
+    if (is_partner) {
+      const size_t pair = p / 2;
+      const double target =
+          0.55 + 0.35 * (planted_pairs > 1
+                             ? static_cast<double>(pair) / static_cast<double>(planted_pairs - 1)
+                             : 0.0);
+      const double share_frac = 2.0 * target / (1.0 + target);
+      shared = static_cast<size_t>(static_cast<double>(elements) * share_frac);
+      shared = std::min(shared, elements - core);
+      // Copy from the partner's unique pool (provider p-1, same naming).
+      for (size_t e = 0; e < shared; ++e) {
+        set.push_back(StrFormat("p%zu-%zu", p - 1, e));
+      }
+    }
+    for (size_t e = shared; e + core < elements; ++e) {
+      set.push_back(StrFormat("p%zu-%zu", p, e));
+    }
+  }
+  for (size_t pair = 0; pair < planted_pairs && 2 * pair + 1 < providers; ++pair) {
+    sketch::ScoredPair entry;
+    entry.a = static_cast<uint32_t>(2 * pair);
+    entry.b = static_cast<uint32_t>(2 * pair + 1);
+    fleet.planted.push_back(entry);
+  }
+  return fleet;
+}
+
+double ExactJaccard(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end());
+  std::set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const std::string& e : sa) {
+    inter += sb.count(e);
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+struct PairKey {
+  uint32_t a, b;
+  bool operator<(const PairKey& o) const { return a != o.a ? a < o.a : b < o.b; }
+};
+
+// Times IntersectCount over every distinct provider pair at `level`,
+// repeating the full sweep until it has run at least min_seconds. Rotating
+// through distinct pairs is deliberate: it defeats branch-predictor
+// memorization of any single merge pattern.
+double NsPerPairAllPairs(const std::vector<std::vector<uint32_t>>& fps,
+                         sketch::SimdLevel level, double min_seconds,
+                         uint64_t* checksum) {
+  const size_t n = fps.size();
+  size_t pairs = 0;
+  size_t sweeps = 0;
+  uint64_t sum = 0;
+  WallTimer timer;
+  do {
+    uint64_t sweep_sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        sweep_sum += sketch::IntersectCount(fps[i].data(), fps[i].size(), fps[j].data(),
+                                            fps[j].size(), level);
+        ++pairs;
+      }
+    }
+    if (sweeps++ == 0) {
+      sum = sweep_sum;  // one sweep's checksum — comparable across levels
+    }
+  } while (timer.ElapsedSeconds() < min_seconds);
+  *checksum = sum;
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t providers = 64;
+  int64_t elements = 2000;
+  int64_t planted = 15;
+  int64_t sketch_k = 256;
+  int64_t lsh_bands = 64;
+  int64_t lsh_rows = 4;
+  int64_t seed = 1;
+  int64_t calib_runs = 3;
+  int64_t calib_group_bits = 768;
+  double core_frac = 0.05;
+  double simd_seconds = 0.3;
+  bool skip_calib = false;
+  std::string k_sweep_spec = "64,128,256,512";
+  std::string json_out;
+  FlagSet flags;
+  flags.AddInt("providers", &providers, "fleet size (paper-scale: 64-256)");
+  flags.AddInt("elements", &elements, "components per provider");
+  flags.AddInt("planted", &planted, "planted high-similarity pairs (J in [0.55, 0.90])");
+  flags.AddInt("sketch-k", &sketch_k, "registers per sketch");
+  flags.AddInt("lsh-bands", &lsh_bands, "LSH bands");
+  flags.AddInt("lsh-rows", &lsh_rows, "LSH rows per band");
+  flags.AddInt("seed", &seed, "sketch permutation seed");
+  flags.AddInt("calib-runs", &calib_runs, "real P-SOP runs for the exact-baseline estimate");
+  flags.AddInt("calib-group-bits", &calib_group_bits,
+               "group bits for the calibration runs (paper: 1024)");
+  flags.AddDouble("core-frac", &core_frac, "global core fraction shared by every provider");
+  flags.AddDouble("simd-seconds", &simd_seconds, "min measurement window per SIMD level");
+  flags.AddBool("skip-calib", &skip_calib, "skip the real P-SOP calibration runs");
+  flags.AddString("k-sweep", &k_sweep_spec, "sketch-k values for the accuracy-vs-bytes sweep");
+  flags.AddString("json-out", &json_out, "write the machine-readable results here");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const size_t n_prov = static_cast<size_t>(providers);
+  const size_t pairs_possible = n_prov * (n_prov - 1) / 2;
+
+  std::printf("All-pairs sketch audit: %zu providers x %lld components, %lld planted pairs\n",
+              n_prov, (long long)elements, (long long)planted);
+  Fleet fleet = MakeFleet(n_prov, static_cast<size_t>(elements),
+                          static_cast<size_t>(planted), core_frac);
+
+  // Ground truth: exact Jaccard of every pair -> true top-10.
+  std::vector<sketch::ScoredPair> truth;
+  truth.reserve(pairs_possible);
+  for (uint32_t i = 0; i < n_prov; ++i) {
+    for (uint32_t j = i + 1; j < n_prov; ++j) {
+      sketch::ScoredPair p;
+      p.a = i;
+      p.b = j;
+      p.jaccard = ExactJaccard(fleet.sets[i], fleet.sets[j]);
+      truth.push_back(p);
+    }
+  }
+  std::sort(truth.begin(), truth.end(), [](const auto& x, const auto& y) {
+    return x.jaccard != y.jaccard ? x.jaccard > y.jaccard
+                                  : (x.a != y.a ? x.a < y.a : x.b < y.b);
+  });
+  std::map<PairKey, double> true_jaccard;
+  for (const sketch::ScoredPair& p : truth) {
+    true_jaccard[{p.a, p.b}] = p.jaccard;
+  }
+
+  // The audit under test: sketch once, LSH candidates, register verification.
+  sketch::AllPairsOptions options;
+  options.sketch.k = static_cast<uint32_t>(sketch_k);
+  options.sketch.seed = static_cast<uint64_t>(seed);
+  options.lsh.bands = static_cast<uint32_t>(lsh_bands);
+  options.lsh.rows = static_cast<uint32_t>(lsh_rows);
+  options.verify = sketch::VerifyMode::kRegisters;
+  options.top = 0;  // keep every scored candidate; recall is computed below
+  WallTimer audit_timer;
+  sketch::AllPairsResult audit = sketch::RunAllPairs(fleet.sets, options);
+  const double audit_wall_s = audit_timer.ElapsedSeconds();
+
+  std::set<PairKey> reported;
+  double mae = 0.0;
+  for (const sketch::ScoredPair& p : audit.pairs) {
+    reported.insert({p.a, p.b});
+    mae += std::abs(p.jaccard - true_jaccard[{p.a, p.b}]);
+  }
+  if (!audit.pairs.empty()) {
+    mae /= static_cast<double>(audit.pairs.size());
+  }
+  const size_t top_n = std::min<size_t>(10, truth.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < top_n; ++i) {
+    hits += reported.count({truth[i].a, truth[i].b});
+  }
+  const double recall_top10 = top_n == 0 ? 0.0 : static_cast<double>(hits) / top_n;
+  const double ring_exec_reduction =
+      audit.pairs_evaluated == 0
+          ? 0.0
+          : static_cast<double>(pairs_possible) / static_cast<double>(audit.pairs_evaluated);
+
+  std::printf("LSH: %zu candidate pairs of %zu possible (%.1fx fewer ring executions), "
+              "recall of true top-%zu = %.0f%%, MAE on candidates = %.4f\n",
+              audit.pairs_evaluated, pairs_possible, ring_exec_reduction, top_n,
+              100.0 * recall_top10, mae);
+
+  // SIMD speedup on the same fleet's fingerprint sets, across all pairs.
+  std::vector<std::vector<uint32_t>> fps(n_prov);
+  for (size_t i = 0; i < n_prov; ++i) {
+    fps[i] = sketch::BuildFingerprints(options.sketch.seed, fleet.sets[i]);
+  }
+  const sketch::SimdLevel best = sketch::BestSimdLevel();
+  uint64_t scalar_sum = 0, simd_sum = 0;
+  const double scalar_ns =
+      NsPerPairAllPairs(fps, sketch::SimdLevel::kScalar, simd_seconds, &scalar_sum);
+  const double simd_ns = NsPerPairAllPairs(fps, best, simd_seconds, &simd_sum);
+  if (scalar_sum != simd_sum) {
+    std::fprintf(stderr, "SIMD/scalar intersection checksums diverge (%llu vs %llu)\n",
+                 (unsigned long long)scalar_sum, (unsigned long long)simd_sum);
+    return 1;
+  }
+  const double simd_speedup = simd_ns > 0 ? scalar_ns / simd_ns : 0.0;
+  std::printf("Intersection kernels over all %zu pairs: scalar %.0f ns/pair, %s %.0f ns/pair "
+              "(%.2fx)\n",
+              pairs_possible, scalar_ns, sketch::SimdLevelName(best), simd_ns, simd_speedup);
+
+  // Exact-baseline calibration: real two-party P-SOP runs, extrapolated to
+  // every pair. Conservative: calibrated below the paper's 1024-bit group.
+  double exact_pair_wall_s = 0.0;
+  uint64_t exact_pair_bytes = 0;
+  if (!skip_calib && calib_runs > 0) {
+    for (int64_t run = 0; run < calib_runs; ++run) {
+      const size_t a = static_cast<size_t>(2 * run) % n_prov;
+      const size_t b = (a + 1) % n_prov;
+      PsopOptions psop;
+      psop.group_bits = static_cast<size_t>(calib_group_bits);
+      psop.seed = static_cast<uint64_t>(seed + run);
+      WallTimer timer;
+      auto result = RunPsop({fleet.sets[a], fleet.sets[b]}, psop);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      exact_pair_wall_s += timer.ElapsedSeconds();
+      for (const PartyStats& stats : result->party_stats) {
+        exact_pair_bytes += stats.bytes_sent;
+      }
+    }
+    exact_pair_wall_s /= static_cast<double>(calib_runs);
+    exact_pair_bytes /= static_cast<uint64_t>(calib_runs);
+  }
+  const double exact_total_s = exact_pair_wall_s * static_cast<double>(pairs_possible);
+  const double exact_total_bytes =
+      static_cast<double>(exact_pair_bytes) * static_cast<double>(pairs_possible);
+  if (!skip_calib) {
+    std::printf("Exact baseline (calibrated, %lld-bit group, %lld runs): %.3fs and %.1f KB "
+                "per pair -> est. %s and %.1f MB for all %zu pairs\n",
+                (long long)calib_group_bits, (long long)calib_runs, exact_pair_wall_s,
+                exact_pair_bytes / 1024.0, HumanSeconds(exact_total_s).c_str(),
+                exact_total_bytes / (1024.0 * 1024.0), pairs_possible);
+    std::printf("Sketch audit: %s wall, %zu sketch bytes total (%.0fx fewer bytes)\n",
+                HumanSeconds(audit_wall_s).c_str(), audit.sketch_bytes,
+                audit.sketch_bytes > 0 ? exact_total_bytes / audit.sketch_bytes : 0.0);
+  }
+
+  // Accuracy-vs-bytes sweep over sketch sizes, scored on the planted pairs.
+  struct SweepPoint {
+    uint32_t k = 0;
+    size_t bytes = 0;
+    double mae = 0.0;
+    double build_s = 0.0;
+  };
+  std::vector<SweepPoint> sweep;
+  TextTable sweep_table({"sketch-k", "Bytes/provider", "MAE (planted pairs)", "Build time"});
+  for (const std::string& entry : SplitAndTrim(k_sweep_spec, ',')) {
+    SweepPoint point;
+    point.k = static_cast<uint32_t>(std::stoul(entry));
+    sketch::AllPairsOptions sweep_options = options;
+    sweep_options.sketch.k = point.k;
+    sketch::AllPairsResult result = sketch::RunAllPairs(fleet.sets, sweep_options);
+    point.bytes = sketch::SketchBytes(point.k);
+    point.build_s = result.build_seconds;
+    std::map<PairKey, double> estimates;
+    for (const sketch::ScoredPair& p : result.pairs) {
+      estimates[{p.a, p.b}] = p.jaccard;
+    }
+    size_t scored = 0;
+    for (const sketch::ScoredPair& planted_pair : fleet.planted) {
+      PairKey key{planted_pair.a, planted_pair.b};
+      auto it = estimates.find(key);
+      if (it == estimates.end()) {
+        continue;  // LSH missed it at this k; the planted MAE skips it
+      }
+      point.mae += std::abs(it->second - true_jaccard[key]);
+      ++scored;
+    }
+    if (scored > 0) {
+      point.mae /= static_cast<double>(scored);
+    }
+    sweep.push_back(point);
+    sweep_table.AddRow({std::to_string(point.k), StrFormat("%zu B", point.bytes),
+                        StrFormat("%.4f", point.mae), HumanSeconds(point.build_s)});
+  }
+  std::printf("\nAccuracy vs bytes (register verification, planted pairs):\n");
+  sweep_table.Print();
+
+  if (!json_out.empty()) {
+    std::string json = "{\n";
+    json += StrFormat("  \"providers\": %zu,\n  \"elements\": %lld,\n", n_prov,
+                      (long long)elements);
+    json += StrFormat("  \"sketch_k\": %lld,\n  \"lsh_bands\": %lld,\n  \"lsh_rows\": %lld,\n",
+                      (long long)sketch_k, (long long)lsh_bands, (long long)lsh_rows);
+    json += StrFormat("  \"pairs_possible\": %zu,\n  \"pairs_evaluated\": %zu,\n",
+                      pairs_possible, audit.pairs_evaluated);
+    json += StrFormat("  \"ring_exec_reduction\": %.2f,\n", ring_exec_reduction);
+    json += StrFormat("  \"recall_top10\": %.4f,\n", recall_top10);
+    json += StrFormat("  \"mae_candidates\": %.6f,\n", mae);
+    json += StrFormat("  \"simd_level\": \"%s\",\n", sketch::SimdLevelName(best));
+    json += StrFormat("  \"scalar_ns_per_pair\": %.1f,\n  \"simd_ns_per_pair\": %.1f,\n",
+                      scalar_ns, simd_ns);
+    json += StrFormat("  \"simd_speedup\": %.3f,\n", simd_speedup);
+    json += StrFormat("  \"sketch_bytes_total\": %zu,\n", audit.sketch_bytes);
+    json += StrFormat("  \"audit_wall_s\": %.6f,\n", audit_wall_s);
+    json += StrFormat("  \"exact_calibrated\": %s,\n", skip_calib ? "false" : "true");
+    json += StrFormat("  \"exact_pair_wall_s\": %.6f,\n", exact_pair_wall_s);
+    json += StrFormat("  \"exact_pair_bytes\": %llu,\n",
+                      (unsigned long long)exact_pair_bytes);
+    json += StrFormat("  \"exact_total_wall_s_est\": %.3f,\n", exact_total_s);
+    json += StrFormat("  \"exact_total_bytes_est\": %.0f,\n", exact_total_bytes);
+    json += "  \"k_sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      json += StrFormat("    {\"k\": %u, \"bytes_per_provider\": %zu, \"mae_planted\": %.6f, "
+                        "\"build_s\": %.6f}%s\n",
+                        sweep[i].k, sweep[i].bytes, sweep[i].mae, sweep[i].build_s,
+                        i + 1 < sweep.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    if (Status s = WriteFile(json_out, json); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote results -> %s\n", json_out.c_str());
+  }
+  return 0;
+}

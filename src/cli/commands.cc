@@ -383,8 +383,14 @@ Status RunPiaCommand(int argc, char** argv) {
   std::string sets_path;
   std::string depdbs_spec;
   std::string peers_spec;
+  std::string method_name;
   bool minhash = false;
+  bool all_pairs = false;
   int64_t m = 256;
+  int64_t sketch_k = 256;
+  int64_t lsh_bands = 64;
+  int64_t lsh_rows = 4;
+  int64_t top = 10;
   int64_t self_index = 0;
   int64_t seed = 1;
   int64_t group_bits = 768;
@@ -398,10 +404,22 @@ Status RunPiaCommand(int argc, char** argv) {
   flags.AddString("peers", &peers_spec,
                   "socket mode: the P-SOP ring as \"hostA:p1,hostB:p2,...\" "
                   "(one `indaas pia` process per peer)");
-  flags.AddBool("minhash", &minhash, "MinHash-compress sets before P-SOP");
+  flags.AddString("method", &method_name,
+                  "exact | minhash | sketch (sketch ships MinHash registers "
+                  "instead of running encrypted P-SOP)");
+  flags.AddBool("minhash", &minhash, "MinHash-compress sets before P-SOP (alias "
+                "for --method=minhash)");
+  flags.AddBool("all-pairs", &all_pairs,
+                "rank every provider pair via sketches + LSH banding "
+                "(DESIGN.md §8; in-process mode only)");
   flags.AddInt("m", &m, "MinHash sample size");
+  flags.AddInt("sketch-k", &sketch_k, "registers per sketch (--method=sketch / --all-pairs)");
+  flags.AddInt("lsh-bands", &lsh_bands, "LSH bands for --all-pairs candidate generation");
+  flags.AddInt("lsh-rows", &lsh_rows, "LSH rows per band for --all-pairs");
+  flags.AddInt("top", &top, "riskiest pairs to keep in the --all-pairs report (0 = all)");
   flags.AddInt("self", &self_index, "socket mode: this peer's index into --peers");
-  flags.AddInt("seed", &seed, "socket mode: shared session seed (key material differs per peer)");
+  flags.AddInt("seed", &seed,
+               "shared session seed (socket key material and sketch permutations)");
   flags.AddInt("group-bits", &group_bits, "commutative group bits");
   flags.AddInt("max-redundancy", &max_redundancy, "largest deployment size to rank");
   flags.AddInt("parallel", &parallel, "run this many protocol instances concurrently");
@@ -410,6 +428,27 @@ Status RunPiaCommand(int argc, char** argv) {
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (sets_path.empty() == depdbs_spec.empty()) {
     return InvalidArgumentError("exactly one of --sets or --depdbs is required");
+  }
+  PiaMethod method = minhash ? PiaMethod::kPsopMinHash : PiaMethod::kPsopExact;
+  if (!method_name.empty()) {
+    if (method_name == "exact") {
+      method = PiaMethod::kPsopExact;
+    } else if (method_name == "minhash") {
+      method = PiaMethod::kPsopMinHash;
+    } else if (method_name == "sketch") {
+      method = PiaMethod::kSketch;
+    } else {
+      return InvalidArgumentError("--method must be exact, minhash or sketch (got '" +
+                                  method_name + "')");
+    }
+  }
+  if (sketch_k < 1 || sketch_k > UINT16_MAX) {
+    return InvalidArgumentError(
+        StrFormat("--sketch-k=%lld is outside [1, %u]",
+                  static_cast<long long>(sketch_k), UINT16_MAX));
+  }
+  if (lsh_bands < 0 || lsh_bands > UINT16_MAX || lsh_rows < 0 || lsh_rows > UINT16_MAX) {
+    return InvalidArgumentError("--lsh-bands/--lsh-rows must be in [0, 65535]");
   }
   std::vector<CloudProvider> providers;
   if (!sets_path.empty()) {
@@ -443,6 +482,14 @@ Status RunPiaCommand(int argc, char** argv) {
   if (!peers_spec.empty()) {
     // Socket mode: this process is ring peer `self` and audits its own
     // provider set against the others over TCP.
+    if (all_pairs) {
+      return InvalidArgumentError(
+          "--all-pairs is the in-process auditor view; drop --peers to use it");
+    }
+    if (method == PiaMethod::kPsopMinHash) {
+      return InvalidArgumentError(
+          "--method=minhash is in-process only; socket rings run exact or sketch");
+    }
     INDAAS_ASSIGN_OR_RETURN(std::vector<net::Endpoint> peers,
                             net::ParseEndpointList(peers_spec));
     if (peers.size() < 2) {
@@ -463,16 +510,21 @@ Status RunPiaCommand(int argc, char** argv) {
     peer_options.self_index = static_cast<size_t>(self_index);
     peer_options.psop.group_bits = static_cast<size_t>(group_bits);
     peer_options.psop.seed = static_cast<uint64_t>(seed);
+    peer_options.sketch_k = static_cast<uint32_t>(sketch_k);
     const CloudProvider& self_provider = providers[static_cast<size_t>(self_index)];
     BeginObs(obs_out);
     INDAAS_ASSIGN_OR_RETURN(
         svc::PiaPeer peer,
         svc::PiaPeer::Listen(peer_options.peers[peer_options.self_index].port));
-    std::printf("peer %lld/%zu (%s) listening on port %u, running P-SOP...\n",
+    const bool sketch_session = method == PiaMethod::kSketch;
+    std::printf("peer %lld/%zu (%s) listening on port %u, running %s...\n",
                 static_cast<long long>(self_index), peer_options.peers.size(),
-                self_provider.name.c_str(), peer.listen_port());
-    INDAAS_ASSIGN_OR_RETURN(PsopResult result,
-                            peer.RunPsop(self_provider.components, peer_options));
+                self_provider.name.c_str(), peer.listen_port(),
+                sketch_session ? "sketch exchange" : "P-SOP");
+    INDAAS_ASSIGN_OR_RETURN(
+        PsopResult result,
+        sketch_session ? peer.RunPsopWithSketch(self_provider.components, peer_options)
+                       : peer.RunPsop(self_provider.components, peer_options));
     const PartyStats& stats = result.party_stats[peer_options.self_index];
     std::printf("jaccard=%.6f intersection=%zu union=%zu\n", result.jaccard,
                 result.intersection, result.union_size);
@@ -482,10 +534,28 @@ Status RunPiaCommand(int argc, char** argv) {
     return FinishObs(obs_out);
   }
 
+  if (all_pairs) {
+    // Provider-scale view: sketch every provider once, let LSH banding
+    // nominate the candidate pairs, report the least independent first.
+    PiaAllPairsOptions ap_options;
+    ap_options.sketch.k = static_cast<uint32_t>(sketch_k);
+    ap_options.sketch.seed = static_cast<uint64_t>(seed);
+    ap_options.lsh.bands = static_cast<uint32_t>(lsh_bands);
+    ap_options.lsh.rows = static_cast<uint32_t>(lsh_rows);
+    ap_options.top = static_cast<size_t>(std::max<int64_t>(0, top));
+    BeginObs(obs_out);
+    INDAAS_ASSIGN_OR_RETURN(PiaAllPairsReport report,
+                            RunAllPairsPiaAudit(providers, ap_options));
+    std::printf("%s", RenderAllPairsReport(report).c_str());
+    return FinishObs(obs_out);
+  }
+
   PiaAuditOptions options;
-  options.method = minhash ? PiaMethod::kPsopMinHash : PiaMethod::kPsopExact;
+  options.method = method;
   options.minhash_m = static_cast<size_t>(m);
+  options.sketch_k = static_cast<uint32_t>(sketch_k);
   options.psop.group_bits = static_cast<size_t>(group_bits);
+  options.psop.seed = static_cast<uint64_t>(seed);
   options.max_redundancy =
       static_cast<uint32_t>(std::min<int64_t>(max_redundancy, providers.size()));
   options.parallel_deployments = static_cast<size_t>(std::max<int64_t>(1, parallel));

@@ -95,17 +95,55 @@ Result<uint64_t> DecodeRequestId(std::string_view bytes) {
   return id;
 }
 
+std::string EncodeSketchParams(const FrameSketchParams& params) {
+  std::string out;
+  out.reserve(kSketchParamsBytes);
+  out.push_back(static_cast<char>((params.k >> 8) & 0xFF));
+  out.push_back(static_cast<char>(params.k & 0xFF));
+  out.push_back(static_cast<char>((params.bands >> 8) & 0xFF));
+  out.push_back(static_cast<char>(params.bands & 0xFF));
+  out.push_back(static_cast<char>((params.rows >> 8) & 0xFF));
+  out.push_back(static_cast<char>(params.rows & 0xFF));
+  out.push_back('\0');  // reserved, must be zero
+  out.push_back('\0');
+  return out;
+}
+
+Result<FrameSketchParams> DecodeSketchParams(std::string_view bytes) {
+  if (bytes.size() != kSketchParamsBytes) {
+    return ProtocolError(StrFormat("sketch params are %zu bytes, want %zu", bytes.size(),
+                                   kSketchParamsBytes));
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  FrameSketchParams params;
+  params.k = static_cast<uint16_t>((p[0] << 8) | p[1]);
+  params.bands = static_cast<uint16_t>((p[2] << 8) | p[3]);
+  params.rows = static_cast<uint16_t>((p[4] << 8) | p[5]);
+  if (params.k == 0) {
+    return ProtocolError("sketch params k 0 is reserved for param-less frames");
+  }
+  uint16_t reserved = static_cast<uint16_t>((p[6] << 8) | p[7]);
+  if (reserved != 0) {
+    return ProtocolError(StrFormat("nonzero reserved sketch-params word 0x%04X", reserved));
+  }
+  return params;
+}
+
 namespace {
 
 // Header + extensions for one frame; shared by EncodeFrame and WriteFrame.
 std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
-                              const obs::TraceContext& trace, uint64_t request_id) {
+                              const obs::TraceContext& trace, uint64_t request_id,
+                              const FrameSketchParams& sketch) {
   uint16_t flags = 0;
   if (trace.valid()) {
     flags |= kFrameFlagTraceContext;
   }
   if (request_id != 0) {
     flags |= kFrameFlagRequestId;
+  }
+  if (sketch.valid()) {
+    flags |= kFrameFlagSketchParams;
   }
   std::string prefix = EncodeFrameHeader(type, payload_size, flags);
   if (trace.valid()) {
@@ -114,27 +152,31 @@ std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
   if (request_id != 0) {
     prefix += EncodeRequestId(request_id);
   }
+  if (sketch.valid()) {
+    prefix += EncodeSketchParams(sketch);
+  }
   return prefix;
 }
 
 }  // namespace
 
 std::string EncodeFrame(uint8_t type, std::string_view payload, const obs::TraceContext& trace,
-                        uint64_t request_id) {
+                        uint64_t request_id, const FrameSketchParams& sketch) {
   std::string frame =
-      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id);
+      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id, sketch);
   frame.append(payload);
   FramesSent()->Increment();
   return frame;
 }
 
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
-                  const obs::TraceContext& trace, uint64_t request_id) {
+                  const obs::TraceContext& trace, uint64_t request_id,
+                  const FrameSketchParams& sketch) {
   if (payload.size() > UINT32_MAX) {
     return InvalidArgumentError("WriteFrame: payload exceeds 4 GiB");
   }
   std::string prefix =
-      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id);
+      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id, sketch);
   // Two sends, not one copy: payloads can be tens of MB and the prefix is
   // tiny; TCP_NODELAY is on but the kernel coalesces back-to-back sends.
   INDAAS_RETURN_IF_ERROR(socket.SendAll(prefix, timeout_ms));
@@ -176,6 +218,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
   header.payload_size = length;
   header.has_trace_context = (flags & kFrameFlagTraceContext) != 0;
   header.has_request_id = (flags & kFrameFlagRequestId) != 0;
+  header.has_sketch_params = (flags & kFrameFlagSketchParams) != 0;
   return header;
 }
 
@@ -194,6 +237,11 @@ Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_m
     std::string ext;
     INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kRequestIdBytes, timeout_ms));
     INDAAS_ASSIGN_OR_RETURN(frame.request_id, DecodeRequestId(ext));
+  }
+  if (header.has_sketch_params) {
+    std::string ext;
+    INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kSketchParamsBytes, timeout_ms));
+    INDAAS_ASSIGN_OR_RETURN(frame.sketch, DecodeSketchParams(ext));
   }
   INDAAS_RETURN_IF_ERROR(socket.RecvAll(&frame.payload, header.payload_size, timeout_ms));
   FramesRecv()->Increment();

@@ -6,13 +6,18 @@
 //   4       1     wire-format version (kWireVersion)
 //   5       1     message type (svc::MsgType; opaque to this layer)
 //   6       2     flags (bit 0 = trace-context extension, bit 1 = request-id
-//                 extension; others reserved, must be zero)
+//                 extension, bit 2 = sketch-params extension; others
+//                 reserved, must be zero)
 //   8       4     payload length in bytes, big-endian (extensions excluded)
 //   12      16    trace-context extension, only when flag bit 0 is set:
 //                 trace id (u64 BE) + parent wire span id (u64 BE)
 //   +0      8     request-id extension, only when flag bit 1 is set:
 //                 per-connection request id (u64 BE, never zero). Follows
 //                 the trace extension when both are present.
+//   +0      8     sketch-params extension, only when flag bit 2 is set:
+//                 u16 k, u16 LSH bands, u16 LSH rows, u16 reserved (zero),
+//                 all big-endian. Last of the extensions when several are
+//                 present.
 //   ...     n     payload
 //
 // Extensions carry per-frame identity ahead of the payload; their bytes are
@@ -57,9 +62,30 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 // all other bits are reserved and rejected.
 inline constexpr uint16_t kFrameFlagTraceContext = 0x0001;
 inline constexpr uint16_t kFrameFlagRequestId = 0x0002;
-inline constexpr uint16_t kFrameKnownFlags = kFrameFlagTraceContext | kFrameFlagRequestId;
+inline constexpr uint16_t kFrameFlagSketchParams = 0x0004;
+inline constexpr uint16_t kFrameKnownFlags =
+    kFrameFlagTraceContext | kFrameFlagRequestId | kFrameFlagSketchParams;
 inline constexpr size_t kTraceContextBytes = 16;
 inline constexpr size_t kRequestIdBytes = 8;
+inline constexpr size_t kSketchParamsBytes = 8;
+
+// Sketch-parameters extension (flag bit 2): announces the MinHash geometry
+// of a sketch-exchange P-SOP session — register count k plus the LSH
+// banding the auditor will apply — so ring peers can cross-check that they
+// sketched under identical parameters before trusting register agreement.
+// Wire layout: u16 k, u16 bands, u16 rows, u16 reserved (must be zero), all
+// big-endian. k = 0 never appears on the wire (a sketch needs at least one
+// register), so it doubles as "extension absent" in-memory. Peers predating
+// the extension reject the unknown flag bit as kProtocolError — exactly the
+// fail-closed behaviour wanted when an old auditor meets sketch traffic.
+struct FrameSketchParams {
+  uint16_t k = 0;  // registers per sketch; 0 = extension absent
+  uint16_t bands = 0;
+  uint16_t rows = 0;
+
+  bool valid() const { return k != 0; }
+  friend bool operator==(const FrameSketchParams&, const FrameSketchParams&) = default;
+};
 
 struct FrameLimits {
   // Largest payload ReadFrame will accept. PIA datasets dominate frame
@@ -77,6 +103,9 @@ struct Frame {
   // Pipelining id carried by the request-id extension; 0 when the frame had
   // none (writers never emit id 0, so 0 is unambiguous for "absent").
   uint64_t request_id = 0;
+  // Sketch geometry carried by the sketch-params extension; !valid() when
+  // the frame had none.
+  FrameSketchParams sketch;
 };
 
 // Serializes the header for `type`/`payload_size` (testing seam; WriteFrame
@@ -98,6 +127,13 @@ std::string EncodeRequestId(uint64_t request_id);
 // protocol error: writers never emit it, and readers rely on 0 = absent.
 Result<uint64_t> DecodeRequestId(std::string_view bytes);
 
+// Serializes the 8-byte sketch-params extension.
+std::string EncodeSketchParams(const FrameSketchParams& params);
+
+// Decodes a kSketchParamsBytes-byte sketch-params extension. k = 0 and a
+// nonzero reserved word are protocol errors.
+Result<FrameSketchParams> DecodeSketchParams(std::string_view bytes);
+
 // Decoded, validated header fields.
 struct FrameHeader {
   uint8_t type = 0;
@@ -108,11 +144,15 @@ struct FrameHeader {
   // True when the request-id flag was set: kRequestIdBytes of request-id
   // extension follow the header (after any trace extension).
   bool has_request_id = false;
+  // True when the sketch-params flag was set: kSketchParamsBytes of sketch
+  // extension follow the header (after any trace / request-id extensions).
+  bool has_sketch_params = false;
 
   // Bytes of extensions between header and payload.
   size_t extension_bytes() const {
     return (has_trace_context ? kTraceContextBytes : 0) +
-           (has_request_id ? kRequestIdBytes : 0);
+           (has_request_id ? kRequestIdBytes : 0) +
+           (has_sketch_params ? kSketchParamsBytes : 0);
   }
   // Total frame size on the wire (header + extensions + payload).
   size_t total_bytes() const {
@@ -129,13 +169,16 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
 // Used by the reactor's buffered write path, which batches several frames
 // into one send; WriteFrame is the immediate-send equivalent.
 std::string EncodeFrame(uint8_t type, std::string_view payload,
-                        const obs::TraceContext& trace = {}, uint64_t request_id = 0);
+                        const obs::TraceContext& trace = {}, uint64_t request_id = 0,
+                        const FrameSketchParams& sketch = {});
 
 // Writes one frame (header [+ extensions] + payload) to the socket. The
 // trace extension is emitted only when `trace` is valid, the request-id
-// extension only when `request_id` is nonzero.
+// extension only when `request_id` is nonzero, and the sketch-params
+// extension only when `sketch.valid()`.
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
-                  const obs::TraceContext& trace = {}, uint64_t request_id = 0);
+                  const obs::TraceContext& trace = {}, uint64_t request_id = 0,
+                  const FrameSketchParams& sketch = {});
 
 // Reads and validates one frame. The timeout applies to each socket wait,
 // so a total stall is bounded by timeout_ms per phase (header, optional

@@ -116,9 +116,17 @@ Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
       PsopOptions psop = options.psop;
       // Distinct, deterministic seed per deployment.
       psop.seed = options.psop.seed * 1000003 + static_cast<uint64_t>(c) * 7919 + r;
-      runs[c] = options.method == PiaMethod::kPsopMinHash
-                    ? RunPsopWithMinHash(datasets, options.minhash_m, psop)
-                    : RunPsop(datasets, psop);
+      switch (options.method) {
+        case PiaMethod::kPsopMinHash:
+          runs[c] = RunPsopWithMinHash(datasets, options.minhash_m, psop);
+          break;
+        case PiaMethod::kSketch:
+          runs[c] = RunPsopWithSketch(datasets, options.sketch_k, psop);
+          break;
+        case PiaMethod::kPsopExact:
+          runs[c] = RunPsop(datasets, psop);
+          break;
+      }
     };
     if (options.parallel_deployments > 1 && combos.size() > 1) {
       ThreadPool pool(std::min(options.parallel_deployments, combos.size()));
@@ -161,6 +169,65 @@ Result<PiaAuditReport> RunPiaAudit(const std::vector<CloudProvider>& providers,
     report.rankings.push_back(std::move(ranking));
   }
   return report;
+}
+
+Result<PiaAllPairsReport> RunAllPairsPiaAudit(const std::vector<CloudProvider>& providers,
+                                              const PiaAllPairsOptions& options) {
+  if (providers.size() < 2) {
+    return InvalidArgumentError("RunAllPairsPiaAudit: need at least two providers");
+  }
+  std::set<std::string> names;
+  std::vector<std::vector<std::string>> sets;
+  sets.reserve(providers.size());
+  for (const CloudProvider& provider : providers) {
+    if (!names.insert(provider.name).second) {
+      return InvalidArgumentError("RunAllPairsPiaAudit: duplicate provider '" + provider.name +
+                                  "'");
+    }
+    if (provider.components.empty()) {
+      return InvalidArgumentError("RunAllPairsPiaAudit: provider '" + provider.name +
+                                  "' has no components");
+    }
+    sets.push_back(provider.components);
+  }
+
+  sketch::AllPairsOptions engine;
+  engine.sketch = options.sketch;
+  engine.lsh = options.lsh;
+  engine.verify = options.verify;
+  engine.min_jaccard = options.min_jaccard;
+  engine.top = options.top;
+  sketch::AllPairsResult result = sketch::RunAllPairs(sets, engine);
+
+  PiaAllPairsReport report;
+  report.providers = result.providers;
+  report.pairs_possible = result.pairs_possible;
+  report.pairs_evaluated = result.pairs_evaluated;
+  report.pairs_pruned = result.pairs_pruned;
+  report.sketch_bytes = result.sketch_bytes;
+  report.pairs.reserve(result.pairs.size());
+  for (const sketch::ScoredPair& pair : result.pairs) {
+    report.pairs.push_back(
+        {providers[pair.a].name, providers[pair.b].name, pair.jaccard});
+  }
+  return report;
+}
+
+std::string RenderAllPairsReport(const PiaAllPairsReport& report) {
+  std::string out = StrFormat(
+      "All-pairs sketch audit: %zu providers, %zu candidate pairs scored of %zu possible "
+      "(%zu pruned), %zu sketch bytes exchanged\n",
+      report.providers, report.pairs_evaluated, report.pairs_possible, report.pairs_pruned,
+      report.sketch_bytes);
+  out += "Least independent provider pairs (highest Jaccard first):\n";
+  TextTable table({"Rank", "Provider Pair", "Jaccard"});
+  size_t rank = 1;
+  for (const RankedProviderPair& pair : report.pairs) {
+    table.AddRow({std::to_string(rank++), pair.a + " & " + pair.b,
+                  StrFormat("%.4f", pair.jaccard)});
+  }
+  out += table.ToString();
+  return out;
 }
 
 std::string RenderPiaReport(const PiaAuditReport& report) {

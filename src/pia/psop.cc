@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <map>
 
-#include "src/crypto/hash_family.h"
 #include "src/obs/trace.h"
+#include "src/sketch/sketch.h"
 #include "src/util/strings.h"
 
 namespace indaas {
@@ -160,37 +160,110 @@ Result<PsopResult> RunPsopWithMinHash(const std::vector<std::vector<std::string>
   if (m == 0) {
     return InvalidArgumentError("RunPsopWithMinHash: m must be > 0");
   }
+  if (m > UINT32_MAX) {
+    return InvalidArgumentError("RunPsopWithMinHash: m too large");
+  }
   INDAAS_TRACE_SPAN("pia.psop.minhash");
-  // All parties agree on the hash family (seed derived from the protocol
-  // seed, as they would agree on hash functions out of band).
-  HashFamily family(options.seed ^ 0x4D696E4861736821ULL, m);
+  // All parties derive the same register hashes from the protocol seed (as
+  // they would agree on hash functions out of band). Sampling reuses the
+  // sketch engine's arg-min, so the chosen elements match the registers the
+  // sketch-exchange mode would ship — and are stable across runs and hosts.
+  sketch::SketchParams params;
+  params.k = static_cast<uint32_t>(m);
+  params.seed = options.seed ^ 0x4D696E4861736821ULL;
   std::vector<std::vector<std::string>> samples;
   samples.reserve(datasets.size());
+  std::vector<uint32_t> registers(m);
+  std::vector<uint32_t> argmin;
   for (const std::vector<std::string>& dataset : datasets) {
     if (dataset.empty()) {
       return InvalidArgumentError("RunPsopWithMinHash: empty dataset");
     }
+    sketch::BuildSketch(params, dataset, registers.data(), &argmin);
     std::vector<std::string> sample;
     sample.reserve(m);
     for (size_t i = 0; i < m; ++i) {
-      // arg-min element under hash function i, tagged with the function
+      // arg-min element under register hash i, tagged with the register
       // index so index-i entries only match index-i entries.
-      const std::string* best = &dataset.front();
-      uint64_t best_hash = family.Hash(i, dataset.front());
-      for (const std::string& element : dataset) {
-        uint64_t h = family.Hash(i, element);
-        if (h < best_hash) {
-          best_hash = h;
-          best = &element;
-        }
-      }
-      sample.push_back(StrFormat("%zu#", i) + *best);
+      sample.push_back(StrFormat("%zu#", i) + dataset[argmin[i]]);
     }
     samples.push_back(std::move(sample));
   }
   INDAAS_ASSIGN_OR_RETURN(PsopResult result, RunPsop(samples, options));
   // Jaccard estimate is |∩ samples| / m (§4.2.4), not intersection/union.
   result.jaccard = static_cast<double>(result.intersection) / static_cast<double>(m);
+  return result;
+}
+
+uint64_t PsopSketchSeed(uint64_t protocol_seed) {
+  return protocol_seed ^ 0x536B657463682121ULL;  // "Sketch!!"
+}
+
+Result<PsopResult> RunPsopWithSketch(const std::vector<std::vector<std::string>>& datasets,
+                                     uint32_t sketch_k, const PsopOptions& options) {
+  const size_t k = datasets.size();
+  if (k < 2) {
+    return InvalidArgumentError("RunPsopWithSketch: need at least two parties");
+  }
+  if (sketch_k == 0) {
+    return InvalidArgumentError("RunPsopWithSketch: sketch_k must be > 0");
+  }
+  for (const std::vector<std::string>& dataset : datasets) {
+    if (dataset.empty()) {
+      return InvalidArgumentError("RunPsopWithSketch: empty dataset");
+    }
+  }
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.psop.sketch");
+  span.Annotate("parties", std::to_string(k));
+
+  std::vector<PartyStats> stats(k);
+  std::vector<PartyMeter> meters;
+  meters.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    meters.emplace_back(&stats[i], "sketch");
+  }
+
+  sketch::SketchParams params;
+  params.k = sketch_k;
+  params.seed = PsopSketchSeed(options.seed);
+  sketch::SketchArena arena(sketch_k, k);
+  {
+    INDAAS_TRACE_SPAN("pia.psop.sketch.build");
+    for (size_t i = 0; i < k; ++i) {
+      PartyComputeTimer timer(meters[i]);
+      sketch::BuildSketch(params, datasets[i], arena.At(i));
+    }
+  }
+
+  // Ring all-gather: k-1 hops, each party forwarding one fixed-size sketch
+  // per hop, after which everyone holds all k register arrays.
+  const size_t hop_bytes = kSketchHopOverheadBytes + sketch::SketchBytes(sketch_k);
+  for (size_t hop = 0; hop + 1 < k; ++hop) {
+    for (size_t i = 0; i < k; ++i) {
+      meters[i].AddBytesSent(hop_bytes);
+      meters[(i + 1) % k].AddBytesReceived(hop_bytes);
+    }
+  }
+
+  PsopResult result;
+  {
+    // Every party counts locally; the simulation does it once and charges
+    // party 0, mirroring RunPsop's counting convention.
+    PartyComputeTimer timer(meters[0]);
+    size_t agree = 0;
+    for (uint32_t r = 0; r < sketch_k; ++r) {
+      const uint32_t v = arena.At(0)[r];
+      bool all = true;
+      for (size_t i = 1; i < k && all; ++i) {
+        all = arena.At(i)[r] == v;
+      }
+      agree += all;
+    }
+    result.intersection = agree;
+    result.union_size = sketch_k;
+    result.jaccard = static_cast<double>(agree) / static_cast<double>(sketch_k);
+  }
+  result.party_stats = stats;
   return result;
 }
 

@@ -56,8 +56,35 @@ Result<PsopResult> RunPsop(const std::vector<std::vector<std::string>>& datasets
 // MinHash-compressed variant (§4.2.4): each party first reduces its set to an
 // m-element MinHash sample, then runs P-SOP on the samples; Jaccard is
 // estimated as |∩| / m. Far cheaper for large sets, at accuracy O(1/sqrt(m)).
+// Sampling is the arg-min of the src/sketch register hashes, so the sampled
+// elements — like the registers themselves — are identical across runs and
+// hosts for a given seed (tests/pia_test.cc cross-checks the two).
 Result<PsopResult> RunPsopWithMinHash(const std::vector<std::vector<std::string>>& datasets,
                                       size_t m, const PsopOptions& options = {});
+
+// Seed every sketch-exchange party derives from the protocol seed; shared
+// between the in-process engine below and the socket-backed peers
+// (src/svc/pia_peer.cc) so both produce byte-identical registers.
+uint64_t PsopSketchSeed(uint64_t protocol_seed);
+
+// Per-hop framing overhead the in-process simulation charges on top of the
+// raw register bytes (origin + length header; the socket engine accounts
+// real frame bytes instead).
+inline constexpr size_t kSketchHopOverheadBytes = 8;
+
+// Sketch-exchange variant (DESIGN.md §8): each party compresses its set to a
+// sketch_k-register MinHash sketch and the ring all-gathers the sketches in
+// k-1 hops — no commutative encryption at all. Jaccard is estimated as the
+// fraction of registers on which *all* parties agree (the k-way estimator;
+// for two parties this is the classic MinHash estimate, error ~1/sqrt(k)).
+// Bytes on the wire are fixed at ~4*sketch_k per party per hop regardless of
+// set size. Privacy is weaker than encrypted P-SOP: peers see one-way hashed
+// registers rather than ciphertexts, which leaks membership to an adversary
+// who can enumerate the element universe — the report flags the mode
+// accordingly. Result fields: intersection = #agreeing registers,
+// union_size = sketch_k, jaccard = intersection / sketch_k.
+Result<PsopResult> RunPsopWithSketch(const std::vector<std::vector<std::string>>& datasets,
+                                     uint32_t sketch_k, const PsopOptions& options = {});
 
 }  // namespace indaas
 

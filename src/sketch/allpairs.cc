@@ -1,0 +1,127 @@
+#include "src/sketch/allpairs.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace indaas {
+namespace sketch {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct AllPairsMetrics {
+  obs::Counter* runs;
+  obs::Counter* sketches;
+  obs::Counter* candidates;
+  obs::Counter* evaluated;
+  obs::Counter* pruned;
+
+  static const AllPairsMetrics& Get() {
+    static const AllPairsMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return AllPairsMetrics{
+          reg.GetCounter("sketch.allpairs.runs"),
+          reg.GetCounter("sketch.allpairs.sketches_built"),
+          reg.GetCounter("sketch.allpairs.candidates"),
+          reg.GetCounter("sketch.allpairs.pairs_evaluated"),
+          reg.GetCounter("sketch.allpairs.pairs_pruned"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+AllPairsResult RunAllPairs(const std::vector<std::vector<std::string>>& sets,
+                           const AllPairsOptions& options) {
+  const AllPairsMetrics& metrics = AllPairsMetrics::Get();
+  INDAAS_TRACE_SPAN_NAMED(span, "sketch.allpairs");
+  span.Annotate("simd", SimdLevelName(options.simd));
+  metrics.runs->Increment();
+
+  AllPairsResult result;
+  result.providers = sets.size();
+  result.pairs_possible = sets.size() < 2 ? 0 : sets.size() * (sets.size() - 1) / 2;
+
+  auto t0 = std::chrono::steady_clock::now();
+  SketchArena arena = [&] {
+    INDAAS_TRACE_SPAN("sketch.allpairs.build");
+    return BuildSketches(options.sketch, sets);
+  }();
+  metrics.sketches->Add(sets.size());
+  result.sketch_bytes = arena.bytes();
+  result.build_seconds = SecondsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  {
+    INDAAS_TRACE_SPAN("sketch.allpairs.lsh");
+    candidates = LshCandidatePairs(arena, options.lsh, &result.lsh);
+  }
+  metrics.candidates->Add(candidates.size());
+  result.lsh_seconds = SecondsSince(t1);
+
+  auto t2 = std::chrono::steady_clock::now();
+  {
+    INDAAS_TRACE_SPAN("sketch.allpairs.verify");
+    std::vector<std::vector<uint32_t>> fingerprints;
+    if (options.verify == VerifyMode::kFingerprints) {
+      fingerprints.reserve(sets.size());
+      for (const auto& set : sets) {
+        fingerprints.push_back(BuildFingerprints(options.sketch.seed, set));
+      }
+    }
+    result.pairs.reserve(candidates.size());
+    for (const auto& [a, b] : candidates) {
+      ++result.pairs_evaluated;
+      if (options.verify == VerifyMode::kRegisters) {
+        size_t agree = AgreeCount(arena.At(a), arena.At(b), arena.k(), options.simd);
+        double j = arena.k() == 0 ? 0.0 : static_cast<double>(agree) / arena.k();
+        if (j < options.min_jaccard) {
+          ++result.pairs_pruned;
+          continue;
+        }
+        result.pairs.push_back({a, b, j});
+      } else {
+        const auto& fa = fingerprints[a];
+        const auto& fb = fingerprints[b];
+        ThresholdResult r = IntersectCountThreshold(fa.data(), fa.size(), fb.data(), fb.size(),
+                                                    options.min_jaccard, options.simd);
+        if (r.pruned) {
+          ++result.pairs_pruned;
+          continue;
+        }
+        double j = JaccardFromIntersection(r.count, fa.size(), fb.size());
+        if (j < options.min_jaccard) {
+          ++result.pairs_pruned;
+          continue;
+        }
+        result.pairs.push_back({a, b, j});
+      }
+    }
+  }
+  metrics.evaluated->Add(result.pairs_evaluated);
+  metrics.pruned->Add(result.pairs_pruned);
+  result.verify_seconds = SecondsSince(t2);
+
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.jaccard != y.jaccard) {
+                return x.jaccard > y.jaccard;
+              }
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  if (options.top != 0 && result.pairs.size() > options.top) {
+    result.pairs.resize(options.top);
+  }
+  return result;
+}
+
+}  // namespace sketch
+}  // namespace indaas

@@ -1,0 +1,74 @@
+// Provider-scale all-pairs similarity: sketch -> LSH candidates -> verified
+// Jaccard (DESIGN.md §8).
+//
+// The exact P-SOP audit runs one commutative-encryption ring per provider
+// pair — N(N-1)/2 executions. This engine instead sketches every provider
+// once, lets LSH banding nominate the few pairs that could plausibly be
+// similar, and verifies only those: with the default S-curve a 64-provider
+// fleet evaluates tens of pairs instead of 2016. Verification is either the
+// register-agreement estimator (free, error ~1/sqrt(k)) or an exact-on-
+// fingerprints intersection via the SIMD kernels (collision-exact Jaccard),
+// optionally pruned below a minimum-Jaccard threshold.
+//
+// Everything is deterministic under a fixed seed: identical inputs rank
+// identically across runs and hosts.
+
+#ifndef SRC_SKETCH_ALLPAIRS_H_
+#define SRC_SKETCH_ALLPAIRS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sketch/intersect.h"
+#include "src/sketch/lsh.h"
+#include "src/sketch/sketch.h"
+
+namespace indaas {
+namespace sketch {
+
+enum class VerifyMode : uint8_t {
+  kRegisters = 0,     // J ~= AgreeCount / k on the sketches already in hand
+  kFingerprints = 1,  // exact Jaccard over sorted 32-bit fingerprint sets
+};
+
+struct AllPairsOptions {
+  SketchParams sketch;
+  LshParams lsh;
+  VerifyMode verify = VerifyMode::kFingerprints;
+  // Early-exit threshold for fingerprint verification; candidate pairs whose
+  // Jaccard provably falls below it are dropped (counted as pruned). 0 keeps
+  // every candidate.
+  double min_jaccard = 0.0;
+  size_t top = 0;  // keep only the top-N pairs by Jaccard; 0 = keep all
+  SimdLevel simd = BestSimdLevel();
+};
+
+struct ScoredPair {
+  uint32_t a = 0;
+  uint32_t b = 0;  // a < b
+  double jaccard = 0.0;
+};
+
+struct AllPairsResult {
+  // Descending Jaccard, ties broken by (a, b) so the ranking is stable.
+  std::vector<ScoredPair> pairs;
+  size_t providers = 0;
+  size_t pairs_possible = 0;   // N(N-1)/2 — what the exact audit would run
+  size_t pairs_evaluated = 0;  // LSH candidates actually verified
+  size_t pairs_pruned = 0;     // candidates dropped by the Jaccard threshold
+  LshStats lsh;
+  size_t sketch_bytes = 0;  // total register bytes across all providers
+  double build_seconds = 0.0;
+  double lsh_seconds = 0.0;
+  double verify_seconds = 0.0;
+};
+
+AllPairsResult RunAllPairs(const std::vector<std::vector<std::string>>& sets,
+                           const AllPairsOptions& options);
+
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // SRC_SKETCH_ALLPAIRS_H_

@@ -1,0 +1,306 @@
+#include "src/sketch/intersect.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/sketch/intersect_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define INDAAS_SKETCH_X86_64 1
+#include <emmintrin.h>  // SSE2: baseline on x86-64, no extra compile flags
+#endif
+
+namespace indaas {
+namespace sketch {
+namespace {
+
+// Size ratio beyond which the merge switches to galloping: binary-search
+// cost ns*log(nb) beats the linear merge once nb dwarfs ns.
+constexpr size_t kGallopRatio = 32;
+
+// First index >= x in v[lo, n), by exponential probe then binary search.
+size_t GallopLowerBound(const uint32_t* v, size_t lo, size_t n, uint32_t x) {
+  size_t step = 1;
+  size_t probe = lo;
+  while (probe < n && v[probe] < x) {
+    lo = probe + 1;
+    probe += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(probe, n);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (v[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t ScalarGallopIntersect(const uint32_t* small, size_t ns, const uint32_t* big, size_t nb) {
+  size_t j = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < ns && j < nb; ++i) {
+    j = GallopLowerBound(big, j, nb, small[i]);
+    if (j < nb && big[j] == small[i]) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// Classical two-pointer merge; the scalar baseline every SIMD variant is
+// benchmarked against. `needed` = 0 disables the early exit; otherwise the
+// merge abandons once count + min(remaining) < needed (checked every 16
+// steps so the hot loop stays three compares).
+ThresholdResult ScalarMergeIntersect(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                                     size_t needed) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  size_t steps = 0;
+  while (i < na && j < nb) {
+    uint32_t x = a[i];
+    uint32_t y = b[j];
+    if (x == y) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+    if (needed != 0 && (++steps & 15u) == 0) {
+      size_t best_possible = count + std::min(na - i, nb - j);
+      if (best_possible < needed) {
+        return {true, count};
+      }
+    }
+  }
+  return {false, count};
+}
+
+#if defined(INDAAS_SKETCH_X86_64)
+
+size_t Sse2AgreeCount(const uint32_t* a, const uint32_t* b, size_t k) {
+  // Equality lanes are -1, so subtracting the compare mask from a vector
+  // accumulator counts agreements; one horizontal sum at the end.
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_sub_epi32(acc, _mm_cmpeq_epi32(va, vb));
+  }
+  alignas(16) uint32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < k; ++i) {
+    count += a[i] == b[i];
+  }
+  return count;
+}
+
+// 4x4 block merge: va against every lane rotation of vb. Values are
+// strictly increasing within each array, so each lane matches at most one
+// rotation and the popcount of the combined mask is the number of common
+// values between the two windows. Advancing the window with the smaller
+// max never skips a match (anything past the other window exceeds it).
+ThresholdResult Sse2IntersectCount(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                                   size_t needed) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)));  // rot 1
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E)));  // rot 2
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)));  // rot 3
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)))));
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    if (amax <= bmax) {
+      i += 4;
+    }
+    if (bmax <= amax) {
+      j += 4;
+    }
+    if (needed != 0) {
+      size_t best_possible = count + std::min(na - i, nb - j);
+      if (best_possible < needed) {
+        return {true, count};
+      }
+    }
+  }
+  // Scalar tail over the remaining sub-window elements.
+  ThresholdResult tail = ScalarMergeIntersect(a + i, na - i, b + j, nb - j, 0);
+  return {false, count + tail.count};
+}
+
+#endif  // INDAAS_SKETCH_X86_64
+
+bool CpuHasAvx2() {
+#if defined(INDAAS_SKETCH_HAVE_AVX2) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdLevel DetectBestLevel() {
+  SimdLevel best = SimdLevel::kScalar;
+#if defined(INDAAS_SKETCH_X86_64)
+  best = SimdLevel::kSse2;
+#endif
+  if (CpuHasAvx2()) {
+    best = SimdLevel::kAvx2;
+  }
+  const char* pin = std::getenv("INDAAS_SKETCH_SIMD");
+  if (pin != nullptr) {
+    SimdLevel wanted = best;
+    if (std::strcmp(pin, "scalar") == 0) {
+      wanted = SimdLevel::kScalar;
+    } else if (std::strcmp(pin, "sse2") == 0) {
+      wanted = SimdLevel::kSse2;
+    } else if (std::strcmp(pin, "avx2") == 0) {
+      wanted = SimdLevel::kAvx2;
+    }
+    if (wanted < best || SimdLevelAvailable(wanted)) {
+      best = wanted;
+    }
+  }
+  return best;
+}
+
+// Degrades an unavailable request to the best supported level at or below.
+SimdLevel Resolve(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !SimdLevelAvailable(SimdLevel::kAvx2)) {
+    level = SimdLevel::kSse2;
+  }
+  if (level == SimdLevel::kSse2 && !SimdLevelAvailable(SimdLevel::kSse2)) {
+    level = SimdLevel::kScalar;
+  }
+  return level;
+}
+
+ThresholdResult IntersectDispatch(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                                  size_t needed, SimdLevel level) {
+  if (na == 0 || nb == 0) {
+    return {needed != 0, 0};
+  }
+  level = Resolve(level);
+  // Lopsided inputs: gallop regardless of level (the search is latency-
+  // bound; AVX2 only changes the final containment probe, done in the AVX2
+  // translation unit so this file stays SSE2-clean).
+  if (needed == 0 && (na > nb * kGallopRatio || nb > na * kGallopRatio)) {
+    const uint32_t* small = na <= nb ? a : b;
+    const uint32_t* big = na <= nb ? b : a;
+    size_t ns = std::min(na, nb);
+    size_t nbig = std::max(na, nb);
+#if defined(INDAAS_SKETCH_HAVE_AVX2)
+    if (level == SimdLevel::kAvx2) {
+      return {false, internal::Avx2GallopIntersect(small, ns, big, nbig)};
+    }
+#endif
+    return {false, ScalarGallopIntersect(small, ns, big, nbig)};
+  }
+  switch (level) {
+#if defined(INDAAS_SKETCH_HAVE_AVX2)
+    case SimdLevel::kAvx2:
+      return internal::Avx2IntersectCount(a, na, b, nb, needed);
+#endif
+#if defined(INDAAS_SKETCH_X86_64)
+    case SimdLevel::kSse2:
+      return Sse2IntersectCount(a, na, b, nb, needed);
+#endif
+    default:
+      return ScalarMergeIntersect(a, na, b, nb, needed);
+  }
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdLevelAvailable(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+#if defined(INDAAS_SKETCH_X86_64)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+      return CpuHasAvx2();
+  }
+  return false;
+}
+
+SimdLevel BestSimdLevel() {
+  static const SimdLevel level = DetectBestLevel();
+  return level;
+}
+
+size_t AgreeCount(const uint32_t* a, const uint32_t* b, size_t k, SimdLevel level) {
+  switch (Resolve(level)) {
+#if defined(INDAAS_SKETCH_HAVE_AVX2)
+    case SimdLevel::kAvx2:
+      return internal::Avx2AgreeCount(a, b, k);
+#endif
+#if defined(INDAAS_SKETCH_X86_64)
+    case SimdLevel::kSse2:
+      return Sse2AgreeCount(a, b, k);
+#endif
+    default: {
+      size_t count = 0;
+      for (size_t i = 0; i < k; ++i) {
+        count += a[i] == b[i];
+      }
+      return count;
+    }
+  }
+}
+
+size_t IntersectCount(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                      SimdLevel level) {
+  return IntersectDispatch(a, na, b, nb, 0, level).count;
+}
+
+ThresholdResult IntersectCountThreshold(const uint32_t* a, size_t na, const uint32_t* b,
+                                        size_t nb, double min_jaccard, SimdLevel level) {
+  size_t needed = 0;
+  if (min_jaccard > 0.0) {
+    // Smallest intersection still reaching min_jaccard, rounded down:
+    // under-estimating `needed` only makes pruning more conservative,
+    // never wrong.
+    needed = static_cast<size_t>(min_jaccard * static_cast<double>(na + nb) /
+                                 (1.0 + min_jaccard));
+    if (needed == 0) {
+      needed = 1;
+    }
+  }
+  return IntersectDispatch(a, na, b, nb, needed, level);
+}
+
+}  // namespace sketch
+}  // namespace indaas

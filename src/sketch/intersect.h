@@ -1,0 +1,89 @@
+// Pairwise sketch-comparison kernels with runtime SIMD dispatch
+// (DESIGN.md §8).
+//
+// Two kernel families, each in scalar / SSE2 / AVX2 variants selected at
+// runtime from CPUID (build-time fallback keeps non-x86 targets on the
+// scalar path, so the library compiles everywhere):
+//
+//  - AgreeCount: #indices where two k-register MinHash sketches hold the
+//    same value — the Jaccard estimator's numerator. Branchless compare
+//    streams; AVX2 does 32 registers per unrolled iteration.
+//  - IntersectCount: |A ∩ B| over two sorted, deduplicated u32 fingerprint
+//    arrays. Similar-size inputs use block merges — compare an 8-element
+//    window of A against every rotation of an 8-element window of B with
+//    vector equality, then advance whichever window has the smaller max
+//    (values are strictly increasing, so each element matches at most one
+//    lane and the block-advance rule never skips a match). Lopsided inputs
+//    (32x size ratio) switch to galloping: exponential search in the big
+//    array, with the final containment probe done as one 8-wide vector
+//    compare at AVX2.
+//
+// IntersectCountThreshold adds an early exit: it abandons a pair as soon as
+// the best still-achievable intersection can no longer reach `min_jaccard`
+// (upper bound count + min(remaining_a, remaining_b), checked per block).
+// A pruned result guarantees J < min_jaccard; an unpruned result is the
+// exact count — so ranking code can prune the ocean of near-disjoint
+// provider pairs at a fraction of a full merge each.
+//
+// Every variant returns identical counts (tests/sketch_test.cc property-
+// tests scalar vs SSE2 vs AVX2 on randomized inputs); only wall time
+// differs. The INDAAS_SKETCH_SIMD environment variable (scalar|sse2|avx2)
+// pins dispatch for A/B benchmarks and the CI job that forces the AVX2
+// path; an unavailable pin silently degrades to the best supported level,
+// which the dispatch test turns into a hard failure where support is
+// mandatory.
+
+#ifndef SRC_SKETCH_INTERSECT_H_
+#define SRC_SKETCH_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace indaas {
+namespace sketch {
+
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+// True when `level` is both compiled in and supported by this CPU.
+bool SimdLevelAvailable(SimdLevel level);
+
+// Highest available level, computed once. INDAAS_SKETCH_SIMD=scalar|sse2|
+// avx2 pins the answer (degrading to the best available level when the pin
+// is not supported).
+SimdLevel BestSimdLevel();
+
+// #indices i in [0, k) with a[i] == b[i]. a and b are k-register sketches.
+size_t AgreeCount(const uint32_t* a, const uint32_t* b, size_t k, SimdLevel level);
+
+// |A ∩ B| for sorted, strictly-increasing u32 arrays.
+size_t IntersectCount(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                      SimdLevel level);
+
+struct ThresholdResult {
+  // True when the merge was abandoned because J < min_jaccard is already
+  // certain; `count` is then a lower bound, not the exact intersection.
+  bool pruned = false;
+  size_t count = 0;
+};
+
+// IntersectCount with an early exit below `min_jaccard` (see file comment).
+ThresholdResult IntersectCountThreshold(const uint32_t* a, size_t na, const uint32_t* b,
+                                        size_t nb, double min_jaccard, SimdLevel level);
+
+// J = |A∩B| / |A∪B| from an intersection count of sorted sets.
+inline double JaccardFromIntersection(size_t intersection, size_t na, size_t nb) {
+  size_t union_size = na + nb - intersection;
+  return union_size == 0 ? 0.0
+                         : static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // SRC_SKETCH_INTERSECT_H_

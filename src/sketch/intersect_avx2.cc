@@ -1,0 +1,206 @@
+// AVX2 kernels for src/sketch/intersect.h. Compiled with -mavx2 in its own
+// translation unit (see src/sketch/CMakeLists.txt); callers reach it only
+// through the runtime dispatch in intersect.cc after a CPUID check.
+
+#if defined(INDAAS_SKETCH_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "src/sketch/intersect_kernels.h"
+
+namespace indaas {
+namespace sketch {
+namespace internal {
+namespace {
+
+inline size_t MaskPopcount(__m256i eq) {
+  return static_cast<size_t>(
+      __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+}
+
+// Equality mask for one 8-register block; lanes are -1 on agreement, so
+// subtracting the mask from a vector accumulator counts matches without a
+// per-block movemask + popcount round trip.
+inline __m256i AgreeMask(const uint32_t* a, const uint32_t* b) {
+  __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return _mm256_cmpeq_epi32(va, vb);
+}
+
+inline size_t HorizontalSum(__m256i acc) {
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t sum = 0;
+  for (uint32_t lane : lanes) {
+    sum += lane;
+  }
+  return sum;
+}
+
+}  // namespace
+
+size_t Avx2AgreeCount(const uint32_t* a, const uint32_t* b, size_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= k; i += 32) {
+    acc = _mm256_sub_epi32(acc, AgreeMask(a + i, b + i));
+    acc = _mm256_sub_epi32(acc, AgreeMask(a + i + 8, b + i + 8));
+    acc = _mm256_sub_epi32(acc, AgreeMask(a + i + 16, b + i + 16));
+    acc = _mm256_sub_epi32(acc, AgreeMask(a + i + 24, b + i + 24));
+  }
+  for (; i + 8 <= k; i += 8) {
+    acc = _mm256_sub_epi32(acc, AgreeMask(a + i, b + i));
+  }
+  size_t count = HorizontalSum(acc);
+  for (; i < k; ++i) {
+    count += a[i] == b[i];
+  }
+  return count;
+}
+
+// 8x8 block merge: an 8-element window of A against all 8 lane rotations of
+// an 8-element window of B. Each strictly-increasing value matches at most
+// one lane across the rotations, so the popcount of the OR-ed equality mask
+// is exactly the number of common values between the windows; advancing the
+// window with the smaller max never skips a match.
+ThresholdResult Avx2IntersectCount(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                                   size_t needed) {
+  static const __m256i kRot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  static const __m256i kRot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  static const __m256i kRot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  static const __m256i kRot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+  static const __m256i kRot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+  static const __m256i kRot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+  static const __m256i kRot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  if (needed == 0) {
+    // Fast path: no per-block count materialisation — equality masks feed a
+    // vector accumulator (each strictly-increasing value matches at most
+    // one lane, so lane sums never double-count) and one horizontal sum at
+    // the end produces the total.
+    __m256i acc = _mm256_setzero_si256();
+    while (i + 8 <= na && j + 8 <= nb) {
+      __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      __m256i eq = _mm256_cmpeq_epi32(va, vb);
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot1)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot2)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot3)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot4)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot5)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot6)));
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot7)));
+      acc = _mm256_sub_epi32(acc, eq);
+      uint32_t amax = a[i + 7];
+      uint32_t bmax = b[j + 7];
+      if (amax <= bmax) {
+        i += 8;
+      }
+      if (bmax <= amax) {
+        j += 8;
+      }
+    }
+    count = HorizontalSum(acc);
+  }
+  while (i + 8 <= na && j + 8 <= nb) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot1)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot2)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot3)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot4)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot5)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot6)));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, kRot7)));
+    count += MaskPopcount(eq);
+    uint32_t amax = a[i + 7];
+    uint32_t bmax = b[j + 7];
+    if (amax <= bmax) {
+      i += 8;
+    }
+    if (bmax <= amax) {
+      j += 8;
+    }
+    size_t best_possible = count + std::min(na - i, nb - j);
+    if (best_possible < needed) {
+      return {true, count};
+    }
+  }
+  // Scalar merge over the leftover sub-window tails.
+  while (i < na && j < nb) {
+    uint32_t x = a[i];
+    uint32_t y = b[j];
+    if (x == y) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return {false, count};
+}
+
+size_t Avx2GallopIntersect(const uint32_t* small, size_t ns, const uint32_t* big, size_t nbig) {
+  size_t j = 0;
+  size_t count = 0;
+  for (size_t s = 0; s < ns && j < nbig; ++s) {
+    const uint32_t x = small[s];
+    // Exponential probe: after the loop, every index < lo holds a value < x
+    // and (when probe is in range) big[probe] >= x.
+    size_t lo = j;
+    size_t probe = j;
+    size_t step = 1;
+    while (probe < nbig && big[probe] < x) {
+      lo = probe + 1;
+      probe += step;
+      step <<= 1;
+    }
+    size_t hi = std::min(probe, nbig);
+    // Shrink until the candidate lower bound fits in [lo, lo + 8); the last
+    // three binary-search levels collapse into one 8-wide vector compare.
+    while (hi - lo > 7) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (big[mid] < x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo + 8 <= nbig) {
+      __m256i window = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(big + lo));
+      __m256i eq = _mm256_cmpeq_epi32(window, _mm256_set1_epi32(static_cast<int>(x)));
+      unsigned mask = static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+      if (mask != 0) {
+        ++count;
+        j = lo + static_cast<size_t>(__builtin_ctz(mask)) + 1;
+      } else {
+        j = lo;
+      }
+    } else {
+      while (lo < nbig && big[lo] < x) {
+        ++lo;
+      }
+      if (lo < nbig && big[lo] == x) {
+        ++count;
+        ++lo;
+      }
+      j = lo;
+    }
+  }
+  return count;
+}
+
+}  // namespace internal
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // INDAAS_SKETCH_HAVE_AVX2

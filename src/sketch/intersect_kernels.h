@@ -1,0 +1,36 @@
+// Internal kernel entry points behind src/sketch/intersect.h's dispatch.
+// The AVX2 definitions live in intersect_avx2.cc, which CMake compiles with
+// -mavx2 when the compiler and target support it (INDAAS_SKETCH_HAVE_AVX2);
+// keeping them in their own translation unit means the rest of the library
+// never emits AVX2 instructions, so the runtime CPUID check is the only
+// gate between a pre-AVX2 machine and an illegal-instruction fault.
+
+#ifndef SRC_SKETCH_INTERSECT_KERNELS_H_
+#define SRC_SKETCH_INTERSECT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sketch/intersect.h"
+
+namespace indaas {
+namespace sketch {
+namespace internal {
+
+#if defined(INDAAS_SKETCH_HAVE_AVX2)
+size_t Avx2AgreeCount(const uint32_t* a, const uint32_t* b, size_t k);
+// Block-merge intersection with early exit once the intersection can no
+// longer reach `needed` (0 = never prune). Unpruned results are exact.
+ThresholdResult Avx2IntersectCount(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                                   size_t needed);
+// Galloping intersection for lopsided inputs (ns << nbig): exponential
+// search per small element, with the final <=8-wide window resolved by one
+// vector compare instead of the last binary-search levels.
+size_t Avx2GallopIntersect(const uint32_t* small, size_t ns, const uint32_t* big, size_t nbig);
+#endif
+
+}  // namespace internal
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // SRC_SKETCH_INTERSECT_KERNELS_H_

@@ -1,0 +1,81 @@
+#include "src/sketch/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace indaas {
+namespace sketch {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Order-sensitive chain over one band's registers; two sketches share a
+// bucket iff all r registers of the band agree (up to 64-bit hash accident).
+uint64_t BandKey(const uint32_t* regs, uint32_t rows) {
+  uint64_t key = 0x4C534842616E6473ULL;  // "LSHBands"
+  for (uint32_t r = 0; r < rows; ++r) {
+    key = Mix64(key ^ regs[r]);
+  }
+  return key;
+}
+
+}  // namespace
+
+double LshCollisionProbability(double jaccard, const LshParams& params) {
+  if (jaccard <= 0.0) {
+    return 0.0;
+  }
+  if (jaccard >= 1.0) {
+    return 1.0;
+  }
+  double band_hit = std::pow(jaccard, static_cast<double>(params.rows));
+  return 1.0 - std::pow(1.0 - band_hit, static_cast<double>(params.bands));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> LshCandidatePairs(const SketchArena& arena,
+                                                             const LshParams& params,
+                                                             LshStats* stats) {
+  const uint32_t bands = EffectiveBands(arena.k(), params);
+  const uint32_t rows = params.rows;
+  const size_t n = arena.count();
+  LshStats local;
+  local.bands_used = bands;
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(n * 2);
+  for (uint32_t band = 0; band < bands; ++band) {
+    buckets.clear();
+    const size_t offset = static_cast<size_t>(band) * rows;
+    for (size_t i = 0; i < n; ++i) {
+      buckets[BandKey(arena.At(i) + offset, rows)].push_back(static_cast<uint32_t>(i));
+    }
+    for (const auto& [key, members] : buckets) {
+      local.buckets += 1;
+      local.max_bucket = std::max(local.max_bucket, members.size());
+      for (size_t a = 0; a + 1 < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          pairs.emplace_back(members[a], members[b]);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  local.candidate_pairs = pairs.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return pairs;
+}
+
+}  // namespace sketch
+}  // namespace indaas

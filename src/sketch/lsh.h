@@ -1,0 +1,62 @@
+// LSH banding over MinHash register arrays (DESIGN.md §8).
+//
+// Splits each k-register sketch into b bands of r rows and hashes every
+// band to a bucket; two sketches become a candidate pair iff they share a
+// bucket in at least one band. A pair with Jaccard J agrees on a full band
+// with probability J^r, so it collides somewhere with probability
+// 1 - (1 - J^r)^b — the classic S-curve. With the defaults used by the
+// all-pairs audit (k = 256, b = 64, r = 4), a J = 0.55 pair is missed with
+// probability ~2e-3 while a J = 0.1 background pair collides with
+// probability ~6e-3: candidate generation is near-linear in the number of
+// providers instead of the N^2/2 ring executions the exact protocol needs.
+//
+// Bucketing is a pure function of the register values, so peers that built
+// sketches under the same seed land in the same buckets on any host.
+
+#ifndef SRC_SKETCH_LSH_H_
+#define SRC_SKETCH_LSH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sketch/sketch.h"
+
+namespace indaas {
+namespace sketch {
+
+struct LshParams {
+  uint32_t bands = 64;  // b
+  uint32_t rows = 4;    // r; bands * rows <= k (excess bands are dropped)
+};
+
+// P[candidate] = 1 - (1 - J^r)^b for a pair with true Jaccard `jaccard`.
+double LshCollisionProbability(double jaccard, const LshParams& params);
+
+// Number of bands that actually fit a k-register sketch.
+inline uint32_t EffectiveBands(uint32_t k, const LshParams& params) {
+  if (params.rows == 0) {
+    return 0;
+  }
+  return std::min(params.bands, k / params.rows);
+}
+
+struct LshStats {
+  size_t bands_used = 0;
+  size_t buckets = 0;           // non-empty buckets across all bands
+  size_t max_bucket = 0;        // largest bucket population
+  size_t candidate_pairs = 0;   // deduplicated pairs emitted
+};
+
+// All candidate pairs (i < j, sorted ascending, deduplicated) among the
+// sketches in `arena` under `params` banding.
+std::vector<std::pair<uint32_t, uint32_t>> LshCandidatePairs(const SketchArena& arena,
+                                                             const LshParams& params,
+                                                             LshStats* stats = nullptr);
+
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // SRC_SKETCH_LSH_H_

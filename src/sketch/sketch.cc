@@ -1,0 +1,110 @@
+#include "src/sketch/sketch.h"
+
+#include <algorithm>
+
+#include "src/crypto/hash_family.h"
+
+namespace indaas {
+namespace sketch {
+namespace {
+
+// Seed-space salts keeping the three hash uses (base fingerprint, register
+// multipliers, register offsets) independent even under related seeds.
+constexpr uint64_t kFingerprintSalt = 0x46696E6765727072ULL;  // "Fingerpr"
+constexpr uint64_t kMultiplierSalt = 0x4D756C7469706C79ULL;   // "Multiply"
+constexpr uint64_t kOffsetSalt = 0x4F66667365742121ULL;       // "Offset!!"
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t Multiplier(uint64_t seed, uint32_t i) {
+  // Odd multiplier: multiply-shift needs a unit of Z/2^64.
+  return Mix64(seed ^ kMultiplierSalt ^ (0x9E3779B97F4A7C15ULL * (i + 1))) | 1;
+}
+
+uint64_t Offset(uint64_t seed, uint32_t i) {
+  return Mix64(seed ^ kOffsetSalt ^ (0xC2B2AE3D27D4EB4FULL * (i + 1)));
+}
+
+}  // namespace
+
+uint64_t ElementFingerprint(uint64_t seed, std::string_view element) {
+  return KeyedHash64(seed ^ kFingerprintSalt, element);
+}
+
+uint64_t RegisterHash(uint64_t seed, uint32_t i, uint64_t fingerprint) {
+  return Multiplier(seed, i) * fingerprint + Offset(seed, i);
+}
+
+void BuildSketch(const SketchParams& params, const std::vector<std::string>& elements,
+                 uint32_t* out, std::vector<uint32_t>* argmin) {
+  const uint32_t k = params.k;
+  if (argmin != nullptr) {
+    argmin->assign(k, 0);
+  }
+  if (elements.empty()) {
+    // Empty-set sketch: all registers saturated, agrees with nothing that
+    // sketched a non-empty set except by 2^-32 accident.
+    std::fill(out, out + k, UINT32_MAX);
+    return;
+  }
+  // Hash each element once, then run the k multiply-shift registers over the
+  // fingerprint array. Registers are the inner loop so `mins` stays hot.
+  std::vector<uint64_t> fingerprints;
+  fingerprints.reserve(elements.size());
+  for (const std::string& element : elements) {
+    fingerprints.push_back(ElementFingerprint(params.seed, element));
+  }
+  std::vector<uint64_t> mins(k, UINT64_MAX);
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint64_t a = Multiplier(params.seed, i);
+    const uint64_t b = Offset(params.seed, i);
+    uint64_t best = UINT64_MAX;
+    uint32_t best_index = 0;
+    for (size_t e = 0; e < fingerprints.size(); ++e) {
+      uint64_t h = a * fingerprints[e] + b;
+      // Strict < keeps the earliest element on (negligible) 64-bit ties,
+      // making argmin — not just the register value — deterministic.
+      if (h < best) {
+        best = h;
+        best_index = static_cast<uint32_t>(e);
+      }
+    }
+    mins[i] = best;
+    if (argmin != nullptr) {
+      (*argmin)[i] = best_index;
+    }
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    out[i] = static_cast<uint32_t>(mins[i] >> 32);
+  }
+}
+
+SketchArena BuildSketches(const SketchParams& params,
+                          const std::vector<std::vector<std::string>>& sets) {
+  SketchArena arena(params.k, sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    BuildSketch(params, sets[i], arena.At(i));
+  }
+  return arena;
+}
+
+std::vector<uint32_t> BuildFingerprints(uint64_t seed, const std::vector<std::string>& elements) {
+  std::vector<uint32_t> out;
+  out.reserve(elements.size());
+  for (const std::string& element : elements) {
+    out.push_back(static_cast<uint32_t>(ElementFingerprint(seed, element) >> 32));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace indaas

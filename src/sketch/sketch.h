@@ -1,0 +1,105 @@
+// Register-array MinHash sketching (DESIGN.md §8).
+//
+// A sketch compresses a component set into k fixed-width registers: register
+// i holds (the top 32 bits of) the minimum of hash function h_i over the
+// set. For two sets A and B, P[register i agrees] = J(A, B), so the fraction
+// of agreeing registers is an unbiased Jaccard estimator with standard error
+// sqrt(J(1-J)/k) <= 1/(2*sqrt(k)) — "~1/sqrt(k)" is the bound we document
+// and test (tests/sketch_test.cc asserts mean absolute error <= 3/sqrt(k)).
+//
+// The k "independent permutations" are multiply-shift hashes over one strong
+// 64-bit base fingerprint per element: fp = KeyedHash64(seed', element) is
+// computed once, then h_i(fp) = a_i * fp + b_i with per-register odd
+// multipliers derived from the seed (Dietzfelbinger-style multiply-shift;
+// the register keeps the top 32 bits of the minimising value). Sketching is
+// therefore O(n) string hashes + O(n*k) integer multiply-adds — the string
+// never gets rehashed per register, which is what makes k = 256 affordable
+// on 100k-element sets.
+//
+// Everything here is a pure function of (seed, element bytes): no pointers,
+// no iteration-order dependence, no locale. Identical seeds give identical
+// sketches across runs, hosts and processes — the property that lets ring
+// peers sketch locally and exchange nothing but the registers
+// (src/svc/pia_peer.h), and that tests/pia_test.cc locks down with golden
+// register values.
+
+#ifndef SRC_SKETCH_SKETCH_H_
+#define SRC_SKETCH_SKETCH_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indaas {
+namespace sketch {
+
+struct SketchParams {
+  uint32_t k = 256;    // registers per sketch; estimator error ~1/sqrt(k)
+  uint64_t seed = 1;   // shared by every party sketching the same universe
+};
+
+// Documented estimator error bound for a k-register sketch.
+inline double StandardError(uint32_t k) {
+  return k == 0 ? 1.0 : 1.0 / std::sqrt(static_cast<double>(k));
+}
+
+// Bytes one k-register sketch occupies on the wire (registers only).
+inline size_t SketchBytes(uint32_t k) { return static_cast<size_t>(k) * sizeof(uint32_t); }
+
+// Contiguous arena of n fixed-width sketches: sketch i is the k consecutive
+// u32 registers at At(i). One allocation for a whole provider fleet keeps
+// the all-pairs kernels streaming over dense memory instead of chasing
+// per-sketch vectors.
+class SketchArena {
+ public:
+  SketchArena(uint32_t k, size_t count) : k_(k), regs_(static_cast<size_t>(k) * count) {}
+
+  uint32_t k() const { return k_; }
+  size_t count() const { return k_ == 0 ? 0 : regs_.size() / k_; }
+  size_t bytes() const { return regs_.size() * sizeof(uint32_t); }
+
+  uint32_t* At(size_t i) { return regs_.data() + i * k_; }
+  const uint32_t* At(size_t i) const { return regs_.data() + i * k_; }
+
+ private:
+  uint32_t k_;
+  std::vector<uint32_t> regs_;
+};
+
+// 64-bit base fingerprint of one element (KeyedHash64 under a seed-derived
+// key). Exposed so MinHash sampling (src/pia/psop.cc) and fingerprint-set
+// building hash each element exactly once.
+uint64_t ElementFingerprint(uint64_t seed, std::string_view element);
+
+// The i-th register hash of a base fingerprint: a_i * fp + b_i with a_i odd,
+// both derived from `seed` alone. The full 64-bit value orders candidates
+// for the minimum; the register keeps its top 32 bits.
+uint64_t RegisterHash(uint64_t seed, uint32_t i, uint64_t fingerprint);
+
+// Builds the k-register sketch of `elements` into out[0..k). Duplicate
+// elements are harmless (min over a multiset equals min over its set). If
+// `argmin` is non-null it receives, per register, the index into `elements`
+// of the minimising element — what MinHash-compressed P-SOP feeds into the
+// exact protocol, and what the determinism cross-check test compares.
+// Ties on the full 64-bit register hash keep the earliest element.
+void BuildSketch(const SketchParams& params, const std::vector<std::string>& elements,
+                 uint32_t* out, std::vector<uint32_t>* argmin = nullptr);
+
+// Sketches every set into a fresh arena (arena slot i = sets[i]).
+SketchArena BuildSketches(const SketchParams& params,
+                          const std::vector<std::vector<std::string>>& sets);
+
+// Sorted, deduplicated 32-bit fingerprints of `elements` (top halves of the
+// base fingerprints). Input to the sorted-set intersection kernels
+// (src/sketch/intersect.h): |A ∩ B| on fingerprints equals |A ∩ B| on the
+// sets up to 2^-32 collisions, so Jaccard over fingerprints is exact for
+// practical purposes while intersecting at memory bandwidth.
+std::vector<uint32_t> BuildFingerprints(uint64_t seed, const std::vector<std::string>& elements);
+
+}  // namespace sketch
+}  // namespace indaas
+
+#endif  // SRC_SKETCH_SKETCH_H_

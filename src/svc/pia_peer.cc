@@ -8,6 +8,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
+#include "src/sketch/sketch.h"
 #include "src/svc/proto.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -16,16 +17,26 @@ namespace indaas {
 namespace svc {
 namespace {
 
-// Assembles the full on-wire bytes of one frame (header [+ trace extension]
+// Assembles the full on-wire bytes of one frame (header [+ extensions]
 // + payload) for the pump, which needs the whole message up front to
 // interleave sends with receives.
 std::string FrameBytes(MsgType type, std::string_view payload,
-                       const obs::TraceContext& trace = {}) {
-  uint16_t flags = trace.valid() ? net::kFrameFlagTraceContext : 0;
+                       const obs::TraceContext& trace = {},
+                       const net::FrameSketchParams& sketch = {}) {
+  uint16_t flags = 0;
+  if (trace.valid()) {
+    flags |= net::kFrameFlagTraceContext;
+  }
+  if (sketch.valid()) {
+    flags |= net::kFrameFlagSketchParams;
+  }
   std::string bytes = net::EncodeFrameHeader(static_cast<uint8_t>(type),
                                              static_cast<uint32_t>(payload.size()), flags);
   if (trace.valid()) {
     bytes += net::EncodeTraceContext(trace);
+  }
+  if (sketch.valid()) {
+    bytes += net::EncodeSketchParams(sketch);
   }
   bytes.append(payload.data(), payload.size());
   return bytes;
@@ -37,9 +48,11 @@ Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
                                   net::Socket& rx, const net::FrameLimits& limits,
                                   int timeout_ms) {
   size_t sent = 0;
-  std::string in_buffer;  // header, then trace extension, then payload
+  std::string in_buffer;  // header, then extensions in order, then payload
   bool have_header = false;
-  bool have_trace = false;  // trace extension consumed (or absent)
+  bool have_trace = false;   // trace extension consumed (or absent)
+  bool have_reqid = false;   // request-id extension consumed (or absent)
+  bool have_sketch = false;  // sketch-params extension consumed (or absent)
   net::FrameHeader header;
   net::Frame frame;
   auto recv_target = [&]() -> size_t {
@@ -49,10 +62,17 @@ Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
     if (!have_trace) {
       return net::kTraceContextBytes;
     }
+    if (!have_reqid) {
+      return net::kRequestIdBytes;
+    }
+    if (!have_sketch) {
+      return net::kSketchParamsBytes;
+    }
     return header.payload_size;
   };
   auto recv_done = [&]() {
-    return have_header && have_trace && in_buffer.size() >= header.payload_size;
+    return have_header && have_trace && have_reqid && have_sketch &&
+           in_buffer.size() >= header.payload_size;
   };
   while (sent < out_bytes.size() || !recv_done()) {
     struct pollfd fds[2];
@@ -94,11 +114,23 @@ Result<net::Frame> ExchangeFrames(net::Socket& tx, std::string_view out_bytes,
         INDAAS_ASSIGN_OR_RETURN(header, net::DecodeFrameHeader(in_buffer, limits));
         have_header = true;
         have_trace = !header.has_trace_context;
+        have_reqid = !header.has_request_id;
+        have_sketch = !header.has_sketch_params;
         in_buffer.clear();
       } else if (have_header && !have_trace &&
                  in_buffer.size() == net::kTraceContextBytes) {
         INDAAS_ASSIGN_OR_RETURN(frame.trace, net::DecodeTraceContext(in_buffer));
         have_trace = true;
+        in_buffer.clear();
+      } else if (have_header && have_trace && !have_reqid &&
+                 in_buffer.size() == net::kRequestIdBytes) {
+        INDAAS_ASSIGN_OR_RETURN(frame.request_id, net::DecodeRequestId(in_buffer));
+        have_reqid = true;
+        in_buffer.clear();
+      } else if (have_header && have_trace && have_reqid && !have_sketch &&
+                 in_buffer.size() == net::kSketchParamsBytes) {
+        INDAAS_ASSIGN_OR_RETURN(frame.sketch, net::DecodeSketchParams(in_buffer));
+        have_sketch = true;
         in_buffer.clear();
       }
     }
@@ -296,6 +328,167 @@ Result<PsopResult> PiaPeer::RunPsop(const std::vector<std::string>& dataset,
   static obs::Counter* sessions =
       obs::MetricsRegistry::Global().GetCounter("pia.socket_sessions_total");
   sessions->Increment();
+  return result;
+}
+
+Result<PsopResult> PiaPeer::RunPsopWithSketch(const std::vector<std::string>& dataset,
+                                              const PiaPeerOptions& options) {
+  const size_t k = options.peers.size();
+  const size_t self = options.self_index;
+  if (k < 2) {
+    return InvalidArgumentError("PiaPeer::RunPsopWithSketch: need at least two ring peers");
+  }
+  if (self >= k) {
+    return InvalidArgumentError(StrFormat(
+        "PiaPeer::RunPsopWithSketch: self_index %zu out of ring of %zu", self, k));
+  }
+  if (options.sketch_k == 0 || options.sketch_k > UINT16_MAX) {
+    return InvalidArgumentError(StrFormat(
+        "PiaPeer::RunPsopWithSketch: sketch_k %u out of range [1, %u]", options.sketch_k,
+        UINT16_MAX));
+  }
+  if (options.lsh_bands > UINT16_MAX || options.lsh_rows > UINT16_MAX) {
+    return InvalidArgumentError("PiaPeer::RunPsopWithSketch: LSH geometry exceeds u16");
+  }
+  if (dataset.empty()) {
+    return InvalidArgumentError("PiaPeer::RunPsopWithSketch: empty dataset");
+  }
+  const size_t successor = (self + 1) % k;
+  const size_t predecessor = (self + k - 1) % k;
+
+  net::FrameSketchParams geometry;
+  geometry.k = static_cast<uint16_t>(options.sketch_k);
+  geometry.bands = static_cast<uint16_t>(options.lsh_bands);
+  geometry.rows = static_cast<uint16_t>(options.lsh_rows);
+
+  obs::TraceContext session{obs::DeriveTraceId(options.psop.seed), 0};
+  obs::ScopedTraceContext session_trace(session);
+
+  INDAAS_TRACE_SPAN_NAMED(span, "pia.psop.sketch.socket");
+  span.Annotate("ring_size", std::to_string(k));
+  span.Annotate("self", std::to_string(self));
+
+  INDAAS_ASSIGN_OR_RETURN(
+      net::Socket tx, net::ConnectWithRetry(options.peers[successor],
+                                            options.connect_timeout_ms, options.retry));
+  INDAAS_ASSIGN_OR_RETURN(net::Socket rx, net::TcpAccept(listener_, options.io_timeout_ms));
+
+  // --- Handshake: ring geometry plus the sketch-params extension. A peer
+  // running the encrypted protocol (or an old build that predates the
+  // extension) rejects the unknown flag bit before any registers move.
+  PsopHello hello;
+  hello.ring_size = static_cast<uint32_t>(k);
+  hello.sender_index = static_cast<uint32_t>(self);
+  hello.group_bits = static_cast<uint32_t>(options.psop.group_bits);
+  hello.hash_algorithm = static_cast<uint8_t>(options.psop.hash);
+  INDAAS_RETURN_IF_ERROR(net::WriteFrame(tx, static_cast<uint8_t>(MsgType::kPsopHello),
+                                         EncodePsopHello(hello), options.io_timeout_ms,
+                                         session, 0, geometry));
+  INDAAS_ASSIGN_OR_RETURN(net::Frame hello_frame,
+                          net::ReadFrame(rx, options.limits, options.io_timeout_ms));
+  if (hello_frame.type != static_cast<uint8_t>(MsgType::kPsopHello)) {
+    return ProtocolError("sketch ring handshake: first frame was not a hello");
+  }
+  INDAAS_ASSIGN_OR_RETURN(PsopHello peer_hello, DecodePsopHello(hello_frame.payload));
+  if (peer_hello.ring_size != k || peer_hello.sender_index != predecessor) {
+    return ProtocolError(StrFormat(
+        "sketch ring handshake mismatch: predecessor claims index %u of %u, expected %zu of %zu",
+        peer_hello.sender_index, peer_hello.ring_size, predecessor, k));
+  }
+  if (!hello_frame.sketch.valid()) {
+    return ProtocolError("sketch ring handshake: predecessor sent no sketch-params extension");
+  }
+  if (hello_frame.sketch != geometry) {
+    return ProtocolError(StrFormat(
+        "sketch ring handshake mismatch: predecessor sketches k=%u bands=%u rows=%u, "
+        "expected k=%u bands=%u rows=%u",
+        hello_frame.sketch.k, hello_frame.sketch.bands, hello_frame.sketch.rows, geometry.k,
+        geometry.bands, geometry.rows));
+  }
+
+  PsopResult result;
+  result.party_stats.assign(k, PartyStats{});
+  PartyMeter meter(&result.party_stats[self], "sketch");
+
+  // --- Local sketching under the shared seed; nothing about the raw
+  // dataset ever leaves this peer.
+  sketch::SketchParams params;
+  params.k = options.sketch_k;
+  params.seed = PsopSketchSeed(options.psop.seed);
+  sketch::SketchArena arena(options.sketch_k, k);
+  {
+    INDAAS_TRACE_SPAN("pia.psop.sketch.build");
+    PartyComputeTimer timer(meter);
+    sketch::BuildSketch(params, dataset, arena.At(self));
+  }
+
+  // --- Ring all-gather: k-1 lockstep hops; after hop h this peer holds the
+  // sketch originated by (self - h - 1) mod k.
+  std::vector<uint32_t> current(arena.At(self), arena.At(self) + options.sketch_k);
+  size_t xseq = 0;
+  {
+    INDAAS_TRACE_SPAN("pia.psop.sketch.ring");
+    for (size_t hop = 0; hop + 1 < k; ++hop) {
+      INDAAS_TRACE_SPAN_NAMED(hop_span, "pia.ring.exchange");
+      hop_span.Annotate("xseq", std::to_string(xseq++));
+      hop_span.Annotate("self", std::to_string(self));
+      uint32_t send_origin = static_cast<uint32_t>((self + k - hop) % k);
+      uint32_t expect_origin = static_cast<uint32_t>((self + k - hop - 1) % k);
+      PsopSketch out;
+      out.origin = send_origin;
+      out.registers = std::move(current);
+      std::string out_bytes =
+          FrameBytes(MsgType::kPsopSketch, EncodePsopSketch(out), session, geometry);
+      meter.AddBytesSent(out_bytes.size());
+      INDAAS_ASSIGN_OR_RETURN(
+          net::Frame frame, ExchangeFrames(tx, out_bytes, rx, options.limits,
+                                           options.io_timeout_ms));
+      if (frame.type != static_cast<uint8_t>(MsgType::kPsopSketch)) {
+        return ProtocolError(StrFormat("sketch ring round got frame type %u, want %u",
+                                       frame.type,
+                                       static_cast<uint8_t>(MsgType::kPsopSketch)));
+      }
+      size_t received = net::kFrameHeaderBytes + frame.payload.size() +
+                        (frame.trace.valid() ? net::kTraceContextBytes : 0) +
+                        (frame.sketch.valid() ? net::kSketchParamsBytes : 0);
+      meter.AddBytesReceived(received);
+      if (!frame.sketch.valid() || frame.sketch != geometry) {
+        return ProtocolError("sketch ring round: peer changed sketch geometry mid-session");
+      }
+      INDAAS_ASSIGN_OR_RETURN(PsopSketch in, DecodePsopSketch(frame.payload));
+      if (in.origin != expect_origin) {
+        return ProtocolError(StrFormat("sketch ring round got sketch of origin %u, want %u",
+                                       in.origin, expect_origin));
+      }
+      if (in.registers.size() != options.sketch_k) {
+        return ProtocolError(StrFormat("sketch ring round got %zu registers, want %u",
+                                       in.registers.size(), options.sketch_k));
+      }
+      std::copy(in.registers.begin(), in.registers.end(), arena.At(expect_origin));
+      current = std::move(in.registers);
+    }
+  }
+
+  // --- Count k-way register agreement; same estimator as the in-process
+  // engine, so the two are byte-identical on identical datasets and seed.
+  {
+    PartyComputeTimer timer(meter);
+    size_t agree = 0;
+    for (uint32_t r = 0; r < options.sketch_k; ++r) {
+      const uint32_t v = arena.At(0)[r];
+      bool all = true;
+      for (size_t i = 1; i < k && all; ++i) {
+        all = arena.At(i)[r] == v;
+      }
+      agree += all;
+    }
+    result.intersection = agree;
+    result.union_size = options.sketch_k;
+    result.jaccard = static_cast<double>(agree) / static_cast<double>(options.sketch_k);
+  }
+  static obs::Counter* sketch_sessions =
+      obs::MetricsRegistry::Global().GetCounter("pia.sketch_socket_sessions_total");
+  sketch_sessions->Increment();
   return result;
 }
 

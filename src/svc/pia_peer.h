@@ -49,6 +49,13 @@ struct PiaPeerOptions {
   int io_timeout_ms = 10000;
   net::RetryPolicy retry;
   net::FrameLimits limits;
+  // Sketch-exchange geometry (RunPsopWithSketch only): registers per sketch
+  // plus the LSH banding the auditor will apply, advertised to — and
+  // cross-checked against — every peer via the frame sketch-params
+  // extension. bands/rows 0 = pairwise session with no banding.
+  uint32_t sketch_k = 256;
+  uint32_t lsh_bands = 0;
+  uint32_t lsh_rows = 0;
 };
 
 // One party of a socket-backed PIA session. Listen() binds the ring port up
@@ -68,6 +75,16 @@ class PiaPeer {
   // entries are zero — their owners measure them).
   Result<PsopResult> RunPsop(const std::vector<std::string>& dataset,
                              const PiaPeerOptions& options);
+
+  // Runs one sketch-exchange session (PiaMethod::kSketch over sockets): each
+  // peer sketches its dataset locally under the shared seed and the ring
+  // all-gathers the fixed-size register arrays in k-1 hops — no encryption,
+  // bytes independent of dataset size. Every frame carries the sketch-params
+  // extension; a peer whose geometry disagrees (or that predates the
+  // extension entirely) fails the session with kProtocolError. The Jaccard
+  // estimate is byte-identical to RunPsopWithSketch on the same datasets.
+  Result<PsopResult> RunPsopWithSketch(const std::vector<std::string>& dataset,
+                                       const PiaPeerOptions& options);
 
  private:
   explicit PiaPeer(net::Socket listener, uint16_t port)

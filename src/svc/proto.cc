@@ -69,6 +69,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kPsopHello: return "PsopHello";
     case MsgType::kPsopDataset: return "PsopDataset";
     case MsgType::kPsopShare: return "PsopShare";
+    case MsgType::kPsopSketch: return "PsopSketch";
   }
   return "Unknown";
 }
@@ -267,6 +268,7 @@ std::string EncodePiaRequest(const PiaRequest& request) {
   writer.U32(options.min_redundancy);
   writer.U32(options.max_redundancy);
   writer.U64(options.parallel_deployments);
+  writer.U32(options.sketch_k);
   return writer.Take();
 }
 
@@ -282,7 +284,7 @@ Result<PiaRequest> DecodePiaRequest(std::string_view payload) {
     request.providers.push_back(std::move(provider));
   }
   INDAAS_ASSIGN_OR_RETURN(uint8_t method, reader.U8());
-  if (method > static_cast<uint8_t>(PiaMethod::kPsopMinHash)) {
+  if (method > static_cast<uint8_t>(PiaMethod::kSketch)) {
     return ParseError(StrFormat("bad PiaMethod value %u", method));
   }
   request.options.method = static_cast<PiaMethod>(method);
@@ -300,6 +302,14 @@ Result<PiaRequest> DecodePiaRequest(std::string_view payload) {
   INDAAS_ASSIGN_OR_RETURN(request.options.max_redundancy, reader.U32());
   INDAAS_ASSIGN_OR_RETURN(uint64_t parallel, reader.U64());
   request.options.parallel_deployments = static_cast<size_t>(parallel);
+  // sketch_k entered the payload after the original fields; requests from
+  // older clients simply end here and keep the default.
+  if (!reader.AtEnd()) {
+    INDAAS_ASSIGN_OR_RETURN(request.options.sketch_k, reader.U32());
+    if (request.options.sketch_k == 0) {
+      return ParseError("bad PiaRequest sketch_k 0");
+    }
+  }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PiaRequest"));
   return request;
 }
@@ -649,6 +659,34 @@ Result<PsopDataset> DecodePsopDataset(std::string_view payload) {
   }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopDataset"));
   return dataset;
+}
+
+std::string EncodePsopSketch(const PsopSketch& sketch) {
+  WireWriter writer;
+  writer.U32(sketch.origin);
+  writer.U32(static_cast<uint32_t>(sketch.registers.size()));
+  for (uint32_t reg : sketch.registers) {
+    writer.U32(reg);
+  }
+  return writer.Take();
+}
+
+Result<PsopSketch> DecodePsopSketch(std::string_view payload) {
+  WireReader reader(payload);
+  PsopSketch sketch;
+  INDAAS_ASSIGN_OR_RETURN(sketch.origin, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  // The frame extension carries k as u16, so anything larger is hostile.
+  if (count == 0 || count > UINT16_MAX) {
+    return ParseError(StrFormat("bad PsopSketch register count %u", count));
+  }
+  sketch.registers.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    INDAAS_ASSIGN_OR_RETURN(uint32_t reg, reader.U32());
+    sketch.registers.push_back(reg);
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopSketch"));
+  return sketch;
 }
 
 }  // namespace svc

@@ -56,6 +56,7 @@ enum class MsgType : uint8_t {
   kPsopHello = 16,
   kPsopDataset = 17,
   kPsopShare = 18,
+  kPsopSketch = 19,
 };
 
 // Human-readable message-type name ("AuditRequest"), shared by server logs,
@@ -214,6 +215,18 @@ struct PsopDataset {
 
 std::string EncodePsopDataset(const PsopDataset& dataset);
 Result<PsopDataset> DecodePsopDataset(std::string_view payload);
+
+// A MinHash sketch in transit around the ring during a sketch-exchange
+// session (PiaMethod::kSketch): the originating peer's fixed-width register
+// array. Frames carrying this payload also set the sketch-params frame
+// extension, which is where the geometry cross-check happens.
+struct PsopSketch {
+  uint32_t origin = 0;
+  std::vector<uint32_t> registers;
+};
+
+std::string EncodePsopSketch(const PsopSketch& sketch);
+Result<PsopSketch> DecodePsopSketch(std::string_view payload);
 
 }  // namespace svc
 }  // namespace indaas

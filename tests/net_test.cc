@@ -204,11 +204,12 @@ TEST(FrameTest, RejectsBadVersion) {
 
 TEST(FrameTest, RejectsNonZeroFlags) {
   // Every reserved flag bit stays a hard protocol error, alone or alongside
-  // the known (trace, request-id) bits — this is what makes old peers
-  // reject pipelined traffic outright instead of mis-framing it.
-  for (uint16_t flags : {uint16_t{0x0004}, uint16_t{0x0100}, uint16_t{0x8000},
-                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0004),
-                         static_cast<uint16_t>(kFrameFlagRequestId | 0x0008),
+  // the known (trace, request-id, sketch-params) bits — this is what makes
+  // old peers reject pipelined traffic outright instead of mis-framing it,
+  // and how a pre-sketch peer refuses a sketch session cleanly.
+  for (uint16_t flags : {uint16_t{0x0008}, uint16_t{0x0100}, uint16_t{0x8000},
+                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0010),
+                         static_cast<uint16_t>(kFrameFlagSketchParams | 0x0008),
                          static_cast<uint16_t>(kFrameKnownFlags | 0x4000)}) {
     std::string header = EncodeFrameHeader(1, 4, flags);
     auto decoded = DecodeFrameHeader(header, FrameLimits{});
@@ -233,8 +234,10 @@ TEST(FrameTest, FlagSubsetDecodabilityProperty) {
     }
     EXPECT_EQ(decoded->has_trace_context, (flags & kFrameFlagTraceContext) != 0);
     EXPECT_EQ(decoded->has_request_id, (flags & kFrameFlagRequestId) != 0);
+    EXPECT_EQ(decoded->has_sketch_params, (flags & kFrameFlagSketchParams) != 0);
     size_t extensions = (decoded->has_trace_context ? kTraceContextBytes : 0) +
-                        (decoded->has_request_id ? kRequestIdBytes : 0);
+                        (decoded->has_request_id ? kRequestIdBytes : 0) +
+                        (decoded->has_sketch_params ? kSketchParamsBytes : 0);
     EXPECT_EQ(decoded->extension_bytes(), extensions);
     EXPECT_EQ(decoded->total_bytes(), kFrameHeaderBytes + extensions + 32u);
   }
@@ -246,13 +249,15 @@ TEST(FrameTest, RequestIdFlagBitIsAccepted) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(decoded->has_request_id);
   EXPECT_FALSE(decoded->has_trace_context);
-  // Both extensions together account for 24 bytes ahead of the payload.
-  auto both =
+  // All extensions together account for 32 bytes ahead of the payload.
+  auto all =
       DecodeFrameHeader(EncodeFrameHeader(3, 9, kFrameKnownFlags), FrameLimits{});
-  ASSERT_TRUE(both.ok());
-  EXPECT_TRUE(both->has_trace_context);
-  EXPECT_TRUE(both->has_request_id);
-  EXPECT_EQ(both->extension_bytes(), kTraceContextBytes + kRequestIdBytes);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->has_trace_context);
+  EXPECT_TRUE(all->has_request_id);
+  EXPECT_TRUE(all->has_sketch_params);
+  EXPECT_EQ(all->extension_bytes(),
+            kTraceContextBytes + kRequestIdBytes + kSketchParamsBytes);
 }
 
 TEST(FrameTest, RequestIdCodecRoundTrip) {
@@ -269,6 +274,33 @@ TEST(FrameTest, RequestIdCodecRoundTrip) {
   auto zero = DecodeRequestId(EncodeRequestId(0));
   ASSERT_FALSE(zero.ok());
   EXPECT_EQ(zero.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, SketchParamsCodecRoundTrip) {
+  FrameSketchParams params;
+  params.k = 256;
+  params.bands = 64;
+  params.rows = 4;
+  std::string bytes = EncodeSketchParams(params);
+  ASSERT_EQ(bytes.size(), kSketchParamsBytes);
+  auto decoded = DecodeSketchParams(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, params);
+  // Truncated extensions are protocol errors, not parse-as-zero.
+  auto truncated = DecodeSketchParams(std::string_view(bytes).substr(0, 6));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kProtocolError);
+  // k = 0 means "absent" everywhere, so it must never appear on the wire.
+  FrameSketchParams absent;
+  auto zero = DecodeSketchParams(EncodeSketchParams(absent));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kProtocolError);
+  // The reserved trailing word must be zero — it is the extension's own
+  // versioning headroom.
+  bytes[6] = 0x01;
+  auto reserved = DecodeSketchParams(bytes);
+  ASSERT_FALSE(reserved.ok());
+  EXPECT_EQ(reserved.status().code(), StatusCode::kProtocolError);
 }
 
 TEST(FrameTest, TraceFlagBitIsAccepted) {
@@ -431,6 +463,37 @@ TEST(FrameTest, RequestIdRoundTripsOverSocket) {
   ASSERT_TRUE(plain.ok());
   EXPECT_EQ(plain->payload, "plain");
   EXPECT_EQ(plain->request_id, 0u);
+}
+
+TEST(FrameTest, SketchParamsRoundTripsOverSocket) {
+  LoopbackPair pair = MakeLoopbackPair();
+  FrameSketchParams params;
+  params.k = 512;
+  params.bands = 128;
+  params.rows = 4;
+  ASSERT_TRUE(WriteFrame(pair.client, 19, "regs", 2000, {}, 0, params).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, 19);
+  EXPECT_EQ(frame->payload, "regs");
+  EXPECT_TRUE(frame->sketch.valid());
+  EXPECT_EQ(frame->sketch, params);
+  // All three extensions can ride the same frame, in either encoder.
+  obs::TraceContext trace{0xDEADBEEFCAFEF00DULL, 5};
+  ASSERT_TRUE(
+      pair.client.SendAll(EncodeFrame(20, "all", trace, 42, params), 2000).ok());
+  auto next = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(next->request_id, 42u);
+  EXPECT_EQ(next->sketch, params);
+  // A param-less frame right behind is unaffected (extension not counted in
+  // the payload length).
+  ASSERT_TRUE(WriteFrame(pair.client, 7, "plain", 2000).ok());
+  auto plain = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->payload, "plain");
+  EXPECT_FALSE(plain->sketch.valid());
 }
 
 TEST(FrameTest, EncodeFrameMatchesWriteFrameBytes) {

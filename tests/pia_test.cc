@@ -15,6 +15,7 @@
 #include "src/pia/ks.h"
 #include "src/pia/network_model.h"
 #include "src/pia/psop.h"
+#include "src/sketch/sketch.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 #include "src/util/strings.h"
@@ -205,6 +206,86 @@ TEST(PsopTest, MinHashVariantEstimatesJaccard) {
 TEST(PsopTest, MinHashRejectsBadInput) {
   EXPECT_FALSE(RunPsopWithMinHash({MakeSet(0, 5), MakeSet(0, 5)}, 0, FastPsop()).ok());
   EXPECT_FALSE(RunPsopWithMinHash({MakeSet(0, 5), {}}, 16, FastPsop()).ok());
+}
+
+TEST(PsopTest, MinHashSamplingMatchesSketchArgmin) {
+  // Regression cross-check for the deterministic-seed audit: the elements
+  // MinHash-compressed P-SOP feeds into the ring must be exactly the sketch
+  // engine's arg-min picks under the derived seed — so the sampled sets (and
+  // with them the protocol bytes) are identical across runs and hosts.
+  const size_t m = 64;
+  PsopOptions options = FastPsop();
+  const std::vector<std::vector<std::string>> datasets = {MakeSet(0, 150), MakeSet(50, 200)};
+  auto result = RunPsopWithMinHash(datasets, m, options);
+  ASSERT_TRUE(result.ok());
+  sketch::SketchParams params;
+  params.k = static_cast<uint32_t>(m);
+  params.seed = options.seed ^ 0x4D696E4861736821ULL;  // the documented salt
+  std::vector<std::vector<std::string>> samples;
+  std::vector<uint32_t> registers(m);
+  std::vector<uint32_t> argmin;
+  for (const std::vector<std::string>& dataset : datasets) {
+    sketch::BuildSketch(params, dataset, registers.data(), &argmin);
+    std::vector<std::string> sample;
+    for (size_t i = 0; i < m; ++i) {
+      sample.push_back(StrFormat("%zu#", i) + dataset[argmin[i]]);
+    }
+    samples.push_back(std::move(sample));
+  }
+  auto expected = RunPsop(samples, options);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(result->intersection, expected->intersection);
+  EXPECT_DOUBLE_EQ(result->jaccard,
+                   static_cast<double>(expected->intersection) / static_cast<double>(m));
+  // And the whole pipeline is run-to-run deterministic.
+  auto again = RunPsopWithMinHash(datasets, m, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->intersection, result->intersection);
+  EXPECT_EQ(again->union_size, result->union_size);
+}
+
+// --- Sketch-exchange P-SOP mode ---
+
+TEST(PsopTest, SketchVariantEstimatesJaccard) {
+  const uint32_t sketch_k = 256;
+  auto result = RunPsopWithSketch({MakeSet(0, 200), MakeSet(100, 300)}, sketch_k, FastPsop());
+  ASSERT_TRUE(result.ok());
+  // True J = 100/300; 4-sigma register-agreement tolerance.
+  EXPECT_NEAR(result->jaccard, 1.0 / 3.0, 4.0 / std::sqrt(static_cast<double>(sketch_k)));
+  ASSERT_EQ(result->party_stats.size(), 2u);
+  for (const PartyStats& stats : result->party_stats) {
+    // No encryption, and bytes independent of dataset size: k-1 = 1 ring hop
+    // of one fixed-width sketch frame.
+    EXPECT_EQ(stats.encrypt_ops, 0u);
+    EXPECT_EQ(stats.bytes_sent, kSketchHopOverheadBytes + sketch::SketchBytes(sketch_k));
+  }
+}
+
+TEST(PsopTest, SketchVariantDeterministicAcrossRuns) {
+  const std::vector<std::vector<std::string>> datasets = {MakeSet(0, 80), MakeSet(40, 120),
+                                                          MakeSet(20, 100)};
+  auto first = RunPsopWithSketch(datasets, 128, FastPsop());
+  auto second = RunPsopWithSketch(datasets, 128, FastPsop());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->intersection, second->intersection);
+  EXPECT_EQ(first->union_size, second->union_size);
+  EXPECT_DOUBLE_EQ(first->jaccard, second->jaccard);
+}
+
+TEST(PsopTest, SketchVariantIdenticalSetsAndDisjointSets) {
+  auto identical = RunPsopWithSketch({MakeSet(0, 50), MakeSet(0, 50)}, 64, FastPsop());
+  ASSERT_TRUE(identical.ok());
+  EXPECT_DOUBLE_EQ(identical->jaccard, 1.0);
+  auto disjoint = RunPsopWithSketch({MakeSet(0, 500), MakeSet(500, 1000)}, 64, FastPsop());
+  ASSERT_TRUE(disjoint.ok());
+  EXPECT_LT(disjoint->jaccard, 0.1);
+}
+
+TEST(PsopTest, SketchVariantRejectsBadInput) {
+  EXPECT_FALSE(RunPsopWithSketch({MakeSet(0, 5)}, 64, FastPsop()).ok());
+  EXPECT_FALSE(RunPsopWithSketch({MakeSet(0, 5), MakeSet(0, 5)}, 0, FastPsop()).ok());
+  EXPECT_FALSE(RunPsopWithSketch({MakeSet(0, 5), {}}, 64, FastPsop()).ok());
 }
 
 // --- KS baseline ---
@@ -553,6 +634,70 @@ TEST(PiaAuditTest, MinHashMethodApproximates) {
   auto report = RunPiaAudit(providers, options);
   ASSERT_TRUE(report.ok());
   EXPECT_NEAR(report->rankings[0][0].jaccard, 1.0 / 3.0, 4.0 / std::sqrt(128.0));
+}
+
+TEST(PiaAuditTest, SketchMethodApproximatesWithoutEncryption) {
+  std::vector<CloudProvider> providers = {
+      {"A", MakeSet(0, 100)},
+      {"B", MakeSet(50, 150)},  // J = 1/3
+      {"C", MakeSet(0, 100)},   // identical to A
+  };
+  PiaAuditOptions options;
+  options.method = PiaMethod::kSketch;
+  options.sketch_k = 256;
+  options.max_redundancy = 2;
+  auto report = RunPiaAudit(providers, options);
+  ASSERT_TRUE(report.ok());
+  const auto& ranking = report->rankings[0];
+  ASSERT_EQ(ranking.size(), 3u);
+  // A&C (identical) must rank least independent with J = 1.
+  EXPECT_EQ(ranking[2].providers, (std::vector<std::string>{"A", "C"}));
+  EXPECT_DOUBLE_EQ(ranking[2].jaccard, 1.0);
+  EXPECT_NEAR(ranking[0].jaccard, 1.0 / 3.0, 4.0 / std::sqrt(256.0));
+  // Sketch exchange never encrypts.
+  for (const PartyStats& stats : report->provider_stats) {
+    EXPECT_EQ(stats.encrypt_ops, 0u);
+  }
+}
+
+// --- All-pairs audit (sketch + LSH) ---
+
+TEST(AllPairsAuditTest, SurfacesLeastIndependentPairsFirst) {
+  std::vector<CloudProvider> providers;
+  for (size_t p = 0; p < 10; ++p) {
+    CloudProvider provider;
+    provider.name = "Cloud" + std::to_string(p);
+    // Clouds 0 and 1 are near-duplicates; the rest are disjoint.
+    for (size_t e = 0; e < 300; ++e) {
+      const bool shared = p < 2 && e < 250;
+      provider.components.push_back(shared ? "dup-" + std::to_string(e)
+                                           : StrFormat("own%zu-%zu", p, e));
+    }
+    providers.push_back(std::move(provider));
+  }
+  PiaAllPairsOptions options;
+  options.sketch.k = 256;
+  auto report = RunAllPairsPiaAudit(providers, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->providers, 10u);
+  EXPECT_EQ(report->pairs_possible, 45u);
+  EXPECT_LT(report->pairs_evaluated, 45u);
+  ASSERT_FALSE(report->pairs.empty());
+  EXPECT_EQ(report->pairs[0].a, "Cloud0");
+  EXPECT_EQ(report->pairs[0].b, "Cloud1");
+  EXPECT_NEAR(report->pairs[0].jaccard, 250.0 / 350.0, 0.1);
+  std::string rendered = RenderAllPairsReport(*report);
+  EXPECT_NE(rendered.find("Cloud0 & Cloud1"), std::string::npos);
+  EXPECT_NE(rendered.find("candidate pairs"), std::string::npos);
+}
+
+TEST(AllPairsAuditTest, RejectsBadInput) {
+  PiaAllPairsOptions options;
+  EXPECT_FALSE(RunAllPairsPiaAudit({}, options).ok());
+  EXPECT_FALSE(RunAllPairsPiaAudit({{"A", MakeSet(0, 3)}}, options).ok());
+  EXPECT_FALSE(
+      RunAllPairsPiaAudit({{"A", MakeSet(0, 3)}, {"A", MakeSet(0, 3)}}, options).ok());
+  EXPECT_FALSE(RunAllPairsPiaAudit({{"A", MakeSet(0, 3)}, {"B", {}}}, options).ok());
 }
 
 }  // namespace

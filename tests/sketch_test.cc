@@ -1,0 +1,431 @@
+// Tests for the src/sketch engine: MinHash registers, SIMD intersection
+// kernels, LSH banding and the all-pairs pipeline (DESIGN.md §8).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sketch/allpairs.h"
+#include "src/sketch/intersect.h"
+#include "src/sketch/lsh.h"
+#include "src/sketch/sketch.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace sketch {
+namespace {
+
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (SimdLevelAvailable(level)) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+// Two sets sharing a fraction s = 2J/(1+J) of their elements have Jaccard J.
+void MakePairWithJaccard(double jaccard, size_t n, uint64_t salt,
+                         std::vector<std::string>* a, std::vector<std::string>* b,
+                         double* true_jaccard) {
+  const size_t shared = static_cast<size_t>(2.0 * jaccard / (1.0 + jaccard) * n);
+  a->clear();
+  b->clear();
+  for (size_t e = 0; e < n; ++e) {
+    if (e < shared) {
+      std::string elem = StrFormat("shared-%llu-%zu", (unsigned long long)salt, e);
+      a->push_back(elem);
+      b->push_back(std::move(elem));
+    } else {
+      a->push_back(StrFormat("a-%llu-%zu", (unsigned long long)salt, e));
+      b->push_back(StrFormat("b-%llu-%zu", (unsigned long long)salt, e));
+    }
+  }
+  *true_jaccard = static_cast<double>(shared) / static_cast<double>(2 * n - shared);
+}
+
+// Strictly-increasing random u32 array of size n drawn from [0, bound).
+std::vector<uint32_t> RandomSortedSet(Rng& rng, size_t n, uint32_t bound) {
+  std::set<uint32_t> values;
+  while (values.size() < n) {
+    values.insert(static_cast<uint32_t>(rng.NextBelow(bound)));
+  }
+  return std::vector<uint32_t>(values.begin(), values.end());
+}
+
+size_t ReferenceIntersect(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out.size();
+}
+
+// --- MinHash sketcher ---
+
+TEST(Sketch, GoldenRegistersAreStableAcrossRunsAndHosts) {
+  // Locked-down output of (k=8, seed=42) over {alpha, beta, gamma}. If this
+  // test breaks, the wire format changed: ring peers on different builds
+  // would compute different registers from identical inputs.
+  SketchParams params;
+  params.k = 8;
+  params.seed = 42;
+  std::vector<uint32_t> out(params.k);
+  std::vector<uint32_t> argmin;
+  BuildSketch(params, {"alpha", "beta", "gamma"}, out.data(), &argmin);
+  const std::vector<uint32_t> golden = {0x02F36472u, 0x18C0B51Eu, 0x4E50FA3Fu, 0x09CBB2FFu,
+                                        0x45F86A7Eu, 0x3CEDFB0Du, 0x65A7140Du, 0x30A7AFBDu};
+  EXPECT_EQ(out, golden);
+  const std::vector<uint32_t> golden_argmin = {0, 2, 2, 1, 2, 2, 1, 2};
+  EXPECT_EQ(argmin, golden_argmin);
+  const std::vector<uint32_t> golden_fps = {0x88888531u, 0xA4AF7F23u, 0xDDBA0479u};
+  EXPECT_EQ(BuildFingerprints(42, {"alpha", "beta", "gamma"}), golden_fps);
+}
+
+TEST(Sketch, OrderAndDuplicatesDoNotChangeRegisters) {
+  SketchParams params;
+  params.k = 64;
+  params.seed = 7;
+  std::vector<uint32_t> a(params.k), b(params.k);
+  BuildSketch(params, {"x", "y", "z", "w"}, a.data());
+  BuildSketch(params, {"w", "z", "z", "y", "x", "x"}, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sketch, EmptySetSketchesToAllMaxRegisters) {
+  SketchParams params;
+  params.k = 16;
+  std::vector<uint32_t> out(params.k, 0);
+  BuildSketch(params, {}, out.data());
+  for (uint32_t reg : out) {
+    EXPECT_EQ(reg, UINT32_MAX);
+  }
+}
+
+TEST(Sketch, SeedChangesRegisters) {
+  SketchParams params;
+  params.k = 64;
+  params.seed = 1;
+  std::vector<uint32_t> a(params.k), b(params.k);
+  BuildSketch(params, {"x", "y", "z"}, a.data());
+  params.seed = 2;
+  BuildSketch(params, {"x", "y", "z"}, b.data());
+  EXPECT_NE(a, b);
+}
+
+TEST(Sketch, ArgminIndicesPointAtMinimisingElements) {
+  SketchParams params;
+  params.k = 32;
+  params.seed = 11;
+  std::vector<std::string> elements;
+  for (size_t e = 0; e < 50; ++e) {
+    elements.push_back("elem-" + std::to_string(e));
+  }
+  std::vector<uint32_t> out(params.k);
+  std::vector<uint32_t> argmin;
+  BuildSketch(params, elements, out.data(), &argmin);
+  ASSERT_EQ(argmin.size(), params.k);
+  for (uint32_t i = 0; i < params.k; ++i) {
+    ASSERT_LT(argmin[i], elements.size());
+    // The claimed minimiser reproduces the register through the public hash
+    // chain: register = top 32 bits of min_j RegisterHash(fp_j).
+    const uint64_t fp = ElementFingerprint(params.seed, elements[argmin[i]]);
+    EXPECT_EQ(out[i], static_cast<uint32_t>(RegisterHash(params.seed, i, fp) >> 32));
+  }
+}
+
+TEST(Sketch, AccuracyBoundMaeWithinThreeStandardErrors) {
+  // MAE of the register-agreement estimator over pairs with known Jaccard
+  // must stay within 3/sqrt(k) — the bound DESIGN.md documents.
+  SketchParams params;
+  params.k = 256;
+  params.seed = 5;
+  const std::vector<double> targets = {0.1, 0.3, 0.5, 0.7, 0.9};
+  double mae = 0;
+  for (size_t t = 0; t < targets.size(); ++t) {
+    std::vector<std::string> a, b;
+    double true_j = 0;
+    MakePairWithJaccard(targets[t], 1000, t, &a, &b, &true_j);
+    std::vector<uint32_t> sa(params.k), sb(params.k);
+    BuildSketch(params, a, sa.data());
+    BuildSketch(params, b, sb.data());
+    const double estimate =
+        static_cast<double>(AgreeCount(sa.data(), sb.data(), params.k, SimdLevel::kScalar)) /
+        params.k;
+    mae += std::abs(estimate - true_j);
+  }
+  mae /= static_cast<double>(targets.size());
+  EXPECT_LE(mae, 3.0 * StandardError(params.k));
+}
+
+TEST(Sketch, ArenaSlotsAreContiguousAndIndependent) {
+  SketchParams params;
+  params.k = 16;
+  SketchArena arena = BuildSketches(params, {{"a", "b"}, {"c"}, {}});
+  EXPECT_EQ(arena.k(), params.k);
+  EXPECT_EQ(arena.count(), 3u);
+  EXPECT_EQ(arena.bytes(), 3 * SketchBytes(params.k));
+  EXPECT_EQ(arena.At(1) - arena.At(0), static_cast<ptrdiff_t>(params.k));
+  std::vector<uint32_t> direct(params.k);
+  BuildSketch(params, {"c"}, direct.data());
+  EXPECT_TRUE(std::equal(direct.begin(), direct.end(), arena.At(1)));
+  for (uint32_t i = 0; i < params.k; ++i) {
+    EXPECT_EQ(arena.At(2)[i], UINT32_MAX);
+  }
+}
+
+// --- SIMD kernels ---
+
+TEST(Intersect, AllLevelsAgreeOnRandomInputs) {
+  Rng rng(1234);
+  const std::vector<SimdLevel> levels = AvailableLevels();
+  ASSERT_FALSE(levels.empty());
+  for (int round = 0; round < 200; ++round) {
+    const size_t na = rng.NextBelow(600);
+    const size_t nb = rng.NextBelow(600);
+    // A narrow value range forces heavy overlap; a wide one near-disjoint.
+    const uint32_t bound = round % 2 == 0 ? 2000 : 1u << 30;
+    const std::vector<uint32_t> a = RandomSortedSet(rng, na, bound);
+    const std::vector<uint32_t> b = RandomSortedSet(rng, nb, bound);
+    const size_t expected = ReferenceIntersect(a, b);
+    for (SimdLevel level : levels) {
+      EXPECT_EQ(IntersectCount(a.data(), a.size(), b.data(), b.size(), level), expected)
+          << "level=" << SimdLevelName(level) << " round=" << round;
+    }
+  }
+}
+
+TEST(Intersect, AllLevelsAgreeOnLopsidedGallopingInputs) {
+  Rng rng(99);
+  const std::vector<SimdLevel> levels = AvailableLevels();
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<uint32_t> small = RandomSortedSet(rng, 1 + rng.NextBelow(8), 1u << 20);
+    const std::vector<uint32_t> big = RandomSortedSet(rng, 4000, 1u << 20);
+    const size_t expected = ReferenceIntersect(small, big);
+    for (SimdLevel level : levels) {
+      EXPECT_EQ(IntersectCount(small.data(), small.size(), big.data(), big.size(), level),
+                expected)
+          << "level=" << SimdLevelName(level) << " round=" << round;
+      EXPECT_EQ(IntersectCount(big.data(), big.size(), small.data(), small.size(), level),
+                expected)
+          << "level=" << SimdLevelName(level) << " round=" << round;
+    }
+  }
+}
+
+TEST(Intersect, AgreeCountIdenticalAcrossLevels) {
+  Rng rng(42);
+  for (size_t k : {1u, 7u, 8u, 31u, 32u, 256u, 257u}) {
+    std::vector<uint32_t> a(k), b(k);
+    for (size_t i = 0; i < k; ++i) {
+      a[i] = static_cast<uint32_t>(rng.Next());
+      b[i] = rng.NextBelow(4) == 0 ? a[i] : static_cast<uint32_t>(rng.Next());
+    }
+    size_t expected = 0;
+    for (size_t i = 0; i < k; ++i) {
+      expected += a[i] == b[i] ? 1 : 0;
+    }
+    for (SimdLevel level : AvailableLevels()) {
+      EXPECT_EQ(AgreeCount(a.data(), b.data(), k, level), expected)
+          << "level=" << SimdLevelName(level) << " k=" << k;
+    }
+  }
+}
+
+TEST(Intersect, ThresholdContractPrunedImpliesBelowUnprunedImpliesExact) {
+  Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    const std::vector<uint32_t> a = RandomSortedSet(rng, 100 + rng.NextBelow(200), 4000);
+    const std::vector<uint32_t> b = RandomSortedSet(rng, 100 + rng.NextBelow(200), 4000);
+    const size_t exact = ReferenceIntersect(a, b);
+    const double exact_j = JaccardFromIntersection(exact, a.size(), b.size());
+    for (double threshold : {0.0, 0.05, 0.2, 0.5, 0.9}) {
+      for (SimdLevel level : AvailableLevels()) {
+        const ThresholdResult result = IntersectCountThreshold(
+            a.data(), a.size(), b.data(), b.size(), threshold, level);
+        if (result.pruned) {
+          EXPECT_LT(exact_j, threshold) << "level=" << SimdLevelName(level);
+        } else {
+          EXPECT_EQ(result.count, exact) << "level=" << SimdLevelName(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(Intersect, EmptyInputs) {
+  const std::vector<uint32_t> a = {1, 2, 3};
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(a.data(), a.size(), nullptr, 0, level), 0u);
+    EXPECT_EQ(IntersectCount(nullptr, 0, a.data(), a.size(), level), 0u);
+    EXPECT_EQ(AgreeCount(a.data(), a.data(), 0, level), 0u);
+    // An empty side can never reach a positive threshold.
+    EXPECT_TRUE(
+        IntersectCountThreshold(a.data(), a.size(), nullptr, 0, 0.5, level).pruned);
+  }
+}
+
+TEST(Intersect, EnvironmentPinIsHonoredWhenSupported) {
+  // The CI AVX2 job exports INDAAS_SKETCH_SIMD and relies on this check
+  // failing hard if the pinned level is not actually dispatched.
+  const char* pin = std::getenv("INDAAS_SKETCH_SIMD");
+  if (pin == nullptr) {
+    GTEST_SKIP() << "INDAAS_SKETCH_SIMD not set";
+  }
+  const std::string wanted(pin);
+  SimdLevel level = SimdLevel::kScalar;
+  if (wanted == "sse2") {
+    level = SimdLevel::kSse2;
+  } else if (wanted == "avx2") {
+    level = SimdLevel::kAvx2;
+  } else if (wanted != "scalar") {
+    FAIL() << "unrecognized INDAAS_SKETCH_SIMD value: " << wanted;
+  }
+  ASSERT_TRUE(SimdLevelAvailable(level))
+      << "pinned level " << wanted << " is not available on this host/build";
+  EXPECT_EQ(BestSimdLevel(), level);
+}
+
+// --- LSH banding ---
+
+TEST(Lsh, CollisionProbabilityFollowsSCurve) {
+  LshParams params;
+  params.bands = 64;
+  params.rows = 4;
+  EXPECT_NEAR(LshCollisionProbability(0.0, params), 0.0, 1e-12);
+  EXPECT_NEAR(LshCollisionProbability(1.0, params), 1.0, 1e-12);
+  EXPECT_LT(LshCollisionProbability(0.1, params), 0.01);
+  EXPECT_GT(LshCollisionProbability(0.55, params), 0.99);
+  EXPECT_LT(LshCollisionProbability(0.3, params), LshCollisionProbability(0.4, params));
+}
+
+TEST(Lsh, EffectiveBandsRespectsRegisterBudget) {
+  LshParams params;
+  params.bands = 64;
+  params.rows = 4;
+  EXPECT_EQ(EffectiveBands(256, params), 64u);
+  EXPECT_EQ(EffectiveBands(64, params), 16u);
+  params.rows = 0;
+  EXPECT_EQ(EffectiveBands(256, params), 0u);
+}
+
+TEST(Lsh, CandidatesIncludeSimilarPairsAndSkipDissimilarOnes) {
+  SketchParams sketch_params;
+  sketch_params.k = 256;
+  sketch_params.seed = 3;
+  std::vector<std::vector<std::string>> sets;
+  // 0/1 and 2/3 are near-duplicates (J ~ 0.8); the rest are disjoint.
+  for (size_t p = 0; p < 12; ++p) {
+    std::vector<std::string> set;
+    const size_t partner = p < 4 ? (p / 2) * 2 : p;
+    for (size_t e = 0; e < 400; ++e) {
+      const bool shared = p < 4 && e < 360;
+      set.push_back(shared ? StrFormat("pair%zu-%zu", partner, e)
+                           : StrFormat("solo%zu-%zu", p, e));
+    }
+    sets.push_back(std::move(set));
+  }
+  SketchArena arena = BuildSketches(sketch_params, sets);
+  LshParams lsh;
+  lsh.bands = 64;
+  lsh.rows = 4;
+  LshStats stats;
+  const auto candidates = LshCandidatePairs(arena, lsh, &stats);
+  EXPECT_EQ(stats.bands_used, 64u);
+  EXPECT_EQ(stats.candidate_pairs, candidates.size());
+  const bool has01 = std::count(candidates.begin(), candidates.end(), std::pair<uint32_t, uint32_t>{0, 1}) > 0;
+  const bool has23 = std::count(candidates.begin(), candidates.end(), std::pair<uint32_t, uint32_t>{2, 3}) > 0;
+  EXPECT_TRUE(has01);
+  EXPECT_TRUE(has23);
+  // Disjoint providers shouldn't flood the candidate list: the planted pairs
+  // plus at most a handful of unlucky collisions.
+  EXPECT_LE(candidates.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+}
+
+TEST(Lsh, BucketingIsDeterministic) {
+  SketchParams params;
+  params.k = 64;
+  std::vector<std::vector<std::string>> sets = {{"a", "b"}, {"a", "c"}, {"d"}};
+  LshParams lsh;
+  lsh.bands = 16;
+  lsh.rows = 4;
+  const auto first = LshCandidatePairs(BuildSketches(params, sets), lsh);
+  const auto second = LshCandidatePairs(BuildSketches(params, sets), lsh);
+  EXPECT_EQ(first, second);
+}
+
+// --- All-pairs pipeline ---
+
+TEST(AllPairs, FindsPlantedPairsInBothVerifyModes) {
+  std::vector<std::vector<std::string>> sets;
+  for (size_t p = 0; p < 16; ++p) {
+    std::vector<std::string> set;
+    const bool planted = p < 4;
+    const size_t partner = (p / 2) * 2;
+    for (size_t e = 0; e < 500; ++e) {
+      const bool shared = planted && e < 400;
+      set.push_back(shared ? StrFormat("dup%zu-%zu", partner, e)
+                           : StrFormat("own%zu-%zu", p, e));
+    }
+    sets.push_back(std::move(set));
+  }
+  for (VerifyMode mode : {VerifyMode::kRegisters, VerifyMode::kFingerprints}) {
+    AllPairsOptions options;
+    options.sketch.k = 256;
+    options.sketch.seed = 17;
+    options.verify = mode;
+    AllPairsResult result = RunAllPairs(sets, options);
+    EXPECT_EQ(result.providers, sets.size());
+    EXPECT_EQ(result.pairs_possible, sets.size() * (sets.size() - 1) / 2);
+    EXPECT_LT(result.pairs_evaluated, result.pairs_possible / 4);
+    ASSERT_GE(result.pairs.size(), 2u);
+    // Riskiest-first ordering with the planted near-duplicates on top.
+    EXPECT_TRUE(std::is_sorted(result.pairs.begin(), result.pairs.end(),
+                               [](const ScoredPair& x, const ScoredPair& y) {
+                                 return x.jaccard > y.jaccard;
+                               }));
+    std::set<std::pair<uint32_t, uint32_t>> top = {{result.pairs[0].a, result.pairs[0].b},
+                                                   {result.pairs[1].a, result.pairs[1].b}};
+    EXPECT_TRUE(top.count({0, 1}));
+    EXPECT_TRUE(top.count({2, 3}));
+    // True J = 400/600; both estimators must land near it.
+    EXPECT_NEAR(result.pairs[0].jaccard, 400.0 / 600.0, 0.1);
+  }
+}
+
+TEST(AllPairs, TopTruncatesAndThresholdPrunes) {
+  std::vector<std::vector<std::string>> sets;
+  for (size_t p = 0; p < 8; ++p) {
+    std::vector<std::string> set;
+    for (size_t e = 0; e < 100; ++e) {
+      // Every provider shares a sizable core, so all 28 pairs are LSH
+      // candidates; uniques keep them below J = 0.9.
+      set.push_back(e < 60 ? "core-" + std::to_string(e) : StrFormat("own%zu-%zu", p, e));
+    }
+    sets.push_back(std::move(set));
+  }
+  AllPairsOptions options;
+  options.sketch.k = 128;
+  options.verify = VerifyMode::kFingerprints;
+  options.lsh.bands = 32;
+  options.lsh.rows = 4;
+  AllPairsResult all = RunAllPairs(sets, options);
+  EXPECT_EQ(all.pairs_evaluated, 28u);
+  options.top = 3;
+  AllPairsResult top = RunAllPairs(sets, options);
+  EXPECT_EQ(top.pairs.size(), 3u);
+  options.top = 0;
+  options.min_jaccard = 0.9;
+  AllPairsResult pruned = RunAllPairs(sets, options);
+  EXPECT_EQ(pruned.pairs_pruned, 28u);
+  EXPECT_TRUE(pruned.pairs.empty());
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace indaas

@@ -160,6 +160,24 @@ TEST(ProtoTest, PiaRequestRoundTrip) {
   EXPECT_EQ(decoded->options.parallel_deployments, 4u);
 }
 
+TEST(ProtoTest, PiaRequestCarriesSketchGeometry) {
+  PiaRequest request;
+  request.providers = {{"CloudA", {"c1"}}, {"CloudB", {"c2"}}};
+  request.options.method = PiaMethod::kSketch;
+  request.options.sketch_k = 512;
+  auto decoded = DecodePiaRequest(EncodePiaRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->options.method, PiaMethod::kSketch);
+  EXPECT_EQ(decoded->options.sketch_k, 512u);
+  // sketch_k = 0 never appears on the wire (the default is 256 and the CLI
+  // validates the range), so a zero there is a forged payload.
+  std::string forged = EncodePiaRequest(request);
+  for (size_t i = forged.size() - 4; i < forged.size(); ++i) {
+    forged[i] = 0;
+  }
+  EXPECT_FALSE(DecodePiaRequest(forged).ok());
+}
+
 TEST(ProtoTest, PsopHelloRoundTrip) {
   PsopHello hello;
   hello.ring_size = 3;
@@ -195,7 +213,17 @@ TEST(ProtoTest, EveryTruncationRejectedCleanly) {
   PiaRequest request;
   request.providers = {{"CloudA", {"c1", "c2"}}, {"CloudB", {"c3"}}};
   const std::string full = EncodePiaRequest(request);
+  // One cut is NOT an error: the trailing sketch_k field is optional for
+  // wire compatibility, so removing exactly that field yields a valid
+  // legacy payload that decodes with the default geometry.
+  const size_t legacy_cut = full.size() - sizeof(uint32_t);
   for (size_t cut = 0; cut < full.size(); ++cut) {
+    if (cut == legacy_cut) {
+      auto legacy = DecodePiaRequest(full.substr(0, cut));
+      ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+      EXPECT_EQ(legacy->options.sketch_k, 256u);
+      continue;
+    }
     EXPECT_FALSE(DecodePiaRequest(full.substr(0, cut)).ok()) << "cut " << cut;
   }
   const std::string spec_bytes = EncodeAuditSpecification(TestSpec());
@@ -216,6 +244,40 @@ TEST(ProtoTest, PsopDatasetRejectsBadElementWidth) {
   dataset.origin = 0;
   dataset.element_bytes = 0;  // zero width is nonsense
   EXPECT_FALSE(DecodePsopDataset(EncodePsopDataset(dataset)).ok());
+}
+
+TEST(ProtoTest, PsopSketchRoundTrip) {
+  PsopSketch sketch;
+  sketch.origin = 2;
+  sketch.registers = {0u, 1u, 0xDEADBEEFu, UINT32_MAX};
+  auto decoded = DecodePsopSketch(EncodePsopSketch(sketch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->origin, 2u);
+  EXPECT_EQ(decoded->registers, sketch.registers);
+  // Same hygiene as the other ring payloads: every proper prefix and any
+  // trailing garbage must be rejected.
+  const std::string full = EncodePsopSketch(sketch);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodePsopSketch(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodePsopSketch(full + "x").ok());
+}
+
+TEST(ProtoTest, PsopSketchRejectsHostileCounts) {
+  // A sketch has at least one register, and the frame extension carries k
+  // as u16 — zero and anything above UINT16_MAX are rejected by the count
+  // check before any allocation happens.
+  PsopSketch empty;
+  empty.origin = 0;
+  EXPECT_FALSE(DecodePsopSketch(EncodePsopSketch(empty)).ok());
+  PsopSketch small;
+  small.origin = 0;
+  small.registers = {1, 2, 3};
+  std::string forged = EncodePsopSketch(small);
+  for (size_t i = 4; i < 8; ++i) {
+    forged[i] = static_cast<char>(0xFF);  // register count = UINT32_MAX
+  }
+  EXPECT_FALSE(DecodePsopSketch(forged).ok());
 }
 
 // Populated stats payload shared by the codec tests below.
@@ -1016,14 +1078,19 @@ PsopOptions RingPsopOptions() {
 }
 
 // Runs a full k-peer loopback session over `datasets`; returns one result
-// per peer (or dies on setup failure).
+// per peer (or dies on setup failure). A nonzero `sketch_k` switches the
+// ring to the sketch-exchange protocol with that register count.
 std::vector<Result<PsopResult>> RunLoopbackRing(
-    const std::vector<std::vector<std::string>>& datasets, int io_timeout_ms = 10000) {
+    const std::vector<std::vector<std::string>>& datasets, int io_timeout_ms = 10000,
+    uint32_t sketch_k = 0) {
   const size_t k = datasets.size();
   std::vector<PiaPeer> peers;
   PiaPeerOptions options;
   options.psop = RingPsopOptions();
   options.io_timeout_ms = io_timeout_ms;
+  if (sketch_k != 0) {
+    options.sketch_k = sketch_k;
+  }
   for (size_t i = 0; i < k; ++i) {
     auto peer = PiaPeer::Listen(0);
     EXPECT_TRUE(peer.ok()) << peer.status().ToString();
@@ -1036,7 +1103,8 @@ std::vector<Result<PsopResult>> RunLoopbackRing(
     threads.emplace_back([&, i] {
       PiaPeerOptions mine = options;
       mine.self_index = i;
-      results[i] = peers[i].RunPsop(datasets[i], mine);
+      results[i] = sketch_k == 0 ? peers[i].RunPsop(datasets[i], mine)
+                                 : peers[i].RunPsopWithSketch(datasets[i], mine);
     });
   }
   for (std::thread& thread : threads) {
@@ -1085,6 +1153,112 @@ TEST(PiaPeerTest, TwoPartyWithDuplicatesMatchesInProcess) {
     EXPECT_EQ(results[i]->intersection, reference->intersection);
     EXPECT_EQ(results[i]->union_size, reference->union_size);
   }
+}
+
+TEST(PiaPeerTest, SketchRingByteIdenticalToInProcess) {
+  const uint32_t sketch_k = 128;
+  std::vector<std::vector<std::string>> datasets = {
+      {"net:tor1", "net:core1", "hw:sed900", "pkg:libc6=2.13", "shared"},
+      {"net:tor2", "net:core1", "hw:sed900", "pkg:libc6=2.13", "shared"},
+      {"net:tor3", "net:core1", "hw:wd200", "pkg:libc6=2.13", "shared"},
+  };
+  auto results = RunLoopbackRing(datasets, 10000, sketch_k);
+  auto reference = RunPsopWithSketch(datasets, sketch_k, RingPsopOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  // Every hop moves one fixed-size frame: header + trace + sketch-params
+  // extensions + the PsopSketch payload (origin, count, k registers). The
+  // total is a function of ring size and sketch_k only — never of how many
+  // components a provider has, which is the protocol's selling point.
+  const size_t hop_bytes = net::kFrameHeaderBytes + net::kTraceContextBytes +
+                           net::kSketchParamsBytes + 8 + 4 * sketch_k;
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "peer " << i << ": " << results[i].status().ToString();
+    // Bit-exact equality with the in-process engine: same seed derivation,
+    // same registers, same agreement count, same division.
+    EXPECT_EQ(results[i]->intersection, reference->intersection) << "peer " << i;
+    EXPECT_EQ(results[i]->union_size, sketch_k) << "peer " << i;
+    EXPECT_EQ(results[i]->jaccard, reference->jaccard) << "peer " << i;
+    const PartyStats& stats = results[i]->party_stats[i];
+    EXPECT_EQ(stats.bytes_sent, (datasets.size() - 1) * hop_bytes) << "peer " << i;
+    EXPECT_EQ(stats.bytes_received, (datasets.size() - 1) * hop_bytes) << "peer " << i;
+    EXPECT_EQ(stats.encrypt_ops, 0u) << "peer " << i;
+  }
+}
+
+TEST(PiaPeerTest, SketchRingGeometryMismatchFailsClosed) {
+  // Two peers that disagree on sketch_k must fail at the handshake — the
+  // sketch-params extension makes the mismatch visible before any register
+  // moves, so neither side ever compares registers hashed under different
+  // geometry.
+  auto peer0 = PiaPeer::Listen(0);
+  auto peer1 = PiaPeer::Listen(0);
+  ASSERT_TRUE(peer0.ok());
+  ASSERT_TRUE(peer1.ok());
+  std::vector<net::Endpoint> ring = {{"127.0.0.1", peer0->listen_port()},
+                                     {"127.0.0.1", peer1->listen_port()}};
+  Result<PsopResult> r0 = InternalError("unset");
+  Result<PsopResult> r1 = InternalError("unset");
+  std::thread t0([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 0;
+    options.psop = RingPsopOptions();
+    options.sketch_k = 128;
+    options.io_timeout_ms = 3000;
+    r0 = peer0->RunPsopWithSketch({"x"}, options);
+  });
+  std::thread t1([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 1;
+    options.psop = RingPsopOptions();
+    options.sketch_k = 256;  // disagrees with peer 0
+    options.io_timeout_ms = 3000;
+    r1 = peer1->RunPsopWithSketch({"y"}, options);
+  });
+  t0.join();
+  t1.join();
+  ASSERT_FALSE(r0.ok());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r0.status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(r1.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(PiaPeerTest, SketchRingRejectsEncryptedProtocolPeer) {
+  // A ring where one peer runs the encrypted P-SOP protocol and the other
+  // the sketch exchange must fail closed on both sides: the sketch peer
+  // sees a hello without the sketch-params extension (kProtocolError), and
+  // the encrypted peer loses its neighbour before any dataset round
+  // completes. This is the "old auditor meets sketch traffic" scenario.
+  auto peer0 = PiaPeer::Listen(0);
+  auto peer1 = PiaPeer::Listen(0);
+  ASSERT_TRUE(peer0.ok());
+  ASSERT_TRUE(peer1.ok());
+  std::vector<net::Endpoint> ring = {{"127.0.0.1", peer0->listen_port()},
+                                     {"127.0.0.1", peer1->listen_port()}};
+  Result<PsopResult> r0 = InternalError("unset");
+  Result<PsopResult> r1 = InternalError("unset");
+  std::thread t0([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 0;
+    options.psop = RingPsopOptions();
+    options.io_timeout_ms = 3000;
+    r0 = peer0->RunPsop({"x"}, options);  // encrypted protocol, no extension
+  });
+  std::thread t1([&] {
+    PiaPeerOptions options;
+    options.peers = ring;
+    options.self_index = 1;
+    options.psop = RingPsopOptions();
+    options.io_timeout_ms = 3000;
+    r1 = peer1->RunPsopWithSketch({"y"}, options);
+  });
+  t0.join();
+  t1.join();
+  ASSERT_FALSE(r0.ok());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kProtocolError);
 }
 
 TEST(PiaPeerTest, RingSpansShareDerivedSessionTraceId) {

@@ -77,7 +77,7 @@ def collect_fig8(build, workdir, n_max):
     ])
     doc = json.loads(out.read_text())
     snapshot = {}
-    for point in doc["points"]:
+    for point in doc["real_points"]:
         name = f"fig8_psop_ring/k{point['k']}_n{point['n']}"
         snapshot[name] = {
             "p50_seconds": point["measured_wall_s"],
@@ -88,6 +88,74 @@ def collect_fig8(build, workdir, n_max):
                 "estimated_wall_s": point["estimated_wall_s"],
                 "matches_inprocess": point["matches_inprocess"],
             },
+        }
+    # Per-method bytes-on-wire: exact P-SOP vs MinHash-sampled vs sketch
+    # exchange at the same (k, n). The bytes column is the headline — the
+    # sketch rows stay flat as n grows while exact rows scale linearly.
+    for point in doc["methods"]:
+        name = f"fig8_methods/{point['method']}/k{point['k']}_n{point['n']}"
+        snapshot[name] = {
+            "p50_seconds": point["compute_s_per_party"],
+            "bytes": point["bytes_sent_per_party"],
+            "config": {
+                "method": point["method"],
+                "k": point["k"],
+                "n": point["n"],
+                "jaccard": point["jaccard"],
+            },
+        }
+    return snapshot
+
+
+def collect_sketch_allpairs(build, workdir):
+    """bench_sketch_allpairs: all-pairs sketch audit plus SIMD kernel points.
+
+    --skip-calib skips the exact-P-SOP calibration ring (seconds per pair);
+    the snapshot keeps the audit wall time, the candidate-pair reduction and
+    the scalar/SIMD intersect costs, which is what regressions show up in.
+    """
+    out = workdir / "sketch_allpairs.json"
+    run_bench([
+        str(build / "bench" / "bench_sketch_allpairs"),
+        "--skip-calib",
+        f"--json-out={out}",
+    ])
+    doc = json.loads(out.read_text())
+    providers = doc["providers"]
+    snapshot = {
+        f"sketch_allpairs/audit_p{providers}": {
+            "p50_seconds": doc["audit_wall_s"],
+            "bytes": doc["sketch_bytes_total"],
+            "config": {
+                "providers": providers,
+                "sketch_k": doc["sketch_k"],
+                "lsh_bands": doc["lsh_bands"],
+                "lsh_rows": doc["lsh_rows"],
+                "pairs_evaluated": doc["pairs_evaluated"],
+                "ring_exec_reduction": doc["ring_exec_reduction"],
+                "recall_top10": doc["recall_top10"],
+                "mae_candidates": doc["mae_candidates"],
+            },
+        },
+        "sketch_allpairs/intersect_scalar": {
+            "p50_seconds": doc["scalar_ns_per_pair"] / 1e9,
+            "bytes": 0,
+            "config": {"elements": doc["elements"]},
+        },
+        f"sketch_allpairs/intersect_{doc['simd_level']}": {
+            "p50_seconds": doc["simd_ns_per_pair"] / 1e9,
+            "bytes": 0,
+            "config": {
+                "elements": doc["elements"],
+                "simd_speedup": doc["simd_speedup"],
+            },
+        },
+    }
+    for point in doc["k_sweep"]:
+        snapshot[f"sketch_allpairs/build_k{point['k']}"] = {
+            "p50_seconds": point["build_s"],
+            "bytes": point["bytes_per_provider"],
+            "config": {"k": point["k"], "mae_planted": point["mae_planted"]},
         }
     return snapshot
 
@@ -162,6 +230,7 @@ def main():
         workdir = pathlib.Path(tmp)
         snapshot.update(collect_risk_groups(build, workdir))
         snapshot.update(collect_fig8(build, workdir, args.fig8_n_max))
+        snapshot.update(collect_sketch_allpairs(build, workdir))
         snapshot.update(collect_svc_rpc(build, workdir))
         snapshot.update(collect_svc_saturation(build, workdir))
 
