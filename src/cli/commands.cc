@@ -23,6 +23,7 @@
 #include "src/obs/trace_merge.h"
 #include "src/graph/fault_graph.h"
 #include "src/graph/serialize.h"
+#include "src/net/chaos.h"
 #include "src/net/socket.h"
 #include "src/sia/builder.h"
 #include "src/sia/importance.h"
@@ -386,6 +387,7 @@ Status RunPiaCommand(int argc, char** argv) {
   std::string method_name;
   bool minhash = false;
   bool all_pairs = false;
+  bool allow_degraded = false;
   int64_t m = 256;
   int64_t sketch_k = 256;
   int64_t lsh_bands = 64;
@@ -412,6 +414,9 @@ Status RunPiaCommand(int argc, char** argv) {
   flags.AddBool("all-pairs", &all_pairs,
                 "rank every provider pair via sketches + LSH banding "
                 "(DESIGN.md §8; in-process mode only)");
+  flags.AddBool("allow-degraded", &allow_degraded,
+                "socket mode: survive peer deaths by reforming the ring among "
+                "the survivors and returning a partial (degraded) result");
   flags.AddInt("m", &m, "MinHash sample size");
   flags.AddInt("sketch-k", &sketch_k, "registers per sketch (--method=sketch / --all-pairs)");
   flags.AddInt("lsh-bands", &lsh_bands, "LSH bands for --all-pairs candidate generation");
@@ -511,6 +516,7 @@ Status RunPiaCommand(int argc, char** argv) {
     peer_options.psop.group_bits = static_cast<size_t>(group_bits);
     peer_options.psop.seed = static_cast<uint64_t>(seed);
     peer_options.sketch_k = static_cast<uint32_t>(sketch_k);
+    peer_options.allow_degraded = allow_degraded;
     const CloudProvider& self_provider = providers[static_cast<size_t>(self_index)];
     BeginObs(obs_out);
     INDAAS_ASSIGN_OR_RETURN(
@@ -526,6 +532,21 @@ Status RunPiaCommand(int argc, char** argv) {
         sketch_session ? peer.RunPsopWithSketch(self_provider.components, peer_options)
                        : peer.RunPsop(self_provider.components, peer_options));
     const PartyStats& stats = result.party_stats[peer_options.self_index];
+    if (result.degraded()) {
+      // Make a partial answer impossible to mistake for a full one: name the
+      // peers whose sets the overlap estimate does NOT cover.
+      std::string excluded_list;
+      for (uint32_t excluded_peer : result.excluded) {
+        if (!excluded_list.empty()) {
+          excluded_list += ",";
+        }
+        excluded_list += StrFormat("%u", excluded_peer);
+      }
+      std::printf(
+          "DEGRADED result: ring reformed %u time(s); peers {%s} excluded — "
+          "the overlap below does not cover their sets\n",
+          result.recovery_attempts, excluded_list.c_str());
+    }
     std::printf("jaccard=%.6f intersection=%zu union=%zu\n", result.jaccard,
                 result.intersection, result.union_size);
     std::printf("self: %.3fs compute, %zu encrypt ops, %zu B sent, %zu B received\n",
@@ -748,6 +769,8 @@ Status RunServeCommand(int argc, char** argv) {
   int64_t backlog = 128;
   int64_t read_deadline_ms = 10000;
   int64_t slow_rpc_ms = 100;
+  std::string admission = "adaptive";
+  int64_t target_queue_delay_ms = 5;
   std::string depdb_path;
   std::string cvss_path;
   std::string flight_dump;
@@ -767,6 +790,11 @@ Status RunServeCommand(int argc, char** argv) {
   flags.AddInt("slow-rpc-ms", &slow_rpc_ms,
                "RPCs slower than this keep their stage breakdown for `indaas debug`"
                " (0 = sheds/errors only)");
+  flags.AddString("admission", &admission,
+                  "adaptive (CoDel-style shedding on standing queue delay; the "
+                  "in-flight caps stay as hard ceilings) or fixed (caps only)");
+  flags.AddInt("target-queue-delay-ms", &target_queue_delay_ms,
+               "adaptive admission: dispatch->worker queue-delay target");
   flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
   flags.AddString("flight-dump", &flight_dump,
@@ -782,6 +810,12 @@ Status RunServeCommand(int argc, char** argv) {
   if (mode != "reactor" && mode != "threaded") {
     return InvalidArgumentError("--mode must be 'reactor' or 'threaded'");
   }
+  if (admission != "adaptive" && admission != "fixed") {
+    return InvalidArgumentError("--admission must be 'adaptive' or 'fixed'");
+  }
+  if (target_queue_delay_ms < 1) {
+    return InvalidArgumentError("--target-queue-delay-ms must be at least 1");
+  }
 
   svc::AuditServerOptions options;
   options.port = static_cast<uint16_t>(port);
@@ -796,6 +830,11 @@ Status RunServeCommand(int argc, char** argv) {
   options.listen_backlog = static_cast<int>(std::max<int64_t>(1, backlog));
   options.read_deadline_ms = static_cast<int>(read_deadline_ms);
   options.slow_rpc_threshold_s = static_cast<double>(slow_rpc_ms) / 1e3;
+  // The CLI server defaults to adaptive admission (an operator-facing server
+  // should push back before its queue is seconds deep); the library default
+  // stays fixed for embedded/bench determinism.
+  options.adaptive_admission = admission == "adaptive";
+  options.target_queue_delay_s = static_cast<double>(target_queue_delay_ms) / 1e3;
   svc::AuditServer server(options);
 
   if (!flight_dump.empty()) {
@@ -844,12 +883,26 @@ Status RunServeCommand(int argc, char** argv) {
 }
 
 int RunCli(int argc, char** argv) {
-  // --log-level and --log-format are global: valid anywhere on the command
-  // line, consumed here so the per-command flag parsers never see them.
+  // --log-level, --log-format and --chaos-plan are global: valid anywhere on
+  // the command line, consumed here so the per-command flag parsers never see
+  // them.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (StartsWith(arg, "--log-level=")) {
+    if (StartsWith(arg, "--chaos-plan=")) {
+      // Deterministic fault injection (src/net/chaos.h): every socket this
+      // process opens — server, client or PIA ring — runs under the plan.
+      Result<net::chaos::FaultPlan> plan = net::chaos::ParseFaultPlan(arg.substr(13));
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bad --chaos-plan: %s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      net::chaos::InstallPlan(*plan);
+      if (plan->active()) {
+        std::fprintf(stderr, "chaos plan installed: %s\n",
+                     net::chaos::FaultPlanToString(*plan).c_str());
+      }
+    } else if (StartsWith(arg, "--log-level=")) {
       std::string_view value = arg.substr(12);
       if (value == "debug") {
         SetLogLevel(LogLevel::kDebug);
@@ -883,7 +936,7 @@ int RunCli(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: indaas [--log-level=debug|info|warning|error] [--log-format=text|json] "
-                 "<command> [flags]\n"
+                 "[--chaos-plan=seed=N,reset=P,...] <command> [flags]\n"
                  "commands:\n"
                  "  collect  run simulated dependency acquisition into a DepDB file\n"
                  "  audit    structural independence audit of candidate deployments\n"
@@ -901,8 +954,10 @@ int RunCli(int argc, char** argv) {
                  "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
                  "networked: serve --port=P [--mode=reactor|threaded --reactor-shards=N\n"
                  "  --max-inflight=N --max-inflight-per-conn=N --backlog=N "
-                 "--read-deadline-ms=MS --slow-rpc-ms=MS --flight-dump=FILE];\n"
-                 "  audit --remote=host:P; pia --peers=a:p1,b:p2,c:p3 --self=i\n");
+                 "--read-deadline-ms=MS --slow-rpc-ms=MS --flight-dump=FILE\n"
+                 "  --admission=adaptive|fixed --target-queue-delay-ms=MS];\n"
+                 "  audit --remote=host:P; pia --peers=a:p1,b:p2,c:p3 --self=i "
+                 "[--allow-degraded]\n");
     return 2;
   }
   std::string command = argv[1];

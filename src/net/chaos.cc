@@ -1,0 +1,501 @@
+#include "src/net/chaos.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace indaas {
+namespace net {
+namespace chaos {
+namespace {
+
+// Corruption is confined to a send prefix no longer than the frame header
+// (kFrameHeaderBytes in src/net/frame.h): a flipped header bit is caught by
+// magic/version/flags/length validation as kProtocolError, while a flipped
+// payload bit would silently corrupt an audit result — the wire carries no
+// checksums, and "silent wrong answer" is the one outcome chaos must never
+// manufacture.
+constexpr size_t kCorruptPrefixMax = 12;
+
+// Fault-class salts: every decision hashes (seed, connection, op, salt), so
+// the classes draw independent coin flips from one seed.
+enum FaultSalt : uint32_t {
+  kSaltReset = 1,
+  kSaltAcceptFail = 2,
+  kSaltReadStall = 3,
+  kSaltWriteStall = 4,
+  kSaltPartialWrite = 5,
+  kSaltDelay = 6,
+  kSaltCorrupt = 7,
+  kSaltLoopDelay = 8,
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DecisionHash(uint64_t seed, uint64_t conn, uint64_t op, uint32_t salt) {
+  return SplitMix64(seed ^ SplitMix64(conn * 0x9E3779B97F4A7C15ULL + salt) ^ (op << 1));
+}
+
+bool Fires(double prob, uint64_t seed, uint64_t conn, uint64_t op, uint32_t salt) {
+  if (prob <= 0.0) {
+    return false;
+  }
+  if (prob >= 1.0) {
+    return true;
+  }
+  // Top 53 bits → uniform double in [0, 1).
+  double u = static_cast<double>(DecisionHash(seed, conn, op, salt) >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+struct Counters {
+  obs::Counter* injected_total;
+  obs::Counter* resets;
+  obs::Counter* accept_failures;
+  obs::Counter* read_stalls;
+  obs::Counter* write_stalls;
+  obs::Counter* partial_writes;
+  obs::Counter* delays;
+  obs::Counter* corruptions;
+  obs::Counter* byte_cap_stalls;
+  obs::Counter* loop_delays;
+};
+
+Counters* GetCounters() {
+  static Counters* counters = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* c = new Counters;
+    c->injected_total = reg.GetCounter("net.chaos.injected_total");
+    c->resets = reg.GetCounter("net.chaos.resets");
+    c->accept_failures = reg.GetCounter("net.chaos.accept_failures");
+    c->read_stalls = reg.GetCounter("net.chaos.read_stalls");
+    c->write_stalls = reg.GetCounter("net.chaos.write_stalls");
+    c->partial_writes = reg.GetCounter("net.chaos.partial_writes");
+    c->delays = reg.GetCounter("net.chaos.delays");
+    c->corruptions = reg.GetCounter("net.chaos.corruptions");
+    c->byte_cap_stalls = reg.GetCounter("net.chaos.byte_cap_stalls");
+    c->loop_delays = reg.GetCounter("net.chaos.loop_delays");
+    return c;
+  }();
+  return counters;
+}
+
+void CountInjection(obs::Counter* which) {
+  GetCounters()->injected_total->Increment();
+  which->Increment();
+}
+
+void LogInjection(const char* fault, int fd, uint64_t conn, uint64_t op) {
+  INDAAS_SLOG(Info, "net.chaos.inject")
+      .Kv("fault", fault)
+      .Kv("fd", static_cast<int64_t>(fd))
+      .Kv("conn", static_cast<int64_t>(conn))
+      .Kv("op", static_cast<int64_t>(op));
+}
+
+// Per-connection fault state, keyed by fd while the fd is open. Connection
+// sequence numbers are assigned in first-touch order; all decisions hash
+// off (conn_seq, op_seq), never the fd number, so kernel fd recycling does
+// not perturb the schedule.
+struct ConnState {
+  uint64_t conn_seq = 0;
+  uint64_t op_seq = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_recv = 0;
+  bool read_stalled = false;
+  bool write_stalled = false;
+  bool dead = false;  // reset already injected
+};
+
+class Engine {
+ public:
+  static Engine& Global() {
+    static Engine* engine = new Engine;
+    return *engine;
+  }
+
+  Engine() {
+    const char* env = std::getenv("INDAAS_CHAOS");
+    if (env != nullptr && env[0] != '\0') {
+      Result<FaultPlan> plan = ParseFaultPlan(env);
+      if (plan.ok()) {
+        Install(*plan);
+        INDAAS_SLOG(Warn, "net.chaos.env_install").Kv("plan", FaultPlanToString(*plan));
+      } else {
+        INDAAS_SLOG(Error, "net.chaos.env_parse_failed")
+            .Kv("value", std::string(env))
+            .Kv("error", plan.status().ToString());
+      }
+    }
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Install(const FaultPlan& plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    conns_.clear();
+    next_conn_seq_ = 1;
+    accept_seq_ = 0;
+    loop_seq_ = 0;
+    enabled_.store(plan.active(), std::memory_order_relaxed);
+  }
+
+  void Uninstall() {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = FaultPlan{};
+    conns_.clear();
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+
+  FaultPlan plan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_;
+  }
+
+  IoDecision OnIo(int fd, bool send_direction, std::string_view data, size_t capacity) {
+    IoDecision decision;
+    uint32_t sleep_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!enabled()) {
+        return decision;
+      }
+      ConnState& st = Touch(fd);
+      if (st.dead) {
+        decision.fail = UnavailableError("chaos: connection reset");
+        return decision;
+      }
+      bool& stalled = send_direction ? st.write_stalled : st.read_stalled;
+      if (stalled) {
+        decision.stall = true;
+        return decision;
+      }
+      uint64_t cap = send_direction ? plan_.send_cap : plan_.recv_cap;
+      uint64_t moved = send_direction ? st.bytes_sent : st.bytes_recv;
+      if (cap > 0 && moved >= cap) {
+        stalled = true;
+        CountInjection(GetCounters()->byte_cap_stalls);
+        LogInjection(send_direction ? "send_cap" : "recv_cap", fd, st.conn_seq, st.op_seq);
+        decision.stall = true;
+        return decision;
+      }
+      uint64_t op = st.op_seq++;
+      if (Fires(plan_.reset, plan_.seed, st.conn_seq, op, kSaltReset)) {
+        // Shut the socket down both ways so the peer observes the reset too,
+        // then report the transport failure to this side's caller.
+        ::shutdown(fd, SHUT_RDWR);
+        st.dead = true;
+        CountInjection(GetCounters()->resets);
+        LogInjection("reset", fd, st.conn_seq, op);
+        decision.fail = UnavailableError("chaos: injected connection reset");
+        return decision;
+      }
+      double stall_prob = send_direction ? plan_.write_stall : plan_.read_stall;
+      uint32_t stall_salt = send_direction ? kSaltWriteStall : kSaltReadStall;
+      if (Fires(stall_prob, plan_.seed, st.conn_seq, op, stall_salt)) {
+        stalled = true;
+        CountInjection(send_direction ? GetCounters()->write_stalls
+                                      : GetCounters()->read_stalls);
+        LogInjection(send_direction ? "write_stall" : "read_stall", fd, st.conn_seq, op);
+        decision.stall = true;
+        return decision;
+      }
+      if (send_direction && !data.empty()) {
+        if (Fires(plan_.corrupt, plan_.seed, st.conn_seq, op, kSaltCorrupt)) {
+          size_t len = std::min(data.size(), kCorruptPrefixMax);
+          decision.replace.assign(data.data(), len);
+          uint64_t h = DecisionHash(plan_.seed, st.conn_seq, op, kSaltCorrupt + 100);
+          size_t byte = static_cast<size_t>(h % len);
+          decision.replace[byte] = static_cast<char>(
+              decision.replace[byte] ^ static_cast<char>(1u << ((h >> 8) % 8)));
+          CountInjection(GetCounters()->corruptions);
+          LogInjection("corrupt", fd, st.conn_seq, op);
+        } else if (Fires(plan_.partial_write, plan_.seed, st.conn_seq, op,
+                         kSaltPartialWrite)) {
+          uint64_t h = DecisionHash(plan_.seed, st.conn_seq, op, kSaltPartialWrite + 100);
+          decision.send_len = 1 + static_cast<size_t>(h % data.size());
+          if (decision.send_len < data.size()) {
+            CountInjection(GetCounters()->partial_writes);
+            LogInjection("partial_write", fd, st.conn_seq, op);
+          } else {
+            decision.send_len = SIZE_MAX;  // degenerate draw: full write
+          }
+        }
+      }
+      if (Fires(plan_.delay, plan_.seed, st.conn_seq, op, kSaltDelay)) {
+        sleep_ms = plan_.delay_ms;
+        CountInjection(GetCounters()->delays);
+        LogInjection("delay", fd, st.conn_seq, op);
+      }
+      (void)capacity;
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    return decision;
+  }
+
+  void OnBytesMoved(int fd, bool send_direction, size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled()) {
+      return;
+    }
+    ConnState& st = Touch(fd);
+    if (send_direction) {
+      st.bytes_sent += n;
+    } else {
+      st.bytes_recv += n;
+    }
+  }
+
+  Status OnWait(int fd, bool for_read, int timeout_ms) {
+    uint32_t sleep_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!enabled()) {
+        return Status::Ok();
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) {
+        return Status::Ok();
+      }
+      ConnState& st = it->second;
+      if (st.dead) {
+        return UnavailableError("chaos: connection reset");
+      }
+      bool stalled = for_read ? st.read_stalled : st.write_stalled;
+      if (!stalled) {
+        return Status::Ok();
+      }
+      // The stalled direction never becomes ready; model the caller's poll
+      // timing out, bounded by max_stall_ms so timeout_ms < 0 (wait forever)
+      // cannot hang — chaos converts it into the bounded deadline a
+      // production read-deadline timer would impose.
+      sleep_ms = plan_.max_stall_ms;
+      if (timeout_ms >= 0) {
+        sleep_ms = std::min<uint32_t>(sleep_ms, static_cast<uint32_t>(timeout_ms));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    return DeadlineExceededError(
+        StrFormat("chaos: %s stalled, timed out after %u ms", for_read ? "recv" : "send",
+                  sleep_ms));
+  }
+
+  Status OnAccept(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled()) {
+      return Status::Ok();
+    }
+    uint64_t op = accept_seq_++;
+    if (Fires(plan_.accept_fail, plan_.seed, /*conn=*/0, op, kSaltAcceptFail)) {
+      CountInjection(GetCounters()->accept_failures);
+      LogInjection("accept_fail", fd, 0, op);
+      return UnavailableError("chaos: injected accept failure");
+    }
+    return Status::Ok();
+  }
+
+  void OnSocketClosed(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.erase(fd);
+  }
+
+  void OnLoopPass() {
+    uint32_t sleep_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!enabled()) {
+        return;
+      }
+      uint64_t op = loop_seq_++;
+      if (Fires(plan_.delay, plan_.seed, /*conn=*/0, op, kSaltLoopDelay)) {
+        sleep_ms = plan_.delay_ms;
+        CountInjection(GetCounters()->loop_delays);
+        INDAAS_SLOG(Debug, "net.chaos.inject")
+            .Kv("fault", "loop_delay")
+            .Kv("op", static_cast<int64_t>(op));
+      }
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+
+  std::atomic<bool>& enabled_flag() { return enabled_; }
+
+ private:
+  ConnState& Touch(int fd) {
+    auto [it, inserted] = conns_.try_emplace(fd);
+    if (inserted) {
+      it->second.conn_seq = next_conn_seq_++;
+    }
+    return it->second;
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  FaultPlan plan_;
+  std::unordered_map<int, ConnState> conns_;
+  uint64_t next_conn_seq_ = 1;
+  uint64_t accept_seq_ = 0;
+  uint64_t loop_seq_ = 0;
+};
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(std::string_view text) {
+  FaultPlan plan;
+  // Comma-, semicolon- or whitespace-separated key=value tokens.
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (c == ',' || c == ';' || c == ' ' || c == '\t' || c == '\n') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  for (const std::string& token : tokens) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      return InvalidArgumentError("chaos plan token must be key=value — '" + token + "'");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    auto parse_u64 = [&](uint64_t* out) -> Status {
+      unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidArgumentError("bad integer in chaos plan token '" + token + "'");
+      }
+      *out = static_cast<uint64_t>(v);
+      return Status::Ok();
+    };
+    auto parse_prob = [&](double* out) -> Status {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
+        return InvalidArgumentError("probability must be in [0,1] — '" + token + "'");
+      }
+      *out = v;
+      return Status::Ok();
+    };
+    if (key == "seed") {
+      INDAAS_RETURN_IF_ERROR(parse_u64(&plan.seed));
+    } else if (key == "reset") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.reset));
+    } else if (key == "accept_fail") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.accept_fail));
+    } else if (key == "read_stall") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.read_stall));
+    } else if (key == "write_stall") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.write_stall));
+    } else if (key == "partial_write") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.partial_write));
+    } else if (key == "delay") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.delay));
+    } else if (key == "corrupt") {
+      INDAAS_RETURN_IF_ERROR(parse_prob(&plan.corrupt));
+    } else if (key == "send_cap") {
+      INDAAS_RETURN_IF_ERROR(parse_u64(&plan.send_cap));
+    } else if (key == "recv_cap") {
+      INDAAS_RETURN_IF_ERROR(parse_u64(&plan.recv_cap));
+    } else if (key == "delay_ms") {
+      uint64_t v = 0;
+      INDAAS_RETURN_IF_ERROR(parse_u64(&v));
+      plan.delay_ms = static_cast<uint32_t>(std::min<uint64_t>(v, 60'000));
+    } else if (key == "max_stall_ms") {
+      uint64_t v = 0;
+      INDAAS_RETURN_IF_ERROR(parse_u64(&v));
+      plan.max_stall_ms = static_cast<uint32_t>(std::min<uint64_t>(v, 600'000));
+    } else {
+      return InvalidArgumentError("unknown chaos plan key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlanToString(const FaultPlan& plan) {
+  std::string out = StrFormat("seed=%llu", static_cast<unsigned long long>(plan.seed));
+  auto add_prob = [&](const char* key, double v) {
+    if (v > 0) {
+      out += StrFormat(",%s=%g", key, v);
+    }
+  };
+  add_prob("reset", plan.reset);
+  add_prob("accept_fail", plan.accept_fail);
+  add_prob("read_stall", plan.read_stall);
+  add_prob("write_stall", plan.write_stall);
+  add_prob("partial_write", plan.partial_write);
+  add_prob("delay", plan.delay);
+  add_prob("corrupt", plan.corrupt);
+  if (plan.send_cap > 0) {
+    out += StrFormat(",send_cap=%llu", static_cast<unsigned long long>(plan.send_cap));
+  }
+  if (plan.recv_cap > 0) {
+    out += StrFormat(",recv_cap=%llu", static_cast<unsigned long long>(plan.recv_cap));
+  }
+  if (plan.delay_ms != FaultPlan{}.delay_ms) {
+    out += StrFormat(",delay_ms=%u", plan.delay_ms);
+  }
+  if (plan.max_stall_ms != FaultPlan{}.max_stall_ms) {
+    out += StrFormat(",max_stall_ms=%u", plan.max_stall_ms);
+  }
+  return out;
+}
+
+bool Enabled() { return Engine::Global().enabled(); }
+
+void InstallPlan(const FaultPlan& plan) { Engine::Global().Install(plan); }
+
+void UninstallPlan() { Engine::Global().Uninstall(); }
+
+FaultPlan InstalledPlan() { return Engine::Global().plan(); }
+
+IoDecision OnSend(int fd, std::string_view data) {
+  return Engine::Global().OnIo(fd, /*send_direction=*/true, data, 0);
+}
+
+IoDecision OnRecv(int fd, size_t capacity) {
+  return Engine::Global().OnIo(fd, /*send_direction=*/false, {}, capacity);
+}
+
+void OnBytesMoved(int fd, bool send_direction, size_t n) {
+  Engine::Global().OnBytesMoved(fd, send_direction, n);
+}
+
+Status OnWait(int fd, bool for_read, int timeout_ms) {
+  return Engine::Global().OnWait(fd, for_read, timeout_ms);
+}
+
+Status OnAccept(int fd) { return Engine::Global().OnAccept(fd); }
+
+void OnSocketClosed(int fd) { Engine::Global().OnSocketClosed(fd); }
+
+void OnLoopPass() { Engine::Global().OnLoopPass(); }
+
+}  // namespace chaos
+}  // namespace net
+}  // namespace indaas

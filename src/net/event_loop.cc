@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/net/chaos.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -229,6 +230,12 @@ void EventLoop::Run() {
       return;
     }
     WallTimer dispatch_timer;
+    if (chaos::Enabled()) {
+      // Models a scheduling hiccup on the loop thread (GC pause, noisy
+      // neighbor): the whole dispatch pass — handlers, timers, posted
+      // closures — lands late, which is how loop lag presents in the wild.
+      chaos::OnLoopPass();
+    }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       if (fd == wakeup_fd_) {

@@ -129,12 +129,46 @@ Result<FrameSketchParams> DecodeSketchParams(std::string_view bytes) {
   return params;
 }
 
+std::string EncodeRingMembership(const FrameRingMembership& ring) {
+  std::string out;
+  out.reserve(kRingMembershipBytes);
+  out.push_back(static_cast<char>((ring.attempt >> 8) & 0xFF));
+  out.push_back(static_cast<char>(ring.attempt & 0xFF));
+  out.push_back('\0');  // reserved, must be zero
+  out.push_back('\0');
+  AppendU32BE(&out, ring.members);
+  return out;
+}
+
+Result<FrameRingMembership> DecodeRingMembership(std::string_view bytes) {
+  if (bytes.size() != kRingMembershipBytes) {
+    return ProtocolError(StrFormat("ring membership is %zu bytes, want %zu", bytes.size(),
+                                   kRingMembershipBytes));
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  FrameRingMembership ring;
+  ring.attempt = static_cast<uint16_t>((p[0] << 8) | p[1]);
+  if (ring.attempt == 0) {
+    return ProtocolError("ring membership attempt 0 is reserved for pristine rings");
+  }
+  uint16_t reserved = static_cast<uint16_t>((p[2] << 8) | p[3]);
+  if (reserved != 0) {
+    return ProtocolError(StrFormat("nonzero reserved ring-membership word 0x%04X", reserved));
+  }
+  ring.members = ReadU32BE(p + 4);
+  if (ring.members == 0) {
+    return ProtocolError("ring membership with no surviving members");
+  }
+  return ring;
+}
+
 namespace {
 
 // Header + extensions for one frame; shared by EncodeFrame and WriteFrame.
 std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
                               const obs::TraceContext& trace, uint64_t request_id,
-                              const FrameSketchParams& sketch) {
+                              const FrameSketchParams& sketch,
+                              const FrameRingMembership& ring) {
   uint16_t flags = 0;
   if (trace.valid()) {
     flags |= kFrameFlagTraceContext;
@@ -144,6 +178,9 @@ std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
   }
   if (sketch.valid()) {
     flags |= kFrameFlagSketchParams;
+  }
+  if (ring.valid()) {
+    flags |= kFrameFlagRingMembership;
   }
   std::string prefix = EncodeFrameHeader(type, payload_size, flags);
   if (trace.valid()) {
@@ -155,15 +192,19 @@ std::string EncodeFramePrefix(uint8_t type, uint32_t payload_size,
   if (sketch.valid()) {
     prefix += EncodeSketchParams(sketch);
   }
+  if (ring.valid()) {
+    prefix += EncodeRingMembership(ring);
+  }
   return prefix;
 }
 
 }  // namespace
 
 std::string EncodeFrame(uint8_t type, std::string_view payload, const obs::TraceContext& trace,
-                        uint64_t request_id, const FrameSketchParams& sketch) {
-  std::string frame =
-      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id, sketch);
+                        uint64_t request_id, const FrameSketchParams& sketch,
+                        const FrameRingMembership& ring) {
+  std::string frame = EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace,
+                                        request_id, sketch, ring);
   frame.append(payload);
   FramesSent()->Increment();
   return frame;
@@ -171,12 +212,12 @@ std::string EncodeFrame(uint8_t type, std::string_view payload, const obs::Trace
 
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
                   const obs::TraceContext& trace, uint64_t request_id,
-                  const FrameSketchParams& sketch) {
+                  const FrameSketchParams& sketch, const FrameRingMembership& ring) {
   if (payload.size() > UINT32_MAX) {
     return InvalidArgumentError("WriteFrame: payload exceeds 4 GiB");
   }
-  std::string prefix =
-      EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace, request_id, sketch);
+  std::string prefix = EncodeFramePrefix(type, static_cast<uint32_t>(payload.size()), trace,
+                                         request_id, sketch, ring);
   // Two sends, not one copy: payloads can be tens of MB and the prefix is
   // tiny; TCP_NODELAY is on but the kernel coalesces back-to-back sends.
   INDAAS_RETURN_IF_ERROR(socket.SendAll(prefix, timeout_ms));
@@ -219,6 +260,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
   header.has_trace_context = (flags & kFrameFlagTraceContext) != 0;
   header.has_request_id = (flags & kFrameFlagRequestId) != 0;
   header.has_sketch_params = (flags & kFrameFlagSketchParams) != 0;
+  header.has_ring_membership = (flags & kFrameFlagRingMembership) != 0;
   return header;
 }
 
@@ -242,6 +284,11 @@ Result<Frame> ReadFrame(Socket& socket, const FrameLimits& limits, int timeout_m
     std::string ext;
     INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kSketchParamsBytes, timeout_ms));
     INDAAS_ASSIGN_OR_RETURN(frame.sketch, DecodeSketchParams(ext));
+  }
+  if (header.has_ring_membership) {
+    std::string ext;
+    INDAAS_RETURN_IF_ERROR(socket.RecvAll(&ext, kRingMembershipBytes, timeout_ms));
+    INDAAS_ASSIGN_OR_RETURN(frame.ring, DecodeRingMembership(ext));
   }
   INDAAS_RETURN_IF_ERROR(socket.RecvAll(&frame.payload, header.payload_size, timeout_ms));
   FramesRecv()->Increment();

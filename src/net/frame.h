@@ -6,8 +6,8 @@
 //   4       1     wire-format version (kWireVersion)
 //   5       1     message type (svc::MsgType; opaque to this layer)
 //   6       2     flags (bit 0 = trace-context extension, bit 1 = request-id
-//                 extension, bit 2 = sketch-params extension; others
-//                 reserved, must be zero)
+//                 extension, bit 2 = sketch-params extension, bit 3 =
+//                 ring-membership extension; others reserved, must be zero)
 //   8       4     payload length in bytes, big-endian (extensions excluded)
 //   12      16    trace-context extension, only when flag bit 0 is set:
 //                 trace id (u64 BE) + parent wire span id (u64 BE)
@@ -16,7 +16,11 @@
 //                 the trace extension when both are present.
 //   +0      8     sketch-params extension, only when flag bit 2 is set:
 //                 u16 k, u16 LSH bands, u16 LSH rows, u16 reserved (zero),
-//                 all big-endian. Last of the extensions when several are
+//                 all big-endian.
+//   +0      8     ring-membership extension, only when flag bit 3 is set:
+//                 u16 reformation attempt (never zero), u16 reserved (zero),
+//                 u32 bitmask of surviving original ring indices, all
+//                 big-endian. Last of the extensions when several are
 //                 present.
 //   ...     n     payload
 //
@@ -63,11 +67,14 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr uint16_t kFrameFlagTraceContext = 0x0001;
 inline constexpr uint16_t kFrameFlagRequestId = 0x0002;
 inline constexpr uint16_t kFrameFlagSketchParams = 0x0004;
-inline constexpr uint16_t kFrameKnownFlags =
-    kFrameFlagTraceContext | kFrameFlagRequestId | kFrameFlagSketchParams;
+inline constexpr uint16_t kFrameFlagRingMembership = 0x0008;
+inline constexpr uint16_t kFrameKnownFlags = kFrameFlagTraceContext | kFrameFlagRequestId |
+                                             kFrameFlagSketchParams |
+                                             kFrameFlagRingMembership;
 inline constexpr size_t kTraceContextBytes = 16;
 inline constexpr size_t kRequestIdBytes = 8;
 inline constexpr size_t kSketchParamsBytes = 8;
+inline constexpr size_t kRingMembershipBytes = 8;
 
 // Sketch-parameters extension (flag bit 2): announces the MinHash geometry
 // of a sketch-exchange P-SOP session — register count k plus the LSH
@@ -85,6 +92,27 @@ struct FrameSketchParams {
 
   bool valid() const { return k != 0; }
   friend bool operator==(const FrameSketchParams&, const FrameSketchParams&) = default;
+};
+
+// Ring-membership extension (flag bit 3): announces that a P-SOP frame
+// belongs to a *degraded* (reformed) ring — `attempt` counts reformations
+// (the pristine ring sends no extension; the first reformation is attempt
+// 1) and `members` is the bitmask of original ring indices still
+// participating, so every survivor can cross-check that it agrees on
+// exactly who was ejected before trusting any round data. Wire layout: u16
+// attempt, u16 reserved (must be zero), u32 members bitmask, all
+// big-endian. attempt = 0 never appears on the wire, so it doubles as
+// "extension absent" in-memory; an empty bitmask is likewise rejected (a
+// ring needs at least two parties). Peers predating the extension reject
+// the unknown flag bit as kProtocolError — a pre-upgrade peer dragged into
+// a degraded ring fails closed instead of silently auditing with the wrong
+// party set.
+struct FrameRingMembership {
+  uint16_t attempt = 0;  // reformation count; 0 = extension absent
+  uint32_t members = 0;  // bitmask of surviving original ring indices
+
+  bool valid() const { return attempt != 0; }
+  friend bool operator==(const FrameRingMembership&, const FrameRingMembership&) = default;
 };
 
 struct FrameLimits {
@@ -106,6 +134,9 @@ struct Frame {
   // Sketch geometry carried by the sketch-params extension; !valid() when
   // the frame had none.
   FrameSketchParams sketch;
+  // Degraded-ring membership carried by the ring-membership extension;
+  // !valid() when the frame had none (a pristine, full ring).
+  FrameRingMembership ring;
 };
 
 // Serializes the header for `type`/`payload_size` (testing seam; WriteFrame
@@ -134,6 +165,14 @@ std::string EncodeSketchParams(const FrameSketchParams& params);
 // nonzero reserved word are protocol errors.
 Result<FrameSketchParams> DecodeSketchParams(std::string_view bytes);
 
+// Serializes the 8-byte ring-membership extension.
+std::string EncodeRingMembership(const FrameRingMembership& ring);
+
+// Decodes a kRingMembershipBytes-byte ring-membership extension. attempt =
+// 0, an empty members bitmask and a nonzero reserved word are protocol
+// errors.
+Result<FrameRingMembership> DecodeRingMembership(std::string_view bytes);
+
 // Decoded, validated header fields.
 struct FrameHeader {
   uint8_t type = 0;
@@ -147,12 +186,16 @@ struct FrameHeader {
   // True when the sketch-params flag was set: kSketchParamsBytes of sketch
   // extension follow the header (after any trace / request-id extensions).
   bool has_sketch_params = false;
+  // True when the ring-membership flag was set: kRingMembershipBytes of
+  // membership extension follow the header (last of the extensions).
+  bool has_ring_membership = false;
 
   // Bytes of extensions between header and payload.
   size_t extension_bytes() const {
     return (has_trace_context ? kTraceContextBytes : 0) +
            (has_request_id ? kRequestIdBytes : 0) +
-           (has_sketch_params ? kSketchParamsBytes : 0);
+           (has_sketch_params ? kSketchParamsBytes : 0) +
+           (has_ring_membership ? kRingMembershipBytes : 0);
   }
   // Total frame size on the wire (header + extensions + payload).
   size_t total_bytes() const {
@@ -170,15 +213,17 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes, const FrameLimits&
 // into one send; WriteFrame is the immediate-send equivalent.
 std::string EncodeFrame(uint8_t type, std::string_view payload,
                         const obs::TraceContext& trace = {}, uint64_t request_id = 0,
-                        const FrameSketchParams& sketch = {});
+                        const FrameSketchParams& sketch = {},
+                        const FrameRingMembership& ring = {});
 
 // Writes one frame (header [+ extensions] + payload) to the socket. The
 // trace extension is emitted only when `trace` is valid, the request-id
-// extension only when `request_id` is nonzero, and the sketch-params
-// extension only when `sketch.valid()`.
+// extension only when `request_id` is nonzero, and the sketch-params /
+// ring-membership extensions only when the corresponding struct is valid().
 Status WriteFrame(Socket& socket, uint8_t type, std::string_view payload, int timeout_ms,
                   const obs::TraceContext& trace = {}, uint64_t request_id = 0,
-                  const FrameSketchParams& sketch = {});
+                  const FrameSketchParams& sketch = {},
+                  const FrameRingMembership& ring = {});
 
 // Reads and validates one frame. The timeout applies to each socket wait,
 // so a total stall is bounded by timeout_ms per phase (header, optional

@@ -10,15 +10,37 @@
 namespace indaas {
 namespace net {
 
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 double BackoffSeconds(const RetryPolicy& policy, size_t attempt) {
   double backoff = policy.initial_backoff_s;
   for (size_t i = 0; i < attempt; ++i) {
     backoff *= policy.backoff_multiplier;
     if (backoff >= policy.max_backoff_s) {
-      return policy.max_backoff_s;
+      backoff = policy.max_backoff_s;
+      break;
     }
   }
-  return std::min(backoff, policy.max_backoff_s);
+  backoff = std::min(backoff, policy.max_backoff_s);
+  if (policy.jitter > 0.0) {
+    double clamped = std::min(policy.jitter, 1.0);
+    // Top 53 bits of a seeded hash of the attempt index → u in [0, 1).
+    // The ceiling is applied before jitter, so jitter only ever shortens a
+    // sleep: the jittered schedule stays within [base*(1-jitter), base].
+    double u = static_cast<double>(SplitMix64(policy.jitter_seed ^ (attempt + 1)) >> 11) *
+               0x1.0p-53;
+    backoff *= 1.0 - clamped * u;
+  }
+  return backoff;
 }
 
 bool IsRetryable(const Status& status) {

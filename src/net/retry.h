@@ -2,8 +2,11 @@
 //
 // The canonical consumer is ConnectWithRetry: a PIA ring or an audit client
 // frequently starts before its peer's listener is up, so the first connect
-// is refused and succeeds a few backoff steps later. Deterministic (no
-// jitter): backoff_s(attempt) = min(initial * multiplier^attempt, max).
+// is refused and succeeds a few backoff steps later. The base schedule is
+// backoff_s(attempt) = min(initial * multiplier^attempt, max); optional
+// jitter scales each step by a deterministic seeded draw in [1-jitter, 1]
+// so many clients recovering from one outage do not reconnect in lockstep,
+// while a fixed seed keeps every schedule byte-reproducible in tests.
 
 #ifndef SRC_NET_RETRY_H_
 #define SRC_NET_RETRY_H_
@@ -21,6 +24,11 @@ struct RetryPolicy {
   double initial_backoff_s = 0.02;  // sleep after the first failure
   double backoff_multiplier = 2.0;
   double max_backoff_s = 1.0;
+  // Jitter fraction in [0, 1]: attempt N sleeps base(N) * (1 - jitter * u)
+  // where u in [0, 1) is a pure function of (jitter_seed, N). 0 (default)
+  // keeps the legacy jitterless schedule.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
 };
 
 // Sleep duration after failed attempt `attempt` (0-based).

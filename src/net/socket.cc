@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/net/chaos.h"
 #include "src/obs/metrics.h"
 #include "src/util/strings.h"
 
@@ -123,6 +124,9 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::Close() {
   if (fd_ >= 0) {
+    if (chaos::Enabled()) {
+      chaos::OnSocketClosed(fd_);
+    }
     ::close(fd_);
     fd_ = -1;
     ConnectionsGauge()->Add(-1);
@@ -130,31 +134,35 @@ void Socket::Close() {
 }
 
 Status Socket::WaitReadable(int timeout_ms) const {
+  if (chaos::Enabled()) {
+    // A chaos-stalled read side never becomes readable: the hook sleeps out
+    // the (bounded) timeout and returns kDeadlineExceeded instead of
+    // letting poll() report genuinely buffered bytes.
+    INDAAS_RETURN_IF_ERROR(chaos::OnWait(fd_, /*for_read=*/true, timeout_ms));
+  }
   return PollOne(fd_, POLLIN, timeout_ms, "recv");
 }
 
 Status Socket::WaitWritable(int timeout_ms) const {
+  if (chaos::Enabled()) {
+    INDAAS_RETURN_IF_ERROR(chaos::OnWait(fd_, /*for_read=*/false, timeout_ms));
+  }
   return PollOne(fd_, POLLOUT, timeout_ms, "send");
 }
 
+// SendAll/RecvAll are thin blocking loops over the single-attempt
+// SendSome/RecvSome plus the readiness waits, so every byte on every path —
+// blocking RPC clients, the PIA ring pump, the reactor — crosses the same
+// two methods and the chaos hooks observe all traffic in one place.
 Status Socket::SendAll(std::string_view data, int timeout_ms) {
   size_t sent = 0;
   while (sent < data.size()) {
-    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the process.
-    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      BytesSentCounter()->Add(static_cast<uint64_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    INDAAS_ASSIGN_OR_RETURN(size_t n, SendSome(data.substr(sent)));
+    if (n == 0) {
       INDAAS_RETURN_IF_ERROR(WaitWritable(timeout_ms));
       continue;
     }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    return UnavailableError(std::string("send: ") + std::strerror(errno));
+    sent += n;
   }
   return Status::Ok();
 }
@@ -164,33 +172,47 @@ Status Socket::RecvAll(std::string* out, size_t length, int timeout_ms) {
   out->resize(length);
   size_t received = 0;
   while (received < length) {
-    ssize_t n = ::recv(fd_, out->data() + received, length - received, 0);
-    if (n > 0) {
-      received += static_cast<size_t>(n);
-      BytesRecvCounter()->Add(static_cast<uint64_t>(n));
-      continue;
+    Result<size_t> n = RecvSome(out->data() + received, length - received);
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kUnavailable) {
+        return UnavailableError(StrFormat("recv: peer closed after %zu of %zu bytes",
+                                          received, length));
+      }
+      return n.status();
     }
-    if (n == 0) {
-      return UnavailableError(
-          StrFormat("recv: peer closed after %zu of %zu bytes", received, length));
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (*n == 0) {
       INDAAS_RETURN_IF_ERROR(WaitReadable(timeout_ms));
       continue;
     }
-    if (errno == EINTR) {
-      continue;
-    }
-    return UnavailableError(std::string("recv: ") + std::strerror(errno));
+    received += *n;
   }
   return Status::Ok();
 }
 
 Result<size_t> Socket::SendSome(std::string_view data) {
+  std::string injected;
+  if (chaos::Enabled()) {
+    chaos::IoDecision decision = chaos::OnSend(fd_, data);
+    if (!decision.fail.ok()) {
+      return decision.fail;
+    }
+    if (decision.stall) {
+      return static_cast<size_t>(0);
+    }
+    if (!decision.replace.empty()) {
+      injected = std::move(decision.replace);
+      data = injected;  // corrupted-header prefix replaces this chunk
+    } else if (decision.send_len < data.size()) {
+      data = data.substr(0, decision.send_len);  // injected short write
+    }
+  }
   for (;;) {
     ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n >= 0) {
       BytesSentCounter()->Add(static_cast<uint64_t>(n));
+      if (chaos::Enabled() && n > 0) {
+        chaos::OnBytesMoved(fd_, /*send_direction=*/true, static_cast<size_t>(n));
+      }
       return static_cast<size_t>(n);
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -204,10 +226,22 @@ Result<size_t> Socket::SendSome(std::string_view data) {
 }
 
 Result<size_t> Socket::RecvSome(char* out, size_t capacity) {
+  if (chaos::Enabled()) {
+    chaos::IoDecision decision = chaos::OnRecv(fd_, capacity);
+    if (!decision.fail.ok()) {
+      return decision.fail;
+    }
+    if (decision.stall) {
+      return static_cast<size_t>(0);
+    }
+  }
   for (;;) {
     ssize_t n = ::recv(fd_, out, capacity, 0);
     if (n > 0) {
       BytesRecvCounter()->Add(static_cast<uint64_t>(n));
+      if (chaos::Enabled()) {
+        chaos::OnBytesMoved(fd_, /*send_direction=*/false, static_cast<size_t>(n));
+      }
       return static_cast<size_t>(n);
     }
     if (n == 0) {
@@ -270,6 +304,11 @@ Result<Socket> TcpAccept(const Socket& listener, int timeout_ms) {
     int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd >= 0) {
       Socket sock(fd);
+      if (chaos::Enabled()) {
+        // Injected accept failure: the connection is dropped on the floor
+        // (sock's destructor closes it) and the acceptor sees kUnavailable.
+        INDAAS_RETURN_IF_ERROR(chaos::OnAccept(fd));
+      }
       INDAAS_RETURN_IF_ERROR(SetNonBlocking(fd));
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -39,6 +39,17 @@ struct PsopResult {
   size_t union_size = 0;    // |S_0 ∪ ... ∪ S_{k-1}|
   double jaccard = 0.0;     // intersection / union
   std::vector<PartyStats> party_stats;  // one entry per party
+  // Degraded-session marking (socket-backed rings with peer-failure
+  // recovery enabled): the original ring indices that were ejected after a
+  // mid-session fault, and how many ring reformations it took to finish.
+  // An empty `excluded` list is a pristine full-ring result. A degraded
+  // result's counts cover only the surviving parties — it is a *partial*
+  // audit and every consumer must surface the exclusions, never present it
+  // as a full k-party answer.
+  std::vector<uint32_t> excluded;
+  uint32_t recovery_attempts = 0;
+
+  bool degraded() const { return !excluded.empty(); }
 };
 
 // Multiset disambiguation (§4.2.2): occurrence t of element e becomes

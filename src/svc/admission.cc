@@ -1,0 +1,109 @@
+#include "src/svc/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace indaas {
+namespace svc {
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+obs::Gauge* ShedLevelGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("svc.adaptive_shed_level");
+  return gauge;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+void AdmissionController::Record(double queue_delay_s) {
+  // This request is no longer waiting; decrement before scoring windows so
+  // a starved-then-served request doesn't count itself as still queued.
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceWindowLocked(NowMicros());
+  if (!window_has_samples_ || queue_delay_s < window_min_delay_s_) {
+    window_min_delay_s_ = queue_delay_s;
+    window_has_samples_ = true;
+  }
+}
+
+bool AdmissionController::Admit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AdvanceWindowLocked(NowMicros());
+  }
+  const uint32_t level = level_.load(std::memory_order_relaxed);
+  if (level == 0) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Deterministic proportional shedding: of every max_level consecutive
+  // candidates, the first `level` are refused. No randomness — a fixed
+  // request sequence sheds identically across runs, which is what the
+  // chaos matrix and the benches need to be reproducible.
+  const uint64_t seq = candidate_seq_.fetch_add(1, std::memory_order_relaxed);
+  const bool admitted = (seq % options_.max_level) >= level;
+  if (admitted) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return admitted;
+}
+
+void AdmissionController::AdvanceWindowLocked(uint64_t now_us) {
+  const uint64_t window_us = static_cast<uint64_t>(options_.window_s * 1e6);
+  if (window_us == 0) {
+    return;
+  }
+  if (window_start_us_ == 0) {
+    window_start_us_ = now_us;
+    return;
+  }
+  if (now_us - window_start_us_ < window_us) {
+    return;
+  }
+  const bool starved = outstanding_.load(std::memory_order_relaxed) > 0;
+  uint32_t level = level_.load(std::memory_order_relaxed);
+  // Close the window the buffered samples belong to. A sample-free window
+  // with admitted work still waiting means the workers were too starved to
+  // pick anything up all window — worse than any measurable delay.
+  const bool bad = window_has_samples_
+                       ? window_min_delay_s_ > options_.target_delay_s
+                       : starved;
+  if (bad) {
+    level = std::min(level + 1, options_.max_level);
+  } else if (level > 0) {
+    --level;
+  }
+  window_start_us_ += window_us;
+  // Any further fully-elapsed windows saw no samples at all. Score them in
+  // one step (an hours-long idle gap must not replay millions of windows):
+  // starvation pushes the level up one notch each, idleness decays it.
+  const uint64_t gap_windows = (now_us - window_start_us_) / window_us;
+  if (gap_windows > 0) {
+    if (starved) {
+      const uint64_t room = options_.max_level - level;
+      level += static_cast<uint32_t>(std::min<uint64_t>(gap_windows, room));
+    } else {
+      level = gap_windows >= level ? 0 : level - static_cast<uint32_t>(gap_windows);
+    }
+    window_start_us_ += gap_windows * window_us;
+  }
+  level_.store(level, std::memory_order_relaxed);
+  ShedLevelGauge()->Set(static_cast<int64_t>(level));
+  window_has_samples_ = false;
+  window_min_delay_s_ = 0.0;
+}
+
+}  // namespace svc
+}  // namespace indaas

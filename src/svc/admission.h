@@ -1,0 +1,88 @@
+// Adaptive admission control for the audit server (CoDel-flavoured).
+//
+// The fixed in-flight caps in AuditServerOptions answer "how much work can
+// this process hold" but not "is the work actually moving". Under a slow
+// DepDB audit mix, the queue between the reactor loops and the worker pool
+// grows long before the caps trip, and every admitted request pays the full
+// backlog in svc.queue_delay_seconds. This controller watches that very
+// signal: within each measurement window it tracks the *minimum* observed
+// dispatch->pickup delay (the CoDel trick — the minimum ignores bursts and
+// only rises when the queue has standing depth). A window whose minimum
+// exceeds the target raises the shed level one notch; a window that stays
+// under it lowers it. A window with no pickups at all is read through the
+// outstanding count: admitted work still waiting means the workers are so
+// starved nothing even got picked — the strongest overload signal, scored
+// as a bad window — while true idleness (nothing admitted, nothing waiting)
+// decays the level. At level L of max_level, L out of every max_level
+// admission candidates are refused deterministically — candidate seq is
+// shed iff (seq % max_level) < L, so a fixed request sequence sheds
+// identically across runs.
+//
+// The fixed caps remain as hard ceilings on top of this; the controller
+// only adds earlier, proportional pushback so queue delay stays near the
+// target instead of sawtoothing against the caps.
+//
+// Thread model: Record() is called by worker threads, Admit() by reactor
+// loop threads. Both are cheap (one mutex for window rollover, atomics on
+// the fast path). The current level is exported as the
+// svc.adaptive_shed_level gauge.
+
+#ifndef SRC_SVC_ADMISSION_H_
+#define SRC_SVC_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace indaas {
+namespace svc {
+
+struct AdmissionOptions {
+  // Queue-delay target: a window whose *minimum* delay exceeds this is
+  // evidence of a standing queue. 5 ms is the classic CoDel target scaled
+  // to an RPC server whose median handler runs well under that.
+  double target_delay_s = 0.005;
+  // Measurement window; level moves at most one notch per window.
+  double window_s = 0.100;
+  // Shed granularity: at level L, L/max_level of candidates are refused.
+  uint32_t max_level = 10;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  // Records one dispatch->worker-pickup delay observation. Every admitted
+  // candidate must eventually be Recorded exactly once (at pickup); the
+  // admit/record pairing is what lets sample-free windows distinguish
+  // worker starvation from true idleness.
+  void Record(double queue_delay_s);
+
+  // Decides whether the next admission candidate may proceed. Advances the
+  // measurement window as a side effect, so the level keeps moving even
+  // when workers are too starved to Record anything.
+  bool Admit();
+
+  // Current shed level in [0, max_level]; 0 admits everything.
+  uint32_t shed_level() const { return level_.load(std::memory_order_relaxed); }
+
+ private:
+  void AdvanceWindowLocked(uint64_t now_us);
+
+  const AdmissionOptions options_;
+
+  std::mutex mu_;
+  uint64_t window_start_us_ = 0;     // 0 until the first observation
+  double window_min_delay_s_ = 0.0;  // valid iff window_has_samples_
+  bool window_has_samples_ = false;
+
+  std::atomic<uint32_t> level_{0};
+  std::atomic<uint64_t> candidate_seq_{0};
+  // Admitted candidates a worker has not yet picked up (Admit++ / Record--).
+  std::atomic<int64_t> outstanding_{0};
+};
+
+}  // namespace svc
+}  // namespace indaas
+
+#endif  // SRC_SVC_ADMISSION_H_

@@ -1,5 +1,9 @@
 #include "src/svc/client.h"
 
+#include <chrono>
+#include <thread>
+
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
@@ -18,10 +22,25 @@ obs::Histogram* ClientRpcSeconds() {
   return histogram;
 }
 
+obs::Counter* ClientRpcReplays() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.client.rpc_replays");
+  return counter;
+}
+
+// ImportDepDb appends records server-side; replaying it after an ambiguous
+// transport failure could double-import. Everything else is a pure read or
+// a liveness check.
+bool IdempotentRequest(MsgType request) { return request != MsgType::kImportDepDb; }
+
 }  // namespace
 
-AuditClient::AuditClient(net::Socket socket, AuditClientOptions options, uint64_t trace_id)
-    : socket_(std::move(socket)), options_(std::move(options)), trace_id_(trace_id) {}
+AuditClient::AuditClient(net::Socket socket, net::Endpoint endpoint, AuditClientOptions options,
+                         uint64_t trace_id)
+    : socket_(std::move(socket)),
+      endpoint_(std::move(endpoint)),
+      options_(std::move(options)),
+      trace_id_(trace_id) {}
 
 Result<AuditClient> AuditClient::Connect(const net::Endpoint& endpoint,
                                          const AuditClientOptions& options) {
@@ -38,11 +57,45 @@ Result<AuditClient> AuditClient::Connect(const net::Endpoint& endpoint,
   // the whole run under one trace); otherwise this client starts its own.
   obs::TraceContext ambient = obs::CurrentTraceContext();
   uint64_t trace_id = ambient.valid() ? ambient.trace_id : obs::NewTraceId();
-  return AuditClient(std::move(*socket), options, trace_id);
+  return AuditClient(std::move(*socket), endpoint, options, trace_id);
 }
 
 Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
                                      MsgType expected) {
+  const size_t max_attempts =
+      IdempotentRequest(request) ? std::max<size_t>(1, options_.rpc_attempts) : 1;
+  for (size_t attempt = 0;; ++attempt) {
+    bool transport_failure = false;
+    Result<net::Frame> result = CallOnce(request, payload, expected, &transport_failure);
+    if (result.ok() || !transport_failure || attempt + 1 >= max_attempts) {
+      return result;
+    }
+    // Budgeted reconnect-and-replay: the request never reached a decision
+    // we could observe, and it is idempotent, so re-running it is safe.
+    // The backoff schedule (jitter included) is the shared net/retry one.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(net::BackoffSeconds(options_.retry, attempt)));
+    size_t retries = 0;
+    Result<net::Socket> fresh = net::ConnectWithRetry(endpoint_, options_.connect_timeout_ms,
+                                                      options_.retry, &retries);
+    if (retries > 0) {
+      obs::MetricsRegistry::Global().GetCounter("svc.client.connect_retries")->Add(retries);
+    }
+    if (!fresh.ok()) {
+      return result;  // the original failure is the more useful error
+    }
+    socket_ = std::move(*fresh);
+    ClientRpcReplays()->Increment();
+    INDAAS_SLOG(Info, "svc.client.rpc_replay")
+        .Kv("type", MsgTypeName(request))
+        .Kv("attempt", static_cast<uint64_t>(attempt + 1))
+        .Kv("error", result.status().ToString());
+  }
+}
+
+Result<net::Frame> AuditClient::CallOnce(MsgType request, std::string_view payload,
+                                         MsgType expected, bool* transport_failure) {
+  *transport_failure = false;
   // The RPC span must carry this client's trace id even when the calling
   // thread has no ambient context (a bare CLI client): reinstall the id,
   // keeping any ambient remote parent only if it belongs to the same trace.
@@ -66,10 +119,15 @@ Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
   if (Status s = net::WriteFrame(socket_, static_cast<uint8_t>(request), payload,
                                  options_.io_timeout_ms, trace);
       !s.ok()) {
+    *transport_failure = true;
     return finish(s);
   }
   Result<net::Frame> reply = net::ReadFrame(socket_, options_.limits, options_.io_timeout_ms);
   if (!reply.ok()) {
+    // A failed read is replayable only when nothing of the reply arrived in
+    // a decodable way — ReadFrame folds both cases into its status; treat
+    // socket-level errors as transport, protocol ones as final.
+    *transport_failure = reply.status().code() != StatusCode::kProtocolError;
     return finish(std::move(reply));
   }
   if (reply->type == static_cast<uint8_t>(MsgType::kErrorReply)) {

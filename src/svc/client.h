@@ -34,6 +34,13 @@ struct AuditClientOptions {
   int io_timeout_ms = 30000;  // audits on large DepDBs take real time
   net::RetryPolicy retry;
   net::FrameLimits limits;
+  // Reconnect-and-replay budget for *idempotent* RPCs (everything except
+  // ImportDepDb, which mutates the DepDB): total tries per Call, including
+  // the first. A transport failure — connection reset, peer closed, io
+  // timeout — reconnects with the `retry` backoff schedule and replays the
+  // request; a decoded remote error (kErrorReply) is never replayed, it is
+  // the server's answer. 1 disables replay entirely.
+  size_t rpc_attempts = 2;
 };
 
 class AuditClient {
@@ -74,13 +81,22 @@ class AuditClient {
   uint64_t trace_id() const { return trace_id_; }
 
  private:
-  AuditClient(net::Socket socket, AuditClientOptions options, uint64_t trace_id);
+  AuditClient(net::Socket socket, net::Endpoint endpoint, AuditClientOptions options,
+              uint64_t trace_id);
 
   // Sends one request frame and reads the reply, unwrapping kErrorReply
-  // into its remote Status.
+  // into its remote Status. Idempotent requests that die on a transport
+  // fault reconnect and replay within options_.rpc_attempts.
   Result<net::Frame> Call(MsgType request, std::string_view payload, MsgType expected);
 
+  // One attempt on the current connection. `transport_failure` is set when
+  // the error came from the socket (replayable) rather than from the server
+  // (a decoded kErrorReply or a malformed reply stream).
+  Result<net::Frame> CallOnce(MsgType request, std::string_view payload, MsgType expected,
+                              bool* transport_failure);
+
   net::Socket socket_;
+  net::Endpoint endpoint_;
   AuditClientOptions options_;
   uint64_t trace_id_ = 0;
 };

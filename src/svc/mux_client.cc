@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/util/logging.h"
@@ -29,13 +30,39 @@ obs::Histogram* MuxRpcSeconds() {
   return histogram;
 }
 
+obs::Counter* MuxReconnects() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.client.mux_reconnects");
+  return counter;
+}
+
+obs::Counter* MuxReplays() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.client.mux_replays");
+  return counter;
+}
+
+obs::Counter* MuxConnFailures() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.client.mux_conn_failures");
+  return counter;
+}
+
+// ImportDepDb appends records server-side, so an ambiguous transport
+// failure must surface rather than risk a double import; everything else
+// the mux client issues is safe to replay.
+bool IdempotentRequest(MsgType request) { return request != MsgType::kImportDepDb; }
+
 }  // namespace
 
 struct MuxAuditClient::Impl {
   struct Pending {
+    MsgType request = MsgType::kPing;
     MsgType expected = MsgType::kPong;
+    std::string payload;  // retained only while replays remain
     Completion done;
     WallTimer timer;
+    size_t retries_left = 0;  // replays on a fresh connection after a transport fault
   };
 
   // One pooled connection: its socket, its reader thread, and the id-keyed
@@ -45,6 +72,7 @@ struct MuxAuditClient::Impl {
     net::Socket socket;
     std::thread reader;
     std::mutex write_mu;
+    std::mutex revive_mu;  // serializes in-place reconnection
 
     std::mutex mu;
     std::condition_variable window_cv;
@@ -55,10 +83,16 @@ struct MuxAuditClient::Impl {
   };
 
   MuxClientOptions options;
+  net::Endpoint endpoint;
   uint64_t trace_id = 0;
   std::vector<std::unique_ptr<Conn>> conns;
   std::atomic<size_t> next_conn{0};
   bool shut_down = false;
+
+  // Readers that revived their own connection hand their old thread handle
+  // here (a thread cannot join itself); Shutdown drains them.
+  std::mutex retired_mu;
+  std::vector<std::thread> retired;
 
   // Completes one request outside any lock (the callback may block).
   static void Complete(Pending pending, Result<net::Frame> result) {
@@ -67,20 +101,80 @@ struct MuxAuditClient::Impl {
   }
 
   // Marks the connection dead and fails every pending request with
-  // `error`. Safe to call repeatedly; only the first error sticks.
+  // `error`; orphans with replay budget are transparently re-issued on
+  // another (or a revived) connection instead of surfacing the transport
+  // error. Safe to call repeatedly; only the first error sticks.
   void FailConn(Conn* conn, const Status& error) {
     std::unordered_map<uint64_t, Pending> orphans;
+    Status failure;
+    bool stopping;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->failed.ok()) {
         conn->failed = error;
+        if (!conn->stopping) {
+          MuxConnFailures()->Increment();
+        }
       }
+      failure = conn->failed;
+      stopping = conn->stopping;
       orphans.swap(conn->pending);
       conn->window_cv.notify_all();
     }
     for (auto& [id, pending] : orphans) {
-      Complete(std::move(pending), conn->failed);
+      if (!stopping && pending.retries_left > 0) {
+        MuxReplays()->Increment();
+        AsyncCallAttempt(pending.request, std::move(pending.payload), pending.expected,
+                         std::move(pending.done), pending.retries_left - 1);
+      } else {
+        Complete(std::move(pending), failure);
+      }
     }
+  }
+
+  // Replaces a dead pooled connection in place: fresh socket, fresh reader.
+  // The server closing an idle pooled connection must not poison the slot
+  // forever — the next request revives it transparently. A reader thread
+  // retrying its own orphans lands here too; it cannot join itself, so its
+  // old handle is parked in `retired` for Shutdown to drain.
+  Status Revive(Conn* conn) {
+    std::lock_guard<std::mutex> revive_lock(conn->revive_mu);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->stopping) {
+        return UnavailableError("mux client shutting down");
+      }
+      if (conn->failed.ok()) {
+        return Status::Ok();  // someone else already revived it
+      }
+    }
+    if (conn->reader.joinable()) {
+      if (conn->reader.get_id() == std::this_thread::get_id()) {
+        std::lock_guard<std::mutex> retired_lock(retired_mu);
+        retired.push_back(std::move(conn->reader));
+      } else {
+        conn->reader.join();
+      }
+    }
+    size_t retries = 0;
+    Result<net::Socket> socket =
+        net::ConnectWithRetry(endpoint, options.connect_timeout_ms, options.retry, &retries);
+    if (retries > 0) {
+      obs::MetricsRegistry::Global().GetCounter("svc.client.connect_retries")->Add(retries);
+    }
+    if (!socket.ok()) {
+      return socket.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->socket = std::move(*socket);
+      conn->failed = Status::Ok();
+    }
+    Impl* self = this;
+    conn->reader = std::thread([self, conn] { self->ReaderLoop(conn); });
+    MuxReconnects()->Increment();
+    INDAAS_SLOG(Info, "svc.client.mux_reconnect").Kv("endpoint", endpoint.ToString());
+    return Status::Ok();
   }
 
   void ReaderLoop(Conn* conn) {
@@ -138,11 +232,39 @@ struct MuxAuditClient::Impl {
   }
 
   void AsyncCall(MsgType request, std::string payload, MsgType expected, Completion done) {
+    AsyncCallAttempt(request, std::move(payload), expected, std::move(done),
+                     IdempotentRequest(request) ? 1 : 0);
+  }
+
+  void AsyncCallAttempt(MsgType request, std::string payload, MsgType expected,
+                        Completion done, size_t retries_left) {
     Conn* conn =
         conns[next_conn.fetch_add(1, std::memory_order_relaxed) % conns.size()].get();
+    // Transparent staleness recovery: a pooled connection the server closed
+    // while this client was idle gets a fresh socket before anything is
+    // queued on it, instead of poisoning every request routed to the slot.
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      dead = !conn->failed.ok() && !conn->stopping;
+    }
+    if (dead) {
+      Status revived = Revive(conn);
+      if (!revived.ok()) {
+        Pending pending;
+        pending.done = std::move(done);
+        Complete(std::move(pending), revived);
+        return;
+      }
+    }
     Pending pending;
+    pending.request = request;
     pending.expected = expected;
     pending.done = std::move(done);
+    pending.retries_left = retries_left;
+    if (retries_left > 0) {
+      pending.payload = payload;  // retained so a transport fault can replay
+    }
     uint64_t id = 0;
     {
       std::unique_lock<std::mutex> lock(conn->mu);
@@ -158,6 +280,12 @@ struct MuxAuditClient::Impl {
       if (!conn->failed.ok()) {
         Status failed = conn->failed;
         lock.unlock();
+        if (retries_left > 0) {
+          MuxReplays()->Increment();
+          AsyncCallAttempt(request, std::move(payload), expected, std::move(pending.done),
+                           retries_left - 1);
+          return;
+        }
         Complete(std::move(pending), failed);
         return;
       }
@@ -185,10 +313,16 @@ struct MuxAuditClient::Impl {
           owned = true;
         }
       }
+      FailConn(conn, written);  // fails (or retries) everything else queued here
       if (owned) {
+        if (orphan.retries_left > 0) {
+          MuxReplays()->Increment();
+          AsyncCallAttempt(request, std::move(orphan.payload), expected,
+                           std::move(orphan.done), orphan.retries_left - 1);
+          return;
+        }
         Complete(std::move(orphan), written);
       }
-      FailConn(conn, written);
     }
   }
 
@@ -211,6 +345,16 @@ struct MuxAuditClient::Impl {
       FailConn(conn.get(), UnavailableError("mux client shut down"));
       conn->socket.Close();
     }
+    std::vector<std::thread> old;
+    {
+      std::lock_guard<std::mutex> retired_lock(retired_mu);
+      old.swap(retired);
+    }
+    for (std::thread& thread : old) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
   }
 };
 
@@ -220,6 +364,7 @@ Result<MuxAuditClient> MuxAuditClient::Connect(const net::Endpoint& endpoint,
   impl->options = options;
   impl->options.connections = std::max<size_t>(1, options.connections);
   impl->options.window = std::max<size_t>(1, options.window);
+  impl->endpoint = endpoint;
   obs::TraceContext ambient = obs::CurrentTraceContext();
   impl->trace_id = ambient.valid() ? ambient.trace_id : obs::NewTraceId();
   for (size_t i = 0; i < impl->options.connections; ++i) {

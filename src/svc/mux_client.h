@@ -21,6 +21,14 @@
 // protocol error and closes the connection, so talking to an old server
 // fails loudly (every pending call completes with the transport error)
 // instead of mis-pairing replies.
+//
+// Staleness and replay: a pooled connection the server closed while idle is
+// revived in place (fresh socket + reader) the next time a request routes to
+// it, and *idempotent* requests (everything but ImportDepDb) that die on a
+// transport fault are transparently re-issued once on another connection.
+// Decoded kErrorReply answers — including server sheds — are never replayed;
+// they are the server's decision. Reconnects and replays are counted in
+// svc.client.mux_reconnects / svc.client.mux_replays.
 
 #ifndef SRC_SVC_MUX_CLIENT_H_
 #define SRC_SVC_MUX_CLIENT_H_

@@ -19,12 +19,32 @@
 //
 // Failure semantics: a peer that disconnects mid-round fails the session
 // with kUnavailable; a peer that stalls fails it with kDeadlineExceeded
-// after io_timeout_ms. No partial result is returned either way.
+// after io_timeout_ms. With `allow_degraded` off (the default) no partial
+// result is returned either way.
+//
+// Degraded-mode recovery (`allow_degraded`, RunPsop only): on a transport
+// fault every survivor closes both ring sockets — cascading the fault
+// around the ring within one io timeout — then probes every original
+// peer's listener (kPsopProbe/kPsopProbeAck over short-lived connections,
+// answering incoming probes meanwhile) for up to probe_window_ms. The
+// survivors that acked form the reformed ring, ordered by original index,
+// and the protocol restarts from scratch: P-SOP is memoryless, so a clean
+// re-run among m < k survivors is a correct m-party audit. Every frame of
+// a reformed session carries the ring-membership frame extension (attempt
+// + survivor bitmask); a peer whose membership view disagrees — or a
+// pre-upgrade peer that never learned the flag bit — fails closed with
+// kProtocolError instead of silently auditing with the wrong party set.
+// The result is explicitly marked partial: PsopResult::excluded names the
+// ejected original indices and recovery_attempts counts reformations.
+// Recovery is bounded by max_recovery_attempts; a ring that cannot muster
+// two live peers fails with a typed error, never a hang.
 
 #ifndef SRC_SVC_PIA_PEER_H_
 #define SRC_SVC_PIA_PEER_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/frame.h"
@@ -56,6 +76,24 @@ struct PiaPeerOptions {
   uint32_t sketch_k = 256;
   uint32_t lsh_bands = 0;
   uint32_t lsh_rows = 0;
+  // Peer-failure recovery (RunPsop only; see the header comment). Off by
+  // default: a fault fails the whole session, the pre-recovery behaviour.
+  // Degraded rings are capped at 32 original parties (the membership
+  // bitmask width).
+  bool allow_degraded = false;
+  // Ring reformations to attempt before giving up with the last error.
+  uint32_t max_recovery_attempts = 2;
+  // How long survivors probe the original peer set for liveness after a
+  // fault. Peers that never ack within the window are ejected.
+  int probe_window_ms = 3000;
+  // Per-probe connect/write/ack budget; also bounds how long a stray
+  // connection can stall ring formation.
+  int probe_io_timeout_ms = 300;
+  // Test seam: simulate sudden peer death by aborting the session (closing
+  // both ring sockets, never answering again) just before ring exchange
+  // number `fail_after_exchanges` (0-based). SIZE_MAX disables. The chaos
+  // matrix uses this to kill one specific peer at a deterministic round.
+  size_t fail_after_exchanges = SIZE_MAX;
 };
 
 // One party of a socket-backed PIA session. Listen() binds the ring port up
@@ -89,6 +127,38 @@ class PiaPeer {
  private:
   explicit PiaPeer(net::Socket listener, uint16_t port)
       : listener_(std::move(listener)), port_(port) {}
+
+  // A predecessor connection whose hello arrived early (during the probe
+  // phase, before this peer finished reforming).
+  struct PendingHello {
+    net::Socket socket;
+    net::Frame frame;
+    bool valid = false;
+  };
+
+  // One full protocol run over the surviving `members` (sorted original
+  // indices). `attempt` 0 is the pristine ring (no membership extension on
+  // the wire); attempts >= 1 stamp every frame with the membership
+  // extension and cross-check it on every inbound frame.
+  Result<PsopResult> RunPsopAttempt(const std::vector<std::string>& dataset,
+                                    const PiaPeerOptions& options,
+                                    const std::vector<uint32_t>& members, uint32_t attempt,
+                                    PendingHello* pending);
+
+  // Post-fault liveness probe: determines which original peers still
+  // answer, collecting any early next-attempt hello into `pending`.
+  Result<std::vector<uint32_t>> ProbeSurvivors(const PiaPeerOptions& options,
+                                               uint32_t attempt, PendingHello* pending);
+
+  // Accepts connections until the predecessor's hello arrives (answering
+  // liveness probes meanwhile), or `deadline_ms` passes. With `drain_only`
+  // the loop never consumes `pending` and never returns early — it just
+  // answers probes for the whole slice, stashing at most one early hello
+  // into `pending` (the probe phase runs it between outbound probes).
+  Result<std::pair<net::Socket, net::Frame>> AwaitHello(const PiaPeerOptions& options,
+                                                        uint32_t attempt, int deadline_ms,
+                                                        PendingHello* pending,
+                                                        bool drain_only = false);
 
   net::Socket listener_;
   uint16_t port_ = 0;

@@ -70,6 +70,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kPsopDataset: return "PsopDataset";
     case MsgType::kPsopShare: return "PsopShare";
     case MsgType::kPsopSketch: return "PsopSketch";
+    case MsgType::kPsopProbe: return "PsopProbe";
+    case MsgType::kPsopProbeAck: return "PsopProbeAck";
   }
   return "Unknown";
 }
@@ -687,6 +689,27 @@ Result<PsopSketch> DecodePsopSketch(std::string_view payload) {
   }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopSketch"));
   return sketch;
+}
+
+std::string EncodePsopProbe(const PsopProbe& probe) {
+  WireWriter writer;
+  writer.U32(probe.sender_index);
+  writer.U32(probe.attempt);
+  return writer.Take();
+}
+
+Result<PsopProbe> DecodePsopProbe(std::string_view payload) {
+  WireReader reader(payload);
+  PsopProbe probe;
+  INDAAS_ASSIGN_OR_RETURN(probe.sender_index, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(probe.attempt, reader.U32());
+  // The membership bitmask caps rings at 32 original parties, so a larger
+  // claimed index is hostile, not merely unusual.
+  if (probe.sender_index >= 32) {
+    return ParseError(StrFormat("bad PsopProbe sender index %u", probe.sender_index));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopProbe"));
+  return probe;
 }
 
 }  // namespace svc

@@ -57,6 +57,11 @@ enum class MsgType : uint8_t {
   kPsopDataset = 17,
   kPsopShare = 18,
   kPsopSketch = 19,
+  // Ring-recovery liveness probe and its acknowledgement: after a ring
+  // fault, each survivor probes every original peer's listener to agree on
+  // who is still alive before reforming a degraded ring.
+  kPsopProbe = 20,
+  kPsopProbeAck = 21,
 };
 
 // Human-readable message-type name ("AuditRequest"), shared by server logs,
@@ -227,6 +232,19 @@ struct PsopSketch {
 
 std::string EncodePsopSketch(const PsopSketch& sketch);
 Result<PsopSketch> DecodePsopSketch(std::string_view payload);
+
+// Ring-recovery liveness probe (kPsopProbe) and acknowledgement
+// (kPsopProbeAck) — both carry this payload. `sender_index` is the sender's
+// *original* ring index; `attempt` is the reformation the prober is trying
+// to assemble (first recovery = 1). A probe costs one short-lived
+// connection: connect, probe, ack, close.
+struct PsopProbe {
+  uint32_t sender_index = 0;
+  uint32_t attempt = 0;
+};
+
+std::string EncodePsopProbe(const PsopProbe& probe);
+Result<PsopProbe> DecodePsopProbe(std::string_view payload);
 
 }  // namespace svc
 }  // namespace indaas

@@ -14,6 +14,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
+#include "src/svc/admission.h"
 #include "src/svc/proto.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
@@ -129,6 +130,18 @@ obs::Counter* RequestsShed() {
   return counter;
 }
 
+obs::Counter* RequestsShedAdaptive() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("svc.requests_shed_adaptive");
+  return counter;
+}
+
+AdmissionOptions AdmissionFromServer(const AuditServerOptions& opts) {
+  AdmissionOptions admission;
+  admission.target_delay_s = opts.target_queue_delay_s;
+  return admission;
+}
+
 obs::Counter* SlowReaderDrops() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("svc.slow_reader_drops");
@@ -242,9 +255,11 @@ struct AuditServer::Reactor {
     size_t remaining = 0;
   };
 
-  explicit Reactor(AuditServer* server) : server(server) {}
+  explicit Reactor(AuditServer* server)
+      : server(server), admission(AdmissionFromServer(server->options_)) {}
 
   AuditServer* server;
+  AdmissionController admission;
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<size_t> inflight_global{0};
   std::atomic<size_t> next_shard{0};  // fallback round-robin cursor
@@ -557,15 +572,26 @@ struct AuditServer::Reactor {
     }
 
     const AuditServerOptions& opts = server->options_;
-    if (!server->running_.load(std::memory_order_relaxed) ||
+    const bool over_hard_cap =
+        !server->running_.load(std::memory_order_relaxed) ||
         conn->inflight >= opts.max_inflight_per_connection ||
-        inflight_global.load(std::memory_order_relaxed) >= opts.max_inflight_global) {
+        inflight_global.load(std::memory_order_relaxed) >= opts.max_inflight_global;
+    // The adaptive controller gets a say only below the hard caps (they
+    // already shed) and only for pool-bound work — inline RPCs never queue.
+    const bool adaptive_shed =
+        !over_hard_cap && opts.adaptive_admission && !admission.Admit();
+    if (over_hard_cap || adaptive_shed) {
       RequestsShed()->Increment();
+      if (adaptive_shed) {
+        RequestsShedAdaptive()->Increment();
+      }
       obs::FlightRecorder::Global().Record(obs::FlightEventType::kShed, request_id,
                                            conn->id, frame.type, frame.trace.trace_id);
       INDAAS_SLOG_EVERY(Warn, "svc.request_shed", 1.0)
           .Kv("conn", conn->id)
           .Kv("rpc", RpcName(frame.type))
+          .Kv("adaptive", adaptive_shed)
+          .Kv("shed_level", static_cast<uint64_t>(admission.shed_level()))
           .Kv("inflight_conn", conn->inflight)
           .Kv("inflight_global", inflight_global.load(std::memory_order_relaxed));
       obs::TailSample shed_sample;
@@ -578,7 +604,10 @@ struct AuditServer::Reactor {
       shed_sample.total_s = read_s;
       shed_sample.stages = final.stages;
       obs::TailSampler::Global().Offer(shed_sample);
-      Status overloaded = UnavailableError("server overloaded: in-flight request cap reached");
+      Status overloaded =
+          adaptive_shed
+              ? UnavailableError("server overloaded: queue delay above target (adaptive shed)")
+              : UnavailableError("server overloaded: in-flight request cap reached");
       EnqueueReply(shard, conn,
                    net::EncodeFrame(static_cast<uint8_t>(MsgType::kErrorReply),
                                     EncodeErrorReply(overloaded), {}, request_id));
@@ -597,8 +626,16 @@ struct AuditServer::Reactor {
     server->workers_->Submit([this, shard, conn, raw_type, request_id, payload, trace,
                               dispatch_us, final]() mutable {
       const uint64_t picked_us = obs::TraceNowMicros();
-      if (picked_us > dispatch_us) {
-        final.stages.Add(obs::RpcStage::kQueue, (picked_us - dispatch_us) / 1e6);
+      const double queue_delay_s =
+          picked_us > dispatch_us ? (picked_us - dispatch_us) / 1e6 : 0.0;
+      if (queue_delay_s > 0) {
+        final.stages.Add(obs::RpcStage::kQueue, queue_delay_s);
+      }
+      if (server->options_.adaptive_admission) {
+        // Every pickup feeds the controller, fast ones included — the
+        // window *minimum* is the whole point (a drained queue must pull
+        // the shed level back down).
+        admission.Record(queue_delay_s);
       }
       uint8_t reply_type = 0;
       std::string reply_payload;
@@ -877,6 +914,12 @@ Status AuditServer::Start() {
     return FailedPreconditionError("AuditServer already started");
   }
   obs::TailSampler::Global().Configure(options_.slow_rpc_threshold_s, options_.tail_samples);
+  // Pre-register the degraded-mode surface so a stats scrape or Prometheus
+  // pull shows explicit zeros before the first incident, not absent series
+  // (dashboards can then alert on rate() without waiting for first data).
+  obs::MetricsRegistry::Global().GetCounter("svc.degraded_audits");
+  obs::MetricsRegistry::Global().GetGauge("svc.adaptive_shed_level");
+  obs::MetricsRegistry::Global().GetCounter("svc.requests_shed_adaptive");
   return options_.mode == ServerMode::kReactor ? StartReactor() : StartThreaded();
 }
 

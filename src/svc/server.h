@@ -83,6 +83,15 @@ struct AuditServerOptions {
   size_t max_inflight_global = 256;
   // A connection whose unsent replies exceed this is dropped (slow reader).
   size_t max_write_buffer_bytes = 16u << 20;
+  // Adaptive admission (src/svc/admission.h): sheds a level-proportional
+  // fraction of pool-bound requests whenever the per-window minimum of
+  // svc.queue_delay_seconds stays above target_queue_delay_s, so pushback
+  // starts while the queue is merely slow instead of waiting for the fixed
+  // caps above (which remain hard ceilings). Off by default so embedded
+  // servers and benches keep deterministic no-shed behaviour under bursts;
+  // `indaas serve` turns it on unless told --admission=fixed.
+  bool adaptive_admission = false;
+  double target_queue_delay_s = 0.005;
 
   // Listen backlog for every listener (both modes).
   int listen_backlog = 128;

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 #include <sys/epoll.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <random>
 #include <thread>
 
@@ -204,12 +206,13 @@ TEST(FrameTest, RejectsBadVersion) {
 
 TEST(FrameTest, RejectsNonZeroFlags) {
   // Every reserved flag bit stays a hard protocol error, alone or alongside
-  // the known (trace, request-id, sketch-params) bits — this is what makes
-  // old peers reject pipelined traffic outright instead of mis-framing it,
-  // and how a pre-sketch peer refuses a sketch session cleanly.
-  for (uint16_t flags : {uint16_t{0x0008}, uint16_t{0x0100}, uint16_t{0x8000},
-                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0010),
-                         static_cast<uint16_t>(kFrameFlagSketchParams | 0x0008),
+  // the known (trace, request-id, sketch-params, ring-membership) bits —
+  // this is what makes old peers reject pipelined traffic outright instead
+  // of mis-framing it, how a pre-sketch peer refuses a sketch session
+  // cleanly, and how a pre-recovery peer refuses a degraded ring.
+  for (uint16_t flags : {uint16_t{0x0010}, uint16_t{0x0100}, uint16_t{0x8000},
+                         static_cast<uint16_t>(kFrameFlagTraceContext | 0x0020),
+                         static_cast<uint16_t>(kFrameFlagRingMembership | 0x0010),
                          static_cast<uint16_t>(kFrameKnownFlags | 0x4000)}) {
     std::string header = EncodeFrameHeader(1, 4, flags);
     auto decoded = DecodeFrameHeader(header, FrameLimits{});
@@ -235,9 +238,11 @@ TEST(FrameTest, FlagSubsetDecodabilityProperty) {
     EXPECT_EQ(decoded->has_trace_context, (flags & kFrameFlagTraceContext) != 0);
     EXPECT_EQ(decoded->has_request_id, (flags & kFrameFlagRequestId) != 0);
     EXPECT_EQ(decoded->has_sketch_params, (flags & kFrameFlagSketchParams) != 0);
+    EXPECT_EQ(decoded->has_ring_membership, (flags & kFrameFlagRingMembership) != 0);
     size_t extensions = (decoded->has_trace_context ? kTraceContextBytes : 0) +
                         (decoded->has_request_id ? kRequestIdBytes : 0) +
-                        (decoded->has_sketch_params ? kSketchParamsBytes : 0);
+                        (decoded->has_sketch_params ? kSketchParamsBytes : 0) +
+                        (decoded->has_ring_membership ? kRingMembershipBytes : 0);
     EXPECT_EQ(decoded->extension_bytes(), extensions);
     EXPECT_EQ(decoded->total_bytes(), kFrameHeaderBytes + extensions + 32u);
   }
@@ -249,15 +254,16 @@ TEST(FrameTest, RequestIdFlagBitIsAccepted) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(decoded->has_request_id);
   EXPECT_FALSE(decoded->has_trace_context);
-  // All extensions together account for 32 bytes ahead of the payload.
+  // All extensions together account for 40 bytes ahead of the payload.
   auto all =
       DecodeFrameHeader(EncodeFrameHeader(3, 9, kFrameKnownFlags), FrameLimits{});
   ASSERT_TRUE(all.ok());
   EXPECT_TRUE(all->has_trace_context);
   EXPECT_TRUE(all->has_request_id);
   EXPECT_TRUE(all->has_sketch_params);
+  EXPECT_TRUE(all->has_ring_membership);
   EXPECT_EQ(all->extension_bytes(),
-            kTraceContextBytes + kRequestIdBytes + kSketchParamsBytes);
+            kTraceContextBytes + kRequestIdBytes + kSketchParamsBytes + kRingMembershipBytes);
 }
 
 TEST(FrameTest, RequestIdCodecRoundTrip) {
@@ -679,9 +685,183 @@ TEST(RetryTest, ConnectWithRetryGivesUp) {
   RetryPolicy policy;
   policy.max_attempts = 2;
   policy.initial_backoff_s = 0.001;
-  auto client = ConnectWithRetry(Endpoint{"127.0.0.1", dead_port}, 200, policy);
+  size_t retries = 0;
+  auto client = ConnectWithRetry(Endpoint{"127.0.0.1", dead_port}, 200, policy, &retries);
   ASSERT_FALSE(client.ok());
+  // Budget exhaustion surfaces the last attempt's error, with every failed
+  // try accounted for in retries_out.
   EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(retries, policy.max_attempts);
+}
+
+TEST(RetryTest, JitterIsDeterministicUnderFixedSeed) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.02;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 1.0;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 12345;
+  for (size_t attempt = 0; attempt < 10; ++attempt) {
+    // Same (seed, attempt) -> same sleep, bit for bit: the backoff schedule
+    // is part of what makes a chaos run replayable from its seed.
+    EXPECT_EQ(BackoffSeconds(policy, attempt), BackoffSeconds(policy, attempt)) << attempt;
+  }
+  RetryPolicy other = policy;
+  other.jitter_seed = 54321;
+  bool any_differs = false;
+  for (size_t attempt = 0; attempt < 10 && !any_differs; ++attempt) {
+    any_differs = BackoffSeconds(policy, attempt) != BackoffSeconds(other, attempt);
+  }
+  EXPECT_TRUE(any_differs) << "different seeds produced an identical schedule";
+}
+
+TEST(RetryTest, JitterStaysInsideBoundsAndUnderCeiling) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.02;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.1;
+  policy.jitter = 0.5;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    policy.jitter_seed = seed;
+    for (size_t attempt = 0; attempt < 12; ++attempt) {
+      // The jitterless schedule, ceiling applied first: jitter only ever
+      // shortens a sleep, so the ceiling still holds afterwards.
+      double base = std::min(policy.max_backoff_s,
+                             policy.initial_backoff_s *
+                                 std::pow(policy.backoff_multiplier,
+                                          static_cast<double>(attempt)));
+      double jittered = BackoffSeconds(policy, attempt);
+      EXPECT_LE(jittered, base) << "seed " << seed << " attempt " << attempt;
+      EXPECT_GT(jittered, base * (1.0 - policy.jitter)) << "seed " << seed << " attempt "
+                                                        << attempt;
+      EXPECT_LE(jittered, policy.max_backoff_s);
+    }
+  }
+  // jitter = 0 is exactly the legacy schedule.
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1), 0.04);
+}
+
+// --- Ring-membership frame extension ---
+
+TEST(FrameTest, RingMembershipCodecRoundTrip) {
+  FrameRingMembership ring;
+  ring.attempt = 2;
+  ring.members = 0b10110;  // survivors 1, 2, 4
+  std::string bytes = EncodeRingMembership(ring);
+  ASSERT_EQ(bytes.size(), kRingMembershipBytes);
+  auto decoded = DecodeRingMembership(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, ring);
+  // Truncated extensions are protocol errors, not parse-as-zero.
+  auto truncated = DecodeRingMembership(std::string_view(bytes).substr(0, 5));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kProtocolError);
+  // attempt = 0 means "extension absent"; it must never appear on the wire.
+  FrameRingMembership absent;
+  absent.members = 0b11;
+  auto zero = DecodeRingMembership(EncodeRingMembership(absent));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kProtocolError);
+  // An empty survivor set is meaningless — a reformed ring has >= 2 peers.
+  FrameRingMembership empty;
+  empty.attempt = 1;
+  auto none = DecodeRingMembership(EncodeRingMembership(empty));
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kProtocolError);
+  // The reserved word is the extension's own versioning headroom.
+  bytes[2] = 0x01;
+  auto reserved = DecodeRingMembership(bytes);
+  ASSERT_FALSE(reserved.ok());
+  EXPECT_EQ(reserved.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, RingMembershipRoundTripsOverSocket) {
+  LoopbackPair pair = MakeLoopbackPair();
+  FrameRingMembership ring;
+  ring.attempt = 1;
+  ring.members = 0b1011;
+  ASSERT_TRUE(WriteFrame(pair.client, 11, "hop", 2000, {}, 0, {}, ring).ok());
+  auto frame = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, 11);
+  EXPECT_EQ(frame->payload, "hop");
+  ASSERT_TRUE(frame->ring.valid());
+  EXPECT_EQ(frame->ring, ring);
+  // All four extensions ride one frame, in either encoder.
+  obs::TraceContext trace{0xFEEDFACE01234567ULL, 9};
+  FrameSketchParams sketch;
+  sketch.k = 64;
+  ASSERT_TRUE(
+      pair.client.SendAll(EncodeFrame(12, "all", trace, 77, sketch, ring), 2000).ok());
+  auto next = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->trace.trace_id, trace.trace_id);
+  EXPECT_EQ(next->request_id, 77u);
+  EXPECT_EQ(next->sketch, sketch);
+  EXPECT_EQ(next->ring, ring);
+  // A ring-less frame right behind is unaffected (extension not counted in
+  // the payload length).
+  ASSERT_TRUE(WriteFrame(pair.client, 7, "plain", 2000).ok());
+  auto plain = ReadFrame(pair.server, FrameLimits{}, 2000);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->payload, "plain");
+  EXPECT_FALSE(plain->ring.valid());
+}
+
+// --- Hostile-input frame decoding ---
+
+// Seeded corpus of random, truncated and bit-flipped frames thrown at the
+// full read path. The decoder's contract: every malformed stream earns a
+// typed error (protocol family, or the transport error for a stream that
+// just ends) and never a crash, hang or over-read — under ASan in CI this
+// is the memory-safety test for the wire surface.
+TEST(FrameTest, HostileInputCorpusNeverCrashesOrOverreads) {
+  std::mt19937_64 rng(20260808);
+  FrameLimits limits;
+  limits.max_payload_bytes = 4096;
+  obs::TraceContext trace{0x1111222233334444ULL, 3};
+  FrameSketchParams sketch;
+  sketch.k = 16;
+  FrameRingMembership ring;
+  ring.attempt = 1;
+  ring.members = 0b111;
+  const std::string valid = EncodeFrame(9, "hostile corpus seed payload", trace, 42,
+                                        sketch, ring);
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes;
+    const int family = round % 3;
+    if (family == 0) {
+      // Pure noise, arbitrary length (including zero and sub-header sizes).
+      bytes.resize(rng() % 64);
+      for (char& c : bytes) {
+        c = static_cast<char>(rng());
+      }
+    } else if (family == 1) {
+      // A valid frame cut off mid-stream.
+      bytes = valid.substr(0, rng() % valid.size());
+    } else {
+      // A valid frame with one flipped bit anywhere.
+      bytes = valid;
+      size_t pos = rng() % bytes.size();
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1u << (rng() % 8)));
+    }
+    LoopbackPair pair = MakeLoopbackPair();
+    ASSERT_TRUE(pair.client.SendAll(bytes, 2000).ok());
+    pair.client.Close();  // the stream ends here, however mangled
+    auto frame = ReadFrame(pair.server, limits, 2000);
+    if (frame.ok()) {
+      // Only a payload-byte flip can decode: the header and every extension
+      // are validated. What decodes must still be internally consistent.
+      ASSERT_EQ(family, 2) << "round " << round << ": garbage decoded as a frame";
+      EXPECT_LE(frame->payload.size(), limits.max_payload_bytes);
+    } else {
+      StatusCode code = frame.status().code();
+      EXPECT_TRUE(code == StatusCode::kProtocolError || code == StatusCode::kUnavailable ||
+                  code == StatusCode::kDeadlineExceeded)
+          << "round " << round << ": " << frame.status().ToString();
+    }
+  }
 }
 
 }  // namespace

@@ -1197,6 +1197,25 @@ TEST(ExportTest, PrometheusGoldenOutput) {
             "indaas_svc_rpc_seconds_Ping_count 6\n");
 }
 
+// The degraded-mode operational surface (partial PIA results, adaptive
+// overload control) must round-trip the exporter with these exact series
+// names: runbooks and dashboards key on them.
+TEST(ExportTest, PrometheusGoldenOutputDegradedModeSeries) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"svc.degraded_audits", 3},
+                       {"svc.requests_shed_adaptive", 17}};
+  snapshot.gauges = {{"svc.adaptive_shed_level", 4, 9}};
+  EXPECT_EQ(MetricsToPrometheus(snapshot),
+            "# TYPE indaas_svc_degraded_audits counter\n"
+            "indaas_svc_degraded_audits 3\n"
+            "# TYPE indaas_svc_requests_shed_adaptive counter\n"
+            "indaas_svc_requests_shed_adaptive 17\n"
+            "# TYPE indaas_svc_adaptive_shed_level gauge\n"
+            "indaas_svc_adaptive_shed_level 4\n"
+            "# TYPE indaas_svc_adaptive_shed_level_max gauge\n"
+            "indaas_svc_adaptive_shed_level_max 9\n");
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace indaas

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -614,6 +615,13 @@ TEST(AuditServerTest, StatsAndHealthEndToEnd) {
   ASSERT_NE(audit_seconds, nullptr);
   EXPECT_GE(audit_seconds->count, 1u);
   EXPECT_GT(audit_seconds->sum, 0.0);
+  // The degraded-mode surface is pre-registered at Start(): a scrape of a
+  // healthy server reports explicit zeros, not absent series, so dashboards
+  // can alert on rate() from the first sample.
+  EXPECT_TRUE(std::any_of(first->metrics.counters.begin(), first->metrics.counters.end(),
+                          [](const auto& c) { return c.name == "svc.degraded_audits"; }));
+  EXPECT_TRUE(std::any_of(first->metrics.gauges.begin(), first->metrics.gauges.end(),
+                          [](const auto& g) { return g.name == "svc.adaptive_shed_level"; }));
 
   // A second audit strictly advances the RPC counter and never decreases any
   // counter the first snapshot reported.
@@ -944,6 +952,68 @@ TEST(MuxClientTest, ManyConcurrentAuditsAgainstReactor) {
   EXPECT_EQ(failures, 0);
   client->Shutdown();
   server.Stop();
+}
+
+TEST(MuxClientTest, StalePooledConnectionRevivedAfterServerSideClose) {
+  // A pooled connection the server closed while the client sat idle must
+  // not poison the slot: the next call gets a fresh socket transparently
+  // and svc.client.mux_reconnects records the revival.
+  auto listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = listener->LocalPort();
+  ASSERT_TRUE(port.ok());
+  std::thread fake_server([&] {
+    {
+      // First connection: answer one ping, then hang up mid-idle.
+      auto conn = net::TcpAccept(*listener, 5000);
+      ASSERT_TRUE(conn.ok());
+      auto frame = net::ReadFrame(*conn, net::FrameLimits{}, 5000);
+      ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+      ASSERT_TRUE(net::WriteFrame(*conn, static_cast<uint8_t>(MsgType::kPong),
+                                  frame->payload, 2000, {}, frame->request_id)
+                      .ok());
+    }
+    // The client must come back on a brand-new connection for call two.
+    auto conn = net::TcpAccept(*listener, 5000);
+    ASSERT_TRUE(conn.ok());
+    auto frame = net::ReadFrame(*conn, net::FrameLimits{}, 5000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(net::WriteFrame(*conn, static_cast<uint8_t>(MsgType::kPong),
+                                frame->payload, 2000, {}, frame->request_id)
+                    .ok());
+    std::string eof_probe;
+    (void)conn->RecvAll(&eof_probe, 1, 5000);
+  });
+
+  const uint64_t reconnects_before = CounterValue(
+      obs::MetricsRegistry::Global().Snapshot(), "svc.client.mux_reconnects");
+  const uint64_t failures_before = CounterValue(
+      obs::MetricsRegistry::Global().Snapshot(), "svc.client.mux_conn_failures");
+  MuxClientOptions options;
+  options.connections = 1;  // one slot, so both calls route to it
+  auto client = MuxAuditClient::Connect(net::Endpoint{"127.0.0.1", *port}, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  // Give the reader loop time to observe the server-side close and mark
+  // the pooled connection failed — the regression was that this slot then
+  // returned the stale error to every future call routed to it.
+  for (int i = 0; i < 300; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const uint64_t now = CounterValue(obs::MetricsRegistry::Global().Snapshot(),
+                                      "svc.client.mux_conn_failures");
+    if (now > failures_before) {
+      break;
+    }
+  }
+
+  Status second = client->Ping();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  const uint64_t reconnects_after = CounterValue(
+      obs::MetricsRegistry::Global().Snapshot(), "svc.client.mux_reconnects");
+  EXPECT_GT(reconnects_after, reconnects_before);
+  client->Shutdown();
+  fake_server.join();
 }
 
 TEST(AuditServerTest, ShedsLoadBeyondInflightCapWithUnavailable) {

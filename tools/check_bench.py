@@ -78,6 +78,14 @@ def main():
         if meta:
             print(f"  {label}: sha={meta.get('git_sha', '?')[:12]} "
                   f"host={meta.get('hostname', '?')}")
+            # Collected with fault injection live (INDAAS_CHAOS was set):
+            # the numbers measure the chaos plan, not the code. Flag loudly
+            # but keep comparing — a chaos-vs-chaos pair can still be
+            # interesting; a chaos-vs-clean pair is the thing to distrust.
+            if meta.get("chaos_plan"):
+                print(f"  {label}: WARNING collected under chaos plan "
+                      f"'{meta['chaos_plan']}' — timings reflect injected "
+                      "faults, not code performance")
     for name in added:
         print(f"  new:  {name}")
     for name in removed:

@@ -14,6 +14,7 @@ Compare snapshots across PRs with tools/check_bench.py.
 
 import argparse
 import json
+import os
 import pathlib
 import socket
 import subprocess
@@ -35,7 +36,14 @@ def snapshot_metadata(tag):
         ).stdout.strip()
     except (OSError, subprocess.CalledProcessError):
         git_sha = "unknown"
-    return {"tag": tag, "git_sha": git_sha, "hostname": socket.gethostname()}
+    metadata = {"tag": tag, "git_sha": git_sha, "hostname": socket.gethostname()}
+    # A chaos plan in the environment poisons every number below: injected
+    # delays/stalls look like real regressions. Record it so check_bench.py
+    # can flag the comparison instead of letting it pass as a clean run.
+    chaos_plan = os.environ.get("INDAAS_CHAOS")
+    if chaos_plan:
+        metadata["chaos_plan"] = chaos_plan
+    return metadata
 
 
 def run_bench(cmd):
