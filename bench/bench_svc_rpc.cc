@@ -6,12 +6,18 @@
 // observability-overhead A/B needs.
 //
 //   bench_svc_rpc [--pings=5000] [--audits=200] [--mode=reactor|threaded]
-//                 [--flight-recorder=on|off] [--json-out=...]
+//                 [--flight-recorder=on|off] [--profile-hz=0] [--json-out=...]
+//
+// --profile-hz > 0 runs the whole measurement inside a continuous
+// sampling-profiler session (the `indaas serve --profile-hz` deployment),
+// which is the EXPERIMENTS.md profiler-overhead A/B: same RPC mix with the
+// profiler off vs. sampling at the production default of 99 Hz.
 
 #include <cstdio>
 
 #include "src/deps/depdb.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
 #include "src/svc/client.h"
 #include "src/svc/server.h"
 #include "src/util/file.h"
@@ -42,6 +48,7 @@ Status Run(int argc, char** argv) {
   int64_t audits = 200;
   std::string mode = "reactor";
   std::string flight = "on";
+  int64_t profile_hz = 0;
   std::string json_out;
   FlagSet flags;
   flags.AddInt("pings", &pings, "timed Ping round trips");
@@ -49,14 +56,21 @@ Status Run(int argc, char** argv) {
   flags.AddString("mode", &mode, "server mode to measure: reactor | threaded");
   flags.AddString("flight-recorder", &flight,
                   "on (default) | off: A/B the always-on observability cost");
+  flags.AddInt("profile-hz", &profile_hz,
+               "run the measurement under a continuous profiling session at this"
+               " frequency (0 = profiler off; 99 = production default)");
   flags.AddString("json-out", &json_out, "write machine-readable results here");
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flight != "on" && flight != "off") {
     return InvalidArgumentError("--flight-recorder must be on or off");
   }
+  if (profile_hz < 0 || profile_hz > obs::Profiler::kMaxHz) {
+    return InvalidArgumentError("--profile-hz out of range");
+  }
   obs::FlightRecorder::Global().SetEnabled(flight == "on");
 
   svc::AuditServerOptions options;
+  options.profile_hz = static_cast<uint32_t>(profile_hz);
   if (mode == "threaded") {
     options.mode = svc::ServerMode::kThreadPerRequest;
   } else if (mode != "reactor") {
@@ -95,9 +109,11 @@ Status Run(int argc, char** argv) {
   if (!json_out.empty()) {
     std::string doc = StrFormat(
         "{\n  \"benchmark\": \"svc_rpc\",\n  \"flight_recorder\": \"%s\",\n"
+        "  \"profile_hz\": %lld,\n"
         "  \"ping\": {\"rpcs\": %lld, \"seconds\": %.6f, \"us_per_rpc\": %.2f},\n"
         "  \"audit\": {\"rpcs\": %lld, \"seconds\": %.6f, \"us_per_rpc\": %.2f}\n}\n",
-        flight.c_str(), static_cast<long long>(pings), ping_s, ping_us,
+        flight.c_str(), static_cast<long long>(profile_hz),
+        static_cast<long long>(pings), ping_s, ping_us,
         static_cast<long long>(audits), audit_s, audit_us);
     INDAAS_RETURN_IF_ERROR(WriteFile(json_out, doc));
   }

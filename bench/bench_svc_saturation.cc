@@ -17,6 +17,14 @@
 //
 //   bench_svc_saturation [--workers=16] [--duration-s=1.2] [--think-ms=200]
 //     [--reactor-conns=160] [--openloop-rates=1000,4000,12000] [--json-out=...]
+//     [--profile-hz=0 --profile-dump=prof.txt]
+//
+// --profile-hz + --profile-dump run the whole study inside a sampling
+// session and write the raw profile dump at the end; feed it through
+// tools/symbolize_profile.py to get the collapsed flamegraph of the
+// saturated server (pool workers and reactor shards register with the
+// sampler on their own; the closed-loop client threads stay unregistered
+// so the capture is the server's view, not 160 copies of the driver).
 
 #include <chrono>
 #include <cmath>
@@ -28,6 +36,8 @@
 #include <vector>
 
 #include "src/deps/depdb.h"
+#include "src/obs/export.h"
+#include "src/obs/profiler.h"
 #include "src/svc/client.h"
 #include "src/svc/mux_client.h"
 #include "src/svc/server.h"
@@ -259,6 +269,8 @@ Status Run(int argc, char** argv) {
   int64_t think_ms = 200;
   std::string openloop_rates = "1000,4000,12000";
   double openloop_duration_s = 1.0;
+  int64_t profile_hz = 0;
+  std::string profile_dump;
   std::string json_out;
   FlagSet flags;
   flags.AddInt("workers", &workers, "server worker threads in every scenario");
@@ -274,8 +286,25 @@ Status Run(int argc, char** argv) {
   flags.AddString("openloop-rates", &openloop_rates,
                   "comma-separated Poisson arrival rates (audits/s), empty to skip");
   flags.AddDouble("openloop-duration-s", &openloop_duration_s, "duration per offered rate");
+  flags.AddInt("profile-hz", &profile_hz,
+               "sample the whole study at this frequency (0 = profiler off)");
+  flags.AddString("profile-dump", &profile_dump,
+                  "where the raw profile dump lands (requires --profile-hz)");
   flags.AddString("json-out", &json_out, "write machine-readable results here");
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (profile_hz < 0 || profile_hz > obs::Profiler::kMaxHz) {
+    return InvalidArgumentError("--profile-hz out of range");
+  }
+  if (!profile_dump.empty() && profile_hz == 0) {
+    return InvalidArgumentError("--profile-dump requires --profile-hz > 0");
+  }
+  if (profile_hz > 0) {
+    obs::Profiler::Global().RegisterCurrentThread();
+    obs::ProfileOptions popts;
+    popts.hz = static_cast<uint32_t>(profile_hz);
+    popts.alloc = true;
+    INDAAS_RETURN_IF_ERROR(obs::Profiler::Global().Start(popts));
+  }
 
   // --- Phase 1: pipelining gain on one connection ---
   double serial_rps = 0;
@@ -422,6 +451,20 @@ Status Run(int argc, char** argv) {
     }
     client.Shutdown();
     server.Stop();
+  }
+
+  if (profile_hz > 0) {
+    obs::ProfileData data = obs::Profiler::Global().Stop();
+    std::printf("profile: %zu samples at %u Hz (%llu dropped, %llu truncated)\n",
+                data.samples.size(), data.hz,
+                static_cast<unsigned long long>(data.dropped),
+                static_cast<unsigned long long>(data.truncated_stacks));
+    if (!profile_dump.empty()) {
+      INDAAS_RETURN_IF_ERROR(WriteFile(profile_dump, obs::ProfileToDumpText(data)));
+      std::printf("profile: dump written to %s (symbolize: "
+                  "python3 tools/symbolize_profile.py %s)\n",
+                  profile_dump.c_str(), profile_dump.c_str());
+    }
   }
 
   if (!json_out.empty()) {

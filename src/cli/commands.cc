@@ -711,6 +711,78 @@ Status RunDebugCommand(int argc, char** argv) {
   return Status::Ok();
 }
 
+Status RunProfileCommand(int argc, char** argv) {
+  std::string remote;
+  int64_t seconds = 5;
+  int64_t hz = 99;
+  bool alloc = true;
+  std::string out_path;
+  std::string format = "dump";
+  FlagSet flags;
+  flags.AddString("remote", &remote, "the `indaas serve` instance to profile, host:port");
+  flags.AddInt("seconds", &seconds, "capture window length (1..60)");
+  flags.AddInt("hz", &hz, "CPU sampling frequency (1..1000)");
+  flags.AddBool("alloc", &alloc, "also capture allocation samples");
+  flags.AddString("out", &out_path, "write the profile here (empty = stdout)");
+  flags.AddString("format", &format,
+                  "dump (symbolizable text for tools/symbolize_profile.py) | "
+                  "collapsed (flamegraph.pl input, raw addresses) | "
+                  "chrome (trace-event JSON, feeds trace-merge)");
+  INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (remote.empty()) {
+    return InvalidArgumentError("--remote is required (e.g. --remote=localhost:7341)");
+  }
+  if (format != "dump" && format != "collapsed" && format != "chrome") {
+    return InvalidArgumentError("--format must be dump, collapsed or chrome");
+  }
+  if (seconds < 1 || seconds > svc::kMaxProfileSeconds) {
+    return InvalidArgumentError(StrFormat("--seconds must be in [1, %u]",
+                                          svc::kMaxProfileSeconds));
+  }
+  if (hz < 1 || hz > svc::kMaxProfileHz) {
+    return InvalidArgumentError(StrFormat("--hz must be in [1, %u]", svc::kMaxProfileHz));
+  }
+  INDAAS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::ParseEndpoint(remote));
+  INDAAS_ASSIGN_OR_RETURN(svc::AuditClient client, svc::AuditClient::Connect(endpoint));
+  svc::ProfileRequest request;
+  request.hz = static_cast<uint32_t>(hz);
+  request.seconds = static_cast<uint32_t>(seconds);
+  request.alloc = alloc;
+  std::fprintf(stderr, "profiling %s for %lld s at %lld Hz...\n", remote.c_str(),
+               static_cast<long long>(seconds), static_cast<long long>(hz));
+  INDAAS_ASSIGN_OR_RETURN(svc::ProfileReply reply, client.GetProfile(request));
+
+  std::string output;
+  if (format == "dump") {
+    output = std::move(reply.dump);
+  } else {
+    obs::ProfileData data;
+    if (!obs::ParseProfileDumpText(reply.dump, &data)) {
+      return ProtocolError("server returned an unparseable profile dump");
+    }
+    output = format == "collapsed" ? obs::ProfileToCollapsed(data, /*alloc=*/false)
+                                   : obs::ProfileToChromeTrace(data);
+  }
+  if (out_path.empty()) {
+    std::printf("%s", output.c_str());
+    return Status::Ok();
+  }
+  INDAAS_RETURN_IF_ERROR(WriteFile(out_path, output));
+  obs::ProfileData parsed;
+  if (obs::ParseProfileDumpText(reply.dump, &parsed)) {
+    std::printf("captured %zu samples (%llu dropped, %llu truncated) over %.1f s -> %s\n",
+                parsed.samples.size(), static_cast<unsigned long long>(parsed.dropped),
+                static_cast<unsigned long long>(parsed.truncated_stacks),
+                static_cast<double>(parsed.end_us - parsed.start_us) / 1e6, out_path.c_str());
+    if (format == "dump") {
+      std::printf("symbolize: python3 tools/symbolize_profile.py %s\n", out_path.c_str());
+    }
+  } else {
+    std::printf("wrote %zu bytes -> %s\n", output.size(), out_path.c_str());
+  }
+  return Status::Ok();
+}
+
 Status RunTraceMergeCommand(int argc, char** argv) {
   // Positional inputs plus an optional --out: parsed by hand because the
   // FlagSet grammar is flags-only.
@@ -771,6 +843,7 @@ Status RunServeCommand(int argc, char** argv) {
   int64_t slow_rpc_ms = 100;
   std::string admission = "adaptive";
   int64_t target_queue_delay_ms = 5;
+  int64_t profile_hz = 0;
   std::string depdb_path;
   std::string cvss_path;
   std::string flight_dump;
@@ -795,6 +868,9 @@ Status RunServeCommand(int argc, char** argv) {
                   "in-flight caps stay as hard ceilings) or fixed (caps only)");
   flags.AddInt("target-queue-delay-ms", &target_queue_delay_ms,
                "adaptive admission: dispatch->worker queue-delay target");
+  flags.AddInt("profile-hz", &profile_hz,
+               "continuous profiling: sample registered threads at this frequency for the"
+               " server's lifetime (0 = off; `indaas profile` then runs its own window)");
   flags.AddString("depdb", &depdb_path, "preload this DepDB file before serving");
   flags.AddString("cvss", &cvss_path, "optional CVSS feed file for software probabilities");
   flags.AddString("flight-dump", &flight_dump,
@@ -816,6 +892,10 @@ Status RunServeCommand(int argc, char** argv) {
   if (target_queue_delay_ms < 1) {
     return InvalidArgumentError("--target-queue-delay-ms must be at least 1");
   }
+  if (profile_hz < 0 || profile_hz > svc::kMaxProfileHz) {
+    return InvalidArgumentError(StrFormat("--profile-hz must be in [0, %u]",
+                                          svc::kMaxProfileHz));
+  }
 
   svc::AuditServerOptions options;
   options.port = static_cast<uint16_t>(port);
@@ -835,7 +915,16 @@ Status RunServeCommand(int argc, char** argv) {
   // stays fixed for embedded/bench determinism.
   options.adaptive_admission = admission == "adaptive";
   options.target_queue_delay_s = static_cast<double>(target_queue_delay_ms) / 1e3;
+  options.profile_hz = static_cast<uint32_t>(profile_hz);
   svc::AuditServer server(options);
+  if (profile_hz > 0) {
+    // The serve loop itself is mostly asleep, but registering it makes the
+    // main thread visible in continuous profiles (signal handling, shutdown).
+    obs::Profiler::Global().RegisterCurrentThread();
+    std::printf("continuous profiling at %lld Hz; capture windows with "
+                "`indaas profile --remote=localhost:%lld`\n",
+                static_cast<long long>(profile_hz), static_cast<long long>(port));
+  }
 
   if (!flight_dump.empty()) {
     obs::InstallFlightRecorderSignalHandlers(flight_dump);
@@ -950,6 +1039,9 @@ int RunCli(int argc, char** argv) {
                  "[--format=text|prometheus|json])\n"
                  "  debug       live introspection of a server: shards, connections, flight\n"
                  "              recorder, slowest RPCs (--remote=host:P [--events=N] [--top=K])\n"
+                 "  profile     capture a remote CPU/alloc profile window (--remote=host:P\n"
+                 "              [--seconds=S --hz=N --alloc=0|1 --out=FILE "
+                 "--format=dump|collapsed|chrome])\n"
                  "  trace-merge merge per-process --trace-out files into one Chrome trace\n"
                  "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
                  "networked: serve --port=P [--mode=reactor|threaded --reactor-shards=N\n"
@@ -982,6 +1074,8 @@ int RunCli(int argc, char** argv) {
     status = RunStatsCommand(argc - 1, argv + 1);
   } else if (command == "debug") {
     status = RunDebugCommand(argc - 1, argv + 1);
+  } else if (command == "profile") {
+    status = RunProfileCommand(argc - 1, argv + 1);
   } else if (command == "trace-merge") {
     status = RunTraceMergeCommand(argc - 1, argv + 1);
   } else {

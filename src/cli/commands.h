@@ -11,6 +11,7 @@
 //   indaas serve      --port=7341 [--threads=4] [--depdb=deps.txt]
 //   indaas stats      --remote=host:port [--format=text|prometheus|json]
 //   indaas debug      --remote=host:port [--events=N] [--top=K]
+//   indaas profile    --remote=host:port [--seconds=5] [--hz=99] [--out=p.txt]
 //   indaas trace-merge --out=merged.json a.json b.json ...
 //
 // `pia` reads providers from a simple format: one provider per line,
@@ -23,6 +24,8 @@
 //
 // Distributed observability: `stats` scrapes a live server's metrics
 // snapshot over the kGetStats RPC (and its health over kHealth);
+// `profile` captures a sampling-profiler window from a live server over the
+// kGetProfile RPC (symbolize offline with tools/symbolize_profile.py);
 // `trace-merge` stitches per-process --trace-out files from client, server
 // and ring peers into one clock-aligned Chrome trace.
 
@@ -47,6 +50,7 @@ Status RunPiaCommand(int argc, char** argv);
 Status RunServeCommand(int argc, char** argv);
 Status RunStatsCommand(int argc, char** argv);
 Status RunDebugCommand(int argc, char** argv);
+Status RunProfileCommand(int argc, char** argv);
 Status RunTraceMergeCommand(int argc, char** argv);
 
 // Dispatches to a subcommand; prints usage on unknown commands.

@@ -187,6 +187,52 @@ std::string PrometheusFamily(const std::string& name) {
   return out;
 }
 
+// Maps the per-series names of the service's exponential histograms onto a
+// shared labeled family: "svc.rpc_seconds.Ping" -> {family, rpc="Ping"},
+// "svc.stage.read_seconds" -> {family, stage="read"}. Returns false for
+// histograms that stay unlabeled.
+bool LabeledHistogramFamily(const std::string& name, std::string* family,
+                            std::string* label) {
+  constexpr std::string_view kRpcPrefix = "svc.rpc_seconds.";
+  constexpr std::string_view kStagePrefix = "svc.stage.";
+  constexpr std::string_view kStageSuffix = "_seconds";
+  if (name.size() > kRpcPrefix.size() && name.compare(0, kRpcPrefix.size(), kRpcPrefix) == 0) {
+    *family = "indaas_svc_rpc_seconds";
+    *label = "rpc=\"" + name.substr(kRpcPrefix.size()) + "\"";
+    return true;
+  }
+  if (name.size() > kStagePrefix.size() + kStageSuffix.size() &&
+      name.compare(0, kStagePrefix.size(), kStagePrefix) == 0 &&
+      name.compare(name.size() - kStageSuffix.size(), kStageSuffix.size(), kStageSuffix) == 0) {
+    *family = "indaas_svc_stage_seconds";
+    *label = "stage=\"" +
+             name.substr(kStagePrefix.size(),
+                         name.size() - kStagePrefix.size() - kStageSuffix.size()) +
+             "\"";
+    return true;
+  }
+  return false;
+}
+
+// One histogram's bucket/sum/count samples. `labels` ("rpc=\"Ping\"") may be
+// empty; `le` joins it inside the bucket braces.
+void AppendPrometheusHistogram(std::string& out, const std::string& family,
+                               const std::string& labels,
+                               const Histogram::Snapshot& histogram) {
+  const std::string sep = labels.empty() ? "" : ",";
+  const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < histogram.bounds.size(); ++b) {
+    cumulative += b < histogram.counts.size() ? histogram.counts[b] : 0;
+    out += family + "_bucket{" + labels + sep + "le=\"" + FormatDouble(histogram.bounds[b]) +
+           "\"} " + std::to_string(cumulative) + "\n";
+  }
+  out += family + "_bucket{" + labels + sep + "le=\"+Inf\"} " +
+         std::to_string(histogram.count) + "\n";
+  out += family + "_sum" + suffix + " " + FormatDouble(histogram.sum) + "\n";
+  out += family + "_count" + suffix + " " + std::to_string(histogram.count) + "\n";
+}
+
 }  // namespace
 
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
@@ -203,18 +249,34 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
     out += "# TYPE " + family + "_max gauge\n";
     out += family + "_max " + std::to_string(gauge.max) + "\n";
   }
-  for (const auto& histogram : snapshot.histograms) {
-    std::string family = PrometheusFamily(histogram.name);
-    out += "# TYPE " + family + " histogram\n";
-    uint64_t cumulative = 0;
-    for (size_t b = 0; b < histogram.bounds.size(); ++b) {
-      cumulative += b < histogram.counts.size() ? histogram.counts[b] : 0;
-      out += family + "_bucket{le=\"" + FormatDouble(histogram.bounds[b]) + "\"} " +
-             std::to_string(cumulative) + "\n";
+  // Labeled families must appear as one block under one # TYPE line, so the
+  // whole family is emitted when its first member is reached and later
+  // members are skipped.
+  std::vector<bool> emitted(snapshot.histograms.size(), false);
+  for (size_t h = 0; h < snapshot.histograms.size(); ++h) {
+    if (emitted[h]) continue;
+    const auto& histogram = snapshot.histograms[h];
+    std::string family;
+    std::string label;
+    if (!LabeledHistogramFamily(histogram.name, &family, &label)) {
+      family = PrometheusFamily(histogram.name);
+      out += "# TYPE " + family + " histogram\n";
+      AppendPrometheusHistogram(out, family, "", histogram);
+      continue;
     }
-    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) + "\n";
-    out += family + "_sum " + FormatDouble(histogram.sum) + "\n";
-    out += family + "_count " + std::to_string(histogram.count) + "\n";
+    out += "# TYPE " + family + " histogram\n";
+    for (size_t m = h; m < snapshot.histograms.size(); ++m) {
+      if (emitted[m]) continue;
+      std::string member_family;
+      std::string member_label;
+      if (!LabeledHistogramFamily(snapshot.histograms[m].name, &member_family,
+                                  &member_label) ||
+          member_family != family) {
+        continue;
+      }
+      AppendPrometheusHistogram(out, family, member_label, snapshot.histograms[m]);
+      emitted[m] = true;
+    }
   }
   return out;
 }
@@ -242,6 +304,65 @@ std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
     }
     for (const auto& [key, value] : span.annotations) {
       out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+std::string HexFrame(uintptr_t pc) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+}  // namespace
+
+std::string ProfileToCollapsed(const ProfileData& data, bool alloc) {
+  // Aggregate identical stacks; std::map keeps the output sorted and so
+  // byte-stable for equal profiles.
+  std::map<std::string, uint64_t> stacks;
+  for (const ProfileSample& sample : data.samples) {
+    if (sample.alloc != alloc || sample.frames.empty()) continue;
+    std::string key;
+    // Collapsed format wants root first; samples store leaf first.
+    for (size_t i = sample.frames.size(); i-- > 0;) {
+      key += HexFrame(sample.frames[i]);
+      if (i != 0) key += ';';
+    }
+    stacks[key] += alloc ? sample.weight : 1;
+  }
+  std::string out;
+  for (const auto& [stack, value] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileToChromeTrace(const ProfileData& data) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ProfileSample& sample : data.samples) {
+    if (sample.frames.empty()) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + HexFrame(sample.frames[0]) + "\",\"cat\":\"";
+    out += sample.alloc ? "profile_alloc" : "profile_cpu";
+    out += "\",\"ph\":\"i\",\"s\":\"t\"";
+    out += ",\"ts\":" + std::to_string(sample.t_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(sample.tid);
+    out += ",\"args\":{";
+    out += "\"weight\":" + std::to_string(sample.weight);
+    out += ",\"depth\":" + std::to_string(sample.frames.size());
+    if (sample.trace_id != 0) {
+      // Decimal strings: 64-bit ids do not survive JSON's double numbers.
+      out += ",\"trace_id\":\"" + std::to_string(sample.trace_id) + "\"";
     }
     out += "}}";
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace indaas {
@@ -41,12 +42,20 @@ std::string RenderMetricsText(const MetricsSnapshot& snapshot);
 std::string RenderStageTable(const std::vector<StageStat>& stages);
 
 // Prometheus text exposition (version 0.0.4) of a snapshot. Dotted
-// instrument names become underscore families under an `indaas_` prefix
-// ("svc.rpc_seconds.Ping" -> "indaas_svc_rpc_seconds_Ping"); counters and
-// gauges map to their Prometheus types (a gauge's tracked max becomes a
-// separate `<family>_max` gauge), and histograms emit cumulative
+// instrument names become underscore families under an `indaas_` prefix;
+// counters and gauges map to their Prometheus types (a gauge's tracked max
+// becomes a separate `<family>_max` gauge), and histograms emit cumulative
 // `_bucket{le="..."}` samples plus `_sum`/`_count`. Exactly one `# TYPE`
 // line per family, no duplicate sample names.
+//
+// The per-RPC and per-stage exponential histograms fold into two native
+// labeled families instead of one family per series, so PromQL can
+// aggregate across RPCs ("svc.rpc_seconds.Ping" becomes
+// `indaas_svc_rpc_seconds_bucket{rpc="Ping",le="..."}`, and
+// "svc.stage.read_seconds" becomes
+// `indaas_svc_stage_seconds_bucket{stage="read",le="..."}`). Each labeled
+// family appears at its first member's position with a single `# TYPE`
+// line covering every label value.
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
 
 // Chrome trace-event JSON: one complete ("ph":"X") event per span with
@@ -58,6 +67,23 @@ std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
 
 // Escapes a string for embedding inside a JSON string literal.
 std::string JsonEscape(const std::string& raw);
+
+// Collapsed-stack ("folded") rendering of a profile window, one line per
+// distinct stack: `frame;frame;...;leaf value` with frames root-first —
+// exactly what flamegraph.pl and speedscope ingest. Frames are hex runtime
+// addresses until tools/symbolize_profile.py rewrites them to symbols.
+// `alloc` selects the allocation samples (value = sampled bytes) instead of
+// the CPU samples (value = sample count). Lines are sorted, so equal
+// profiles render byte-identically.
+std::string ProfileToCollapsed(const ProfileData& data, bool alloc);
+
+// Chrome trace-event JSON of a profile window: one thread-scoped instant
+// event per sample, named by its leaf frame, timestamped in trace-epoch
+// microseconds — the same timebase as SpansToChromeTrace, so
+// `indaas trace-merge` aligns a profile with the RPC spans that produced
+// it. Samples carrying a distributed trace id add a decimal-string
+// `trace_id` arg, matching the span convention.
+std::string ProfileToChromeTrace(const ProfileData& data);
 
 }  // namespace obs
 }  // namespace indaas

@@ -32,6 +32,8 @@ uint64_t ProcessFingerprint() {
 
 TraceContext CurrentTraceContext() { return tls_context; }
 
+const uint64_t* CurrentTraceIdAddress() { return &tls_context.trace_id; }
+
 uint64_t NewTraceId() {
   static std::atomic<uint64_t> counter{0};
   uint64_t id = SplitMix64(ProcessFingerprint() ^

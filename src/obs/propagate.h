@@ -36,6 +36,12 @@ struct TraceContext {
 // The calling thread's current context (invalid when none is installed).
 TraceContext CurrentTraceContext();
 
+// Address of the calling thread's trace-id word. The sampling profiler
+// (src/obs/profiler.h) captures it at thread registration so its SIGPROF
+// handler can read the ambient trace id through a plain pointer, with no
+// TLS resolution in signal context. Valid for the thread's lifetime.
+const uint64_t* CurrentTraceIdAddress();
+
 // A fresh nonzero trace id: a per-process random fingerprint mixed with a
 // process-wide counter, so ids from different processes started in the same
 // microsecond still diverge.

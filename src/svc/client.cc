@@ -61,12 +61,16 @@ Result<AuditClient> AuditClient::Connect(const net::Endpoint& endpoint,
 }
 
 Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
-                                     MsgType expected) {
+                                     MsgType expected, int io_timeout_ms) {
+  if (io_timeout_ms <= 0) {
+    io_timeout_ms = options_.io_timeout_ms;
+  }
   const size_t max_attempts =
       IdempotentRequest(request) ? std::max<size_t>(1, options_.rpc_attempts) : 1;
   for (size_t attempt = 0;; ++attempt) {
     bool transport_failure = false;
-    Result<net::Frame> result = CallOnce(request, payload, expected, &transport_failure);
+    Result<net::Frame> result =
+        CallOnce(request, payload, expected, io_timeout_ms, &transport_failure);
     if (result.ok() || !transport_failure || attempt + 1 >= max_attempts) {
       return result;
     }
@@ -94,7 +98,8 @@ Result<net::Frame> AuditClient::Call(MsgType request, std::string_view payload,
 }
 
 Result<net::Frame> AuditClient::CallOnce(MsgType request, std::string_view payload,
-                                         MsgType expected, bool* transport_failure) {
+                                         MsgType expected, int io_timeout_ms,
+                                         bool* transport_failure) {
   *transport_failure = false;
   // The RPC span must carry this client's trace id even when the calling
   // thread has no ambient context (a bare CLI client): reinstall the id,
@@ -117,12 +122,12 @@ Result<net::Frame> AuditClient::CallOnce(MsgType request, std::string_view paylo
     return result;
   };
   if (Status s = net::WriteFrame(socket_, static_cast<uint8_t>(request), payload,
-                                 options_.io_timeout_ms, trace);
+                                 io_timeout_ms, trace);
       !s.ok()) {
     *transport_failure = true;
     return finish(s);
   }
-  Result<net::Frame> reply = net::ReadFrame(socket_, options_.limits, options_.io_timeout_ms);
+  Result<net::Frame> reply = net::ReadFrame(socket_, options_.limits, io_timeout_ms);
   if (!reply.ok()) {
     // A failed read is replayable only when nothing of the reply arrived in
     // a decodable way — ReadFrame folds both cases into its status; treat
@@ -186,6 +191,17 @@ Result<DebugInfo> AuditClient::GetDebugInfo() {
   INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
                           Call(MsgType::kGetDebugInfo, "", MsgType::kDebugInfoReply));
   return DecodeDebugInfo(reply.payload);
+}
+
+Result<ProfileReply> AuditClient::GetProfile(const ProfileRequest& request) {
+  // The server blocks for the whole capture window before answering, so the
+  // read deadline must cover the window on top of the normal I/O budget.
+  const int io_timeout_ms =
+      options_.io_timeout_ms + static_cast<int>(request.seconds) * 1000;
+  INDAAS_ASSIGN_OR_RETURN(net::Frame reply,
+                          Call(MsgType::kGetProfile, EncodeProfileRequest(request),
+                               MsgType::kProfileReply, io_timeout_ms));
+  return DecodeProfileReply(reply.payload);
 }
 
 }  // namespace svc

@@ -76,6 +76,12 @@ class AuditClient {
   // (the reactor intercepts it ahead of admission control).
   Result<DebugInfo> GetDebugInfo();
 
+  // Captures a remote profile window (`indaas profile --remote`): the
+  // server samples its registered threads for request.seconds and replies
+  // with the self-describing dump text (obs::ProfileToDumpText). Blocks for
+  // the whole window — the read deadline is stretched to cover it.
+  Result<ProfileReply> GetProfile(const ProfileRequest& request);
+
   // The trace id this client stamps on every request: the calling thread's
   // context at Connect() time if one was installed, else freshly minted.
   uint64_t trace_id() const { return trace_id_; }
@@ -87,13 +93,16 @@ class AuditClient {
   // Sends one request frame and reads the reply, unwrapping kErrorReply
   // into its remote Status. Idempotent requests that die on a transport
   // fault reconnect and replay within options_.rpc_attempts.
-  Result<net::Frame> Call(MsgType request, std::string_view payload, MsgType expected);
+  // `io_timeout_ms` of 0 uses options_.io_timeout_ms; GetProfile passes a
+  // stretched deadline covering its server-side capture window.
+  Result<net::Frame> Call(MsgType request, std::string_view payload, MsgType expected,
+                          int io_timeout_ms = 0);
 
   // One attempt on the current connection. `transport_failure` is set when
   // the error came from the socket (replayable) rather than from the server
   // (a decoded kErrorReply or a malformed reply stream).
   Result<net::Frame> CallOnce(MsgType request, std::string_view payload, MsgType expected,
-                              bool* transport_failure);
+                              int io_timeout_ms, bool* transport_failure);
 
   net::Socket socket_;
   net::Endpoint endpoint_;

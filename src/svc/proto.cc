@@ -72,6 +72,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kPsopSketch: return "PsopSketch";
     case MsgType::kPsopProbe: return "PsopProbe";
     case MsgType::kPsopProbeAck: return "PsopProbeAck";
+    case MsgType::kGetProfile: return "GetProfile";
+    case MsgType::kProfileReply: return "ProfileReply";
   }
   return "Unknown";
 }
@@ -710,6 +712,55 @@ Result<PsopProbe> DecodePsopProbe(std::string_view payload) {
   }
   INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "PsopProbe"));
   return probe;
+}
+
+// --- Remote profiling ---
+
+std::string EncodeProfileRequest(const ProfileRequest& request) {
+  WireWriter writer;
+  writer.U32(request.hz);
+  writer.U32(request.seconds);
+  writer.Bool(request.alloc);
+  return writer.Take();
+}
+
+Result<ProfileRequest> DecodeProfileRequest(std::string_view payload) {
+  WireReader reader(payload);
+  ProfileRequest request;
+  INDAAS_ASSIGN_OR_RETURN(request.hz, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(request.seconds, reader.U32());
+  INDAAS_ASSIGN_OR_RETURN(request.alloc, reader.Bool());
+  // A hostile client must not be able to demand SIGPROF storms or
+  // arbitrarily long captures; reject out-of-range windows at decode so
+  // every server path sees only valid requests.
+  if (request.hz < 1 || request.hz > kMaxProfileHz) {
+    return ParseError(StrFormat("bad ProfileRequest hz %u (cap %u)", request.hz,
+                                kMaxProfileHz));
+  }
+  if (request.seconds < 1 || request.seconds > kMaxProfileSeconds) {
+    return ParseError(StrFormat("bad ProfileRequest seconds %u (cap %u)",
+                                request.seconds, kMaxProfileSeconds));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "ProfileRequest"));
+  return request;
+}
+
+std::string EncodeProfileReply(const ProfileReply& reply) {
+  WireWriter writer;
+  writer.Bytes(reply.dump);
+  return writer.Take();
+}
+
+Result<ProfileReply> DecodeProfileReply(std::string_view payload) {
+  WireReader reader(payload);
+  ProfileReply reply;
+  INDAAS_ASSIGN_OR_RETURN(reply.dump, reader.Bytes());
+  if (reply.dump.size() > kMaxProfileDumpBytes) {
+    return ParseError(StrFormat("ProfileReply dump of %zu bytes exceeds cap",
+                                reply.dump.size()));
+  }
+  INDAAS_RETURN_IF_ERROR(FinishDecode(reader, "ProfileReply"));
+  return reply;
 }
 
 }  // namespace svc

@@ -14,6 +14,7 @@
 //   kGetStats      -> kStatsReply     (empty -> ServerStats snapshot)
 //   kHealth        -> kHealthReply    (empty -> HealthStatus)
 //   kGetDebugInfo  -> kDebugInfoReply (empty -> DebugInfo introspection)
+//   kGetProfile    -> kProfileReply   (window spec -> profile dump text)
 //   any request    -> kErrorReply     (Status code + message)
 //
 // The kPsop* types are the socket-backed P-SOP session messages exchanged
@@ -62,6 +63,10 @@ enum class MsgType : uint8_t {
   // who is still alive before reforming a degraded ring.
   kPsopProbe = 20,
   kPsopProbeAck = 21,
+  // Remote profiling (src/obs/profiler.h): capture a sampling-profiler
+  // window on the server and ship it back as dump text.
+  kGetProfile = 22,
+  kProfileReply = 23,
 };
 
 // Human-readable message-type name ("AuditRequest"), shared by server logs,
@@ -194,6 +199,44 @@ struct DebugInfo {
 
 std::string EncodeDebugInfo(const DebugInfo& info);
 Result<DebugInfo> DecodeDebugInfo(std::string_view payload);
+
+// --- Remote profiling (kGetProfile -> kProfileReply) ---
+
+// Hard caps a server enforces before honoring a profile request: a hostile
+// or misconfigured client must not be able to pin a server in SIGPROF
+// storms or hour-long captures.
+constexpr uint32_t kMaxProfileHz = 1000;
+constexpr uint32_t kMaxProfileSeconds = 60;
+// A dump is bounded by the profiler's session cap (~1M samples × ~48
+// frames × ~19 bytes/frame would be huge, but real windows are seconds
+// long); 64 MiB leaves lots of headroom while still bounding a hostile
+// reply.
+constexpr uint32_t kMaxProfileDumpBytes = 64u << 20;
+
+// One profile window: sample the server's registered threads at `hz` for
+// `seconds`, optionally with allocation attribution. When the server is
+// already profiling continuously (`indaas serve --profile-hz`), `hz` is
+// advisory — the window is cut from the running session at its frequency.
+struct ProfileRequest {
+  uint32_t hz = 99;       // [1, kMaxProfileHz]
+  uint32_t seconds = 5;   // [1, kMaxProfileSeconds]
+  bool alloc = true;      // also sample allocations
+};
+
+std::string EncodeProfileRequest(const ProfileRequest& request);
+Result<ProfileRequest> DecodeProfileRequest(std::string_view payload);
+
+// The captured window as self-describing dump text (obs::ProfileToDumpText:
+// exe path + PIE base + hz + window + trace ids + one line per sample).
+// Text rather than a binary mirror of ProfileData: the dump is the exact
+// artifact tools/symbolize_profile.py and operators consume, so the wire
+// ships it verbatim.
+struct ProfileReply {
+  std::string dump;
+};
+
+std::string EncodeProfileReply(const ProfileReply& reply);
+Result<ProfileReply> DecodeProfileReply(std::string_view payload);
 
 // --- P-SOP session payloads ---
 

@@ -12,6 +12,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/svc/admission.h"
@@ -316,7 +317,12 @@ struct AuditServer::Reactor {
     }
     for (auto& shard : shards) {
       Shard* raw = shard.get();
-      raw->thread = std::thread([raw] { raw->loop.Run(); });
+      raw->thread = std::thread([raw] {
+        // Loop threads do the read/parse/flush work; a profile that can't
+        // see them misattributes the whole transport layer.
+        obs::Profiler::Global().RegisterCurrentThread();
+        raw->loop.Run();
+      });
     }
     return Status::Ok();
   }
@@ -920,6 +926,28 @@ Status AuditServer::Start() {
   obs::MetricsRegistry::Global().GetCounter("svc.degraded_audits");
   obs::MetricsRegistry::Global().GetGauge("svc.adaptive_shed_level");
   obs::MetricsRegistry::Global().GetCounter("svc.requests_shed_adaptive");
+  // Same rationale for the profiler surface: scrape-visible zeros from the
+  // first Start(), whether or not a session ever runs.
+  obs::MetricsRegistry::Global().GetCounter("obs.profile.samples");
+  obs::MetricsRegistry::Global().GetCounter("obs.profile.dropped");
+  obs::MetricsRegistry::Global().GetCounter("obs.profile.truncated_stacks");
+  if (options_.profile_hz > 0) {
+    obs::ProfileOptions popts;
+    popts.hz = std::min(options_.profile_hz, obs::Profiler::kMaxHz);
+    popts.alloc = options_.profile_alloc;
+    Status profiling = obs::Profiler::Global().Start(popts);
+    if (profiling.ok()) {
+      owns_profiler_session_ = true;
+      INDAAS_SLOG(Info, "svc.profiler_started")
+          .Kv("hz", static_cast<uint64_t>(popts.hz))
+          .Kv("alloc", popts.alloc);
+    } else {
+      // Another session (a test harness, an embedding process) already owns
+      // the profiler; serving without continuous profiles beats not serving.
+      INDAAS_SLOG(Warn, "svc.profiler_unavailable")
+          .Kv("error", profiling.ToString());
+    }
+  }
   return options_.mode == ServerMode::kReactor ? StartReactor() : StartThreaded();
 }
 
@@ -953,7 +981,10 @@ Status AuditServer::StartThreaded() {
   start_us_.store(obs::TraceNowMicros(), std::memory_order_relaxed);
   serving_.store(true, std::memory_order_relaxed);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  accept_thread_ = std::thread([this] {
+    obs::Profiler::Global().RegisterCurrentThread();
+    AcceptLoop();
+  });
   INDAAS_SLOG(Info, "svc.server_started")
       .Kv("mode", "threaded")
       .Kv("port", port_)
@@ -965,6 +996,10 @@ void AuditServer::Stop() {
   serving_.store(false, std::memory_order_relaxed);
   if (!running_.exchange(false)) {
     return;
+  }
+  if (owns_profiler_session_) {
+    owns_profiler_session_ = false;
+    obs::Profiler::Global().Stop();
   }
   if (reactor_) {
     // Order matters: stop accepting, drain the pool (completions are
@@ -1243,6 +1278,41 @@ void AuditServer::HandleRequest(uint8_t type, const std::string& payload, uint8_
           return;
         }
         error = report.status();
+      } else {
+        error = request.status();
+      }
+      break;
+    }
+    case MsgType::kGetProfile: {
+      // Deliberately slow by design: the handler blocks on the capture
+      // window (seconds, capped at kMaxProfileSeconds by the decoder), so
+      // it occupies one pool worker — the same admission control that
+      // protects audits bounds how many concurrent captures a client can
+      // pin, and the profiler itself allows one temporary session at a
+      // time anyway.
+      WallTimer decode_timer;
+      Result<ProfileRequest> request = DecodeProfileRequest(payload);
+      AddStage(stages, obs::RpcStage::kDecode, decode_timer);
+      if (request.ok()) {
+        WallTimer compute_timer;
+        Result<obs::ProfileData> window = obs::Profiler::Global().WindowedCapture(
+            request->hz, request->seconds, request->alloc);
+        AddStage(stages, obs::RpcStage::kCompute, compute_timer);
+        if (window.ok()) {
+          WallTimer encode_timer;
+          ProfileReply profile;
+          profile.dump = obs::ProfileToDumpText(*window);
+          if (profile.dump.size() > kMaxProfileDumpBytes) {
+            error = InternalError("profile dump exceeds wire cap");
+          } else {
+            *reply_type = static_cast<uint8_t>(MsgType::kProfileReply);
+            *reply_payload = EncodeProfileReply(profile);
+            AddStage(stages, obs::RpcStage::kEncode, encode_timer);
+            return;
+          }
+        } else {
+          error = window.status();
+        }
       } else {
         error = request.status();
       }

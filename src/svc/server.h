@@ -102,6 +102,14 @@ struct AuditServerOptions {
   // the slowness criterion (sheds and errors are still retained).
   double slow_rpc_threshold_s = 0.100;
   size_t tail_samples = 256;
+
+  // Continuous profiling (src/obs/profiler.h): > 0 starts a process-wide
+  // sampling session at this frequency for the server's lifetime, and
+  // GetProfile requests cut windows out of it instead of arming their own
+  // timers. 0 (default) keeps the profiler idle until a GetProfile request
+  // runs a temporary session. Clamped to obs::Profiler::kMaxHz.
+  uint32_t profile_hz = 0;
+  bool profile_alloc = true;  // sample allocations in the continuous session
 };
 
 class AuditServer {
@@ -171,6 +179,7 @@ class AuditServer {
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<Reactor> reactor_;
+  bool owns_profiler_session_ = false;  // Start() armed the continuous session
 };
 
 }  // namespace svc

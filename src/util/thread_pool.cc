@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 
 namespace indaas {
 namespace {
@@ -122,6 +123,9 @@ void ThreadPool::ParallelForChunked(size_t n, size_t grain,
 }
 
 void ThreadPool::WorkerLoop() {
+  // Pool workers run every CPU-bound RPC, so they are exactly the threads a
+  // profile of a busy server must see (unregistered threads are invisible).
+  obs::Profiler::Global().RegisterCurrentThread();
   PoolMetrics& metrics = Metrics();
   for (;;) {
     std::function<void()> task;

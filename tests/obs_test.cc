@@ -20,6 +20,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_merge.h"
@@ -601,11 +602,13 @@ TEST(ExportTest, PrometheusExpositionIsWellFormed) {
   for (const auto& [series, count] : sample_series) {
     EXPECT_EQ(count, 1) << series;
   }
-  // Spot-check the histogram rendering: cumulative buckets ending at +Inf ==
-  // total count, plus _sum and _count samples under one family.
-  EXPECT_EQ(type_lines.count("indaas_svc_rpc_seconds_Ping"), 1u);
-  EXPECT_NE(text.find("indaas_svc_rpc_seconds_Ping_bucket{le=\"+Inf\"} 6"), std::string::npos);
-  EXPECT_NE(text.find("indaas_svc_rpc_seconds_Ping_count 6"), std::string::npos);
+  // Spot-check the histogram rendering: per-RPC series fold into the labeled
+  // indaas_svc_rpc_seconds family with cumulative buckets ending at +Inf ==
+  // total count, plus labeled _sum and _count samples.
+  EXPECT_EQ(type_lines.count("indaas_svc_rpc_seconds"), 1u);
+  EXPECT_NE(text.find("indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("indaas_svc_rpc_seconds_count{rpc=\"Ping\"} 6"), std::string::npos);
   EXPECT_NE(text.find("indaas_net_bytes_sent 4096"), std::string::npos);
   // The gauge's high-water mark becomes its own family.
   EXPECT_EQ(type_lines.count("indaas_svc_connections_active"), 1u);
@@ -1189,12 +1192,65 @@ TEST(ExportTest, PrometheusGoldenOutput) {
             "indaas_svc_connections_active 2\n"
             "# TYPE indaas_svc_connections_active_max gauge\n"
             "indaas_svc_connections_active_max 6\n"
-            "# TYPE indaas_svc_rpc_seconds_Ping histogram\n"
-            "indaas_svc_rpc_seconds_Ping_bucket{le=\"0.001\"} 3\n"
-            "indaas_svc_rpc_seconds_Ping_bucket{le=\"0.01\"} 5\n"
-            "indaas_svc_rpc_seconds_Ping_bucket{le=\"+Inf\"} 6\n"
-            "indaas_svc_rpc_seconds_Ping_sum 0.05\n"
-            "indaas_svc_rpc_seconds_Ping_count 6\n");
+            "# TYPE indaas_svc_rpc_seconds histogram\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"0.001\"} 3\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"0.01\"} 5\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"+Inf\"} 6\n"
+            "indaas_svc_rpc_seconds_sum{rpc=\"Ping\"} 0.05\n"
+            "indaas_svc_rpc_seconds_count{rpc=\"Ping\"} 6\n");
+}
+
+// The exponential per-RPC and per-stage series scrape as two native labeled
+// histogram families: every member shares one # TYPE line (Prometheus
+// rejects duplicate types), members keep their own label value, and
+// histograms outside the two families stay unlabeled.
+TEST(ExportTest, PrometheusGoldenOutputLabeledHistogramFamilies) {
+  MetricsSnapshot snapshot;
+  Histogram::Snapshot ping;
+  ping.name = "svc.rpc_seconds.Ping";
+  ping.bounds = {0.001};
+  ping.counts = {2, 1};
+  ping.count = 3;
+  ping.sum = 0.01;
+  Histogram::Snapshot read;
+  read.name = "svc.stage.read_seconds";
+  read.bounds = {0.001};
+  read.counts = {4, 0};
+  read.count = 4;
+  read.sum = 0.002;
+  Histogram::Snapshot audit;
+  audit.name = "svc.rpc_seconds.RunAudit";
+  audit.bounds = {0.001};
+  audit.counts = {0, 5};
+  audit.count = 5;
+  audit.sum = 1.5;
+  Histogram::Snapshot other;
+  other.name = "sia.rank_seconds";
+  other.bounds = {0.001};
+  other.counts = {1, 0};
+  other.count = 1;
+  other.sum = 0.0005;
+  snapshot.histograms = {ping, read, audit, other};
+  EXPECT_EQ(MetricsToPrometheus(snapshot),
+            "# TYPE indaas_svc_rpc_seconds histogram\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"0.001\"} 2\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"Ping\",le=\"+Inf\"} 3\n"
+            "indaas_svc_rpc_seconds_sum{rpc=\"Ping\"} 0.01\n"
+            "indaas_svc_rpc_seconds_count{rpc=\"Ping\"} 3\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"RunAudit\",le=\"0.001\"} 0\n"
+            "indaas_svc_rpc_seconds_bucket{rpc=\"RunAudit\",le=\"+Inf\"} 5\n"
+            "indaas_svc_rpc_seconds_sum{rpc=\"RunAudit\"} 1.5\n"
+            "indaas_svc_rpc_seconds_count{rpc=\"RunAudit\"} 5\n"
+            "# TYPE indaas_svc_stage_seconds histogram\n"
+            "indaas_svc_stage_seconds_bucket{stage=\"read\",le=\"0.001\"} 4\n"
+            "indaas_svc_stage_seconds_bucket{stage=\"read\",le=\"+Inf\"} 4\n"
+            "indaas_svc_stage_seconds_sum{stage=\"read\"} 0.002\n"
+            "indaas_svc_stage_seconds_count{stage=\"read\"} 4\n"
+            "# TYPE indaas_sia_rank_seconds histogram\n"
+            "indaas_sia_rank_seconds_bucket{le=\"0.001\"} 1\n"
+            "indaas_sia_rank_seconds_bucket{le=\"+Inf\"} 1\n"
+            "indaas_sia_rank_seconds_sum 0.0005\n"
+            "indaas_sia_rank_seconds_count 1\n");
 }
 
 // The degraded-mode operational surface (partial PIA results, adaptive
@@ -1214,6 +1270,203 @@ TEST(ExportTest, PrometheusGoldenOutputDegradedModeSeries) {
             "indaas_svc_adaptive_shed_level 4\n"
             "# TYPE indaas_svc_adaptive_shed_level_max gauge\n"
             "indaas_svc_adaptive_shed_level_max 9\n");
+}
+
+// --- Sampling profiler ---
+
+// Burns CPU and heap on a registered thread until told to stop, so a
+// profile window has something to catch.
+class ProfiledWorker {
+ public:
+  ProfiledWorker()
+      : thread_([this] {
+          Profiler::Global().RegisterCurrentThread();
+          std::vector<std::string> churn;
+          uint64_t x = 1;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < 50000; ++i) x = x * 6364136223846793005ull + 1;
+            churn.emplace_back(4096, static_cast<char>('a' + (x & 15)));
+            if (churn.size() > 64) churn.clear();
+          }
+          sink_.store(x, std::memory_order_relaxed);
+        }) {}
+  ~ProfiledWorker() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> sink_{0};
+  std::thread thread_;
+};
+
+TEST(ProfilerTest, StartRejectsOutOfRangeOptions) {
+  ProfileOptions options;
+  options.hz = 0;
+  EXPECT_EQ(Profiler::Global().Start(options).code(), StatusCode::kInvalidArgument);
+  options.hz = Profiler::kMaxHz + 1;
+  EXPECT_EQ(Profiler::Global().Start(options).code(), StatusCode::kInvalidArgument);
+  auto window = Profiler::Global().WindowedCapture(99, 0, false);
+  EXPECT_FALSE(window.ok());
+  window = Profiler::Global().WindowedCapture(99, 61, false);
+  EXPECT_FALSE(window.ok());
+}
+
+TEST(ProfilerTest, CapturesCpuAndAllocStacksFromRegisteredThreads) {
+  const uint64_t samples_before =
+      MetricsRegistry::Global().GetCounter("obs.profile.samples")->Value();
+  ProfiledWorker worker;
+  ProfileOptions options;
+  options.hz = 250;
+  options.alloc = true;
+  options.alloc_interval_bytes = 64 * 1024;
+  ASSERT_TRUE(Profiler::Global().Start(options).ok());
+  // A second session must be refused while this one runs.
+  EXPECT_EQ(Profiler::Global().Start(options).code(), StatusCode::kUnavailable);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  ProfileData data = Profiler::Global().Stop();
+
+  EXPECT_EQ(data.hz, 250u);
+  EXPECT_GT(data.end_us, data.start_us);
+  EXPECT_EQ(data.exe_path, ExecutablePath());
+  size_t cpu = 0;
+  size_t alloc = 0;
+  for (const ProfileSample& sample : data.samples) {
+    ASSERT_FALSE(sample.frames.empty());
+    ASSERT_LE(sample.frames.size(), Profiler::kMaxFrames);
+    if (sample.alloc) {
+      ++alloc;
+      EXPECT_GT(sample.weight, 0u);
+    } else {
+      ++cpu;
+    }
+  }
+  // ~300 CPU samples and dozens of alloc samples expected; stay lenient for
+  // sanitizer builds where wall time outpaces CPU time.
+  EXPECT_GE(cpu, 5u) << "no CPU samples from a busy registered thread";
+  EXPECT_GE(alloc, 1u) << "no allocation samples despite heap churn";
+  EXPECT_GE(MetricsRegistry::Global().GetCounter("obs.profile.samples")->Value(),
+            samples_before + cpu + alloc);
+  // Stopping twice is a no-op.
+  EXPECT_TRUE(Profiler::Global().Stop().samples.empty());
+}
+
+TEST(ProfilerTest, WindowedCaptureRunsATemporarySession) {
+  ProfiledWorker worker;
+  auto window = Profiler::Global().WindowedCapture(250, 1, /*alloc=*/false);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window.value().hz, 250u);
+  EXPECT_FALSE(Profiler::Global().running());
+  EXPECT_GE(window.value().samples.size(), 1u);
+}
+
+TEST(ProfilerTest, DumpTextRoundTrips) {
+  ProfileData data;
+  data.hz = 99;
+  data.start_us = 1000;
+  data.end_us = 2000;
+  data.exe_base = 0x555500000000ull;
+  data.exe_path = "/bin/indaas";
+  data.dropped = 7;
+  data.truncated_stacks = 2;
+  data.trace_ids = {0xabcULL, 42};
+  ProfileSample cpu;
+  cpu.t_us = 1100;
+  cpu.trace_id = 0xabc;
+  cpu.tid = 3;
+  cpu.weight = 1;
+  cpu.frames = {0x401234, 0x401000, 0x400500};
+  ProfileSample alloc;
+  alloc.t_us = 1200;
+  alloc.tid = 4;
+  alloc.weight = 65536;
+  alloc.alloc = true;
+  alloc.truncated = true;
+  alloc.frames = {0x402000};
+  data.samples = {cpu, alloc};
+
+  const std::string text = ProfileToDumpText(data);
+  ProfileData parsed;
+  ASSERT_TRUE(ParseProfileDumpText(text, &parsed));
+  EXPECT_EQ(parsed.hz, 99u);
+  EXPECT_EQ(parsed.start_us, 1000u);
+  EXPECT_EQ(parsed.end_us, 2000u);
+  EXPECT_EQ(parsed.exe_base, 0x555500000000ull);
+  EXPECT_EQ(parsed.exe_path, "/bin/indaas");
+  EXPECT_EQ(parsed.dropped, 7u);
+  EXPECT_EQ(parsed.truncated_stacks, 2u);
+  EXPECT_EQ(parsed.trace_ids, (std::vector<uint64_t>{0xabc, 42}));
+  ASSERT_EQ(parsed.samples.size(), 2u);
+  EXPECT_EQ(parsed.samples[0].frames, cpu.frames);
+  EXPECT_EQ(parsed.samples[0].trace_id, 0xabcu);
+  EXPECT_FALSE(parsed.samples[0].alloc);
+  EXPECT_TRUE(parsed.samples[1].alloc);
+  EXPECT_TRUE(parsed.samples[1].truncated);
+  EXPECT_EQ(parsed.samples[1].weight, 65536u);
+
+  // Hostile input: no header, garbage lines.
+  ProfileData bad;
+  EXPECT_FALSE(ParseProfileDumpText("cpu 1 2 3 4 0x5\n", &bad));
+  EXPECT_FALSE(ParseProfileDumpText("# wrong header\ncpu 1 2 3 4 0x5\n", &bad));
+}
+
+TEST(ProfilerTest, CollapsedAndChromeExports) {
+  ProfileData data;
+  ProfileSample a;
+  a.t_us = 10;
+  a.tid = 1;
+  a.weight = 1;
+  a.trace_id = 77;
+  a.frames = {0xbbb, 0xaaa};  // leaf first: stack is aaa -> bbb
+  ProfileSample b = a;
+  b.t_us = 20;
+  ProfileSample heap;
+  heap.t_us = 30;
+  heap.tid = 2;
+  heap.weight = 4096;
+  heap.alloc = true;
+  heap.frames = {0xccc};
+  data.samples = {a, b, heap};
+
+  EXPECT_EQ(ProfileToCollapsed(data, /*alloc=*/false), "0xaaa;0xbbb 2\n");
+  EXPECT_EQ(ProfileToCollapsed(data, /*alloc=*/true), "0xccc 4096\n");
+
+  const std::string trace = ProfileToChromeTrace(data);
+  EXPECT_TRUE(JsonValidator(trace).Valid()) << trace;
+  EXPECT_NE(trace.find("\"cat\":\"profile_cpu\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"profile_alloc\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trace_id\":\"77\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"0xbbb\""), std::string::npos);
+}
+
+TEST(ProfilerTest, SamplesCarryAmbientTraceId) {
+  std::atomic<bool> stop{false};
+  std::thread traced([&] {
+    Profiler::Global().RegisterCurrentThread();
+    ScopedTraceContext scoped(TraceContext{0xfeedULL, 0});
+    uint64_t x = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 50000; ++i) x = x * 2862933555777941757ull + 3037000493ull;
+    }
+    if (x == 0) std::abort();  // keep the loop observable
+  });
+  ProfileOptions options;
+  options.hz = 500;
+  options.alloc = false;
+  ASSERT_TRUE(Profiler::Global().Start(options).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  ProfileData data = Profiler::Global().Stop();
+  stop.store(true, std::memory_order_relaxed);
+  traced.join();
+
+  bool tagged = false;
+  for (const ProfileSample& sample : data.samples) {
+    if (sample.trace_id == 0xfeed) tagged = true;
+  }
+  EXPECT_TRUE(tagged) << "no sample carried the installed trace id ("
+                      << data.samples.size() << " samples)";
+  EXPECT_EQ(data.trace_ids.size(), 1u);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "src/net/socket.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/propagate.h"
 #include "src/obs/trace.h"
 #include "src/pia/psop.h"
@@ -441,6 +442,51 @@ TEST(ProtoTest, DebugInfoRoundTrip) {
   EXPECT_FALSE(DecodeDebugInfo(full + "x").ok());
 }
 
+TEST(ProtoTest, ProfileRequestRoundTripAndCaps) {
+  ProfileRequest request;
+  request.hz = 250;
+  request.seconds = 7;
+  request.alloc = false;
+  const std::string full = EncodeProfileRequest(request);
+  auto decoded = DecodeProfileRequest(full);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->hz, request.hz);
+  EXPECT_EQ(decoded->seconds, request.seconds);
+  EXPECT_EQ(decoded->alloc, request.alloc);
+
+  // A hostile client must not be able to demand a SIGPROF storm or an
+  // hour-long capture: out-of-range values die at decode, before any timer
+  // is armed.
+  ProfileRequest hostile;
+  hostile.hz = 0;
+  EXPECT_FALSE(DecodeProfileRequest(EncodeProfileRequest(hostile)).ok());
+  hostile.hz = kMaxProfileHz + 1;
+  EXPECT_FALSE(DecodeProfileRequest(EncodeProfileRequest(hostile)).ok());
+  hostile.hz = 99;
+  hostile.seconds = 0;
+  EXPECT_FALSE(DecodeProfileRequest(EncodeProfileRequest(hostile)).ok());
+  hostile.seconds = kMaxProfileSeconds + 1;
+  EXPECT_FALSE(DecodeProfileRequest(EncodeProfileRequest(hostile)).ok());
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeProfileRequest(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeProfileRequest(full + "x").ok());
+}
+
+TEST(ProtoTest, ProfileReplyRoundTrip) {
+  ProfileReply reply;
+  reply.dump = "# indaas-profile v1\ncpu 1 0 7 1 0xabc\n";
+  const std::string full = EncodeProfileReply(reply);
+  auto decoded = DecodeProfileReply(full);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->dump, reply.dump);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeProfileReply(full.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeProfileReply(full + "x").ok());
+}
+
 // --- AuditServer / AuditClient end-to-end (loopback) ---
 
 TEST(AuditServerTest, PingImportAuditRoundTrip) {
@@ -622,6 +668,14 @@ TEST(AuditServerTest, StatsAndHealthEndToEnd) {
                           [](const auto& c) { return c.name == "svc.degraded_audits"; }));
   EXPECT_TRUE(std::any_of(first->metrics.gauges.begin(), first->metrics.gauges.end(),
                           [](const auto& g) { return g.name == "svc.adaptive_shed_level"; }));
+  // Likewise the profiler surface: obs.profile.* counters report explicit
+  // zeros from Start(), whether or not a profile window ever runs.
+  for (const char* name :
+       {"obs.profile.samples", "obs.profile.dropped", "obs.profile.truncated_stacks"}) {
+    EXPECT_TRUE(std::any_of(first->metrics.counters.begin(), first->metrics.counters.end(),
+                            [name](const auto& c) { return c.name == name; }))
+        << name;
+  }
 
   // A second audit strictly advances the RPC counter and never decreases any
   // counter the first snapshot reported.
@@ -814,6 +868,87 @@ TEST(AuditServerTest, GetDebugInfoThreadedMode) {
   EXPECT_GT(info->uptime_us, 0u);
   EXPECT_FALSE(info->events.empty());
   server.Stop();
+}
+
+TEST(AuditServerTest, GetProfileEndToEnd) {
+  AuditServerOptions options;
+  options.worker_threads = 2;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->ImportDepDb(TestDepDbText()).ok());
+
+  // A second client hammers audits for the duration of the capture so the
+  // pool worker not blocked inside GetProfile has CPU-visible work.
+  std::atomic<bool> done{false};
+  std::thread load([&] {
+    auto worker = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+    ASSERT_TRUE(worker.ok());
+    while (!done.load()) {
+      ASSERT_TRUE(worker->AuditStructural(TestSpec()).ok());
+    }
+  });
+
+  ProfileRequest request;
+  request.hz = 500;  // short window, so sample densely
+  request.seconds = 1;
+  request.alloc = true;
+  auto reply = client->GetProfile(request);
+  done.store(true);
+  load.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  obs::ProfileData data;
+  ASSERT_TRUE(obs::ParseProfileDumpText(reply->dump, &data));
+  EXPECT_EQ(data.hz, 500u);
+  EXPECT_GT(data.end_us, data.start_us);
+  EXPECT_NE(data.exe_base, 0u);
+  EXPECT_FALSE(data.exe_path.empty());
+  // The audit loop kept a registered pool worker busy for the whole second;
+  // at 500 Hz a handful of CPU samples is a conservative floor.
+  size_t cpu = 0;
+  for (const obs::ProfileSample& sample : data.samples) {
+    if (!sample.alloc) {
+      ++cpu;
+      EXPECT_FALSE(sample.frames.empty());
+    }
+  }
+  EXPECT_GE(cpu, 5u);
+
+  // Out-of-range windows die at decode on the server: remote error, not a
+  // capture (and kErrorReply unwraps into a non-transport status).
+  ProfileRequest hostile;
+  hostile.hz = 0;
+  EXPECT_FALSE(client->GetProfile(hostile).ok());
+  EXPECT_TRUE(client->Ping().ok());  // connection survives the rejection
+  server.Stop();
+}
+
+TEST(AuditServerTest, ContinuousProfilingServesWindows) {
+  // --profile-hz mode: the server owns a continuous session; GetProfile
+  // cuts a window out of it (the request's hz is advisory) and Stop() tears
+  // the session down so later servers can profile again.
+  AuditServerOptions options;
+  options.worker_threads = 2;
+  options.profile_hz = 200;
+  AuditServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(obs::Profiler::Global().running());
+  auto client = AuditClient::Connect(net::Endpoint{"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok());
+
+  ProfileRequest request;
+  request.hz = 99;
+  request.seconds = 1;
+  auto reply = client->GetProfile(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  obs::ProfileData data;
+  ASSERT_TRUE(obs::ParseProfileDumpText(reply->dump, &data));
+  EXPECT_EQ(data.hz, 200u);  // the continuous session's rate, not the request's
+
+  server.Stop();
+  EXPECT_FALSE(obs::Profiler::Global().running());
 }
 
 TEST(AuditServerTest, ReactorReportsItsShards) {

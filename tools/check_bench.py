@@ -9,8 +9,15 @@ noise on small absolute values is common, so points faster than --min-
 seconds are reported but never fatal.
 
 Usage (from the repo root):
-    tools/check_bench.py                      # newest vs previous snapshot
+    tools/check_bench.py                      # newest vs latest BENCH_pr*.json
+    tools/check_bench.py --baseline=BENCH_pr8.json   # pin the baseline
     tools/check_bench.py BENCH_a.json BENCH_b.json   # explicit pair (old new)
+
+Without an explicit pair, the newest snapshot is compared against the
+baseline: --baseline when given, else the latest PR-tagged snapshot
+(BENCH_pr<N>.json with the highest N, excluding the snapshot under test).
+The chosen baseline and how it was selected are named in the output, so a
+CI log never leaves "against what?" ambiguous.
 """
 
 import argparse
@@ -41,6 +48,10 @@ def main():
                         help="explicit old/new snapshot pair; default: the two "
                              "newest BENCH_*.json in --dir")
     parser.add_argument("--dir", default=".", help="where to look for BENCH_*.json")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        help="snapshot to compare the newest one against; "
+                             "default: the latest BENCH_pr<N>.json that is not "
+                             "the snapshot under test")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="fractional slowdown that counts as a regression")
     parser.add_argument("--min-seconds", type=float, default=1e-4,
@@ -49,18 +60,38 @@ def main():
 
     if args.snapshots and len(args.snapshots) != 2:
         parser.error("pass exactly two snapshots (old new), or none")
+    if args.snapshots and args.baseline:
+        parser.error("--baseline conflicts with an explicit (old new) pair")
     if args.snapshots:
         old_path, new_path = args.snapshots
+        baseline_how = "explicit pair"
     else:
+        # Prefer the PR-tagged series for both sides: ad-hoc local files
+        # (BENCH_scratch.json, stray --json-out docs) sort after the pr
+        # series by mtime and must not silently become the snapshot under
+        # test or the regression baseline.
         found = sorted(pathlib.Path(args.dir).glob("BENCH_*.json"), key=snapshot_order)
-        if not found:
+        pr_tagged = [p for p in found
+                     if re.fullmatch(r"BENCH_pr\d+\.json", p.name)]
+        series = pr_tagged or found
+        if not series:
             sys.exit(f"error: no BENCH_*.json under {args.dir}")
-        if len(found) == 1:
-            doc = load(found[0])
-            print(f"{found[0]}: {len(doc)} benchmarks, no previous snapshot to "
-                  "compare against — baseline OK")
-            return
-        old_path, new_path = found[-2], found[-1]
+        new_path = series[-1]
+        if args.baseline:
+            old_path = args.baseline
+            baseline_how = "pinned via --baseline"
+            if old_path.resolve() == new_path.resolve():
+                sys.exit(f"error: --baseline {old_path} is the newest snapshot "
+                         "itself — nothing to compare against")
+        else:
+            if len(series) == 1:
+                doc = load(new_path)
+                print(f"{new_path}: {len(doc)} benchmarks, no previous snapshot "
+                      "to compare against — baseline OK")
+                return
+            old_path = series[-2]
+            baseline_how = ("auto-selected latest prior BENCH_pr<N>.json"
+                            if pr_tagged else "auto-selected newest other snapshot")
 
     old, new = load(old_path), load(new_path)
     # "_"-prefixed keys are snapshot provenance (git SHA, hostname), not
@@ -71,7 +102,7 @@ def main():
     shared = sorted(set(old) & set(new))
     added = sorted(set(new) - set(old))
     removed = sorted(set(old) - set(new))
-    print(f"comparing {new_path} against {old_path}: "
+    print(f"comparing {new_path} against baseline {old_path} ({baseline_how}): "
           f"{len(shared)} shared benchmarks "
           f"({len(added)} new, {len(removed)} gone)")
     for label, meta in (("old", old_meta), ("new", new_meta)):

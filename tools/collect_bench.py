@@ -169,16 +169,41 @@ def collect_sketch_allpairs(build, workdir):
 
 
 def collect_svc_rpc(build, workdir):
-    """bench_svc_rpc: serial client RPC latency (ping and structural audit)."""
-    out = workdir / "svc_rpc.json"
-    run_bench([str(build / "bench" / "bench_svc_rpc"), f"--json-out={out}"])
-    doc = json.loads(out.read_text())
+    """bench_svc_rpc: serial client RPC latency (ping and structural audit).
+
+    Runs the same RPC mix twice — profiler off, then sampling at the
+    production default of 99 Hz — so every snapshot carries the measured
+    continuous-profiling overhead. The profiled rows get their own names
+    (svc_rpc/<phase>_profiled99) so the baseline svc_rpc/<phase> series
+    stays comparable across PRs, and each profiled row records the
+    off-vs-on ratio from the same collection run in its config.
+    """
+    docs = {}
+    for hz in (0, 99):
+        out = workdir / f"svc_rpc_hz{hz}.json"
+        run_bench([
+            str(build / "bench" / "bench_svc_rpc"),
+            f"--profile-hz={hz}",
+            f"--json-out={out}",
+        ])
+        docs[hz] = json.loads(out.read_text())
     snapshot = {}
     for phase in ("ping", "audit"):
+        off = docs[0][phase]
+        on = docs[99][phase]
         snapshot[f"svc_rpc/{phase}"] = {
-            "p50_seconds": doc[phase]["us_per_rpc"] / 1e6,
+            "p50_seconds": off["us_per_rpc"] / 1e6,
             "bytes": 0,
-            "config": {"rpcs": doc[phase]["rpcs"]},
+            "config": {"rpcs": off["rpcs"]},
+        }
+        snapshot[f"svc_rpc/{phase}_profiled99"] = {
+            "p50_seconds": on["us_per_rpc"] / 1e6,
+            "bytes": 0,
+            "config": {
+                "rpcs": on["rpcs"],
+                "profile_hz": 99,
+                "overhead_vs_off": on["us_per_rpc"] / off["us_per_rpc"],
+            },
         }
     return snapshot
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Symbolizes an indaas profile dump offline with addr2line.
+
+The GetProfile RPC (and `indaas profile --format=dump`) ship raw runtime
+addresses so the serving process never touches its own symbol tables. This
+script turns a dump into human-readable output on the operator's machine,
+where the matching binary (with debug info) lives:
+
+    tools/symbolize_profile.py profile.txt                  # collapsed stacks
+    tools/symbolize_profile.py profile.txt --top=20         # hottest functions
+    tools/symbolize_profile.py profile.txt --alloc          # allocation bytes
+    tools/symbolize_profile.py profile.txt --exe=build/indaas
+
+Collapsed output is flamegraph.pl / speedscope input: one line per unique
+stack, root-first frames joined by ';', trailing sample count (CPU) or byte
+count (--alloc).
+
+The dump header carries the executable's path and its PIE load base; PCs
+are symbolized as `pc - base` against that binary (override a mismatched
+path with --exe). Frames addr2line cannot resolve keep their hex address,
+so a stripped binary still yields a structurally-correct flamegraph.
+"""
+
+import argparse
+import collections
+import shutil
+import subprocess
+import sys
+
+
+def parse_dump(path):
+    """Parses ProfileToDumpText output (see src/obs/profiler.h).
+
+    Returns (header dict, samples). Each sample is
+    (kind, t_us, trace_id, tid, weight, [pc, ...leaf-first], truncated).
+    """
+    header = {"exe": "", "base": 0, "hz": 0, "samples": 0, "dropped": 0, "truncated": 0}
+    samples = []
+    saw_magic = False
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                fields = line[1:].split()
+                if fields[:2] == ["indaas-profile", "v1"]:
+                    saw_magic = True
+                elif fields[:1] == ["exe"] and len(fields) > 1:
+                    header["exe"] = fields[1]
+                elif fields[:1] == ["base"] and len(fields) > 1:
+                    header["base"] = int(fields[1], 16)
+                elif fields[:1] == ["hz"] and len(fields) > 1:
+                    header["hz"] = int(fields[1])
+                elif fields[:1] == ["counts"]:
+                    pairs = dict(zip(fields[1::2], fields[2::2]))
+                    for key in ("samples", "dropped", "truncated"):
+                        if key in pairs:
+                            header[key] = int(pairs[key])
+                continue
+            fields = line.split()
+            if len(fields) < 5 or fields[0] not in ("cpu", "alloc"):
+                continue
+            truncated = fields[-1] == "T"
+            frame_fields = fields[5 : len(fields) - 1 if truncated else len(fields)]
+            try:
+                samples.append(
+                    (
+                        fields[0],
+                        int(fields[1]),
+                        int(fields[2], 0),
+                        int(fields[3]),
+                        int(fields[4]),
+                        [int(pc, 16) for pc in frame_fields],
+                        truncated,
+                    )
+                )
+            except ValueError:
+                continue  # hostile or corrupt line: skip, keep the rest
+    if not saw_magic:
+        raise ValueError(f"{path}: not an indaas-profile v1 dump")
+    return header, samples
+
+
+def symbolize(pcs, exe, base, addr2line="addr2line"):
+    """Maps each runtime pc to 'function (file:line)' via one addr2line run.
+
+    Unresolvable frames (no binary, stripped, JIT) map to their hex address.
+    """
+    names = {pc: hex(pc) for pc in pcs}
+    if not exe or not shutil.which(addr2line):
+        return names
+    ordered = sorted(pcs)
+    try:
+        proc = subprocess.run(
+            [addr2line, "-f", "-C", "-e", exe]
+            + [hex(pc - base) for pc in ordered],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return names
+    lines = proc.stdout.splitlines()
+    # addr2line emits two lines per address: function, then file:line.
+    for i, pc in enumerate(ordered):
+        if 2 * i + 1 >= len(lines):
+            break
+        func = lines[2 * i].strip()
+        if func and func != "??":
+            names[pc] = func
+    return names
+
+
+def collapse(samples, names, kind):
+    """Aggregates samples into collapsed stacks: {root;..;leaf: weight}."""
+    stacks = collections.Counter()
+    for sample_kind, _t, _trace, _tid, weight, frames, _trunc in samples:
+        if sample_kind != kind or not frames:
+            continue
+        stack = ";".join(names[pc] for pc in reversed(frames))
+        stacks[stack] += weight if kind == "alloc" else 1
+    return stacks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="profile dump file (indaas profile --out=...)")
+    parser.add_argument("--exe", default="", help="binary to symbolize against "
+                        "(default: the '# exe' path recorded in the dump)")
+    parser.add_argument("--alloc", action="store_true",
+                        help="aggregate allocation samples (bytes) instead of CPU samples")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print the N hottest leaf functions instead of collapsed stacks")
+    parser.add_argument("--addr2line", default="addr2line",
+                        help="addr2line binary (e.g. llvm-addr2line)")
+    args = parser.parse_args()
+
+    try:
+        header, samples = parse_dump(args.dump)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    kind = "alloc" if args.alloc else "cpu"
+    wanted = [s for s in samples if s[0] == kind]
+    if not wanted:
+        print(f"error: {args.dump} holds no {kind} samples", file=sys.stderr)
+        return 1
+
+    pcs = {pc for s in wanted for pc in s[5]}
+    exe = args.exe or header["exe"]
+    names = symbolize(pcs, exe, header["base"], args.addr2line)
+    resolved = sum(1 for name in names.values() if not name.startswith("0x"))
+    print(
+        f"# {len(wanted)} {kind} samples, {len(pcs)} unique frames "
+        f"({resolved} symbolized), hz={header['hz']}, "
+        f"dropped={header['dropped']}, truncated={header['truncated']}",
+        file=sys.stderr,
+    )
+
+    if args.top > 0:
+        # Leaf attribution: weight lands on the innermost frame, the
+        # classic "self time" view.
+        leaves = collections.Counter()
+        for _kind, _t, _trace, _tid, weight, frames, _trunc in wanted:
+            leaves[names[frames[0]]] += weight if kind == "alloc" else 1
+        total = sum(leaves.values())
+        unit = "bytes" if kind == "alloc" else "samples"
+        for name, count in leaves.most_common(args.top):
+            print(f"{count:>12} {unit}  {100.0 * count / total:5.1f}%  {name}")
+        return 0
+
+    for stack, weight in sorted(collapse(wanted, names, kind).items()):
+        print(f"{stack} {weight}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
