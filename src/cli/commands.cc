@@ -726,14 +726,21 @@ Status RunProfileCommand(int argc, char** argv) {
   flags.AddString("out", &out_path, "write the profile here (empty = stdout)");
   flags.AddString("format", &format,
                   "dump (symbolizable text for tools/symbolize_profile.py) | "
-                  "collapsed (flamegraph.pl input, raw addresses) | "
+                  "collapsed (flamegraph.pl input, CPU samples, raw addresses) | "
+                  "collapsed-alloc (flamegraph.pl input, allocation samples, "
+                  "byte-weighted) | "
                   "chrome (trace-event JSON, feeds trace-merge)");
   INDAAS_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (remote.empty()) {
     return InvalidArgumentError("--remote is required (e.g. --remote=localhost:7341)");
   }
-  if (format != "dump" && format != "collapsed" && format != "chrome") {
-    return InvalidArgumentError("--format must be dump, collapsed or chrome");
+  if (format != "dump" && format != "collapsed" && format != "collapsed-alloc" &&
+      format != "chrome") {
+    return InvalidArgumentError(
+        "--format must be dump, collapsed, collapsed-alloc or chrome");
+  }
+  if (format == "collapsed-alloc" && !alloc) {
+    return InvalidArgumentError("--format=collapsed-alloc requires --alloc=1");
   }
   if (seconds < 1 || seconds > svc::kMaxProfileSeconds) {
     return InvalidArgumentError(StrFormat("--seconds must be in [1, %u]",
@@ -760,8 +767,13 @@ Status RunProfileCommand(int argc, char** argv) {
     if (!obs::ParseProfileDumpText(reply.dump, &data)) {
       return ProtocolError("server returned an unparseable profile dump");
     }
-    output = format == "collapsed" ? obs::ProfileToCollapsed(data, /*alloc=*/false)
-                                   : obs::ProfileToChromeTrace(data);
+    if (format == "collapsed") {
+      output = obs::ProfileToCollapsed(data, /*alloc=*/false);
+    } else if (format == "collapsed-alloc") {
+      output = obs::ProfileToCollapsed(data, /*alloc=*/true);
+    } else {
+      output = obs::ProfileToChromeTrace(data);
+    }
   }
   if (out_path.empty()) {
     std::printf("%s", output.c_str());
@@ -1041,7 +1053,7 @@ int RunCli(int argc, char** argv) {
                  "              recorder, slowest RPCs (--remote=host:P [--events=N] [--top=K])\n"
                  "  profile     capture a remote CPU/alloc profile window (--remote=host:P\n"
                  "              [--seconds=S --hz=N --alloc=0|1 --out=FILE "
-                 "--format=dump|collapsed|chrome])\n"
+                 "--format=dump|collapsed|collapsed-alloc|chrome])\n"
                  "  trace-merge merge per-process --trace-out files into one Chrome trace\n"
                  "audit, pia and serve accept --metrics-out=<file> and --trace-out=<file>\n"
                  "networked: serve --port=P [--mode=reactor|threaded --reactor-shards=N\n"

@@ -163,10 +163,11 @@ void FlightRecorder::CopyRing(const Ring& ring, std::vector<FlightEvent>* out) {
     event.a = slot.a.load(std::memory_order_relaxed);
     event.b = slot.b.load(std::memory_order_relaxed);
     const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
-    // Revalidate: if the writer lapped this sequence while we copied, the
-    // slot now belongs to seq + kRingCapacity — drop the (possibly mixed)
-    // copy rather than report an event that never happened as written.
-    if (ring.head.load(std::memory_order_acquire) > seq + kRingCapacity) continue;
+    // Revalidate: once head reaches seq + kRingCapacity the writer has
+    // started (not necessarily finished — head publishes after the slot
+    // stores) overwriting this slot, so the copy may be mixed. >= and not
+    // >: at head == seq + kRingCapacity the overwrite is already in flight.
+    if (ring.head.load(std::memory_order_acquire) >= seq + kRingCapacity) continue;
     if (meta == 0) continue;
     event.tid = static_cast<uint32_t>(meta >> 32);
     event.type = static_cast<FlightEventType>((meta >> 16) & 0xffff);

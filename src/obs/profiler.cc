@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -397,7 +398,8 @@ ProfileData Profiler::Stop() {
   data.dropped = dropped_;
   data.truncated_stacks = truncated_;
   data.trace_ids = std::move(buffer_trace_ids_);
-  data.samples = std::move(buffer_);
+  data.samples.assign(std::make_move_iterator(buffer_.begin()),
+                      std::make_move_iterator(buffer_.end()));
   buffer_.clear();
   buffer_trace_ids_.clear();
   stopping_ = false;
@@ -406,12 +408,22 @@ ProfileData Profiler::Stop() {
 
 Result<ProfileData> Profiler::WindowedCapture(uint32_t hz, uint32_t seconds,
                                               bool alloc) {
-  if (seconds < 1 || seconds > 60) {
+  if (seconds < 1 || seconds > kMaxWindowSeconds) {
     return Status(StatusCode::kInvalidArgument, "profile seconds out of range [1, 60]");
   }
   if (running_.load(std::memory_order_acquire)) {
     // Continuous mode: cut a time window out of the running session without
     // disturbing it. The session's own frequency applies, not `hz`.
+    // Snapshot the loss counters first so the window reports its own
+    // delta, not hours of session-cumulative drops.
+    uint64_t dropped_before = 0;
+    uint64_t truncated_before = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DrainOnce();  // fold pre-window ring contents into the baseline
+      dropped_before = dropped_;
+      truncated_before = truncated_;
+    }
     const uint64_t window_start = TraceNowMicros();
     std::this_thread::sleep_for(std::chrono::seconds(seconds));
     std::lock_guard<std::mutex> lock(mu_);
@@ -422,8 +434,11 @@ Result<ProfileData> Profiler::WindowedCapture(uint32_t hz, uint32_t seconds,
     data.end_us = TraceNowMicros();
     data.exe_base = ExecutableLoadBase();
     data.exe_path = ExecutablePath();
-    data.dropped = dropped_;
-    data.truncated_stacks = truncated_;
+    // Saturating deltas: a Stop/Start race during the window resets the
+    // counters, in which case the post-reset values are the closest truth.
+    data.dropped = dropped_ >= dropped_before ? dropped_ - dropped_before : dropped_;
+    data.truncated_stacks =
+        truncated_ >= truncated_before ? truncated_ - truncated_before : truncated_;
     for (const ProfileSample& sample : buffer_) {
       if (sample.t_us < window_start) continue;
       data.samples.push_back(sample);
@@ -483,9 +498,12 @@ size_t Profiler::DrainOnce() {
           sample.frames[i] =
               static_cast<uintptr_t>(slot.pcs[i].load(std::memory_order_relaxed));
         }
-        // Revalidate: if the writer lapped this sequence mid-copy the slot
-        // now belongs to seq + kRingCapacity — drop the possibly-torn copy.
-        if (ring->head.load(std::memory_order_acquire) > seq + kRingCapacity) {
+        // Revalidate: once head reaches seq + kRingCapacity the writer has
+        // started (not necessarily finished — head publishes after the slot
+        // stores) overwriting this slot, so the copy may be torn. >= and
+        // not >: at head == seq + kRingCapacity the overwrite is already
+        // in flight.
+        if (ring->head.load(std::memory_order_acquire) >= seq + kRingCapacity) {
           ++dropped_now;
           continue;
         }
@@ -500,6 +518,19 @@ size_t Profiler::DrainOnce() {
       ring->tail = head;
     }
   }
+  if (options_.continuous) {
+    // Sliding-window retention: nobody can request a window longer than
+    // kMaxWindowSeconds, so anything older (plus slack for drainer latency)
+    // is unreachable — evict it instead of letting the buffer saturate and
+    // starve future windows. Aging out is not sample loss, so no drop count.
+    const uint64_t horizon_us =
+        static_cast<uint64_t>(kMaxWindowSeconds + 2) * 1000000ull;
+    const uint64_t now_us = TraceNowMicros();
+    const uint64_t cutoff_us = now_us > horizon_us ? now_us - horizon_us : 0;
+    while (!buffer_.empty() && buffer_.front().t_us < cutoff_us) {
+      buffer_.pop_front();
+    }
+  }
   samples_counter->Add(moved);
   if (dropped_now > 0) dropped_counter->Add(dropped_now);
   if (truncated_now > 0) truncated_counter->Add(truncated_now);
@@ -510,8 +541,17 @@ size_t Profiler::DrainOnce() {
 
 void Profiler::AppendLocked(const ProfileSample& sample) {
   if (buffer_.size() >= kMaxSessionSamples) {
-    ++dropped_;
-    return;
+    if (options_.continuous) {
+      // The age-based sweep could not keep the buffer under the cap (a
+      // sustained sample rate over ~17k/s): shed the oldest so the newest
+      // window stays intact. These were inside the retention horizon, so
+      // they do count as dropped.
+      buffer_.pop_front();
+      ++dropped_;
+    } else {
+      ++dropped_;
+      return;
+    }
   }
   if (sample.trace_id != 0 && buffer_trace_ids_.size() < kMaxWindowTraceIds &&
       std::find(buffer_trace_ids_.begin(), buffer_trace_ids_.end(), sample.trace_id) ==

@@ -50,6 +50,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -94,6 +95,11 @@ struct ProfileOptions {
   uint32_t hz = 99;                  // CPU sampling frequency, [1, kMaxHz]
   bool alloc = true;                 // sample allocations too
   uint64_t alloc_interval_bytes = 512 * 1024;  // one stack per N bytes
+  // Continuous (server-lifetime) session: the buffer keeps a sliding window
+  // of the last kMaxWindowSeconds instead of accumulating until the session
+  // cap — aged-out samples are evicted (not counted as dropped) so an
+  // always-on session neither saturates nor pins unbounded memory.
+  bool continuous = false;
 };
 
 class Profiler {
@@ -109,8 +115,13 @@ class Profiler {
   static constexpr size_t kMaxThreads = 128;
   // Hard cap on the sampling frequency a session (or RPC) may request.
   static constexpr uint32_t kMaxHz = 1000;
-  // Session buffer cap; once full, further samples count as dropped. At
-  // 99 Hz × 16 threads this is ~10 minutes of profile.
+  // Longest window WindowedCapture() serves; also the retention horizon of
+  // a continuous session's sliding buffer (plus slack for drainer latency).
+  static constexpr uint32_t kMaxWindowSeconds = 60;
+  // Session buffer cap. Explicit sessions drop further samples once full;
+  // continuous sessions evict the oldest instead, so the newest
+  // kMaxWindowSeconds always stay servable. At 99 Hz × 16 threads this is
+  // ~10 minutes of profile.
   static constexpr size_t kMaxSessionSamples = 1 << 20;
   // Distinct trace ids remembered per window.
   static constexpr size_t kMaxWindowTraceIds = 64;
@@ -153,6 +164,8 @@ class Profiler {
   void DisarmTimerLocked(ThreadState* state);
   void DrainLoop();
   // Moves every ring's unread samples into buffer_; returns samples moved.
+  // Continuous sessions also evict buffered samples older than the
+  // retention horizon here (eviction is not a drop).
   size_t DrainOnce();
   void AppendLocked(const ProfileSample& sample);
 
@@ -163,7 +176,7 @@ class Profiler {
   bool stopping_ = false;  // Stop() tear-down in progress; Start() must wait
   ProfileOptions options_;
   uint64_t session_start_us_ = 0;
-  std::vector<ProfileSample> buffer_;
+  std::deque<ProfileSample> buffer_;  // deque: continuous mode evicts at the front
   std::vector<uint64_t> buffer_trace_ids_;
   uint64_t dropped_ = 0;
   uint64_t truncated_ = 0;

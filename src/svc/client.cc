@@ -29,9 +29,13 @@ obs::Counter* ClientRpcReplays() {
 }
 
 // ImportDepDb appends records server-side; replaying it after an ambiguous
-// transport failure could double-import. Everything else is a pure read or
-// a liveness check.
-bool IdempotentRequest(MsgType request) { return request != MsgType::kImportDepDb; }
+// transport failure could double-import. GetProfile blocks the server for a
+// full capture window, so a replay would silently double the caller's wait
+// (and, in temporary-session mode, race the still-running first capture).
+// Everything else is a pure read or a liveness check.
+bool IdempotentRequest(MsgType request) {
+  return request != MsgType::kImportDepDb && request != MsgType::kGetProfile;
+}
 
 }  // namespace
 

@@ -935,6 +935,7 @@ Status AuditServer::Start() {
     obs::ProfileOptions popts;
     popts.hz = std::min(options_.profile_hz, obs::Profiler::kMaxHz);
     popts.alloc = options_.profile_alloc;
+    popts.continuous = true;  // sliding-window retention for a server-lifetime session
     Status profiling = obs::Profiler::Global().Start(popts);
     if (profiling.ok()) {
       owns_profiler_session_ = true;

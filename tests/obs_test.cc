@@ -1361,6 +1361,36 @@ TEST(ProfilerTest, WindowedCaptureRunsATemporarySession) {
   EXPECT_GE(window.value().samples.size(), 1u);
 }
 
+TEST(ProfilerTest, ContinuousWindowReportsWindowScopedCounts) {
+  // Continuous-mode windows must report drop counts as deltas over the
+  // window, not session-cumulative totals: flood the alloc ring far faster
+  // than the drainer sweeps, then cut a quiet window and check it does not
+  // inherit the flood's losses.
+  Profiler::Global().RegisterCurrentThread();
+  ProfileOptions options;
+  options.hz = 1;  // keep CPU sampling quiet; the flood drives the alloc ring
+  options.alloc = true;
+  options.alloc_interval_bytes = 1;  // sample every allocation
+  options.continuous = true;
+  ASSERT_TRUE(Profiler::Global().Start(options).ok());
+  // Direct operator-new calls: a new-expression pair could legally be
+  // elided by the optimizer, which would starve the flood.
+  for (int i = 0; i < 200000; ++i) {
+    ::operator delete(::operator new(32));
+  }
+  auto window = Profiler::Global().WindowedCapture(99, 1, /*alloc=*/true);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  ProfileData total = Profiler::Global().Stop();
+  ASSERT_GT(total.dropped, 10000u) << "flood failed to overflow the alloc ring";
+  // The window started after the flood was drained into the baseline, so a
+  // quiet second carries at most stray test-process allocations.
+  EXPECT_LT(window.value().dropped, total.dropped / 10)
+      << "window reported session-cumulative drops";
+  for (const ProfileSample& sample : window.value().samples) {
+    EXPECT_GE(sample.t_us, window.value().start_us);
+  }
+}
+
 TEST(ProfilerTest, DumpTextRoundTrips) {
   ProfileData data;
   data.hz = 99;
